@@ -1,0 +1,98 @@
+//! Error types for probability-assignment construction.
+
+use kpa_measure::MeasureError;
+use kpa_system::{AgentId, PointId};
+use std::fmt;
+
+/// Errors arising when inducing probability spaces from sample-space
+/// assignments (Section 5 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AssignError {
+    /// REQ1 violated: the sample for `(agent, point)` contains points
+    /// from more than one computation tree, so no single run
+    /// distribution can be conditioned on it.
+    Req1Violated {
+        /// The agent whose sample is at fault.
+        agent: AgentId,
+        /// The point at which the sample was requested.
+        point: PointId,
+    },
+    /// REQ2 violated: the sample for `(agent, point)` is empty, so the
+    /// runs through it have measure zero.
+    Req2Violated {
+        /// The agent whose sample is at fault.
+        agent: AgentId,
+        /// The point at which the sample was requested.
+        point: PointId,
+    },
+    /// An underlying measure-theoretic operation failed.
+    Measure(MeasureError),
+}
+
+impl fmt::Display for AssignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssignError::Req1Violated { agent, point } => write!(
+                f,
+                "REQ1 violated: sample for ({agent}, {point}) spans multiple computation trees"
+            ),
+            AssignError::Req2Violated { agent, point } => {
+                write!(f, "REQ2 violated: sample for ({agent}, {point}) is empty")
+            }
+            AssignError::Measure(e) => write!(f, "measure error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AssignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AssignError::Measure(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MeasureError> for AssignError {
+    fn from(e: MeasureError) -> AssignError {
+        AssignError::Measure(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpa_system::TreeId;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AssignError::Req1Violated {
+            agent: AgentId(0),
+            point: PointId {
+                tree: TreeId(0),
+                run: 0,
+                time: 0,
+            },
+        };
+        assert!(e.to_string().contains("REQ1"));
+        let e: AssignError = MeasureError::NonMeasurable.into();
+        assert!(e.to_string().contains("measure"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e: AssignError = MeasureError::NonMeasurable.into();
+        assert!(e.source().is_some());
+        let e = AssignError::Req2Violated {
+            agent: AgentId(1),
+            point: PointId {
+                tree: TreeId(0),
+                run: 0,
+                time: 0,
+            },
+        };
+        assert!(e.source().is_none());
+    }
+}

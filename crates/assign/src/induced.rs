@@ -1,0 +1,462 @@
+//! Probability assignments induced by sample-space assignments.
+//!
+//! This is the construction at the core of Section 5: given the labeled
+//! computation trees (hence a distribution on the runs of each tree) and
+//! a sample space `S_ic` satisfying REQ1 and REQ2, the probability of a
+//! measurable `S ⊆ S_ic` is the conditional probability that a run
+//! passes through `S` given that it passes through `S_ic`. Propositions
+//! 1 and 2 of the paper guarantee the construction is well defined; the
+//! implementation checks REQ1/REQ2 dynamically and reports violations as
+//! [`AssignError`]s.
+
+use crate::error::AssignError;
+use crate::sample::Assignment;
+use kpa_measure::{BlockSpace, Rat};
+use kpa_system::{AgentId, PointId, System};
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
+
+/// The probability space the construction of Proposition 2 assigns to an
+/// agent at a point: a [`BlockSpace`] over points whose blocks are runs.
+pub type PointSpace = BlockSpace<PointId>;
+
+/// Cache from (agent, sorted sample) to the induced space.
+type SpaceCache = HashMap<(AgentId, Vec<PointId>), Rc<PointSpace>>;
+
+/// A probability assignment `P`: for every agent `pᵢ` and point `c`, the
+/// probability space `(S_ic, X_ic, μ_ic)` induced by a sample-space
+/// [`Assignment`] and the run distributions of a [`System`].
+///
+/// Spaces are cached per distinct sample, so uniform assignments (whose
+/// samples repeat across the points of a class) cost one construction
+/// per class.
+///
+/// # Examples
+///
+/// ```
+/// use kpa_measure::rat;
+/// use kpa_system::{AgentId, PointId, ProtocolBuilder, TreeId};
+/// use kpa_assign::{Assignment, ProbAssignment};
+///
+/// let sys = ProtocolBuilder::new(["p1", "p2", "p3"])
+///     .coin("c", &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))], &["p3"])
+///     .build()?;
+/// let post = ProbAssignment::new(&sys, Assignment::post());
+/// let c = PointId { tree: TreeId(0), run: 0, time: 1 };
+/// let heads = sys.points_satisfying(sys.prop_id("c=h").unwrap());
+///
+/// // After the toss, p1's posterior probability of heads is still 1/2 …
+/// assert_eq!(post.prob(AgentId(0), c, &heads)?, rat!(1 / 2));
+/// // … while the future assignment says it is 0 or 1 (here: 1).
+/// let fut = ProbAssignment::new(&sys, Assignment::fut());
+/// assert_eq!(fut.prob(AgentId(0), c, &heads)?, rat!(1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ProbAssignment<'s> {
+    sys: &'s System,
+    assignment: Assignment,
+    cache: RefCell<SpaceCache>,
+}
+
+impl<'s> ProbAssignment<'s> {
+    /// Pairs a system with a sample-space assignment.
+    #[must_use]
+    pub fn new(sys: &'s System, assignment: Assignment) -> ProbAssignment<'s> {
+        ProbAssignment {
+            sys,
+            assignment,
+            cache: RefCell::new(SpaceCache::new()),
+        }
+    }
+
+    /// The underlying system.
+    #[must_use]
+    pub fn system(&self) -> &'s System {
+        self.sys
+    }
+
+    /// The sample-space assignment.
+    #[must_use]
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// The sample `S_ic` (sorted).
+    #[must_use]
+    pub fn sample(&self, agent: AgentId, c: PointId) -> Vec<PointId> {
+        self.assignment.sample(self.sys, agent, c)
+    }
+
+    /// The induced probability space `(S_ic, X_ic, μ_ic)`.
+    ///
+    /// # Errors
+    ///
+    /// [`AssignError::Req2Violated`] if the sample is empty;
+    /// [`AssignError::Req1Violated`] if it spans several trees.
+    pub fn space(&self, agent: AgentId, c: PointId) -> Result<Rc<PointSpace>, AssignError> {
+        let sample = self.sample(agent, c);
+        if sample.is_empty() {
+            return Err(AssignError::Req2Violated { agent, point: c });
+        }
+        if sample.iter().any(|d| d.tree != sample[0].tree) {
+            return Err(AssignError::Req1Violated { agent, point: c });
+        }
+        if let Some(space) = self.cache.borrow().get(&(agent, sample.clone())) {
+            return Ok(Rc::clone(space));
+        }
+        let pairs = sample.iter().map(|&p| (p, p.run_id()));
+        let space = Rc::new(BlockSpace::new(pairs, |run| self.sys.run_prob(*run))?);
+        self.cache
+            .borrow_mut()
+            .insert((agent, sample), Rc::clone(&space));
+        Ok(space)
+    }
+
+    /// `μ_ic(S_ic(φ))` for a measurable fact: the probability, according
+    /// to agent `i` at `c`, of the fact denoted by `set` (a set of
+    /// points; it is intersected with the sample).
+    ///
+    /// # Errors
+    ///
+    /// As [`ProbAssignment::space`], plus
+    /// [`kpa_measure::MeasureError::NonMeasurable`] (wrapped) if the
+    /// fact is not measurable — use [`ProbAssignment::inner`] /
+    /// [`ProbAssignment::outer`] then.
+    pub fn prob(
+        &self,
+        agent: AgentId,
+        c: PointId,
+        set: &BTreeSet<PointId>,
+    ) -> Result<Rat, AssignError> {
+        Ok(self.space(agent, c)?.measure(set)?)
+    }
+
+    /// The inner measure `(μ_ic)⁎(S_ic(φ))` — the paper's semantics for
+    /// `Prᵢ(φ) ≥ α` when `φ` may be nonmeasurable.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProbAssignment::space`].
+    pub fn inner(
+        &self,
+        agent: AgentId,
+        c: PointId,
+        set: &BTreeSet<PointId>,
+    ) -> Result<Rat, AssignError> {
+        Ok(self.space(agent, c)?.inner_measure(set))
+    }
+
+    /// The outer measure `(μ_ic)*(S_ic(φ))`.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProbAssignment::space`].
+    pub fn outer(
+        &self,
+        agent: AgentId,
+        c: PointId,
+        set: &BTreeSet<PointId>,
+    ) -> Result<Rat, AssignError> {
+        Ok(self.space(agent, c)?.outer_measure(set))
+    }
+
+    /// `(inner, outer)` bounds in one call.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProbAssignment::space`].
+    pub fn interval(
+        &self,
+        agent: AgentId,
+        c: PointId,
+        set: &BTreeSet<PointId>,
+    ) -> Result<(Rat, Rat), AssignError> {
+        Ok(self.space(agent, c)?.measure_interval(set))
+    }
+
+    /// The tightest interval the agent *knows* at `c`: the worst-case
+    /// inner and outer measures of `set` over every point the agent
+    /// considers possible. `K_i^{[α,β]} φ` holds at `c` exactly for
+    /// `α ≤ lo` and `β ≥ hi` of this interval (Section 6's discussion
+    /// around Theorem 9).
+    ///
+    /// # Errors
+    ///
+    /// As [`ProbAssignment::space`].
+    pub fn known_interval(
+        &self,
+        agent: AgentId,
+        c: PointId,
+        set: &BTreeSet<PointId>,
+    ) -> Result<(Rat, Rat), AssignError> {
+        let mut lo = Rat::ONE;
+        let mut hi = Rat::ZERO;
+        for &d in self.sys.indistinguishable(agent, c) {
+            let (l, h) = self.interval(agent, d, set)?;
+            lo = lo.min(l);
+            hi = hi.max(h);
+        }
+        Ok((lo, hi))
+    }
+
+    // ------------------------------------------------------------------
+    // Structural predicates (Section 5/6 definitions).
+    // ------------------------------------------------------------------
+
+    /// REQ1 at every `(agent, point)`: samples stay within one tree.
+    #[must_use]
+    pub fn satisfies_req1(&self) -> bool {
+        self.for_all(|_, _, sample| {
+            sample.windows(2).all(|w| w[0].tree == w[1].tree) && !sample.is_empty()
+        })
+    }
+
+    /// REQ2 at every `(agent, point)`: the runs through each sample have
+    /// positive probability (for finite systems: the sample is
+    /// nonempty).
+    #[must_use]
+    pub fn satisfies_req2(&self) -> bool {
+        self.for_all(|_, _, sample| !sample.is_empty())
+    }
+
+    /// Consistency: `S_ic ⊆ K_i(c)` everywhere — the condition
+    /// characterizing `Kᵢφ ⇒ (Prᵢ(φ) = 1)` (Section 5, citing FH88).
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        self.for_all(|agent, c, sample| {
+            let k: BTreeSet<PointId> = self
+                .sys
+                .indistinguishable(agent, c)
+                .iter()
+                .copied()
+                .collect();
+            sample.iter().all(|d| k.contains(d))
+        })
+    }
+
+    /// State generation: each sample is a union of global-state classes.
+    #[must_use]
+    pub fn is_state_generated(&self) -> bool {
+        self.for_all(|_, _, sample| {
+            let set: BTreeSet<PointId> = sample.iter().copied().collect();
+            sample
+                .iter()
+                .all(|&d| self.sys.same_state(d).iter().all(|e| set.contains(e)))
+        })
+    }
+
+    /// Inclusiveness: `c ∈ S_ic` everywhere.
+    #[must_use]
+    pub fn is_inclusive(&self) -> bool {
+        self.for_all(|_, c, sample| sample.binary_search(&c).is_ok())
+    }
+
+    /// Uniformity: `d ∈ S_ic` implies `S_id = S_ic`.
+    #[must_use]
+    pub fn is_uniform(&self) -> bool {
+        self.for_all(|agent, _, sample| {
+            sample
+                .iter()
+                .all(|&d| self.assignment.sample(self.sys, agent, d) == *sample)
+        })
+    }
+
+    /// Standardness: state-generated, inclusive, and uniform (the three
+    /// properties Section 6 observes that practical assignments enjoy).
+    #[must_use]
+    pub fn is_standard(&self) -> bool {
+        self.is_state_generated() && self.is_inclusive() && self.is_uniform()
+    }
+
+    fn for_all(&self, mut pred: impl FnMut(AgentId, PointId, &Vec<PointId>) -> bool) -> bool {
+        for agent in (0..self.sys.agent_count()).map(AgentId) {
+            for c in self.sys.points() {
+                let sample = self.sample(agent, c);
+                if !pred(agent, c, &sample) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpa_measure::{rat, MeasureError};
+    use kpa_system::{ProtocolBuilder, TreeId};
+
+    fn intro_system() -> System {
+        ProtocolBuilder::new(["p1", "p2", "p3"])
+            .coin("c", &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))], &["p3"])
+            .build()
+            .unwrap()
+    }
+
+    fn pt(tree: usize, run: usize, time: usize) -> PointId {
+        PointId {
+            tree: TreeId(tree),
+            run,
+            time,
+        }
+    }
+
+    #[test]
+    fn canonical_assignments_are_standard_and_consistent() {
+        let sys = intro_system();
+        for a in [
+            Assignment::post(),
+            Assignment::fut(),
+            Assignment::opp(AgentId(1)),
+            Assignment::opp(AgentId(2)),
+        ] {
+            let p = ProbAssignment::new(&sys, a.clone());
+            assert!(p.satisfies_req1(), "{a:?} fails REQ1");
+            assert!(p.satisfies_req2(), "{a:?} fails REQ2");
+            assert!(p.is_standard(), "{a:?} not standard");
+            assert!(p.is_consistent(), "{a:?} not consistent");
+        }
+        // Prior is standard but NOT consistent (it ignores knowledge).
+        let prior = ProbAssignment::new(&sys, Assignment::prior());
+        assert!(prior.is_standard());
+        assert!(!prior.is_consistent());
+    }
+
+    #[test]
+    fn intro_example_probabilities() {
+        // The introduction's coin: at time 1, heads has posterior 1/2
+        // according to p1, but future probability 0 or 1.
+        let sys = intro_system();
+        let heads = sys.points_satisfying(sys.prop_id("c=h").unwrap());
+        let p1 = AgentId(0);
+        let h1 = pt(0, 0, 1);
+        let t1 = pt(0, 1, 1);
+
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        assert_eq!(post.prob(p1, h1, &heads).unwrap(), rat!(1 / 2));
+        assert_eq!(post.prob(p1, t1, &heads).unwrap(), rat!(1 / 2));
+
+        let fut = ProbAssignment::new(&sys, Assignment::fut());
+        assert_eq!(fut.prob(p1, h1, &heads).unwrap(), Rat::ONE);
+        assert_eq!(fut.prob(p1, t1, &heads).unwrap(), Rat::ZERO);
+
+        // Betting against p3 (who saw the toss) equals fut here.
+        let opp3 = ProbAssignment::new(&sys, Assignment::opp(AgentId(2)));
+        assert_eq!(opp3.prob(p1, h1, &heads).unwrap(), Rat::ONE);
+
+        // Betting against p2 (who knows nothing more) equals post.
+        let opp2 = ProbAssignment::new(&sys, Assignment::opp(AgentId(1)));
+        assert_eq!(opp2.prob(p1, h1, &heads).unwrap(), rat!(1 / 2));
+    }
+
+    #[test]
+    fn req_violations_are_reported() {
+        let sys = intro_system();
+        let empty = ProbAssignment::new(&sys, Assignment::custom("empty", |_, _, _| vec![]));
+        assert!(matches!(
+            empty.space(AgentId(0), pt(0, 0, 0)),
+            Err(AssignError::Req2Violated { .. })
+        ));
+        assert!(!empty.satisfies_req2());
+
+        // A sample spanning trees requires a multi-tree system.
+        let sys2 = ProtocolBuilder::new(["p"])
+            .adversaries(&["a", "b"])
+            .tick()
+            .build()
+            .unwrap();
+        let spanning = ProbAssignment::new(
+            &sys2,
+            Assignment::custom("span", |s, _, c| {
+                let mut v: Vec<PointId> = s.points_at_time(TreeId(0), c.time).collect();
+                v.extend(s.points_at_time(TreeId(1), c.time));
+                v
+            }),
+        );
+        assert!(matches!(
+            spanning.space(AgentId(0), pt(0, 0, 0)),
+            Err(AssignError::Req1Violated { .. })
+        ));
+        assert!(!spanning.satisfies_req1());
+    }
+
+    #[test]
+    fn nonmeasurable_facts_get_intervals() {
+        // Clockless p1 watching two tosses (Section 7's phenomenon). Its
+        // only observation is a content-free "go" when tossing starts, so
+        // after time 0 it cannot tell any of the 8 later points apart.
+        let sys = ProtocolBuilder::new(["p1"])
+            .clockless("p1")
+            .step("c1", |_| {
+                ["h", "t"]
+                    .map(|o| {
+                        kpa_system::Branch::new(rat!(1 / 2))
+                            .observe("p1", "go")
+                            .prop(&format!("c1={o}"))
+                            .transient_prop(&format!("recent:c1={o}"))
+                    })
+                    .to_vec()
+            })
+            .coin("c2", &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))], &[])
+            .build()
+            .unwrap();
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        let p1 = AgentId(0);
+        let c = pt(0, 0, 1);
+        // "most recent toss heads": recent:c1=h at time 1, recent:c2=h at 2.
+        let mut recent: BTreeSet<PointId> =
+            sys.points_satisfying(sys.prop_id("recent:c1=h").unwrap());
+        recent.extend(sys.points_satisfying(sys.prop_id("recent:c2=h").unwrap()));
+        assert!(matches!(
+            post.prob(p1, c, &recent),
+            Err(AssignError::Measure(MeasureError::NonMeasurable))
+        ));
+        // Inner = 1/4 (only the hh run is all-heads), outer = 3/4.
+        assert_eq!(
+            post.interval(p1, c, &recent).unwrap(),
+            (rat!(1 / 4), rat!(3 / 4))
+        );
+    }
+
+    #[test]
+    fn known_interval_is_worst_case_over_knowledge() {
+        let sys = intro_system();
+        let heads = sys.points_satisfying(sys.prop_id("c=h").unwrap());
+        let p1 = AgentId(0);
+        // Under post, p1's interval is [1/2, 1/2] at both time-1 points.
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        assert_eq!(
+            post.known_interval(p1, pt(0, 0, 1), &heads).unwrap(),
+            (rat!(1 / 2), rat!(1 / 2))
+        );
+        // Under fut, the probability is 1 at one possible point and 0 at
+        // the other, so all p1 KNOWS is the vacuous interval [0, 1].
+        let fut = ProbAssignment::new(&sys, Assignment::fut());
+        assert_eq!(
+            fut.known_interval(p1, pt(0, 0, 1), &heads).unwrap(),
+            (Rat::ZERO, Rat::ONE)
+        );
+    }
+
+    #[test]
+    fn spaces_are_cached_per_class() {
+        let sys = intro_system();
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        let p1 = AgentId(0);
+        let a = post.space(p1, pt(0, 0, 1)).unwrap();
+        let b = post.space(p1, pt(0, 1, 1)).unwrap();
+        assert!(Rc::ptr_eq(&a, &b), "uniform classes share one space");
+    }
+
+    #[test]
+    fn accessors() {
+        let sys = intro_system();
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        assert_eq!(post.assignment().name(), "post");
+        assert_eq!(post.system().agent_count(), 3);
+        assert_eq!(post.sample(AgentId(0), pt(0, 0, 1)).len(), 2);
+    }
+}

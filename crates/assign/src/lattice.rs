@@ -1,0 +1,276 @@
+//! The lattice of sample-space assignments (Section 6).
+//!
+//! Standard assignments are ordered by `S ≤ S′ iff S_ic ⊆ S′_ic` for
+//! every agent and point. The paper places the four canonical
+//! assignments as
+//!
+//! ```text
+//! S^fut  ≤  S^j  ≤  S^post  ≤  S^prior
+//! ```
+//!
+//! with `S^post` greatest among *consistent* assignments. Lower in the
+//! lattice means a more powerful opponent. This module implements the
+//! order and the two structure theorems about it:
+//!
+//! * **Proposition 4** — if `S ≤ S′` are standard, each `S′_ic` is
+//!   partitioned by sets of the form `S_id` with `d ∈ S′_ic`;
+//! * **Proposition 5** — in a synchronous system, if `P ≤ P′` are
+//!   consistent and standard, every `μ_ic` is obtained from `μ′_ic` by
+//!   conditioning on `S_ic`.
+
+use crate::error::AssignError;
+use crate::induced::ProbAssignment;
+use kpa_system::{AgentId, PointId};
+use std::collections::BTreeSet;
+
+/// Whether `fine ≤ coarse` in the lattice order: every sample of `fine`
+/// is a subset of the corresponding sample of `coarse`.
+///
+/// Both assignments must be over the same system (callers pair them on
+/// one [`System`](kpa_system::System); comparing assignments of
+/// different systems is meaningless and yields an unspecified answer).
+#[must_use]
+pub fn leq(fine: &ProbAssignment<'_>, coarse: &ProbAssignment<'_>) -> bool {
+    let sys = fine.system();
+    for agent in (0..sys.agent_count()).map(AgentId) {
+        for c in sys.points() {
+            let small = fine.sample(agent, c);
+            let big: BTreeSet<PointId> = coarse.sample(agent, c).into_iter().collect();
+            if !small.iter().all(|d| big.contains(d)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether `fine < coarse`: `leq` and not equal.
+#[must_use]
+pub fn lt(fine: &ProbAssignment<'_>, coarse: &ProbAssignment<'_>) -> bool {
+    leq(fine, coarse) && !leq(coarse, fine)
+}
+
+/// Checks Proposition 4: for standard `fine ≤ coarse`, every coarse
+/// sample `S′_ic` is partitioned by the fine samples `{S_id : d ∈ S′_ic}`.
+///
+/// Returns `true` if the partition property holds at every agent/point.
+#[must_use]
+pub fn refines_by_partition(fine: &ProbAssignment<'_>, coarse: &ProbAssignment<'_>) -> bool {
+    let sys = fine.system();
+    for agent in (0..sys.agent_count()).map(AgentId) {
+        for c in sys.points() {
+            let big = coarse.sample(agent, c);
+            let mut seen: BTreeSet<PointId> = BTreeSet::new();
+            for &d in &big {
+                let cell = fine.sample(agent, d);
+                if seen.contains(&d) {
+                    // d's cell must already be fully absorbed; uniformity
+                    // of `fine` makes re-checking redundant, but verify.
+                    if !cell.iter().all(|e| seen.contains(e)) {
+                        return false;
+                    }
+                    continue;
+                }
+                // A fresh cell must be disjoint from everything seen and
+                // lie inside the coarse sample.
+                let big_set: BTreeSet<PointId> = big.iter().copied().collect();
+                if cell
+                    .iter()
+                    .any(|e| seen.contains(e) || !big_set.contains(e))
+                {
+                    return false;
+                }
+                seen.extend(cell);
+            }
+            if seen.len() != big.len() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks Proposition 5 at one agent/point: with `fine ≤ coarse`
+/// consistent and standard in a synchronous system,
+///
+/// * (a) every measurable subset of the fine space is measurable in the
+///   coarse space (in particular the fine sample itself),
+/// * (b) the coarse measure of the fine sample is positive, and
+/// * (c) `μ_ic(S) = μ′_ic(S | S_ic)` on the atoms of the fine space
+///   (equality on atoms extends to all measurable sets by additivity).
+///
+/// # Errors
+///
+/// Propagates space-construction failures (REQ violations).
+pub fn conditioning_agrees_at(
+    fine: &ProbAssignment<'_>,
+    coarse: &ProbAssignment<'_>,
+    agent: AgentId,
+    c: PointId,
+) -> Result<bool, AssignError> {
+    let fine_space = fine.space(agent, c)?;
+    let coarse_space = coarse.space(agent, c)?;
+    let fine_sample: BTreeSet<PointId> = fine_space.elements().iter().copied().collect();
+
+    // (a) the fine sample is measurable in the coarse space.
+    if !coarse_space.is_measurable(&fine_sample) {
+        return Ok(false);
+    }
+    // (b) with positive measure.
+    let norm = coarse_space.measure(&fine_sample)?;
+    if !norm.is_positive() {
+        return Ok(false);
+    }
+    // (c) agreement via conditioning, atom by atom.
+    for atom in fine_space.atoms() {
+        if !coarse_space.is_measurable(&atom) {
+            return Ok(false);
+        }
+        let lhs = fine_space.measure(&atom)?;
+        let rhs = coarse_space.measure(&atom)? / norm;
+        if lhs != rhs {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Checks Proposition 5 at every agent and point.
+///
+/// # Errors
+///
+/// Propagates space-construction failures (REQ violations).
+pub fn conditioning_agrees(
+    fine: &ProbAssignment<'_>,
+    coarse: &ProbAssignment<'_>,
+) -> Result<bool, AssignError> {
+    let sys = fine.system();
+    for agent in (0..sys.agent_count()).map(AgentId) {
+        for c in sys.points() {
+            if !conditioning_agrees_at(fine, coarse, agent, c)? {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::Assignment;
+    use kpa_measure::rat;
+    use kpa_system::{ProtocolBuilder, System};
+
+    /// A synchronous two-round system with an informed agent p3 and two
+    /// less-informed agents.
+    fn sys() -> System {
+        ProtocolBuilder::new(["p1", "p2", "p3"])
+            .coin("a", &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))], &["p3"])
+            .coin(
+                "b",
+                &[("h", rat!(1 / 3)), ("t", rat!(2 / 3))],
+                &["p2", "p3"],
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn canonical_chain_fut_leq_opp_leq_post_leq_prior() {
+        let s = sys();
+        let fut = ProbAssignment::new(&s, Assignment::fut());
+        let opp3 = ProbAssignment::new(&s, Assignment::opp(AgentId(2)));
+        let post = ProbAssignment::new(&s, Assignment::post());
+        let prior = ProbAssignment::new(&s, Assignment::prior());
+        assert!(leq(&fut, &opp3));
+        assert!(leq(&opp3, &post));
+        assert!(leq(&post, &prior));
+        // Strictness where the opponent genuinely knows more.
+        assert!(lt(&fut, &post));
+        assert!(lt(&opp3, &post));
+        assert!(lt(&post, &prior));
+        // And reflexivity / antisymmetry sanity.
+        assert!(leq(&post, &post));
+        assert!(!lt(&post, &post));
+        assert!(!leq(&post, &opp3));
+    }
+
+    #[test]
+    fn opp_self_equals_post() {
+        let s = sys();
+        let post = ProbAssignment::new(&s, Assignment::post());
+        for i in 0..3 {
+            let oppi = ProbAssignment::new(&s, Assignment::opp(AgentId(i)));
+            // S^i ≤ S^post always; for the agent itself they coincide.
+            assert!(leq(&oppi, &post));
+            if i == 0 {
+                assert!(leq(&post, &oppi), "Tree^i_ic = Tree_ic for i = agent");
+            }
+        }
+    }
+
+    #[test]
+    fn proposition_4_partition() {
+        let s = sys();
+        let fut = ProbAssignment::new(&s, Assignment::fut());
+        let opp3 = ProbAssignment::new(&s, Assignment::opp(AgentId(2)));
+        let post = ProbAssignment::new(&s, Assignment::post());
+        let prior = ProbAssignment::new(&s, Assignment::prior());
+        assert!(refines_by_partition(&fut, &opp3));
+        assert!(refines_by_partition(&opp3, &post));
+        assert!(refines_by_partition(&post, &prior));
+        assert!(refines_by_partition(&fut, &prior));
+    }
+
+    #[test]
+    fn partition_fails_for_overlapping_cells() {
+        let s = sys();
+        // A non-uniform assignment whose "cells" overlap: a window of
+        // the prior slice around the current point.
+        let window = ProbAssignment::new(
+            &s,
+            Assignment::custom("window", |sys, _, c| {
+                sys.points_at_time(c.tree, c.time)
+                    .filter(|p| p.run.abs_diff(c.run) <= 1)
+                    .collect()
+            }),
+        );
+        let prior = ProbAssignment::new(&s, Assignment::prior());
+        assert!(leq(&window, &prior));
+        assert!(!refines_by_partition(&window, &prior));
+    }
+
+    #[test]
+    fn proposition_5_conditioning() {
+        let s = sys();
+        let fut = ProbAssignment::new(&s, Assignment::fut());
+        let opp3 = ProbAssignment::new(&s, Assignment::opp(AgentId(2)));
+        let post = ProbAssignment::new(&s, Assignment::post());
+        assert!(conditioning_agrees(&fut, &opp3).unwrap());
+        assert!(conditioning_agrees(&opp3, &post).unwrap());
+        assert!(conditioning_agrees(&fut, &post).unwrap());
+        // Also against the (inconsistent but standard) prior: the paper
+        // notes every consistent assignment conditions from it in the
+        // synchronous case.
+        let prior = ProbAssignment::new(&s, Assignment::prior());
+        assert!(conditioning_agrees(&post, &prior).unwrap());
+    }
+
+    #[test]
+    fn proposition_5_can_fail_in_asynchronous_systems() {
+        // Section 7's observation: with a clockless agent, S^post samples
+        // mix times, Tree^j_ic need not be measurable in Tree_ic, and the
+        // conditioning identity breaks down.
+        let s = ProtocolBuilder::new(["p1", "p2"])
+            .clockless("p1")
+            .coin("c1", &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))], &[])
+            .coin("c2", &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))], &[])
+            .build()
+            .unwrap();
+        let post = ProbAssignment::new(&s, Assignment::post());
+        let opp2 = ProbAssignment::new(&s, Assignment::opp(AgentId(1)));
+        assert!(leq(&opp2, &post));
+        assert!(!conditioning_agrees(&opp2, &post).unwrap());
+    }
+}

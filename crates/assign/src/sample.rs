@@ -1,0 +1,261 @@
+//! Sample-space assignments: which points an agent's probability space
+//! ranges over.
+//!
+//! Section 5 of the paper reduces the choice of a probability assignment
+//! to the choice of a *sample space assignment* `S(i, c) = S_ic`: once
+//! the sample spaces are fixed, the run distribution induces the
+//! probability spaces by conditioning. Section 6 singles out four
+//! canonical choices, each corresponding to a type-2 adversary (the
+//! knowledge of the opponent offering the bet):
+//!
+//! | paper | here | opponent |
+//! |---|---|---|
+//! | `S^post` (`Tree_ic`) | [`Assignment::post`] | a copy of yourself (Fischer–Zuck) |
+//! | `S^j` (`Tree^j_ic`) | [`Assignment::opp`] | agent `p_j` |
+//! | `S^fut` (`Pref_ic`) | [`Assignment::fut`] | someone who knows the whole past (HMT88, LS82) |
+//! | `S^prior` (`All_ic`) | [`Assignment::prior`] | nobody — simulates the a-priori run distribution |
+
+use kpa_system::{AgentId, PointId, System};
+use std::fmt;
+use std::sync::Arc;
+
+/// The function type of a custom sample-space assignment.
+pub type SampleFn = dyn Fn(&System, AgentId, PointId) -> Vec<PointId> + Send + Sync;
+
+/// A sample-space assignment `S(i, c) = S_ic` (Section 5 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use kpa_measure::rat;
+/// use kpa_system::{AgentId, PointId, ProtocolBuilder, TreeId};
+/// use kpa_assign::Assignment;
+///
+/// // p3 tosses a coin it alone observes (the introduction's example).
+/// let sys = ProtocolBuilder::new(["p1", "p2", "p3"])
+///     .coin("c", &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))], &["p3"])
+///     .build()?;
+/// let c = PointId { tree: TreeId(0), run: 0, time: 1 };
+/// let p1 = AgentId(0);
+///
+/// // After the toss p1 still considers both outcomes possible…
+/// assert_eq!(Assignment::post().sample(&sys, p1, c).len(), 2);
+/// // …but the future assignment pins the past down to the actual state.
+/// assert_eq!(Assignment::fut().sample(&sys, p1, c).len(), 1);
+/// # Ok::<(), kpa_system::SystemError>(())
+/// ```
+#[derive(Clone)]
+pub enum Assignment {
+    /// `S^post`: the points of `c`'s tree the agent considers possible —
+    /// conditioning on everything the agent knows (and the adversary).
+    Post,
+    /// `S^fut`: the points sharing `c`'s global state — the opponent
+    /// knows the entire past, so only the future is uncertain.
+    Fut,
+    /// `S^prior`: all points of `c`'s tree at `c`'s time — ignores
+    /// everything the agent has learned, simulating the run
+    /// distribution. Inconsistent (not contained in `K_i(c)`), but
+    /// useful: it is what "with probability α taken over the runs"
+    /// means pointwise (Sections 6, 8).
+    Prior,
+    /// `S^j`: the points of `c`'s tree that the agent *and* the opponent
+    /// `p_j` both consider possible — their joint knowledge.
+    Opp(AgentId),
+    /// A user-supplied assignment (e.g. the cut-based assignments of
+    /// Section 7, built in `kpa-asynchrony`).
+    Custom {
+        /// Display name for diagnostics.
+        name: String,
+        /// The assignment function.
+        f: Arc<SampleFn>,
+    },
+}
+
+impl Assignment {
+    /// The posterior assignment `S^post` (opponent: a copy of yourself).
+    #[must_use]
+    pub fn post() -> Assignment {
+        Assignment::Post
+    }
+
+    /// The future assignment `S^fut` (opponent: knows the whole past).
+    #[must_use]
+    pub fn fut() -> Assignment {
+        Assignment::Fut
+    }
+
+    /// The prior assignment `S^prior` (simulates the run distribution).
+    #[must_use]
+    pub fn prior() -> Assignment {
+        Assignment::Prior
+    }
+
+    /// The opponent assignment `S^j` (opponent: agent `j`).
+    #[must_use]
+    pub fn opp(j: AgentId) -> Assignment {
+        Assignment::Opp(j)
+    }
+
+    /// A custom assignment from a closure.
+    pub fn custom(
+        name: impl Into<String>,
+        f: impl Fn(&System, AgentId, PointId) -> Vec<PointId> + Send + Sync + 'static,
+    ) -> Assignment {
+        Assignment::Custom {
+            name: name.into(),
+            f: Arc::new(f),
+        }
+    }
+
+    /// A short display name (`post`, `fut`, `prior`, `opp(pⱼ)`, or the
+    /// custom name).
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            Assignment::Post => "post".into(),
+            Assignment::Fut => "fut".into(),
+            Assignment::Prior => "prior".into(),
+            Assignment::Opp(j) => format!("opp({j})"),
+            Assignment::Custom { name, .. } => name.clone(),
+        }
+    }
+
+    /// The sample `S_ic` for agent `i` at point `c`, sorted ascending.
+    ///
+    /// For the canonical assignments this is, respectively: the points
+    /// of `T(c)` with `c`'s local state for `i` (`Post`); the points
+    /// with `c`'s global state (`Fut`); all time-`c.time` points of
+    /// `T(c)` (`Prior`); and the `Post` sample intersected with the
+    /// opponent's (`Opp`).
+    #[must_use]
+    pub fn sample(&self, sys: &System, agent: AgentId, c: PointId) -> Vec<PointId> {
+        let mut out = match self {
+            Assignment::Post => sys
+                .indistinguishable(agent, c)
+                .iter()
+                .copied()
+                .filter(|d| d.tree == c.tree)
+                .collect(),
+            Assignment::Fut => sys.same_state(c),
+            Assignment::Prior => sys.points_at_time(c.tree, c.time).collect(),
+            Assignment::Opp(j) => {
+                let mine: std::collections::BTreeSet<PointId> = sys
+                    .indistinguishable(agent, c)
+                    .iter()
+                    .copied()
+                    .filter(|d| d.tree == c.tree)
+                    .collect();
+                sys.indistinguishable(*j, c)
+                    .iter()
+                    .copied()
+                    .filter(|d| mine.contains(d))
+                    .collect()
+            }
+            Assignment::Custom { f, .. } => f(sys, agent, c),
+        };
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+impl fmt::Debug for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Assignment({})", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpa_measure::rat;
+    use kpa_system::{ProtocolBuilder, TreeId};
+
+    /// p3 tosses a fair coin observed only by itself; p2 also clocked.
+    fn intro_system() -> System {
+        ProtocolBuilder::new(["p1", "p2", "p3"])
+            .coin("c", &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))], &["p3"])
+            .build()
+            .unwrap()
+    }
+
+    fn pt(tree: usize, run: usize, time: usize) -> PointId {
+        PointId {
+            tree: TreeId(tree),
+            run,
+            time,
+        }
+    }
+
+    #[test]
+    fn post_is_knowledge_within_tree() {
+        let sys = intro_system();
+        let p1 = AgentId(0);
+        let sample = Assignment::post().sample(&sys, p1, pt(0, 0, 1));
+        assert_eq!(sample, vec![pt(0, 0, 1), pt(0, 1, 1)]);
+    }
+
+    #[test]
+    fn fut_is_global_state() {
+        let sys = intro_system();
+        let p1 = AgentId(0);
+        // Time-1 states are distinct; time-0 state is shared by both runs.
+        assert_eq!(
+            Assignment::fut().sample(&sys, p1, pt(0, 0, 1)),
+            vec![pt(0, 0, 1)]
+        );
+        assert_eq!(
+            Assignment::fut().sample(&sys, p1, pt(0, 0, 0)),
+            vec![pt(0, 0, 0), pt(0, 1, 0)]
+        );
+    }
+
+    #[test]
+    fn prior_is_whole_time_slice() {
+        let sys = intro_system();
+        let p1 = AgentId(0);
+        assert_eq!(
+            Assignment::prior().sample(&sys, p1, pt(0, 1, 1)),
+            vec![pt(0, 0, 1), pt(0, 1, 1)]
+        );
+    }
+
+    #[test]
+    fn opp_intersects_knowledge() {
+        let sys = intro_system();
+        let p1 = AgentId(0);
+        let p2 = AgentId(1);
+        let p3 = AgentId(2);
+        // Betting against p2 (who knows no more): both outcomes possible.
+        assert_eq!(Assignment::opp(p2).sample(&sys, p1, pt(0, 0, 1)).len(), 2);
+        // Betting against p3 (who saw the coin): outcome pinned down.
+        assert_eq!(
+            Assignment::opp(p3).sample(&sys, p1, pt(0, 0, 1)),
+            vec![pt(0, 0, 1)]
+        );
+        // Betting against yourself is exactly S^post.
+        assert_eq!(
+            Assignment::opp(p1).sample(&sys, p1, pt(0, 0, 1)),
+            Assignment::post().sample(&sys, p1, pt(0, 0, 1))
+        );
+    }
+
+    #[test]
+    fn custom_assignment_and_names() {
+        let sys = intro_system();
+        let a = Assignment::custom("singleton", |_, _, c| vec![c]);
+        assert_eq!(a.sample(&sys, AgentId(0), pt(0, 1, 1)), vec![pt(0, 1, 1)]);
+        assert_eq!(a.name(), "singleton");
+        assert_eq!(Assignment::post().name(), "post");
+        assert_eq!(Assignment::opp(AgentId(2)).name(), "opp(p3)");
+        assert_eq!(format!("{:?}", Assignment::fut()), "Assignment(fut)");
+    }
+
+    #[test]
+    fn samples_are_sorted_and_deduped() {
+        let sys = intro_system();
+        let a = Assignment::custom("dup", |_, _, c| vec![c, c, pt(0, 0, 0)]);
+        let s = a.sample(&sys, AgentId(0), pt(0, 1, 1));
+        assert_eq!(s, vec![pt(0, 0, 0), pt(0, 1, 1)]);
+    }
+}

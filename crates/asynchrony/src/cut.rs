@@ -1,0 +1,194 @@
+//! Cuts: the choices of a type-3 adversary.
+//!
+//! Section 7 of the paper: in an asynchronous system an agent may not
+//! know *when* the fact it is betting on is being tested. The third
+//! type of adversary resolves this by choosing, for every run through
+//! the agent's sample region, the point at which the bet takes place —
+//! a **cut** through the region. (The generalized adversary discussed at
+//! the end of Section 7 may also *skip* runs, giving the agent no chance
+//! to bet there; such partial cuts are permitted by [`Cut`] and used by
+//! the `Partial` cut class.)
+
+use crate::error::AsyncError;
+use kpa_assign::PointSpace;
+use kpa_logic::PointSet;
+use kpa_measure::{BlockSpace, Rat};
+use kpa_system::{PointId, RunId, System};
+use std::collections::BTreeMap;
+
+/// A cut: at most one point per run. A *full* cut of a region touches
+/// every run through the region.
+///
+/// # Examples
+///
+/// ```
+/// use kpa_system::{PointId, TreeId};
+/// use kpa_asynchrony::Cut;
+///
+/// let pts = [
+///     PointId { tree: TreeId(0), run: 0, time: 2 },
+///     PointId { tree: TreeId(0), run: 1, time: 5 },
+/// ];
+/// let cut = Cut::new(pts)?;
+/// assert_eq!(cut.len(), 2);
+/// # Ok::<(), kpa_asynchrony::AsyncError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cut {
+    points: BTreeMap<RunId, PointId>,
+}
+
+impl Cut {
+    /// Builds a cut from points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsyncError::DuplicateRunPoint`] if two points lie on
+    /// the same run, or [`AsyncError::EmptyCut`] if no points are given.
+    pub fn new(points: impl IntoIterator<Item = PointId>) -> Result<Cut, AsyncError> {
+        let mut map = BTreeMap::new();
+        for p in points {
+            if map.insert(p.run_id(), p).is_some() {
+                return Err(AsyncError::DuplicateRunPoint);
+            }
+        }
+        if map.is_empty() {
+            return Err(AsyncError::EmptyCut);
+        }
+        Ok(Cut { points: map })
+    }
+
+    /// The number of runs the cut touches.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the cut is empty (never true for a constructed cut).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The cut's points, in run order.
+    pub fn points(&self) -> impl Iterator<Item = PointId> + '_ {
+        self.points.values().copied()
+    }
+
+    /// The point chosen on a run, if any.
+    #[must_use]
+    pub fn point_on(&self, run: RunId) -> Option<PointId> {
+        self.points.get(&run).copied()
+    }
+
+    /// Whether the cut touches every run through `region`.
+    #[must_use]
+    pub fn is_full_for(&self, region: &[PointId]) -> bool {
+        region.iter().all(|p| self.points.contains_key(&p.run_id()))
+    }
+
+    /// The probability space the cut induces: its points, weighted by
+    /// their runs' probabilities (normalized over the touched runs).
+    /// Because a cut has one point per run, *every* subset is
+    /// measurable — this is how a type-3 adversary dissolves the
+    /// nonmeasurability of asynchronous facts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates space-construction failures.
+    pub fn space(&self, sys: &System) -> Result<PointSpace, AsyncError> {
+        Ok(BlockSpace::new(
+            self.points().map(|p| (p, p.run_id())),
+            |run| sys.run_prob(*run),
+        )?)
+    }
+
+    /// The probability of the fact `phi` under this cut.
+    ///
+    /// # Errors
+    ///
+    /// Propagates space-construction failures.
+    pub fn prob(&self, sys: &System, phi: &PointSet) -> Result<Rat, AsyncError> {
+        Ok(self
+            .space(sys)?
+            .measure(phi)
+            .expect("cut sets are always measurable"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpa_measure::rat;
+    use kpa_system::{ProtocolBuilder, TreeId};
+
+    fn pt(run: usize, time: usize) -> PointId {
+        PointId {
+            tree: TreeId(0),
+            run,
+            time,
+        }
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(matches!(Cut::new([]), Err(AsyncError::EmptyCut)));
+        assert!(matches!(
+            Cut::new([pt(0, 1), pt(0, 2)]),
+            Err(AsyncError::DuplicateRunPoint)
+        ));
+        let cut = Cut::new([pt(0, 1), pt(1, 2)]).unwrap();
+        assert_eq!(cut.len(), 2);
+        assert!(!cut.is_empty());
+        assert_eq!(
+            cut.point_on(RunId {
+                tree: TreeId(0),
+                index: 0
+            }),
+            Some(pt(0, 1))
+        );
+        assert_eq!(
+            cut.point_on(RunId {
+                tree: TreeId(0),
+                index: 7
+            }),
+            None
+        );
+    }
+
+    #[test]
+    fn cut_probabilities_are_always_measurable() {
+        // Two fair tosses; "most recent toss heads" is nonmeasurable for
+        // a clockless observer, but any cut makes it measurable.
+        let sys = ProtocolBuilder::new(["p"])
+            .clockless("p")
+            .coin("c1", &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))], &[])
+            .coin("c2", &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))], &[])
+            .build()
+            .unwrap();
+        let mut recent = sys.points_satisfying(sys.prop_id("recent:c1=h").unwrap());
+        recent.extend(sys.points_satisfying(sys.prop_id("recent:c2=h").unwrap()));
+
+        // The horizontal time-1 cut: probability of heads = 1/2.
+        let t1 = Cut::new((0..4).map(|r| pt(r, 1))).unwrap();
+        assert_eq!(t1.prob(&sys, &recent).unwrap(), rat!(1 / 2));
+        // The adversarial cut picking tails points wherever possible:
+        // only the hh run contributes. (Runs in branch order: hh ht th tt;
+        // pick time 2 on ht (recent=t), time 1 on th (recent=t).)
+        let bad = Cut::new([pt(0, 1), pt(1, 2), pt(2, 1), pt(3, 1)]).unwrap();
+        assert_eq!(bad.prob(&sys, &recent).unwrap(), rat!(1 / 4));
+        // The favourable cut: heads wherever possible.
+        let good = Cut::new([pt(0, 1), pt(1, 1), pt(2, 2), pt(3, 1)]).unwrap();
+        assert_eq!(good.prob(&sys, &recent).unwrap(), rat!(3 / 4));
+    }
+
+    #[test]
+    fn fullness_and_iteration() {
+        let region = vec![pt(0, 1), pt(0, 2), pt(1, 1)];
+        let full = Cut::new([pt(0, 2), pt(1, 1)]).unwrap();
+        assert!(full.is_full_for(&region));
+        let partial = Cut::new([pt(0, 1)]).unwrap();
+        assert!(!partial.is_full_for(&region));
+        assert_eq!(full.points().count(), 2);
+    }
+}

@@ -1,0 +1,86 @@
+//! Error types for type-3 adversaries.
+
+use kpa_assign::AssignError;
+use std::fmt;
+
+/// Errors arising when constructing cuts or quantifying over cut classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsyncError {
+    /// A cut may contain at most one point per run.
+    DuplicateRunPoint,
+    /// A cut (or a cut-induced sample) must be nonempty.
+    EmptyCut,
+    /// The cut class admits no cut of the given region (e.g. no single
+    /// time slices the whole region horizontally).
+    NoValidCut,
+    /// Exact enumeration would be too large; reduce the region or use a
+    /// class with closed-form bounds.
+    TooLarge {
+        /// The number of global states in the region.
+        nodes: usize,
+        /// The enumeration limit that was exceeded.
+        limit: usize,
+    },
+    /// Building a probability space failed.
+    Assign(AssignError),
+}
+
+impl fmt::Display for AsyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsyncError::DuplicateRunPoint => {
+                write!(f, "cut contains two points on the same run")
+            }
+            AsyncError::EmptyCut => write!(f, "cut is empty"),
+            AsyncError::NoValidCut => write!(f, "cut class admits no cut of this region"),
+            AsyncError::TooLarge { nodes, limit } => write!(
+                f,
+                "region has {nodes} global states, exceeding the enumeration limit {limit}"
+            ),
+            AsyncError::Assign(e) => write!(f, "assignment error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsyncError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AsyncError::Assign(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AssignError> for AsyncError {
+    fn from(e: AssignError) -> AsyncError {
+        AsyncError::Assign(e)
+    }
+}
+
+impl From<kpa_measure::MeasureError> for AsyncError {
+    fn from(e: kpa_measure::MeasureError) -> AsyncError {
+        AsyncError::Assign(AssignError::Measure(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        assert!(AsyncError::DuplicateRunPoint
+            .to_string()
+            .contains("same run"));
+        let e = AsyncError::TooLarge {
+            nodes: 40,
+            limit: 20,
+        };
+        assert!(e.to_string().contains("40"));
+        assert!(e.source().is_none());
+        let e: AsyncError = kpa_measure::MeasureError::NonMeasurable.into();
+        assert!(e.source().is_some());
+    }
+}

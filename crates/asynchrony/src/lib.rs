@@ -1,0 +1,55 @@
+//! # kpa-asynchrony — type-3 adversaries
+//!
+//! Section 7 of Halpern & Tuttle, *"Knowledge, Probability, and
+//! Adversaries"* (JACM 40(4), 1993): in asynchronous systems an agent
+//! may not know *when* the fact it is betting on is tested, so a third
+//! type of adversary chooses the stopping points — a **cut** through
+//! the agent's sample region.
+//!
+//! * [`Cut`] — at most one point per run, with its induced (always
+//!   fully measurable) probability space;
+//! * [`CutClass`] — the classes of type-3 adversaries: arbitrary cuts
+//!   (`pts`), global-state cuts (`state`, Fischer–Zuck), horizontal
+//!   (clock-forced) cuts, bounded windows (partial synchrony), and the
+//!   run-skipping generalized adversary;
+//! * [`pts_interval`] / [`prop10_holds`] — the Proposition 10
+//!   machinery: quantifying over arbitrary cuts recovers exactly the
+//!   inner/outer interval of `P^post`.
+//!
+//! # Examples
+//!
+//! ```
+//! use kpa_measure::rat;
+//! use kpa_system::{PointId, ProtocolBuilder, TreeId};
+//! use kpa_asynchrony::Cut;
+//!
+//! // A clockless observer of two fair tosses: a cut picks the moment
+//! // at which "the most recent toss landed heads" is evaluated.
+//! let sys = ProtocolBuilder::new(["p"])
+//!     .clockless("p")
+//!     .coin("c1", &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))], &[])
+//!     .coin("c2", &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))], &[])
+//!     .build()?;
+//! let mut recent = sys.points_satisfying(sys.prop_id("recent:c1=h").unwrap());
+//! recent.extend(sys.points_satisfying(sys.prop_id("recent:c2=h").unwrap()));
+//!
+//! // The horizontal time-1 cut gives probability 1/2.
+//! let t1 = Cut::new((0..4).map(|run| PointId { tree: TreeId(0), run, time: 1 }))?;
+//! assert_eq!(t1.prob(&sys, &recent)?, rat!(1 / 2));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classes;
+mod cut;
+mod error;
+mod prop10;
+mod slice;
+
+pub use classes::CutClass;
+pub use cut::Cut;
+pub use error::AsyncError;
+pub use prop10::{class_interval, prop10_holds, pts_interval, region_for};
+pub use slice::slice_assignment;

@@ -1,0 +1,128 @@
+//! The time-slice assignment `S²` of Section 7.
+//!
+//! When the clockless agent `p1` reasons "whatever the current time `k`
+//! is, the probability that the `k`-th toss landed heads is 1/2", it is
+//! implicitly using the assignment that associates with `(r, k)` the
+//! *time-`k`* points of the tree that it considers possible — which the
+//! paper notes "is precisely the assignment `S²`" (the one induced by
+//! betting against a clock-bearing opponent). Equivalently, it is the
+//! assignment whose type-3 adversary is restricted to horizontal cuts.
+
+use kpa_assign::Assignment;
+
+/// The assignment mapping `(i, c)` to `Tree_ic ∩ {points at c's time}`.
+///
+/// In a synchronous system this coincides with `S^post`; in an
+/// asynchronous one it is a strict refinement under which per-time
+/// facts like "the most recent toss landed heads" become measurable.
+///
+/// # Examples
+///
+/// A clockless observer of two fair tosses: under `S^post` the fact
+/// "the most recent toss landed heads" is nonmeasurable, but under the
+/// slice assignment it is measurable with probability exactly 1/2 —
+/// the paper's "other line of reasoning".
+///
+/// ```
+/// use kpa_measure::rat;
+/// use kpa_system::{AgentId, PointId, ProtocolBuilder, TreeId};
+/// use kpa_assign::ProbAssignment;
+/// use kpa_asynchrony::slice_assignment;
+///
+/// let sys = ProtocolBuilder::new(["p1", "p2"])
+///     .clockless("p1")
+///     .coin("c1", &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))], &[])
+///     .coin("c2", &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))], &[])
+///     .build()?;
+/// let slice = ProbAssignment::new(&sys, slice_assignment());
+/// let recent = sys.points_satisfying(sys.prop_id("recent:c2=h").unwrap());
+/// let c = PointId { tree: TreeId(0), run: 0, time: 2 };
+/// assert_eq!(slice.prob(AgentId(0), c, &recent)?, rat!(1 / 2));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn slice_assignment() -> Assignment {
+    Assignment::custom("slice", |sys, agent, c| {
+        sys.indistinguishable(agent, c)
+            .iter()
+            .copied()
+            .filter(|d| d.tree == c.tree && d.time == c.time)
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpa_assign::{lattice, ProbAssignment};
+    use kpa_measure::rat;
+    use kpa_system::{AgentId, PointId, ProtocolBuilder, TreeId};
+
+    fn tosses(n: usize) -> kpa_system::System {
+        let mut b = ProtocolBuilder::new(["p1", "p2"]).clockless("p1");
+        for k in 0..n {
+            let name = format!("c{k}");
+            b = b.step(&name.clone(), move |_| {
+                ["h", "t"]
+                    .map(|o| {
+                        let br = kpa_system::Branch::new(rat!(1 / 2))
+                            .transient_prop(&format!("recent={o}"));
+                        if k == 0 {
+                            br.observe("p1", "go")
+                        } else {
+                            br
+                        }
+                    })
+                    .to_vec()
+            });
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn slice_makes_recent_heads_measurable_at_one_half() {
+        let sys = tosses(4);
+        let recent = sys.points_satisfying(sys.prop_id("recent=h").unwrap());
+        let slice = ProbAssignment::new(&sys, slice_assignment());
+        let p1 = AgentId(0);
+        for time in 1..=4 {
+            let c = PointId {
+                tree: TreeId(0),
+                run: 0,
+                time,
+            };
+            assert_eq!(
+                slice.prob(p1, c, &recent).unwrap(),
+                rat!(1 / 2),
+                "time {time}"
+            );
+        }
+    }
+
+    #[test]
+    fn slice_refines_post() {
+        let sys = tosses(3);
+        let slice = ProbAssignment::new(&sys, slice_assignment());
+        let post = ProbAssignment::new(&sys, kpa_assign::Assignment::post());
+        assert!(lattice::leq(&slice, &post));
+        assert!(slice.satisfies_req1() && slice.satisfies_req2());
+        assert!(slice.is_consistent());
+        assert!(slice.is_state_generated());
+        assert!(slice.is_inclusive());
+        // In this asynchronous system the slice samples partition the
+        // post samples (Proposition 4 applies).
+        assert!(lattice::refines_by_partition(&slice, &post));
+    }
+
+    #[test]
+    fn slice_equals_post_in_synchronous_systems() {
+        let sys = ProtocolBuilder::new(["a", "b"])
+            .coin("c", &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))], &["a"])
+            .build()
+            .unwrap();
+        assert!(sys.is_synchronous());
+        let slice = ProbAssignment::new(&sys, slice_assignment());
+        let post = ProbAssignment::new(&sys, kpa_assign::Assignment::post());
+        assert!(lattice::leq(&slice, &post) && lattice::leq(&post, &slice));
+    }
+}

@@ -1,0 +1,27 @@
+//! Prints the full E1–E16 paper-vs-measured table.
+
+fn main() {
+    let rows = kpa_bench::all_experiments();
+    let mut current = "";
+    let mut mismatches = 0usize;
+    println!("Halpern & Tuttle, \"Knowledge, Probability, and Adversaries\" (JACM 1993)");
+    println!("experiment reproduction: paper value vs measured value\n");
+    for row in &rows {
+        if row.experiment != current {
+            current = row.experiment;
+            println!();
+        }
+        println!("{row}");
+        if !row.matches {
+            mismatches += 1;
+        }
+    }
+    println!(
+        "\n{} quantities reproduced, {} mismatch(es)",
+        rows.len(),
+        mismatches
+    );
+    if mismatches > 0 {
+        std::process::exit(1);
+    }
+}

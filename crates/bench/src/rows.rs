@@ -1,0 +1,70 @@
+//! Experiment result rows: paper value vs. measured value.
+
+use std::fmt;
+
+/// One reproduced quantity: what the paper states vs. what this
+/// implementation measures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// Experiment id (`E1`…`E16`, see `DESIGN.md` §6).
+    pub experiment: &'static str,
+    /// The quantity being reproduced.
+    pub quantity: String,
+    /// The paper's value, verbatim (exact rationals where it gives them).
+    pub paper: String,
+    /// The value this implementation computes.
+    pub measured: String,
+    /// Whether they agree exactly.
+    pub matches: bool,
+}
+
+impl Row {
+    /// Builds a row, computing `matches` by string equality.
+    #[must_use]
+    pub fn new(
+        experiment: &'static str,
+        quantity: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+    ) -> Row {
+        let paper = paper.into();
+        let measured = measured.into();
+        let matches = paper == measured;
+        Row {
+            experiment,
+            quantity: quantity.into(),
+            paper,
+            measured,
+            matches,
+        }
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<4} {:<58} paper: {:<22} measured: {:<22} {}",
+            self.experiment,
+            self.quantity,
+            self.paper,
+            self.measured,
+            if self.matches { "ok" } else { "MISMATCH" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_compare_and_render() {
+        let ok = Row::new("E1", "Pr(heads | bit=0)", "1/2", "1/2");
+        assert!(ok.matches);
+        assert!(ok.to_string().contains("ok"));
+        let bad = Row::new("E1", "Pr(heads | bit=1)", "2/3", "1/2");
+        assert!(!bad.matches);
+        assert!(bad.to_string().contains("MISMATCH"));
+    }
+}

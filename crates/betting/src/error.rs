@@ -1,0 +1,81 @@
+//! Error types for the betting game.
+
+use kpa_assign::AssignError;
+use std::fmt;
+
+/// Errors arising while evaluating bets and strategies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BettingError {
+    /// A bet threshold `α` must satisfy `0 < α ≤ 1` (the payoff offered
+    /// is `1/α`).
+    BadThreshold {
+        /// The offending threshold, displayed as a string to avoid
+        /// committing to a numeric representation.
+        alpha: String,
+    },
+    /// The opponent's offer is not constant on the given sample space,
+    /// so the single-offer (inner-)expectation formula does not apply.
+    NonConstantOffer,
+    /// The winnings random variable is not measurable on the space and
+    /// no inner-expectation fallback was requested.
+    NonMeasurableWinnings,
+    /// Building a probability space failed (REQ violations).
+    Assign(AssignError),
+}
+
+impl fmt::Display for BettingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BettingError::BadThreshold { alpha } => {
+                write!(f, "bet threshold {alpha} is not in (0, 1]")
+            }
+            BettingError::NonConstantOffer => {
+                write!(f, "opponent offer varies over the sample space")
+            }
+            BettingError::NonMeasurableWinnings => {
+                write!(f, "winnings are not measurable; use the inner expectation")
+            }
+            BettingError::Assign(e) => write!(f, "assignment error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BettingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BettingError::Assign(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AssignError> for BettingError {
+    fn from(e: AssignError) -> BettingError {
+        BettingError::Assign(e)
+    }
+}
+
+impl From<kpa_measure::MeasureError> for BettingError {
+    fn from(e: kpa_measure::MeasureError) -> BettingError {
+        BettingError::Assign(AssignError::Measure(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = BettingError::BadThreshold {
+            alpha: "3/2".into(),
+        };
+        assert!(e.to_string().contains("3/2"));
+        assert!(e.source().is_none());
+        let e: BettingError = kpa_measure::MeasureError::NonMeasurable.into();
+        assert!(e.source().is_some());
+        assert!(!BettingError::NonConstantOffer.to_string().is_empty());
+    }
+}

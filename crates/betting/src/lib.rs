@@ -1,0 +1,60 @@
+//! # kpa-betting — the betting game and safe bets
+//!
+//! The operational core of Halpern & Tuttle, *"Knowledge, Probability,
+//! and Adversaries"* (JACM 40(4), 1993, Section 6 and Appendix B.2):
+//! probability assignments are justified by the bets they license
+//! against a type-2 adversary (the opponent `p_j`).
+//!
+//! * [`Strategy`] — the opponent's offers as a function of its local
+//!   state;
+//! * [`BetRule`] — the bettor's threshold rule `Bet(φ, α)`;
+//! * [`expected_winnings`] / [`inner_expected_winnings`] — exact and
+//!   inner (Appendix B.2) expectations of the winnings;
+//! * [`BettingGame`] — safety (`Tree^j`- and `Tree`-flavored), the
+//!   `K_i^α` points under `P^j`, the Theorem 7 biconditional, the
+//!   money-extracting strategy from the proof, and Proposition 6;
+//! * [`simulate_average_winnings`] — Monte-Carlo cross-check that the
+//!   analytic verdicts describe the game actually being played.
+//!
+//! # Examples
+//!
+//! Theorem 7 in one picture: against an opponent with your own
+//! knowledge, betting on a fair coin at even odds is safe; against one
+//! who saw the coin, it is not.
+//!
+//! ```
+//! use kpa_measure::rat;
+//! use kpa_system::{AgentId, PointId, ProtocolBuilder, TreeId};
+//! use kpa_betting::{BetRule, BettingGame};
+//!
+//! let sys = ProtocolBuilder::new(["i", "peer", "spy"])
+//!     .coin("c", &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))], &["spy"])
+//!     .build()?;
+//! let heads = sys.points_satisfying(sys.prop_id("c=h").unwrap());
+//! let rule = BetRule::new(heads, rat!(1 / 2))?;
+//! let c = PointId { tree: TreeId(0), run: 0, time: 1 };
+//! let i = AgentId(0);
+//!
+//! let vs_peer = BettingGame::new(&sys, i, AgentId(1));
+//! assert!(vs_peer.is_safe_at(c, &rule)?);
+//! let vs_spy = BettingGame::new(&sys, i, AgentId(2));
+//! assert!(!vs_spy.is_safe_at(c, &rule)?);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod game;
+mod rational;
+mod safety;
+mod sim;
+mod strategy;
+
+pub use error::BettingError;
+pub use game::{expected_winnings, expected_winnings_bounds, inner_expected_winnings, BetRule};
+pub use rational::is_rational_strategy;
+pub use safety::BettingGame;
+pub use sim::simulate_average_winnings;
+pub use strategy::Strategy;

@@ -1,0 +1,261 @@
+//! Betting against *rational* opponents (the extension proposed in the
+//! paper's conclusion, Section 9).
+//!
+//! Theorems 7–8 assume nothing about the opponent's strategy beyond its
+//! being a function of `p_j`'s local state — `p_j` may happily offer
+//! bets it expects to lose. The conclusion suggests studying opponents
+//! that are "trying to maximize [their] payoff and not simply trying to
+//! break even": restricting to such strategies "might decrease the
+//! minimum payoff `p_i` is willing to accept".
+//!
+//! This module makes that precise. Call a strategy *rational* if at
+//! every local state where it makes an offer the bettor would accept,
+//! the opponent's own expected profit is nonnegative: it pays out `β`
+//! when `φ` holds and collects the 1-dollar stake, so it requires
+//! `1 − β · μ_j(φ) ≥ 0`, where `μ_j` is `p_j`'s *own* posterior (its
+//! `Tree_jd` space; inner measure, which yields the largest — hence
+//! most adversarial — rational class). `Bet(φ, α)` is *safe against
+//! rational opponents* at `c` if no rational strategy has negative
+//! expected winnings for the bettor at any `d ~i c`.
+//!
+//! The analytic characterization implemented here: the bet is unsafe
+//! against rationals at `d` iff the joint-knowledge probability dips
+//! below the threshold **and** the opponent's own posterior does not
+//! exceed it —
+//!
+//! ```text
+//! μ^j_id(φ) < α   and   μ_j,d(φ) ≤ α.
+//! ```
+//!
+//! When `p_i` holds *private* information making `φ` unlikely while
+//! `p_j`'s information makes `φ` likely, a dangerous offer would lose
+//! money in expectation *by `p_j`'s own lights*, so no rational `p_j`
+//! makes it — and bets that Theorem 7 brands unsafe become safe. The
+//! tests construct exactly that separation.
+
+use crate::error::BettingError;
+use crate::game::BetRule;
+use crate::safety::BettingGame;
+use crate::strategy::Strategy;
+use kpa_assign::{Assignment, ProbAssignment};
+use kpa_measure::Rat;
+use kpa_system::{AgentId, PointId, System};
+
+/// Whether `strategy` is rational for the opponent with respect to
+/// `rule`: at every point where its offer would be accepted, the
+/// opponent's expected profit under its own posterior is nonnegative.
+///
+/// # Errors
+///
+/// Propagates space-construction failures.
+pub fn is_rational_strategy(
+    sys: &System,
+    opponent: AgentId,
+    rule: &BetRule,
+    strategy: &Strategy,
+) -> Result<bool, BettingError> {
+    let opp_post = ProbAssignment::new(sys, Assignment::post());
+    for sym in sys.local_states(opponent) {
+        let Some(beta) = strategy.offer_for(sym) else {
+            continue;
+        };
+        if !rule.accepts(Some(beta)) {
+            continue;
+        }
+        // Representative point with this local state; uniformity of the
+        // posterior assignment makes any representative equivalent.
+        let d = sys.points_with_local(opponent, sym)[0];
+        let mu = opp_post.inner(opponent, d, rule.phi())?;
+        // Expected profit: 1 − β·μ. Negative ⇒ irrational offer.
+        if Rat::ONE - beta * mu < Rat::ZERO {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+impl BettingGame<'_> {
+    /// Whether `rule` breaks even for the bettor at `d` against every
+    /// *rational* strategy (see the module docs for the
+    /// characterization).
+    ///
+    /// # Errors
+    ///
+    /// Propagates space-construction failures.
+    pub fn breaks_even_against_rational_at(
+        &self,
+        d: PointId,
+        rule: &BetRule,
+    ) -> Result<bool, BettingError> {
+        let joint = self.opp_assignment().space(self.bettor(), d)?;
+        let cell = joint.inner_measure(rule.phi());
+        if cell >= rule.alpha() {
+            return Ok(true);
+        }
+        // The cell loses at the threshold offer; is that offer rational
+        // for the opponent at its state in d?
+        let opp_post = ProbAssignment::new(self.system(), Assignment::post());
+        let mu_j = opp_post.inner(self.opponent(), d, rule.phi())?;
+        // A rational accepted offer needs β ≥ 1/α and β·μ_j ≤ 1, i.e.
+        // μ_j ≤ α. If μ_j exceeds α, no rational opponent offers.
+        Ok(mu_j > rule.alpha())
+    }
+
+    /// Whether `rule` is safe for the bettor at `c` against every
+    /// rational strategy: it breaks even at every `d ~i c`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates space-construction failures.
+    pub fn is_safe_against_rational_at(
+        &self,
+        c: PointId,
+        rule: &BetRule,
+    ) -> Result<bool, BettingError> {
+        for &d in self.system().indistinguishable(self.bettor(), c) {
+            if !self.breaks_even_against_rational_at(d, rule)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// If the bet is unsafe even against rational opponents at `c`,
+    /// returns a witnessing *rational* money-extracting strategy and
+    /// the point where it wins.
+    ///
+    /// # Errors
+    ///
+    /// Propagates space-construction failures.
+    pub fn rational_losing_strategy_at(
+        &self,
+        c: PointId,
+        rule: &BetRule,
+    ) -> Result<Option<(Strategy, PointId)>, BettingError> {
+        for &d in self.system().indistinguishable(self.bettor(), c) {
+            if !self.breaks_even_against_rational_at(d, rule)? {
+                let strategy = Strategy::silent()
+                    .with_offer(self.system().local(self.opponent(), d), rule.min_payoff());
+                debug_assert!(is_rational_strategy(
+                    self.system(),
+                    self.opponent(),
+                    rule,
+                    &strategy
+                )?);
+                return Ok(Some((strategy, d)));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpa_logic::PointSet;
+    use kpa_measure::rat;
+    use kpa_system::{ProtocolBuilder, TreeId};
+
+    fn pt(run: usize, time: usize) -> PointId {
+        PointId {
+            tree: TreeId(0),
+            run,
+            time,
+        }
+    }
+
+    /// A biased coin (3/4 heads) that only the BETTOR gets to see; the
+    /// opponent knows just the prior. φ = heads.
+    fn private_signal_system() -> System {
+        ProtocolBuilder::new(["i", "j"])
+            .coin("x", &[("h", rat!(3 / 4)), ("t", rat!(1 / 4))], &["i"])
+            .build()
+            .unwrap()
+    }
+
+    fn heads(sys: &System) -> PointSet {
+        sys.points_satisfying(sys.prop_id("x=h").unwrap())
+    }
+
+    #[test]
+    fn rationality_strictly_enlarges_the_safe_set() {
+        // The module-docs separation: at the tails point, the joint
+        // probability of heads is 0 < 1/2, so Theorem 7 brands the bet
+        // unsafe — but p_j's own posterior is 3/4 > 1/2, so a rational
+        // p_j never offers payoff 2, and the bet is rational-safe.
+        let sys = private_signal_system();
+        let game = BettingGame::new(&sys, AgentId(0), AgentId(1));
+        let rule = BetRule::new(heads(&sys), rat!(1 / 2)).unwrap();
+        let tails = pt(1, 1);
+        assert!(!game.is_safe_at(tails, &rule).unwrap());
+        assert!(game.is_safe_against_rational_at(tails, &rule).unwrap());
+        assert!(game
+            .rational_losing_strategy_at(tails, &rule)
+            .unwrap()
+            .is_none());
+        // The arbitrary-opponent extractor exists but is irrational.
+        let (extractor, _) = game.losing_strategy_at(tails, &rule).unwrap().unwrap();
+        assert!(!is_rational_strategy(&sys, AgentId(1), &rule, &extractor).unwrap());
+    }
+
+    #[test]
+    fn safety_implies_rational_safety() {
+        // Against rational opponents the safe set can only grow.
+        let sys = ProtocolBuilder::new(["i", "j"])
+            .coin("x", &[("h", rat!(1 / 3)), ("t", rat!(2 / 3))], &["j"])
+            .coin("y", &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))], &["i"])
+            .build()
+            .unwrap();
+        let phi = sys.points_satisfying(sys.prop_id("x=h").unwrap());
+        let game = BettingGame::new(&sys, AgentId(0), AgentId(1));
+        for alpha in [rat!(1 / 4), rat!(1 / 3), rat!(1 / 2), Rat::ONE] {
+            let rule = BetRule::new(phi.clone(), alpha).unwrap();
+            for c in sys.points() {
+                if game.is_safe_at(c, &rule).unwrap() {
+                    assert!(
+                        game.is_safe_against_rational_at(c, &rule).unwrap(),
+                        "rational safety must contain safety (α={alpha}, {c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn informed_rational_opponents_still_extract() {
+        // When the OPPONENT holds the private information (the paper's
+        // running example), its extracting strategy is perfectly
+        // rational: it offers only where it knows φ fails.
+        let sys = ProtocolBuilder::new(["i", "j"])
+            .coin("x", &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))], &["j"])
+            .build()
+            .unwrap();
+        let phi = sys.points_satisfying(sys.prop_id("x=h").unwrap());
+        let game = BettingGame::new(&sys, AgentId(0), AgentId(1));
+        let rule = BetRule::new(phi, rat!(1 / 2)).unwrap();
+        let c = pt(0, 1);
+        assert!(!game.is_safe_at(c, &rule).unwrap());
+        assert!(!game.is_safe_against_rational_at(c, &rule).unwrap());
+        let (strategy, witness) = game.rational_losing_strategy_at(c, &rule).unwrap().unwrap();
+        assert_eq!(witness, pt(1, 1));
+        assert!(is_rational_strategy(&sys, AgentId(1), &rule, &strategy).unwrap());
+    }
+
+    #[test]
+    fn constant_fair_offers_are_rational() {
+        let sys = private_signal_system();
+        let rule = BetRule::new(heads(&sys), rat!(3 / 4)).unwrap();
+        // Payoff 4/3 on a 3/4-likely fact: expected profit 0 for p_j.
+        let fair = Strategy::constant(rat!(4 / 3));
+        assert!(is_rational_strategy(&sys, AgentId(1), &rule, &fair).unwrap());
+        // Payoff 2 on the same fact: p_j expects to lose; irrational.
+        let generous = Strategy::constant(rat!(2));
+        let rule2 = BetRule::new(heads(&sys), rat!(1 / 2)).unwrap();
+        assert!(!is_rational_strategy(&sys, AgentId(1), &rule2, &generous).unwrap());
+        // Unaccepted offers don't count against rationality.
+        let low = Strategy::constant(rat!(1 / 2));
+        assert!(is_rational_strategy(&sys, AgentId(1), &rule2, &low).unwrap());
+        // Silence is trivially rational.
+        assert!(is_rational_strategy(&sys, AgentId(1), &rule2, &Strategy::silent()).unwrap());
+    }
+}

@@ -1,0 +1,148 @@
+//! Monte-Carlo simulation of the betting game.
+//!
+//! An independent cross-check of the analytic expectations in
+//! [`game`](crate::game): actually *play* the game many times — sample a
+//! run according to the space's run weights, place the bet at the
+//! sampled point, settle it — and average the winnings. Property tests
+//! use this to confirm that the analytic verdicts (Theorem 7's safety
+//! decisions) describe the game that is really being played.
+
+use crate::game::BetRule;
+use crate::strategy::Strategy;
+use kpa_assign::PointSpace;
+use kpa_system::{AgentId, PointId, System};
+use rand::Rng;
+
+/// Plays the betting game `trials` times over `space` and returns the
+/// average winnings of following `rule` against `strategy`.
+///
+/// Each trial samples a run with probability proportional to its weight
+/// in the space. If the space contains several points of the sampled
+/// run (possible in asynchronous systems, where a type-3 adversary
+/// would choose among them), one is chosen uniformly at random — i.e.
+/// this simulates a *neutral* type-3 adversary; the analytic inner
+/// expectation is a lower bound for it.
+///
+/// # Panics
+///
+/// Panics if `trials` is zero.
+pub fn simulate_average_winnings(
+    rng: &mut impl Rng,
+    sys: &System,
+    opponent: AgentId,
+    space: &PointSpace,
+    rule: &BetRule,
+    strategy: &Strategy,
+    trials: u32,
+) -> f64 {
+    assert!(trials > 0, "at least one trial is required");
+    // Group sample elements by run and accumulate weights.
+    let mut runs: Vec<(Vec<PointId>, f64)> = Vec::new();
+    let mut index: std::collections::BTreeMap<kpa_system::RunId, usize> =
+        std::collections::BTreeMap::new();
+    for &p in space.elements() {
+        let run = p.run_id();
+        let slot = *index.entry(run).or_insert_with(|| {
+            runs.push((Vec::new(), sys.run_prob(run).to_f64()));
+            runs.len() - 1
+        });
+        runs[slot].0.push(p);
+    }
+    let total: f64 = runs.iter().map(|(_, w)| *w).sum();
+
+    let mut sum = 0.0;
+    for _ in 0..trials {
+        // Sample a run by weight.
+        let mut x = rng.gen_range(0.0..total);
+        let mut chosen = runs.len() - 1;
+        for (k, (_, w)) in runs.iter().enumerate() {
+            if x < *w {
+                chosen = k;
+                break;
+            }
+            x -= w;
+        }
+        let points = &runs[chosen].0;
+        let point = points[rng.gen_range(0..points.len())];
+        let offer = strategy.offer_at(sys, opponent, point);
+        sum += rule.winnings_at(offer, point).to_f64();
+    }
+    sum / f64::from(trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::expected_winnings;
+    use kpa_assign::{Assignment, ProbAssignment};
+    use kpa_measure::rat;
+    use kpa_system::{ProtocolBuilder, TreeId};
+    use rand::SeedableRng;
+
+    #[test]
+    fn simulation_matches_analytic_expectation() {
+        let sys = ProtocolBuilder::new(["i", "j"])
+            .coin("c", &[("h", rat!(1 / 3)), ("t", rat!(2 / 3))], &["j"])
+            .build()
+            .unwrap();
+        let i = sys.agent_id("i").unwrap();
+        let j = sys.agent_id("j").unwrap();
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        let c = PointId {
+            tree: TreeId(0),
+            run: 0,
+            time: 1,
+        };
+        let space = post.space(i, c).unwrap();
+        let heads = sys.points_satisfying(sys.prop_id("c=h").unwrap());
+        let rule = BetRule::new(heads, rat!(1 / 3)).unwrap();
+
+        // Opponent offers payoff 3 only when it saw tails (treacherous).
+        let tails_sym = sys.local(
+            j,
+            PointId {
+                tree: TreeId(0),
+                run: 1,
+                time: 1,
+            },
+        );
+        let strategy = Strategy::silent().with_offer(tails_sym, rat!(3));
+        let exact = expected_winnings(&space, &sys, j, &rule, &strategy)
+            .unwrap()
+            .to_f64();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let sim = simulate_average_winnings(&mut rng, &sys, j, &space, &rule, &strategy, 40_000);
+        assert!(
+            (sim - exact).abs() < 0.05,
+            "simulated {sim} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let sys = ProtocolBuilder::new(["i"]).tick().build().unwrap();
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        let space = post
+            .space(
+                AgentId(0),
+                PointId {
+                    tree: TreeId(0),
+                    run: 0,
+                    time: 0,
+                },
+            )
+            .unwrap();
+        let rule = BetRule::new([].into(), rat!(1 / 2)).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let _ = simulate_average_winnings(
+            &mut rng,
+            &sys,
+            AgentId(0),
+            &space,
+            &rule,
+            &Strategy::silent(),
+            0,
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Opponent strategies for the betting game.
+//!
+//! Section 6: "we assume only that `p_j`'s strategy for offering bets
+//! depends only on its local state" — a [`Strategy`] is a function from
+//! the opponent's local states to optional payoff offers. (Offering no
+//! bet is modeled as `None`; the paper writes it as an `∞` payoff that
+//! the bettor can only break even on.)
+
+use kpa_measure::Rat;
+use kpa_system::{AgentId, PointId, Sym, System};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// A strategy for the opponent `p_j`: what payoff (if any) it offers for
+/// a bet on `φ`, as a function of its own local state.
+///
+/// # Examples
+///
+/// ```
+/// use kpa_measure::rat;
+/// use kpa_betting::Strategy;
+///
+/// // Always offer a payoff of 2 (fair for a 1/2-probability fact).
+/// let s = Strategy::constant(rat!(2));
+/// assert_eq!(s.default_offer(), Some(rat!(2)));
+/// assert!(Strategy::silent().default_offer().is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Strategy {
+    offers: BTreeMap<Sym, Rat>,
+    default: Option<Rat>,
+}
+
+impl Strategy {
+    /// The strategy that never offers a bet.
+    #[must_use]
+    pub fn silent() -> Strategy {
+        Strategy {
+            offers: BTreeMap::new(),
+            default: None,
+        }
+    }
+
+    /// The strategy offering the same payoff in every local state.
+    #[must_use]
+    pub fn constant(payoff: Rat) -> Strategy {
+        Strategy {
+            offers: BTreeMap::new(),
+            default: Some(payoff),
+        }
+    }
+
+    /// Sets the payoff offered when the opponent's local state is `sym`
+    /// (builder-style).
+    #[must_use]
+    pub fn with_offer(mut self, sym: Sym, payoff: Rat) -> Strategy {
+        self.offers.insert(sym, payoff);
+        self
+    }
+
+    /// Sets the payoff offered in all states without an explicit entry.
+    #[must_use]
+    pub fn with_default(mut self, payoff: Option<Rat>) -> Strategy {
+        self.default = payoff;
+        self
+    }
+
+    /// The fallback offer for unlisted local states.
+    #[must_use]
+    pub fn default_offer(&self) -> Option<Rat> {
+        self.default
+    }
+
+    /// The payoff offered when the opponent's local state is `sym`.
+    #[must_use]
+    pub fn offer_for(&self, sym: Sym) -> Option<Rat> {
+        self.offers.get(&sym).copied().or(self.default)
+    }
+
+    /// The payoff the opponent offers at a point (it sees only its own
+    /// local state there).
+    #[must_use]
+    pub fn offer_at(&self, sys: &System, opponent: AgentId, point: PointId) -> Option<Rat> {
+        self.offer_for(sys.local(opponent, point))
+    }
+
+    /// A random strategy: each of the opponent's local states
+    /// independently gets no offer (probability 1/3) or a payoff drawn
+    /// from `grid`. Used to cross-check the analytic safety verdicts by
+    /// simulation.
+    pub fn random(rng: &mut impl Rng, sys: &System, opponent: AgentId, grid: &[Rat]) -> Strategy {
+        assert!(!grid.is_empty(), "payoff grid must be nonempty");
+        let mut offers = BTreeMap::new();
+        for sym in sys.local_states(opponent) {
+            if rng.gen_range(0..3) > 0 {
+                offers.insert(sym, grid[rng.gen_range(0..grid.len())]);
+            }
+        }
+        Strategy {
+            offers,
+            default: None,
+        }
+    }
+}
+
+impl Default for Strategy {
+    fn default() -> Strategy {
+        Strategy::silent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpa_measure::rat;
+    use kpa_system::{ProtocolBuilder, TreeId};
+
+    #[test]
+    fn offers_resolve_with_default() {
+        let sys = ProtocolBuilder::new(["i", "j"])
+            .coin("c", &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))], &["j"])
+            .build()
+            .unwrap();
+        let j = sys.agent_id("j").unwrap();
+        let h1 = PointId {
+            tree: TreeId(0),
+            run: 0,
+            time: 1,
+        };
+        let t1 = PointId {
+            tree: TreeId(0),
+            run: 1,
+            time: 1,
+        };
+        let sym_h = sys.local(j, h1);
+
+        let s = Strategy::silent().with_offer(sym_h, rat!(2));
+        assert_eq!(s.offer_at(&sys, j, h1), Some(rat!(2)));
+        assert_eq!(s.offer_at(&sys, j, t1), None);
+
+        let s = s.with_default(Some(rat!(3)));
+        assert_eq!(s.offer_at(&sys, j, t1), Some(rat!(3)));
+        assert_eq!(
+            s.offer_at(&sys, j, h1),
+            Some(rat!(2)),
+            "explicit beats default"
+        );
+
+        assert_eq!(Strategy::constant(rat!(2)).offer_for(sym_h), Some(rat!(2)));
+        assert_eq!(Strategy::default(), Strategy::silent());
+    }
+
+    #[test]
+    fn random_strategies_only_use_grid_values() {
+        let sys = ProtocolBuilder::new(["i", "j"])
+            .coin("c", &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))], &["j"])
+            .build()
+            .unwrap();
+        let j = sys.agent_id("j").unwrap();
+        let grid = [rat!(2), rat!(3)];
+        let mut rng = rand::thread_rng();
+        for _ in 0..20 {
+            let s = Strategy::random(&mut rng, &sys, j, &grid);
+            for sym in sys.local_states(j) {
+                if let Some(offer) = s.offer_for(sym) {
+                    assert!(grid.contains(&offer));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Error types for formula evaluation.
+
+use kpa_assign::AssignError;
+use std::fmt;
+
+/// Errors arising while model-checking a formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LogicError {
+    /// A primitive proposition is not registered in the system.
+    UnknownProp {
+        /// The unresolved proposition name.
+        name: String,
+    },
+    /// A probability operator named a group with no agents.
+    EmptyGroup,
+    /// Building or querying a probability space failed.
+    Assign(AssignError),
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::UnknownProp { name } => write!(f, "unknown proposition {name:?}"),
+            LogicError::EmptyGroup => write!(f, "group operator applied to an empty group"),
+            LogicError::Assign(e) => write!(f, "assignment error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LogicError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LogicError::Assign(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AssignError> for LogicError {
+    fn from(e: AssignError) -> LogicError {
+        LogicError::Assign(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = LogicError::UnknownProp {
+            name: "heads".into(),
+        };
+        assert!(e.to_string().contains("heads"));
+        assert!(e.source().is_none());
+        let e = LogicError::EmptyGroup;
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,445 @@
+//! The language `L(Φ)` of knowledge, probability, and time.
+//!
+//! Section 5 of the paper: `L(Φ)` closes a set of primitive propositions
+//! under the boolean connectives, the knowledge operators `Kᵢ`,
+//! probability formulas `Prᵢ(φ) ≥ α`, and the linear-time operators
+//! *next* and *until*. Derived operators include `Kᵢ^α` ("knows with
+//! probability at least α"), the interval form `Kᵢ^{[α,β]}`, *eventually*
+//! `◇`, *henceforth* `□`, and — for Section 8 — `E_G`, `C_G`, and their
+//! probabilistic variants `E_G^α`, `C_G^α` (greatest fixed points).
+
+use kpa_measure::Rat;
+use kpa_system::AgentId;
+use std::fmt;
+
+/// A formula of `L(Φ)`.
+///
+/// Primitive variants mirror the paper's grammar; everything else —
+/// implication, `Kᵢ^α`, intervals, `◇`/`□`, `E_G` — is provided as
+/// derived constructors. Build formulas with the constructor methods:
+///
+/// ```
+/// use kpa_logic::Formula;
+/// use kpa_measure::rat;
+///
+/// // K₁^{0.99}(coordinated): agent 1 knows coordination has
+/// // probability at least .99.
+/// let f = Formula::prop("coordinated").k_alpha(kpa_system::AgentId(0), rat!(99 / 100));
+/// assert_eq!(f.to_string(), "K{p1}(Pr{p1}(coordinated) >= 99/100)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Formula {
+    /// The constant true.
+    True,
+    /// A primitive proposition — a fact about the global state.
+    Prop(String),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Finite conjunction.
+    And(Vec<Formula>),
+    /// Finite disjunction.
+    Or(Vec<Formula>),
+    /// `Kᵢ φ`: agent `i` knows `φ` (Section 2 semantics).
+    Knows(AgentId, Box<Formula>),
+    /// `Prᵢ(φ) ≥ α`, interpreted by *inner measure* when `φ` is
+    /// nonmeasurable (Section 5).
+    PrGe(AgentId, Rat, Box<Formula>),
+    /// `◯φ`: `φ` holds at the next point of the run. False at the
+    /// horizon (finite-trace semantics; see `kpa-logic` crate docs).
+    Next(Box<Formula>),
+    /// `φ U ψ`: `ψ` eventually holds (within the horizon) and `φ` holds
+    /// until then.
+    Until(Box<Formula>, Box<Formula>),
+    /// `C_G φ`: common knowledge — the greatest fixed point of
+    /// `X ≡ E_G(φ ∧ X)` (Section 8).
+    Common(Vec<AgentId>, Box<Formula>),
+    /// `C_G^α φ`: probabilistic common knowledge — the greatest fixed
+    /// point of `X ≡ E_G^α(φ ∧ X)` (Section 8, citing FH88).
+    CommonGe(Vec<AgentId>, Rat, Box<Formula>),
+}
+
+impl Formula {
+    /// The constant false (`¬true`).
+    #[must_use]
+    pub fn falsum() -> Formula {
+        Formula::Not(Box::new(Formula::True))
+    }
+
+    /// A primitive proposition by name.
+    #[must_use]
+    pub fn prop(name: impl Into<String>) -> Formula {
+        Formula::Prop(name.into())
+    }
+
+    /// Negation `¬self`.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// Conjunction of any number of formulas.
+    #[must_use]
+    pub fn and(parts: impl IntoIterator<Item = Formula>) -> Formula {
+        Formula::And(parts.into_iter().collect())
+    }
+
+    /// Disjunction of any number of formulas.
+    #[must_use]
+    pub fn or(parts: impl IntoIterator<Item = Formula>) -> Formula {
+        Formula::Or(parts.into_iter().collect())
+    }
+
+    /// Implication `self → other`.
+    #[must_use]
+    pub fn implies(self, other: Formula) -> Formula {
+        Formula::Or(vec![self.not(), other])
+    }
+
+    /// Biconditional `self ↔ other`.
+    #[must_use]
+    pub fn iff(self, other: Formula) -> Formula {
+        Formula::And(vec![
+            self.clone().implies(other.clone()),
+            other.implies(self),
+        ])
+    }
+
+    /// `Kᵢ self`.
+    #[must_use]
+    pub fn known_by(self, agent: AgentId) -> Formula {
+        Formula::Knows(agent, Box::new(self))
+    }
+
+    /// `Prᵢ(self) ≥ α` (inner-measure semantics).
+    #[must_use]
+    pub fn pr_ge(self, agent: AgentId, alpha: Rat) -> Formula {
+        Formula::PrGe(agent, alpha, Box::new(self))
+    }
+
+    /// `Prᵢ(self) ≤ β`, i.e. `Prᵢ(¬self) ≥ 1 − β` (outer-measure
+    /// semantics for the upper bound, per Section 6's `Kᵢ^{[α,β]}`).
+    #[must_use]
+    pub fn pr_le(self, agent: AgentId, beta: Rat) -> Formula {
+        Formula::PrGe(agent, Rat::ONE - beta, Box::new(self.not()))
+    }
+
+    /// `Kᵢ^α self` — `Kᵢ(Prᵢ(self) ≥ α)` (Section 5).
+    #[must_use]
+    pub fn k_alpha(self, agent: AgentId, alpha: Rat) -> Formula {
+        self.pr_ge(agent, alpha).known_by(agent)
+    }
+
+    /// `Kᵢ^{[α,β]} self` — `Kᵢ(Prᵢ(self) ≥ α ∧ Prᵢ(¬self) ≥ 1 − β)`
+    /// (Section 6): the agent knows the probability of `self` lies in
+    /// `[α, β]` (inner ≥ α, outer ≤ β).
+    #[must_use]
+    pub fn k_interval(self, agent: AgentId, alpha: Rat, beta: Rat) -> Formula {
+        Formula::Knows(
+            agent,
+            Box::new(Formula::And(vec![
+                self.clone().pr_ge(agent, alpha),
+                self.not().pr_ge(agent, Rat::ONE - beta),
+            ])),
+        )
+    }
+
+    /// `◯ self`.
+    #[must_use]
+    pub fn next(self) -> Formula {
+        Formula::Next(Box::new(self))
+    }
+
+    /// `self U other`.
+    #[must_use]
+    pub fn until(self, other: Formula) -> Formula {
+        Formula::Until(Box::new(self), Box::new(other))
+    }
+
+    /// `◇ self` — `true U self`.
+    #[must_use]
+    pub fn eventually(self) -> Formula {
+        Formula::True.until(self)
+    }
+
+    /// `□ self` — `¬◇¬self`.
+    #[must_use]
+    pub fn always(self) -> Formula {
+        self.not().eventually().not()
+    }
+
+    /// `E_G self` — everyone in `G` knows `self` (a conjunction of
+    /// `Kᵢ self`; Section 8).
+    #[must_use]
+    pub fn everyone(self, group: impl IntoIterator<Item = AgentId>) -> Formula {
+        Formula::And(
+            group
+                .into_iter()
+                .map(|i| self.clone().known_by(i))
+                .collect(),
+        )
+    }
+
+    /// `E_G^α self` — `∧_{i∈G} Kᵢ^α self` (Section 8).
+    #[must_use]
+    pub fn everyone_alpha(self, group: impl IntoIterator<Item = AgentId>, alpha: Rat) -> Formula {
+        Formula::And(
+            group
+                .into_iter()
+                .map(|i| self.clone().k_alpha(i, alpha))
+                .collect(),
+        )
+    }
+
+    /// `C_G self` — common knowledge among `G`.
+    #[must_use]
+    pub fn common(self, group: impl IntoIterator<Item = AgentId>) -> Formula {
+        Formula::Common(group.into_iter().collect(), Box::new(self))
+    }
+
+    /// `C_G^α self` — probabilistic common knowledge among `G`.
+    #[must_use]
+    pub fn common_alpha(self, group: impl IntoIterator<Item = AgentId>, alpha: Rat) -> Formula {
+        Formula::CommonGe(group.into_iter().collect(), alpha, Box::new(self))
+    }
+
+    /// The set of primitive propositions mentioned anywhere in the
+    /// formula.
+    #[must_use]
+    pub fn props(&self) -> std::collections::BTreeSet<&str> {
+        let mut out = std::collections::BTreeSet::new();
+        self.visit(&mut |f| {
+            if let Formula::Prop(p) = f {
+                out.insert(p.as_str());
+            }
+        });
+        out
+    }
+
+    /// The set of agents mentioned by knowledge, probability, or group
+    /// operators anywhere in the formula.
+    #[must_use]
+    pub fn agents(&self) -> std::collections::BTreeSet<AgentId> {
+        let mut out = std::collections::BTreeSet::new();
+        self.visit(&mut |f| match f {
+            Formula::Knows(i, _) | Formula::PrGe(i, _, _) => {
+                out.insert(*i);
+            }
+            Formula::Common(g, _) | Formula::CommonGe(g, _, _) => {
+                out.extend(g.iter().copied());
+            }
+            _ => {}
+        });
+        out
+    }
+
+    /// The number of operators and atoms in the formula.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// Applies `f` to every subformula, parents before children.
+    fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Formula)) {
+        f(self);
+        match self {
+            Formula::True | Formula::Prop(_) => {}
+            Formula::Not(x) | Formula::Next(x) => x.visit(f),
+            Formula::And(xs) | Formula::Or(xs) => {
+                for x in xs {
+                    x.visit(f);
+                }
+            }
+            Formula::Knows(_, x)
+            | Formula::PrGe(_, _, x)
+            | Formula::Common(_, x)
+            | Formula::CommonGe(_, _, x) => x.visit(f),
+            Formula::Until(x, y) => {
+                x.visit(f);
+                y.visit(f);
+            }
+        }
+    }
+}
+
+fn fmt_group(group: &[AgentId]) -> String {
+    group
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Whether a proposition name can be displayed bare (and re-parsed by
+/// [`parse_formula`](crate::parse_formula)) without quoting.
+fn bare_prop(name: &str) -> bool {
+    !name.is_empty()
+        && !matches!(name, "true" | "false" | "X" | "U" | "K" | "C" | "E" | "Pr")
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || "_=:.+-".contains(c))
+        && !name.contains("->")
+}
+
+impl fmt::Display for Formula {
+    /// Renders in the concrete syntax accepted by
+    /// [`parse_formula`](crate::parse_formula): `parse(f.to_string())`
+    /// recovers `f` (up to the documented normalizations of empty and
+    /// singleton conjunctions).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::Prop(p) if bare_prop(p) => write!(f, "{p}"),
+            Formula::Prop(p) => write!(f, "\"{p}\""),
+            Formula::Not(x) => write!(f, "!({x})"),
+            Formula::And(xs) if xs.is_empty() => write!(f, "true"),
+            Formula::And(xs) => {
+                write!(f, "(")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(xs) if xs.is_empty() => write!(f, "false"),
+            Formula::Or(xs) => {
+                write!(f, "(")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Knows(i, x) => write!(f, "K{{{i}}}({x})"),
+            Formula::PrGe(i, a, x) => write!(f, "Pr{{{i}}}({x}) >= {a}"),
+            Formula::Next(x) => write!(f, "X({x})"),
+            Formula::Until(x, y) => write!(f, "({x} U {y})"),
+            Formula::Common(g, x) => write!(f, "C{{{}}}({x})", fmt_group(g)),
+            Formula::CommonGe(g, a, x) => write!(f, "C{{{}}}^{a}({x})", fmt_group(g)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpa_measure::rat;
+
+    #[test]
+    fn constructors_build_expected_shapes() {
+        let p = Formula::prop("heads");
+        assert_eq!(p.clone().not(), Formula::Not(Box::new(p.clone())));
+        assert!(matches!(
+            Formula::and([p.clone(), Formula::True]),
+            Formula::And(_)
+        ));
+        assert!(matches!(p.clone().implies(Formula::True), Formula::Or(_)));
+        assert!(matches!(p.clone().eventually(), Formula::Until(_, _)));
+        assert!(matches!(p.clone().always(), Formula::Not(_)));
+        assert!(matches!(Formula::falsum(), Formula::Not(_)));
+        assert!(matches!(p.clone().iff(Formula::True), Formula::And(_)));
+        assert!(matches!(p.clone().next(), Formula::Next(_)));
+    }
+
+    #[test]
+    fn derived_probability_operators() {
+        let a = AgentId(0);
+        let p = Formula::prop("heads");
+        // K^α is K(Pr >= α).
+        let k = p.clone().k_alpha(a, rat!(1 / 2));
+        assert!(matches!(&k, Formula::Knows(_, inner) if matches!(**inner, Formula::PrGe(..))));
+        // Pr <= β is Pr(¬φ) >= 1−β.
+        let le = p.clone().pr_le(a, rat!(3 / 4));
+        assert!(matches!(&le, Formula::PrGe(_, alpha, _) if *alpha == rat!(1 / 4)));
+        // Intervals conjoin both bounds under a K.
+        let iv = p.clone().k_interval(a, rat!(1 / 4), rat!(3 / 4));
+        assert!(matches!(&iv, Formula::Knows(_, inner) if matches!(**inner, Formula::And(_))));
+    }
+
+    #[test]
+    fn group_operators() {
+        let g = [AgentId(0), AgentId(1)];
+        let p = Formula::prop("attack");
+        let e = p.clone().everyone(g);
+        assert!(matches!(&e, Formula::And(xs) if xs.len() == 2));
+        let ea = p.clone().everyone_alpha(g, rat!(99 / 100));
+        assert!(matches!(&ea, Formula::And(xs) if xs.len() == 2));
+        assert!(matches!(p.clone().common(g), Formula::Common(..)));
+        assert!(matches!(
+            p.common_alpha(g, rat!(1 / 2)),
+            Formula::CommonGe(..)
+        ));
+    }
+
+    #[test]
+    fn display_forms() {
+        let a = AgentId(0);
+        let p = Formula::prop("heads");
+        assert_eq!(p.clone().known_by(a).to_string(), "K{p1}(heads)");
+        assert_eq!(
+            p.clone().pr_ge(a, rat!(1 / 2)).to_string(),
+            "Pr{p1}(heads) >= 1/2"
+        );
+        assert_eq!(
+            Formula::and([p.clone(), Formula::True]).to_string(),
+            "(heads & true)"
+        );
+        assert_eq!(
+            Formula::or([p.clone(), Formula::True]).to_string(),
+            "(heads | true)"
+        );
+        assert_eq!(p.clone().next().to_string(), "X(heads)");
+        assert_eq!(Formula::True.until(p.clone()).to_string(), "(true U heads)");
+        assert_eq!(
+            p.clone().common([a, AgentId(1)]).to_string(),
+            "C{p1,p2}(heads)"
+        );
+        assert_eq!(
+            p.clone().common_alpha([a], rat!(1 / 2)).to_string(),
+            "C{p1}^1/2(heads)"
+        );
+        // Degenerate and quoted cases.
+        assert_eq!(Formula::And(vec![]).to_string(), "true");
+        assert_eq!(Formula::Or(vec![]).to_string(), "false");
+        assert_eq!(Formula::prop("has space").to_string(), "\"has space\"");
+        assert_eq!(Formula::prop("true").to_string(), "\"true\"");
+        drop(p);
+    }
+
+    #[test]
+    fn structural_queries() {
+        let g = [AgentId(0), AgentId(2)];
+        let f = Formula::and([
+            Formula::prop("a").known_by(AgentId(1)),
+            Formula::prop("b")
+                .until(Formula::prop("a"))
+                .common_alpha(g, rat!(1 / 2)),
+        ]);
+        assert_eq!(f.props(), ["a", "b"].into_iter().collect());
+        assert_eq!(
+            f.agents(),
+            [AgentId(0), AgentId(1), AgentId(2)].into_iter().collect()
+        );
+        // And(2) + Knows + prop + CommonGe + Until + 2 props = 7 nodes.
+        assert_eq!(f.size(), 7);
+        assert_eq!(Formula::True.size(), 1);
+        assert!(Formula::True.props().is_empty());
+        assert!(Formula::True.agents().is_empty());
+    }
+
+    #[test]
+    fn formulas_hash_and_compare() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Formula::prop("x").known_by(AgentId(0)));
+        set.insert(Formula::prop("x").known_by(AgentId(0)));
+        set.insert(Formula::prop("x").known_by(AgentId(1)));
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,591 @@
+//! A concrete syntax for `L(Φ)` formulas.
+//!
+//! The grammar (loosest binding first):
+//!
+//! ```text
+//! formula := imp ( "<->" imp )*
+//! imp     := until ( "->" imp )?                       (right associative)
+//! until   := or ( "U" until )?                         (right associative)
+//! or      := and ( "|" and )*
+//! and     := unary ( "&" unary )*
+//! unary   := "!" unary
+//!          | "X" unary | "<>" unary | "[]" unary
+//!          | "K{" agent "}" modifier? unary
+//!          | "C{" agents "}" modifier? unary
+//!          | "E{" agents "}" modifier? unary
+//!          | atom
+//! modifier := "^" rational | "^[" rational "," rational "]"
+//! atom    := "true" | "false" | "(" formula ")"
+//!          | "Pr{" agent "}" "(" formula ")" (">=" | "<=") rational
+//!          | prop | '"' any-characters '"'
+//! ```
+//!
+//! `K{i}^a φ` abbreviates `K{i}(Pr{i}(φ) >= a)` (the paper's `Kᵢ^α`),
+//! `K{i}^[a,b] φ` the interval form `Kᵢ^{[α,β]}`, and `E{..}` the
+//! everyone-knows conjunction. Bare proposition names may contain
+//! letters, digits, and `_ = : . + -` (so protocol props like `c=h`,
+//! `recent:c1=h`, or `A-attacks` need no quoting); anything else can be
+//! written in double quotes. [`Formula`]'s `Display` emits this syntax,
+//! so `parse(f.to_string())` round-trips.
+//!
+//! Agent names are resolved by a caller-supplied resolver;
+//! [`parse_in`] resolves against a [`System`]'s agent roster and also
+//! accepts the canonical `p<k>` names that `Display` produces.
+
+use crate::formula::Formula;
+use kpa_measure::Rat;
+use kpa_system::{AgentId, System};
+use std::fmt;
+
+/// Error produced when parsing a formula fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFormulaError {
+    /// Byte offset of the error in the input.
+    pub position: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseFormulaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseFormulaError {}
+
+struct Parser<'a, R> {
+    input: &'a str,
+    pos: usize,
+    resolve: R,
+}
+
+impl<'a, R: Fn(&str) -> Option<AgentId>> Parser<'a, R> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseFormulaError> {
+        Err(ParseFormulaError {
+            position: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        while self.rest().starts_with(|c: char| c.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    /// Consumes `tok` if it is next (after whitespace).
+    fn eat(&mut self, tok: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(tok) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &str) -> Result<(), ParseFormulaError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            self.err(format!("expected {tok:?}"))
+        }
+    }
+
+    fn is_ident_char(c: char) -> bool {
+        c.is_ascii_alphanumeric() || "_=:.+-".contains(c)
+    }
+
+    /// A bare identifier: proposition or agent name. `-` is excluded
+    /// when it would start an `->` arrow.
+    fn ident(&mut self) -> Result<&'a str, ParseFormulaError> {
+        self.skip_ws();
+        let start = self.pos;
+        let bytes = self.input.as_bytes();
+        while self.pos < self.input.len() {
+            let c = bytes[self.pos] as char;
+            if !Self::is_ident_char(c) {
+                break;
+            }
+            if c == '-' && bytes.get(self.pos + 1) == Some(&b'>') {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected an identifier");
+        }
+        Ok(&self.input[start..self.pos])
+    }
+
+    /// A keyword followed by a non-identifier character (so that a
+    /// proposition named `Xylophone` is not read as `X` + `ylophone`).
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        if let Some(rest) = self.rest().strip_prefix(kw) {
+            if !rest.starts_with(Self::is_ident_char) {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn rational(&mut self) -> Result<Rat, ParseFormulaError> {
+        self.skip_ws();
+        let start = self.pos;
+        let bytes = self.input.as_bytes();
+        if bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self
+            .rest()
+            .starts_with(|c: char| c.is_ascii_digit() || c == '/' || c == '.')
+        {
+            self.pos += 1;
+        }
+        let text = &self.input[start..self.pos];
+        match text.parse::<Rat>() {
+            Ok(r) => Ok(r),
+            Err(_) => {
+                self.pos = start;
+                self.err(format!("expected a rational, found {text:?}"))
+            }
+        }
+    }
+
+    fn agent(&mut self, name: &str) -> Result<AgentId, ParseFormulaError> {
+        match (self.resolve)(name) {
+            Some(id) => Ok(id),
+            None => self.err(format!("unknown agent {name:?}")),
+        }
+    }
+
+    /// `{a}` or `{a,b,…}` after an operator letter.
+    fn agent_list(&mut self) -> Result<Vec<AgentId>, ParseFormulaError> {
+        self.expect("{")?;
+        let mut out = Vec::new();
+        loop {
+            let name = self.ident()?;
+            out.push(self.agent(name)?);
+            if !self.eat(",") {
+                break;
+            }
+        }
+        self.expect("}")?;
+        Ok(out)
+    }
+
+    /// Optional `^a` or `^[a,b]` after `K{..}` / `C{..}` / `E{..}`.
+    fn modifier(&mut self) -> Result<Option<(Rat, Option<Rat>)>, ParseFormulaError> {
+        if !self.eat("^") {
+            return Ok(None);
+        }
+        if self.eat("[") {
+            let lo = self.rational()?;
+            self.expect(",")?;
+            let hi = self.rational()?;
+            self.expect("]")?;
+            Ok(Some((lo, Some(hi))))
+        } else {
+            Ok(Some((self.rational()?, None)))
+        }
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseFormulaError> {
+        let mut acc = self.imp()?;
+        while self.eat("<->") {
+            let rhs = self.imp()?;
+            acc = acc.iff(rhs);
+        }
+        Ok(acc)
+    }
+
+    fn imp(&mut self) -> Result<Formula, ParseFormulaError> {
+        let lhs = self.until()?;
+        if self.eat("->") {
+            let rhs = self.imp()?;
+            Ok(lhs.implies(rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn until(&mut self) -> Result<Formula, ParseFormulaError> {
+        let lhs = self.or()?;
+        if self.eat_keyword("U") {
+            let rhs = self.until()?;
+            Ok(lhs.until(rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or(&mut self) -> Result<Formula, ParseFormulaError> {
+        let first = self.and()?;
+        let mut parts = vec![first];
+        while self.eat("|") {
+            parts.push(self.and()?);
+        }
+        if parts.len() == 1 {
+            Ok(parts.pop().expect("one element"))
+        } else {
+            Ok(Formula::Or(parts))
+        }
+    }
+
+    fn and(&mut self) -> Result<Formula, ParseFormulaError> {
+        let first = self.unary()?;
+        let mut parts = vec![first];
+        while self.eat("&") {
+            parts.push(self.unary()?);
+        }
+        if parts.len() == 1 {
+            Ok(parts.pop().expect("one element"))
+        } else {
+            Ok(Formula::And(parts))
+        }
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseFormulaError> {
+        self.skip_ws();
+        if self.eat("!") {
+            return Ok(self.unary()?.not());
+        }
+        if self.eat("<>") {
+            return Ok(self.unary()?.eventually());
+        }
+        if self.eat("[]") {
+            return Ok(self.unary()?.always());
+        }
+        if self.eat_keyword("X") {
+            return Ok(self.unary()?.next());
+        }
+        if self.rest().starts_with("K{") {
+            self.pos += 1;
+            let agents = self.agent_list()?;
+            let agent = *agents.first().expect("agent_list is nonempty");
+            if agents.len() != 1 {
+                return self.err("K takes exactly one agent; use C or E for groups");
+            }
+            return match self.modifier()? {
+                None => Ok(self.unary()?.known_by(agent)),
+                Some((alpha, None)) => Ok(self.unary()?.k_alpha(agent, alpha)),
+                Some((alpha, Some(beta))) => Ok(self.unary()?.k_interval(agent, alpha, beta)),
+            };
+        }
+        if self.rest().starts_with("C{") {
+            self.pos += 1;
+            let agents = self.agent_list()?;
+            return match self.modifier()? {
+                None => Ok(self.unary()?.common(agents)),
+                Some((alpha, None)) => Ok(self.unary()?.common_alpha(agents, alpha)),
+                Some(_) => self.err("C supports ^a but not ^[a,b]"),
+            };
+        }
+        if self.rest().starts_with("E{") {
+            self.pos += 1;
+            let agents = self.agent_list()?;
+            return match self.modifier()? {
+                None => Ok(self.unary()?.everyone(agents)),
+                Some((alpha, None)) => Ok(self.unary()?.everyone_alpha(agents, alpha)),
+                Some(_) => self.err("E supports ^a but not ^[a,b]"),
+            };
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Formula, ParseFormulaError> {
+        self.skip_ws();
+        if self.rest().starts_with("Pr{") {
+            self.pos += 2;
+            let agents = self.agent_list()?;
+            let agent = *agents.first().expect("agent_list is nonempty");
+            if agents.len() != 1 {
+                return self.err("Pr takes exactly one agent");
+            }
+            self.expect("(")?;
+            let inner = self.formula()?;
+            self.expect(")")?;
+            self.skip_ws();
+            if self.eat(">=") {
+                let alpha = self.rational()?;
+                return Ok(inner.pr_ge(agent, alpha));
+            }
+            if self.eat("<=") {
+                let beta = self.rational()?;
+                return Ok(inner.pr_le(agent, beta));
+            }
+            return self.err("expected >= or <= after Pr{..}(..)");
+        }
+        if self.eat_keyword("true") {
+            return Ok(Formula::True);
+        }
+        if self.eat_keyword("false") {
+            return Ok(Formula::falsum());
+        }
+        if self.eat("(") {
+            let inner = self.formula()?;
+            self.expect(")")?;
+            return Ok(inner);
+        }
+        if self.eat("\"") {
+            let start = self.pos;
+            match self.rest().find('"') {
+                Some(end) => {
+                    let name = &self.input[start..start + end];
+                    self.pos = start + end + 1;
+                    return Ok(Formula::prop(name));
+                }
+                None => return self.err("unterminated quoted proposition"),
+            }
+        }
+        let name = self.ident()?;
+        Ok(Formula::prop(name))
+    }
+}
+
+/// Parses a formula, resolving agent names with `resolve`.
+///
+/// # Errors
+///
+/// Returns [`ParseFormulaError`] with the failing byte offset for
+/// malformed input or unknown agents.
+///
+/// # Examples
+///
+/// ```
+/// use kpa_logic::{parse_formula, Formula};
+/// use kpa_measure::rat;
+/// use kpa_system::AgentId;
+///
+/// let resolve = |name: &str| (name == "A").then_some(AgentId(0));
+/// let f = parse_formula("K{A}^0.99 <>coordinated", &resolve)?;
+/// assert_eq!(
+///     f,
+///     Formula::prop("coordinated").eventually().k_alpha(AgentId(0), rat!(99 / 100))
+/// );
+/// # Ok::<(), kpa_logic::ParseFormulaError>(())
+/// ```
+pub fn parse_formula(
+    input: &str,
+    resolve: impl Fn(&str) -> Option<AgentId>,
+) -> Result<Formula, ParseFormulaError> {
+    let mut p = Parser {
+        input,
+        pos: 0,
+        resolve,
+    };
+    let f = p.formula()?;
+    p.skip_ws();
+    if p.pos != input.len() {
+        return p.err("trailing input");
+    }
+    Ok(f)
+}
+
+/// Parses a formula against a system's agent roster. Both the system's
+/// real agent names and the canonical `p<k>` names that
+/// [`Formula`]'s `Display` emits are accepted.
+///
+/// # Errors
+///
+/// As [`parse_formula`].
+pub fn parse_in(input: &str, sys: &System) -> Result<Formula, ParseFormulaError> {
+    parse_formula(input, |name| {
+        sys.agent_id(name).or_else(|| {
+            let k: usize = name.strip_prefix('p')?.parse().ok()?;
+            (1..=sys.agent_count()).contains(&k).then(|| AgentId(k - 1))
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpa_measure::rat;
+
+    fn resolve(name: &str) -> Option<AgentId> {
+        match name {
+            "A" | "p1" => Some(AgentId(0)),
+            "B" | "p2" => Some(AgentId(1)),
+            _ => None,
+        }
+    }
+
+    fn parse(s: &str) -> Formula {
+        parse_formula(s, resolve).unwrap_or_else(|e| panic!("{s:?}: {e}"))
+    }
+
+    #[test]
+    fn atoms_and_booleans() {
+        assert_eq!(parse("true"), Formula::True);
+        assert_eq!(parse("false"), Formula::falsum());
+        assert_eq!(parse("c=h"), Formula::prop("c=h"));
+        assert_eq!(parse("recent:c1=h"), Formula::prop("recent:c1=h"));
+        assert_eq!(parse("A-attacks"), Formula::prop("A-attacks"));
+        assert_eq!(parse("\"weird prop!\""), Formula::prop("weird prop!"));
+        assert_eq!(parse("!x"), Formula::prop("x").not());
+        assert_eq!(
+            parse("a & b & c"),
+            Formula::And(vec![
+                Formula::prop("a"),
+                Formula::prop("b"),
+                Formula::prop("c")
+            ])
+        );
+        assert_eq!(
+            parse("a | b"),
+            Formula::Or(vec![Formula::prop("a"), Formula::prop("b")])
+        );
+    }
+
+    #[test]
+    fn precedence_and_grouping() {
+        // & binds tighter than |, which binds tighter than ->.
+        assert_eq!(
+            parse("a & b | c"),
+            Formula::Or(vec![
+                Formula::And(vec![Formula::prop("a"), Formula::prop("b")]),
+                Formula::prop("c")
+            ])
+        );
+        assert_eq!(
+            parse("a -> b -> c"),
+            Formula::prop("a").implies(Formula::prop("b").implies(Formula::prop("c")))
+        );
+        assert_eq!(
+            parse("(a | b) & c"),
+            Formula::And(vec![
+                Formula::Or(vec![Formula::prop("a"), Formula::prop("b")]),
+                Formula::prop("c")
+            ])
+        );
+        assert_eq!(parse("a <-> b"), Formula::prop("a").iff(Formula::prop("b")));
+    }
+
+    #[test]
+    fn temporal_operators() {
+        assert_eq!(parse("X a"), Formula::prop("a").next());
+        assert_eq!(parse("X(a)"), Formula::prop("a").next());
+        assert_eq!(parse("<> a"), Formula::prop("a").eventually());
+        assert_eq!(parse("[] a"), Formula::prop("a").always());
+        assert_eq!(parse("a U b"), Formula::prop("a").until(Formula::prop("b")));
+        assert_eq!(
+            parse("a U b U c"),
+            Formula::prop("a").until(Formula::prop("b").until(Formula::prop("c")))
+        );
+        // `X` only acts as an operator at a word boundary.
+        assert_eq!(parse("Xylophone"), Formula::prop("Xylophone"));
+        assert_eq!(parse("Unicorn"), Formula::prop("Unicorn"));
+    }
+
+    #[test]
+    fn knowledge_and_probability() {
+        assert_eq!(parse("K{A} x"), Formula::prop("x").known_by(AgentId(0)));
+        assert_eq!(
+            parse("K{A}^1/2 x"),
+            Formula::prop("x").k_alpha(AgentId(0), rat!(1 / 2))
+        );
+        assert_eq!(
+            parse("K{A}^[1/3,2/3] x"),
+            Formula::prop("x").k_interval(AgentId(0), rat!(1 / 3), rat!(2 / 3))
+        );
+        assert_eq!(
+            parse("Pr{B}(x) >= 0.99"),
+            Formula::prop("x").pr_ge(AgentId(1), rat!(99 / 100))
+        );
+        assert_eq!(
+            parse("Pr{B}(x) <= 1/4"),
+            Formula::prop("x").pr_le(AgentId(1), rat!(1 / 4))
+        );
+    }
+
+    #[test]
+    fn group_operators() {
+        let g = [AgentId(0), AgentId(1)];
+        assert_eq!(parse("C{A,B} x"), Formula::prop("x").common(g));
+        assert_eq!(
+            parse("C{A,B}^0.99 <>x"),
+            Formula::prop("x")
+                .eventually()
+                .common_alpha(g, rat!(99 / 100))
+        );
+        assert_eq!(parse("E{A,B} x"), Formula::prop("x").everyone(g));
+        assert_eq!(
+            parse("E{A,B}^1/2 x"),
+            Formula::prop("x").everyone_alpha(g, rat!(1 / 2))
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let e = parse_formula("K{ghost} x", resolve).unwrap_err();
+        assert!(e.message.contains("ghost"));
+        assert!(parse_formula("(a", resolve).is_err());
+        assert!(parse_formula("a b", resolve).is_err(), "trailing input");
+        assert!(parse_formula("Pr{A}(x) = 1", resolve).is_err());
+        assert!(
+            parse_formula("K{A,B} x", resolve).is_err(),
+            "K is single-agent"
+        );
+        assert!(parse_formula("\"open", resolve).is_err());
+        assert!(parse_formula("K{A}^[1/2] x", resolve).is_err());
+        assert!(parse_formula("", resolve).is_err());
+        assert!(parse_formula("1//2", resolve).is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let g = [AgentId(0), AgentId(1)];
+        let samples = vec![
+            Formula::True,
+            Formula::prop("c=h"),
+            Formula::prop("true"), // forces quoting
+            Formula::prop("x").not(),
+            Formula::And(vec![Formula::prop("a"), Formula::prop("b")]),
+            Formula::Or(vec![Formula::prop("a"), Formula::prop("b"), Formula::True]),
+            Formula::prop("x").known_by(AgentId(1)),
+            Formula::prop("x").pr_ge(AgentId(0), rat!(2 / 3)),
+            Formula::prop("x").k_alpha(AgentId(0), rat!(99 / 100)),
+            Formula::prop("x").k_interval(AgentId(1), rat!(1 / 3), rat!(1 / 2)),
+            Formula::prop("x").next(),
+            Formula::prop("a").until(Formula::prop("b")),
+            Formula::prop("x").eventually(),
+            Formula::prop("x").always(),
+            Formula::prop("x").common(g),
+            Formula::prop("x").common_alpha(g, rat!(1 / 2)),
+            Formula::prop("x")
+                .eventually()
+                .common_alpha(g, rat!(99 / 100)),
+            Formula::prop("a")
+                .implies(Formula::prop("b"))
+                .known_by(AgentId(0))
+                .not(),
+        ];
+        for f in samples {
+            let rendered = f.to_string();
+            let parsed =
+                parse_formula(&rendered, resolve).unwrap_or_else(|e| panic!("{rendered:?}: {e}"));
+            assert_eq!(parsed, f, "round trip failed for {rendered:?}");
+        }
+    }
+
+    #[test]
+    fn parse_in_accepts_canonical_names() {
+        let sys = kpa_system::ProtocolBuilder::new(["alice", "bob"])
+            .tick()
+            .build()
+            .unwrap();
+        let by_name = parse_in("K{alice} x", &sys).unwrap();
+        let by_index = parse_in("K{p1} x", &sys).unwrap();
+        assert_eq!(by_name, by_index);
+        assert!(parse_in("K{p3} x", &sys).is_err());
+        assert!(parse_in("K{carol} x", &sys).is_err());
+    }
+}

@@ -1,0 +1,886 @@
+//! A Hilbert-style proof system for knowledge and probability.
+//!
+//! The paper's conclusion proposes reasoning about protocols "at a
+//! higher level of abstraction using the axioms and inference rules for
+//! probabilistic knowledge given by Fagin and Halpern [FH88]". This
+//! module implements a checkable proof system over [`Formula`] whose
+//! axioms are the S5 knowledge axioms, the knowledge–probability link
+//! of consistent assignments (`Kᵢφ → Prᵢ(φ) ≥ 1`, Section 5), simple
+//! probability-bound axioms, and the fixed-point axioms for (probabilistic)
+//! common knowledge (Section 8); its rules are modus ponens, knowledge
+//! necessitation, the common-knowledge induction rule, and probability
+//! monotonicity.
+//!
+//! Every axiom and rule is *sound* for the model checker of this crate
+//! over consistent standard assignments — the workspace's integration
+//! tests machine-check that claim by evaluating every line of every
+//! proof on randomly generated systems.
+//!
+//! A [`Proof`] is a list of [`Step`]s; [`Proof::check`] validates each
+//! step syntactically and returns the sequence of proven formulas.
+//! Lines may depend on explicit premises; the three non-MP rules are
+//! only applicable to premise-free lines (theorems), as usual.
+
+use crate::formula::Formula;
+use kpa_measure::Rat;
+use kpa_system::AgentId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An axiom schema instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Axiom {
+    /// Any substitution instance of a propositional tautology, verified
+    /// by truth tables over its maximal non-boolean subformulas.
+    Tautology(Formula),
+    /// `Kᵢ(φ → ψ) → (Kᵢφ → Kᵢψ)` (distribution / axiom K).
+    KDistribution {
+        /// The knowing agent.
+        agent: AgentId,
+        /// The antecedent of the known implication.
+        phi: Formula,
+        /// The consequent of the known implication.
+        psi: Formula,
+    },
+    /// `Kᵢφ → φ` (truth / axiom T; knowledge from an equivalence
+    /// relation, Section 2).
+    KTruth {
+        /// The knowing agent.
+        agent: AgentId,
+        /// The known formula.
+        phi: Formula,
+    },
+    /// `Kᵢφ → KᵢKᵢφ` (positive introspection / axiom 4).
+    KPositive {
+        /// The knowing agent.
+        agent: AgentId,
+        /// The known formula.
+        phi: Formula,
+    },
+    /// `¬Kᵢφ → Kᵢ¬Kᵢφ` (negative introspection / axiom 5).
+    KNegative {
+        /// The knowing agent.
+        agent: AgentId,
+        /// The known formula.
+        phi: Formula,
+    },
+    /// `Kᵢφ → Prᵢ(φ) ≥ 1` — the characteristic axiom of *consistent*
+    /// probability assignments (Section 5, citing FH88).
+    KnowledgeToCertainty {
+        /// The knowing agent.
+        agent: AgentId,
+        /// The known formula.
+        phi: Formula,
+    },
+    /// `Prᵢ(φ) ≥ 0` (probabilities are nonnegative).
+    ProbNonnegative {
+        /// The judging agent.
+        agent: AgentId,
+        /// The judged formula.
+        phi: Formula,
+    },
+    /// `Prᵢ(φ) ≥ α → Prᵢ(φ) ≥ β` for `β ≤ α` (bound weakening).
+    ProbWeaken {
+        /// The judging agent.
+        agent: AgentId,
+        /// The judged formula.
+        phi: Formula,
+        /// The stronger (given) bound.
+        from: Rat,
+        /// The weaker (concluded) bound; must satisfy `to <= from`.
+        to: Rat,
+    },
+    /// `C_Gφ ↔ E_G(φ ∧ C_Gφ)` (the fixed-point axiom, Section 8).
+    FixedPoint {
+        /// The group.
+        group: Vec<AgentId>,
+        /// The commonly known formula.
+        phi: Formula,
+    },
+    /// `C_G^α φ ↔ E_G^α(φ ∧ C_G^α φ)` (probabilistic fixed point,
+    /// Section 8 after FH88).
+    ProbFixedPoint {
+        /// The group.
+        group: Vec<AgentId>,
+        /// The common probability bound.
+        alpha: Rat,
+        /// The formula.
+        phi: Formula,
+    },
+}
+
+impl Axiom {
+    /// The formula this axiom instance proves.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProofError`] if the instance is malformed — e.g. a
+    /// claimed tautology that is not one, or a weakening that
+    /// strengthens.
+    pub fn formula(&self) -> Result<Formula, ProofError> {
+        match self {
+            Axiom::Tautology(f) => {
+                if is_tautology(f)? {
+                    Ok(f.clone())
+                } else {
+                    Err(ProofError::NotATautology {
+                        formula: f.to_string(),
+                    })
+                }
+            }
+            Axiom::KDistribution { agent, phi, psi } => {
+                Ok(
+                    Formula::Knows(*agent, Box::new(phi.clone().implies(psi.clone()))).implies(
+                        phi.clone()
+                            .known_by(*agent)
+                            .implies(psi.clone().known_by(*agent)),
+                    ),
+                )
+            }
+            Axiom::KTruth { agent, phi } => Ok(phi.clone().known_by(*agent).implies(phi.clone())),
+            Axiom::KPositive { agent, phi } => {
+                let k = phi.clone().known_by(*agent);
+                Ok(k.clone().implies(k.known_by(*agent)))
+            }
+            Axiom::KNegative { agent, phi } => {
+                let nk = phi.clone().known_by(*agent).not();
+                Ok(nk.clone().implies(nk.known_by(*agent)))
+            }
+            Axiom::KnowledgeToCertainty { agent, phi } => Ok(phi
+                .clone()
+                .known_by(*agent)
+                .implies(phi.clone().pr_ge(*agent, Rat::ONE))),
+            Axiom::ProbNonnegative { agent, phi } => Ok(phi.clone().pr_ge(*agent, Rat::ZERO)),
+            Axiom::ProbWeaken {
+                agent,
+                phi,
+                from,
+                to,
+            } => {
+                if to > from {
+                    return Err(ProofError::BadWeakening {
+                        from: from.to_string(),
+                        to: to.to_string(),
+                    });
+                }
+                Ok(phi
+                    .clone()
+                    .pr_ge(*agent, *from)
+                    .implies(phi.clone().pr_ge(*agent, *to)))
+            }
+            Axiom::FixedPoint { group, phi } => {
+                if group.is_empty() {
+                    return Err(ProofError::EmptyGroup);
+                }
+                let c = phi.clone().common(group.clone());
+                let body = Formula::and([phi.clone(), c.clone()]).everyone(group.clone());
+                Ok(c.iff(body))
+            }
+            Axiom::ProbFixedPoint { group, alpha, phi } => {
+                if group.is_empty() {
+                    return Err(ProofError::EmptyGroup);
+                }
+                let c = phi.clone().common_alpha(group.clone(), *alpha);
+                let body =
+                    Formula::and([phi.clone(), c.clone()]).everyone_alpha(group.clone(), *alpha);
+                Ok(c.iff(body))
+            }
+        }
+    }
+}
+
+/// One line of a proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// An axiom instance.
+    Axiom(Axiom),
+    /// An explicit premise (for derivations from assumptions).
+    Premise(Formula),
+    /// From `φ → ψ` (line `implication`) and `φ` (line `antecedent`),
+    /// conclude `ψ`.
+    ModusPonens {
+        /// Index of the line proving the implication.
+        implication: usize,
+        /// Index of the line proving the antecedent.
+        antecedent: usize,
+    },
+    /// From the *theorem* `φ` (premise-free line `of`), conclude `Kᵢφ`
+    /// (knowledge necessitation).
+    Necessitation {
+        /// The knowing agent.
+        agent: AgentId,
+        /// Index of the theorem line.
+        of: usize,
+    },
+    /// The paper's induction rule: from the theorem `φ → E_G(ψ ∧ φ)`
+    /// (premise-free line `of`), conclude `φ → C_G ψ`.
+    Induction {
+        /// The group.
+        group: Vec<AgentId>,
+        /// Index of the theorem line (which must have exactly the shape
+        /// `φ → E_G(ψ ∧ φ)` for this group).
+        of: usize,
+    },
+    /// From the theorem `φ → ψ` (premise-free line `of`), conclude
+    /// `Prᵢ(φ) ≥ α → Prᵢ(ψ) ≥ α` (inner measures are monotone).
+    ProbMonotonicity {
+        /// The judging agent.
+        agent: AgentId,
+        /// The preserved bound.
+        alpha: Rat,
+        /// Index of the theorem implication line.
+        of: usize,
+    },
+}
+
+/// Errors detected while checking a proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProofError {
+    /// A step referenced a line at or after itself.
+    BadLineReference {
+        /// The offending step index.
+        step: usize,
+        /// The referenced line.
+        referenced: usize,
+    },
+    /// A claimed tautology is falsifiable.
+    NotATautology {
+        /// The rendered formula.
+        formula: String,
+    },
+    /// Tautology checking is exponential in distinct atoms; refuse past
+    /// a small bound.
+    TooManyAtoms {
+        /// The number of distinct atoms found.
+        atoms: usize,
+    },
+    /// Modus ponens applied to a line that is not an implication of the
+    /// right shape.
+    NotAnImplication {
+        /// The offending step index.
+        step: usize,
+    },
+    /// The induction rule applied to a line without the required
+    /// `φ → E_G(ψ ∧ φ)` shape.
+    NotInductionShape {
+        /// The offending step index.
+        step: usize,
+    },
+    /// A weakening whose target bound exceeds its source bound.
+    BadWeakening {
+        /// The source bound.
+        from: String,
+        /// The target bound.
+        to: String,
+    },
+    /// Necessitation, induction, or monotonicity applied to a line that
+    /// depends on premises.
+    PremiseDependent {
+        /// The offending step index.
+        step: usize,
+    },
+    /// A group operator over no agents.
+    EmptyGroup,
+}
+
+impl fmt::Display for ProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProofError::BadLineReference { step, referenced } => {
+                write!(
+                    f,
+                    "step {step} references line {referenced}, which is not before it"
+                )
+            }
+            ProofError::NotATautology { formula } => {
+                write!(f, "claimed tautology is falsifiable: {formula}")
+            }
+            ProofError::TooManyAtoms { atoms } => {
+                write!(f, "tautology check limited to 16 atoms, found {atoms}")
+            }
+            ProofError::NotAnImplication { step } => {
+                write!(f, "step {step}: modus ponens needs `phi -> psi` and `phi`")
+            }
+            ProofError::NotInductionShape { step } => {
+                write!(
+                    f,
+                    "step {step}: induction needs a line of shape `phi -> E_G(psi & phi)`"
+                )
+            }
+            ProofError::BadWeakening { from, to } => {
+                write!(f, "cannot weaken a bound of {from} to the larger {to}")
+            }
+            ProofError::PremiseDependent { step } => {
+                write!(
+                    f,
+                    "step {step}: this rule applies only to premise-free theorems"
+                )
+            }
+            ProofError::EmptyGroup => write!(f, "group operator over no agents"),
+        }
+    }
+}
+
+impl std::error::Error for ProofError {}
+
+/// A checkable proof: a sequence of steps, possibly from premises.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Proof {
+    steps: Vec<Step>,
+}
+
+/// One checked line: the proven formula and whether it depends on
+/// premises.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Line {
+    /// The formula this line proves.
+    pub formula: Formula,
+    /// Whether the line depends on a [`Step::Premise`].
+    pub from_premises: bool,
+}
+
+impl Proof {
+    /// An empty proof.
+    #[must_use]
+    pub fn new() -> Proof {
+        Proof::default()
+    }
+
+    /// Appends a step (builder-style) and returns the proof.
+    #[must_use]
+    pub fn then(mut self, step: Step) -> Proof {
+        self.steps.push(step);
+        self
+    }
+
+    /// The steps of the proof.
+    #[must_use]
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Checks the proof, returning every proven line in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ProofError`] encountered.
+    pub fn check(&self) -> Result<Vec<Line>, ProofError> {
+        let mut lines: Vec<Line> = Vec::with_capacity(self.steps.len());
+        for (idx, step) in self.steps.iter().enumerate() {
+            let get = |i: usize| -> Result<&Line, ProofError> {
+                lines
+                    .get(i)
+                    .filter(|_| i < idx)
+                    .ok_or(ProofError::BadLineReference {
+                        step: idx,
+                        referenced: i,
+                    })
+            };
+            let theorem = |i: usize| -> Result<&Line, ProofError> {
+                let line = get(i)?;
+                if line.from_premises {
+                    Err(ProofError::PremiseDependent { step: idx })
+                } else {
+                    Ok(line)
+                }
+            };
+            let line = match step {
+                Step::Axiom(ax) => Line {
+                    formula: ax.formula()?,
+                    from_premises: false,
+                },
+                Step::Premise(f) => Line {
+                    formula: f.clone(),
+                    from_premises: true,
+                },
+                Step::ModusPonens {
+                    implication,
+                    antecedent,
+                } => {
+                    let imp = get(*implication)?.clone();
+                    let ant = get(*antecedent)?.clone();
+                    // `implies` builds Or([Not(φ), ψ]).
+                    let Formula::Or(parts) = &imp.formula else {
+                        return Err(ProofError::NotAnImplication { step: idx });
+                    };
+                    let [Formula::Not(neg), psi] = parts.as_slice() else {
+                        return Err(ProofError::NotAnImplication { step: idx });
+                    };
+                    if **neg != ant.formula {
+                        return Err(ProofError::NotAnImplication { step: idx });
+                    }
+                    Line {
+                        formula: psi.clone(),
+                        from_premises: imp.from_premises || ant.from_premises,
+                    }
+                }
+                Step::Necessitation { agent, of } => {
+                    let f = theorem(*of)?.formula.clone();
+                    Line {
+                        formula: f.known_by(*agent),
+                        from_premises: false,
+                    }
+                }
+                Step::Induction { group, of } => {
+                    if group.is_empty() {
+                        return Err(ProofError::EmptyGroup);
+                    }
+                    let f = &theorem(*of)?.formula;
+                    // Required shape: φ → E_G(ψ ∧ φ), with E_G the
+                    // conjunction ∧_{i∈G} K_i(ψ ∧ φ) in group order.
+                    let Formula::Or(parts) = f else {
+                        return Err(ProofError::NotInductionShape { step: idx });
+                    };
+                    let [Formula::Not(phi), everyone] = parts.as_slice() else {
+                        return Err(ProofError::NotInductionShape { step: idx });
+                    };
+                    let phi = (**phi).clone();
+                    // Reconstruct the expected E_G(ψ ∧ φ) for candidate ψ
+                    // and compare: extract ψ from the first conjunct.
+                    let Formula::And(ks) = everyone else {
+                        return Err(ProofError::NotInductionShape { step: idx });
+                    };
+                    let Some(Formula::Knows(_, body)) = ks.first() else {
+                        return Err(ProofError::NotInductionShape { step: idx });
+                    };
+                    let Formula::And(body_parts) = &**body else {
+                        return Err(ProofError::NotInductionShape { step: idx });
+                    };
+                    let [psi, phi_again] = body_parts.as_slice() else {
+                        return Err(ProofError::NotInductionShape { step: idx });
+                    };
+                    if *phi_again != phi {
+                        return Err(ProofError::NotInductionShape { step: idx });
+                    }
+                    let expected = phi
+                        .clone()
+                        .implies(Formula::and([psi.clone(), phi.clone()]).everyone(group.clone()));
+                    if expected != *f {
+                        return Err(ProofError::NotInductionShape { step: idx });
+                    }
+                    Line {
+                        formula: phi.implies(psi.clone().common(group.clone())),
+                        from_premises: false,
+                    }
+                }
+                Step::ProbMonotonicity { agent, alpha, of } => {
+                    let f = &theorem(*of)?.formula;
+                    let Formula::Or(parts) = f else {
+                        return Err(ProofError::NotAnImplication { step: idx });
+                    };
+                    let [Formula::Not(phi), psi] = parts.as_slice() else {
+                        return Err(ProofError::NotAnImplication { step: idx });
+                    };
+                    Line {
+                        formula: (**phi)
+                            .clone()
+                            .pr_ge(*agent, *alpha)
+                            .implies(psi.clone().pr_ge(*agent, *alpha)),
+                        from_premises: false,
+                    }
+                }
+            };
+            lines.push(line);
+        }
+        Ok(lines)
+    }
+
+    /// Checks the proof and returns its final formula.
+    ///
+    /// # Errors
+    ///
+    /// As [`Proof::check`]; also errors on an empty proof.
+    pub fn conclusion(&self) -> Result<Formula, ProofError> {
+        let lines = self.check()?;
+        lines
+            .last()
+            .map(|l| l.formula.clone())
+            .ok_or(ProofError::BadLineReference {
+                step: 0,
+                referenced: 0,
+            })
+    }
+}
+
+/// Truth-table validity over the formula's maximal non-boolean
+/// subformulas (its "atoms": propositions, `K`, `Pr`, temporal and
+/// group subformulas are all opaque).
+fn is_tautology(f: &Formula) -> Result<bool, ProofError> {
+    let mut atoms: Vec<&Formula> = Vec::new();
+    collect_atoms(f, &mut atoms);
+    if atoms.len() > 16 {
+        return Err(ProofError::TooManyAtoms { atoms: atoms.len() });
+    }
+    let index: BTreeMap<&Formula, usize> = atoms.iter().enumerate().map(|(i, a)| (*a, i)).collect();
+    for mask in 0u32..(1 << atoms.len()) {
+        if !eval_boolean(f, &index, mask) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+fn collect_atoms<'a>(f: &'a Formula, atoms: &mut Vec<&'a Formula>) {
+    match f {
+        Formula::True => {}
+        Formula::Not(x) => collect_atoms(x, atoms),
+        Formula::And(xs) | Formula::Or(xs) => {
+            for x in xs {
+                collect_atoms(x, atoms);
+            }
+        }
+        other => {
+            if !atoms.contains(&other) {
+                atoms.push(other);
+            }
+        }
+    }
+}
+
+fn eval_boolean(f: &Formula, index: &BTreeMap<&Formula, usize>, mask: u32) -> bool {
+    match f {
+        Formula::True => true,
+        Formula::Not(x) => !eval_boolean(x, index, mask),
+        Formula::And(xs) => xs.iter().all(|x| eval_boolean(x, index, mask)),
+        Formula::Or(xs) => xs.iter().any(|x| eval_boolean(x, index, mask)),
+        other => mask & (1 << index[other]) != 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpa_measure::rat;
+
+    fn p(name: &str) -> Formula {
+        Formula::prop(name)
+    }
+
+    #[test]
+    fn tautology_checking() {
+        let a = p("a");
+        let b = p("b");
+        assert!(is_tautology(&a.clone().implies(a.clone())).unwrap());
+        assert!(is_tautology(&Formula::or([a.clone(), a.clone().not()])).unwrap());
+        // Modal subformulas are opaque atoms: Kφ ∨ ¬Kφ is a tautology…
+        let k = a.clone().known_by(AgentId(0));
+        assert!(is_tautology(&Formula::or([k.clone(), k.clone().not()])).unwrap());
+        // …but Kφ → φ is NOT propositional (it is the T axiom).
+        assert!(!is_tautology(&k.clone().implies(a.clone())).unwrap());
+        assert!(!is_tautology(&a.clone().implies(b.clone())).unwrap());
+    }
+
+    #[test]
+    fn axiom_instances() {
+        let a = AgentId(0);
+        let phi = p("x");
+        assert!(Axiom::KTruth {
+            agent: a,
+            phi: phi.clone()
+        }
+        .formula()
+        .is_ok());
+        assert!(Axiom::KnowledgeToCertainty {
+            agent: a,
+            phi: phi.clone()
+        }
+        .formula()
+        .is_ok());
+        assert!(matches!(
+            Axiom::Tautology(phi.clone()).formula(),
+            Err(ProofError::NotATautology { .. })
+        ));
+        assert!(matches!(
+            Axiom::ProbWeaken {
+                agent: a,
+                phi: phi.clone(),
+                from: rat!(1 / 2),
+                to: rat!(2 / 3)
+            }
+            .formula(),
+            Err(ProofError::BadWeakening { .. })
+        ));
+        assert!(matches!(
+            Axiom::FixedPoint { group: vec![], phi }.formula(),
+            Err(ProofError::EmptyGroup)
+        ));
+    }
+
+    /// ⊢ Kᵢ(φ ∧ ψ) → Kᵢφ, the classic K-distribution derivation.
+    #[test]
+    fn derive_knowledge_of_conjunct() {
+        let i = AgentId(0);
+        let phi = p("x");
+        let psi = p("y");
+        let conj = Formula::and([phi.clone(), psi.clone()]);
+        let proof = Proof::new()
+            // 0: ⊢ (φ∧ψ) → φ            (tautology)
+            .then(Step::Axiom(Axiom::Tautology(
+                conj.clone().implies(phi.clone()),
+            )))
+            // 1: ⊢ Kᵢ((φ∧ψ) → φ)        (necessitation)
+            .then(Step::Necessitation { agent: i, of: 0 })
+            // 2: ⊢ Kᵢ((φ∧ψ)→φ) → (Kᵢ(φ∧ψ) → Kᵢφ)   (K axiom)
+            .then(Step::Axiom(Axiom::KDistribution {
+                agent: i,
+                phi: conj.clone(),
+                psi: phi.clone(),
+            }))
+            // 3: ⊢ Kᵢ(φ∧ψ) → Kᵢφ        (MP 2, 1)
+            .then(Step::ModusPonens {
+                implication: 2,
+                antecedent: 1,
+            });
+        let conclusion = proof.conclusion().unwrap();
+        assert_eq!(conclusion, conj.known_by(i).implies(phi.known_by(i)));
+    }
+
+    /// ⊢ Kᵢφ → Prᵢ(φ) ≥ 1/2: certainty weakened to a bound.
+    #[test]
+    fn derive_knowledge_implies_probability_bound() {
+        let i = AgentId(0);
+        let phi = p("x");
+        let k = phi.clone().known_by(i);
+        let pr1 = phi.clone().pr_ge(i, Rat::ONE);
+        let pr_half = phi.clone().pr_ge(i, rat!(1 / 2));
+        let proof = Proof::new()
+            // 0: ⊢ Kᵢφ → Prᵢ(φ) ≥ 1
+            .then(Step::Axiom(Axiom::KnowledgeToCertainty {
+                agent: i,
+                phi: phi.clone(),
+            }))
+            // 1: ⊢ Prᵢ(φ) ≥ 1 → Prᵢ(φ) ≥ 1/2
+            .then(Step::Axiom(Axiom::ProbWeaken {
+                agent: i,
+                phi: phi.clone(),
+                from: Rat::ONE,
+                to: rat!(1 / 2),
+            }))
+            // 2: ⊢ (Kᵢφ → Pr≥1) → ((Pr≥1 → Pr≥1/2) → (Kᵢφ → Pr≥1/2))
+            .then(Step::Axiom(Axiom::Tautology(
+                k.clone().implies(pr1.clone()).implies(
+                    pr1.clone()
+                        .implies(pr_half.clone())
+                        .implies(k.clone().implies(pr_half.clone())),
+                ),
+            )))
+            // 3: MP 2, 0; 4: MP 3, 1.
+            .then(Step::ModusPonens {
+                implication: 2,
+                antecedent: 0,
+            })
+            .then(Step::ModusPonens {
+                implication: 3,
+                antecedent: 1,
+            });
+        assert_eq!(proof.conclusion().unwrap(), k.implies(pr_half));
+    }
+
+    /// ⊢ C_Gφ → Kᵢφ for i ∈ G, from the fixed-point axiom.
+    #[test]
+    fn derive_common_knowledge_implies_knowledge() {
+        let g = vec![AgentId(0), AgentId(1)];
+        let i = AgentId(0);
+        let phi = p("x");
+        let c = phi.clone().common(g.clone());
+        let body = Formula::and([phi.clone(), c.clone()]);
+        let e = body.clone().everyone(g.clone());
+        let k_body = body.clone().known_by(i);
+        let k_phi = phi.clone().known_by(i);
+        let proof = Proof::new()
+            // 0: ⊢ C ↔ E(φ∧C)
+            .then(Step::Axiom(Axiom::FixedPoint {
+                group: g.clone(),
+                phi: phi.clone(),
+            }))
+            // 1: ⊢ (C ↔ E) → (C → Kᵢ(φ∧C))   [E is a conjunction with Kᵢ(φ∧C) a conjunct]
+            .then(Step::Axiom(Axiom::Tautology(
+                c.clone()
+                    .iff(e.clone())
+                    .implies(c.clone().implies(k_body.clone())),
+            )))
+            // 2: ⊢ C → Kᵢ(φ∧C)               (MP 1, 0)
+            .then(Step::ModusPonens {
+                implication: 1,
+                antecedent: 0,
+            })
+            // 3: ⊢ (φ∧C) → φ                 (tautology)
+            .then(Step::Axiom(Axiom::Tautology(
+                body.clone().implies(phi.clone()),
+            )))
+            // 4: ⊢ Kᵢ((φ∧C)→φ)               (necessitation)
+            .then(Step::Necessitation { agent: i, of: 3 })
+            // 5: ⊢ Kᵢ((φ∧C)→φ) → (Kᵢ(φ∧C) → Kᵢφ)
+            .then(Step::Axiom(Axiom::KDistribution {
+                agent: i,
+                phi: body.clone(),
+                psi: phi.clone(),
+            }))
+            // 6: ⊢ Kᵢ(φ∧C) → Kᵢφ             (MP 5, 4)
+            .then(Step::ModusPonens {
+                implication: 5,
+                antecedent: 4,
+            })
+            // 7: ⊢ (C→K(φ∧C)) → ((K(φ∧C)→Kφ) → (C→Kφ))
+            .then(Step::Axiom(Axiom::Tautology(
+                c.clone().implies(k_body.clone()).implies(
+                    k_body
+                        .clone()
+                        .implies(k_phi.clone())
+                        .implies(c.clone().implies(k_phi.clone())),
+                ),
+            )))
+            // 8: MP 7, 2;  9: MP 8, 6.
+            .then(Step::ModusPonens {
+                implication: 7,
+                antecedent: 2,
+            })
+            .then(Step::ModusPonens {
+                implication: 8,
+                antecedent: 6,
+            });
+        assert_eq!(proof.conclusion().unwrap(), c.implies(k_phi));
+    }
+
+    /// The induction rule in its simplest use: a "public" fact is
+    /// common knowledge — ⊢ φ → E_G(φ ∧ φ) yields ⊢ φ → C_Gφ.
+    #[test]
+    fn induction_rule_checks_shape() {
+        let g = vec![AgentId(0), AgentId(1)];
+        let phi = p("x");
+        // A premise-shaped theorem is required; feed the exact shape as
+        // a (here unprovable, but well-formed) tautology test double by
+        // deriving it from a premise — which must be REJECTED…
+        let premise_version = Proof::new()
+            .then(Step::Premise(phi.clone().implies(
+                Formula::and([phi.clone(), phi.clone()]).everyone(g.clone()),
+            )))
+            .then(Step::Induction {
+                group: g.clone(),
+                of: 0,
+            });
+        assert!(matches!(
+            premise_version.check(),
+            Err(ProofError::PremiseDependent { .. })
+        ));
+        // …while the rule accepts the right premise-free shape. (Here
+        // we conjure it via the fixed point, using ψ = φ and the C
+        // itself as the inducted fact: from ⊢ C → E(φ ∧ C) infer
+        // ⊢ C → C_Gφ — a genuine theorem.)
+        let c = phi.clone().common(g.clone());
+        let body = Formula::and([phi.clone(), c.clone()]);
+        let e = body.clone().everyone(g.clone());
+        let proof = Proof::new()
+            .then(Step::Axiom(Axiom::FixedPoint {
+                group: g.clone(),
+                phi: phi.clone(),
+            }))
+            .then(Step::Axiom(Axiom::Tautology(
+                c.clone()
+                    .iff(e.clone())
+                    .implies(c.clone().implies(e.clone())),
+            )))
+            .then(Step::ModusPonens {
+                implication: 1,
+                antecedent: 0,
+            })
+            .then(Step::Induction {
+                group: g.clone(),
+                of: 2,
+            });
+        assert_eq!(proof.conclusion().unwrap(), c.implies(phi.common(g)));
+    }
+
+    #[test]
+    fn probability_monotonicity_rule() {
+        let i = AgentId(0);
+        let conj = Formula::and([p("x"), p("y")]);
+        let proof = Proof::new()
+            .then(Step::Axiom(Axiom::Tautology(conj.clone().implies(p("x")))))
+            .then(Step::ProbMonotonicity {
+                agent: i,
+                alpha: rat!(2 / 3),
+                of: 0,
+            });
+        assert_eq!(
+            proof.conclusion().unwrap(),
+            conj.pr_ge(i, rat!(2 / 3))
+                .implies(p("x").pr_ge(i, rat!(2 / 3)))
+        );
+    }
+
+    #[test]
+    fn premises_flow_through_modus_ponens() {
+        let phi = p("x");
+        let psi = p("y");
+        let proof = Proof::new()
+            .then(Step::Premise(phi.clone()))
+            .then(Step::Axiom(Axiom::Tautology(
+                phi.clone().implies(Formula::or([phi.clone(), psi.clone()])),
+            )))
+            .then(Step::ModusPonens {
+                implication: 1,
+                antecedent: 0,
+            });
+        let lines = proof.check().unwrap();
+        assert!(lines[0].from_premises);
+        assert!(!lines[1].from_premises);
+        assert!(lines[2].from_premises, "MP propagates premise dependence");
+        // Necessitation of a premise-dependent line is rejected.
+        let bad = proof.then(Step::Necessitation {
+            agent: AgentId(0),
+            of: 2,
+        });
+        assert!(matches!(
+            bad.check(),
+            Err(ProofError::PremiseDependent { step: 3 })
+        ));
+    }
+
+    #[test]
+    fn malformed_proofs_are_rejected() {
+        let phi = p("x");
+        // Forward reference.
+        let fwd = Proof::new().then(Step::ModusPonens {
+            implication: 1,
+            antecedent: 0,
+        });
+        assert!(matches!(
+            fwd.check(),
+            Err(ProofError::BadLineReference { .. })
+        ));
+        // MP on a non-implication.
+        let bad_mp = Proof::new()
+            .then(Step::Axiom(Axiom::Tautology(
+                phi.clone().implies(phi.clone()),
+            )))
+            .then(Step::Axiom(Axiom::ProbNonnegative {
+                agent: AgentId(0),
+                phi: phi.clone(),
+            }))
+            .then(Step::ModusPonens {
+                implication: 1,
+                antecedent: 0,
+            });
+        assert!(matches!(
+            bad_mp.check(),
+            Err(ProofError::NotAnImplication { step: 2 })
+        ));
+        // Induction on the wrong shape.
+        let bad_ind = Proof::new()
+            .then(Step::Axiom(Axiom::Tautology(
+                phi.clone().implies(phi.clone()),
+            )))
+            .then(Step::Induction {
+                group: vec![AgentId(0)],
+                of: 0,
+            });
+        assert!(matches!(
+            bad_ind.check(),
+            Err(ProofError::NotInductionShape { step: 1 })
+        ));
+        // Empty conclusion.
+        assert!(Proof::new().conclusion().is_err());
+    }
+}

@@ -1,0 +1,474 @@
+//! A library of derived theorems: ready-made, checkable proofs.
+//!
+//! Each function returns a [`Proof`] whose conclusion is the named
+//! theorem; callers can [`Proof::check`] it, inspect every line, or use
+//! it as a component of larger derivations. The workspace's
+//! `proof_soundness` integration tests model-check every line of every
+//! theorem here on randomly generated systems.
+
+use crate::formula::Formula;
+use crate::proof::{Axiom, Proof, Step};
+use kpa_measure::Rat;
+use kpa_system::AgentId;
+
+/// `⊢ Kᵢ(φ ∧ ψ) → Kᵢφ`: knowledge distributes out of conjunctions.
+#[must_use]
+pub fn knowledge_of_conjunct(i: AgentId, phi: Formula, psi: Formula) -> Proof {
+    let conj = Formula::and([phi.clone(), psi]);
+    Proof::new()
+        .then(Step::Axiom(Axiom::Tautology(
+            conj.clone().implies(phi.clone()),
+        )))
+        .then(Step::Necessitation { agent: i, of: 0 })
+        .then(Step::Axiom(Axiom::KDistribution {
+            agent: i,
+            phi: conj,
+            psi: phi,
+        }))
+        .then(Step::ModusPonens {
+            implication: 2,
+            antecedent: 1,
+        })
+}
+
+/// `⊢ (Kᵢφ ∧ Kᵢψ) → Kᵢ(φ ∧ ψ)`: knowledge collects conjunctions.
+#[must_use]
+pub fn knowledge_of_conjunction(i: AgentId, phi: Formula, psi: Formula) -> Proof {
+    let conj = Formula::and([phi.clone(), psi.clone()]);
+    let step = psi.clone().implies(conj.clone());
+    let k_phi = phi.clone().known_by(i);
+    let k_psi = psi.clone().known_by(i);
+    let k_step = step.clone().known_by(i);
+    let k_conj = conj.clone().known_by(i);
+    Proof::new()
+        // 0: ⊢ φ → (ψ → (φ∧ψ))
+        .then(Step::Axiom(Axiom::Tautology(
+            phi.clone().implies(step.clone()),
+        )))
+        // 1: ⊢ Kᵢ(φ → (ψ → φ∧ψ))
+        .then(Step::Necessitation { agent: i, of: 0 })
+        // 2: ⊢ Kᵢ(φ → (ψ → φ∧ψ)) → (Kᵢφ → Kᵢ(ψ → φ∧ψ))
+        .then(Step::Axiom(Axiom::KDistribution {
+            agent: i,
+            phi: phi.clone(),
+            psi: step.clone(),
+        }))
+        // 3: ⊢ Kᵢφ → Kᵢ(ψ → φ∧ψ)
+        .then(Step::ModusPonens {
+            implication: 2,
+            antecedent: 1,
+        })
+        // 4: ⊢ Kᵢ(ψ → φ∧ψ) → (Kᵢψ → Kᵢ(φ∧ψ))
+        .then(Step::Axiom(Axiom::KDistribution {
+            agent: i,
+            phi: psi,
+            psi: conj,
+        }))
+        // 5: the propositional glue.
+        .then(Step::Axiom(Axiom::Tautology(
+            k_phi.clone().implies(k_step.clone()).implies(
+                k_step
+                    .clone()
+                    .implies(k_psi.clone().implies(k_conj.clone()))
+                    .implies(Formula::and([k_phi, k_psi]).implies(k_conj)),
+            ),
+        )))
+        // 6: MP 5, 3;  7: MP 6, 4.
+        .then(Step::ModusPonens {
+            implication: 5,
+            antecedent: 3,
+        })
+        .then(Step::ModusPonens {
+            implication: 6,
+            antecedent: 4,
+        })
+}
+
+/// `⊢ Kᵢφ → Prᵢ(φ) ≥ α` for any `α ≤ 1`: certainty weakened to a
+/// bound (Section 5's consistency axiom plus weakening).
+#[must_use]
+pub fn certainty_weakening(i: AgentId, phi: Formula, alpha: Rat) -> Proof {
+    let k = phi.clone().known_by(i);
+    let pr1 = phi.clone().pr_ge(i, Rat::ONE);
+    let pr_a = phi.clone().pr_ge(i, alpha);
+    Proof::new()
+        .then(Step::Axiom(Axiom::KnowledgeToCertainty {
+            agent: i,
+            phi: phi.clone(),
+        }))
+        .then(Step::Axiom(Axiom::ProbWeaken {
+            agent: i,
+            phi,
+            from: Rat::ONE,
+            to: alpha,
+        }))
+        .then(Step::Axiom(Axiom::Tautology(
+            k.clone()
+                .implies(pr1.clone())
+                .implies(pr1.implies(pr_a.clone()).implies(k.implies(pr_a))),
+        )))
+        .then(Step::ModusPonens {
+            implication: 2,
+            antecedent: 0,
+        })
+        .then(Step::ModusPonens {
+            implication: 3,
+            antecedent: 1,
+        })
+}
+
+/// `⊢ C_Gφ → Kᵢφ` for the *first* agent of `G`: common knowledge
+/// implies individual knowledge, from the fixed-point axiom.
+#[must_use]
+pub fn common_implies_knowledge(group: Vec<AgentId>, phi: Formula) -> Proof {
+    let i = group[0];
+    let c = phi.clone().common(group.clone());
+    let body = Formula::and([phi.clone(), c.clone()]);
+    let e = body.clone().everyone(group.clone());
+    let k_body = body.clone().known_by(i);
+    let k_phi = phi.clone().known_by(i);
+    Proof::new()
+        .then(Step::Axiom(Axiom::FixedPoint {
+            group,
+            phi: phi.clone(),
+        }))
+        .then(Step::Axiom(Axiom::Tautology(
+            c.clone().iff(e).implies(c.clone().implies(k_body.clone())),
+        )))
+        .then(Step::ModusPonens {
+            implication: 1,
+            antecedent: 0,
+        })
+        .then(Step::Axiom(Axiom::Tautology(
+            body.clone().implies(phi.clone()),
+        )))
+        .then(Step::Necessitation { agent: i, of: 3 })
+        .then(Step::Axiom(Axiom::KDistribution {
+            agent: i,
+            phi: body,
+            psi: phi,
+        }))
+        .then(Step::ModusPonens {
+            implication: 5,
+            antecedent: 4,
+        })
+        .then(Step::Axiom(Axiom::Tautology(
+            c.clone().implies(k_body.clone()).implies(
+                k_body
+                    .clone()
+                    .implies(k_phi.clone())
+                    .implies(c.clone().implies(k_phi.clone())),
+            ),
+        )))
+        .then(Step::ModusPonens {
+            implication: 7,
+            antecedent: 2,
+        })
+        .then(Step::ModusPonens {
+            implication: 8,
+            antecedent: 6,
+        })
+}
+
+/// `⊢ Kᵢφ → Kᵢ(Prᵢ(φ) ≥ α)` — knowledge implies *probabilistic
+/// knowledge* `Kᵢ^α φ`, via positive introspection, necessitation of
+/// [`certainty_weakening`], and distribution.
+#[must_use]
+pub fn knowledge_implies_k_alpha(i: AgentId, phi: Formula, alpha: Rat) -> Proof {
+    let k = phi.clone().known_by(i);
+    let kk = k.clone().known_by(i);
+    let pr_a = phi.clone().pr_ge(i, alpha);
+    let k_pr = pr_a.clone().known_by(i);
+    // Splice the 5-line certainty_weakening proof in as lines 0..=4;
+    // its conclusion (line 4) is ⊢ Kᵢφ → Prᵢ(φ) ≥ α.
+    let mut proof = certainty_weakening(i, phi.clone(), alpha);
+    for step in [
+        // 5: ⊢ Kᵢ(Kᵢφ → Prᵢ(φ) ≥ α)
+        Step::Necessitation { agent: i, of: 4 },
+        // 6: ⊢ Kᵢ(Kᵢφ → Pr ≥ α) → (KᵢKᵢφ → Kᵢ(Pr ≥ α))
+        Step::Axiom(Axiom::KDistribution {
+            agent: i,
+            phi: k.clone(),
+            psi: pr_a,
+        }),
+        // 7: ⊢ KᵢKᵢφ → Kᵢ(Pr ≥ α)
+        Step::ModusPonens {
+            implication: 6,
+            antecedent: 5,
+        },
+        // 8: ⊢ Kᵢφ → KᵢKᵢφ (positive introspection)
+        Step::Axiom(Axiom::KPositive {
+            agent: i,
+            phi: phi.clone(),
+        }),
+        // 9: glue: (Kφ→KKφ) → ((KKφ→K(Pr≥α)) → (Kφ→K(Pr≥α)))
+        Step::Axiom(Axiom::Tautology(
+            k.clone().implies(kk.clone()).implies(
+                kk.clone()
+                    .implies(k_pr.clone())
+                    .implies(k.clone().implies(k_pr.clone())),
+            ),
+        )),
+        // 10: MP 9, 8;  11: MP 10, 7.
+        Step::ModusPonens {
+            implication: 9,
+            antecedent: 8,
+        },
+        Step::ModusPonens {
+            implication: 10,
+            antecedent: 7,
+        },
+    ] {
+        proof = proof.then(step);
+    }
+    proof
+}
+
+/// `⊢ C_Gφ → C_G C_Gφ` — common knowledge is itself common knowledge.
+///
+/// The derivation unfolds the fixed point to `C → Kᵢ(φ ∧ C)` for each
+/// agent, converts each to `C → Kᵢ(C ∧ C)` by distribution, collects
+/// them into `C → E_G(C ∧ C)`, and closes with the induction rule
+/// (taking both the inducted fact and the invariant to be `C` itself).
+/// It exercises every rule of the system and grows linearly with the
+/// group.
+#[must_use]
+pub fn common_knowledge_is_common(group: Vec<AgentId>, phi: Formula) -> Proof {
+    let c = phi.clone().common(group.clone());
+    let body = Formula::and([phi, c.clone()]);
+    let e = body.clone().everyone(group.clone());
+    let cc = Formula::and([c.clone(), c.clone()]);
+
+    let mut steps: Vec<Step> = Vec::new();
+    let push = |steps: &mut Vec<Step>, s: Step| -> usize {
+        steps.push(s);
+        steps.len() - 1
+    };
+
+    // 0: ⊢ C ↔ E_G(φ ∧ C);  1–2: extract C → E.
+    let fixed = push(
+        &mut steps,
+        Step::Axiom(Axiom::FixedPoint {
+            group: group.clone(),
+            phi: match &c {
+                Formula::Common(_, inner) => (**inner).clone(),
+                _ => unreachable!("c is a Common formula"),
+            },
+        }),
+    );
+    let extract = push(
+        &mut steps,
+        Step::Axiom(Axiom::Tautology(
+            c.clone()
+                .iff(e.clone())
+                .implies(c.clone().implies(e.clone())),
+        )),
+    );
+    let c_to_e = push(
+        &mut steps,
+        Step::ModusPonens {
+            implication: extract,
+            antecedent: fixed,
+        },
+    );
+
+    // Per agent: C → Kᵢ(C ∧ C).
+    let mut per_agent: Vec<usize> = Vec::new();
+    for &i in &group {
+        let k_body = body.clone().known_by(i);
+        let k_cc = cc.clone().known_by(i);
+        // C → Kᵢ(φ ∧ C): project the conjunct out of E.
+        let project = push(
+            &mut steps,
+            Step::Axiom(Axiom::Tautology(e.clone().implies(k_body.clone()))),
+        );
+        let glue1 = push(
+            &mut steps,
+            Step::Axiom(Axiom::Tautology(
+                c.clone().implies(e.clone()).implies(
+                    e.clone()
+                        .implies(k_body.clone())
+                        .implies(c.clone().implies(k_body.clone())),
+                ),
+            )),
+        );
+        let mp1 = push(
+            &mut steps,
+            Step::ModusPonens {
+                implication: glue1,
+                antecedent: c_to_e,
+            },
+        );
+        let c_to_kbody = push(
+            &mut steps,
+            Step::ModusPonens {
+                implication: mp1,
+                antecedent: project,
+            },
+        );
+        // Kᵢ(φ ∧ C) → Kᵢ(C ∧ C) by necessitation + distribution.
+        let taut = push(
+            &mut steps,
+            Step::Axiom(Axiom::Tautology(body.clone().implies(cc.clone()))),
+        );
+        let nec = push(&mut steps, Step::Necessitation { agent: i, of: taut });
+        let dist = push(
+            &mut steps,
+            Step::Axiom(Axiom::KDistribution {
+                agent: i,
+                phi: body.clone(),
+                psi: cc.clone(),
+            }),
+        );
+        let k_to_k = push(
+            &mut steps,
+            Step::ModusPonens {
+                implication: dist,
+                antecedent: nec,
+            },
+        );
+        // Chain: C → Kᵢ(C ∧ C).
+        let glue2 = push(
+            &mut steps,
+            Step::Axiom(Axiom::Tautology(
+                c.clone().implies(k_body.clone()).implies(
+                    k_body
+                        .clone()
+                        .implies(k_cc.clone())
+                        .implies(c.clone().implies(k_cc.clone())),
+                ),
+            )),
+        );
+        let mp2 = push(
+            &mut steps,
+            Step::ModusPonens {
+                implication: glue2,
+                antecedent: c_to_kbody,
+            },
+        );
+        let done = push(
+            &mut steps,
+            Step::ModusPonens {
+                implication: mp2,
+                antecedent: k_to_k,
+            },
+        );
+        per_agent.push(done);
+    }
+
+    // Collect: (C→K₁(C∧C)) → (… → (C → E_G(C∧C))) as one tautology,
+    // then discharge each antecedent by modus ponens.
+    let target = cc.clone().everyone(group.clone());
+    let mut collect = c.clone().implies(target);
+    for &i in group.iter().rev() {
+        collect = c.clone().implies(cc.clone().known_by(i)).implies(collect);
+    }
+    let mut current = push(&mut steps, Step::Axiom(Axiom::Tautology(collect)));
+    for &line in &per_agent {
+        current = push(
+            &mut steps,
+            Step::ModusPonens {
+                implication: current,
+                antecedent: line,
+            },
+        );
+    }
+    // Induction: from ⊢ C → E_G(C ∧ C) conclude ⊢ C → C_G C.
+    push(&mut steps, Step::Induction { group, of: current });
+
+    let mut proof = Proof::new();
+    for s in steps {
+        proof = proof.then(s);
+    }
+    proof
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpa_measure::rat;
+
+    fn p(name: &str) -> Formula {
+        Formula::prop(name)
+    }
+
+    #[test]
+    fn all_theorems_check() {
+        let i = AgentId(0);
+        let g = vec![AgentId(0), AgentId(1)];
+        let proofs = [
+            knowledge_of_conjunct(i, p("x"), p("y")),
+            knowledge_of_conjunction(i, p("x"), p("y")),
+            certainty_weakening(i, p("x"), rat!(2 / 3)),
+            common_implies_knowledge(g.clone(), p("x")),
+            knowledge_implies_k_alpha(i, p("x"), rat!(1 / 2)),
+            common_knowledge_is_common(g, p("x")),
+        ];
+        for (k, proof) in proofs.iter().enumerate() {
+            assert!(proof.check().is_ok(), "theorem {k} fails to check");
+        }
+    }
+
+    #[test]
+    fn conclusions_have_the_advertised_shapes() {
+        let i = AgentId(0);
+        let g = vec![AgentId(0), AgentId(1)];
+        let phi = p("x");
+        let psi = p("y");
+        assert_eq!(
+            knowledge_of_conjunct(i, phi.clone(), psi.clone())
+                .conclusion()
+                .unwrap(),
+            Formula::and([phi.clone(), psi.clone()])
+                .known_by(i)
+                .implies(phi.clone().known_by(i))
+        );
+        assert_eq!(
+            knowledge_of_conjunction(i, phi.clone(), psi.clone())
+                .conclusion()
+                .unwrap(),
+            Formula::and([phi.clone().known_by(i), psi.clone().known_by(i)])
+                .implies(Formula::and([phi.clone(), psi.clone()]).known_by(i))
+        );
+        assert_eq!(
+            certainty_weakening(i, phi.clone(), rat!(2 / 3))
+                .conclusion()
+                .unwrap(),
+            phi.clone()
+                .known_by(i)
+                .implies(phi.clone().pr_ge(i, rat!(2 / 3)))
+        );
+        assert_eq!(
+            common_implies_knowledge(g.clone(), phi.clone())
+                .conclusion()
+                .unwrap(),
+            phi.clone()
+                .common(g.clone())
+                .implies(phi.clone().known_by(i))
+        );
+        assert_eq!(
+            knowledge_implies_k_alpha(i, phi.clone(), rat!(1 / 2))
+                .conclusion()
+                .unwrap(),
+            phi.clone()
+                .known_by(i)
+                .implies(phi.clone().k_alpha(i, rat!(1 / 2)))
+        );
+        // C_Gφ → C_G C_Gφ, for groups of different sizes.
+        for group in [
+            vec![AgentId(0)],
+            g.clone(),
+            vec![AgentId(0), AgentId(1), AgentId(2)],
+        ] {
+            let c = phi.clone().common(group.clone());
+            assert_eq!(
+                common_knowledge_is_common(group.clone(), phi.clone())
+                    .conclusion()
+                    .unwrap(),
+                c.clone().implies(c.common(group)),
+                "group size {}",
+                g.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Finite probability distributions over arbitrary outcomes.
+//!
+//! [`Dist`] is the simplest probability object in this workspace: a map
+//! from outcomes to positive rational weights summing to one. It models
+//! the distribution that the probabilistic choices of a protocol induce
+//! on the *runs* of a fixed computation tree (Section 3 of the paper),
+//! as well as helper distributions such as a hypothetical input prior.
+
+use crate::{MeasureError, Rat};
+use std::collections::BTreeMap;
+
+/// A finite probability distribution over outcomes of type `T`.
+///
+/// Weights are exact rationals, strictly positive, and sum to exactly one.
+///
+/// # Examples
+///
+/// ```
+/// use kpa_measure::{rat, Dist};
+///
+/// let coin = Dist::new([("heads", rat!(2 / 3)), ("tails", rat!(1 / 3))])?;
+/// assert_eq!(coin.prob(&"heads"), rat!(2 / 3));
+/// assert_eq!(coin.prob_where(|_| true), rat!(1));
+/// # Ok::<(), kpa_measure::MeasureError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dist<T: Ord> {
+    weights: BTreeMap<T, Rat>,
+}
+
+impl<T: Ord> Dist<T> {
+    /// Creates a distribution from `(outcome, weight)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeasureError::EmptySample`] if no pairs are supplied,
+    /// [`MeasureError::DuplicateElement`] if an outcome repeats,
+    /// [`MeasureError::NonPositiveWeight`] if any weight is `<= 0`, and
+    /// [`MeasureError::NotNormalized`] if the weights do not sum to one.
+    pub fn new(pairs: impl IntoIterator<Item = (T, Rat)>) -> Result<Dist<T>, MeasureError> {
+        let mut weights = BTreeMap::new();
+        let mut sum = Rat::ZERO;
+        for (outcome, w) in pairs {
+            if !w.is_positive() {
+                return Err(MeasureError::NonPositiveWeight { weight: w });
+            }
+            sum += w;
+            if weights.insert(outcome, w).is_some() {
+                return Err(MeasureError::DuplicateElement);
+            }
+        }
+        if weights.is_empty() {
+            return Err(MeasureError::EmptySample);
+        }
+        if !sum.is_one() {
+            return Err(MeasureError::NotNormalized { sum });
+        }
+        Ok(Dist { weights })
+    }
+
+    /// The uniform distribution over the given outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeasureError::EmptySample`] if `outcomes` is empty and
+    /// [`MeasureError::DuplicateElement`] if an outcome repeats.
+    pub fn uniform(outcomes: impl IntoIterator<Item = T>) -> Result<Dist<T>, MeasureError> {
+        let outcomes: Vec<T> = outcomes.into_iter().collect();
+        if outcomes.is_empty() {
+            return Err(MeasureError::EmptySample);
+        }
+        let w = Rat::new(1, outcomes.len() as i128);
+        Dist::new(outcomes.into_iter().map(|o| (o, w)))
+    }
+
+    /// The point-mass (Dirac) distribution on a single outcome.
+    #[must_use]
+    pub fn point_mass(outcome: T) -> Dist<T> {
+        let mut weights = BTreeMap::new();
+        weights.insert(outcome, Rat::ONE);
+        Dist { weights }
+    }
+
+    /// A Bernoulli distribution on `true`/`false`, remapped onto
+    /// arbitrary outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeasureError::NonPositiveWeight`] /
+    /// [`MeasureError::NotNormalized`] if `p` is not strictly between
+    /// zero and one (use [`Dist::point_mass`] for the degenerate cases).
+    pub fn bernoulli(p: Rat, yes: T, no: T) -> Result<Dist<T>, MeasureError> {
+        Dist::new([(yes, p), (no, Rat::ONE - p)])
+    }
+
+    /// The probability of a single outcome (zero if not in the support).
+    #[must_use]
+    pub fn prob(&self, outcome: &T) -> Rat {
+        self.weights.get(outcome).copied().unwrap_or(Rat::ZERO)
+    }
+
+    /// The probability of the event described by a predicate.
+    #[must_use]
+    pub fn prob_where(&self, mut event: impl FnMut(&T) -> bool) -> Rat {
+        self.weights
+            .iter()
+            .filter(|(o, _)| event(o))
+            .map(|(_, w)| *w)
+            .sum()
+    }
+
+    /// The number of outcomes in the support.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the support is empty (never true for a valid distribution).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Iterates over `(outcome, weight)` pairs in outcome order.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, Rat)> {
+        self.weights.iter().map(|(o, w)| (o, *w))
+    }
+
+    /// The outcomes in the support, in order.
+    pub fn outcomes(&self) -> impl Iterator<Item = &T> {
+        self.weights.keys()
+    }
+
+    /// Conditions the distribution on an event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeasureError::Unconditionable`] if the event has
+    /// probability zero.
+    pub fn conditioned(&self, mut event: impl FnMut(&T) -> bool) -> Result<Dist<T>, MeasureError>
+    where
+        T: Clone,
+    {
+        let norm = self.prob_where(&mut event);
+        if norm.is_zero() {
+            return Err(MeasureError::Unconditionable);
+        }
+        let weights = self
+            .weights
+            .iter()
+            .filter(|(o, _)| event(o))
+            .map(|(o, w)| (o.clone(), *w / norm))
+            .collect();
+        Ok(Dist { weights })
+    }
+
+    /// The expected value of a rational-valued function of the outcome.
+    #[must_use]
+    pub fn expectation(&self, mut f: impl FnMut(&T) -> Rat) -> Rat {
+        self.weights.iter().map(|(o, w)| f(o) * *w).sum()
+    }
+
+    /// The product distribution on pairs of independent outcomes.
+    #[must_use]
+    pub fn product<U: Ord + Clone>(&self, other: &Dist<U>) -> Dist<(T, U)>
+    where
+        T: Clone,
+    {
+        let mut weights = BTreeMap::new();
+        for (a, wa) in &self.weights {
+            for (b, wb) in &other.weights {
+                weights.insert((a.clone(), b.clone()), *wa * *wb);
+            }
+        }
+        Dist { weights }
+    }
+
+    /// Applies a function to each outcome, merging weights of collisions.
+    #[must_use]
+    pub fn map<U: Ord>(&self, mut f: impl FnMut(&T) -> U) -> Dist<U> {
+        let mut weights: BTreeMap<U, Rat> = BTreeMap::new();
+        for (o, w) in &self.weights {
+            *weights.entry(f(o)).or_insert(Rat::ZERO) += *w;
+        }
+        Dist { weights }
+    }
+}
+
+impl Dist<u32> {
+    /// The exact binomial distribution: the number of successes in `n`
+    /// independent trials of probability `p` — e.g. how many of the `m`
+    /// messengers of the coordinated-attack protocols get through.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeasureError::NonPositiveWeight`] if `p` is not a
+    /// probability (degenerate `p ∈ {0, 1}` is allowed and yields a
+    /// point mass).
+    pub fn binomial(n: u32, p: Rat) -> Result<Dist<u32>, MeasureError> {
+        if !p.is_probability() {
+            return Err(MeasureError::NonPositiveWeight { weight: p });
+        }
+        if p.is_zero() {
+            return Ok(Dist::point_mass(0));
+        }
+        if p.is_one() {
+            return Ok(Dist::point_mass(n));
+        }
+        let q = Rat::ONE - p;
+        let mut weights = BTreeMap::new();
+        // Iteratively maintain C(n, k) p^k q^(n-k).
+        let mut w = q.pow(n as i32);
+        for k in 0..=n {
+            weights.insert(k, w);
+            if k < n {
+                // C(n,k+1)/C(n,k) = (n-k)/(k+1).
+                w = w * Rat::new(i128::from(n - k), i128::from(k + 1)) * p / q;
+            }
+        }
+        Ok(Dist { weights })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rat;
+
+    fn fair_coin() -> Dist<&'static str> {
+        Dist::uniform(["h", "t"]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(Dist::<u8>::new([]), Err(MeasureError::EmptySample));
+        assert_eq!(Dist::<u8>::uniform([]), Err(MeasureError::EmptySample));
+        assert_eq!(
+            Dist::new([(0u8, rat!(1 / 2)), (0u8, rat!(1 / 2))]),
+            Err(MeasureError::DuplicateElement)
+        );
+        assert_eq!(
+            Dist::new([(0u8, rat!(1 / 2))]),
+            Err(MeasureError::NotNormalized { sum: rat!(1 / 2) })
+        );
+        assert_eq!(
+            Dist::new([(0u8, rat!(0))]),
+            Err(MeasureError::NonPositiveWeight { weight: rat!(0) })
+        );
+    }
+
+    #[test]
+    fn probabilities() {
+        let d = fair_coin();
+        assert_eq!(d.prob(&"h"), rat!(1 / 2));
+        assert_eq!(d.prob(&"x"), Rat::ZERO);
+        assert_eq!(d.prob_where(|o| *o == "h" || *o == "t"), Rat::ONE);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn point_mass_is_certain() {
+        let d = Dist::point_mass(42u8);
+        assert_eq!(d.prob(&42), Rat::ONE);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn conditioning() {
+        // A biased die: condition on "even".
+        let d = Dist::uniform(1u8..=6).unwrap();
+        let even = d.conditioned(|o| o % 2 == 0).unwrap();
+        assert_eq!(even.prob(&2), rat!(1 / 3));
+        assert_eq!(even.prob(&1), Rat::ZERO);
+        assert!(d.conditioned(|o| *o > 6).is_err());
+    }
+
+    #[test]
+    fn expectation() {
+        let d = fair_coin();
+        // A bet paying 2 on heads, 0 on tails has expected value 1.
+        let e = d.expectation(|o| if *o == "h" { rat!(2) } else { rat!(0) });
+        assert_eq!(e, Rat::ONE);
+    }
+
+    #[test]
+    fn product_and_map() {
+        let coin = fair_coin();
+        let pair = coin.product(&coin);
+        assert_eq!(pair.prob(&("h", "t")), rat!(1 / 4));
+        assert_eq!(pair.len(), 4);
+        let num_heads = pair.map(|(a, b)| (*a == "h") as u8 + (*b == "h") as u8);
+        assert_eq!(num_heads.prob(&1), rat!(1 / 2));
+        assert_eq!(num_heads.prob(&2), rat!(1 / 4));
+    }
+
+    #[test]
+    fn bernoulli_and_binomial() {
+        let b = Dist::bernoulli(rat!(1 / 4), "win", "lose").unwrap();
+        assert_eq!(b.prob(&"win"), rat!(1 / 4));
+        assert!(Dist::bernoulli(rat!(0), "w", "l").is_err());
+
+        // The coordinated-attack messenger count: 10 trials at 1/2.
+        let d = Dist::binomial(10, rat!(1 / 2)).unwrap();
+        assert_eq!(d.prob(&0), rat!(1 / 2).pow(10));
+        assert_eq!(d.prob_where(|&k| k >= 1), Rat::ONE - rat!(1 / 2).pow(10));
+        assert_eq!(d.prob(&5), Rat::new(252, 1024));
+        assert_eq!(d.prob_where(|_| true), Rat::ONE);
+        // Expected value np = 5.
+        assert_eq!(
+            d.expectation(|&k| Rat::from_int(i128::from(k))),
+            Rat::from_int(5)
+        );
+        // Degenerate edges.
+        assert_eq!(Dist::binomial(7, Rat::ZERO).unwrap().prob(&0), Rat::ONE);
+        assert_eq!(Dist::binomial(7, Rat::ONE).unwrap().prob(&7), Rat::ONE);
+        assert!(Dist::binomial(3, rat!(3 / 2)).is_err());
+    }
+
+    #[test]
+    fn iteration_orders_outcomes() {
+        let d = Dist::uniform([3u8, 1, 2]).unwrap();
+        let outcomes: Vec<u8> = d.outcomes().copied().collect();
+        assert_eq!(outcomes, vec![1, 2, 3]);
+        let total: Rat = d.iter().map(|(_, w)| w).sum();
+        assert_eq!(total, Rat::ONE);
+    }
+}

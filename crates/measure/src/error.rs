@@ -1,0 +1,82 @@
+//! Error types for measure-theoretic operations.
+
+use crate::Rat;
+use std::fmt;
+
+/// Errors arising when constructing or querying finite probability spaces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MeasureError {
+    /// A probability space was constructed with no sample elements.
+    ///
+    /// This is REQ2 of the paper failing: the set of runs through the
+    /// sample space must have positive measure, which an empty sample
+    /// cannot satisfy.
+    EmptySample,
+    /// A weight that must be strictly positive was zero or negative.
+    NonPositiveWeight {
+        /// The offending weight.
+        weight: Rat,
+    },
+    /// Distribution weights do not sum to one.
+    NotNormalized {
+        /// The actual sum of the weights.
+        sum: Rat,
+    },
+    /// The same sample element was supplied more than once.
+    DuplicateElement,
+    /// A set is not measurable in this space (it is not the projection of
+    /// any set of runs), so it has no well-defined probability — only
+    /// inner and outer measures.
+    NonMeasurable,
+    /// A random variable is not measurable in this space (it is not
+    /// constant on some atom of the σ-algebra), so it has no expectation —
+    /// only inner and outer expectations.
+    NonMeasurableVariable,
+    /// Conditioning on a set of measure zero (or on a nonmeasurable set).
+    Unconditionable,
+}
+
+impl fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeasureError::EmptySample => write!(f, "probability space has an empty sample"),
+            MeasureError::NonPositiveWeight { weight } => {
+                write!(f, "weight {weight} is not strictly positive")
+            }
+            MeasureError::NotNormalized { sum } => {
+                write!(f, "distribution weights sum to {sum}, expected 1")
+            }
+            MeasureError::DuplicateElement => write!(f, "duplicate sample element"),
+            MeasureError::NonMeasurable => write!(f, "set is not measurable in this space"),
+            MeasureError::NonMeasurableVariable => {
+                write!(f, "random variable is not measurable in this space")
+            }
+            MeasureError::Unconditionable => {
+                write!(f, "cannot condition on a nonmeasurable or measure-zero set")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rat;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MeasureError::NotNormalized { sum: rat!(3 / 4) };
+        assert_eq!(e.to_string(), "distribution weights sum to 3/4, expected 1");
+        assert!(!MeasureError::EmptySample.to_string().is_empty());
+        assert!(!MeasureError::NonMeasurable.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: std::error::Error + Send + Sync>(_: E) {}
+        takes_error(MeasureError::Unconditionable);
+    }
+}

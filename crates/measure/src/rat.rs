@@ -1,0 +1,640 @@
+//! Exact rational arithmetic.
+//!
+//! Every probability in the Halpern–Tuttle framework is a rational number
+//! (1/2, 2/3, 1/2¹⁰, 1024/1025, …). Using exact rationals rather than
+//! floating point makes "this matches the paper" a decidable equality test.
+//!
+//! [`Rat`] is an `i128`-backed fraction kept in canonical form: the
+//! denominator is strictly positive and the fraction is fully reduced.
+//! All arithmetic is checked; overflow panics with a descriptive message
+//! (the paper's computations stay far below `i128` range, so an overflow
+//! indicates a logic error rather than a capacity problem).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number backed by `i128`.
+///
+/// Invariants: the denominator is strictly positive and
+/// `gcd(|numerator|, denominator) == 1`.
+///
+/// # Examples
+///
+/// ```
+/// use kpa_measure::Rat;
+///
+/// let half = Rat::new(1, 2);
+/// let third = Rat::new(1, 3);
+/// assert_eq!(half + third, Rat::new(5, 6));
+/// assert_eq!(half * third, Rat::new(1, 6));
+/// assert!(half > third);
+/// assert_eq!(half.pow(10), Rat::new(1, 1024));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+/// Greatest common divisor of two non-negative integers.
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rat {
+    /// The rational number zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// The rational number one.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Creates the rational `num / den` in canonical form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use kpa_measure::Rat;
+    /// assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+    /// assert_eq!(Rat::new(1, -2), Rat::new(-1, 2));
+    /// ```
+    #[must_use]
+    pub fn new(num: i128, den: i128) -> Rat {
+        assert!(den != 0, "rational with zero denominator");
+        let sign = if (num < 0) != (den < 0) && num != 0 {
+            -1
+        } else {
+            1
+        };
+        let (num, den) = (num.unsigned_abs(), den.unsigned_abs());
+        let g = gcd(num as i128, den as i128).max(1);
+        Rat {
+            num: sign * (num as i128 / g),
+            den: den as i128 / g,
+        }
+    }
+
+    /// Creates the rational `num / den`, returning `None` if `den == 0`.
+    #[must_use]
+    pub fn checked_new(num: i128, den: i128) -> Option<Rat> {
+        if den == 0 {
+            None
+        } else {
+            Some(Rat::new(num, den))
+        }
+    }
+
+    /// Creates the integer rational `n / 1`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use kpa_measure::Rat;
+    /// assert_eq!(Rat::from_int(3), Rat::new(3, 1));
+    /// ```
+    #[must_use]
+    pub const fn from_int(n: i128) -> Rat {
+        Rat { num: n, den: 1 }
+    }
+
+    /// The numerator of the canonical form (may be negative).
+    #[must_use]
+    pub const fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// The denominator of the canonical form (always positive).
+    #[must_use]
+    pub const fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// Returns `true` if this rational is exactly zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Returns `true` if this rational is exactly one.
+    #[must_use]
+    pub const fn is_one(self) -> bool {
+        self.num == 1 && self.den == 1
+    }
+
+    /// Returns `true` if this rational lies in the closed interval `[0, 1]`,
+    /// i.e. is a valid probability.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use kpa_measure::Rat;
+    /// assert!(Rat::new(2, 3).is_probability());
+    /// assert!(!Rat::new(4, 3).is_probability());
+    /// assert!(!Rat::new(-1, 3).is_probability());
+    /// ```
+    #[must_use]
+    pub fn is_probability(self) -> bool {
+        !self.is_negative() && self <= Rat::ONE
+    }
+
+    /// Returns `true` if this rational is strictly negative.
+    #[must_use]
+    pub const fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// Returns `true` if this rational is strictly positive.
+    #[must_use]
+    pub const fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// The absolute value.
+    #[must_use]
+    pub fn abs(self) -> Rat {
+        Rat {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// The multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    #[must_use]
+    pub fn recip(self) -> Rat {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rat::new(self.den, self.num)
+    }
+
+    /// Raises `self` to an integer power (negative exponents invert).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero and `exp` is negative, or on overflow.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use kpa_measure::Rat;
+    /// assert_eq!(Rat::new(1, 2).pow(10), Rat::new(1, 1024));
+    /// assert_eq!(Rat::new(2, 3).pow(-2), Rat::new(9, 4));
+    /// assert_eq!(Rat::new(5, 7).pow(0), Rat::ONE);
+    /// ```
+    #[must_use]
+    pub fn pow(self, exp: i32) -> Rat {
+        if exp == 0 {
+            return Rat::ONE;
+        }
+        let base = if exp < 0 { self.recip() } else { self };
+        let mut out = Rat::ONE;
+        for _ in 0..exp.unsigned_abs() {
+            out *= base;
+        }
+        out
+    }
+
+    /// The smaller of two rationals.
+    #[must_use]
+    pub fn min(self, other: Rat) -> Rat {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two rationals.
+    #[must_use]
+    pub fn max(self, other: Rat) -> Rat {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// An `f64` approximation, for display and plotting only.
+    ///
+    /// All decision procedures in this workspace use exact arithmetic;
+    /// this conversion exists so harnesses can print human-friendly values.
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Checked addition, returning `None` on `i128` overflow.
+    #[must_use]
+    pub fn checked_add(self, rhs: Rat) -> Option<Rat> {
+        let g = gcd(self.den, rhs.den);
+        let lhs_scale = rhs.den / g;
+        let rhs_scale = self.den / g;
+        let num = self
+            .num
+            .checked_mul(lhs_scale)?
+            .checked_add(rhs.num.checked_mul(rhs_scale)?)?;
+        let den = self.den.checked_mul(lhs_scale)?;
+        Some(Rat::new(num, den))
+    }
+
+    /// Checked multiplication, returning `None` on `i128` overflow.
+    #[must_use]
+    pub fn checked_mul(self, rhs: Rat) -> Option<Rat> {
+        // Cross-reduce first to keep intermediates small.
+        let g1 = gcd(self.num.unsigned_abs() as i128, rhs.den).max(1);
+        let g2 = gcd(rhs.num.unsigned_abs() as i128, self.den).max(1);
+        let num = (self.num / g1).checked_mul(rhs.num / g2)?;
+        let den = (self.den / g2).checked_mul(rhs.den / g1)?;
+        Some(Rat::new(num, den))
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Rat {
+        Rat::ZERO
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        let lhs = self
+            .num
+            .checked_mul(other.den)
+            .expect("rational comparison overflow");
+        let rhs = other
+            .num
+            .checked_mul(self.den)
+            .expect("rational comparison overflow");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, rhs: Rat) -> Rat {
+        self.checked_add(rhs).expect("rational addition overflow")
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, rhs: Rat) -> Rat {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, rhs: Rat) -> Rat {
+        self.checked_mul(rhs)
+            .expect("rational multiplication overflow")
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    #[allow(clippy::suspicious_arithmetic_impl)] // a/b = a * (1/b) by definition
+    fn div(self, rhs: Rat) -> Rat {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Rat {
+    fn add_assign(&mut self, rhs: Rat) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rat {
+    fn sub_assign(&mut self, rhs: Rat) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Rat {
+    fn mul_assign(&mut self, rhs: Rat) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Rat {
+    fn div_assign(&mut self, rhs: Rat) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Rat {
+    fn sum<I: Iterator<Item = Rat>>(iter: I) -> Rat {
+        iter.fold(Rat::ZERO, Add::add)
+    }
+}
+
+impl<'a> Sum<&'a Rat> for Rat {
+    fn sum<I: Iterator<Item = &'a Rat>>(iter: I) -> Rat {
+        iter.copied().sum()
+    }
+}
+
+impl Product for Rat {
+    fn product<I: Iterator<Item = Rat>>(iter: I) -> Rat {
+        iter.fold(Rat::ONE, Mul::mul)
+    }
+}
+
+impl<'a> Product<&'a Rat> for Rat {
+    fn product<I: Iterator<Item = &'a Rat>>(iter: I) -> Rat {
+        iter.copied().product()
+    }
+}
+
+impl From<i128> for Rat {
+    fn from(n: i128) -> Rat {
+        Rat::from_int(n)
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(n: i64) -> Rat {
+        Rat::from_int(n as i128)
+    }
+}
+
+impl From<i32> for Rat {
+    fn from(n: i32) -> Rat {
+        Rat::from_int(n as i128)
+    }
+}
+
+impl From<u32> for Rat {
+    fn from(n: u32) -> Rat {
+        Rat::from_int(n as i128)
+    }
+}
+
+impl From<usize> for Rat {
+    fn from(n: usize) -> Rat {
+        Rat::from_int(n as i128)
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Error returned when parsing a [`Rat`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRatError {
+    input: String,
+}
+
+impl fmt::Display for ParseRatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational syntax: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseRatError {}
+
+impl FromStr for Rat {
+    type Err = ParseRatError;
+
+    /// Parses `"3"`, `"-3"`, `"3/4"`, or decimal notation like `"0.99"`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use kpa_measure::Rat;
+    /// let p: Rat = "0.99".parse()?;
+    /// assert_eq!(p, Rat::new(99, 100));
+    /// let q: Rat = "-7/2".parse()?;
+    /// assert_eq!(q, Rat::new(-7, 2));
+    /// # Ok::<(), kpa_measure::ParseRatError>(())
+    /// ```
+    fn from_str(s: &str) -> Result<Rat, ParseRatError> {
+        let err = || ParseRatError {
+            input: s.to_owned(),
+        };
+        let s = s.trim();
+        if let Some((n, d)) = s.split_once('/') {
+            let n: i128 = n.trim().parse().map_err(|_| err())?;
+            let d: i128 = d.trim().parse().map_err(|_| err())?;
+            return Rat::checked_new(n, d).ok_or_else(err);
+        }
+        if let Some((whole, frac)) = s.split_once('.') {
+            let neg = whole.trim_start().starts_with('-');
+            let whole: i128 = if whole.is_empty() || whole == "-" {
+                0
+            } else {
+                whole.parse().map_err(|_| err())?
+            };
+            if frac.is_empty() || !frac.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(err());
+            }
+            let digits: i128 = frac.parse().map_err(|_| err())?;
+            let scale = 10i128
+                .checked_pow(u32::try_from(frac.len()).map_err(|_| err())?)
+                .ok_or_else(err)?;
+            let frac_part = Rat::new(digits, scale);
+            let whole_part = Rat::from_int(whole);
+            return Ok(if neg {
+                whole_part - frac_part
+            } else {
+                whole_part + frac_part
+            });
+        }
+        let n: i128 = s.parse().map_err(|_| err())?;
+        Ok(Rat::from_int(n))
+    }
+}
+
+/// Convenience constructor macro for [`Rat`] literals.
+///
+/// # Examples
+///
+/// ```
+/// use kpa_measure::{rat, Rat};
+/// assert_eq!(rat!(1 / 2), Rat::new(1, 2));
+/// assert_eq!(rat!(3), Rat::from_int(3));
+/// ```
+#[macro_export]
+macro_rules! rat {
+    ($n:literal / $d:literal) => {
+        $crate::Rat::new($n, $d)
+    };
+    ($n:literal) => {
+        $crate::Rat::from_int($n)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_form() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(-2, -4), Rat::new(1, 2));
+        assert_eq!(Rat::new(2, -4), Rat::new(-1, 2));
+        assert_eq!(Rat::new(0, -7), Rat::ZERO);
+        assert_eq!(Rat::new(0, 7).denom(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(1, 0);
+    }
+
+    #[test]
+    fn checked_new_rejects_zero_denominator() {
+        assert_eq!(Rat::checked_new(1, 0), None);
+        assert_eq!(Rat::checked_new(3, 6), Some(Rat::new(1, 2)));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = rat!(1 / 2);
+        let b = rat!(1 / 3);
+        assert_eq!(a + b, rat!(5 / 6));
+        assert_eq!(a - b, rat!(1 / 6));
+        assert_eq!(a * b, rat!(1 / 6));
+        assert_eq!(a / b, rat!(3 / 2));
+        assert_eq!(-a, rat!(-1 / 2));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = rat!(1 / 2);
+        x += rat!(1 / 4);
+        assert_eq!(x, rat!(3 / 4));
+        x -= rat!(1 / 4);
+        assert_eq!(x, rat!(1 / 2));
+        x *= rat!(2 / 3);
+        assert_eq!(x, rat!(1 / 3));
+        x /= rat!(1 / 3);
+        assert_eq!(x, Rat::ONE);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(rat!(1 / 2) > rat!(1 / 3));
+        assert!(rat!(-1 / 2) < rat!(1 / 3));
+        assert!(rat!(2 / 4) == rat!(1 / 2));
+        assert_eq!(rat!(1 / 2).max(rat!(2 / 3)), rat!(2 / 3));
+        assert_eq!(rat!(1 / 2).min(rat!(2 / 3)), rat!(1 / 2));
+    }
+
+    #[test]
+    fn pow_and_recip() {
+        assert_eq!(rat!(1 / 2).pow(11), Rat::new(1, 2048));
+        assert_eq!(rat!(2 / 3).pow(-2), rat!(9 / 4));
+        assert_eq!(rat!(0).pow(0), Rat::ONE);
+        assert_eq!(rat!(7 / 3).recip(), rat!(3 / 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn recip_of_zero_panics() {
+        let _ = Rat::ZERO.recip();
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Rat::ZERO.is_zero());
+        assert!(Rat::ONE.is_one());
+        assert!(rat!(99 / 100).is_probability());
+        assert!(Rat::ZERO.is_probability());
+        assert!(Rat::ONE.is_probability());
+        assert!(!rat!(101 / 100).is_probability());
+        assert!(rat!(-1 / 2).is_negative());
+        assert!(rat!(1 / 2).is_positive());
+        assert_eq!(rat!(-3 / 4).abs(), rat!(3 / 4));
+    }
+
+    #[test]
+    fn sums_and_products() {
+        let xs = [rat!(1 / 2), rat!(1 / 3), rat!(1 / 6)];
+        assert_eq!(xs.iter().sum::<Rat>(), Rat::ONE);
+        assert_eq!(xs.iter().copied().sum::<Rat>(), Rat::ONE);
+        assert_eq!(xs.iter().product::<Rat>(), Rat::new(1, 36));
+    }
+
+    #[test]
+    fn parse() {
+        assert_eq!("3/4".parse::<Rat>().unwrap(), rat!(3 / 4));
+        assert_eq!(" -3 / 4 ".parse::<Rat>().unwrap(), rat!(-3 / 4));
+        assert_eq!("5".parse::<Rat>().unwrap(), rat!(5));
+        assert_eq!("0.99".parse::<Rat>().unwrap(), rat!(99 / 100));
+        assert_eq!("-0.5".parse::<Rat>().unwrap(), rat!(-1 / 2));
+        assert_eq!("1.25".parse::<Rat>().unwrap(), rat!(5 / 4));
+        assert!("1/0".parse::<Rat>().is_err());
+        assert!("abc".parse::<Rat>().is_err());
+        assert!("1.x".parse::<Rat>().is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(rat!(1 / 2).to_string(), "1/2");
+        assert_eq!(rat!(-5).to_string(), "-5");
+        assert_eq!(format!("{:?}", rat!(2 / 3)), "2/3");
+    }
+
+    #[test]
+    fn f64_approximation() {
+        assert!((rat!(1 / 3).to_f64() - 0.333_333).abs() < 1e-5);
+    }
+
+    #[test]
+    fn paper_values_fit() {
+        // 1/2^11 from the coordinated-attack analysis and 1024/1025 from CA2.
+        let loss_all = rat!(1 / 2).pow(11);
+        assert_eq!(loss_all, Rat::new(1, 2048));
+        let half = rat!(1 / 2);
+        let conf = half / (half + half * rat!(1 / 2).pow(10));
+        assert_eq!(conf, Rat::new(1024, 1025));
+        assert!(conf > rat!(99 / 100));
+    }
+}

@@ -1,0 +1,285 @@
+//! Property-based tests for the measure substrate.
+//!
+//! These check the field axioms of [`Rat`], the Kolmogorov axioms of
+//! [`Dist`] and [`BlockSpace`] (Proposition 2 of the paper), and the
+//! inner/outer measure laws used throughout Sections 5–7.
+
+use kpa_measure::{BlockSpace, Dist, Rat};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A small rational with numerator/denominator bounded to avoid overflow
+/// in long sums/products.
+fn arb_rat() -> impl Strategy<Value = Rat> {
+    (-1000i128..=1000, 1i128..=1000).prop_map(|(n, d)| Rat::new(n, d))
+}
+
+fn arb_nonzero_rat() -> impl Strategy<Value = Rat> {
+    arb_rat().prop_filter("nonzero", |r| !r.is_zero())
+}
+
+proptest! {
+    #[test]
+    fn rat_addition_commutes(a in arb_rat(), b in arb_rat()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn rat_addition_associates(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn rat_multiplication_commutes(a in arb_rat(), b in arb_rat()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn rat_multiplication_associates(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn rat_distributivity(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn rat_additive_inverse(a in arb_rat()) {
+        prop_assert_eq!(a + (-a), Rat::ZERO);
+        prop_assert_eq!(a - a, Rat::ZERO);
+    }
+
+    #[test]
+    fn rat_multiplicative_inverse(a in arb_nonzero_rat()) {
+        prop_assert_eq!(a * a.recip(), Rat::ONE);
+        prop_assert_eq!(a / a, Rat::ONE);
+    }
+
+    #[test]
+    fn rat_order_is_total_and_compatible(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+        // Totality.
+        prop_assert!(a <= b || b <= a);
+        // Translation invariance.
+        prop_assert_eq!(a <= b, a + c <= b + c);
+        // Scaling by positives preserves order.
+        let two = Rat::from_int(2);
+        prop_assert_eq!(a <= b, a * two <= b * two);
+    }
+
+    #[test]
+    fn rat_display_roundtrips(a in arb_rat()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Rat>().unwrap(), a);
+    }
+
+    #[test]
+    fn rat_pow_adds_exponents(a in arb_nonzero_rat(), m in 0i32..5, n in 0i32..5) {
+        prop_assert_eq!(a.pow(m) * a.pow(n), a.pow(m + n));
+    }
+}
+
+/// Random weights (not yet normalized) for up to 8 outcomes.
+fn arb_weights() -> impl Strategy<Value = Vec<Rat>> {
+    prop::collection::vec(
+        (1i128..=20, 1i128..=20).prop_map(|(n, d)| Rat::new(n, d)),
+        1..=8,
+    )
+}
+
+fn normalized_dist(raw: Vec<Rat>) -> Dist<usize> {
+    let total: Rat = raw.iter().sum();
+    Dist::new(raw.into_iter().enumerate().map(|(i, w)| (i, w / total))).unwrap()
+}
+
+proptest! {
+    #[test]
+    fn dist_total_probability_is_one(raw in arb_weights()) {
+        let d = normalized_dist(raw);
+        prop_assert_eq!(d.prob_where(|_| true), Rat::ONE);
+    }
+
+    #[test]
+    fn dist_additivity_on_disjoint_events(raw in arb_weights(), pivot in 0usize..8) {
+        let d = normalized_dist(raw);
+        let low = d.prob_where(|&o| o < pivot);
+        let high = d.prob_where(|&o| o >= pivot);
+        prop_assert_eq!(low + high, Rat::ONE);
+    }
+
+    #[test]
+    fn dist_conditioning_is_bayes(raw in arb_weights(), pivot in 0usize..8) {
+        let d = normalized_dist(raw);
+        let norm = d.prob_where(|&o| o < pivot);
+        prop_assume!(!norm.is_zero());
+        let cond = d.conditioned(|&o| o < pivot).unwrap();
+        for o in 0..8usize {
+            let expected = if o < pivot { d.prob(&o) / norm } else { Rat::ZERO };
+            prop_assert_eq!(cond.prob(&o), expected);
+        }
+    }
+
+    #[test]
+    fn dist_expectation_is_linear(raw in arb_weights(), a in arb_rat(), b in arb_rat()) {
+        let d = normalized_dist(raw);
+        let f = |o: &usize| Rat::from_int(*o as i128);
+        let g = |o: &usize| Rat::from_int((*o as i128) * 2 + 1);
+        let lhs = d.expectation(|o| a * f(o) + b * g(o));
+        let rhs = a * d.expectation(f) + b * d.expectation(g);
+        prop_assert_eq!(lhs, rhs);
+    }
+}
+
+/// A random block space: up to 6 blocks, each with 1–4 elements and a
+/// positive rational weight. Element identity is (block, index).
+fn arb_block_space() -> impl Strategy<Value = BlockSpace<(usize, usize)>> {
+    prop::collection::vec((1usize..=4, (1i128..=20, 1i128..=20)), 1..=6).prop_map(|blocks| {
+        let weights: Vec<Rat> = blocks.iter().map(|(_, (n, d))| Rat::new(*n, *d)).collect();
+        let pairs = blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(b, (size, _))| (0..*size).map(move |i| ((b, i), b)));
+        BlockSpace::new(pairs, |&b| weights[b]).unwrap()
+    })
+}
+
+/// An arbitrary subset of a space's elements, by bitmask.
+fn subset_of(space: &BlockSpace<(usize, usize)>, mask: u32) -> BTreeSet<(usize, usize)> {
+    space
+        .elements()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << (i % 24)) != 0)
+        .map(|(_, e)| *e)
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn space_inner_leq_outer(space in arb_block_space(), mask in any::<u32>()) {
+        let s = subset_of(&space, mask);
+        prop_assert!(space.inner_measure(&s) <= space.outer_measure(&s));
+    }
+
+    #[test]
+    fn space_measurable_iff_inner_eq_outer(space in arb_block_space(), mask in any::<u32>()) {
+        let s = subset_of(&space, mask);
+        let equal = space.inner_measure(&s) == space.outer_measure(&s);
+        prop_assert_eq!(space.is_measurable(&s), equal);
+        if equal {
+            prop_assert_eq!(space.measure(&s).unwrap(), space.inner_measure(&s));
+        } else {
+            prop_assert!(space.measure(&s).is_err());
+        }
+    }
+
+    #[test]
+    fn space_inner_outer_duality(space in arb_block_space(), mask in any::<u32>()) {
+        // μ⁎(T) = 1 − μ*(Tᶜ), as stated in Section 5 of the paper.
+        let s = subset_of(&space, mask);
+        let complement: BTreeSet<_> = space
+            .elements()
+            .iter()
+            .filter(|e| !s.contains(e))
+            .copied()
+            .collect();
+        prop_assert_eq!(space.inner_measure(&s), Rat::ONE - space.outer_measure(&complement));
+    }
+
+    #[test]
+    fn space_kernel_hull_are_extremal_witnesses(space in arb_block_space(), mask in any::<u32>()) {
+        let s = subset_of(&space, mask);
+        let kernel = space.inner_kernel(&s);
+        let hull = space.outer_hull(&s);
+        prop_assert!(space.is_measurable(&kernel));
+        prop_assert!(space.is_measurable(&hull));
+        prop_assert!(kernel.iter().all(|e| s.contains(e)));
+        prop_assert!(s.iter().all(|e| !space.contains(e) || hull.contains(e)));
+        prop_assert_eq!(space.measure(&kernel).unwrap(), space.inner_measure(&s));
+        prop_assert_eq!(space.measure(&hull).unwrap(), space.outer_measure(&s));
+    }
+
+    #[test]
+    fn space_atoms_are_finest_partition(space in arb_block_space()) {
+        // Proposition 2: the induced space is a genuine probability space.
+        // Atoms are disjoint, measurable, and their measures sum to one.
+        let atoms = space.atoms();
+        let mut total = Rat::ZERO;
+        let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for a in &atoms {
+            prop_assert!(space.is_measurable(a));
+            for e in a {
+                prop_assert!(seen.insert(*e), "atoms must be disjoint");
+            }
+            total += space.measure(a).unwrap();
+        }
+        prop_assert_eq!(total, Rat::ONE);
+        prop_assert_eq!(seen.len(), space.len());
+    }
+
+    #[test]
+    fn space_conditioning_chain_rule(space in arb_block_space(), mask in any::<u32>()) {
+        let s = subset_of(&space, mask);
+        let hull = space.outer_hull(&s);
+        prop_assume!(!hull.is_empty());
+        let cond = space.conditioned(&hull).unwrap();
+        // Proposition 5(c): μ'(X) = μ(X)/μ(hull) for X measurable in both.
+        for atom in cond.atoms() {
+            let lhs = cond.measure(&atom).unwrap();
+            let rhs = space.measure(&atom).unwrap() / space.measure(&hull).unwrap();
+            prop_assert_eq!(lhs, rhs);
+        }
+    }
+
+    #[test]
+    fn space_law_of_total_expectation(space in arb_block_space(), pivot in 0usize..6) {
+        // Partition the sample by a measurable event A (a union of
+        // blocks): E[X] = μ(A)·E[X|A] + μ(Aᶜ)·E[X|Aᶜ].
+        let atoms = space.atoms();
+        let a: BTreeSet<(usize, usize)> = atoms
+            .iter()
+            .take(pivot.min(atoms.len()))
+            .flatten()
+            .copied()
+            .collect();
+        let complement: BTreeSet<(usize, usize)> = space
+            .elements()
+            .iter()
+            .filter(|e| !a.contains(e))
+            .copied()
+            .collect();
+        // A block-constant (hence measurable) random variable.
+        let f = |e: &(usize, usize)| Rat::from_int(e.0 as i128 + 1);
+        let total = space.expectation(f).unwrap();
+        let mut recomposed = Rat::ZERO;
+        for part in [&a, &complement] {
+            if part.is_empty() {
+                continue;
+            }
+            let mu = space.measure(part).unwrap();
+            if mu.is_zero() {
+                continue;
+            }
+            let cond = space.conditioned(part).unwrap();
+            recomposed += mu * cond.expectation(f).unwrap();
+        }
+        prop_assert_eq!(recomposed, total);
+    }
+
+    #[test]
+    fn space_inner_expectation_bounds_expectation(space in arb_block_space(), mask in any::<u32>()) {
+        // For a measurable-ized extension, E⁎ ≤ E ≤ E*; check on the
+        // kernel/hull extremes which realize the bounds.
+        let s = subset_of(&space, mask);
+        let on = Rat::from_int(1);
+        let off = Rat::from_int(-1);
+        let e_inner = space.inner_expectation(&s, on, off);
+        let e_outer = space.outer_expectation(&s, on, off);
+        prop_assert!(e_inner <= e_outer);
+        let kernel = space.inner_kernel(&s);
+        let e_kernel = space
+            .expectation(|e| if kernel.contains(e) { on } else { off })
+            .unwrap();
+        prop_assert_eq!(e_kernel, e_inner);
+    }
+}

@@ -1,0 +1,201 @@
+//! Freund's puzzle of the two aces (Appendix B.1).
+//!
+//! A four-card deck — the aces and deuces of hearts and spades — is
+//! shuffled and two cards are dealt to `p1`. What probability should
+//! `p2` assign to "`p1` holds both aces" as `p1` makes announcements?
+//! Shafer's point, reproduced here: the answer depends on the
+//! *protocol* generating the announcements, and conditioning via
+//! `P^post` gets it right in each case.
+//!
+//! * Under [`aces_protocol1`] ("do you have an ace?" then "do you have
+//!   the ace of spades?") the posterior after "yes, ace" is 1/5 and
+//!   after "yes, spade ace" rises to 1/3.
+//! * Under [`aces_protocol2`] ("do you have an ace?" then "name the
+//!   suit of an ace you hold, at random if you hold both") the
+//!   posterior after "spade" stays 1/5.
+
+use kpa_logic::PointSet;
+use kpa_measure::Rat;
+use kpa_system::{Branch, ProtocolBuilder, StepView, System, SystemError};
+
+/// The six equally likely two-card hands, encoded as card pairs.
+/// `AS`/`AH` are the aces, `2S`/`2H` the deuces.
+pub const HANDS: [(&str, &str); 6] = [
+    ("AS", "2S"),
+    ("AS", "AH"),
+    ("AS", "2H"),
+    ("2S", "AH"),
+    ("2S", "2H"),
+    ("AH", "2H"),
+];
+
+fn deal() -> ProtocolBuilder {
+    ProtocolBuilder::new(["p1", "p2"]).step("deal", |_| {
+        HANDS
+            .iter()
+            .map(|(a, b)| {
+                let mut branch = Branch::new(Rat::new(1, 6))
+                    .observe("p1", &format!("hand={a}{b}"))
+                    .prop(&format!("hand={a}{b}"));
+                if *a == "AS" && *b == "AH" {
+                    branch = branch.prop("both-aces");
+                }
+                if [a, b].iter().any(|c| c.starts_with('A')) {
+                    branch = branch.prop("has-ace");
+                }
+                if [a, b].contains(&&"AS") {
+                    branch = branch.prop("has-spade-ace");
+                }
+                branch
+            })
+            .collect()
+    })
+}
+
+fn announce_ace(view: &StepView<'_>) -> Branch {
+    let msg = if view.has_prop("has-ace") {
+        "say:ace"
+    } else {
+        "say:no-ace"
+    };
+    Branch::new(Rat::ONE).observe("p2", msg)
+}
+
+/// Protocol 1: `p1` announces whether it holds an ace, then whether it
+/// holds the ace of spades. `p2` hears both announcements.
+///
+/// # Errors
+///
+/// Propagates system-construction failures.
+pub fn aces_protocol1() -> Result<System, SystemError> {
+    deal()
+        .deterministic("announce-ace", announce_ace)
+        .deterministic("announce-spade", |view| {
+            let msg = if view.has_prop("has-spade-ace") {
+                "say:spade-ace"
+            } else {
+                "say:no-spade-ace"
+            };
+            Branch::new(Rat::ONE).observe("p2", msg)
+        })
+        .build()
+}
+
+/// Protocol 2: `p1` announces whether it holds an ace; if it does, it
+/// names the suit of one of its aces, choosing uniformly at random when
+/// it holds both. `p2` hears everything.
+///
+/// # Errors
+///
+/// Propagates system-construction failures.
+pub fn aces_protocol2() -> Result<System, SystemError> {
+    deal()
+        .deterministic("announce-ace", announce_ace)
+        .step("reveal-suit", |view| {
+            let spade = view.has_prop("has-spade-ace");
+            let both = view.has_prop("both-aces");
+            if both {
+                vec![
+                    Branch::new(Rat::new(1, 2)).observe("p2", "say:spade"),
+                    Branch::new(Rat::new(1, 2)).observe("p2", "say:heart"),
+                ]
+            } else if spade {
+                vec![Branch::new(Rat::ONE).observe("p2", "say:spade")]
+            } else if view.has_prop("has-ace") {
+                // The only ace held is the heart ace.
+                vec![Branch::new(Rat::ONE).observe("p2", "say:heart")]
+            } else {
+                vec![Branch::new(Rat::ONE).observe("p2", "say:nothing")]
+            }
+        })
+        .build()
+}
+
+/// The points where `p1` holds both aces.
+///
+/// # Panics
+///
+/// Panics if the system was not built by this module.
+#[must_use]
+pub fn both_aces_points(sys: &System) -> PointSet {
+    sys.points_satisfying(sys.prop_id("both-aces").expect("built by aces_protocol*"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpa_assign::{Assignment, ProbAssignment};
+    use kpa_measure::rat;
+    use kpa_system::{AgentId, PointId, TreeId};
+
+    fn p2_prob_at(sys: &System, run: usize, time: usize) -> Rat {
+        let post = ProbAssignment::new(sys, Assignment::post());
+        let both = both_aces_points(sys);
+        post.prob(
+            AgentId(1),
+            PointId {
+                tree: TreeId(0),
+                run,
+                time,
+            },
+            &both,
+        )
+        .unwrap()
+    }
+
+    // Run indices follow HANDS order; run 1 is the both-aces hand.
+
+    #[test]
+    fn prior_probability_is_one_sixth() {
+        let sys = aces_protocol1().unwrap();
+        assert_eq!(p2_prob_at(&sys, 1, 1), rat!(1 / 6));
+    }
+
+    #[test]
+    fn after_ace_announcement_one_fifth() {
+        let sys = aces_protocol1().unwrap();
+        assert_eq!(p2_prob_at(&sys, 1, 2), rat!(1 / 5));
+    }
+
+    #[test]
+    fn protocol1_after_spade_announcement_one_third() {
+        let sys = aces_protocol1().unwrap();
+        assert_eq!(p2_prob_at(&sys, 1, 3), rat!(1 / 3));
+        // And hearing "no spade ace" drops it to 0.
+        assert_eq!(p2_prob_at(&sys, 3, 3), Rat::ZERO);
+    }
+
+    #[test]
+    fn protocol2_after_spade_reveal_still_one_fifth() {
+        let sys = aces_protocol2().unwrap();
+        // Runs: hand AS,AH splits into two runs (reveal spade/heart).
+        // Find a final point where p2 heard "say:spade".
+        let sys_ref = &sys;
+        let p2 = AgentId(1);
+        let spade_points: Vec<PointId> = sys
+            .points()
+            .filter(|&p| p.time == 3 && sys_ref.local_name(p2, p).contains("say:spade"))
+            .collect();
+        assert!(!spade_points.is_empty());
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        let both = both_aces_points(&sys);
+        for p in spade_points {
+            assert_eq!(post.prob(p2, p, &both).unwrap(), rat!(1 / 5));
+        }
+        // Symmetrically for hearts.
+        let heart_points: Vec<PointId> = sys
+            .points()
+            .filter(|&p| p.time == 3 && sys_ref.local_name(p2, p).contains("say:heart"))
+            .collect();
+        for p in heart_points {
+            assert_eq!(post.prob(p2, p, &both).unwrap(), rat!(1 / 5));
+        }
+    }
+
+    #[test]
+    fn no_ace_hand_is_identified() {
+        let sys = aces_protocol1().unwrap();
+        // Hearing "no ace" pins the hand down: both-aces impossible.
+        assert_eq!(p2_prob_at(&sys, 4, 2), Rat::ZERO);
+    }
+}

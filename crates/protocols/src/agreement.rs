@@ -1,0 +1,221 @@
+//! Agreeing to disagree — the Aumann dynamics closing Appendix B.3.
+//!
+//! The paper ends Appendix B.3 by recalling Aumann's theorem: if two
+//! rational agents with a common prior repeatedly announce their
+//! posteriors for a fact (each refining its knowledge with the other's
+//! announcement), the process converges and the final posteriors are
+//! *equal* — rational agents cannot agree to disagree. This module
+//! implements the Geanakoplos–Polemarchakis announcement dynamics on
+//! top of a [`System`]'s time slice: the common prior is the run
+//! distribution, and each agent's initial partition is its
+//! indistinguishability relation at that time.
+
+use kpa_logic::PointSet;
+use kpa_measure::Rat;
+use kpa_system::{AgentId, PointId, System, TreeId};
+use std::collections::BTreeMap;
+
+/// The trace of one announcement protocol run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgreementTrace {
+    /// Per round, the two agents' posteriors *at the actual point*.
+    pub rounds: Vec<(Rat, Rat)>,
+    /// The common posterior both agents hold after convergence.
+    pub common: Rat,
+}
+
+/// One agent's evolving information: a partition of the time slice.
+#[derive(Debug, Clone)]
+struct Partition {
+    /// Cell index of each slice element (parallel to the slice).
+    cell_of: Vec<usize>,
+}
+
+impl Partition {
+    fn from_locals(sys: &System, agent: AgentId, slice: &[PointId]) -> Partition {
+        let mut index = BTreeMap::new();
+        let cell_of = slice
+            .iter()
+            .map(|&p| {
+                let sym = sys.local(agent, p);
+                let next = index.len();
+                *index.entry(sym).or_insert(next)
+            })
+            .collect();
+        Partition { cell_of }
+    }
+
+    /// Refines this partition by a labeling of the elements: elements
+    /// stay together only if they share both the old cell and the label.
+    fn refine_by<L: Ord>(&mut self, labels: &[L]) {
+        let mut index = BTreeMap::new();
+        let mut next = Vec::with_capacity(self.cell_of.len());
+        for (i, &old) in self.cell_of.iter().enumerate() {
+            let key = (old, &labels[i]);
+            let fresh = index.len();
+            next.push(*index.entry(key).or_insert(fresh));
+        }
+        self.cell_of = next;
+    }
+
+    /// The posterior of `phi` in each element's cell, under `weight`.
+    fn posteriors(&self, slice: &[PointId], weight: &[Rat], phi: &PointSet) -> Vec<Rat> {
+        let cells = self.cell_of.iter().copied().max().map_or(0, |m| m + 1);
+        let mut total = vec![Rat::ZERO; cells];
+        let mut hit = vec![Rat::ZERO; cells];
+        for (i, &p) in slice.iter().enumerate() {
+            total[self.cell_of[i]] += weight[i];
+            if phi.contains(&p) {
+                hit[self.cell_of[i]] += weight[i];
+            }
+        }
+        self.cell_of
+            .iter()
+            .map(|&cell| hit[cell] / total[cell])
+            .collect()
+    }
+}
+
+/// Runs the announcement protocol for agents `i` and `j` about the fact
+/// `phi`, starting from the time-`k` slice of `tree`, with the actual
+/// world `at` (a run index). Returns the round-by-round posteriors at
+/// the actual point and the common value they converge to.
+///
+/// Aumann's theorem (with the run distribution as common prior)
+/// guarantees the final posteriors agree; this function asserts nothing
+/// and simply reports what happens, so tests can *check* the theorem.
+///
+/// # Panics
+///
+/// Panics if `at` is not a run of `tree` or `k` exceeds the horizon.
+#[must_use]
+pub fn announce_until_agreement(
+    sys: &System,
+    i: AgentId,
+    j: AgentId,
+    tree: TreeId,
+    k: usize,
+    at: usize,
+    phi: &PointSet,
+) -> AgreementTrace {
+    let slice: Vec<PointId> = sys.points_at_time(tree, k).collect();
+    let weight: Vec<Rat> = slice.iter().map(|p| sys.run_prob(p.run_id())).collect();
+    let actual = slice
+        .iter()
+        .position(|p| p.run == at)
+        .expect("`at` must index a run of the tree");
+
+    let mut pi = Partition::from_locals(sys, i, &slice);
+    let mut pj = Partition::from_locals(sys, j, &slice);
+    let mut rounds = Vec::new();
+    loop {
+        let post_i = pi.posteriors(&slice, &weight, phi);
+        let post_j = pj.posteriors(&slice, &weight, phi);
+        rounds.push((post_i[actual], post_j[actual]));
+        // Each announcement is common: both partitions refine by both
+        // announced posterior functions.
+        let before = (pi.cell_of.clone(), pj.cell_of.clone());
+        pi.refine_by(&post_j);
+        pi.refine_by(&post_i);
+        pj.refine_by(&post_i);
+        pj.refine_by(&post_j);
+        if (pi.cell_of.clone(), pj.cell_of.clone()) == before {
+            let last = *rounds.last().expect("at least one round");
+            return AgreementTrace {
+                rounds,
+                common: last.0,
+            };
+        }
+    }
+}
+
+/// Whether the trace ended in agreement (the Aumann conclusion).
+#[must_use]
+pub fn agreed(trace: &AgreementTrace) -> bool {
+    trace
+        .rounds
+        .last()
+        .is_some_and(|&(a, b)| a == b && a == trace.common)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpa_measure::rat;
+    use kpa_system::{Branch, ProtocolBuilder};
+
+    /// A classic disagreement example: four equally likely worlds.
+    /// p1's partition: {w0,w1} {w2,w3}; p2's: {w0,w1,w2} {w3}.
+    /// φ = {w1, w2}.
+    fn four_worlds() -> kpa_system::System {
+        ProtocolBuilder::new(["p1", "p2"])
+            .step("world", |_| {
+                (0..4)
+                    .map(|w| {
+                        let mut b = Branch::new(rat!(1 / 4))
+                            .observe("p1", if w < 2 { "left" } else { "right" })
+                            .observe("p2", if w < 3 { "low" } else { "high" });
+                        if w == 1 || w == 2 {
+                            b = b.prop("phi");
+                        }
+                        b
+                    })
+                    .collect()
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn posteriors_converge_to_agreement() {
+        let sys = four_worlds();
+        let phi = sys.points_satisfying(sys.prop_id("phi").unwrap());
+        // Actual world w0: p1 sees "left" (posterior 1/2), p2 sees "low"
+        // (posterior 2/3). They disagree at round 0…
+        let trace = announce_until_agreement(&sys, AgentId(0), AgentId(1), TreeId(0), 1, 0, &phi);
+        assert_eq!(trace.rounds[0], (rat!(1 / 2), rat!(2 / 3)));
+        // …and end up agreeing.
+        assert!(agreed(&trace), "trace: {trace:?}");
+    }
+
+    #[test]
+    fn informed_agents_agree_immediately() {
+        // If both see everything, posteriors are 0/1 and equal at once.
+        let sys = ProtocolBuilder::new(["p1", "p2"])
+            .coin(
+                "c",
+                &[("h", rat!(1 / 3)), ("t", rat!(2 / 3))],
+                &["p1", "p2"],
+            )
+            .build()
+            .unwrap();
+        let phi = sys.points_satisfying(sys.prop_id("c=h").unwrap());
+        let trace = announce_until_agreement(&sys, AgentId(0), AgentId(1), TreeId(0), 1, 0, &phi);
+        assert_eq!(trace.rounds.len(), 1);
+        assert_eq!(trace.common, Rat::ONE);
+        assert!(agreed(&trace));
+    }
+
+    #[test]
+    fn agreement_on_every_world_of_random_slices() {
+        // Aumann's conclusion at every actual world of the four-world
+        // system and of a two-coin system.
+        let sys = four_worlds();
+        let phi = sys.points_satisfying(sys.prop_id("phi").unwrap());
+        for at in 0..4 {
+            let t = announce_until_agreement(&sys, AgentId(0), AgentId(1), TreeId(0), 1, at, &phi);
+            assert!(agreed(&t), "world {at}: {t:?}");
+        }
+
+        let sys = ProtocolBuilder::new(["p1", "p2"])
+            .coin("a", &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))], &["p1"])
+            .coin("b", &[("h", rat!(1 / 3)), ("t", rat!(2 / 3))], &["p2"])
+            .build()
+            .unwrap();
+        let phi = sys.points_satisfying(sys.prop_id("b=h").unwrap());
+        for at in 0..4 {
+            let t = announce_until_agreement(&sys, AgentId(0), AgentId(1), TreeId(0), 2, at, &phi);
+            assert!(agreed(&t), "world {at}: {t:?}");
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! Probabilistic coordinated attack (Sections 4 and 8).
+//!
+//! Two generals `A` and `B` must coordinate an attack ("A attacks iff B
+//! attacks") but can communicate only via messengers that are captured
+//! with probability `loss`. General `A` tosses a fair coin to decide
+//! whether to attack and, on heads, sends `m` messengers to `B`.
+//!
+//! * [`ca1`] — the Section 4 protocol in which `B` additionally reports
+//!   back (via one more lossy messenger) whether it learned the
+//!   outcome; `A` attacks on heads *regardless*. Coordination holds
+//!   with high probability over the runs, yet `A` can reach a point
+//!   where it *knows* the attack will fail.
+//! * [`ca2`] — the variant without the report; every agent keeps
+//!   confidence ≥ `1 − loss^{m+1}/(1 + loss^{m+1})`-ish at every point
+//!   (for `m = 10`, `loss = 1/2`: exactly `1024/1025`).
+//!
+//! Proposition 11's claims about which probability assignments admit
+//! probabilistic common knowledge of coordination are exercised in the
+//! crate's tests and in the `kpa-bench` experiment harness.
+
+use kpa_logic::{Formula, PointSet};
+use kpa_measure::Rat;
+use kpa_system::{Branch, ProtocolBuilder, System, SystemError, TreeId};
+
+fn toss_and_deliver(m: u32, loss: Rat) -> ProtocolBuilder {
+    let arrive = Rat::ONE - loss.pow(m as i32);
+    ProtocolBuilder::new(["A", "B"])
+        .coin(
+            "coin",
+            &[("h", Rat::new(1, 2)), ("t", Rat::new(1, 2))],
+            &["A"],
+        )
+        .step("deliver", move |view| {
+            if view.observed("A", "coin=h") {
+                vec![
+                    Branch::new(arrive)
+                        .observe("B", "learned=h")
+                        .prop("B-learned"),
+                    Branch::new(Rat::ONE - arrive),
+                ]
+            } else {
+                vec![Branch::new(Rat::ONE)]
+            }
+        })
+}
+
+fn attack_step(b: ProtocolBuilder) -> ProtocolBuilder {
+    b.step("attack", |view| {
+        let a_attacks = view.observed("A", "coin=h");
+        let b_attacks = view.has_prop("B-learned");
+        let mut branch = Branch::new(Rat::ONE);
+        if a_attacks {
+            branch = branch.prop("A-attacks");
+        }
+        if b_attacks {
+            branch = branch.prop("B-attacks");
+        }
+        branch = branch.prop(if a_attacks == b_attacks {
+            "coordinated"
+        } else {
+            "uncoordinated"
+        });
+        vec![branch]
+    })
+}
+
+/// The protocol `CA1` with `m` messengers and per-messenger capture
+/// probability `loss`.
+///
+/// Rounds: `A` tosses (observed by `A`); the `m` messengers either get
+/// at least one through (probability `1 − loss^m`, `B` observes
+/// `learned=h`) or all are captured; `B` reports whether it learned,
+/// via a messenger lost with probability `loss` (`A` observes
+/// `B:learned` / `B:unlearned` or nothing); both attack per the
+/// protocol, and the final states carry `A-attacks`, `B-attacks`, and
+/// `coordinated`/`uncoordinated`.
+///
+/// # Errors
+///
+/// Propagates system-construction failures.
+///
+/// # Panics
+///
+/// Panics if `loss` is not a probability or `m == 0`.
+pub fn ca1(m: u32, loss: Rat) -> Result<System, SystemError> {
+    assert!(m > 0, "at least one messenger");
+    assert!(loss.is_probability(), "loss must be in [0, 1]");
+    let b = toss_and_deliver(m, loss).step("report", move |view| {
+        let learned = view.has_prop("B-learned");
+        let msg = if learned { "B:learned" } else { "B:unlearned" };
+        vec![
+            Branch::new(Rat::ONE - loss).observe("A", msg),
+            Branch::new(loss),
+        ]
+    });
+    attack_step(b).build()
+}
+
+/// The protocol `CA2`: like [`ca1`] but `B` never reports back.
+///
+/// # Errors
+///
+/// Propagates system-construction failures.
+///
+/// # Panics
+///
+/// As for [`ca1`].
+pub fn ca2(m: u32, loss: Rat) -> Result<System, SystemError> {
+    assert!(m > 0, "at least one messenger");
+    assert!(loss.is_probability(), "loss must be in [0, 1]");
+    attack_step(toss_and_deliver(m, loss)).build()
+}
+
+/// The *adaptive* variant of [`ca1`] suggested by the end of Section 8
+/// ("processors modify their actions in light of what they have
+/// learned"): identical to `CA1`, except that general `A` *aborts* its
+/// attack when `B`'s report tells it that `B` never learned the
+/// outcome — the exact situation in which `CA1`'s general `A` attacks
+/// while certain the attack will fail.
+///
+/// The adaptation strictly improves the protocol: coordination now
+/// fails only when the coin is heads, all `m` messengers are lost,
+/// *and* `B`'s report is also lost (probability `loss^{m+1}/2`), and —
+/// unlike `CA1` — probabilistic common knowledge of coordination holds
+/// everywhere under the *posterior* assignment, not just the prior.
+///
+/// # Errors
+///
+/// Propagates system-construction failures.
+///
+/// # Panics
+///
+/// As for [`ca1`].
+pub fn ca1_adaptive(m: u32, loss: Rat) -> Result<System, SystemError> {
+    assert!(m > 0, "at least one messenger");
+    assert!(loss.is_probability(), "loss must be in [0, 1]");
+    let b = toss_and_deliver(m, loss).step("report", move |view| {
+        let learned = view.has_prop("B-learned");
+        let msg = if learned { "B:learned" } else { "B:unlearned" };
+        vec![
+            Branch::new(Rat::ONE - loss).observe("A", msg),
+            Branch::new(loss),
+        ]
+    });
+    b.step("attack", |view| {
+        // A aborts if it has been told that B never learned the outcome.
+        let a_attacks = view.observed("A", "coin=h") && !view.observed("A", "B:unlearned");
+        let b_attacks = view.has_prop("B-learned");
+        let mut branch = Branch::new(Rat::ONE);
+        if a_attacks {
+            branch = branch.prop("A-attacks");
+        }
+        if b_attacks {
+            branch = branch.prop("B-attacks");
+        }
+        branch = branch.prop(if a_attacks == b_attacks {
+            "coordinated"
+        } else {
+            "uncoordinated"
+        });
+        vec![branch]
+    })
+    .build()
+}
+
+/// The Fischer–Zuck correctness measure mentioned at the end of
+/// Section 8: the conditional probability, over the runs, that both
+/// generals attack given that at least one of them attacks.
+///
+/// # Panics
+///
+/// Panics if the system was not built by this module, or if no run
+/// attacks at all.
+#[must_use]
+pub fn conditional_coordination_given_attack(sys: &System) -> Rat {
+    let a = sys.prop_id("A-attacks").expect("built by ca1/ca2");
+    let b = sys.prop_id("B-attacks").expect("built by ca1/ca2");
+    let tree = TreeId(0);
+    let horizon = sys.horizon();
+    let mut some = Rat::ZERO;
+    let mut both = Rat::ZERO;
+    for run in 0..sys.tree(tree).runs().len() {
+        let end = kpa_system::PointId {
+            tree,
+            run,
+            time: horizon,
+        };
+        let (pa, pb) = (sys.holds(a, end), sys.holds(b, end));
+        if pa || pb {
+            some += sys.tree(tree).runs()[run].prob();
+        }
+        if pa && pb {
+            both += sys.tree(tree).runs()[run].prob();
+        }
+    }
+    assert!(some.is_positive(), "no run attacks");
+    both / some
+}
+
+/// The coordination fact `φ_CA` as a formula: "this run's attack is (or
+/// will be) coordinated". Since `coordinated` is attached at the attack
+/// round and is sticky, `◇coordinated` is the run fact.
+#[must_use]
+pub fn coordination_formula() -> Formula {
+    Formula::prop("coordinated").eventually()
+}
+
+/// The set of points lying on coordinated runs.
+///
+/// # Panics
+///
+/// Panics if the system was not built by [`ca1`] / [`ca2`].
+#[must_use]
+pub fn coordinated_points(sys: &System) -> PointSet {
+    let prop = sys.prop_id("coordinated").expect("built by ca1/ca2");
+    let tree = TreeId(0);
+    let horizon = sys.horizon();
+    (0..sys.tree(tree).runs().len())
+        .filter(|&run| {
+            sys.holds(
+                prop,
+                kpa_system::PointId {
+                    tree,
+                    run,
+                    time: horizon,
+                },
+            )
+        })
+        .flat_map(|run| (0..=horizon).map(move |time| kpa_system::PointId { tree, run, time }))
+        .collect()
+}
+
+/// The probability, over the runs, that the attack is coordinated.
+///
+/// # Panics
+///
+/// As for [`coordinated_points`].
+#[must_use]
+pub fn coordination_run_probability(sys: &System) -> Rat {
+    let prop = sys.prop_id("coordinated").expect("built by ca1/ca2");
+    let tree = TreeId(0);
+    let horizon = sys.horizon();
+    (0..sys.tree(tree).runs().len())
+        .filter(|&run| {
+            sys.holds(
+                prop,
+                kpa_system::PointId {
+                    tree,
+                    run,
+                    time: horizon,
+                },
+            )
+        })
+        .map(|run| sys.tree(tree).runs()[run].prob())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpa_assign::{Assignment, ProbAssignment};
+    use kpa_logic::Model;
+    use kpa_measure::rat;
+    use kpa_system::AgentId;
+
+    #[test]
+    fn ca1_run_level_guarantee() {
+        let sys = ca1(10, rat!(1 / 2)).unwrap();
+        // 1 − 1/2^11 = 2047/2048 ≥ .99, the Section 4 computation.
+        assert_eq!(coordination_run_probability(&sys), Rat::new(2047, 2048));
+        assert!(coordination_run_probability(&sys) >= rat!(99 / 100));
+    }
+
+    #[test]
+    fn ca1_has_a_point_of_certain_failure() {
+        // "A has decided to attack but received a message from B saying
+        // that B has not learned the outcome. At this point, A is
+        // certain the attack will not be coordinated."
+        let sys = ca1(10, rat!(1 / 2)).unwrap();
+        let a = sys.agent_id("A").unwrap();
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        let model = Model::new(&post);
+        let knows_failure = coordination_formula().not().known_by(a);
+        let sat = model.sat(&knows_failure).unwrap();
+        assert!(!sat.is_empty(), "the certain-failure point exists");
+        // It is the heads ∧ all-lost ∧ report-delivered branch, after
+        // the report arrives.
+        assert!(sat.iter().all(|&p| sys.local_name(a, p).contains("coin=h")
+            && sys.local_name(a, p).contains("B:unlearned")));
+        // Consequently CA1 does NOT satisfy pointwise .99-confidence
+        // under the posterior assignment…
+        let conf = coordination_formula().k_alpha(a, rat!(99 / 100));
+        assert!(!model.holds_everywhere(&conf).unwrap());
+    }
+
+    #[test]
+    fn ca1_achieves_prior_but_not_post_common_knowledge() {
+        // Proposition 11(1).
+        let sys = ca1(10, rat!(1 / 2)).unwrap();
+        let g = [sys.agent_id("A").unwrap(), sys.agent_id("B").unwrap()];
+        let spec = coordination_formula().common_alpha(g, rat!(99 / 100));
+
+        let prior = ProbAssignment::new(&sys, Assignment::prior());
+        assert!(Model::new(&prior).holds_everywhere(&spec).unwrap());
+
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        assert!(!Model::new(&post).holds_everywhere(&spec).unwrap());
+    }
+
+    #[test]
+    fn ca2_pointwise_confidence() {
+        // Section 4: B's conditional probability of coordination given
+        // no message is 1024/1025; with a message it is 1 − 1/2¹⁰ for A
+        // (who sees heads) and 1 for B.
+        let sys = ca2(10, rat!(1 / 2)).unwrap();
+        let b = sys.agent_id("B").unwrap();
+        let coord = coordinated_points(&sys);
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        // A final point where B heard nothing: run 1 (heads, all lost)
+        // at the horizon — or the all-tails run.
+        let horizon = sys.horizon();
+        let silent = kpa_system::PointId {
+            tree: TreeId(0),
+            run: 1,
+            time: horizon,
+        };
+        assert!(!sys.local_name(b, silent).contains("learned"));
+        assert_eq!(post.prob(b, silent, &coord).unwrap(), Rat::new(1024, 1025));
+        // Where B did learn, coordination is certain.
+        let informed = kpa_system::PointId {
+            tree: TreeId(0),
+            run: 0,
+            time: horizon,
+        };
+        assert!(sys.local_name(b, informed).contains("learned=h"));
+        assert_eq!(post.prob(b, informed, &coord).unwrap(), Rat::ONE);
+    }
+
+    #[test]
+    fn ca2_achieves_post_but_not_fut_common_knowledge() {
+        // Proposition 11(2).
+        let sys = ca2(10, rat!(1 / 2)).unwrap();
+        let g = [sys.agent_id("A").unwrap(), sys.agent_id("B").unwrap()];
+        let spec = coordination_formula().common_alpha(g, rat!(99 / 100));
+
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        assert!(Model::new(&post).holds_everywhere(&spec).unwrap());
+        let prior = ProbAssignment::new(&sys, Assignment::prior());
+        assert!(Model::new(&prior).holds_everywhere(&spec).unwrap());
+
+        // Under fut, the heads∧all-lost global state already determines
+        // failure, so the spec fails there (Proposition 11(3) flavor).
+        let fut = ProbAssignment::new(&sys, Assignment::fut());
+        assert!(!Model::new(&fut).holds_everywhere(&spec).unwrap());
+    }
+
+    #[test]
+    fn adaptive_ca1_improves_both_guarantees() {
+        let sys = ca1_adaptive(10, rat!(1 / 2)).unwrap();
+        // Run-level: failure only on heads ∧ all-lost ∧ report-lost:
+        // 1 − 1/2^12 = 4095/4096, strictly better than CA1's 2047/2048.
+        assert_eq!(coordination_run_probability(&sys), Rat::new(4095, 4096));
+        // Pointwise: the adaptive protocol achieves probabilistic
+        // common knowledge of coordination under POST (CA1 does not).
+        let g = [sys.agent_id("A").unwrap(), sys.agent_id("B").unwrap()];
+        let spec = coordination_formula().common_alpha(g, rat!(99 / 100));
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        assert!(Model::new(&post).holds_everywhere(&spec).unwrap());
+        // And A is never certain of failure: where it hears
+        // "B:unlearned" it aborts and the run becomes coordinated; on
+        // the doubly-unlucky run it cannot tell it from the coordinated
+        // arrived-but-report-lost run. The CA1 pathology is gone.
+        let a = sys.agent_id("A").unwrap();
+        let model = Model::new(&post);
+        let knows_failure = coordination_formula().not().known_by(a);
+        assert!(model.sat(&knows_failure).unwrap().is_empty());
+    }
+
+    #[test]
+    fn fischer_zuck_conditional_measure() {
+        // CA1: both attack iff heads ∧ delivered; someone attacks iff
+        // heads (A always attacks on heads) → 1 − 1/2^10.
+        let sys = ca1(10, rat!(1 / 2)).unwrap();
+        assert_eq!(
+            conditional_coordination_given_attack(&sys),
+            Rat::new(1023, 1024)
+        );
+        // CA2 is identical in this respect.
+        let sys = ca2(10, rat!(1 / 2)).unwrap();
+        assert_eq!(
+            conditional_coordination_given_attack(&sys),
+            Rat::new(1023, 1024)
+        );
+        // Adaptive CA1: A also aborts on bad news, so "someone attacks"
+        // shrinks to heads∧(arrived ∨ report lost); conditional
+        // coordination rises to 2046/2047.
+        let sys = ca1_adaptive(10, rat!(1 / 2)).unwrap();
+        assert_eq!(
+            conditional_coordination_given_attack(&sys),
+            Rat::new(2046, 2047)
+        );
+    }
+
+    #[test]
+    fn assignments_agree_at_time_zero() {
+        // Section 8's closing observation: all four assignments give a
+        // fact about the run the same probability at time 0.
+        let sys = ca2(4, rat!(1 / 2)).unwrap();
+        let coord = coordinated_points(&sys);
+        let c = kpa_system::PointId {
+            tree: TreeId(0),
+            run: 0,
+            time: 0,
+        };
+        let agent = AgentId(0);
+        let expected = coordination_run_probability(&sys);
+        for assignment in [
+            Assignment::post(),
+            Assignment::fut(),
+            Assignment::prior(),
+            Assignment::opp(AgentId(1)),
+        ] {
+            let pa = ProbAssignment::new(&sys, assignment.clone());
+            assert_eq!(
+                pa.prob(agent, c, &coord).unwrap(),
+                expected,
+                "{assignment:?} disagrees at time 0"
+            );
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Coin-tossing systems from the paper's running examples.
+
+use kpa_logic::PointSet;
+use kpa_measure::Rat;
+use kpa_system::{Branch, ProtocolBuilder, System, SystemError};
+
+/// The introduction's system: `p3` tosses a fair coin at time 0 and
+/// observes the outcome at time 1; `p1` and `p2` never learn it.
+///
+/// Propositions: `c=h`, `c=t` (sticky), `recent:c=h`, `recent:c=t`.
+///
+/// # Errors
+///
+/// Propagates system-construction failures (none for these parameters).
+///
+/// # Examples
+///
+/// ```
+/// let sys = kpa_protocols::secret_coin()?;
+/// assert_eq!(sys.agent_count(), 3);
+/// assert_eq!(sys.tree(kpa_system::TreeId(0)).runs().len(), 2);
+/// # Ok::<(), kpa_system::SystemError>(())
+/// ```
+pub fn secret_coin() -> Result<System, SystemError> {
+    ProtocolBuilder::new(["p1", "p2", "p3"])
+        .coin(
+            "c",
+            &[("h", Rat::new(1, 2)), ("t", Rat::new(1, 2))],
+            &["p3"],
+        )
+        .build()
+}
+
+/// The Section 7 system: `p3` tosses a fair coin `n` times, once per
+/// clock tick; `p1` has no clock and `p2` does. Neither learns the
+/// outcomes.
+///
+/// Following the paper's intent that every point `p1` considers possible
+/// has at least one completed toss, `p1` observes a single content-free
+/// `go` signal at the first toss and nothing afterwards; thereafter it
+/// cannot distinguish any of the later points.
+///
+/// Propositions: `c<k>=h/t` (sticky, per toss) and `recent=h` /
+/// `recent=t` (transient — "the most recent coin toss landed heads").
+///
+/// # Errors
+///
+/// Propagates system-construction failures.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn async_coin_tosses(n: usize) -> Result<System, SystemError> {
+    assert!(n > 0, "at least one toss is required");
+    let mut b = ProtocolBuilder::new(["p1", "p2", "p3"]).clockless("p1");
+    for k in 0..n {
+        let name = format!("c{k}");
+        b = b.step(&name.clone(), move |_| {
+            ["h", "t"]
+                .map(|o| {
+                    let branch = Branch::new(Rat::new(1, 2))
+                        .prop(&format!("{name}={o}"))
+                        .transient_prop(&format!("recent={o}"));
+                    if k == 0 {
+                        branch.observe("p1", "go")
+                    } else {
+                        branch
+                    }
+                })
+                .to_vec()
+        });
+    }
+    b.build()
+}
+
+/// The set of points where the most recent toss landed heads, in a
+/// system built by [`async_coin_tosses`].
+///
+/// # Panics
+///
+/// Panics if the system lacks the `recent=h` proposition.
+#[must_use]
+pub fn recent_heads(sys: &System) -> PointSet {
+    sys.points_satisfying(sys.prop_id("recent=h").expect("built by async_coin_tosses"))
+}
+
+/// The biased two-run system closing Section 7: a coin landing heads
+/// with probability 99/100; `p2` can distinguish only the time-1 heads
+/// point from the other three points; `p1` sees nothing.
+///
+/// The fact "the coin lands heads" is a fact about the *run*, true at
+/// `(h,0)` but false at `(t,0)` even though those two points share the
+/// root global state — so it cannot be a state proposition; use
+/// [`heads_run_fact`] for the point set.
+///
+/// # Errors
+///
+/// Propagates system-construction failures.
+pub fn biased_two_run() -> Result<System, SystemError> {
+    ProtocolBuilder::new(["p1", "p2"])
+        .clockless("p1")
+        .clockless("p2")
+        .step("coin", |_| {
+            vec![
+                Branch::new(Rat::new(99, 100)).observe("p2", "saw-h"),
+                Branch::new(Rat::new(1, 100)),
+            ]
+        })
+        .build()
+}
+
+/// The run-fact "the coin lands heads" of [`biased_two_run`]: every
+/// point of the heads run (run 0, by branch order).
+#[must_use]
+pub fn heads_run_fact(sys: &System) -> PointSet {
+    sys.points().filter(|p| p.run == 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpa_measure::rat;
+    use kpa_system::{AgentId, PointId, TreeId};
+
+    fn pt(run: usize, time: usize) -> PointId {
+        PointId {
+            tree: TreeId(0),
+            run,
+            time,
+        }
+    }
+
+    #[test]
+    fn secret_coin_shape() {
+        let sys = secret_coin().unwrap();
+        assert!(sys.is_synchronous());
+        let heads = sys.points_satisfying(sys.prop_id("c=h").unwrap());
+        assert_eq!(heads.len(), 1);
+    }
+
+    #[test]
+    fn async_tosses_shape() {
+        let sys = async_coin_tosses(3).unwrap();
+        assert_eq!(sys.horizon(), 3);
+        assert_eq!(sys.tree(TreeId(0)).runs().len(), 8);
+        assert!(!sys.is_synchronous());
+        // p1 considers exactly the post-"go" points possible.
+        let p1 = AgentId(0);
+        let k = sys.indistinguishable(p1, pt(0, 1));
+        assert_eq!(k.len(), 8 * 3);
+        assert!(k.iter().all(|p| p.time >= 1));
+        // recent=h flips per point.
+        let heads = recent_heads(&sys);
+        assert_eq!(heads.len(), 4 + 4 + 4); // half of each time slice 1..3
+    }
+
+    #[test]
+    fn biased_two_run_fact_is_about_the_run() {
+        let sys = biased_two_run().unwrap();
+        let heads = heads_run_fact(&sys);
+        assert_eq!(heads, [pt(0, 0), pt(0, 1)].into_iter().collect());
+        // (h,0) and (t,0) share the root global state, yet the fact
+        // differs between them: it is not a state fact.
+        assert_eq!(sys.node_id_of(pt(0, 0)), sys.node_id_of(pt(1, 0)));
+        assert_eq!(sys.tree(TreeId(0)).runs()[0].prob(), rat!(99 / 100));
+    }
+}

@@ -1,0 +1,110 @@
+//! The die example closing Section 5.
+//!
+//! A fair die is tossed by `p1`; `p2` does not learn the outcome. The
+//! example contrasts the undivided sample-space assignment (under which
+//! `p2` knows the probability of "even" is exactly 1/2) with a
+//! subdivided one (under which `p2` only knows it is either 1/3 or 2/3
+//! — less precise, but the right space against a better-informed
+//! opponent).
+
+use kpa_assign::Assignment;
+use kpa_logic::PointSet;
+use kpa_measure::Rat;
+use kpa_system::{Branch, ProtocolBuilder, System, SystemError};
+
+/// The die system: `p1` tosses a fair die and observes it; `p2` (and a
+/// third agent `p3` who learns only whether the outcome is ≤ 3) do not.
+///
+/// Propositions: `die=1` … `die=6` and `even` (all sticky).
+///
+/// # Errors
+///
+/// Propagates system-construction failures.
+pub fn die_system() -> Result<System, SystemError> {
+    ProtocolBuilder::new(["p1", "p2", "p3"])
+        .step("toss", |_| {
+            (1..=6)
+                .map(|face| {
+                    let mut b = Branch::new(Rat::new(1, 6))
+                        .observe("p1", &format!("die={face}"))
+                        .observe("p3", if face <= 3 { "low" } else { "high" })
+                        .prop(&format!("die={face}"));
+                    if face % 2 == 0 {
+                        b = b.prop("even");
+                    }
+                    b
+                })
+                .collect()
+        })
+        .build()
+}
+
+/// The set of points where the die landed even.
+///
+/// # Panics
+///
+/// Panics if the system was not built by [`die_system`].
+#[must_use]
+pub fn even_points(sys: &System) -> PointSet {
+    sys.points_satisfying(sys.prop_id("even").expect("built by die_system"))
+}
+
+/// The subdivided sample-space assignment `S²` from the example: at the
+/// points where the die landed 1–3 the sample is `{c1, c2, c3}`, and at
+/// the points where it landed 4–6 it is `{c4, c5, c6}` (time-1 points;
+/// other points keep their posterior samples). It coincides with
+/// betting against `p3`, who knows which half the die landed in.
+#[must_use]
+pub fn die_subdivided_assignment() -> Assignment {
+    // Opp(p3) realizes exactly the subdivision: p3 knows low vs high.
+    Assignment::opp(kpa_system::AgentId(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpa_assign::ProbAssignment;
+    use kpa_measure::rat;
+    use kpa_system::{AgentId, PointId, TreeId};
+
+    fn pt(run: usize, time: usize) -> PointId {
+        PointId {
+            tree: TreeId(0),
+            run,
+            time,
+        }
+    }
+
+    #[test]
+    fn undivided_assignment_gives_exactly_half() {
+        let sys = die_system().unwrap();
+        let even = even_points(&sys);
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        let p2 = AgentId(1);
+        for run in 0..6 {
+            assert_eq!(post.prob(p2, pt(run, 1), &even).unwrap(), rat!(1 / 2));
+        }
+    }
+
+    #[test]
+    fn subdivided_assignment_gives_third_or_two_thirds() {
+        let sys = die_system().unwrap();
+        let even = even_points(&sys);
+        let sub = ProbAssignment::new(&sys, die_subdivided_assignment());
+        let p2 = AgentId(1);
+        // Runs 0..3 are faces 1..3 (one even face: 2) → 1/3.
+        for run in 0..3 {
+            assert_eq!(sub.prob(p2, pt(run, 1), &even).unwrap(), rat!(1 / 3));
+        }
+        // Runs 3..6 are faces 4..6 (two even faces) → 2/3.
+        for run in 3..6 {
+            assert_eq!(sub.prob(p2, pt(run, 1), &even).unwrap(), rat!(2 / 3));
+        }
+        // p2 knows only the disjunction: sample spaces partition the
+        // slice (Proposition 4), and precision is lost (Theorem 9(b)).
+        let samples: Vec<_> = (0..6).map(|r| sub.sample(p2, pt(r, 1))).collect();
+        assert_eq!(samples[0], samples[2]);
+        assert_eq!(samples[3], samples[5]);
+        assert_ne!(samples[0], samples[3]);
+    }
+}

@@ -1,0 +1,256 @@
+//! Randomized leader election with knowledge analysis.
+//!
+//! Section 3 cites Rabin's randomized mutual exclusion (Rab82) as a
+//! setting where nondeterministic scheduling and probabilistic choices
+//! interact. This module builds the classic coin-flipping *leader
+//! election* round structure in that spirit: the type-1 adversary
+//! chooses which subset of processes contends (the analogue of the
+//! scheduler choosing who participates), and in each round every
+//! still-active contender flips a fair coin — if **exactly one** flips
+//! heads, it becomes the leader; otherwise everyone stays active and
+//! the next round begins.
+//!
+//! Per adversary (contention set of size `k`), a round elects with
+//! probability `k/2^k`, so the exact probability of electing within
+//! `r` rounds is `1 − (1 − k/2^k)^r` — a statement that, exactly as
+//! the paper prescribes, holds *for every adversary* rather than under
+//! some distribution over contention sets. The knowledge analysis is
+//! where the framework earns its keep: each process observes only its
+//! own coin and the public "someone was elected" bell, so the *winner*
+//! knows it leads immediately, while the losers know only that someone
+//! does.
+
+use kpa_logic::{Formula, PointSet};
+use kpa_measure::Rat;
+use kpa_system::{Branch, ProtocolBuilder, System, SystemError, TreeId};
+
+/// Builds the election system for `n` processes and `rounds` rounds.
+/// Type-1 adversaries: every contention set of size ≥ 2 (singletons
+/// and the empty set make election trivial or vacuous).
+///
+/// Observations per process and round: its own coin (`flip=h/t`) while
+/// active, and the public `bell` when a leader emerges. Propositions:
+/// `elected` (sticky), `leader=P<i>` (sticky), `contender=P<i>`.
+///
+/// # Errors
+///
+/// Propagates system-construction failures.
+///
+/// # Panics
+///
+/// Panics if `n < 2`, `n > 4` (tree size guard: the number of branches
+/// per round is `2^k`), or `rounds == 0`.
+pub fn election(n: usize, rounds: u32) -> Result<System, SystemError> {
+    assert!((2..=4).contains(&n), "2 to 4 processes are supported");
+    assert!(rounds > 0, "at least one round");
+    let names: Vec<String> = (0..n).map(|i| format!("P{i}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+
+    // One adversary per contention set of size >= 2.
+    let mut adversaries = Vec::new();
+    for mask in 0u32..(1 << n) {
+        if mask.count_ones() >= 2 {
+            let members: Vec<String> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| format!("P{i}"))
+                .collect();
+            adversaries.push(format!("contend={}", members.join("+")));
+        }
+    }
+    let adv_refs: Vec<&str> = adversaries.iter().map(String::as_str).collect();
+
+    let mut b = ProtocolBuilder::new(name_refs.clone()).adversaries(&adv_refs);
+    // Everyone learns who contends (it is public).
+    b = b.step("announce", |view| {
+        let mut branch = Branch::new(Rat::ONE);
+        let list = view
+            .adversary
+            .strip_prefix("contend=")
+            .expect("adversary name");
+        for p in list.split('+') {
+            branch = branch.prop(&format!("contender={p}"));
+        }
+        vec![branch]
+    });
+
+    for round in 0..rounds {
+        let names = names.clone();
+        b = b.step(&format!("round{round}"), move |view| {
+            if view.has_prop("elected") {
+                // The protocol has terminated; stutter.
+                return vec![Branch::new(Rat::ONE)];
+            }
+            let contenders: Vec<&String> = names
+                .iter()
+                .filter(|p| view.has_prop(&format!("contender={p}")))
+                .collect();
+            let k = contenders.len() as u32;
+            // Branch over all 2^k coin vectors.
+            let mut out = Vec::new();
+            for flips in 0u32..(1 << k) {
+                let mut branch = Branch::new(Rat::new(1, 1 << k));
+                for (bit, p) in contenders.iter().enumerate() {
+                    let o = if flips & (1 << bit) != 0 { "h" } else { "t" };
+                    branch = branch.observe(p, &format!("r{round}:flip={o}"));
+                }
+                if flips.count_ones() == 1 {
+                    let winner_bit = flips.trailing_zeros() as usize;
+                    let winner = contenders[winner_bit];
+                    branch = branch.prop("elected").prop(&format!("leader={winner}"));
+                    for p in &names {
+                        branch = branch.observe(p, &format!("r{round}:bell"));
+                    }
+                }
+                out.push(branch);
+            }
+            out
+        });
+    }
+    b.build()
+}
+
+/// The exact probability that a contention set of size `k` elects a
+/// leader within `r` rounds: `1 − (1 − k/2^k)^r`.
+#[must_use]
+pub fn election_probability(k: u32, rounds: u32) -> Rat {
+    let per_round = Rat::new(i128::from(k), 1 << k);
+    Rat::ONE - (Rat::ONE - per_round).pow(rounds as i32)
+}
+
+/// The measured probability, over the runs of one tree, that a leader
+/// is elected.
+///
+/// # Panics
+///
+/// Panics if the system was not built by [`election`].
+#[must_use]
+pub fn measured_election_probability(sys: &System, tree: TreeId) -> Rat {
+    let elected = sys.prop_id("elected").expect("built by election");
+    let horizon = sys.horizon();
+    (0..sys.tree(tree).runs().len())
+        .filter(|&run| {
+            sys.holds(
+                elected,
+                kpa_system::PointId {
+                    tree,
+                    run,
+                    time: horizon,
+                },
+            )
+        })
+        .map(|run| sys.tree(tree).runs()[run].prob())
+        .sum()
+}
+
+/// The set of points at which some process *knows it is the leader*.
+///
+/// # Panics
+///
+/// Panics if the system was not built by [`election`] or model checking
+/// fails.
+#[must_use]
+pub fn known_leadership_points(sys: &System, model: &kpa_logic::Model<'_, '_>) -> PointSet {
+    let mut out = PointSet::new();
+    for (i, name) in sys.agents().iter().enumerate() {
+        let knows = Formula::prop(format!("leader={name}")).known_by(kpa_system::AgentId(i));
+        out.extend(model.sat(&knows).expect("model checks").iter().copied());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpa_assign::{Assignment, ProbAssignment};
+    use kpa_logic::Model;
+    use kpa_measure::rat;
+    use kpa_system::AgentId;
+
+    #[test]
+    fn election_probability_matches_closed_form_per_adversary() {
+        let sys = election(3, 2).unwrap();
+        // Adversaries: 3 pairs + 1 triple.
+        assert_eq!(sys.tree_count(), 4);
+        for tree in sys.tree_ids() {
+            let k = sys.tree(tree).name().matches('P').count() as u32;
+            assert_eq!(
+                measured_election_probability(&sys, tree),
+                election_probability(k, 2),
+                "tree {}",
+                sys.tree(tree).name()
+            );
+        }
+        // Closed forms: pairs elect per round with prob 1/2, triples 3/8.
+        assert_eq!(election_probability(2, 2), rat!(3 / 4));
+        assert_eq!(election_probability(3, 2), Rat::ONE - rat!(25 / 64));
+    }
+
+    #[test]
+    fn winner_knows_but_losers_only_know_someone_won() {
+        let sys = election(2, 1).unwrap();
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        let model = Model::new(&post);
+        // In the pair tree, find the run where P0 wins round 0.
+        let tree = sys.tree_id("contend=P0+P1").unwrap();
+        let leader_p0 = sys.points_satisfying(sys.prop_id("leader=P0").unwrap());
+        let won = sys
+            .tree_points(tree)
+            .find(|p| p.time == sys.horizon() && leader_p0.contains(p))
+            .expect("P0 wins in some run");
+        // P0 knows it leads (it flipped heads and heard the bell).
+        let p0_knows = Formula::prop("leader=P0").known_by(AgentId(0));
+        assert!(model.holds_at(&p0_knows, won).unwrap());
+        // P1 knows SOMEONE was elected but cannot name the leader …
+        let p1_knows_elected = Formula::prop("elected").known_by(AgentId(1));
+        assert!(model.holds_at(&p1_knows_elected, won).unwrap());
+        // … wait: with two contenders, the loser CAN name the leader
+        // (the bell rang and its own coin was tails). Verify that, then
+        // check the genuine uncertainty with three contenders.
+        let p1_names = Formula::prop("leader=P0").known_by(AgentId(1));
+        assert!(model.holds_at(&p1_names, won).unwrap());
+
+        let sys = election(3, 1).unwrap();
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        let model = Model::new(&post);
+        let tree = sys.tree_id("contend=P0+P1+P2").unwrap();
+        let leader_p0 = sys.points_satisfying(sys.prop_id("leader=P0").unwrap());
+        let won = sys
+            .tree_points(tree)
+            .find(|p| p.time == sys.horizon() && leader_p0.contains(p))
+            .expect("P0 wins in some run");
+        // The bystanders know someone won but not who: for P1, both
+        // "P0 leads" and "P2 leads" remain possible.
+        assert!(model
+            .holds_at(&Formula::prop("elected").known_by(AgentId(1)), won)
+            .unwrap());
+        assert!(!model
+            .holds_at(&Formula::prop("leader=P0").known_by(AgentId(1)), won)
+            .unwrap());
+        // And its posterior over the two candidates is uniform.
+        let (lo, hi) = model
+            .prob_interval(AgentId(1), won, &Formula::prop("leader=P0"))
+            .unwrap();
+        assert_eq!((lo, hi), (rat!(1 / 2), rat!(1 / 2)));
+    }
+
+    #[test]
+    fn known_leadership_appears_exactly_on_elected_runs() {
+        let sys = election(2, 2).unwrap();
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        let model = Model::new(&post);
+        let known = known_leadership_points(&sys, &model);
+        let elected = sys.points_satisfying(sys.prop_id("elected").unwrap());
+        // Knowing you lead implies a leader exists (truth axiom)…
+        assert!(known.iter().all(|p| elected.contains(p)));
+        // …and in this 2-process system the winner always knows at the
+        // moment of election, so every elected terminal point has a
+        // knower somewhere on its run.
+        assert!(!known.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "2 to 4 processes")]
+    fn size_guard() {
+        let _ = election(7, 1);
+    }
+}

@@ -1,0 +1,318 @@
+//! Putting the betting game *into* the system (Appendix B.3).
+//!
+//! Given a synchronous system `R`, a bettor `p_i`, and an opponent
+//! `p_j`, Appendix B.3 constructs a system `R^φ` containing one
+//! computation tree `T_{A,f}` per original tree `T_A` **and per
+//! opponent strategy `f`**, with a betting round inserted after every
+//! round: time `m` of `R` becomes times `2m` (bettor local state
+//! `(s, ?)` — the offer not yet heard) and `2m + 1` (`(s, β)` — the
+//! offer heard), while every other agent's local state is duplicated.
+//!
+//! Theorem 11 states that for a propositional `φ`,
+//!
+//! > `P^j, c ⊨ K_i^α φ` in `R`  ⟺  it holds at `c_f` in `R^φ`
+//! > ⟺  it holds at `c_f^+` in `R^φ`.
+//!
+//! The quantification over strategies is essential: with a *single*
+//! strategy embedded, hearing the offer can leak the opponent's
+//! knowledge to the bettor and the equivalence fails (this module's
+//! tests demonstrate it). With a sufficiently rich family — one
+//! containing, for every strategy `g` and opponent state `t`, a
+//! strategy agreeing with `g` at `t` but injective across states (cf.
+//! the proof's strategy `h`) — the offer reveals nothing `P^j` did not
+//! already account for.
+
+use crate::error::ProtocolError;
+use kpa_assign::{Assignment, ProbAssignment};
+use kpa_betting::Strategy;
+use kpa_logic::{Formula, Model};
+use kpa_measure::Rat;
+use kpa_system::{AgentId, NodeId, PointId, System, SystemBuilder, SystemError, TreeId};
+
+/// Builds `R^φ` over a finite family of opponent strategies: one tree
+/// per (original tree, strategy) pair, in that nesting order — the
+/// image of original tree `t` under strategy `k` is tree
+/// `t * strategies.len() + k`.
+///
+/// Propositions carry over to both copies of each global state. The
+/// original point `(r, m)` corresponds, in each strategy's tree, to the
+/// paper's `(r_f, 2m)` (written `c_f`) and `(r_f, 2m + 1)` (`c_f^+`),
+/// with the same run index.
+///
+/// # Errors
+///
+/// Propagates system-construction failures.
+///
+/// # Panics
+///
+/// Panics if `strategies` is empty.
+pub fn embed_betting_game(
+    sys: &System,
+    bettor: AgentId,
+    opponent: AgentId,
+    strategies: &[Strategy],
+) -> Result<System, SystemError> {
+    assert!(!strategies.is_empty(), "at least one strategy is required");
+    let mut sb = SystemBuilder::new(sys.agents().to_vec());
+    for tree_id in sys.tree_ids() {
+        let tree = sys.tree(tree_id);
+        for (k, strategy) in strategies.iter().enumerate() {
+            let new_tree = sb.add_tree(&format!("{}+f{k}", tree.name()));
+            // Map: original node -> its odd ("offer heard") copy.
+            let mut odd_of: Vec<Option<NodeId>> = vec![None; tree.node_count()];
+            for raw in 0..tree.node_count() as u32 {
+                let id = NodeId(raw);
+                let node = tree.node(id);
+                let offer = strategy
+                    .offer_for(node.locals()[opponent.0])
+                    .map_or_else(|| "none".to_owned(), |b| b.to_string());
+                let props: Vec<String> = node
+                    .props()
+                    .iter()
+                    .map(|&p| sys.prop_name(p).to_owned())
+                    .collect();
+                let props: Vec<&str> = props.iter().map(String::as_str).collect();
+                let local_of = |a: usize, suffix: Option<&str>| {
+                    let base = sys.sym_name(node.locals()[a]).to_owned();
+                    match suffix {
+                        Some(s) if a == bettor.0 => format!("{base}|offer={s}"),
+                        _ => base,
+                    }
+                };
+                let locals_even: Vec<String> = (0..sys.agent_count())
+                    .map(|a| local_of(a, Some("?")))
+                    .collect();
+                let locals_odd: Vec<String> = (0..sys.agent_count())
+                    .map(|a| local_of(a, Some(&offer)))
+                    .collect();
+                let locals_even: Vec<&str> = locals_even.iter().map(String::as_str).collect();
+                let locals_odd: Vec<&str> = locals_odd.iter().map(String::as_str).collect();
+
+                let even = match node.parent() {
+                    None => sb.add_root(new_tree, &locals_even, &props)?,
+                    Some(parent) => {
+                        let (_, prob) = tree
+                            .node(parent)
+                            .children()
+                            .iter()
+                            .find(|(c, _)| *c == id)
+                            .copied()
+                            .expect("child edge exists");
+                        let from = odd_of[parent.0 as usize].expect("parents are built first");
+                        sb.add_child(new_tree, from, prob, &locals_even, &props)?
+                    }
+                };
+                let odd = sb.add_child(new_tree, even, Rat::ONE, &locals_odd, &props)?;
+                odd_of[raw as usize] = Some(odd);
+            }
+        }
+    }
+    sb.build()
+}
+
+/// Every strategy mapping each of the opponent's local states to an
+/// offer from `grid` — the "rich family" making Theorem 11's
+/// quantification over strategies finite. Contains `|grid|^s`
+/// strategies for `s` opponent states, so keep both small.
+///
+/// # Panics
+///
+/// Panics if `grid` is empty or the family would exceed `100_000`
+/// strategies.
+#[must_use]
+pub fn all_strategies(sys: &System, opponent: AgentId, grid: &[Rat]) -> Vec<Strategy> {
+    assert!(!grid.is_empty(), "payoff grid must be nonempty");
+    let states = sys.local_states(opponent);
+    let count = grid.len().checked_pow(states.len() as u32);
+    assert!(
+        count.is_some_and(|c| c <= 100_000),
+        "strategy family too large: {} states over {} offers",
+        states.len(),
+        grid.len()
+    );
+    let mut family = vec![Strategy::silent()];
+    for &sym in &states {
+        family = family
+            .into_iter()
+            .flat_map(|s| grid.iter().map(move |&b| s.clone().with_offer(sym, b)))
+            .collect();
+    }
+    family
+}
+
+/// Checks Theorem 11 pointwise for a propositional fact over a strategy
+/// family: `K_i^α φ` under `P^j` agrees between `R` at `c` and `R^φ`
+/// at `c_f` and `c_f^+`, for every point `c` and every strategy `f` in
+/// the family.
+///
+/// # Errors
+///
+/// Propagates system-construction and model-checking failures.
+///
+/// # Panics
+///
+/// Panics if `strategies` is empty.
+pub fn theorem11_holds(
+    sys: &System,
+    bettor: AgentId,
+    opponent: AgentId,
+    strategies: &[Strategy],
+    phi: &str,
+    alpha: Rat,
+) -> Result<bool, ProtocolError> {
+    let embedded = embed_betting_game(sys, bettor, opponent, strategies)?;
+    let f = Formula::prop(phi).k_alpha(bettor, alpha);
+
+    let orig_pa = ProbAssignment::new(sys, Assignment::opp(opponent));
+    let orig = Model::new(&orig_pa);
+    let orig_sat = orig.sat(&f)?;
+
+    let emb_pa = ProbAssignment::new(&embedded, Assignment::opp(opponent));
+    let emb = Model::new(&emb_pa);
+    let emb_sat = emb.sat(&f)?;
+
+    let n = strategies.len();
+    for c in sys.points() {
+        let in_orig = orig_sat.contains(&c);
+        for k in 0..n {
+            let tree = TreeId(c.tree.0 * n + k);
+            let cf = PointId {
+                tree,
+                run: c.run,
+                time: 2 * c.time,
+            };
+            let cf_plus = PointId {
+                tree,
+                run: c.run,
+                time: 2 * c.time + 1,
+            };
+            if emb_sat.contains(&cf) != in_orig || emb_sat.contains(&cf_plus) != in_orig {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpa_measure::rat;
+    use kpa_system::ProtocolBuilder;
+
+    /// p_j secretly tosses a biased coin; p_i sees nothing.
+    fn base_system() -> System {
+        ProtocolBuilder::new(["i", "j"])
+            .coin("c", &[("h", rat!(2 / 3)), ("t", rat!(1 / 3))], &["j"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn embedding_doubles_time_and_preserves_runs() {
+        let sys = base_system();
+        let strategies = [Strategy::constant(rat!(2))];
+        let emb = embed_betting_game(&sys, AgentId(0), AgentId(1), &strategies).unwrap();
+        assert_eq!(emb.horizon(), 2 * sys.horizon() + 1);
+        let t = TreeId(0);
+        assert_eq!(emb.tree(t).runs().len(), sys.tree(t).runs().len());
+        for (a, b) in emb.tree(t).runs().iter().zip(sys.tree(t).runs()) {
+            assert_eq!(a.prob(), b.prob());
+        }
+        // Propositions carry over to both copies.
+        let heads_orig = sys.points_satisfying(sys.prop_id("c=h").unwrap());
+        let heads_emb = emb.points_satisfying(emb.prop_id("c=h").unwrap());
+        assert_eq!(heads_emb.len(), 2 * heads_orig.len());
+    }
+
+    #[test]
+    fn bettor_hears_the_offer() {
+        let sys = base_system();
+        let j = AgentId(1);
+        // p_j offers 3 only after seeing heads.
+        let heads_sym = sys.local(
+            j,
+            PointId {
+                tree: TreeId(0),
+                run: 0,
+                time: 1,
+            },
+        );
+        let strategy = Strategy::silent().with_offer(heads_sym, rat!(3));
+        let emb = embed_betting_game(&sys, AgentId(0), j, &[strategy]).unwrap();
+        let i = AgentId(0);
+        // At time 3 (= the heard-offer copy of original time 1), the
+        // bettor's local state records the offer.
+        let heard = PointId {
+            tree: TreeId(0),
+            run: 0,
+            time: 3,
+        };
+        assert!(emb.local_name(i, heard).contains("offer=3"));
+        let silent = PointId {
+            tree: TreeId(0),
+            run: 1,
+            time: 3,
+        };
+        assert!(emb.local_name(i, silent).contains("offer=none"));
+    }
+
+    #[test]
+    fn theorem11_for_constant_strategies() {
+        // A constant offer reveals nothing even as a singleton family.
+        let sys = base_system();
+        for alpha in [rat!(1 / 3), rat!(2 / 3), Rat::ONE] {
+            assert!(theorem11_holds(
+                &sys,
+                AgentId(0),
+                AgentId(1),
+                &[Strategy::constant(rat!(2))],
+                "c=h",
+                alpha,
+            )
+            .unwrap());
+        }
+    }
+
+    #[test]
+    fn single_informative_strategy_breaks_the_equivalence() {
+        // The offer leaks p_j's knowledge when the bettor KNOWS the
+        // strategy being played — which is why the paper's construction
+        // quantifies over strategies.
+        let sys = base_system();
+        let j = AgentId(1);
+        let heads_sym = sys.local(
+            j,
+            PointId {
+                tree: TreeId(0),
+                run: 0,
+                time: 1,
+            },
+        );
+        let strategy = Strategy::silent().with_offer(heads_sym, rat!(3));
+        assert!(!theorem11_holds(&sys, AgentId(0), j, &[strategy], "c=h", Rat::ONE).unwrap());
+    }
+
+    #[test]
+    fn theorem11_for_a_rich_family() {
+        let sys = base_system();
+        let j = AgentId(1);
+        // 3 opponent states × 2 offers = 8 strategies: rich enough for
+        // this system (every state can receive every offer).
+        let family = all_strategies(&sys, j, &[rat!(2), rat!(3)]);
+        assert_eq!(family.len(), 8);
+        for alpha in [rat!(1 / 3), rat!(2 / 3), Rat::ONE] {
+            assert!(
+                theorem11_holds(&sys, AgentId(0), j, &family, "c=h", alpha).unwrap(),
+                "α = {alpha}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one strategy")]
+    fn empty_family_panics() {
+        let sys = base_system();
+        let _ = embed_betting_game(&sys, AgentId(0), AgentId(1), &[]);
+    }
+}

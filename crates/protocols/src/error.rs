@@ -1,0 +1,61 @@
+//! Error type aggregating the failures a protocol analysis can hit.
+
+use kpa_logic::LogicError;
+use kpa_system::SystemError;
+use std::fmt;
+
+/// Errors arising while building or analyzing the paper's protocols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// System construction failed.
+    System(SystemError),
+    /// Model checking failed.
+    Logic(LogicError),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::System(e) => write!(f, "system error: {e}"),
+            ProtocolError::Logic(e) => write!(f, "logic error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::System(e) => Some(e),
+            ProtocolError::Logic(e) => Some(e),
+        }
+    }
+}
+
+impl From<SystemError> for ProtocolError {
+    fn from(e: SystemError) -> ProtocolError {
+        ProtocolError::System(e)
+    }
+}
+
+impl From<LogicError> for ProtocolError {
+    fn from(e: LogicError) -> ProtocolError {
+        ProtocolError::Logic(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e: ProtocolError = SystemError::NoAgents.into();
+        assert!(e.to_string().contains("system"));
+        assert!(e.source().is_some());
+        let e: ProtocolError = LogicError::EmptyGroup.into();
+        assert!(e.to_string().contains("logic"));
+        assert!(e.source().is_some());
+    }
+}

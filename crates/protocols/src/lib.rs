@@ -1,0 +1,67 @@
+//! # kpa-protocols — every system the paper analyzes
+//!
+//! Executable versions of all the worked examples in Halpern & Tuttle,
+//! *"Knowledge, Probability, and Adversaries"* (JACM 40(4), 1993):
+//!
+//! | module | paper locus | contents |
+//! |---|---|---|
+//! | [`coins`] | Intro, §7 | the secret coin, the n-toss asynchronous system, the biased two-run example |
+//! | [`vardi`] | §3 | the input-bit/two-coin system; footnote 5's nonmeasurable action |
+//! | [`dice`] | §5 | the fair die and its subdivided sample spaces |
+//! | [`attack`] | §4, §8 | probabilistic coordinated attack `CA1` / `CA2` / adaptive `CA1`, Proposition 11 material |
+//! | [`agreement`] | App. B.3 | the Aumann announce-until-agreement dynamics |
+//! | [`primality`] | §3 | Miller–Rabin on `u64` + the per-input witness-sampling system |
+//! | [`scheduler`] | §3 | message-delivery schedulers as type-1 adversaries |
+//! | [`election`](mod@election) | §3 (after Rab82) | randomized leader election with contention-set adversaries |
+//! | [`aces`] | App. B.1 | Freund's two-aces puzzle, both announcement protocols |
+//! | [`monty`] | App. B.1 (same phenomenon) | Monty Hall under knowing and ignorant hosts |
+//! | [`embed`] | App. B.3 | the `R → R^φ` betting-game embedding and Theorem 11 |
+//! | [`zk`] | §8 | the leaky prover and its adaptive redesign |
+//!
+//! The most commonly used constructors are re-exported at the crate
+//! root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aces;
+pub mod agreement;
+pub mod attack;
+pub mod coins;
+pub mod dice;
+pub mod election;
+pub mod embed;
+mod error;
+pub mod monty;
+pub mod primality;
+pub mod scheduler;
+pub mod vardi;
+pub mod zk;
+
+pub use aces::{aces_protocol1, aces_protocol2, both_aces_points, HANDS};
+pub use agreement::{agreed, announce_until_agreement, AgreementTrace};
+pub use attack::{
+    ca1, ca1_adaptive, ca2, conditional_coordination_given_attack, coordinated_points,
+    coordination_formula, coordination_run_probability,
+};
+pub use coins::{async_coin_tosses, biased_two_run, heads_run_fact, recent_heads, secret_coin};
+pub use dice::{die_subdivided_assignment, die_system, even_points};
+pub use election::{
+    election, election_probability, known_leadership_points, measured_election_probability,
+};
+pub use embed::{embed_betting_game, theorem11_holds};
+pub use error::ProtocolError;
+pub use monty::{monty_ignorant, monty_standard, prize_behind_a, DOORS};
+pub use primality::{
+    error_probability, is_witness, miller_rabin, mod_pow, primality_system, witness_count,
+    witness_density,
+};
+pub use scheduler::{first_heads_points, scheduler_race, SCHEDULES};
+pub use vardi::{
+    footnote5_action_event, footnote5_action_points, footnote5_factored,
+    footnote5_unfactored_space, vardi_heads_under_uniform_prior, vardi_system,
+};
+pub use zk::{
+    adaptive_prover, continued_after_leak_points, knowing_continuation_formula,
+    leak_run_probability, leaky_prover,
+};

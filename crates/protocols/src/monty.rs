@@ -1,0 +1,198 @@
+//! Monty Hall — the other famous protocol-dependence puzzle.
+//!
+//! Appendix B.1 reproduces Shafer's point with Freund's two aces: a
+//! posterior is meaningless until the *protocol generating the
+//! announcement* is part of the model. Monty Hall is the same
+//! phenomenon with the opposite twist, and makes a sharp test of
+//! `P^post`:
+//!
+//! * under the **standard protocol** (the host knows the prize and
+//!   always opens an unchosen goat door, choosing at random when both
+//!   are goats), the contestant's posterior that its chosen door hides
+//!   the prize *stays* `1/3` — switching wins with probability `2/3`;
+//! * under the **ignorant-host protocol** (the host opens a random
+//!   unchosen door, which happened to reveal a goat), the posterior
+//!   rises to `1/2` and switching gains nothing.
+//!
+//! Same announcement, different protocols, different posteriors —
+//! computed here by nothing more than the paper's posterior assignment
+//! over the right system.
+
+use kpa_logic::PointSet;
+use kpa_measure::Rat;
+use kpa_system::{Branch, ProtocolBuilder, System, SystemError};
+
+/// Door names.
+pub const DOORS: [&str; 3] = ["A", "B", "C"];
+
+fn place_prize() -> ProtocolBuilder {
+    // The contestant always picks door A (symmetry); the prize is
+    // uniform over the three doors and seen by the host only.
+    ProtocolBuilder::new(["contestant", "host"]).step("place", |_| {
+        DOORS
+            .iter()
+            .map(|d| {
+                Branch::new(Rat::new(1, 3))
+                    .observe("host", &format!("prize={d}"))
+                    .prop(&format!("prize={d}"))
+            })
+            .collect()
+    })
+}
+
+/// The standard protocol: the host always opens an unchosen goat door
+/// (at random between B and C when the prize is behind A).
+///
+/// # Errors
+///
+/// Propagates system-construction failures.
+pub fn monty_standard() -> Result<System, SystemError> {
+    place_prize()
+        .step("open", |view| {
+            if view.has_prop("prize=A") {
+                // Both unchosen doors hide goats: open one at random.
+                ["B", "C"]
+                    .map(|d| {
+                        Branch::new(Rat::new(1, 2))
+                            .observe("contestant", &format!("opened={d}"))
+                            .prop(&format!("opened={d}"))
+                    })
+                    .to_vec()
+            } else if view.has_prop("prize=B") {
+                vec![Branch::new(Rat::ONE)
+                    .observe("contestant", "opened=C")
+                    .prop("opened=C")]
+            } else {
+                vec![Branch::new(Rat::ONE)
+                    .observe("contestant", "opened=B")
+                    .prop("opened=B")]
+            }
+        })
+        .build()
+}
+
+/// The ignorant-host protocol: the host opens one of B/C uniformly at
+/// random; the opened door may reveal the prize (ending the game in a
+/// reveal, marked `busted`).
+///
+/// # Errors
+///
+/// Propagates system-construction failures.
+pub fn monty_ignorant() -> Result<System, SystemError> {
+    place_prize()
+        .step("open", |view| {
+            ["B", "C"]
+                .map(|d| {
+                    let mut b = Branch::new(Rat::new(1, 2))
+                        .observe("contestant", &format!("opened={d}"))
+                        .prop(&format!("opened={d}"));
+                    if view.has_prop(&format!("prize={d}")) {
+                        b = b.observe("contestant", "saw-prize").prop("busted");
+                    }
+                    b
+                })
+                .to_vec()
+        })
+        .build()
+}
+
+/// The points where the contestant's own door (A) hides the prize.
+///
+/// # Panics
+///
+/// Panics if the system was not built by this module.
+#[must_use]
+pub fn prize_behind_a(sys: &System) -> PointSet {
+    sys.points_satisfying(sys.prop_id("prize=A").expect("built by this module"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpa_assign::{Assignment, ProbAssignment};
+    use kpa_measure::rat;
+    use kpa_system::{PointId, TreeId};
+
+    fn contestant_posterior_after(sys: &System, needle: &str) -> Vec<Rat> {
+        let post = ProbAssignment::new(sys, Assignment::post());
+        let me = sys.agent_id("contestant").unwrap();
+        let mine = prize_behind_a(sys);
+        sys.points()
+            .filter(|&p| p.time == sys.horizon() && sys.local_name(me, p).contains(needle))
+            .map(|p| post.prob(me, p, &mine).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn standard_host_keeps_posterior_at_one_third() {
+        let sys = monty_standard().unwrap();
+        for needle in ["opened=B", "opened=C"] {
+            let posts = contestant_posterior_after(&sys, needle);
+            assert!(!posts.is_empty());
+            for p in posts {
+                assert_eq!(p, rat!(1 / 3), "after {needle}");
+            }
+        }
+    }
+
+    #[test]
+    fn ignorant_host_raises_posterior_to_one_half() {
+        let sys = monty_ignorant().unwrap();
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        let me = sys.agent_id("contestant").unwrap();
+        let mine = prize_behind_a(&sys);
+        // Condition on a goat being revealed: the contestant saw a door
+        // opened but not the prize.
+        let points: Vec<PointId> = sys
+            .points()
+            .filter(|&p| {
+                p.time == sys.horizon()
+                    && sys.local_name(me, p).contains("opened=")
+                    && !sys.local_name(me, p).contains("saw-prize")
+            })
+            .collect();
+        assert!(!points.is_empty());
+        for p in points {
+            assert_eq!(post.prob(me, p, &mine).unwrap(), rat!(1 / 2));
+        }
+        // And the bust really happens sometimes: P(busted) = 1/3.
+        let busted = sys.prop_id("busted").unwrap();
+        let prob: Rat = (0..sys.tree(TreeId(0)).runs().len())
+            .filter(|&run| {
+                sys.holds(
+                    busted,
+                    PointId {
+                        tree: TreeId(0),
+                        run,
+                        time: sys.horizon(),
+                    },
+                )
+            })
+            .map(|run| sys.tree(TreeId(0)).runs()[run].prob())
+            .sum();
+        assert_eq!(prob, rat!(1 / 3));
+    }
+
+    #[test]
+    fn host_knowledge_is_the_difference() {
+        // In the standard protocol the HOST always knows where the
+        // prize is; switching wins with probability 2/3 (the complement
+        // of the contestant's 1/3 posterior on its own door).
+        let sys = monty_standard().unwrap();
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        let me = sys.agent_id("contestant").unwrap();
+        let mine = prize_behind_a(&sys);
+        let after = sys
+            .points()
+            .find(|&p| p.time == sys.horizon() && sys.local_name(me, p).contains("opened=B"))
+            .unwrap();
+        let stay = post.prob(me, after, &mine).unwrap();
+        assert_eq!(Rat::ONE - stay, rat!(2 / 3), "switching wins 2/3");
+        // Host's own posterior is always 0 or 1.
+        let host = sys.agent_id("host").unwrap();
+        for p in sys.points().filter(|p| p.time >= 1) {
+            let q = post.prob(host, p, &mine).unwrap();
+            assert!(q.is_zero() || q.is_one());
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Probabilistic primality testing (Section 3's motivating example).
+//!
+//! The paper motivates type-1 adversaries with Rabin's primality test:
+//! we refuse to put a distribution on the *input* `n`, so the system is
+//! a collection of computation trees, one per input, and the witness
+//! sampling induces the probability within each tree.
+//!
+//! This module contains both the real number theory — a Miller–Rabin
+//! implementation on `u64` with exact witness counting for small `n` —
+//! and [`primality_system`], the finite system model in which each
+//! round branches on "a witness was sampled" with the input's exact
+//! witness density.
+
+use kpa_measure::Rat;
+use kpa_system::{Branch, ProtocolBuilder, System, SystemError};
+
+/// Modular exponentiation `base^exp mod modulus` (u64-safe via u128).
+#[must_use]
+pub fn mod_pow(base: u64, mut exp: u64, modulus: u64) -> u64 {
+    if modulus == 1 {
+        return 0;
+    }
+    let m = u128::from(modulus);
+    let mut acc: u128 = 1;
+    let mut b = u128::from(base % modulus);
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * b % m;
+        }
+        b = b * b % m;
+        exp >>= 1;
+    }
+    acc as u64
+}
+
+/// Whether `a` is a Miller–Rabin witness to the compositeness of the
+/// odd number `n > 2` (with `1 <= a < n`).
+#[must_use]
+pub fn is_witness(a: u64, n: u64) -> bool {
+    debug_assert!(n > 2 && n % 2 == 1 && a >= 1 && a < n);
+    let (mut d, mut s) = (n - 1, 0u32);
+    while d % 2 == 0 {
+        d /= 2;
+        s += 1;
+    }
+    let mut x = mod_pow(a, d, n);
+    if x == 1 || x == n - 1 {
+        return false;
+    }
+    for _ in 1..s {
+        x = mod_pow(x, 2, n);
+        if x == n - 1 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Deterministic Miller–Rabin for `u64` (correct for all 64-bit inputs
+/// with the standard 12-base set).
+///
+/// # Examples
+///
+/// ```
+/// use kpa_protocols::miller_rabin;
+/// assert!(miller_rabin(2_147_483_647)); // 2^31 − 1 is prime
+/// assert!(!miller_rabin(561));          // Carmichael number
+/// ```
+#[must_use]
+pub fn miller_rabin(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    ![2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37]
+        .iter()
+        .any(|&a| is_witness(a % n, n))
+}
+
+/// The exact number of Miller–Rabin witnesses among `1..n` for an odd
+/// `n > 2`, by exhaustion. Rabin's theorem guarantees at least
+/// `3(n−1)/4` of them when `n` is composite, and zero when `n` is
+/// prime.
+///
+/// # Panics
+///
+/// Panics if `n` is even, `n <= 2`, or `n > 100_000` (exhaustion guard).
+#[must_use]
+pub fn witness_count(n: u64) -> u64 {
+    assert!(n > 2 && n % 2 == 1, "witness counting needs an odd n > 2");
+    assert!(
+        n <= 100_000,
+        "exhaustive witness counting is limited to n <= 100000"
+    );
+    (1..n).filter(|&a| is_witness(a, n)).count() as u64
+}
+
+/// The exact witness density `w/(n−1)` of an odd `n > 2`.
+///
+/// # Panics
+///
+/// As for [`witness_count`].
+#[must_use]
+pub fn witness_density(n: u64) -> Rat {
+    Rat::new(witness_count(n) as i128, (n - 1) as i128)
+}
+
+/// The probability that the algorithm errs on input `n` with `rounds`
+/// independent witness samples: for a composite `n`, the probability
+/// that every sample misses (so it wrongly outputs "prime"); for a
+/// prime `n`, zero (outputting "prime" is then correct).
+///
+/// # Panics
+///
+/// As for [`witness_count`].
+#[must_use]
+pub fn error_probability(n: u64, rounds: u32) -> Rat {
+    let density = witness_density(n);
+    if density.is_zero() {
+        // No witnesses: n is prime and "prime" is the right answer.
+        Rat::ZERO
+    } else {
+        (Rat::ONE - density).pow(rounds as i32)
+    }
+}
+
+/// The primality-testing system: one computation tree per input (the
+/// type-1 adversary chooses the input; no distribution is assumed over
+/// it), and per tree, `rounds` independent uniform witness samples with
+/// the input's exact witness density.
+///
+/// Agent `tester` observes each round's outcome. Propositions per tree:
+/// `w<k>=yes/no` (round outcomes), `output=composite` /
+/// `output=prime`, and `correct` / `error` (sticky, at the final
+/// round).
+///
+/// # Errors
+///
+/// Propagates system-construction failures.
+///
+/// # Panics
+///
+/// As for [`witness_count`]; also if `inputs` is empty or `rounds == 0`.
+pub fn primality_system(inputs: &[u64], rounds: u32) -> Result<System, SystemError> {
+    assert!(!inputs.is_empty(), "at least one input is required");
+    assert!(rounds > 0, "at least one round is required");
+    let names: Vec<String> = inputs.iter().map(|n| format!("n={n}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let densities: std::collections::BTreeMap<String, Rat> = inputs
+        .iter()
+        .map(|&n| (format!("n={n}"), witness_density(n)))
+        .collect();
+    let primes: std::collections::BTreeMap<String, bool> = inputs
+        .iter()
+        .map(|&n| (format!("n={n}"), miller_rabin(n)))
+        .collect();
+
+    let mut b = ProtocolBuilder::new(["tester"]).adversaries_seen_by(&name_refs, &["tester"]);
+    for k in 0..rounds {
+        let densities = densities.clone();
+        b = b.step(&format!("sample{k}"), move |view| {
+            let w = densities[view.adversary];
+            let hit = Branch::new(w)
+                .observe("tester", &format!("w{k}=yes"))
+                .prop(&format!("w{k}=yes"))
+                .prop("witness-found");
+            let miss = Branch::new(Rat::ONE - w)
+                .observe("tester", &format!("w{k}=no"))
+                .prop(&format!("w{k}=no"));
+            if w.is_zero() {
+                vec![miss]
+            } else if w.is_one() {
+                vec![hit]
+            } else {
+                vec![hit, miss]
+            }
+        });
+    }
+    b = b.step("output", move |view| {
+        let found = view.has_prop("witness-found");
+        let output = if found {
+            "output=composite"
+        } else {
+            "output=prime"
+        };
+        let is_prime = primes[view.adversary];
+        // The algorithm is correct unless it says "prime" of a composite.
+        let verdict = if !found && !is_prime {
+            "error"
+        } else {
+            "correct"
+        };
+        vec![Branch::new(Rat::ONE).prop(output).prop(verdict)]
+    });
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpa_measure::rat;
+    use kpa_system::TreeId;
+
+    #[test]
+    fn number_theory_basics() {
+        assert_eq!(mod_pow(2, 10, 1_000), 24);
+        assert_eq!(mod_pow(7, 0, 13), 1);
+        assert_eq!(mod_pow(5, 3, 1), 0);
+        let primes = [
+            2u64,
+            3,
+            5,
+            7,
+            97,
+            7919,
+            2_147_483_647,
+            18_446_744_073_709_551_557,
+        ];
+        for p in primes {
+            assert!(miller_rabin(p), "{p} is prime");
+        }
+        let composites = [1u64, 4, 9, 561, 1105, 1729, 2465, 25_326_001, 3_215_031_751];
+        for c in composites {
+            assert!(!miller_rabin(c), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn witness_density_obeys_rabin_bound() {
+        // Composite n: at least 3/4 of candidates witness it.
+        for n in [9u64, 15, 21, 25, 49, 91, 561, 1105] {
+            let d = witness_density(n);
+            assert!(d >= rat!(3 / 4), "density of {n} is {d}");
+        }
+        // Primes have no witnesses at all.
+        for n in [5u64, 7, 11, 13, 101] {
+            assert_eq!(witness_density(n), Rat::ZERO);
+        }
+    }
+
+    #[test]
+    fn error_probability_is_quarter_power_bounded() {
+        for n in [9u64, 15, 561] {
+            for t in 1..=6u32 {
+                assert!(error_probability(n, t) <= rat!(1 / 4).pow(t as i32));
+            }
+        }
+        assert_eq!(error_probability(11, 4), Rat::ZERO);
+    }
+
+    #[test]
+    fn system_structure_and_run_probabilities() {
+        let sys = primality_system(&[15, 13], 3).unwrap();
+        assert_eq!(sys.tree_count(), 2);
+        // Tree for composite 15: 2^3 outcome patterns minus impossible
+        // ones... all 8 are possible since 0 < density < 1.
+        let t15 = sys.tree_id("n=15").unwrap();
+        assert_eq!(sys.tree(t15).runs().len(), 8);
+        // Tree for prime 13: only the all-miss run exists.
+        let t13 = sys.tree_id("n=13").unwrap();
+        assert_eq!(sys.tree(t13).runs().len(), 1);
+
+        // Error probability within the composite tree equals the
+        // all-miss run probability = (1 − w/(n−1))^3.
+        let error = sys.prop_id("error").unwrap();
+        let bad: Rat = (0..sys.tree(t15).runs().len())
+            .filter(|&run| {
+                let horizon = sys.horizon();
+                sys.holds(
+                    error,
+                    kpa_system::PointId {
+                        tree: t15,
+                        run,
+                        time: horizon,
+                    },
+                )
+            })
+            .map(|run| sys.tree(t15).runs()[run].prob())
+            .sum();
+        assert_eq!(bad, error_probability(15, 3));
+        // The prime tree never errs.
+        let good = sys.points_satisfying(error);
+        assert!(good.iter().all(|p| p.tree == t15));
+    }
+
+    #[test]
+    fn outputs_are_labeled() {
+        let sys = primality_system(&[9], 2).unwrap();
+        let composite = sys.prop_id("output=composite").unwrap();
+        let prime = sys.prop_id("output=prime").unwrap();
+        let horizon = sys.horizon();
+        let finals: Vec<_> = (0..sys.tree(TreeId(0)).runs().len())
+            .map(|run| kpa_system::PointId {
+                tree: TreeId(0),
+                run,
+                time: horizon,
+            })
+            .collect();
+        // Exactly one verdict at each final state.
+        for &p in &finals {
+            assert!(sys.holds(composite, p) ^ sys.holds(prime, p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd n > 2")]
+    fn witness_count_rejects_even() {
+        let _ = witness_count(10);
+    }
+}

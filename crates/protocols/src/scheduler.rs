@@ -1,0 +1,172 @@
+//! Scheduler adversaries (Section 3).
+//!
+//! The paper's type-1 adversaries are not limited to choosing inputs:
+//! "an adversary may also determine the order in which agents are
+//! allowed to take steps, the order in which messages arrive, …". This
+//! module builds the canonical small example: two senders each toss a
+//! fair coin and send the outcome to a receiver; the *scheduler*
+//! chooses the delivery order. Probabilistic statements hold *per
+//! scheduler* ("for every scheduler, the first delivered message is
+//! heads with probability 1/2"), while scheduler-dependent facts ("the
+//! first message came from P") have no scheduler-independent
+//! probability at all — exactly the factoring argument of Section 3.
+
+use kpa_logic::PointSet;
+use kpa_measure::Rat;
+use kpa_system::{Branch, ProtocolBuilder, System, SystemError};
+
+/// The two delivery schedules.
+pub const SCHEDULES: [&str; 2] = ["P-first", "Q-first"];
+
+/// Builds the message-race system: senders `P` and `Q` toss fair coins
+/// (observed privately), then a scheduler-chosen order delivers both
+/// outcomes to receiver `R`, which observes only the *values* in
+/// arrival order.
+///
+/// Propositions (sticky): `p=h/t`, `q=h/t`, `sched=P-first` /
+/// `sched=Q-first`, `first=h` / `first=t` (value of the first
+/// delivered message), and `first-from=P` / `first-from=Q`.
+///
+/// # Errors
+///
+/// Propagates system-construction failures.
+pub fn scheduler_race() -> Result<System, SystemError> {
+    ProtocolBuilder::new(["P", "Q", "R"])
+        .adversaries(&SCHEDULES)
+        .step("sched-mark", |view| {
+            vec![Branch::new(Rat::ONE).prop(&format!("sched={}", view.adversary))]
+        })
+        .coin("p", &[("h", Rat::new(1, 2)), ("t", Rat::new(1, 2))], &["P"])
+        .coin("q", &[("h", Rat::new(1, 2)), ("t", Rat::new(1, 2))], &["Q"])
+        .step("deliver-first", |view| {
+            let p_first = view.adversary == "P-first";
+            let (value, from) = if p_first {
+                (if view.has_prop("p=h") { "h" } else { "t" }, "P")
+            } else {
+                (if view.has_prop("q=h") { "h" } else { "t" }, "Q")
+            };
+            vec![Branch::new(Rat::ONE)
+                .observe("R", &format!("m1={value}"))
+                .prop(&format!("first={value}"))
+                .prop(&format!("first-from={from}"))]
+        })
+        .step("deliver-second", |view| {
+            let p_first = view.adversary == "P-first";
+            let value = if p_first {
+                if view.has_prop("q=h") {
+                    "h"
+                } else {
+                    "t"
+                }
+            } else if view.has_prop("p=h") {
+                "h"
+            } else {
+                "t"
+            };
+            vec![Branch::new(Rat::ONE).observe("R", &format!("m2={value}"))]
+        })
+        .build()
+}
+
+/// The points where the first delivered message was heads.
+///
+/// # Panics
+///
+/// Panics if the system was not built by [`scheduler_race`].
+#[must_use]
+pub fn first_heads_points(sys: &System) -> PointSet {
+    sys.points_satisfying(sys.prop_id("first=h").expect("built by scheduler_race"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpa_assign::{Assignment, ProbAssignment};
+    use kpa_logic::{Formula, Model};
+    use kpa_measure::rat;
+    use kpa_system::{AgentId, PointId, TreeId};
+
+    #[test]
+    fn per_scheduler_probability_is_half() {
+        // "For every scheduler in this class the system satisfies …":
+        // within each tree, Pr(first=h) = 1/2 at time 0.
+        let sys = scheduler_race().unwrap();
+        let first_h = first_heads_points(&sys);
+        let prior = ProbAssignment::new(&sys, Assignment::prior());
+        for (tree, sched) in SCHEDULES.iter().enumerate() {
+            // `first=h` is decided at delivery time; over the final
+            // slice its prior probability is the run-level probability.
+            let c = PointId {
+                tree: TreeId(tree),
+                run: 0,
+                time: sys.horizon(),
+            };
+            assert_eq!(
+                prior.prob(AgentId(2), c, &first_h).unwrap(),
+                rat!(1 / 2),
+                "scheduler {sched}"
+            );
+        }
+    }
+
+    #[test]
+    fn scheduler_dependent_facts_have_no_common_probability() {
+        // "first-from=P" is certain under one scheduler and impossible
+        // under the other: only factoring makes it meaningful.
+        let sys = scheduler_race().unwrap();
+        let from_p = sys.points_satisfying(sys.prop_id("first-from=P").unwrap());
+        let prior = ProbAssignment::new(&sys, Assignment::prior());
+        let horizon = sys.horizon();
+        let at = |tree| PointId {
+            tree: TreeId(tree),
+            run: 0,
+            time: horizon,
+        };
+        assert_eq!(prior.prob(AgentId(2), at(0), &from_p).unwrap(), Rat::ONE);
+        assert_eq!(prior.prob(AgentId(2), at(1), &from_p).unwrap(), Rat::ZERO);
+    }
+
+    #[test]
+    fn receiver_never_learns_the_scheduler() {
+        // R sees only message values, whose joint distribution is the
+        // same under both schedules, so R never knows which scheduler
+        // it is running under.
+        let sys = scheduler_race().unwrap();
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        let model = Model::new(&post);
+        let r = sys.agent_id("R").unwrap();
+        for sched in SCHEDULES {
+            let knows = Formula::prop(format!("sched={sched}")).known_by(r);
+            assert!(
+                model.sat(&knows).unwrap().is_empty(),
+                "R identified {sched}"
+            );
+        }
+        // The senders do not learn it either (they never hear back).
+        for agent in ["P", "Q"] {
+            let a = sys.agent_id(agent).unwrap();
+            let knows = Formula::prop("sched=P-first").known_by(a);
+            assert!(model.sat(&knows).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn receiver_posterior_tracks_observed_values() {
+        // After seeing m1=h, R's posterior of first=h is 1 (trivially),
+        // and of p=h is a proper mixture: 1 in the P-first tree.
+        let sys = scheduler_race().unwrap();
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        let r = sys.agent_id("R").unwrap();
+        let p_h = sys.points_satisfying(sys.prop_id("p=h").unwrap());
+        // Find a point in tree 0 (P-first) where R saw m1=h.
+        let c = sys
+            .points()
+            .find(|&c| {
+                c.tree == TreeId(0)
+                    && c.time == sys.horizon()
+                    && sys.local_name(r, c).contains("m1=h")
+            })
+            .unwrap();
+        assert_eq!(post.prob(r, c, &p_h).unwrap(), Rat::ONE);
+    }
+}

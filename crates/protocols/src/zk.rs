@@ -1,0 +1,199 @@
+//! The leaky prover (Section 8's zero-knowledge discussion).
+//!
+//! The paper observes that standard zero-knowledge definitions are
+//! stated over the runs, which "allows a prover to continue playing
+//! against a verifier even when the prover knows perfectly well that it
+//! has already leaked information", and suggests redesigning such
+//! protocols to be *adaptive*. This module models the phenomenon with
+//! the simplest system that exhibits it: a prover with a secret answers
+//! `rounds` challenges, each answer independently leaking the secret to
+//! the verifier with probability `leak`; the prover notices its own
+//! slip. The adaptive variant aborts the interaction as soon as the
+//! prover knows it has leaked.
+//!
+//! Propositions: `secret=0/1`, `leaked` (sticky), `continued-after-leak`
+//! (sticky; attached when a standard prover answers another challenge
+//! after a leak), `aborted` (adaptive variant).
+
+use kpa_logic::{Formula, PointSet};
+use kpa_measure::Rat;
+use kpa_system::{Branch, ProtocolBuilder, System, SystemError, TreeId};
+
+fn base(leak: Rat, rounds: u32, adaptive: bool) -> Result<System, SystemError> {
+    assert!(rounds > 0, "at least one round");
+    assert!(
+        leak.is_probability() && leak.is_positive() && leak < Rat::ONE,
+        "leak probability must be in (0, 1)"
+    );
+    let mut b = ProtocolBuilder::new(["prover", "verifier"]).coin(
+        "secret",
+        &[("0", Rat::new(1, 2)), ("1", Rat::new(1, 2))],
+        &["prover"],
+    );
+    for k in 0..rounds {
+        b = b.step(&format!("challenge{k}"), move |view| {
+            let already = view.has_prop("leaked");
+            if adaptive && already {
+                // The adaptive prover has aborted: nothing more leaks.
+                return vec![Branch::new(Rat::ONE).prop("aborted")];
+            }
+            let mut slip = Branch::new(leak)
+                .prop("leaked")
+                .observe("prover", &format!("slipped@{k}"))
+                .observe("verifier", "heard-secret");
+            let mut clean = Branch::new(Rat::ONE - leak);
+            if already {
+                // A standard prover keeps answering after a leak.
+                slip = slip.prop("continued-after-leak");
+                clean = clean.prop("continued-after-leak");
+            }
+            vec![slip, clean]
+        });
+    }
+    b.build()
+}
+
+/// The standard (non-adaptive) leaky prover.
+///
+/// # Errors
+///
+/// Propagates system-construction failures.
+///
+/// # Panics
+///
+/// Panics if `rounds == 0` or `leak` is not in `(0, 1)`.
+pub fn leaky_prover(leak: Rat, rounds: u32) -> Result<System, SystemError> {
+    base(leak, rounds, false)
+}
+
+/// The adaptive prover, which aborts once it knows it has leaked.
+///
+/// # Errors / Panics
+///
+/// As [`leaky_prover`].
+pub fn adaptive_prover(leak: Rat, rounds: u32) -> Result<System, SystemError> {
+    base(leak, rounds, true)
+}
+
+/// The probability, over the runs, that the secret ever leaks.
+///
+/// # Panics
+///
+/// Panics if the system was not built by this module.
+#[must_use]
+pub fn leak_run_probability(sys: &System) -> Rat {
+    let leaked = sys.prop_id("leaked").expect("built by this module");
+    let tree = TreeId(0);
+    let horizon = sys.horizon();
+    (0..sys.tree(tree).runs().len())
+        .filter(|&run| {
+            sys.holds(
+                leaked,
+                kpa_system::PointId {
+                    tree,
+                    run,
+                    time: horizon,
+                },
+            )
+        })
+        .map(|run| sys.tree(tree).runs()[run].prob())
+        .sum()
+}
+
+/// The fact "the prover knows it has leaked, and the interaction is
+/// still running" — the situation the paper wants redesigned away.
+#[must_use]
+pub fn knowing_continuation_formula(sys: &System) -> Formula {
+    let prover = sys.agent_id("prover").expect("built by this module");
+    Formula::and([
+        Formula::prop("leaked").known_by(prover),
+        Formula::prop("continued-after-leak").eventually(),
+    ])
+}
+
+/// Points where a prover answers challenges after a known leak.
+///
+/// # Panics
+///
+/// Panics if the system was not built by this module.
+#[must_use]
+pub fn continued_after_leak_points(sys: &System) -> PointSet {
+    match sys.prop_id("continued-after-leak") {
+        Some(p) => sys.points_satisfying(p),
+        None => PointSet::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpa_assign::{Assignment, ProbAssignment};
+    use kpa_logic::Model;
+    use kpa_measure::rat;
+
+    #[test]
+    fn leak_probability_is_one_minus_clean_power() {
+        let sys = leaky_prover(rat!(1 / 10), 3).unwrap();
+        // 1 − (9/10)³ = 271/1000.
+        assert_eq!(leak_run_probability(&sys), rat!(271 / 1000));
+        // The adaptive prover leaks at most once, but the probability
+        // that SOME leak occurs is identical (aborting can't undo it).
+        let adaptive = adaptive_prover(rat!(1 / 10), 3).unwrap();
+        assert_eq!(leak_run_probability(&adaptive), rat!(271 / 1000));
+    }
+
+    #[test]
+    fn standard_prover_knowingly_continues() {
+        let sys = leaky_prover(rat!(1 / 10), 3).unwrap();
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        let model = Model::new(&post);
+        let bad = knowing_continuation_formula(&sys);
+        let sat = model.sat(&bad).unwrap();
+        assert!(
+            !sat.is_empty(),
+            "the standard prover reaches points where it knows it leaked \
+             and the protocol keeps going"
+        );
+        // The prover's knowledge is real: it observed its own slip.
+        let prover = sys.agent_id("prover").unwrap();
+        assert!(sat
+            .iter()
+            .all(|&p| sys.local_name(prover, p).contains("slipped")));
+    }
+
+    #[test]
+    fn adaptive_prover_never_knowingly_continues() {
+        let sys = adaptive_prover(rat!(1 / 10), 3).unwrap();
+        assert!(continued_after_leak_points(&sys).is_empty());
+        // And the abort is actually exercised.
+        let aborted = sys.prop_id("aborted").unwrap();
+        assert!(!sys.points_satisfying(aborted).is_empty());
+    }
+
+    #[test]
+    fn adaptive_prover_leaks_less_information() {
+        // Counting *leak events*: the standard prover can slip several
+        // times; the adaptive one at most once. Compare the expected
+        // number of heard-secret observations of the verifier.
+        let count_expected = |sys: &System| -> Rat {
+            let tree = TreeId(0);
+            let horizon = sys.horizon();
+            let v = sys.agent_id("verifier").unwrap();
+            (0..sys.tree(tree).runs().len())
+                .map(|run| {
+                    let end = kpa_system::PointId {
+                        tree,
+                        run,
+                        time: horizon,
+                    };
+                    let hears = sys.local_name(v, end).matches("heard-secret").count() as i128;
+                    sys.tree(tree).runs()[run].prob() * Rat::from_int(hears)
+                })
+                .sum()
+        };
+        let standard = count_expected(&leaky_prover(rat!(1 / 10), 3).unwrap());
+        let adaptive = count_expected(&adaptive_prover(rat!(1 / 10), 3).unwrap());
+        assert_eq!(standard, rat!(3 / 10)); // 3 rounds × 1/10
+        assert!(adaptive < standard);
+    }
+}

@@ -1,0 +1,178 @@
+//! Typed identifiers for agents, trees, nodes, runs, and points.
+//!
+//! Newtypes (C-NEWTYPE) keep the many index spaces of a system from being
+//! confused with one another: an [`AgentId`] can never be passed where a
+//! [`TreeId`] is expected.
+
+use std::fmt;
+
+/// Identifies an agent `pᵢ` within a system (dense index).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AgentId(pub usize);
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0 + 1)
+    }
+}
+
+/// Identifies a computation tree — equivalently, a type-1 adversary
+/// (Section 3 of the paper: one tree per resolution of the
+/// nondeterministic choices).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TreeId(pub usize);
+
+impl fmt::Display for TreeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifies a node (global state) within one computation tree.
+///
+/// The paper's technical assumption — the environment component encodes
+/// the adversary and the full history — is realized by *identifying* the
+/// global state with the `(TreeId, NodeId)` pair: each global state
+/// occurs at exactly one node of exactly one tree.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Identifies a run (a root-to-leaf path) within one computation tree.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RunId {
+    /// The computation tree containing the run.
+    pub tree: TreeId,
+    /// The dense index of the run within its tree.
+    pub index: usize,
+}
+
+impl fmt::Display for RunId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}r{}", self.tree, self.index)
+    }
+}
+
+/// A point `(r, k)`: a run together with a time.
+///
+/// Two points on different runs can share a global state (when the runs
+/// have a common prefix); they are nevertheless *distinct points*, which
+/// is essential for facts about points that are not facts about states
+/// (for example temporal facts like "eventually φ").
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PointId {
+    /// The computation tree containing the point.
+    pub tree: TreeId,
+    /// The dense index of the run within its tree.
+    pub run: usize,
+    /// The time along the run (0-based; `0..=horizon`).
+    pub time: usize,
+}
+
+impl PointId {
+    /// The run this point lies on.
+    #[must_use]
+    pub fn run_id(self) -> RunId {
+        RunId {
+            tree: self.tree,
+            index: self.run,
+        }
+    }
+}
+
+impl fmt::Display for PointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}r{}, {})", self.tree, self.run, self.time)
+    }
+}
+
+/// An interned local-state symbol. Equality of symbols is equality of the
+/// underlying local-state strings within one [`System`](crate::System).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(pub(crate) u32);
+
+/// An interned primitive-proposition identifier.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PropId(pub(crate) u32);
+
+/// A string interner mapping names to dense symbols.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct Interner {
+    names: Vec<String>,
+    index: std::collections::HashMap<String, u32>,
+}
+
+impl Interner {
+    pub(crate) fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), i);
+        i
+    }
+
+    pub(crate) fn get(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    pub(crate) fn name(&self, i: u32) -> &str {
+        &self.names[i as usize]
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.names.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AgentId(0).to_string(), "p1");
+        assert_eq!(TreeId(2).to_string(), "T2");
+        let p = PointId {
+            tree: TreeId(1),
+            run: 3,
+            time: 2,
+        };
+        assert_eq!(p.to_string(), "(T1r3, 2)");
+        assert_eq!(p.run_id().to_string(), "T1r3");
+    }
+
+    #[test]
+    fn point_ordering_is_tree_run_time() {
+        let a = PointId {
+            tree: TreeId(0),
+            run: 1,
+            time: 5,
+        };
+        let b = PointId {
+            tree: TreeId(0),
+            run: 2,
+            time: 0,
+        };
+        let c = PointId {
+            tree: TreeId(1),
+            run: 0,
+            time: 0,
+        };
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn interner_dedupes() {
+        let mut i = Interner::default();
+        let a = i.intern("x");
+        let b = i.intern("y");
+        let a2 = i.intern("x");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.name(a), "x");
+        assert_eq!(i.get("y"), Some(b));
+        assert_eq!(i.get("z"), None);
+        assert_eq!(i.len(), 2);
+    }
+}

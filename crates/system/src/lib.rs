@@ -1,0 +1,58 @@
+//! # kpa-system — runs, points, and computation trees
+//!
+//! The system model of Halpern & Tuttle, *"Knowledge, Probability, and
+//! Adversaries"* (JACM 40(4), 1993), Sections 2–3:
+//!
+//! * a **global state** is one agent local state per agent plus an
+//!   environment component; the environment encodes the type-1 adversary
+//!   and the full history, so each global state is one node of one
+//!   [`Tree`];
+//! * a **run** is a maximal path through a tree; a **point** `(r, k)` is
+//!   a run plus a time; a **system** is a collection of trees, one per
+//!   type-1 adversary, over a common agent roster;
+//! * agent `pᵢ` **considers `(r′, k′)` possible at `(r, k)`** iff its
+//!   local state is the same at both points; `pᵢ` *knows* `φ` iff `φ`
+//!   holds at every point it considers possible (Section 2).
+//!
+//! Systems are built either node-by-node with [`SystemBuilder`] or — the
+//! recommended way — round-by-round with [`ProtocolBuilder`], which turns
+//! protocol descriptions ("toss a coin seen by `p3`", "send a message
+//! that is lost with probability 1/2") into validated trees.
+//!
+//! # Examples
+//!
+//! ```
+//! use kpa_measure::rat;
+//! use kpa_system::ProtocolBuilder;
+//!
+//! // §3's Vardi example: p1 has an input bit (a nondeterministic,
+//! // type-1-adversary choice); it tosses a fair coin on input 0 and a
+//! // 2/3-biased coin on input 1.
+//! let sys = ProtocolBuilder::new(["p1", "p2"])
+//!     .adversaries_seen_by(&["bit=0", "bit=1"], &["p1"])
+//!     .step("toss", |view| {
+//!         let heads = if view.adversary == "bit=0" { rat!(1 / 2) } else { rat!(2 / 3) };
+//!         vec![
+//!             kpa_system::Branch::new(heads).observe("p1", "h").prop("heads"),
+//!             kpa_system::Branch::new(rat!(1) - heads).observe("p1", "t"),
+//!         ]
+//!     })
+//!     .build()?;
+//! assert_eq!(sys.tree_count(), 2);
+//! # Ok::<(), kpa_system::SystemError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod ids;
+mod system;
+mod tree;
+
+pub use builder::{Branch, ProtocolBuilder, StepView};
+pub use error::SystemError;
+pub use ids::{AgentId, NodeId, PointId, PropId, RunId, Sym, TreeId};
+pub use system::{NodeView, System, SystemBuilder};
+pub use tree::{Node, Run, Tree};

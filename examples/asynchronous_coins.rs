@@ -1,0 +1,90 @@
+//! Asynchrony and the third adversary (Section 7).
+//!
+//! `p3` tosses a fair coin once per tick; `p1` has no clock, `p2` does.
+//! "What is the probability the most recent toss landed heads?" has no
+//! single answer: it depends on who chooses *when* the question is
+//! asked — the type-3 adversary.
+//!
+//! Run with: `cargo run --example asynchronous_coins`
+
+use kpa::assign::{Assignment, ProbAssignment};
+use kpa::asynchrony::{class_interval, prop10_holds, pts_interval, CutClass};
+use kpa::measure::{rat, Rat};
+use kpa::protocols::{async_coin_tosses, biased_two_run, heads_run_fact, recent_heads};
+use kpa::system::{AgentId, PointId, TreeId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 10;
+    let sys = async_coin_tosses(n)?;
+    let phi = recent_heads(&sys);
+    let p1 = AgentId(0); // clockless
+    let p2 = AgentId(1); // clocked
+    let c = PointId {
+        tree: TreeId(0),
+        run: 0,
+        time: 1,
+    };
+
+    println!("{n} fair tosses; φ = \"the most recent toss landed heads\"\n");
+
+    // Against a copy of itself, p1's interval is [1/2^n, 1 − 1/2^n]:
+    // φ is nonmeasurable in its posterior space.
+    let post = ProbAssignment::new(&sys, Assignment::post());
+    let (lo, hi) = post.interval(p1, c, &phi)?;
+    println!("p1 vs itself (P^post): Pr(φ) ∈ [{lo}, {hi}]");
+    assert_eq!(
+        (lo, hi),
+        (
+            rat!(1 / 2).pow(n as i32),
+            Rat::ONE - rat!(1 / 2).pow(n as i32)
+        )
+    );
+
+    // Proposition 10: the same bounds arise from quantifying over ALL
+    // cuts (arbitrary type-3 adversaries).
+    let (lo2, hi2) = pts_interval(&sys, p1, c, &phi)?;
+    println!("p1 vs itself (P^pts):  Pr(φ) ∈ [{lo2}, {hi2}]  (Proposition 10: equal)");
+    assert_eq!((lo, hi), (lo2, hi2));
+    assert!(prop10_holds(&sys, p1, &phi)?);
+
+    // Against the clocked p2, the adversary can only pick horizontal
+    // cuts — and every time slice gives exactly 1/2.
+    let (lo, hi) = class_interval(&sys, p1, p2, c, &phi, &CutClass::Horizontal)?;
+    println!("p1 vs clocked p2:      Pr(φ) ∈ [{lo}, {hi}]  (every time slice is fair)");
+    assert_eq!((lo, hi), (rat!(1 / 2), rat!(1 / 2)));
+
+    // Partial synchrony interpolates between the two.
+    println!("\npartial synchrony (cut times within a window of width ε):");
+    for eps in [0usize, 1, 2, 4, n] {
+        let (lo, hi) = class_interval(&sys, p1, p1, c, &phi, &CutClass::Window(eps))?;
+        println!("  ε = {eps:>2}: Pr(φ) ∈ [{lo}, {hi}]");
+    }
+
+    // The generalized adversary that may refuse to let p1 bet on some
+    // runs is strictly worse.
+    let (lo, hi) = class_interval(&sys, p1, p1, c, &phi, &CutClass::Partial)?;
+    println!("\nrun-skipping adversary: Pr(φ) ∈ [{lo}, {hi}]");
+
+    // The pts-vs-state contrast closing Section 7: a 0.99-biased coin.
+    let sys = biased_two_run()?;
+    let heads = heads_run_fact(&sys);
+    let p2 = AgentId(1);
+    let c = PointId {
+        tree: TreeId(0),
+        run: 1,
+        time: 0,
+    };
+    let region = kpa::asynchrony::region_for(&sys, p2, p2, c);
+    let pts = CutClass::AllPoints.bounds(&sys, &region, &heads)?;
+    let state = CutClass::state().bounds(&sys, &region, &heads)?;
+    println!("\nbiased two-run system (heads probability 99/100), according to p2:");
+    println!("  pts-adversaries:   Pr(heads) ∈ [{}, {}]", pts.0, pts.1);
+    println!(
+        "  state-adversaries: Pr(heads) ∈ [{}, {}]",
+        state.0, state.1
+    );
+    assert_eq!(pts, (rat!(99 / 100), rat!(99 / 100)));
+    assert_eq!(state, (Rat::ZERO, rat!(99 / 100)));
+    println!("  (the paper: P^pts gives the more reasonable answer here)");
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Primality testing as a system of adversaries (Section 3).
+//!
+//! The paper's motivating example for type-1 adversaries: we refuse to
+//! assume a distribution over the input `n`, so the system is one
+//! computation tree per input, and only the witness sampling is
+//! probabilistic. "The algorithm is correct with high probability"
+//! means: in *every* tree, the correct-output runs carry high
+//! probability.
+//!
+//! Run with: `cargo run --example primality`
+
+use kpa::measure::{rat, Rat};
+use kpa::protocols::{error_probability, miller_rabin, primality_system, witness_density};
+use kpa::system::PointId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Real number theory first: Miller–Rabin on u64.
+    println!("Miller–Rabin spot checks:");
+    for n in [561u64, 1105, 2_147_483_647, 67_280_421_310_721] {
+        println!(
+            "  {n}: {}",
+            if miller_rabin(n) {
+                "prime"
+            } else {
+                "composite"
+            }
+        );
+    }
+
+    // Witness densities: Rabin's ≥ 3/4 bound for composites, exactly.
+    println!("\nexact witness densities (exhaustive over a ∈ [1, n)):");
+    for n in [9u64, 15, 49, 561, 1105, 13, 101] {
+        let d = witness_density(n);
+        println!(
+            "  n = {n:>5}: density {d} ≈ {:.4} {}",
+            d.to_f64(),
+            if d.is_zero() {
+                "(prime: no witnesses)"
+            } else {
+                ""
+            }
+        );
+        if !miller_rabin(n) {
+            assert!(d >= rat!(3 / 4), "Rabin bound");
+        }
+    }
+
+    // The system: inputs 561 (Carmichael) and 13 (prime), 4 rounds.
+    let rounds = 4;
+    let sys = primality_system(&[561, 13], rounds)?;
+    println!("\nsystem: one tree per input, {rounds} witness-sampling rounds");
+    let error = sys.prop_id("error").unwrap();
+    for tree in sys.tree_ids() {
+        let t = sys.tree(tree);
+        let horizon = sys.horizon();
+        let err_prob: Rat = (0..t.runs().len())
+            .filter(|&run| {
+                sys.holds(
+                    error,
+                    PointId {
+                        tree,
+                        run,
+                        time: horizon,
+                    },
+                )
+            })
+            .map(|run| t.runs()[run].prob())
+            .sum();
+        println!(
+            "  {}: {} runs, P(error) = {err_prob} ≈ {:.2e}",
+            t.name(),
+            t.runs().len(),
+            err_prob.to_f64()
+        );
+    }
+    // The per-tree error probability matches the closed form and the
+    // (1/4)^t bound for the composite input.
+    let expected = error_probability(561, rounds);
+    println!(
+        "\nclosed form for n = 561: (1 − w/(n−1))^{rounds} = {expected} ≤ (1/4)^{rounds} = {}",
+        rat!(1 / 4).pow(rounds as i32)
+    );
+    assert!(expected <= rat!(1 / 4).pow(rounds as i32));
+    assert_eq!(error_probability(13, rounds), Rat::ZERO);
+
+    println!("\nNote the paper's point: it makes no sense to say \"561 is prime");
+    println!("with high probability\" — 561 is composite, full stop. What holds");
+    println!("is that the ALGORITHM answers correctly with high probability in");
+    println!("every tree, i.e. against every type-1 adversary's input choice.");
+    Ok(())
+}

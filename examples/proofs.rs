@@ -1,0 +1,69 @@
+//! Syntactic proofs, checked and then model-checked.
+//!
+//! The paper's conclusion proposes reasoning about probabilistic
+//! protocols "at a higher level of abstraction using the axioms and
+//! inference rules" of Fagin–Halpern. This example derives three
+//! theorems in the workspace's Hilbert-style proof system, checks the
+//! proofs syntactically, parses a formula from its concrete syntax,
+//! and then verifies every proven line *semantically* on the
+//! coordinated-attack system.
+//!
+//! Run with: `cargo run --example proofs`
+
+use kpa::assign::{Assignment, ProbAssignment};
+use kpa::logic::{parse_in, theorems, Formula, Model};
+use kpa::measure::rat;
+use kpa::protocols::ca2;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sys = ca2(10, rat!(1 / 2))?;
+    let a = sys.agent_id("A").unwrap();
+    let b = sys.agent_id("B").unwrap();
+    let post = ProbAssignment::new(&sys, Assignment::post());
+    let model = Model::new(&post);
+
+    // A fact of the system, written in the concrete syntax.
+    let coordinated = parse_in("<> coordinated", &sys)?;
+    println!("fact: {coordinated}\n");
+
+    let proofs = [
+        (
+            "K_A(phi & psi) -> K_A(phi)",
+            theorems::knowledge_of_conjunct(
+                a,
+                coordinated.clone(),
+                Formula::prop("A-attacks").eventually(),
+            ),
+        ),
+        (
+            "K_A(phi) -> K_A(Pr_A(phi) >= 0.99)",
+            theorems::knowledge_implies_k_alpha(a, coordinated.clone(), rat!(99 / 100)),
+        ),
+        (
+            "C_{A,B}(phi) -> C_{A,B} C_{A,B}(phi)",
+            theorems::common_knowledge_is_common(vec![a, b], coordinated.clone()),
+        ),
+    ];
+
+    for (name, proof) in proofs {
+        let lines = proof.check()?;
+        println!("theorem: {name}");
+        println!("  proof checks: {} lines", lines.len());
+        // Soundness, demonstrated: every line holds at every point of
+        // the CA2 system under the posterior assignment.
+        for (k, line) in lines.iter().enumerate() {
+            assert!(
+                model.holds_everywhere(&line.formula)?,
+                "line {k} is not valid: {}",
+                line.formula
+            );
+        }
+        println!("  every line model-checks on CA2 (post assignment)");
+        println!("  conclusion: {}\n", lines.last().unwrap().formula);
+    }
+
+    println!("Syntax and semantics agree: what the proof system derives, the");
+    println!("model checker validates — the FH88-style reasoning the paper's");
+    println!("conclusion calls for, machine-checked end to end.");
+    Ok(())
+}

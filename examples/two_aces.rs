@@ -1,0 +1,69 @@
+//! Freund's puzzle of the two aces (Appendix B.1).
+//!
+//! Two cards from {A♠, 2♠, A♥, 2♥} are dealt to `p1`. How should `p2`'s
+//! probability that `p1` holds both aces evolve as `p1` speaks? Shafer's
+//! resolution, reproduced here: it depends on the announcement
+//! *protocol*, and conditioning via `P^post` handles both correctly.
+//!
+//! Run with: `cargo run --example two_aces`
+
+use kpa::assign::{Assignment, ProbAssignment};
+use kpa::measure::rat;
+use kpa::protocols::{aces_protocol1, aces_protocol2, both_aces_points};
+use kpa::system::{AgentId, PointId, TreeId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let p2 = AgentId(1);
+
+    // Protocol 1: "do you hold an ace?", then "do you hold the A♠?".
+    let sys = aces_protocol1()?;
+    let both = both_aces_points(&sys);
+    let post = ProbAssignment::new(&sys, Assignment::post());
+    // Run 1 is the both-aces hand {A♠, A♥}.
+    let at = |time| PointId {
+        tree: TreeId(0),
+        run: 1,
+        time,
+    };
+    println!("Protocol 1 (reveal whether you hold the ace of spades):");
+    let steps = [
+        (1usize, "after the deal          "),
+        (2, "after \"I hold an ace\"   "),
+        (3, "after \"I hold the A♠\"   "),
+    ];
+    for (time, label) in steps {
+        let p = post.prob(p2, at(time), &both)?;
+        println!("  {label} Pr(both aces) = {p}");
+    }
+    assert_eq!(post.prob(p2, at(1), &both)?, rat!(1 / 6));
+    assert_eq!(post.prob(p2, at(2), &both)?, rat!(1 / 5));
+    assert_eq!(post.prob(p2, at(3), &both)?, rat!(1 / 3));
+
+    // Protocol 2: "do you hold an ace?", then "name the suit of an ace
+    // you hold" (choosing at random with both).
+    let sys = aces_protocol2()?;
+    let both = both_aces_points(&sys);
+    let post = ProbAssignment::new(&sys, Assignment::post());
+    println!("\nProtocol 2 (name the suit of an ace you hold, at random if both):");
+    // The both-aces hand splits into two runs; find them by p2's view.
+    let spade_run = sys
+        .points()
+        .find(|&p| p.time == 3 && sys.local_name(p2, p).contains("say:spade"))
+        .expect("a spade announcement exists");
+    for (time, label) in [
+        (1usize, "after the deal          "),
+        (2, "after \"I hold an ace\"   "),
+        (3, "after \"one ace is a ♠\"  "),
+    ] {
+        let c = PointId { time, ..spade_run };
+        let p = post.prob(p2, c, &both)?;
+        println!("  {label} Pr(both aces) = {p}");
+    }
+    let final_point = spade_run;
+    assert_eq!(post.prob(p2, final_point, &both)?, rat!(1 / 5));
+
+    println!("\nSame announcement (\"an ace of spades\"), different protocols,");
+    println!("different posteriors: 1/3 vs 1/5 — the protocol must be part of");
+    println!("the model, exactly as Shafer argues and P^post delivers.");
+    Ok(())
+}

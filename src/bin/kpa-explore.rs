@@ -1,0 +1,376 @@
+//! `kpa-explore` — interactive queries over the paper's systems.
+//!
+//! ```console
+//! $ kpa-explore --list
+//! $ kpa-explore --system ca2 --info
+//! $ kpa-explore --system ca2 --assignment post \
+//!       --formula 'C{A,B}^0.99 <>coordinated'
+//! $ kpa-explore --system secret-coin --assignment opp:p3 \
+//!       --formula 'K{p1}(Pr{p1}(c=h) >= 1/2)' --at 0,0,1
+//! ```
+//!
+//! Systems take an optional integer parameter: `ca1:4` builds the
+//! 4-messenger attack, `async-coins:6` the 6-toss system, and so on.
+
+use kpa::assign::{Assignment, ProbAssignment};
+use kpa::logic::{parse_in, Model};
+use kpa::measure::Rat;
+use kpa::protocols;
+use kpa::system::{PointId, System, TreeId};
+use std::process::ExitCode;
+
+/// The built-in system registry: name, description, default parameter.
+const SYSTEMS: &[(&str, &str, usize)] = &[
+    (
+        "secret-coin",
+        "p3 tosses a fair coin only it observes (introduction)",
+        0,
+    ),
+    (
+        "vardi",
+        "input bit selects a fair or 2/3-biased coin (section 3)",
+        0,
+    ),
+    (
+        "footnote5",
+        "the factored action-a system (section 3, footnote 5)",
+        0,
+    ),
+    (
+        "die",
+        "a fair die observed by p1; p3 learns low/high (section 5)",
+        0,
+    ),
+    (
+        "ca1",
+        "coordinated attack CA1 with <param> messengers (section 4)",
+        10,
+    ),
+    (
+        "ca2",
+        "coordinated attack CA2 with <param> messengers (section 4)",
+        10,
+    ),
+    (
+        "ca1-adaptive",
+        "the adaptive CA1 of section 8 with <param> messengers",
+        10,
+    ),
+    (
+        "async-coins",
+        "<param> fair tosses; p1 clockless (section 7)",
+        4,
+    ),
+    (
+        "biased",
+        "the 99/100-biased two-run system (end of section 7)",
+        0,
+    ),
+    (
+        "aces1",
+        "Freund's two aces, reveal-spade protocol (appendix B.1)",
+        0,
+    ),
+    (
+        "aces2",
+        "Freund's two aces, random-suit protocol (appendix B.1)",
+        0,
+    ),
+    (
+        "primality",
+        "witness sampling for n=561 and n=13, <param> rounds",
+        3,
+    ),
+];
+
+fn build_system(spec: &str) -> Result<System, String> {
+    let (name, param) = match spec.split_once(':') {
+        Some((n, p)) => {
+            let param = p
+                .parse::<usize>()
+                .map_err(|_| format!("bad parameter {p:?}"))?;
+            (n, Some(param))
+        }
+        None => (spec, None),
+    };
+    let default = SYSTEMS
+        .iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|(_, _, d)| *d)
+        .ok_or_else(|| format!("unknown system {name:?}; try --list"))?;
+    let p = param.unwrap_or(default);
+    let half = Rat::new(1, 2);
+    let sys = match name {
+        "secret-coin" => protocols::secret_coin(),
+        "vardi" => protocols::vardi_system(),
+        "footnote5" => protocols::footnote5_factored(),
+        "die" => protocols::die_system(),
+        "ca1" => protocols::ca1(p.max(1) as u32, half),
+        "ca2" => protocols::ca2(p.max(1) as u32, half),
+        "ca1-adaptive" => protocols::ca1_adaptive(p.max(1) as u32, half),
+        "async-coins" => protocols::async_coin_tosses(p.max(1)),
+        "biased" => protocols::biased_two_run(),
+        "aces1" => protocols::aces_protocol1(),
+        "aces2" => protocols::aces_protocol2(),
+        "primality" => protocols::primality_system(&[561, 13], p.max(1) as u32),
+        _ => unreachable!("validated above"),
+    };
+    sys.map_err(|e| e.to_string())
+}
+
+fn build_assignment(spec: &str, sys: &System) -> Result<Assignment, String> {
+    match spec {
+        "post" => Ok(Assignment::post()),
+        "fut" => Ok(Assignment::fut()),
+        "prior" => Ok(Assignment::prior()),
+        other => match other.strip_prefix("opp:") {
+            Some(name) => sys
+                .agent_id(name)
+                .map(Assignment::opp)
+                .ok_or_else(|| format!("unknown agent {name:?}")),
+            None => Err(format!(
+                "unknown assignment {other:?}; use post, fut, prior, or opp:<agent>"
+            )),
+        },
+    }
+}
+
+fn parse_point(spec: &str, sys: &System) -> Result<PointId, String> {
+    let parts: Vec<&str> = spec.split(',').collect();
+    if parts.len() != 3 {
+        return Err(format!("--at expects tree,run,time; got {spec:?}"));
+    }
+    let parse = |s: &str| {
+        s.trim()
+            .parse::<usize>()
+            .map_err(|_| format!("bad number {s:?}"))
+    };
+    let (tree, run, time) = (parse(parts[0])?, parse(parts[1])?, parse(parts[2])?);
+    if tree >= sys.tree_count() {
+        return Err(format!("tree {tree} out of range (< {})", sys.tree_count()));
+    }
+    let t = sys.tree(TreeId(tree));
+    if run >= t.runs().len() {
+        return Err(format!("run {run} out of range (< {})", t.runs().len()));
+    }
+    if time > sys.horizon() {
+        return Err(format!("time {time} out of range (<= {})", sys.horizon()));
+    }
+    Ok(PointId {
+        tree: TreeId(tree),
+        run,
+        time,
+    })
+}
+
+fn print_info(sys: &System) {
+    println!("agents:  {}", sys.agents().join(", "));
+    println!(
+        "trees:   {} (type-1 adversaries: {})",
+        sys.tree_count(),
+        sys.tree_ids()
+            .map(|t| sys.tree(t).name().to_owned())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "shape:   horizon {}, {} points, {}",
+        sys.horizon(),
+        sys.point_count(),
+        if sys.is_synchronous() {
+            "synchronous"
+        } else {
+            "asynchronous"
+        }
+    );
+    let mut props = sys.prop_names();
+    props.sort_unstable();
+    println!("props:   {}", props.join(", "));
+}
+
+struct Args {
+    list: bool,
+    info: bool,
+    system: Option<String>,
+    assignment: String,
+    formula: Option<String>,
+    at: Option<String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        list: false,
+        info: false,
+        system: None,
+        assignment: "post".to_owned(),
+        formula: None,
+        at: None,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--list" => args.list = true,
+            "--info" => args.info = true,
+            "--system" => args.system = Some(take("--system")?),
+            "--assignment" => args.assignment = take("--assignment")?,
+            "--formula" => args.formula = Some(take("--formula")?),
+            "--at" => args.at = Some(take("--at")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: kpa-explore [--list] [--system NAME[:PARAM]] [--info] \
+                            [--assignment post|fut|prior|opp:AGENT] [--formula F] \
+                            [--at tree,run,time]"
+                        .to_owned(),
+                )
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let args = parse_args(argv)?;
+    if args.list {
+        println!("built-in systems (NAME[:PARAM]):");
+        for (name, desc, default) in SYSTEMS {
+            println!("  {name:<14} {desc} (default param: {default})");
+        }
+        return Ok(());
+    }
+    let spec = args
+        .system
+        .as_deref()
+        .ok_or("no --system given (try --list)")?;
+    let sys = build_system(spec)?;
+    if args.info || args.formula.is_none() {
+        print_info(&sys);
+    }
+    let Some(formula_src) = args.formula else {
+        return Ok(());
+    };
+    let formula = parse_in(&formula_src, &sys).map_err(|e| e.to_string())?;
+    let assignment = build_assignment(&args.assignment, &sys)?;
+    println!("formula:    {formula}");
+    println!("assignment: {}", assignment.name());
+    let pa = ProbAssignment::new(&sys, assignment);
+    let model = Model::new(&pa);
+    let sat = model.sat(&formula).map_err(|e| e.to_string())?;
+    println!(
+        "satisfied at {} of {} points; holds everywhere: {}",
+        sat.len(),
+        sys.point_count(),
+        sat.len() == sys.point_count()
+    );
+    if let Some(at) = args.at {
+        let point = parse_point(&at, &sys)?;
+        println!(
+            "at {point}: {}",
+            if sat.contains(&point) {
+                "holds"
+            } else {
+                "fails"
+            }
+        );
+        for agent in (0..sys.agent_count()).map(kpa::system::AgentId) {
+            let (lo, hi) = model
+                .prob_interval(agent, point, &formula)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "  Pr_{}({}) in [{lo}, {hi}]",
+                sys.agent_name(agent),
+                if formula_src.len() <= 24 {
+                    &formula_src
+                } else {
+                    "formula"
+                }
+            );
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_builds_every_system() {
+        for (name, _, _) in SYSTEMS {
+            assert!(build_system(name).is_ok(), "{name} failed to build");
+        }
+        assert!(build_system("ca1:2").is_ok());
+        assert!(build_system("async-coins:3").is_ok());
+        assert!(build_system("nope").is_err());
+        assert!(build_system("ca1:x").is_err());
+    }
+
+    #[test]
+    fn assignment_and_point_parsing() {
+        let sys = build_system("secret-coin").unwrap();
+        assert!(build_assignment("post", &sys).is_ok());
+        assert!(build_assignment("opp:p3", &sys).is_ok());
+        assert!(build_assignment("opp:nobody", &sys).is_err());
+        assert!(build_assignment("bogus", &sys).is_err());
+        assert!(parse_point("0,0,1", &sys).is_ok());
+        assert!(parse_point("9,0,1", &sys).is_err());
+        assert!(parse_point("0,9,1", &sys).is_err());
+        assert!(parse_point("0,0,9", &sys).is_err());
+        assert!(parse_point("0,0", &sys).is_err());
+    }
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn end_to_end_queries() {
+        run(&argv(&["--list"])).unwrap();
+        run(&argv(&["--system", "secret-coin", "--info"])).unwrap();
+        run(&argv(&[
+            "--system",
+            "ca2:4",
+            "--assignment",
+            "post",
+            "--formula",
+            "C{A,B}^0.99 <>coordinated",
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "--system",
+            "secret-coin",
+            "--assignment",
+            "opp:p3",
+            "--formula",
+            "K{p1}(Pr{p1}(c=h) >= 1/2)",
+            "--at",
+            "0,0,1",
+        ]))
+        .unwrap();
+        assert!(run(&argv(&[
+            "--system",
+            "secret-coin",
+            "--formula",
+            "K{ghost} x"
+        ]))
+        .is_err());
+        assert!(run(&argv(&["--frob"])).is_err());
+        assert!(run(&argv(&["--help"])).is_err());
+    }
+}

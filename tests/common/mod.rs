@@ -1,0 +1,94 @@
+//! Shared generators for the cross-crate integration tests: random
+//! protocol-shaped systems for property testing the paper's theorems.
+#![allow(dead_code)] // each test binary uses a subset of the helpers
+
+use kpa::measure::Rat;
+use kpa::system::{ProtocolBuilder, System};
+use proptest::prelude::*;
+
+/// One probabilistic round: a coin with one of a few biases, observed
+/// by a subset of the agents (bitmask).
+#[derive(Debug, Clone)]
+pub struct RoundSpec {
+    pub bias_index: usize,
+    pub observers: u8,
+}
+
+/// A whole random system: 2–3 agents, optionally two type-1 adversary
+/// trees, and 1–3 coin rounds.
+#[derive(Debug, Clone)]
+pub struct SystemSpec {
+    pub agents: usize,
+    pub two_adversaries: bool,
+    pub rounds: Vec<RoundSpec>,
+    pub clockless_mask: u8,
+}
+
+pub const BIASES: [(i128, i128); 4] = [(1, 2), (1, 3), (2, 3), (1, 4)];
+
+pub fn arb_round() -> impl Strategy<Value = RoundSpec> {
+    (0..BIASES.len(), any::<u8>()).prop_map(|(bias_index, observers)| RoundSpec {
+        bias_index,
+        observers,
+    })
+}
+
+/// A specification for a *synchronous* random system (everyone clocked).
+pub fn arb_sync_spec() -> impl Strategy<Value = SystemSpec> {
+    (
+        2usize..=3,
+        any::<bool>(),
+        prop::collection::vec(arb_round(), 1..=3),
+    )
+        .prop_map(|(agents, two_adversaries, rounds)| SystemSpec {
+            agents,
+            two_adversaries,
+            rounds,
+            clockless_mask: 0,
+        })
+}
+
+/// A specification where some agents may be clockless (asynchronous).
+pub fn arb_async_spec() -> impl Strategy<Value = SystemSpec> {
+    (arb_sync_spec(), 1u8..=3).prop_map(|(mut spec, mask)| {
+        spec.clockless_mask = mask;
+        spec
+    })
+}
+
+/// Builds the system a spec describes. Round `k` tosses coin `c<k>`
+/// with the chosen bias; agent `a` observes it iff bit `a` of
+/// `observers` is set. Propositions `c<k>=h` / `c<k>=t` are sticky.
+pub fn build(spec: &SystemSpec) -> System {
+    let names: Vec<String> = (0..spec.agents).map(|a| format!("p{}", a + 1)).collect();
+    let mut b = ProtocolBuilder::new(names.clone());
+    for (a, name) in names.iter().enumerate() {
+        if spec.clockless_mask & (1 << a) != 0 {
+            b = b.clockless(name);
+        }
+    }
+    if spec.two_adversaries {
+        b = b.adversaries_seen_by(&["adv0", "adv1"], &[&names[0]]);
+    }
+    for (k, round) in spec.rounds.iter().enumerate() {
+        let (n, d) = BIASES[round.bias_index];
+        let observers: Vec<&str> = names
+            .iter()
+            .enumerate()
+            .filter(|(a, _)| round.observers & (1 << a) != 0)
+            .map(|(_, n)| n.as_str())
+            .collect();
+        b = b.coin(
+            &format!("c{k}"),
+            &[("h", Rat::new(n, d)), ("t", Rat::new(d - n, d))],
+            &observers,
+        );
+    }
+    b.build()
+        .expect("random specs always describe valid systems")
+}
+
+/// The proposition names a spec's system defines (one per round).
+pub fn prop_names(spec: &SystemSpec) -> Vec<String> {
+    (0..spec.rounds.len()).map(|k| format!("c{k}=h")).collect()
+}

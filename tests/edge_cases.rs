@@ -1,0 +1,206 @@
+//! Edge cases and failure injection across the workspace: degenerate
+//! systems, extreme probabilities, and the error paths a downstream
+//! user can hit.
+
+use kpa::assign::{Assignment, ProbAssignment};
+use kpa::asynchrony::{Cut, CutClass};
+use kpa::betting::{BetRule, BettingGame};
+use kpa::logic::{Formula, Model};
+use kpa::measure::{rat, MeasureError, Rat};
+use kpa::system::{AgentId, PointId, ProtocolBuilder, SystemBuilder, SystemError, TreeId};
+
+fn pt(run: usize, time: usize) -> PointId {
+    PointId {
+        tree: TreeId(0),
+        run,
+        time,
+    }
+}
+
+#[test]
+fn single_agent_single_run_system() {
+    // The most degenerate system: one agent, one deterministic step.
+    let sys = ProtocolBuilder::new(["solo"]).tick().build().unwrap();
+    assert_eq!(sys.point_count(), 2);
+    assert!(sys.is_synchronous());
+    let post = ProbAssignment::new(&sys, Assignment::post());
+    let model = Model::new(&post);
+    // Everything certain: K(true), Pr(true) = 1, common knowledge of true.
+    assert!(model
+        .holds_everywhere(&Formula::True.known_by(AgentId(0)))
+        .unwrap());
+    assert!(model
+        .holds_everywhere(&Formula::True.pr_ge(AgentId(0), Rat::ONE))
+        .unwrap());
+    assert!(model
+        .holds_everywhere(&Formula::True.common([AgentId(0)]))
+        .unwrap());
+}
+
+#[test]
+fn probability_one_coin_degenerates_to_one_run() {
+    let sys = ProtocolBuilder::new(["p"])
+        .coin("c", &[("h", Rat::ONE)], &["p"])
+        .build()
+        .unwrap();
+    assert_eq!(sys.tree(TreeId(0)).runs().len(), 1);
+    let post = ProbAssignment::new(&sys, Assignment::post());
+    let heads = sys.points_satisfying(sys.prop_id("c=h").unwrap());
+    assert_eq!(post.prob(AgentId(0), pt(0, 1), &heads).unwrap(), Rat::ONE);
+}
+
+#[test]
+fn zero_round_protocol_is_rejected_upstream() {
+    // A protocol with no steps still builds (horizon 0) — the paper's
+    // time-0-only system — and all assignments coincide there.
+    let sys = ProtocolBuilder::new(["p", "q"]).build().unwrap();
+    assert_eq!(sys.horizon(), 0);
+    let c = pt(0, 0);
+    for a in [Assignment::post(), Assignment::fut(), Assignment::prior()] {
+        let pa = ProbAssignment::new(&sys, a);
+        assert_eq!(pa.sample(AgentId(0), c), vec![c]);
+    }
+}
+
+#[test]
+fn deep_chain_probabilities_stay_exact() {
+    // 2^-12 products (4096 runs) remain exact rationals summing to one.
+    let mut b = ProtocolBuilder::new(["p"]);
+    for k in 0..12 {
+        b = b.coin(
+            &format!("c{k}"),
+            &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))],
+            &[],
+        );
+    }
+    let sys = b.build().unwrap();
+    assert_eq!(sys.tree(TreeId(0)).runs().len(), 1 << 12);
+    assert_eq!(sys.tree(TreeId(0)).runs()[0].prob(), rat!(1 / 2).pow(12));
+    let total: Rat = sys.tree(TreeId(0)).runs().iter().map(|r| r.prob()).sum();
+    assert_eq!(total, Rat::ONE);
+}
+
+#[test]
+fn builder_error_paths_are_reported() {
+    // Bad transition sums.
+    let mut sb = SystemBuilder::new(["p"]);
+    let t = sb.add_tree("t");
+    let root = sb.add_root(t, &["x"], &[]).unwrap();
+    sb.add_child(t, root, rat!(1 / 3), &["y"], &[]).unwrap();
+    assert!(matches!(
+        sb.build(),
+        Err(SystemError::BadTransitions { .. })
+    ));
+
+    // Duplicate tree names.
+    let mut sb = SystemBuilder::new(["p"]);
+    let a = sb.add_tree("same");
+    let b = sb.add_tree("same");
+    sb.add_root(a, &["x"], &[]).unwrap();
+    sb.add_root(b, &["x"], &[]).unwrap();
+    assert!(matches!(sb.build(), Err(SystemError::DuplicateName { .. })));
+
+    // Rootless tree.
+    let mut sb = SystemBuilder::new(["p"]);
+    sb.add_tree("empty");
+    assert!(matches!(sb.build(), Err(SystemError::DanglingReference)));
+}
+
+#[test]
+fn betting_rejects_degenerate_thresholds() {
+    let sys = ProtocolBuilder::new(["i", "j"]).tick().build().unwrap();
+    drop(sys);
+    assert!(BetRule::new([].into(), Rat::ZERO).is_err());
+    assert!(BetRule::new([].into(), rat!(-1 / 2)).is_err());
+    assert!(BetRule::new([].into(), rat!(101 / 100)).is_err());
+}
+
+#[test]
+fn betting_on_the_impossible_and_the_certain() {
+    let sys = ProtocolBuilder::new(["i", "j"])
+        .coin("c", &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))], &["j"])
+        .build()
+        .unwrap();
+    let game = BettingGame::new(&sys, AgentId(0), AgentId(1));
+    // φ = ∅: no bet on it is safe at any threshold.
+    let rule = BetRule::new([].into(), rat!(1 / 100)).unwrap();
+    assert!(!game.is_safe_at(pt(0, 1), &rule).unwrap());
+    // φ = everything: safe even at α = 1 against anyone.
+    let all = sys.points().collect();
+    let rule = BetRule::new(all, Rat::ONE).unwrap();
+    assert!(game.is_safe_at(pt(0, 1), &rule).unwrap());
+    assert!(game.losing_strategy_at(pt(0, 1), &rule).unwrap().is_none());
+}
+
+#[test]
+fn cut_class_bounds_on_degenerate_regions() {
+    let sys = ProtocolBuilder::new(["p"])
+        .clockless("p")
+        .coin("c", &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))], &[])
+        .build()
+        .unwrap();
+    let heads = sys.points_satisfying(sys.prop_id("c=h").unwrap());
+    // A single-point region: all classes agree and give 0/1 bounds.
+    let region = vec![pt(0, 1)];
+    for class in [CutClass::AllPoints, CutClass::Horizontal, CutClass::state()] {
+        let (lo, hi) = class.bounds(&sys, &region, &heads).unwrap();
+        assert_eq!((lo, hi), (Rat::ONE, Rat::ONE), "{class:?}");
+    }
+    // Cut construction rejects duplicates per run.
+    assert!(Cut::new([pt(0, 0), pt(0, 1)]).is_err());
+}
+
+#[test]
+fn nonmeasurable_probability_queries_error_cleanly() {
+    let sys = ProtocolBuilder::new(["p"])
+        .clockless("p")
+        .coin("c1", &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))], &[])
+        .coin("c2", &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))], &[])
+        .build()
+        .unwrap();
+    let post = ProbAssignment::new(&sys, Assignment::post());
+    let mut recent = sys.points_satisfying(sys.prop_id("recent:c1=h").unwrap());
+    recent.extend(sys.points_satisfying(sys.prop_id("recent:c2=h").unwrap()));
+    let err = post.prob(AgentId(0), pt(0, 0), &recent).unwrap_err();
+    assert_eq!(
+        err,
+        kpa::assign::AssignError::Measure(MeasureError::NonMeasurable)
+    );
+    // The interval query always succeeds.
+    let (lo, hi) = post.interval(AgentId(0), pt(0, 0), &recent).unwrap();
+    assert!(lo <= hi);
+}
+
+#[test]
+fn extreme_rational_magnitudes() {
+    // Coordinated attack with 60 messengers: probabilities ~2^-61.
+    let sys = kpa::protocols::ca2(60, rat!(1 / 2)).unwrap();
+    let p = kpa::protocols::coordination_run_probability(&sys);
+    assert_eq!(Rat::ONE - p, rat!(1 / 2).pow(61));
+}
+
+#[test]
+fn knowledge_across_trees_is_supported() {
+    // An agent ignorant of the adversary considers points of both trees
+    // possible; Knows quantifies across trees while probability spaces
+    // stay within one (REQ1).
+    let sys = ProtocolBuilder::new(["informed", "ignorant"])
+        .adversaries_seen_by(&["a", "b"], &["informed"])
+        .coin("c", &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))], &[])
+        .build()
+        .unwrap();
+    let ig = AgentId(1);
+    let c = PointId {
+        tree: TreeId(0),
+        run: 0,
+        time: 1,
+    };
+    let k = sys.indistinguishable(ig, c);
+    assert!(k.iter().any(|p| p.tree == TreeId(1)));
+    let post = ProbAssignment::new(&sys, Assignment::post());
+    let sample = post.sample(ig, c);
+    assert!(
+        sample.iter().all(|p| p.tree == TreeId(0)),
+        "REQ1 restricts to one tree"
+    );
+}

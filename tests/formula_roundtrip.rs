@@ -1,0 +1,96 @@
+//! Property test: `Display` and `parse_formula` are inverse on
+//! machine-generated formulas, and parsing is stable under
+//! re-rendering.
+
+use kpa::logic::{parse_formula, Formula};
+use kpa::measure::Rat;
+use kpa::system::AgentId;
+use proptest::prelude::*;
+
+fn resolve(name: &str) -> Option<AgentId> {
+    let k: usize = name.strip_prefix('p')?.parse().ok()?;
+    (1..=4).contains(&k).then(|| AgentId(k - 1))
+}
+
+fn arb_agent() -> impl Strategy<Value = AgentId> {
+    (0usize..4).prop_map(AgentId)
+}
+
+fn arb_group() -> impl Strategy<Value = Vec<AgentId>> {
+    prop::collection::btree_set(0usize..4, 1..=3).prop_map(|s| s.into_iter().map(AgentId).collect())
+}
+
+fn arb_prob() -> impl Strategy<Value = Rat> {
+    (0i128..=12, 1i128..=12).prop_map(|(n, d)| {
+        let r = Rat::new(n, d);
+        if r > Rat::ONE {
+            r.recip()
+        } else {
+            r
+        }
+    })
+}
+
+/// Propositions drawn from the naming styles the protocols use.
+fn arb_prop_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("c=h".to_owned()),
+        Just("recent:c1=h".to_owned()),
+        Just("A-attacks".to_owned()),
+        Just("coordinated".to_owned()),
+        Just("w0=yes".to_owned()),
+        Just("true".to_owned()),     // forces quoting
+        Just("odd name".to_owned()), // forces quoting
+        "[a-z][a-z0-9_]{0,6}",
+    ]
+}
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![Just(Formula::True), arb_prop_name().prop_map(Formula::prop),];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| f.not()),
+            prop::collection::vec(inner.clone(), 2..=3).prop_map(Formula::And),
+            prop::collection::vec(inner.clone(), 2..=3).prop_map(Formula::Or),
+            (arb_agent(), inner.clone()).prop_map(|(a, f)| f.known_by(a)),
+            (arb_agent(), arb_prob(), inner.clone()).prop_map(|(a, r, f)| f.pr_ge(a, r)),
+            inner.clone().prop_map(|f| f.next()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.until(b)),
+            (arb_group(), inner.clone()).prop_map(|(g, f)| f.common(g)),
+            (arb_group(), arb_prob(), inner.clone()).prop_map(|(g, r, f)| f.common_alpha(g, r)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_parse_roundtrip(f in arb_formula()) {
+        let rendered = f.to_string();
+        let parsed = parse_formula(&rendered, resolve)
+            .unwrap_or_else(|e| panic!("{rendered:?}: {e}"));
+        prop_assert_eq!(&parsed, &f, "render: {}", rendered);
+        // Idempotence: rendering the parse gives the same string.
+        prop_assert_eq!(parsed.to_string(), rendered);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,64}") {
+        // Any input must yield Ok or Err — never a panic.
+        let _ = parse_formula(&s, resolve);
+    }
+
+    #[test]
+    fn parser_never_panics_on_operator_soup(s in "[KCE{}()!&|<>\\-\\[\\]^/0-9a-zA-Z=:. ]{0,48}") {
+        let _ = parse_formula(&s, resolve);
+    }
+
+    #[test]
+    fn structural_queries_survive_roundtrip(f in arb_formula()) {
+        let parsed = parse_formula(&f.to_string(), resolve).unwrap();
+        prop_assert_eq!(parsed.props(), f.props());
+        prop_assert_eq!(parsed.agents(), f.agents());
+        prop_assert_eq!(parsed.size(), f.size());
+    }
+}

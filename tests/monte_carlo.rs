@@ -1,0 +1,124 @@
+//! Monte-Carlo cross-validation: sampling runs from the exact
+//! distributions must reproduce the exact engine's probabilities.
+//!
+//! `System::run_at_cumulative` keeps the randomness with the caller;
+//! these tests drive it with a seeded RNG and compare frequencies to
+//! the exact rationals everything else in the workspace computes.
+
+use kpa::assign::{Assignment, ProbAssignment};
+use kpa::measure::{rat, Rat};
+use kpa::protocols;
+use kpa::system::{PointId, System, TreeId};
+use rand::{Rng, SeedableRng};
+
+fn sample_rat(rng: &mut impl Rng) -> Rat {
+    Rat::new(i128::from(rng.gen::<u32>()), 1i128 << 32)
+}
+
+fn frequency(
+    sys: &System,
+    tree: TreeId,
+    trials: u32,
+    seed: u64,
+    mut event: impl FnMut(usize) -> bool,
+) -> f64 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut hits = 0u32;
+    for _ in 0..trials {
+        let run = sys.run_at_cumulative(tree, sample_rat(&mut rng));
+        if event(run.index) {
+            hits += 1;
+        }
+    }
+    f64::from(hits) / f64::from(trials)
+}
+
+#[test]
+fn sampled_coordination_matches_exact_probability() {
+    let sys = protocols::ca2(6, rat!(1 / 2)).unwrap();
+    let exact = protocols::coordination_run_probability(&sys).to_f64();
+    let coordinated = protocols::coordinated_points(&sys);
+    let horizon = sys.horizon();
+    let freq = frequency(&sys, TreeId(0), 60_000, 11, |run| {
+        coordinated.contains(&PointId {
+            tree: TreeId(0),
+            run,
+            time: horizon,
+        })
+    });
+    assert!(
+        (freq - exact).abs() < 0.01,
+        "sampled {freq} vs exact {exact}"
+    );
+}
+
+#[test]
+fn sampled_posterior_matches_conditioning() {
+    // B's posterior of coordination given silence: sample runs,
+    // condition empirically on B hearing nothing, compare with the
+    // exact 1024/1025 … scaled to m = 6: (1/2)/(1/2 + 2^-7) = 64/65.
+    let sys = protocols::ca2(6, rat!(1 / 2)).unwrap();
+    let b = sys.agent_id("B").unwrap();
+    let horizon = sys.horizon();
+    let coordinated = protocols::coordinated_points(&sys);
+    let post = ProbAssignment::new(&sys, Assignment::post());
+    let silent_point = PointId {
+        tree: TreeId(0),
+        run: 1,
+        time: horizon,
+    };
+    let exact = post.prob(b, silent_point, &coordinated).unwrap();
+    assert_eq!(exact, rat!(64 / 65));
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let (mut silent, mut silent_and_coord) = (0u32, 0u32);
+    for _ in 0..60_000 {
+        let run = sys.run_at_cumulative(TreeId(0), sample_rat(&mut rng));
+        let end = PointId {
+            tree: TreeId(0),
+            run: run.index,
+            time: horizon,
+        };
+        if !sys.local_name(b, end).contains("learned") {
+            silent += 1;
+            if coordinated.contains(&end) {
+                silent_and_coord += 1;
+            }
+        }
+    }
+    let freq = f64::from(silent_and_coord) / f64::from(silent);
+    assert!(
+        (freq - exact.to_f64()).abs() < 0.01,
+        "sampled {freq} vs exact {exact}"
+    );
+}
+
+#[test]
+fn sampled_die_is_uniform() {
+    let sys = protocols::die_system().unwrap();
+    for face in 0..6usize {
+        let freq = frequency(&sys, TreeId(0), 60_000, face as u64, |run| run == face);
+        assert!((freq - 1.0 / 6.0).abs() < 0.01, "face {face}: {freq}");
+    }
+}
+
+#[test]
+fn sampled_witness_rate_matches_density() {
+    let sys = protocols::primality_system(&[15], 1).unwrap();
+    let density = protocols::witness_density(15).to_f64();
+    let w_yes = sys.prop_id("w0=yes").unwrap();
+    let freq = frequency(&sys, TreeId(0), 60_000, 23, |run| {
+        sys.holds(
+            w_yes,
+            PointId {
+                tree: TreeId(0),
+                run,
+                time: sys.horizon(),
+            },
+        )
+    });
+    assert!(
+        (freq - density).abs() < 0.01,
+        "sampled {freq} vs density {density}"
+    );
+}

@@ -1,0 +1,88 @@
+//! The paper, end to end: every experiment E1–E16 must reproduce the
+//! values stated in Halpern & Tuttle (JACM 1993), exactly.
+//!
+//! `cargo run -p kpa-bench --bin experiments` prints the same table;
+//! this test keeps it green.
+
+use kpa::measure::rat;
+
+#[test]
+fn all_paper_quantities_match() {
+    let rows = kpa_bench::all_experiments();
+    assert!(
+        rows.len() >= 50,
+        "expected the full table, got {} rows",
+        rows.len()
+    );
+    let mismatches: Vec<String> = rows
+        .iter()
+        .filter(|r| !r.matches)
+        .map(ToString::to_string)
+        .collect();
+    assert!(
+        mismatches.is_empty(),
+        "mismatches:\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn every_experiment_contributes_rows() {
+    let rows = kpa_bench::all_experiments();
+    for id in 1..=22 {
+        let tag = format!("E{id}");
+        assert!(
+            rows.iter().any(|r| r.experiment == tag),
+            "experiment {tag} produced no rows"
+        );
+    }
+}
+
+/// The headline numbers, asserted directly against the library (not
+/// through the row formatting).
+#[test]
+fn headline_numbers() {
+    use kpa::assign::{Assignment, ProbAssignment};
+    use kpa::protocols;
+    use kpa::system::{AgentId, PointId, TreeId};
+
+    // CA2: B's posterior confidence 1024/1025 (§4).
+    let sys = protocols::ca2(10, rat!(1 / 2)).unwrap();
+    let post = ProbAssignment::new(&sys, Assignment::post());
+    let coord = protocols::coordinated_points(&sys);
+    let silent = PointId {
+        tree: TreeId(0),
+        run: 1,
+        time: sys.horizon(),
+    };
+    let b = sys.agent_id("B").unwrap();
+    assert_eq!(post.prob(b, silent, &coord).unwrap(), rat!(1024 / 1025));
+
+    // §7: the 10-toss inner/outer bounds.
+    let sys = protocols::async_coin_tosses(10).unwrap();
+    let phi = protocols::recent_heads(&sys);
+    let post = ProbAssignment::new(&sys, Assignment::post());
+    let c = PointId {
+        tree: TreeId(0),
+        run: 0,
+        time: 1,
+    };
+    assert_eq!(
+        post.interval(AgentId(0), c, &phi).unwrap(),
+        (rat!(1 / 1024), rat!(1023 / 1024))
+    );
+
+    // Appendix B.1: the two-aces posteriors.
+    let sys = protocols::aces_protocol1().unwrap();
+    let both = protocols::both_aces_points(&sys);
+    let post = ProbAssignment::new(&sys, Assignment::post());
+    let p2 = AgentId(1);
+    let at = |time| PointId {
+        tree: TreeId(0),
+        run: 1,
+        time,
+    };
+    assert_eq!(post.prob(p2, at(1), &both).unwrap(), rat!(1 / 6));
+    assert_eq!(post.prob(p2, at(2), &both).unwrap(), rat!(1 / 5));
+    assert_eq!(post.prob(p2, at(3), &both).unwrap(), rat!(1 / 3));
+}

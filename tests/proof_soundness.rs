@@ -1,0 +1,245 @@
+//! Soundness of the proof system: every line of a checked proof must
+//! be *valid* — true at every point — under every consistent standard
+//! probability assignment of every system. These tests machine-check
+//! that on randomly generated systems, tying the syntactic layer
+//! (`kpa_logic::Proof`) to the semantic layer (`kpa_logic::Model`).
+
+mod common;
+
+use common::{arb_sync_spec, build, prop_names};
+use kpa::assign::{Assignment, ProbAssignment};
+use kpa::logic::{Axiom, Formula, Model, Proof, Step};
+use kpa::measure::Rat;
+use kpa::system::AgentId;
+use proptest::prelude::*;
+
+/// The demo derivations of the proof module, parameterized by real
+/// propositions and agents of a system.
+fn demo_proofs(phi: Formula, psi: Formula, i: AgentId, g: Vec<AgentId>) -> Vec<Proof> {
+    let conj = Formula::and([phi.clone(), psi.clone()]);
+    let knowledge_of_conjunct = Proof::new()
+        .then(Step::Axiom(Axiom::Tautology(
+            conj.clone().implies(phi.clone()),
+        )))
+        .then(Step::Necessitation { agent: i, of: 0 })
+        .then(Step::Axiom(Axiom::KDistribution {
+            agent: i,
+            phi: conj.clone(),
+            psi: phi.clone(),
+        }))
+        .then(Step::ModusPonens {
+            implication: 2,
+            antecedent: 1,
+        });
+
+    let k = phi.clone().known_by(i);
+    let pr1 = phi.clone().pr_ge(i, Rat::ONE);
+    let pr_half = phi.clone().pr_ge(i, Rat::new(1, 2));
+    let certainty_weakening = Proof::new()
+        .then(Step::Axiom(Axiom::KnowledgeToCertainty {
+            agent: i,
+            phi: phi.clone(),
+        }))
+        .then(Step::Axiom(Axiom::ProbWeaken {
+            agent: i,
+            phi: phi.clone(),
+            from: Rat::ONE,
+            to: Rat::new(1, 2),
+        }))
+        .then(Step::Axiom(Axiom::Tautology(
+            k.clone().implies(pr1.clone()).implies(
+                pr1.clone()
+                    .implies(pr_half.clone())
+                    .implies(k.clone().implies(pr_half.clone())),
+            ),
+        )))
+        .then(Step::ModusPonens {
+            implication: 2,
+            antecedent: 0,
+        })
+        .then(Step::ModusPonens {
+            implication: 3,
+            antecedent: 1,
+        });
+
+    let c = phi.clone().common(g.clone());
+    let body = Formula::and([phi.clone(), c.clone()]);
+    let e = body.clone().everyone(g.clone());
+    let k_body = body.clone().known_by(g[0]);
+    let k_phi = phi.clone().known_by(g[0]);
+    let common_implies_knowledge = Proof::new()
+        .then(Step::Axiom(Axiom::FixedPoint {
+            group: g.clone(),
+            phi: phi.clone(),
+        }))
+        .then(Step::Axiom(Axiom::Tautology(
+            c.clone()
+                .iff(e.clone())
+                .implies(c.clone().implies(k_body.clone())),
+        )))
+        .then(Step::ModusPonens {
+            implication: 1,
+            antecedent: 0,
+        })
+        .then(Step::Axiom(Axiom::Tautology(
+            body.clone().implies(phi.clone()),
+        )))
+        .then(Step::Necessitation { agent: g[0], of: 3 })
+        .then(Step::Axiom(Axiom::KDistribution {
+            agent: g[0],
+            phi: body.clone(),
+            psi: phi.clone(),
+        }))
+        .then(Step::ModusPonens {
+            implication: 5,
+            antecedent: 4,
+        })
+        .then(Step::Axiom(Axiom::Tautology(
+            c.clone().implies(k_body.clone()).implies(
+                k_body
+                    .clone()
+                    .implies(k_phi.clone())
+                    .implies(c.clone().implies(k_phi.clone())),
+            ),
+        )))
+        .then(Step::ModusPonens {
+            implication: 7,
+            antecedent: 2,
+        })
+        .then(Step::ModusPonens {
+            implication: 8,
+            antecedent: 6,
+        });
+
+    let monotonicity = Proof::new()
+        .then(Step::Axiom(Axiom::Tautology(
+            conj.clone().implies(psi.clone()),
+        )))
+        .then(Step::ProbMonotonicity {
+            agent: i,
+            alpha: Rat::new(2, 3),
+            of: 0,
+        });
+
+    vec![
+        knowledge_of_conjunct,
+        certainty_weakening,
+        common_implies_knowledge,
+        monotonicity,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every line of every demo proof is valid under `post` (a
+    /// consistent standard assignment) in random synchronous systems.
+    #[test]
+    fn proof_lines_are_semantically_valid(spec in arb_sync_spec(), agent in 0usize..2) {
+        let sys = build(&spec);
+        let names = prop_names(&spec);
+        let phi = Formula::prop(&names[0]);
+        let psi = Formula::prop(names.last().expect("at least one round"));
+        let i = AgentId(agent.min(sys.agent_count() - 1));
+        let g: Vec<AgentId> = (0..sys.agent_count()).map(AgentId).collect();
+
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        let model = Model::new(&post);
+        for (p, proof) in demo_proofs(phi, psi, i, g).into_iter().enumerate() {
+            let lines = proof.check().expect("demo proofs are well-formed");
+            for (l, line) in lines.iter().enumerate() {
+                prop_assert!(
+                    model.holds_everywhere(&line.formula).unwrap(),
+                    "proof {p} line {l} is not valid: {}",
+                    line.formula
+                );
+            }
+        }
+    }
+
+    /// Every line of every theorem in the derived-theorem library is
+    /// valid on random systems.
+    #[test]
+    fn theorem_library_is_sound(spec in arb_sync_spec()) {
+        use kpa::logic::theorems;
+        let sys = build(&spec);
+        let names = prop_names(&spec);
+        let phi = Formula::prop(&names[0]);
+        let psi = Formula::prop(names.last().expect("nonempty"));
+        let i = AgentId(0);
+        let g: Vec<AgentId> = (0..sys.agent_count()).map(AgentId).collect();
+        let library = [
+            theorems::knowledge_of_conjunct(i, phi.clone(), psi.clone()),
+            theorems::knowledge_of_conjunction(i, phi.clone(), psi.clone()),
+            theorems::certainty_weakening(i, phi.clone(), Rat::new(3, 4)),
+            theorems::common_implies_knowledge(g.clone(), phi.clone()),
+            theorems::knowledge_implies_k_alpha(i, phi.clone(), Rat::new(1, 2)),
+            theorems::common_knowledge_is_common(g.clone(), phi.clone()),
+        ];
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        let model = Model::new(&post);
+        for (t, proof) in library.iter().enumerate() {
+            let lines = proof.check().expect("library proofs are well-formed");
+            for (l, line) in lines.iter().enumerate() {
+                prop_assert!(
+                    model.holds_everywhere(&line.formula).unwrap(),
+                    "theorem {t} line {l} is not valid: {}",
+                    line.formula
+                );
+            }
+        }
+    }
+
+    /// Axiom instances over random system propositions are valid under
+    /// every consistent standard assignment (post and opp).
+    #[test]
+    fn axiom_instances_are_valid(spec in arb_sync_spec(), which in 0usize..7) {
+        let sys = build(&spec);
+        let names = prop_names(&spec);
+        let phi = Formula::prop(&names[0]);
+        let psi = Formula::prop(names.last().expect("nonempty"));
+        let i = AgentId(0);
+        let g: Vec<AgentId> = (0..sys.agent_count()).map(AgentId).collect();
+        let axiom = match which {
+            0 => Axiom::KDistribution { agent: i, phi: phi.clone(), psi: psi.clone() },
+            1 => Axiom::KTruth { agent: i, phi: phi.clone() },
+            2 => Axiom::KPositive { agent: i, phi: phi.clone() },
+            3 => Axiom::KNegative { agent: i, phi: phi.clone() },
+            4 => Axiom::KnowledgeToCertainty { agent: i, phi: phi.clone() },
+            5 => Axiom::ProbNonnegative { agent: i, phi: phi.clone() },
+            _ => Axiom::ProbFixedPoint { group: g.clone(), alpha: Rat::new(1, 2), phi: phi.clone() },
+        };
+        let f = axiom.formula().expect("well-formed instance");
+        for assignment in [Assignment::post(), Assignment::opp(AgentId(sys.agent_count() - 1))] {
+            let pa = ProbAssignment::new(&sys, assignment);
+            let model = Model::new(&pa);
+            prop_assert!(
+                model.holds_everywhere(&f).unwrap(),
+                "axiom {which} not valid: {f}"
+            );
+        }
+    }
+
+    /// KnowledgeToCertainty is exactly the consistency axiom: it can
+    /// FAIL under the inconsistent prior assignment (Section 5's
+    /// characterization), and the model checker knows it.
+    #[test]
+    fn certainty_axiom_characterizes_consistency(spec in arb_sync_spec()) {
+        let mut spec = spec;
+        // Make round 0 observed by agent 0 only: it then sometimes
+        // knows c0=h while the prior still gives it probability < 1.
+        spec.rounds[0].observers = 0b01;
+        spec.two_adversaries = false;
+        let sys = build(&spec);
+        let phi = Formula::prop("c0=h");
+        let axiom = Axiom::KnowledgeToCertainty { agent: AgentId(0), phi }
+            .formula()
+            .expect("well-formed");
+        let prior = ProbAssignment::new(&sys, Assignment::prior());
+        let model = Model::new(&prior);
+        prop_assert!(
+            !model.holds_everywhere(&axiom).unwrap(),
+            "the consistency axiom should fail under the prior"
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Temporal-logic laws under the finite-trace semantics, plus boolean
+//! equivalences, on random systems. These pin down the semantics the
+//! crate documents: `◯φ` is false at the horizon and `φ U ψ` requires
+//! `ψ` within the horizon.
+
+mod common;
+
+use common::{arb_sync_spec, build, prop_names};
+use kpa::assign::{Assignment, ProbAssignment};
+use kpa::logic::{Formula, Model};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The until expansion law: φ U ψ ↔ ψ ∨ (φ ∧ ◯(φ U ψ)).
+    #[test]
+    fn until_expansion(spec in arb_sync_spec()) {
+        prop_assume!(spec.rounds.len() >= 2);
+        let sys = build(&spec);
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        let model = Model::new(&post);
+        let names = prop_names(&spec);
+        let phi = Formula::prop(&names[0]);
+        let psi = Formula::prop(&names[1]);
+        let until = phi.clone().until(psi.clone());
+        let expansion = Formula::or([
+            psi.clone(),
+            Formula::and([phi.clone(), until.clone().next()]),
+        ]);
+        prop_assert!(model.holds_everywhere(&until.iff(expansion)).unwrap());
+    }
+
+    /// ◇ and □ duality, idempotence, and the ◇ expansion law.
+    #[test]
+    fn eventually_always_laws(spec in arb_sync_spec()) {
+        let sys = build(&spec);
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        let model = Model::new(&post);
+        for name in prop_names(&spec) {
+            let phi = Formula::prop(&name);
+            // ◇φ ↔ ¬□¬φ.
+            let lhs = phi.clone().eventually();
+            let rhs = phi.clone().not().always().not();
+            prop_assert!(model.holds_everywhere(&lhs.clone().iff(rhs)).unwrap());
+            // ◇◇φ ↔ ◇φ and □□φ ↔ □φ.
+            prop_assert!(model
+                .holds_everywhere(&phi.clone().eventually().eventually().iff(phi.clone().eventually()))
+                .unwrap());
+            prop_assert!(model
+                .holds_everywhere(&phi.clone().always().always().iff(phi.clone().always()))
+                .unwrap());
+            // ◇φ ↔ φ ∨ ◯◇φ.
+            let expand = Formula::or([phi.clone(), phi.clone().eventually().next()]);
+            prop_assert!(model
+                .holds_everywhere(&phi.clone().eventually().iff(expand))
+                .unwrap());
+        }
+    }
+
+    /// Finite-trace endpoints: at the horizon, ◯φ is false and □φ ↔ φ.
+    #[test]
+    fn horizon_semantics(spec in arb_sync_spec()) {
+        let sys = build(&spec);
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        let model = Model::new(&post);
+        let horizon = sys.horizon();
+        for name in prop_names(&spec) {
+            let phi = Formula::prop(&name);
+            let next = model.sat(&phi.clone().next()).unwrap();
+            prop_assert!(next.iter().all(|p| p.time < horizon));
+            let always = model.sat(&phi.clone().always()).unwrap();
+            let now = model.sat(&phi.clone()).unwrap();
+            for p in sys.points().filter(|p| p.time == horizon) {
+                prop_assert_eq!(always.contains(&p), now.contains(&p));
+            }
+        }
+    }
+
+    /// Boolean laws through the evaluator: De Morgan and distribution.
+    #[test]
+    fn boolean_laws(spec in arb_sync_spec()) {
+        prop_assume!(spec.rounds.len() >= 2);
+        let sys = build(&spec);
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        let model = Model::new(&post);
+        let names = prop_names(&spec);
+        let a = Formula::prop(&names[0]);
+        let b = Formula::prop(&names[1]);
+        let demorgan = Formula::and([a.clone(), b.clone()])
+            .not()
+            .iff(Formula::or([a.clone().not(), b.clone().not()]));
+        prop_assert!(model.holds_everywhere(&demorgan).unwrap());
+        let dist = Formula::and([a.clone(), Formula::or([b.clone(), Formula::True])])
+            .iff(Formula::or([
+                Formula::and([a.clone(), b.clone()]),
+                Formula::and([a.clone(), Formula::True]),
+            ]));
+        prop_assert!(model.holds_everywhere(&dist).unwrap());
+    }
+
+    /// Sticky propositions really are sticky: c<k>=h implies □(c<k>=h).
+    #[test]
+    fn sticky_props_are_monotone(spec in arb_sync_spec()) {
+        let sys = build(&spec);
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        let model = Model::new(&post);
+        for name in prop_names(&spec) {
+            let phi = Formula::prop(&name);
+            prop_assert!(model
+                .holds_everywhere(&phi.clone().implies(phi.clone().always()))
+                .unwrap());
+        }
+    }
+}
