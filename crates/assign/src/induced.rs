@@ -11,18 +11,19 @@
 
 use crate::error::AssignError;
 use crate::sample::Assignment;
-use kpa_measure::{BlockSpace, Rat};
-use kpa_system::{AgentId, PointId, System};
+use kpa_measure::{BlockSpace, MemberSet, Rat};
+use kpa_system::{AgentId, PointId, PointSet, System};
 use std::cell::RefCell;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 use std::rc::Rc;
 
 /// The probability space the construction of Proposition 2 assigns to an
 /// agent at a point: a [`BlockSpace`] over points whose blocks are runs.
 pub type PointSpace = BlockSpace<PointId>;
 
-/// Cache from (agent, sorted sample) to the induced space.
-type SpaceCache = HashMap<(AgentId, Vec<PointId>), Rc<PointSpace>>;
+/// Cache from (agent, sample bitset) to the induced space. [`PointSet`]
+/// hashes its words directly, so the key costs one word sweep.
+type SpaceCache = HashMap<(AgentId, PointSet), Rc<PointSpace>>;
 
 /// A probability assignment `P`: for every agent `pᵢ` and point `c`, the
 /// probability space `(S_ic, X_ic, μ_ic)` induced by a sample-space
@@ -83,9 +84,9 @@ impl<'s> ProbAssignment<'s> {
         &self.assignment
     }
 
-    /// The sample `S_ic` (sorted).
+    /// The sample `S_ic`, as a dense [`PointSet`].
     #[must_use]
-    pub fn sample(&self, agent: AgentId, c: PointId) -> Vec<PointId> {
+    pub fn sample(&self, agent: AgentId, c: PointId) -> PointSet {
         self.assignment.sample(self.sys, agent, c)
     }
 
@@ -97,16 +98,16 @@ impl<'s> ProbAssignment<'s> {
     /// [`AssignError::Req1Violated`] if it spans several trees.
     pub fn space(&self, agent: AgentId, c: PointId) -> Result<Rc<PointSpace>, AssignError> {
         let sample = self.sample(agent, c);
-        if sample.is_empty() {
+        let Some(first) = sample.first() else {
             return Err(AssignError::Req2Violated { agent, point: c });
-        }
-        if sample.iter().any(|d| d.tree != sample[0].tree) {
+        };
+        if !sample.is_subset(self.sys.tree_set(first.tree)) {
             return Err(AssignError::Req1Violated { agent, point: c });
         }
         if let Some(space) = self.cache.borrow().get(&(agent, sample.clone())) {
             return Ok(Rc::clone(space));
         }
-        let pairs = sample.iter().map(|&p| (p, p.run_id()));
+        let pairs = sample.iter().map(|p| (p, p.run_id()));
         let space = Rc::new(BlockSpace::new(pairs, |run| self.sys.run_prob(*run))?);
         self.cache
             .borrow_mut()
@@ -124,11 +125,11 @@ impl<'s> ProbAssignment<'s> {
     /// [`kpa_measure::MeasureError::NonMeasurable`] (wrapped) if the
     /// fact is not measurable — use [`ProbAssignment::inner`] /
     /// [`ProbAssignment::outer`] then.
-    pub fn prob(
+    pub fn prob<S: MemberSet<PointId> + ?Sized>(
         &self,
         agent: AgentId,
         c: PointId,
-        set: &BTreeSet<PointId>,
+        set: &S,
     ) -> Result<Rat, AssignError> {
         Ok(self.space(agent, c)?.measure(set)?)
     }
@@ -139,11 +140,11 @@ impl<'s> ProbAssignment<'s> {
     /// # Errors
     ///
     /// As [`ProbAssignment::space`].
-    pub fn inner(
+    pub fn inner<S: MemberSet<PointId> + ?Sized>(
         &self,
         agent: AgentId,
         c: PointId,
-        set: &BTreeSet<PointId>,
+        set: &S,
     ) -> Result<Rat, AssignError> {
         Ok(self.space(agent, c)?.inner_measure(set))
     }
@@ -153,11 +154,11 @@ impl<'s> ProbAssignment<'s> {
     /// # Errors
     ///
     /// As [`ProbAssignment::space`].
-    pub fn outer(
+    pub fn outer<S: MemberSet<PointId> + ?Sized>(
         &self,
         agent: AgentId,
         c: PointId,
-        set: &BTreeSet<PointId>,
+        set: &S,
     ) -> Result<Rat, AssignError> {
         Ok(self.space(agent, c)?.outer_measure(set))
     }
@@ -167,11 +168,11 @@ impl<'s> ProbAssignment<'s> {
     /// # Errors
     ///
     /// As [`ProbAssignment::space`].
-    pub fn interval(
+    pub fn interval<S: MemberSet<PointId> + ?Sized>(
         &self,
         agent: AgentId,
         c: PointId,
-        set: &BTreeSet<PointId>,
+        set: &S,
     ) -> Result<(Rat, Rat), AssignError> {
         Ok(self.space(agent, c)?.measure_interval(set))
     }
@@ -185,15 +186,15 @@ impl<'s> ProbAssignment<'s> {
     /// # Errors
     ///
     /// As [`ProbAssignment::space`].
-    pub fn known_interval(
+    pub fn known_interval<S: MemberSet<PointId> + ?Sized>(
         &self,
         agent: AgentId,
         c: PointId,
-        set: &BTreeSet<PointId>,
+        set: &S,
     ) -> Result<(Rat, Rat), AssignError> {
         let mut lo = Rat::ONE;
         let mut hi = Rat::ZERO;
-        for &d in self.sys.indistinguishable(agent, c) {
+        for d in self.sys.indistinguishable(agent, c) {
             let (l, h) = self.interval(agent, d, set)?;
             lo = lo.min(l);
             hi = hi.max(h);
@@ -208,8 +209,9 @@ impl<'s> ProbAssignment<'s> {
     /// REQ1 at every `(agent, point)`: samples stay within one tree.
     #[must_use]
     pub fn satisfies_req1(&self) -> bool {
-        self.for_all(|_, _, sample| {
-            sample.windows(2).all(|w| w[0].tree == w[1].tree) && !sample.is_empty()
+        self.for_all(|_, _, sample| match sample.first() {
+            Some(d) => sample.is_subset(self.sys.tree_set(d.tree)),
+            None => false,
         })
     }
 
@@ -225,32 +227,23 @@ impl<'s> ProbAssignment<'s> {
     /// characterizing `Kᵢφ ⇒ (Prᵢ(φ) = 1)` (Section 5, citing FH88).
     #[must_use]
     pub fn is_consistent(&self) -> bool {
-        self.for_all(|agent, c, sample| {
-            let k: BTreeSet<PointId> = self
-                .sys
-                .indistinguishable(agent, c)
-                .iter()
-                .copied()
-                .collect();
-            sample.iter().all(|d| k.contains(d))
-        })
+        self.for_all(|agent, c, sample| sample.is_subset(self.sys.indistinguishable(agent, c)))
     }
 
     /// State generation: each sample is a union of global-state classes.
     #[must_use]
     pub fn is_state_generated(&self) -> bool {
         self.for_all(|_, _, sample| {
-            let set: BTreeSet<PointId> = sample.iter().copied().collect();
             sample
                 .iter()
-                .all(|&d| self.sys.same_state(d).iter().all(|e| set.contains(e)))
+                .all(|d| self.sys.same_state(d).is_subset(sample))
         })
     }
 
     /// Inclusiveness: `c ∈ S_ic` everywhere.
     #[must_use]
     pub fn is_inclusive(&self) -> bool {
-        self.for_all(|_, c, sample| sample.binary_search(&c).is_ok())
+        self.for_all(|_, c, sample| sample.contains(c))
     }
 
     /// Uniformity: `d ∈ S_ic` implies `S_id = S_ic`.
@@ -259,7 +252,7 @@ impl<'s> ProbAssignment<'s> {
         self.for_all(|agent, _, sample| {
             sample
                 .iter()
-                .all(|&d| self.assignment.sample(self.sys, agent, d) == *sample)
+                .all(|d| self.assignment.sample(self.sys, agent, d) == *sample)
         })
     }
 
@@ -270,7 +263,7 @@ impl<'s> ProbAssignment<'s> {
         self.is_state_generated() && self.is_inclusive() && self.is_uniform()
     }
 
-    fn for_all(&self, mut pred: impl FnMut(AgentId, PointId, &Vec<PointId>) -> bool) -> bool {
+    fn for_all(&self, mut pred: impl FnMut(AgentId, PointId, &PointSet) -> bool) -> bool {
         for agent in (0..self.sys.agent_count()).map(AgentId) {
             for c in self.sys.points() {
                 let sample = self.sample(agent, c);
@@ -407,9 +400,8 @@ mod tests {
         let p1 = AgentId(0);
         let c = pt(0, 0, 1);
         // "most recent toss heads": recent:c1=h at time 1, recent:c2=h at 2.
-        let mut recent: BTreeSet<PointId> =
-            sys.points_satisfying(sys.prop_id("recent:c1=h").unwrap());
-        recent.extend(sys.points_satisfying(sys.prop_id("recent:c2=h").unwrap()));
+        let mut recent = sys.points_satisfying(sys.prop_id("recent:c1=h").unwrap());
+        recent.union_with(&sys.points_satisfying(sys.prop_id("recent:c2=h").unwrap()));
         assert!(matches!(
             post.prob(p1, c, &recent),
             Err(AssignError::Measure(MeasureError::NonMeasurable))

@@ -21,10 +21,10 @@
 use crate::error::AssignError;
 use crate::induced::ProbAssignment;
 use kpa_system::{AgentId, PointId};
-use std::collections::BTreeSet;
 
 /// Whether `fine ≤ coarse` in the lattice order: every sample of `fine`
-/// is a subset of the corresponding sample of `coarse`.
+/// is a subset of the corresponding sample of `coarse` — one word-wise
+/// `a & !b == 0` sweep per agent/point.
 ///
 /// Both assignments must be over the same system (callers pair them on
 /// one [`System`](kpa_system::System); comparing assignments of
@@ -34,9 +34,7 @@ pub fn leq(fine: &ProbAssignment<'_>, coarse: &ProbAssignment<'_>) -> bool {
     let sys = fine.system();
     for agent in (0..sys.agent_count()).map(AgentId) {
         for c in sys.points() {
-            let small = fine.sample(agent, c);
-            let big: BTreeSet<PointId> = coarse.sample(agent, c).into_iter().collect();
-            if !small.iter().all(|d| big.contains(d)) {
+            if !fine.sample(agent, c).is_subset(&coarse.sample(agent, c)) {
                 return false;
             }
         }
@@ -60,29 +58,25 @@ pub fn refines_by_partition(fine: &ProbAssignment<'_>, coarse: &ProbAssignment<'
     for agent in (0..sys.agent_count()).map(AgentId) {
         for c in sys.points() {
             let big = coarse.sample(agent, c);
-            let mut seen: BTreeSet<PointId> = BTreeSet::new();
-            for &d in &big {
+            let mut seen = sys.empty_points();
+            for d in big.iter() {
                 let cell = fine.sample(agent, d);
-                if seen.contains(&d) {
+                if seen.contains(d) {
                     // d's cell must already be fully absorbed; uniformity
                     // of `fine` makes re-checking redundant, but verify.
-                    if !cell.iter().all(|e| seen.contains(e)) {
+                    if !cell.is_subset(&seen) {
                         return false;
                     }
                     continue;
                 }
                 // A fresh cell must be disjoint from everything seen and
                 // lie inside the coarse sample.
-                let big_set: BTreeSet<PointId> = big.iter().copied().collect();
-                if cell
-                    .iter()
-                    .any(|e| seen.contains(e) || !big_set.contains(e))
-                {
+                if !cell.is_disjoint(&seen) || !cell.is_subset(&big) {
                     return false;
                 }
-                seen.extend(cell);
+                seen.union_with(&cell);
             }
-            if seen.len() != big.len() {
+            if seen != big {
                 return false;
             }
         }
@@ -110,7 +104,7 @@ pub fn conditioning_agrees_at(
 ) -> Result<bool, AssignError> {
     let fine_space = fine.space(agent, c)?;
     let coarse_space = coarse.space(agent, c)?;
-    let fine_sample: BTreeSet<PointId> = fine_space.elements().iter().copied().collect();
+    let fine_sample = fine.sample(agent, c);
 
     // (a) the fine sample is measurable in the coarse space.
     if !coarse_space.is_measurable(&fine_sample) {

@@ -15,11 +15,13 @@
 //! | `S^fut` (`Pref_ic`) | [`Assignment::fut`] | someone who knows the whole past (HMT88, LS82) |
 //! | `S^prior` (`All_ic`) | [`Assignment::prior`] | nobody — simulates the a-priori run distribution |
 
-use kpa_system::{AgentId, PointId, System};
+use kpa_system::{AgentId, PointId, PointSet, System};
 use std::fmt;
 use std::sync::Arc;
 
-/// The function type of a custom sample-space assignment.
+/// The function type of a custom sample-space assignment. Closures
+/// return plain `Vec`s for convenience; [`Assignment::sample`] converts
+/// them into dense [`PointSet`]s over the system's universe.
 pub type SampleFn = dyn Fn(&System, AgentId, PointId) -> Vec<PointId> + Send + Sync;
 
 /// A sample-space assignment `S(i, c) = S_ic` (Section 5 of the paper).
@@ -120,42 +122,32 @@ impl Assignment {
         }
     }
 
-    /// The sample `S_ic` for agent `i` at point `c`, sorted ascending.
+    /// The sample `S_ic` for agent `i` at point `c`, as a dense
+    /// [`PointSet`] (iteration order is ascending point order).
     ///
     /// For the canonical assignments this is, respectively: the points
     /// of `T(c)` with `c`'s local state for `i` (`Post`); the points
     /// with `c`'s global state (`Fut`); all time-`c.time` points of
     /// `T(c)` (`Prior`); and the `Post` sample intersected with the
-    /// opponent's (`Opp`).
+    /// opponent's (`Opp`). Each is a handful of word-wise bitset ops on
+    /// the system's cached knowledge sets.
     #[must_use]
-    pub fn sample(&self, sys: &System, agent: AgentId, c: PointId) -> Vec<PointId> {
-        let mut out = match self {
+    pub fn sample(&self, sys: &System, agent: AgentId, c: PointId) -> PointSet {
+        match self {
             Assignment::Post => sys
                 .indistinguishable(agent, c)
-                .iter()
-                .copied()
-                .filter(|d| d.tree == c.tree)
-                .collect(),
+                .intersection(sys.tree_set(c.tree)),
             Assignment::Fut => sys.same_state(c),
-            Assignment::Prior => sys.points_at_time(c.tree, c.time).collect(),
+            Assignment::Prior => sys.time_slice(c.tree, c.time),
             Assignment::Opp(j) => {
-                let mine: std::collections::BTreeSet<PointId> = sys
+                let mut mine = sys
                     .indistinguishable(agent, c)
-                    .iter()
-                    .copied()
-                    .filter(|d| d.tree == c.tree)
-                    .collect();
-                sys.indistinguishable(*j, c)
-                    .iter()
-                    .copied()
-                    .filter(|d| mine.contains(d))
-                    .collect()
+                    .intersection(sys.tree_set(c.tree));
+                mine.intersect_with(sys.indistinguishable(*j, c));
+                mine
             }
-            Assignment::Custom { f, .. } => f(sys, agent, c),
-        };
-        out.sort_unstable();
-        out.dedup();
-        out
+            Assignment::Custom { f, .. } => sys.point_set(f(sys, agent, c)),
+        }
     }
 }
 
@@ -192,7 +184,7 @@ mod tests {
         let sys = intro_system();
         let p1 = AgentId(0);
         let sample = Assignment::post().sample(&sys, p1, pt(0, 0, 1));
-        assert_eq!(sample, vec![pt(0, 0, 1), pt(0, 1, 1)]);
+        assert_eq!(sample, sys.point_set([pt(0, 0, 1), pt(0, 1, 1)]));
     }
 
     #[test]
@@ -202,11 +194,11 @@ mod tests {
         // Time-1 states are distinct; time-0 state is shared by both runs.
         assert_eq!(
             Assignment::fut().sample(&sys, p1, pt(0, 0, 1)),
-            vec![pt(0, 0, 1)]
+            sys.point_set([pt(0, 0, 1)])
         );
         assert_eq!(
             Assignment::fut().sample(&sys, p1, pt(0, 0, 0)),
-            vec![pt(0, 0, 0), pt(0, 1, 0)]
+            sys.point_set([pt(0, 0, 0), pt(0, 1, 0)])
         );
     }
 
@@ -216,7 +208,7 @@ mod tests {
         let p1 = AgentId(0);
         assert_eq!(
             Assignment::prior().sample(&sys, p1, pt(0, 1, 1)),
-            vec![pt(0, 0, 1), pt(0, 1, 1)]
+            sys.point_set([pt(0, 0, 1), pt(0, 1, 1)])
         );
     }
 
@@ -231,7 +223,7 @@ mod tests {
         // Betting against p3 (who saw the coin): outcome pinned down.
         assert_eq!(
             Assignment::opp(p3).sample(&sys, p1, pt(0, 0, 1)),
-            vec![pt(0, 0, 1)]
+            sys.point_set([pt(0, 0, 1)])
         );
         // Betting against yourself is exactly S^post.
         assert_eq!(
@@ -244,7 +236,10 @@ mod tests {
     fn custom_assignment_and_names() {
         let sys = intro_system();
         let a = Assignment::custom("singleton", |_, _, c| vec![c]);
-        assert_eq!(a.sample(&sys, AgentId(0), pt(0, 1, 1)), vec![pt(0, 1, 1)]);
+        assert_eq!(
+            a.sample(&sys, AgentId(0), pt(0, 1, 1)),
+            sys.point_set([pt(0, 1, 1)])
+        );
         assert_eq!(a.name(), "singleton");
         assert_eq!(Assignment::post().name(), "post");
         assert_eq!(Assignment::opp(AgentId(2)).name(), "opp(p3)");
@@ -252,10 +247,12 @@ mod tests {
     }
 
     #[test]
-    fn samples_are_sorted_and_deduped() {
+    fn samples_are_deduped_and_in_point_order() {
         let sys = intro_system();
         let a = Assignment::custom("dup", |_, _, c| vec![c, c, pt(0, 0, 0)]);
         let s = a.sample(&sys, AgentId(0), pt(0, 1, 1));
-        assert_eq!(s, vec![pt(0, 0, 0), pt(0, 1, 1)]);
+        assert_eq!(s.len(), 2);
+        let listed: Vec<PointId> = s.iter().collect();
+        assert_eq!(listed, vec![pt(0, 0, 0), pt(0, 1, 1)]);
     }
 }

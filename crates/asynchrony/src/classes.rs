@@ -51,10 +51,11 @@ pub enum CutClass {
     Partial,
 }
 
-/// Groups region points by run, in run order.
-fn by_run(region: &[PointId]) -> BTreeMap<RunId, Vec<PointId>> {
+/// Groups region points by run, in run order (the dense bitset iterates
+/// in ascending point order, so each per-run list is time-sorted).
+fn by_run(region: &PointSet) -> BTreeMap<RunId, Vec<PointId>> {
     let mut map: BTreeMap<RunId, Vec<PointId>> = BTreeMap::new();
-    for &p in region {
+    for p in region {
         map.entry(p.run_id()).or_default().push(p);
     }
     map
@@ -92,14 +93,14 @@ impl CutClass {
     pub fn bounds(
         &self,
         sys: &System,
-        region: &[PointId],
+        region: &PointSet,
         phi: &PointSet,
     ) -> Result<(Rat, Rat), AsyncError> {
-        if region.is_empty() {
+        let Some(first) = region.first() else {
             return Err(AsyncError::EmptyCut);
-        }
+        };
         assert!(
-            region.iter().all(|p| p.tree == region[0].tree),
+            region.is_subset(sys.tree_set(first.tree)),
             "cut region must lie within one computation tree"
         );
         let runs = by_run(region);
@@ -132,8 +133,9 @@ impl CutClass {
                     let mut hi = Rat::ZERO;
                     let mut valid = true;
                     for (&r, pts) in &runs {
-                        let in_window: Vec<&PointId> = pts
+                        let in_window: Vec<PointId> = pts
                             .iter()
+                            .copied()
                             .filter(|p| p.time >= start && p.time <= end)
                             .collect();
                         if in_window.is_empty() {
@@ -199,14 +201,14 @@ impl CutClass {
     pub fn enumerate_cuts(
         &self,
         sys: &System,
-        region: &[PointId],
+        region: &PointSet,
         limit: usize,
     ) -> Result<Vec<Cut>, AsyncError> {
-        if region.is_empty() {
+        let Some(first) = region.first() else {
             return Err(AsyncError::EmptyCut);
-        }
+        };
         assert!(
-            region.iter().all(|p| p.tree == region[0].tree),
+            region.is_subset(sys.tree_set(first.tree)),
             "cut region must lie within one computation tree"
         );
         let runs = by_run(region);
@@ -239,11 +241,8 @@ impl CutClass {
                 let mut seen = BTreeSet::new();
                 for start in 0..=horizon {
                     let end = start.saturating_add(*width).min(horizon);
-                    let windowed: Vec<PointId> = region
-                        .iter()
-                        .copied()
-                        .filter(|p| p.time >= start && p.time <= end)
-                        .collect();
+                    let mut windowed = region.clone();
+                    windowed.retain(|p| p.time >= start && p.time <= end);
                     let covered: BTreeSet<RunId> = windowed.iter().map(|p| p.run_id()).collect();
                     if covered.len() != runs.len() {
                         continue;
@@ -301,12 +300,12 @@ impl CutClass {
     fn state_cuts(
         &self,
         sys: &System,
-        region: &[PointId],
+        region: &PointSet,
         limit: usize,
     ) -> Result<Vec<Cut>, AsyncError> {
         // Distinct global states (nodes) of the region, with their points.
         let mut node_points: BTreeMap<NodeId, Vec<PointId>> = BTreeMap::new();
-        for &p in region {
+        for p in region {
             node_points.entry(sys.node_id_of(p)).or_default().push(p);
         }
         let nodes: Vec<NodeId> = node_points.keys().copied().collect();
@@ -317,7 +316,7 @@ impl CutClass {
             });
         }
         // Ancestor sets within the tree.
-        let tree = sys.tree(region[0].tree);
+        let tree = sys.tree(region.first().expect("nonempty region").tree);
         let ancestors = |mut n: NodeId| -> BTreeSet<NodeId> {
             let mut out = BTreeSet::new();
             while let Some(parent) = tree.node(n).parent() {
@@ -385,7 +384,7 @@ mod tests {
     }
 
     /// Clockless p1, two fair tosses; "most recent toss landed heads".
-    fn two_toss() -> (kpa_system::System, Vec<PointId>, PointSet) {
+    fn two_toss() -> (kpa_system::System, PointSet, PointSet) {
         let sys = ProtocolBuilder::new(["p1", "p2"])
             .clockless("p1")
             .step("c1", |_| {
@@ -462,7 +461,8 @@ mod tests {
         let (lo, hi) = CutClass::Partial.bounds(&sys, &region, &phi).unwrap();
         assert_eq!((lo, hi), (Rat::ZERO, Rat::ONE));
         // Enumeration on a trimmed region confirms the extremes.
-        let small: Vec<PointId> = region.iter().copied().filter(|p| p.run < 2).collect();
+        let mut small = region.clone();
+        small.retain(|p| p.run < 2);
         let cuts = CutClass::Partial
             .enumerate_cuts(&sys, &small, 1 << 10)
             .unwrap();
@@ -508,7 +508,7 @@ mod tests {
     fn error_paths() {
         let (sys, region, phi) = two_toss();
         assert!(matches!(
-            CutClass::AllPoints.bounds(&sys, &[], &phi),
+            CutClass::AllPoints.bounds(&sys, &sys.empty_points(), &phi),
             Err(AsyncError::EmptyCut)
         ));
         assert!(matches!(
@@ -520,7 +520,7 @@ mod tests {
             Err(AsyncError::TooLarge { .. })
         ));
         // A region with a gap no single time crosses.
-        let gappy = vec![pt(0, 1), pt(1, 2)];
+        let gappy = sys.point_set([pt(0, 1), pt(1, 2)]);
         assert!(matches!(
             CutClass::Horizontal.bounds(&sys, &gappy, &phi),
             Err(AsyncError::NoValidCut)

@@ -83,7 +83,7 @@ impl Cut {
 
     /// Whether the cut touches every run through `region`.
     #[must_use]
-    pub fn is_full_for(&self, region: &[PointId]) -> bool {
+    pub fn is_full_for(&self, region: &PointSet) -> bool {
         region.iter().all(|p| self.points.contains_key(&p.run_id()))
     }
 
@@ -184,7 +184,8 @@ mod tests {
 
     #[test]
     fn fullness_and_iteration() {
-        let region = vec![pt(0, 1), pt(0, 2), pt(1, 1)];
+        let idx = std::sync::Arc::new(kpa_system::PointIndex::new(vec![2], 2));
+        let region = PointSet::from_points(idx, [pt(0, 1), pt(0, 2), pt(1, 1)]);
         let full = Cut::new([pt(0, 2), pt(1, 1)]).unwrap();
         assert!(full.is_full_for(&region));
         let partial = Cut::new([pt(0, 1)]).unwrap();

@@ -18,7 +18,7 @@ use kpa_system::{AgentId, PointId, System};
 /// The agent's sample region when betting against opponent `j` at `c`:
 /// `Tree^j_ic` (with `j = i` this is `Tree_ic` itself).
 #[must_use]
-pub fn region_for(sys: &System, agent: AgentId, opponent: AgentId, c: PointId) -> Vec<PointId> {
+pub fn region_for(sys: &System, agent: AgentId, opponent: AgentId, c: PointId) -> PointSet {
     Assignment::opp(opponent).sample(sys, agent, c)
 }
 

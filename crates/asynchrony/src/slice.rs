@@ -44,9 +44,8 @@ use kpa_assign::Assignment;
 pub fn slice_assignment() -> Assignment {
     Assignment::custom("slice", |sys, agent, c| {
         sys.indistinguishable(agent, c)
+            .intersection(&sys.time_slice(c.tree, c.time))
             .iter()
-            .copied()
-            .filter(|d| d.tree == c.tree && d.time == c.time)
             .collect()
     })
 }

@@ -1,24 +1,21 @@
 //! Ablation benchmarks for the design choices called out in DESIGN.md:
 //! greedy extremal cuts vs exhaustive enumeration, per-class space
 //! caching vs rebuilding, and class-grouped knowledge evaluation vs the
-//! naive per-point definition.
+//! naive per-point definition. Plain `main()` harness timed with
+//! `std::time`; run with `cargo bench -p kpa-bench --bench ablation`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kpa_assign::{Assignment, ProbAssignment};
 use kpa_asynchrony::{region_for, CutClass};
-use kpa_logic::{Model, PointSet};
+use kpa_logic::Model;
 use kpa_measure::Rat;
 use kpa_protocols::{async_coin_tosses, recent_heads};
 use kpa_system::{AgentId, PointId, TreeId};
-use std::hint::black_box;
 
 /// Greedy per-run extremal cuts (the Proposition 10 construction)
 /// versus exhaustively enumerating every cut. The greedy bounds are
 /// exact; enumeration exists only as a cross-check and its cost grows
 /// as ∏ per-run choices.
-fn bench_cut_bounds(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_cut_bounds");
-    group.sample_size(10);
+fn bench_cut_bounds(reps: u32) {
     for n in [2usize, 3] {
         let sys = async_coin_tosses(n).expect("builds");
         let phi = recent_heads(&sys);
@@ -29,88 +26,71 @@ fn bench_cut_bounds(c: &mut Criterion) {
             time: 1,
         };
         let region = region_for(&sys, p1, p1, at);
-        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
-            b.iter(|| black_box(CutClass::AllPoints.bounds(&sys, &region, &phi).unwrap()));
+        kpa_bench::bench_time(&format!("ablation_cut_bounds/greedy/{n}"), reps, || {
+            CutClass::AllPoints.bounds(&sys, &region, &phi).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("enumerate", n), &n, |b, _| {
-            b.iter(|| {
-                let cuts = CutClass::AllPoints
-                    .enumerate_cuts(&sys, &region, 1 << 20)
-                    .unwrap();
-                let lo = cuts
-                    .iter()
-                    .map(|cut| cut.prob(&sys, &phi).unwrap())
-                    .fold(Rat::ONE, Rat::min);
-                black_box(lo)
-            });
+        kpa_bench::bench_time(&format!("ablation_cut_bounds/enumerate/{n}"), reps, || {
+            let cuts = CutClass::AllPoints
+                .enumerate_cuts(&sys, &region, 1 << 20)
+                .unwrap();
+            cuts.iter()
+                .map(|cut| cut.prob(&sys, &phi).unwrap())
+                .fold(Rat::ONE, Rat::min)
         });
     }
-    group.finish();
 }
 
 /// Reusing one `ProbAssignment` (whose per-class space cache warms up)
 /// versus constructing a fresh one per query.
-fn bench_space_caching(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_space_caching");
-    group.sample_size(10);
+fn bench_space_caching(reps: u32) {
     let sys = async_coin_tosses(7).expect("builds");
     let phi = recent_heads(&sys);
     let p1 = AgentId(0);
-    group.bench_function("cached", |b| {
-        b.iter(|| {
+    kpa_bench::bench_time("ablation_space_caching/cached", reps, || {
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        let mut acc = Rat::ZERO;
+        for c in sys.points().take(64) {
+            acc += post.inner(p1, c, &phi).unwrap();
+        }
+        acc
+    });
+    kpa_bench::bench_time("ablation_space_caching/uncached", reps, || {
+        let mut acc = Rat::ZERO;
+        for c in sys.points().take(64) {
+            // A fresh assignment per query defeats the cache.
             let post = ProbAssignment::new(&sys, Assignment::post());
-            let mut acc = Rat::ZERO;
-            for c in sys.points().take(64) {
-                acc += post.inner(p1, c, &phi).unwrap();
-            }
-            black_box(acc)
-        });
+            acc += post.inner(p1, c, &phi).unwrap();
+        }
+        acc
     });
-    group.bench_function("uncached", |b| {
-        b.iter(|| {
-            let mut acc = Rat::ZERO;
-            for c in sys.points().take(64) {
-                // A fresh assignment per query defeats the cache.
-                let post = ProbAssignment::new(&sys, Assignment::post());
-                acc += post.inner(p1, c, &phi).unwrap();
-            }
-            black_box(acc)
-        });
-    });
-    group.finish();
 }
 
 /// The model checker's class-grouped `Kᵢ` evaluation versus the naive
 /// per-point definition (`∀d ~i c: d ∈ sat`).
-fn bench_knowledge_evaluation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_knowledge_evaluation");
-    group.sample_size(10);
+fn bench_knowledge_evaluation(reps: u32) {
     let sys = async_coin_tosses(7).expect("builds");
     let phi = recent_heads(&sys);
     let p2 = AgentId(1);
     let post = ProbAssignment::new(&sys, Assignment::post());
     let model = Model::new(&post);
-    group.bench_function("class_grouped", |b| {
-        b.iter(|| black_box(model.knows_set(p2, &phi)));
+    kpa_bench::bench_time("ablation_knowledge_evaluation/class_grouped", reps, || {
+        model.knows_set(p2, &phi)
     });
-    group.bench_function("naive_per_point", |b| {
-        b.iter(|| {
-            let mut acc = PointSet::new();
-            for c in sys.points() {
-                if sys.indistinguishable(p2, c).iter().all(|d| phi.contains(d)) {
-                    acc.insert(c);
-                }
+    kpa_bench::bench_time("ablation_knowledge_evaluation/naive_per_point", reps, || {
+        let mut acc = sys.empty_points();
+        for c in sys.points() {
+            if sys.indistinguishable(p2, c).iter().all(|d| phi.contains(d)) {
+                acc.insert(c);
             }
-            black_box(acc)
-        });
+        }
+        acc
     });
-    group.finish();
 }
 
-criterion_group!(
-    ablation,
-    bench_cut_bounds,
-    bench_space_caching,
-    bench_knowledge_evaluation
-);
-criterion_main!(ablation);
+fn main() {
+    let reps = kpa_bench::default_reps();
+    println!("ablation benchmarks (best of {reps})\n");
+    bench_cut_bounds(reps);
+    bench_space_caching(reps);
+    bench_knowledge_evaluation(reps);
+}

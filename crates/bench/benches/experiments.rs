@@ -1,77 +1,48 @@
-//! Criterion benchmarks: one group per paper experiment (E1–E16).
+//! Benchmarks: one row per paper experiment (E1–E22).
 //!
 //! Each bench regenerates the corresponding experiment's quantities —
 //! the "table" of the paper — so timings track the full reproduction
 //! path (system construction + assignment induction + model checking).
-
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+//! Plain `main()` harness timed with `std::time`; run with
+//! `cargo bench -p kpa-bench --bench experiments`.
 
 macro_rules! bench_experiment {
-    ($name:ident, $func:path) => {
-        fn $name(c: &mut Criterion) {
-            c.bench_function(stringify!($name), |b| {
-                b.iter(|| {
-                    let rows = $func();
-                    assert!(rows.iter().all(|r| r.matches), "paper mismatch in bench");
-                    black_box(rows)
-                });
-            });
-        }
+    ($reps:expr, $name:expr, $func:path) => {
+        kpa_bench::bench_time($name, $reps, || {
+            let rows = $func();
+            assert!(rows.iter().all(|r| r.matches), "paper mismatch in bench");
+            rows
+        });
     };
 }
 
-bench_experiment!(bench_e01_vardi, kpa_bench::e01_vardi);
-bench_experiment!(bench_e02_footnote5, kpa_bench::e02_footnote5);
-bench_experiment!(bench_e03_primality, kpa_bench::e03_primality);
-bench_experiment!(bench_e04_attack_pointwise, kpa_bench::e04_attack_pointwise);
-bench_experiment!(bench_e05_coin_post_fut, kpa_bench::e05_coin_post_fut);
-bench_experiment!(bench_e06_die_subdivision, kpa_bench::e06_die_subdivision);
-bench_experiment!(bench_e07_lattice, kpa_bench::e07_lattice);
-bench_experiment!(bench_e08_theorem7, kpa_bench::e08_theorem7);
-bench_experiment!(bench_e09_theorem8, kpa_bench::e09_theorem8);
-bench_experiment!(bench_e10_theorem9, kpa_bench::e10_theorem9);
-bench_experiment!(bench_e11_async_coins, kpa_bench::e11_async_coins);
-bench_experiment!(bench_e12_prop10, kpa_bench::e12_prop10);
-bench_experiment!(bench_e13_pts_vs_state, kpa_bench::e13_pts_vs_state);
-bench_experiment!(bench_e14_prop11, kpa_bench::e14_prop11);
-bench_experiment!(bench_e15_two_aces, kpa_bench::e15_two_aces);
-bench_experiment!(bench_e16_embedding, kpa_bench::e16_embedding);
-bench_experiment!(bench_e17_extensions, kpa_bench::e17_extensions);
-bench_experiment!(bench_e18_scheduler, kpa_bench::e18_scheduler);
-bench_experiment!(
-    bench_e19_rational_opponents,
-    kpa_bench::e19_rational_opponents
-);
-bench_experiment!(bench_e20_leaky_prover, kpa_bench::e20_leaky_prover);
-bench_experiment!(bench_e21_election, kpa_bench::e21_election);
-bench_experiment!(bench_e22_monty_hall, kpa_bench::e22_monty_hall);
-
-criterion_group!(
-    name = experiments;
-    config = Criterion::default().sample_size(10);
-    targets =
-        bench_e01_vardi,
-        bench_e02_footnote5,
-        bench_e03_primality,
-        bench_e04_attack_pointwise,
-        bench_e05_coin_post_fut,
-        bench_e06_die_subdivision,
-        bench_e07_lattice,
-        bench_e08_theorem7,
-        bench_e09_theorem8,
-        bench_e10_theorem9,
-        bench_e11_async_coins,
-        bench_e12_prop10,
-        bench_e13_pts_vs_state,
-        bench_e14_prop11,
-        bench_e15_two_aces,
-        bench_e16_embedding,
-        bench_e17_extensions,
-        bench_e18_scheduler,
-        bench_e19_rational_opponents,
-        bench_e20_leaky_prover,
-        bench_e21_election,
-        bench_e22_monty_hall
-);
-criterion_main!(experiments);
+fn main() {
+    let reps = kpa_bench::default_reps();
+    println!("experiment benchmarks (best of {reps})\n");
+    bench_experiment!(reps, "e01_vardi", kpa_bench::e01_vardi);
+    bench_experiment!(reps, "e02_footnote5", kpa_bench::e02_footnote5);
+    bench_experiment!(reps, "e03_primality", kpa_bench::e03_primality);
+    bench_experiment!(reps, "e04_attack_pointwise", kpa_bench::e04_attack_pointwise);
+    bench_experiment!(reps, "e05_coin_post_fut", kpa_bench::e05_coin_post_fut);
+    bench_experiment!(reps, "e06_die_subdivision", kpa_bench::e06_die_subdivision);
+    bench_experiment!(reps, "e07_lattice", kpa_bench::e07_lattice);
+    bench_experiment!(reps, "e08_theorem7", kpa_bench::e08_theorem7);
+    bench_experiment!(reps, "e09_theorem8", kpa_bench::e09_theorem8);
+    bench_experiment!(reps, "e10_theorem9", kpa_bench::e10_theorem9);
+    bench_experiment!(reps, "e11_async_coins", kpa_bench::e11_async_coins);
+    bench_experiment!(reps, "e12_prop10", kpa_bench::e12_prop10);
+    bench_experiment!(reps, "e13_pts_vs_state", kpa_bench::e13_pts_vs_state);
+    bench_experiment!(reps, "e14_prop11", kpa_bench::e14_prop11);
+    bench_experiment!(reps, "e15_two_aces", kpa_bench::e15_two_aces);
+    bench_experiment!(reps, "e16_embedding", kpa_bench::e16_embedding);
+    bench_experiment!(reps, "e17_extensions", kpa_bench::e17_extensions);
+    bench_experiment!(reps, "e18_scheduler", kpa_bench::e18_scheduler);
+    bench_experiment!(
+        reps,
+        "e19_rational_opponents",
+        kpa_bench::e19_rational_opponents
+    );
+    bench_experiment!(reps, "e20_leaky_prover", kpa_bench::e20_leaky_prover);
+    bench_experiment!(reps, "e21_election", kpa_bench::e21_election);
+    bench_experiment!(reps, "e22_monty_hall", kpa_bench::e22_monty_hall);
+}

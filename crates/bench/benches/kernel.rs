@@ -1,0 +1,177 @@
+//! Micro-benchmark of the dense `PointSet` kernel.
+//!
+//! Pits the word-wise `Model::sat` evaluator against an independent
+//! reference evaluator that computes the same Section 5 semantics over
+//! `BTreeSet<PointId>` — the representation the engine used before the
+//! kernel refactor. Outputs are asserted identical on the paper's
+//! walkthrough systems, and the timed comparison runs on an
+//! asynchronous coin system with > 10⁴ points, where the bitset path
+//! is required to be at least 2× faster.
+//!
+//! Run with `cargo bench -p kpa-bench --bench kernel`.
+
+use kpa_assign::{Assignment, ProbAssignment};
+use kpa_logic::{Formula, Model};
+use kpa_measure::{rat, Rat};
+use kpa_protocols::{async_coin_tosses, ca1, secret_coin};
+use kpa_system::{AgentId, PointId, System};
+use std::collections::BTreeSet;
+
+/// Reference evaluator: the paper's satisfaction relation, computed
+/// point-by-point over `BTreeSet<PointId>`. Covers the fragment the
+/// benchmark and the identity checks use (everything except the
+/// common-knowledge fixed points).
+fn reference_sat(sys: &System, pa: &ProbAssignment<'_>, f: &Formula) -> BTreeSet<PointId> {
+    match f {
+        Formula::True => sys.points().collect(),
+        Formula::Prop(name) => {
+            let id = sys.prop_id(name).expect("known proposition");
+            sys.points().filter(|&p| sys.holds(id, p)).collect()
+        }
+        Formula::Not(x) => {
+            let s = reference_sat(sys, pa, x);
+            sys.points().filter(|p| !s.contains(p)).collect()
+        }
+        Formula::And(xs) => {
+            let mut acc: BTreeSet<PointId> = sys.points().collect();
+            for x in xs {
+                let s = reference_sat(sys, pa, x);
+                acc.retain(|p| s.contains(p));
+            }
+            acc
+        }
+        Formula::Or(xs) => {
+            let mut acc = BTreeSet::new();
+            for x in xs {
+                acc.extend(reference_sat(sys, pa, x));
+            }
+            acc
+        }
+        Formula::Knows(i, x) => {
+            let s = reference_sat(sys, pa, x);
+            sys.points()
+                .filter(|&c| sys.indistinguishable(*i, c).iter().all(|d| s.contains(&d)))
+                .collect()
+        }
+        Formula::PrGe(i, alpha, x) => {
+            let s = reference_sat(sys, pa, x);
+            sys.points()
+                .filter(|&c| pa.inner(*i, c, &s).expect("space builds") >= *alpha)
+                .collect()
+        }
+        Formula::Next(x) => {
+            let s = reference_sat(sys, pa, x);
+            let succ = |p: &PointId| PointId {
+                tree: p.tree,
+                run: p.run,
+                time: p.time + 1,
+            };
+            sys.points()
+                .filter(|p| p.time < sys.horizon() && s.contains(&succ(p)))
+                .collect()
+        }
+        Formula::Until(x, y) => {
+            let hold = reference_sat(sys, pa, x);
+            let goal = reference_sat(sys, pa, y);
+            let succ = |p: &PointId| PointId {
+                tree: p.tree,
+                run: p.run,
+                time: p.time + 1,
+            };
+            let mut acc = goal;
+            loop {
+                let next: BTreeSet<PointId> = sys
+                    .points()
+                    .filter(|p| {
+                        acc.contains(p)
+                            || (hold.contains(p)
+                                && p.time < sys.horizon()
+                                && acc.contains(&succ(p)))
+                    })
+                    .collect();
+                if next == acc {
+                    break acc;
+                }
+                acc = next;
+            }
+        }
+        _ => panic!("reference evaluator: unsupported fragment {f:?}"),
+    }
+}
+
+/// Asserts that the kernel evaluator and the reference evaluator agree
+/// on `f` over `sys`.
+fn check_identical(sys: &System, f: &Formula) {
+    let post = ProbAssignment::new(sys, Assignment::post());
+    let model = Model::new(&post);
+    let fast = model.sat(f).expect("model checks");
+    let slow = reference_sat(sys, &post, f);
+    let fast_pts: BTreeSet<PointId> = fast.iter().collect();
+    assert_eq!(fast_pts, slow, "evaluators disagree on {f}");
+}
+
+fn main() {
+    let reps = kpa_bench::default_reps();
+
+    // Identity on the paper walkthrough systems: the introduction's
+    // secret coin, the Section 7 asynchronous tosses, and the Section 4
+    // coordinated-attack protocol.
+    let coin = secret_coin().expect("builds");
+    let p1 = AgentId(0);
+    for f in [
+        Formula::prop("c=h"),
+        Formula::prop("c=h").known_by(AgentId(2)),
+        Formula::prop("c=h").k_alpha(p1, rat!(1 / 2)),
+        Formula::prop("recent:c=h").next(),
+    ] {
+        check_identical(&coin, &f);
+    }
+    let tosses = async_coin_tosses(4).expect("builds");
+    for f in [
+        Formula::prop("recent=h").eventually(),
+        Formula::prop("recent=h").k_alpha(p1, rat!(1 / 2)),
+        Formula::prop("c0=h").until(Formula::prop("recent=t")),
+    ] {
+        check_identical(&tosses, &f);
+    }
+    let attack = ca1(3, Rat::new(1, 2)).expect("builds");
+    for f in [
+        Formula::prop("coordinated").eventually(),
+        Formula::prop("coordinated")
+            .eventually()
+            .not()
+            .known_by(AgentId(0)),
+    ] {
+        check_identical(&attack, &f);
+    }
+    println!("identity checks passed (secret coin, async tosses, coordinated attack)\n");
+
+    // The timed comparison: 2^10 runs × 11 times = 11 264 points.
+    let sys = async_coin_tosses(10).expect("builds");
+    let n_points = sys.points().count();
+    assert!(n_points >= 10_000, "need ≥ 10⁴ points, got {n_points}");
+    let p2 = AgentId(1);
+    let f = Formula::prop("recent=h")
+        .implies(Formula::prop("recent=t").eventually())
+        .known_by(p2);
+    let post = ProbAssignment::new(&sys, Assignment::post());
+
+    let fast = kpa_bench::bench_time(&format!("kernel_sat/bitset/{n_points}"), reps, || {
+        // A fresh model per pass so the formula cache cannot help.
+        let model = Model::new(&post);
+        model.sat(&f).expect("model checks").len()
+    });
+    let slow = kpa_bench::bench_time(&format!("kernel_sat/btreeset/{n_points}"), reps, || {
+        reference_sat(&sys, &post, &f).len()
+    });
+
+    // Outputs identical on the large system too.
+    check_identical(&sys, &f);
+
+    let speedup = slow.as_secs_f64() / fast.as_secs_f64();
+    println!("\nspeedup: {speedup:.1}× on {n_points} points");
+    assert!(
+        speedup >= 2.0,
+        "dense kernel must be ≥ 2× faster than the BTreeSet reference (got {speedup:.2}×)"
+    );
+}

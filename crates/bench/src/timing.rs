@@ -1,0 +1,34 @@
+//! Minimal timing harness for the `[[bench]]` targets.
+//!
+//! The build is hermetic (no external benchmark framework), so the
+//! benches are plain `main()` binaries timed with [`std::time`]. Each
+//! measurement runs one warm-up pass and reports the best of `reps`
+//! timed passes — the usual "minimum is the least noisy estimator of
+//! the true cost" convention.
+
+use std::time::{Duration, Instant};
+
+/// Number of timed repetitions: quick by default, longer sweeps under
+/// `--features bench`.
+#[must_use]
+pub fn default_reps() -> u32 {
+    if cfg!(feature = "bench") {
+        10
+    } else {
+        3
+    }
+}
+
+/// Times `f` (best of `reps` passes after one warm-up), prints a row
+/// `label  best-time`, and returns the best duration.
+pub fn bench_time<T>(label: &str, reps: u32, mut f: impl FnMut() -> T) -> Duration {
+    std::hint::black_box(f());
+    let mut best = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed());
+    }
+    println!("{label:<48} {best:>12.2?}");
+    best
+}

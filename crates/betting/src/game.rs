@@ -26,7 +26,7 @@ use kpa_system::{AgentId, PointId, System};
 /// use kpa_measure::rat;
 /// use kpa_betting::BetRule;
 ///
-/// let rule = BetRule::new([].into(), rat!(1 / 2))?;
+/// let rule = BetRule::new(Default::default(), rat!(1 / 2))?;
 /// assert_eq!(rule.min_payoff(), rat!(2));
 /// assert!(rule.accepts(Some(rat!(2))));
 /// assert!(!rule.accepts(Some(rat!(3 / 2))));
@@ -86,7 +86,7 @@ impl BetRule {
     pub fn winnings_at(&self, offer: Option<Rat>, point: PointId) -> Rat {
         match offer {
             Some(beta) if beta >= self.min_payoff() => {
-                if self.phi.contains(&point) {
+                if self.phi.contains(point) {
                     beta - Rat::ONE
                 } else {
                     -Rat::ONE
@@ -198,15 +198,16 @@ mod tests {
 
     #[test]
     fn rule_validation() {
-        assert!(BetRule::new([].into(), rat!(0)).is_err());
-        assert!(BetRule::new([].into(), rat!(3 / 2)).is_err());
-        assert!(BetRule::new([].into(), rat!(-1 / 2)).is_err());
-        assert!(BetRule::new([].into(), Rat::ONE).is_ok());
+        assert!(BetRule::new(PointSet::default(), rat!(0)).is_err());
+        assert!(BetRule::new(PointSet::default(), rat!(3 / 2)).is_err());
+        assert!(BetRule::new(PointSet::default(), rat!(-1 / 2)).is_err());
+        assert!(BetRule::new(PointSet::default(), Rat::ONE).is_ok());
     }
 
     #[test]
     fn winnings_cases() {
-        let phi: PointSet = [pt(0, 1)].into_iter().collect();
+        let idx = std::sync::Arc::new(kpa_system::PointIndex::new(vec![2], 1));
+        let phi = PointSet::from_points(idx, [pt(0, 1)]);
         let rule = BetRule::new(phi, rat!(1 / 2)).unwrap();
         // Accepted, φ true: payoff − 1.
         assert_eq!(rule.winnings_at(Some(rat!(2)), pt(0, 1)), Rat::ONE);

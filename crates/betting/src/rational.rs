@@ -64,7 +64,10 @@ pub fn is_rational_strategy(
         }
         // Representative point with this local state; uniformity of the
         // posterior assignment makes any representative equivalent.
-        let d = sys.points_with_local(opponent, sym)[0];
+        let d = sys
+            .points_with_local(opponent, sym)
+            .first()
+            .expect("local states are inhabited");
         let mu = opp_post.inner(opponent, d, rule.phi())?;
         // Expected profit: 1 − β·μ. Negative ⇒ irrational offer.
         if Rat::ONE - beta * mu < Rat::ZERO {
@@ -112,7 +115,7 @@ impl BettingGame<'_> {
         c: PointId,
         rule: &BetRule,
     ) -> Result<bool, BettingError> {
-        for &d in self.system().indistinguishable(self.bettor(), c) {
+        for d in self.system().indistinguishable(self.bettor(), c) {
             if !self.breaks_even_against_rational_at(d, rule)? {
                 return Ok(false);
             }
@@ -132,7 +135,7 @@ impl BettingGame<'_> {
         c: PointId,
         rule: &BetRule,
     ) -> Result<Option<(Strategy, PointId)>, BettingError> {
-        for &d in self.system().indistinguishable(self.bettor(), c) {
+        for d in self.system().indistinguishable(self.bettor(), c) {
             if !self.breaks_even_against_rational_at(d, rule)? {
                 let strategy = Strategy::silent()
                     .with_offer(self.system().local(self.opponent(), d), rule.min_payoff());

@@ -126,7 +126,7 @@ impl<'s> BettingGame<'s> {
     ///
     /// Propagates space-construction failures.
     pub fn is_safe_at(&self, c: PointId, rule: &BetRule) -> Result<bool, BettingError> {
-        for &d in self.sys.indistinguishable(self.bettor, c) {
+        for d in self.sys.indistinguishable(self.bettor, c) {
             if !self.breaks_even_at(d, rule)? {
                 return Ok(false);
             }
@@ -140,16 +140,15 @@ impl<'s> BettingGame<'s> {
     ///
     /// Propagates space-construction failures.
     pub fn safe_points(&self, rule: &BetRule) -> Result<PointSet, BettingError> {
-        let mut acc = PointSet::new();
-        for sym in self.sys.local_states(self.bettor) {
-            let class = self.sys.points_with_local(self.bettor, sym);
+        let mut acc = self.sys.empty_points();
+        for (_, class) in self.sys.local_classes(self.bettor) {
             let all_even = class
                 .iter()
-                .try_fold(true, |ok, &d| -> Result<bool, BettingError> {
+                .try_fold(true, |ok, d| -> Result<bool, BettingError> {
                     Ok(ok && self.breaks_even_at(d, rule)?)
                 })?;
             if all_even {
-                acc.extend(class.iter().copied());
+                acc.union_with(class);
             }
         }
         Ok(acc)
@@ -163,17 +162,16 @@ impl<'s> BettingGame<'s> {
     ///
     /// Propagates space-construction failures.
     pub fn k_alpha_points(&self, rule: &BetRule) -> Result<PointSet, BettingError> {
-        let mut acc = PointSet::new();
-        for sym in self.sys.local_states(self.bettor) {
-            let class = self.sys.points_with_local(self.bettor, sym);
+        let mut acc = self.sys.empty_points();
+        for (_, class) in self.sys.local_classes(self.bettor) {
             let all_ge = class
                 .iter()
-                .try_fold(true, |ok, &d| -> Result<bool, BettingError> {
+                .try_fold(true, |ok, d| -> Result<bool, BettingError> {
                     let p = self.opp.inner(self.bettor, d, rule.phi())?;
                     Ok(ok && p >= rule.alpha())
                 })?;
             if all_ge {
-                acc.extend(class.iter().copied());
+                acc.union_with(class);
             }
         }
         Ok(acc)
@@ -202,7 +200,7 @@ impl<'s> BettingGame<'s> {
         c: PointId,
         rule: &BetRule,
     ) -> Result<Option<(Strategy, PointId)>, BettingError> {
-        for &d in self.sys.indistinguishable(self.bettor, c) {
+        for d in self.sys.indistinguishable(self.bettor, c) {
             let p = self.opp.inner(self.bettor, d, rule.phi())?;
             if p < rule.alpha() {
                 let strategy = Strategy::silent()
@@ -224,7 +222,7 @@ impl<'s> BettingGame<'s> {
     /// Propagates space-construction failures.
     pub fn fair_threshold(&self, c: PointId, phi: &PointSet) -> Result<Rat, BettingError> {
         let mut min = Rat::ONE;
-        for &d in self.sys.indistinguishable(self.bettor, c) {
+        for d in self.sys.indistinguishable(self.bettor, c) {
             min = min.min(self.opp.inner(self.bettor, d, phi)?);
         }
         Ok(min)
@@ -261,7 +259,7 @@ impl<'s> BettingGame<'s> {
     /// is reported as [`BettingError::NonMeasurableWinnings`].
     pub fn tree_safe_at(&self, c: PointId, rule: &BetRule) -> Result<bool, BettingError> {
         let family = self.adversarial_family(rule);
-        for &d in self.sys.indistinguishable(self.bettor, c) {
+        for d in self.sys.indistinguishable(self.bettor, c) {
             let space = self.post.space(self.bettor, d)?;
             for f in &family {
                 let e = expected_winnings(&space, self.sys, self.opponent, rule, f)?;
@@ -330,7 +328,7 @@ mod tests {
         assert_eq!(e, -Rat::ONE);
 
         // Against the same opponent, only a sure thing is safe: φ = true.
-        let all: PointSet = sys.points().collect();
+        let all: PointSet = sys.full_points();
         let sure = BetRule::new(all, Rat::ONE).unwrap();
         assert!(game.is_safe_at(c, &sure).unwrap());
         assert!(game.losing_strategy_at(c, &sure).unwrap().is_none());
@@ -404,17 +402,14 @@ mod tests {
         assert_eq!(fair, Rat::ZERO);
         // …whereas betting on "b will come up heads" (the run fact) at
         // time 1 is fair at exactly 1/2.
-        let phi_run: PointSet = sys
-            .points()
-            .filter(|p| {
-                let end = PointId {
-                    tree: p.tree,
-                    run: p.run,
-                    time: sys.horizon(),
-                };
-                phi.contains(&end)
-            })
-            .collect();
+        let phi_run: PointSet = sys.point_set(sys.points().filter(|p| {
+            let end = PointId {
+                tree: p.tree,
+                run: p.run,
+                time: sys.horizon(),
+            };
+            phi.contains(end)
+        }));
         let fair = game.fair_threshold(c, &phi_run).unwrap();
         assert_eq!(fair, rat!(1 / 2));
         // Theorem 7 at the boundary: safe at the threshold, unsafe above.
@@ -431,7 +426,7 @@ mod tests {
         assert_eq!(game.bettor(), AgentId(0));
         assert_eq!(game.opponent(), AgentId(1));
         assert_eq!(game.system().agent_count(), 2);
-        let rule = BetRule::new(PointSet::new(), rat!(1 / 2)).unwrap();
+        let rule = BetRule::new(PointSet::default(), rat!(1 / 2)).unwrap();
         // Two opponent locals at time 1 + one at time 0 + constant = 4.
         assert_eq!(game.adversarial_family(&rule).len(), 4);
     }
@@ -444,12 +439,12 @@ mod tests {
         // Betting on "heads happened or will happen on this run" with
         // α = 1/2: safe at time 0 (opponent hasn't seen the coin yet),
         // unsafe at time 1.
-        let heads_run: PointSet = sys.points().filter(|p| p.run == 0).collect();
+        let heads_run: PointSet = sys.point_set(sys.points().filter(|p| p.run == 0));
         let rule = BetRule::new(heads_run, rat!(1 / 2)).unwrap();
         let safe = game.safe_points(&rule).unwrap();
-        assert!(safe.contains(&pt(0, 0)));
-        assert!(safe.contains(&pt(1, 0)));
-        assert!(!safe.contains(&pt(0, 1)));
+        assert!(safe.contains(pt(0, 0)));
+        assert!(safe.contains(pt(1, 0)));
+        assert!(!safe.contains(pt(0, 1)));
         assert_eq!(safe, game.k_alpha_points(&rule).unwrap());
         drop(heads);
     }

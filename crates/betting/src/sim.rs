@@ -10,8 +10,8 @@
 use crate::game::BetRule;
 use crate::strategy::Strategy;
 use kpa_assign::PointSpace;
+use kpa_measure::Rng64;
 use kpa_system::{AgentId, PointId, System};
-use rand::Rng;
 
 /// Plays the betting game `trials` times over `space` and returns the
 /// average winnings of following `rule` against `strategy`.
@@ -27,7 +27,7 @@ use rand::Rng;
 ///
 /// Panics if `trials` is zero.
 pub fn simulate_average_winnings(
-    rng: &mut impl Rng,
+    rng: &mut Rng64,
     sys: &System,
     opponent: AgentId,
     space: &PointSpace,
@@ -53,7 +53,7 @@ pub fn simulate_average_winnings(
     let mut sum = 0.0;
     for _ in 0..trials {
         // Sample a run by weight.
-        let mut x = rng.gen_range(0.0..total);
+        let mut x = rng.f64() * total;
         let mut chosen = runs.len() - 1;
         for (k, (_, w)) in runs.iter().enumerate() {
             if x < *w {
@@ -63,7 +63,7 @@ pub fn simulate_average_winnings(
             x -= w;
         }
         let points = &runs[chosen].0;
-        let point = points[rng.gen_range(0..points.len())];
+        let point = points[rng.index(points.len())];
         let offer = strategy.offer_at(sys, opponent, point);
         sum += rule.winnings_at(offer, point).to_f64();
     }
@@ -77,7 +77,6 @@ mod tests {
     use kpa_assign::{Assignment, ProbAssignment};
     use kpa_measure::rat;
     use kpa_system::{ProtocolBuilder, TreeId};
-    use rand::SeedableRng;
 
     #[test]
     fn simulation_matches_analytic_expectation() {
@@ -110,7 +109,7 @@ mod tests {
         let exact = expected_winnings(&space, &sys, j, &rule, &strategy)
             .unwrap()
             .to_f64();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = Rng64::new(7);
         let sim = simulate_average_winnings(&mut rng, &sys, j, &space, &rule, &strategy, 40_000);
         assert!(
             (sim - exact).abs() < 0.05,
@@ -133,8 +132,8 @@ mod tests {
                 },
             )
             .unwrap();
-        let rule = BetRule::new([].into(), rat!(1 / 2)).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let rule = BetRule::new(kpa_logic::PointSet::default(), rat!(1 / 2)).unwrap();
+        let mut rng = Rng64::new(0);
         let _ = simulate_average_winnings(
             &mut rng,
             &sys,

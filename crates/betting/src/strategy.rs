@@ -6,9 +6,8 @@
 //! bet is modeled as `None`; the paper writes it as an `∞` payoff that
 //! the bettor can only break even on.)
 
-use kpa_measure::Rat;
+use kpa_measure::{Rat, Rng64};
 use kpa_system::{AgentId, PointId, Sym, System};
-use rand::Rng;
 use std::collections::BTreeMap;
 
 /// A strategy for the opponent `p_j`: what payoff (if any) it offers for
@@ -88,12 +87,12 @@ impl Strategy {
     /// independently gets no offer (probability 1/3) or a payoff drawn
     /// from `grid`. Used to cross-check the analytic safety verdicts by
     /// simulation.
-    pub fn random(rng: &mut impl Rng, sys: &System, opponent: AgentId, grid: &[Rat]) -> Strategy {
+    pub fn random(rng: &mut Rng64, sys: &System, opponent: AgentId, grid: &[Rat]) -> Strategy {
         assert!(!grid.is_empty(), "payoff grid must be nonempty");
         let mut offers = BTreeMap::new();
         for sym in sys.local_states(opponent) {
-            if rng.gen_range(0..3) > 0 {
-                offers.insert(sym, grid[rng.gen_range(0..grid.len())]);
+            if rng.below(3) > 0 {
+                offers.insert(sym, grid[rng.index(grid.len())]);
             }
         }
         Strategy {
@@ -158,7 +157,7 @@ mod tests {
             .unwrap();
         let j = sys.agent_id("j").unwrap();
         let grid = [rat!(2), rat!(3)];
-        let mut rng = rand::thread_rng();
+        let mut rng = Rng64::new(0xBE77);
         for _ in 0..20 {
             let s = Strategy::random(&mut rng, &sys, j, &grid);
             for sym in sys.local_states(j) {

@@ -7,6 +7,12 @@
 //! by finite horizons is the temporal fragment, which uses finite-trace
 //! semantics: `◯φ` is false at the horizon, and `φ U ψ` requires `ψ`
 //! within the horizon.
+//!
+//! Satisfaction sets are dense [`PointSet`] bitsets, so the Boolean
+//! connectives are word-wise loops, `Kᵢ` is a subset scan over the
+//! agent's cached local classes, `◯` is a word shift
+//! ([`PointSet::precursors`]), and `U` is a least-fixpoint of shifts —
+//! no per-point tree walking anywhere in the evaluator.
 
 use crate::error::LogicError;
 use crate::formula::Formula;
@@ -14,11 +20,12 @@ use kpa_assign::ProbAssignment;
 use kpa_measure::Rat;
 use kpa_system::{AgentId, PointId};
 use std::cell::RefCell;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 use std::rc::Rc;
 
-/// The set of points satisfying a formula.
-pub type PointSet = BTreeSet<PointId>;
+/// The set of points satisfying a formula (re-exported from
+/// `kpa-system`'s dense bitset kernel).
+pub use kpa_system::PointSet;
 
 /// A memoizing model checker for one system and probability assignment.
 ///
@@ -54,7 +61,7 @@ impl<'a, 's> Model<'a, 's> {
     /// Builds a model checker over the given probability assignment.
     #[must_use]
     pub fn new(pa: &'a ProbAssignment<'s>) -> Model<'a, 's> {
-        let all = Rc::new(pa.system().points().collect());
+        let all = Rc::new(pa.system().full_points());
         Model {
             pa,
             all,
@@ -89,63 +96,42 @@ impl<'a, 's> Model<'a, 's> {
                     .ok_or_else(|| LogicError::UnknownProp { name: name.clone() })?;
                 sys.points_satisfying(id)
             }
-            Formula::Not(x) => {
-                let inner = self.sat(x)?;
-                self.all
-                    .iter()
-                    .filter(|p| !inner.contains(p))
-                    .copied()
-                    .collect()
-            }
+            Formula::Not(x) => self.sat(x)?.complement(),
             Formula::And(xs) => {
                 let mut acc = (*self.all).clone();
                 for x in xs {
-                    let s = self.sat(x)?;
-                    acc.retain(|p| s.contains(p));
+                    acc.intersect_with(&*self.sat(x)?);
                 }
                 acc
             }
             Formula::Or(xs) => {
-                let mut acc = PointSet::new();
+                let mut acc = sys.empty_points();
                 for x in xs {
-                    acc.extend(self.sat(x)?.iter().copied());
+                    acc.union_with(&*self.sat(x)?);
                 }
                 acc
             }
             Formula::Knows(i, x) => self.knows_set(*i, &*self.sat(x)?),
             Formula::PrGe(i, alpha, x) => self.pr_ge_set(*i, *alpha, &*self.sat(x)?)?,
-            Formula::Next(x) => {
-                let inner = self.sat(x)?;
-                inner
-                    .iter()
-                    .filter(|p| p.time > 0)
-                    .map(|p| PointId {
-                        tree: p.tree,
-                        run: p.run,
-                        time: p.time - 1,
-                    })
-                    .collect()
-            }
+            // ◯φ: the points whose time-successor satisfies φ — one
+            // word shift in the dense layout.
+            Formula::Next(x) => self.sat(x)?.precursors(),
+            // φ U ψ: least fixpoint of X = ψ ∪ (φ ∩ ◯X). Converges in
+            // at most `horizon` rounds of O(words) shifts, replacing
+            // the old per-run backward scans.
             Formula::Until(x, y) => {
                 let hold = self.sat(x)?;
                 let goal = self.sat(y)?;
-                let mut acc = PointSet::new();
-                let horizon = sys.horizon();
-                for tree in sys.tree_ids() {
-                    for run in 0..sys.tree(tree).runs().len() {
-                        // Backward scan over the run.
-                        let mut ok_next = false;
-                        for time in (0..=horizon).rev() {
-                            let p = PointId { tree, run, time };
-                            let ok = goal.contains(&p) || (hold.contains(&p) && ok_next);
-                            if ok {
-                                acc.insert(p);
-                            }
-                            ok_next = ok;
-                        }
+                let mut acc = (*goal).clone();
+                loop {
+                    let mut next = acc.precursors();
+                    next.intersect_with(&hold);
+                    next.union_with(&goal);
+                    if next == acc {
+                        break acc;
                     }
+                    acc = next;
                 }
-                acc
             }
             Formula::Common(group, x) => {
                 if group.is_empty() {
@@ -153,12 +139,19 @@ impl<'a, 's> Model<'a, 's> {
                 }
                 let phi = self.sat(x)?;
                 self.gfp(|current| {
-                    let body: PointSet = phi.intersection(current).copied().collect();
-                    Ok(group
-                        .iter()
-                        .map(|&i| self.knows_set(i, &body))
-                        .reduce(|a, b| a.intersection(&b).copied().collect())
-                        .expect("nonempty group"))
+                    let body = phi.intersection(current);
+                    let mut acc: Option<PointSet> = None;
+                    for &i in group {
+                        let k = self.knows_set(i, &body);
+                        acc = Some(match acc {
+                            None => k,
+                            Some(mut a) => {
+                                a.intersect_with(&k);
+                                a
+                            }
+                        });
+                    }
+                    Ok(acc.expect("nonempty group"))
                 })?
             }
             Formula::CommonGe(group, alpha, x) => {
@@ -167,7 +160,7 @@ impl<'a, 's> Model<'a, 's> {
                 }
                 let phi = self.sat(x)?;
                 self.gfp(|current| {
-                    let body: PointSet = phi.intersection(current).copied().collect();
+                    let body = phi.intersection(current);
                     let mut acc: Option<PointSet> = None;
                     for &i in group {
                         // Kᵢ^α(body) = Kᵢ(Prᵢ(body) ≥ α).
@@ -175,7 +168,10 @@ impl<'a, 's> Model<'a, 's> {
                         let k = self.knows_set(i, &pr);
                         acc = Some(match acc {
                             None => k,
-                            Some(a) => a.intersection(&k).copied().collect(),
+                            Some(mut a) => {
+                                a.intersect_with(&k);
+                                a
+                            }
                         });
                     }
                     Ok(acc.expect("nonempty group"))
@@ -193,7 +189,7 @@ impl<'a, 's> Model<'a, 's> {
     ///
     /// As [`Model::sat`].
     pub fn holds_at(&self, f: &Formula, c: PointId) -> Result<bool, LogicError> {
-        Ok(self.sat(f)?.contains(&c))
+        Ok(self.sat(f)?.contains(c))
     }
 
     /// Whether `f` holds at *every* point of the system — the form of
@@ -219,20 +215,22 @@ impl<'a, 's> Model<'a, 's> {
         f: &Formula,
     ) -> Result<(Rat, Rat), LogicError> {
         let sat = self.sat(f)?;
-        Ok(self.pa.interval(agent, c, &sat)?)
+        Ok(self.pa.interval(agent, c, &*sat)?)
     }
 
     /// `Kᵢ S`: the points where agent `i` knows the *set* `S` (every
     /// point it considers possible lies in `S`). Exposed because the
     /// betting machinery of Sections 6–7 quantifies over raw point sets.
+    ///
+    /// One word-wise subset test per local class: a class is either
+    /// absorbed whole or not at all.
     #[must_use]
     pub fn knows_set(&self, agent: AgentId, sat: &PointSet) -> PointSet {
         let sys = self.pa.system();
-        let mut acc = PointSet::new();
-        for sym in sys.local_states(agent) {
-            let class = sys.points_with_local(agent, sym);
-            if class.iter().all(|p| sat.contains(p)) {
-                acc.extend(class.iter().copied());
+        let mut acc = sys.empty_points();
+        for (_, class) in sys.local_classes(agent) {
+            if class.is_subset(sat) {
+                acc.union_with(class);
             }
         }
         acc
@@ -251,7 +249,7 @@ impl<'a, 's> Model<'a, 's> {
         sat: &PointSet,
     ) -> Result<PointSet, LogicError> {
         let sys = self.pa.system();
-        let mut acc = PointSet::new();
+        let mut acc = sys.empty_points();
         // Memoize per distinct space (uniform assignments repeat spaces
         // across whole indistinguishability classes).
         let mut by_space: HashMap<*const kpa_assign::PointSpace, bool> = HashMap::new();
@@ -357,7 +355,7 @@ mod tests {
         let heads = Formula::prop("c=h");
         // p3 saw the coin: it knows heads exactly at the heads point.
         let k3 = heads.clone().known_by(AgentId(2));
-        assert_eq!(*m.sat(&k3).unwrap(), [pt(0, 0, 1)].into_iter().collect());
+        assert_eq!(*m.sat(&k3).unwrap(), sys.point_set([pt(0, 0, 1)]));
         // p1 never knows heads.
         let k1 = heads.known_by(AgentId(0));
         assert!(m.sat(&k1).unwrap().is_empty());
@@ -402,17 +400,17 @@ mod tests {
         // ◯heads holds at time 0 of the heads run only.
         assert_eq!(
             *m.sat(&heads.clone().next()).unwrap(),
-            [pt(0, 0, 0)].into_iter().collect()
+            sys.point_set([pt(0, 0, 0)])
         );
         // ◇heads holds at both points of the heads run.
         assert_eq!(
             *m.sat(&heads.clone().eventually()).unwrap(),
-            [pt(0, 0, 0), pt(0, 0, 1)].into_iter().collect()
+            sys.point_set([pt(0, 0, 0), pt(0, 0, 1)])
         );
         // □(¬heads) holds everywhere on the tails run.
         assert_eq!(
             *m.sat(&heads.clone().not().always()).unwrap(),
-            [pt(0, 1, 0), pt(0, 1, 1)].into_iter().collect()
+            sys.point_set([pt(0, 1, 0), pt(0, 1, 1)])
         );
         // Until: ¬heads U heads ≡ ◇heads in this two-step system.
         assert_eq!(

@@ -1,0 +1,56 @@
+//! Membership abstraction for the sets a [`crate::BlockSpace`] measures.
+//!
+//! The measure layer only ever asks one question of a candidate event:
+//! *does it contain this sample element?* Abstracting that question
+//! into [`MemberSet`] lets the space measure a `BTreeSet` (the
+//! reference representation used in tests) and — crucially — the dense
+//! `PointSet` bitset of `kpa-system`, whose `contains` is a single
+//! word probe, without the upper layers materializing intermediate
+//! ordered sets.
+
+use std::collections::{BTreeSet, HashSet};
+use std::hash::{BuildHasher, Hash};
+
+/// A set queried only through membership tests.
+///
+/// Implementors must answer `contains_elem` in a way consistent with
+/// whatever iteration/equality they offer elsewhere; the measure layer
+/// relies on nothing else.
+pub trait MemberSet<E> {
+    /// Whether `e` belongs to the set.
+    fn contains_elem(&self, e: &E) -> bool;
+}
+
+impl<E: Ord> MemberSet<E> for BTreeSet<E> {
+    fn contains_elem(&self, e: &E) -> bool {
+        self.contains(e)
+    }
+}
+
+impl<E: Hash + Eq, S: BuildHasher> MemberSet<E> for HashSet<E, S> {
+    fn contains_elem(&self, e: &E) -> bool {
+        self.contains(e)
+    }
+}
+
+impl<E, M: MemberSet<E> + ?Sized> MemberSet<E> for &M {
+    fn contains_elem(&self, e: &E) -> bool {
+        (**self).contains_elem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn btreeset_and_hashset_answer_membership() {
+        let b: BTreeSet<u32> = [1, 2, 3].into_iter().collect();
+        let h: HashSet<u32> = [2, 4].into_iter().collect();
+        assert!(b.contains_elem(&1) && !b.contains_elem(&4));
+        assert!(h.contains_elem(&4) && !h.contains_elem(&1));
+        // Blanket reference impl.
+        let r: &BTreeSet<u32> = &b;
+        assert!(r.contains_elem(&3));
+    }
+}

@@ -65,7 +65,7 @@ impl Partition {
         let mut hit = vec![Rat::ZERO; cells];
         for (i, &p) in slice.iter().enumerate() {
             total[self.cell_of[i]] += weight[i];
-            if phi.contains(&p) {
+            if phi.contains(p) {
                 hit[self.cell_of[i]] += weight[i];
             }
         }

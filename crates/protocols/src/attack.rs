@@ -215,19 +215,22 @@ pub fn coordinated_points(sys: &System) -> PointSet {
     let prop = sys.prop_id("coordinated").expect("built by ca1/ca2");
     let tree = TreeId(0);
     let horizon = sys.horizon();
-    (0..sys.tree(tree).runs().len())
-        .filter(|&run| {
-            sys.holds(
-                prop,
-                kpa_system::PointId {
-                    tree,
-                    run,
-                    time: horizon,
-                },
-            )
-        })
-        .flat_map(|run| (0..=horizon).map(move |time| kpa_system::PointId { tree, run, time }))
-        .collect()
+    sys.point_set(
+        (0..sys.tree(tree).runs().len())
+            .filter(|&run| {
+                sys.holds(
+                    prop,
+                    kpa_system::PointId {
+                        tree,
+                        run,
+                        time: horizon,
+                    },
+                )
+            })
+            .flat_map(|run| {
+                (0..=horizon).map(move |time| kpa_system::PointId { tree, run, time })
+            }),
+    )
 }
 
 /// The probability, over the runs, that the attack is coordinated.
@@ -285,7 +288,7 @@ mod tests {
         assert!(!sat.is_empty(), "the certain-failure point exists");
         // It is the heads ∧ all-lost ∧ report-delivered branch, after
         // the report arrives.
-        assert!(sat.iter().all(|&p| sys.local_name(a, p).contains("coin=h")
+        assert!(sat.iter().all(|p| sys.local_name(a, p).contains("coin=h")
             && sys.local_name(a, p).contains("B:unlearned")));
         // Consequently CA1 does NOT satisfy pointwise .99-confidence
         // under the posterior assignment…

@@ -113,7 +113,7 @@ pub fn biased_two_run() -> Result<System, SystemError> {
 /// point of the heads run (run 0, by branch order).
 #[must_use]
 pub fn heads_run_fact(sys: &System) -> PointSet {
-    sys.points().filter(|p| p.run == 0).collect()
+    sys.point_set(sys.points().filter(|p| p.run == 0))
 }
 
 #[cfg(test)]
@@ -158,7 +158,7 @@ mod tests {
     fn biased_two_run_fact_is_about_the_run() {
         let sys = biased_two_run().unwrap();
         let heads = heads_run_fact(&sys);
-        assert_eq!(heads, [pt(0, 0), pt(0, 1)].into_iter().collect());
+        assert_eq!(heads, sys.point_set([pt(0, 0), pt(0, 1)]));
         // (h,0) and (t,0) share the root global state, yet the fact
         // differs between them: it is not a state fact.
         assert_eq!(sys.node_id_of(pt(0, 0)), sys.node_id_of(pt(1, 0)));

@@ -150,10 +150,10 @@ pub fn measured_election_probability(sys: &System, tree: TreeId) -> Rat {
 /// fails.
 #[must_use]
 pub fn known_leadership_points(sys: &System, model: &kpa_logic::Model<'_, '_>) -> PointSet {
-    let mut out = PointSet::new();
+    let mut out = sys.empty_points();
     for (i, name) in sys.agents().iter().enumerate() {
         let knows = Formula::prop(format!("leader={name}")).known_by(kpa_system::AgentId(i));
-        out.extend(model.sat(&knows).expect("model checks").iter().copied());
+        out.union_with(&model.sat(&knows).expect("model checks"));
     }
     out
 }

@@ -173,7 +173,7 @@ pub fn theorem11_holds(
 
     let n = strategies.len();
     for c in sys.points() {
-        let in_orig = orig_sat.contains(&c);
+        let in_orig = orig_sat.contains(c);
         for k in 0..n {
             let tree = TreeId(c.tree.0 * n + k);
             let cf = PointId {
@@ -186,7 +186,7 @@ pub fn theorem11_holds(
                 run: c.run,
                 time: 2 * c.time + 1,
             };
-            if emb_sat.contains(&cf) != in_orig || emb_sat.contains(&cf_plus) != in_orig {
+            if emb_sat.contains(cf) != in_orig || emb_sat.contains(cf_plus) != in_orig {
                 return Ok(false);
             }
         }

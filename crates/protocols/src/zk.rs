@@ -120,7 +120,7 @@ pub fn knowing_continuation_formula(sys: &System) -> Formula {
 pub fn continued_after_leak_points(sys: &System) -> PointSet {
     match sys.prop_id("continued-after-leak") {
         Some(p) => sys.points_satisfying(p),
-        None => PointSet::new(),
+        None => sys.empty_points(),
     }
 }
 
@@ -158,7 +158,7 @@ mod tests {
         let prover = sys.agent_id("prover").unwrap();
         assert!(sat
             .iter()
-            .all(|&p| sys.local_name(prover, p).contains("slipped")));
+            .all(|p| sys.local_name(prover, p).contains("slipped")));
     }
 
     #[test]

@@ -48,11 +48,13 @@
 mod builder;
 mod error;
 mod ids;
+mod pointset;
 mod system;
 mod tree;
 
 pub use builder::{Branch, ProtocolBuilder, StepView};
 pub use error::SystemError;
 pub use ids::{AgentId, NodeId, PointId, PropId, RunId, Sym, TreeId};
+pub use pointset::{PointIndex, PointSet};
 pub use system::{NodeView, System, SystemBuilder};
 pub use tree::{Node, Run, Tree};

@@ -1,0 +1,761 @@
+//! The dense point-set kernel: bitsets over a system's point universe.
+//!
+//! Every paper-level query — `K_i φ` knowledge sets, `Pr_i(φ) ≥ α`
+//! thresholds, Req1/Req2 checks, cut bounds — bottoms out in set
+//! algebra over points. Points have a *dense layout*: the builder
+//! stutter-pads every run of every tree to one global horizon `h`, so
+//! the point `(tree, run, time)` lives at index
+//!
+//! ```text
+//! tree_base[tree] + run · (h + 1) + time
+//! ```
+//!
+//! with `tree_base[t]` = (total runs of earlier trees) · (h + 1). That
+//! makes a `Vec<u64>` word-bitset a drop-in lattice element:
+//! union/intersection/complement are O(words), membership is a single
+//! word probe, `len` is a popcount sweep, and ascending-index iteration
+//! *is* ascending [`PointId`] order (tree, run, time) — so switching
+//! from ordered reference sets changes no observable ordering.
+//!
+//! [`PointIndex`] is the immutable description of one system's layout,
+//! shared by `Arc` among all the [`PointSet`]s over that system.
+//! Temporal structure is linear in the layout too: the time-successor
+//! of a point is the next index (within the same run), which is how
+//! [`PointSet::precursors`] implements the `Next` modality as a word
+//! shift.
+
+use crate::ids::{PointId, TreeId};
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// The dense layout of one system's point universe.
+///
+/// Immutable once built; shared among every [`PointSet`] over the
+/// system. Two sets are only comparable/combinable when they share a
+/// layout (checked, with the detached-empty default exempt from
+/// nothing — mixing universes is a logic error and panics).
+#[derive(Debug, PartialEq, Eq)]
+pub struct PointIndex {
+    /// Points per run: the global horizon plus one.
+    stride: usize,
+    /// Per tree: index of the tree's first point.
+    tree_base: Vec<usize>,
+    /// Per tree: number of runs.
+    run_counts: Vec<usize>,
+    /// Total number of points.
+    total: usize,
+    /// Bitmask (one word per 64 points) of the points with
+    /// `time < horizon` — the points that *have* a time-successor.
+    interior: Vec<u64>,
+}
+
+impl PointIndex {
+    /// Builds the layout for trees with the given run counts, all
+    /// sharing `horizon` (the builder guarantees uniform horizons by
+    /// stutter padding).
+    #[must_use]
+    pub fn new(run_counts: Vec<usize>, horizon: usize) -> PointIndex {
+        let stride = horizon + 1;
+        let mut tree_base = Vec::with_capacity(run_counts.len());
+        let mut base = 0usize;
+        for &rc in &run_counts {
+            tree_base.push(base);
+            base += rc * stride;
+        }
+        let total = base;
+        let words = total.div_ceil(64);
+        let mut interior = vec![0u64; words];
+        for i in 0..total {
+            if i % stride != horizon {
+                interior[i / 64] |= 1 << (i % 64);
+            }
+        }
+        PointIndex {
+            stride,
+            tree_base,
+            run_counts,
+            total,
+            interior,
+        }
+    }
+
+    /// The layout of an empty universe (what detached default sets use).
+    #[must_use]
+    pub fn empty() -> PointIndex {
+        PointIndex::new(Vec::new(), 0)
+    }
+
+    /// The total number of points.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The number of trees.
+    #[must_use]
+    pub fn tree_count(&self) -> usize {
+        self.run_counts.len()
+    }
+
+    /// The number of runs in a tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree id is out of range.
+    #[must_use]
+    pub fn run_count(&self, tree: TreeId) -> usize {
+        self.run_counts[tree.0]
+    }
+
+    /// The common number of points per run (`horizon + 1`).
+    #[must_use]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The global horizon.
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.stride - 1
+    }
+
+    /// The dense index of a point, if it lies in this universe.
+    #[must_use]
+    pub fn try_index_of(&self, p: PointId) -> Option<usize> {
+        if p.tree.0 >= self.run_counts.len()
+            || p.run >= self.run_counts[p.tree.0]
+            || p.time >= self.stride
+        {
+            return None;
+        }
+        Some(self.tree_base[p.tree.0] + p.run * self.stride + p.time)
+    }
+
+    /// The dense index of a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point does not lie in this universe.
+    #[must_use]
+    pub fn index_of(&self, p: PointId) -> usize {
+        self.try_index_of(p)
+            .unwrap_or_else(|| panic!("point {p} is outside this universe"))
+    }
+
+    /// The point at a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= total()`.
+    #[must_use]
+    pub fn point_at(&self, i: usize) -> PointId {
+        assert!(i < self.total, "point index {i} out of range");
+        let t = self.tree_base.partition_point(|&b| b <= i) - 1;
+        let rem = i - self.tree_base[t];
+        PointId {
+            tree: TreeId(t),
+            run: rem / self.stride,
+            time: rem % self.stride,
+        }
+    }
+
+    /// The index range of one tree's points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree id is out of range.
+    #[must_use]
+    pub fn tree_range(&self, tree: TreeId) -> std::ops::Range<usize> {
+        let base = self.tree_base[tree.0];
+        base..base + self.run_counts[tree.0] * self.stride
+    }
+
+    fn words(&self) -> usize {
+        self.total.div_ceil(64)
+    }
+
+    /// Mask for the final (possibly partial) word.
+    fn tail_mask(&self) -> u64 {
+        let rem = self.total % 64;
+        if rem == 0 {
+            u64::MAX
+        } else {
+            (1u64 << rem) - 1
+        }
+    }
+}
+
+/// A dense bitset over one system's points — the workspace's lattice
+/// element for every knowledge/probability query.
+///
+/// Cheap to clone relative to ordered sets (one `Vec<u64>` memcpy plus
+/// an `Arc` bump); all binary operations are word-wise loops.
+/// Iteration yields points in ascending `(tree, run, time)` order.
+#[derive(Debug, Clone)]
+pub struct PointSet {
+    index: Arc<PointIndex>,
+    words: Vec<u64>,
+}
+
+impl PointSet {
+    /// The empty set over a universe.
+    #[must_use]
+    pub fn empty(index: Arc<PointIndex>) -> PointSet {
+        let words = index.words();
+        PointSet {
+            index,
+            words: vec![0; words],
+        }
+    }
+
+    /// The full set over a universe.
+    #[must_use]
+    pub fn full(index: Arc<PointIndex>) -> PointSet {
+        let n = index.words();
+        let mut words = vec![u64::MAX; n];
+        if let Some(last) = words.last_mut() {
+            *last = index.tail_mask();
+        }
+        PointSet { index, words }
+    }
+
+    /// The set of the given points over a universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any point lies outside the universe.
+    #[must_use]
+    pub fn from_points(index: Arc<PointIndex>, points: impl IntoIterator<Item = PointId>) -> Self {
+        let mut set = PointSet::empty(index);
+        set.extend(points);
+        set
+    }
+
+    /// The universe layout this set lives over.
+    #[must_use]
+    pub fn universe(&self) -> &Arc<PointIndex> {
+        &self.index
+    }
+
+    /// The number of points in the set (a popcount sweep).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether the point belongs to the set. Accepts `PointId` or
+    /// `&PointId`; points outside the universe are simply not members.
+    #[must_use]
+    pub fn contains<P: Borrow<PointId>>(&self, p: P) -> bool {
+        match self.index.try_index_of(*p.borrow()) {
+            Some(i) => self.words[i / 64] >> (i % 64) & 1 == 1,
+            None => false,
+        }
+    }
+
+    /// Inserts a point; returns whether it was newly added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point lies outside the universe.
+    pub fn insert(&mut self, p: PointId) -> bool {
+        let i = self.index.index_of(p);
+        let w = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        let fresh = *w & bit == 0;
+        *w |= bit;
+        fresh
+    }
+
+    /// Removes a point; returns whether it was present.
+    pub fn remove<P: Borrow<PointId>>(&mut self, p: P) -> bool {
+        match self.index.try_index_of(*p.borrow()) {
+            Some(i) => {
+                let w = &mut self.words[i / 64];
+                let bit = 1u64 << (i % 64);
+                let had = *w & bit != 0;
+                *w &= !bit;
+                had
+            }
+            None => false,
+        }
+    }
+
+    /// Removes every point.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    fn check_same_universe(&self, other: &PointSet) {
+        assert!(
+            Arc::ptr_eq(&self.index, &other.index) || *self.index == *other.index,
+            "point sets over different universes"
+        );
+    }
+
+    /// In-place union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets live over different universes.
+    pub fn union_with(&mut self, other: &PointSet) {
+        self.check_same_universe(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets live over different universes.
+    pub fn intersect_with(&mut self, other: &PointSet) {
+        self.check_same_universe(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets live over different universes.
+    pub fn difference_with(&mut self, other: &PointSet) {
+        self.check_same_universe(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// The union as a new set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets live over different universes.
+    #[must_use]
+    pub fn union(&self, other: &PointSet) -> PointSet {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// The intersection as a new set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets live over different universes.
+    #[must_use]
+    pub fn intersection(&self, other: &PointSet) -> PointSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// The difference `self \ other` as a new set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets live over different universes.
+    #[must_use]
+    pub fn difference(&self, other: &PointSet) -> PointSet {
+        let mut out = self.clone();
+        out.difference_with(other);
+        out
+    }
+
+    /// The complement within the universe.
+    #[must_use]
+    pub fn complement(&self) -> PointSet {
+        let mut words: Vec<u64> = self.words.iter().map(|w| !w).collect();
+        if let Some(last) = words.last_mut() {
+            *last &= self.index.tail_mask();
+        }
+        PointSet {
+            index: Arc::clone(&self.index),
+            words,
+        }
+    }
+
+    /// Whether every point of `self` belongs to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets live over different universes.
+    #[must_use]
+    pub fn is_subset(&self, other: &PointSet) -> bool {
+        self.check_same_universe(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Whether every point of `other` belongs to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets live over different universes.
+    #[must_use]
+    pub fn is_superset(&self, other: &PointSet) -> bool {
+        other.is_subset(self)
+    }
+
+    /// Whether the sets share no point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets live over different universes.
+    #[must_use]
+    pub fn is_disjoint(&self, other: &PointSet) -> bool {
+        self.check_same_universe(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// The number of points in `self ∩ other` without materializing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets live over different universes.
+    #[must_use]
+    pub fn intersection_len(&self, other: &PointSet) -> usize {
+        self.check_same_universe(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// The set of points whose immediate time-successor (same run, time
+    /// plus one) belongs to `self` — the satisfaction set of the `Next`
+    /// modality. A word-wise shift: successor bits sit one index up, so
+    /// this shifts every word down by one (borrowing the low bit of the
+    /// next word) and masks off the horizon slots, where the shift
+    /// would otherwise smuggle in the first bit of the *next run*.
+    #[must_use]
+    pub fn precursors(&self) -> PointSet {
+        let n = self.words.len();
+        let mut words = vec![0u64; n];
+        for (k, w) in words.iter_mut().enumerate() {
+            let hi = if k + 1 < n { self.words[k + 1] << 63 } else { 0 };
+            *w = (self.words[k] >> 1 | hi) & self.index.interior[k];
+        }
+        PointSet {
+            index: Arc::clone(&self.index),
+            words,
+        }
+    }
+
+    /// The smallest point of the set, if any.
+    #[must_use]
+    pub fn first(&self) -> Option<PointId> {
+        for (k, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(self.index.point_at(k * 64 + w.trailing_zeros() as usize));
+            }
+        }
+        None
+    }
+
+    /// Keeps only the points satisfying the predicate.
+    pub fn retain(&mut self, mut pred: impl FnMut(PointId) -> bool) {
+        for k in 0..self.words.len() {
+            let mut w = self.words[k];
+            while w != 0 {
+                let bit = w & w.wrapping_neg();
+                w &= w - 1;
+                let i = k * 64 + bit.trailing_zeros() as usize;
+                if !pred(self.index.point_at(i)) {
+                    self.words[k] &= !bit;
+                }
+            }
+        }
+    }
+
+    /// Iterates over the points in ascending `(tree, run, time)` order.
+    #[must_use]
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word: 0,
+            bits: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The raw bitset words (low bit of word 0 is point index 0).
+    #[must_use]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl Default for PointSet {
+    /// A detached empty set over the empty universe: membership tests
+    /// answer `false` for every point, and it compares equal only to
+    /// other empty-universe sets. Useful as a "no points" placeholder
+    /// where no system is in scope.
+    fn default() -> PointSet {
+        PointSet::empty(Arc::new(PointIndex::empty()))
+    }
+}
+
+impl PartialEq for PointSet {
+    fn eq(&self, other: &PointSet) -> bool {
+        (Arc::ptr_eq(&self.index, &other.index) || *self.index == *other.index)
+            && self.words == other.words
+    }
+}
+
+impl Eq for PointSet {}
+
+impl Hash for PointSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Words determine membership given the universe; sets over
+        // different universes may collide, which Hash permits.
+        self.words.hash(state);
+    }
+}
+
+impl Extend<PointId> for PointSet {
+    fn extend<T: IntoIterator<Item = PointId>>(&mut self, iter: T) {
+        for p in iter {
+            self.insert(p);
+        }
+    }
+}
+
+impl fmt::Display for PointSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl kpa_measure::MemberSet<PointId> for PointSet {
+    fn contains_elem(&self, e: &PointId) -> bool {
+        self.contains(e)
+    }
+}
+
+/// Ascending iterator over a [`PointSet`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    set: &'a PointSet,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = PointId;
+
+    fn next(&mut self) -> Option<PointId> {
+        while self.bits == 0 {
+            self.word += 1;
+            if self.word >= self.set.words.len() {
+                return None;
+            }
+            self.bits = self.set.words[self.word];
+        }
+        let tz = self.bits.trailing_zeros() as usize;
+        self.bits &= self.bits - 1;
+        Some(self.set.index.point_at(self.word * 64 + tz))
+    }
+}
+
+impl<'a> IntoIterator for &'a PointSet {
+    type Item = PointId;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+/// Owning ascending iterator over a [`PointSet`].
+#[derive(Debug, Clone)]
+pub struct IntoIter {
+    set: PointSet,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for IntoIter {
+    type Item = PointId;
+
+    fn next(&mut self) -> Option<PointId> {
+        while self.bits == 0 {
+            self.word += 1;
+            if self.word >= self.set.words.len() {
+                return None;
+            }
+            self.bits = self.set.words[self.word];
+        }
+        let tz = self.bits.trailing_zeros() as usize;
+        self.bits &= self.bits - 1;
+        Some(self.set.index.point_at(self.word * 64 + tz))
+    }
+}
+
+impl IntoIterator for PointSet {
+    type Item = PointId;
+    type IntoIter = IntoIter;
+
+    fn into_iter(self) -> IntoIter {
+        let bits = self.words.first().copied().unwrap_or(0);
+        IntoIter {
+            set: self,
+            word: 0,
+            bits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx() -> Arc<PointIndex> {
+        // Two trees: 3 runs and 2 runs, horizon 2 (stride 3) → 15 points.
+        Arc::new(PointIndex::new(vec![3, 2], 2))
+    }
+
+    fn pt(tree: usize, run: usize, time: usize) -> PointId {
+        PointId {
+            tree: TreeId(tree),
+            run,
+            time,
+        }
+    }
+
+    #[test]
+    fn layout_roundtrips() {
+        let ix = idx();
+        assert_eq!(ix.total(), 15);
+        assert_eq!(ix.stride(), 3);
+        assert_eq!(ix.horizon(), 2);
+        assert_eq!(ix.tree_range(TreeId(1)), 9..15);
+        for i in 0..ix.total() {
+            assert_eq!(ix.index_of(ix.point_at(i)), i);
+        }
+        assert_eq!(ix.try_index_of(pt(0, 3, 0)), None);
+        assert_eq!(ix.try_index_of(pt(2, 0, 0)), None);
+        assert_eq!(ix.try_index_of(pt(0, 0, 3)), None);
+    }
+
+    #[test]
+    fn iteration_is_point_id_order() {
+        let ix = idx();
+        let full = PointSet::full(Arc::clone(&ix));
+        let points: Vec<PointId> = full.iter().collect();
+        assert_eq!(points.len(), 15);
+        let mut sorted = points.clone();
+        sorted.sort_unstable();
+        assert_eq!(points, sorted, "bit order must equal PointId order");
+        assert_eq!(full.first(), Some(pt(0, 0, 0)));
+    }
+
+    #[test]
+    fn algebra_and_complement() {
+        let ix = idx();
+        let mut a = PointSet::empty(Arc::clone(&ix));
+        a.extend([pt(0, 0, 0), pt(0, 1, 2), pt(1, 0, 1)]);
+        let mut b = PointSet::empty(Arc::clone(&ix));
+        b.extend([pt(0, 1, 2), pt(1, 1, 0)]);
+        assert_eq!(a.union(&b).len(), 4);
+        assert_eq!(a.intersection(&b).len(), 1);
+        assert_eq!(a.intersection_len(&b), 1);
+        assert_eq!(a.difference(&b).len(), 2);
+        assert!(!a.is_disjoint(&b));
+        assert!(a.intersection(&b).is_subset(&a));
+        let comp = a.complement();
+        assert_eq!(comp.len(), 12);
+        assert!(a.is_disjoint(&comp));
+        assert_eq!(a.union(&comp), PointSet::full(Arc::clone(&ix)));
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let ix = idx();
+        let mut s = PointSet::empty(ix);
+        assert!(s.insert(pt(1, 1, 2)));
+        assert!(!s.insert(pt(1, 1, 2)));
+        assert!(s.contains(pt(1, 1, 2)));
+        assert!(s.contains(pt(1, 1, 2)));
+        assert!(!s.contains(pt(0, 0, 0)));
+        // Out-of-universe points are simply non-members.
+        assert!(!s.contains(pt(7, 0, 0)));
+        assert!(s.remove(pt(1, 1, 2)));
+        assert!(!s.remove(pt(1, 1, 2)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn precursors_shift_within_runs_only() {
+        let ix = idx();
+        // φ at the last point of run (0,0) and the first point of the
+        // *next* run (0,1): only (0,0,1) precedes a φ-point; (0,1,0)'s
+        // bit must not leak backward across the run boundary.
+        let phi = PointSet::from_points(Arc::clone(&ix), [pt(0, 0, 2), pt(0, 1, 0)]);
+        let pre = phi.precursors();
+        let got: Vec<PointId> = pre.iter().collect();
+        assert_eq!(got, vec![pt(0, 0, 1)]);
+        // Horizon points never satisfy Next of anything.
+        let full = PointSet::full(Arc::clone(&ix));
+        assert!(full.precursors().iter().all(|p| p.time < ix.horizon()));
+    }
+
+    #[test]
+    fn retain_filters() {
+        let ix = idx();
+        let mut s = PointSet::full(Arc::clone(&ix));
+        s.retain(|p| p.time == 1);
+        assert_eq!(s.len(), 5);
+        assert!(s.iter().all(|p| p.time == 1));
+    }
+
+    #[test]
+    fn default_is_detached_empty() {
+        let d = PointSet::default();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert!(!d.contains(pt(0, 0, 0)));
+        assert_eq!(d, PointSet::default());
+        assert_eq!(d.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different universes")]
+    fn mixing_universes_panics() {
+        let a = PointSet::empty(idx());
+        let b = PointSet::empty(Arc::new(PointIndex::new(vec![1], 0)));
+        let _ = a.is_subset(&b);
+    }
+
+    #[test]
+    fn equality_and_hash_follow_membership() {
+        use std::collections::HashMap;
+        let ix = idx();
+        let a = PointSet::from_points(Arc::clone(&ix), [pt(0, 2, 1)]);
+        let b = PointSet::from_points(Arc::clone(&ix), [pt(0, 2, 1)]);
+        assert_eq!(a, b);
+        let mut map: HashMap<PointSet, &str> = HashMap::new();
+        map.insert(a, "x");
+        assert_eq!(map.get(&b), Some(&"x"));
+    }
+}

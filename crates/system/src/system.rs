@@ -9,9 +9,11 @@
 
 use crate::error::SystemError;
 use crate::ids::{AgentId, Interner, NodeId, PointId, PropId, RunId, Sym, TreeId};
+use crate::pointset::{PointIndex, PointSet};
 use crate::tree::{Node, Tree};
 use kpa_measure::Rat;
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// A read-only view of one global state, used when labeling propositions
 /// with [`System::add_state_prop`].
@@ -77,8 +79,17 @@ pub struct System {
     strings: Interner,
     props: Interner,
     horizon: usize,
+    /// The dense point layout shared by every [`PointSet`] query answer.
+    point_index: Arc<PointIndex>,
     /// Per agent: interned local state → points with that local state.
-    by_local: Vec<HashMap<Sym, Vec<PointId>>>,
+    by_local: Vec<HashMap<Sym, PointSet>>,
+    /// A cached empty set (returned by reference on cache misses).
+    empty: PointSet,
+    /// Per tree: the set of that tree's points.
+    tree_sets: Vec<PointSet>,
+    /// Per tree: cumulative run probabilities (`cum[i] = Σ_{j ≤ i} prob`),
+    /// binary-searched by [`System::run_at_cumulative`].
+    cum_probs: Vec<Vec<Rat>>,
     synchronous: bool,
 }
 
@@ -227,31 +238,90 @@ impl System {
     /// The knowledge set `K_i(c)`: every point of the system (across all
     /// trees) that agent `i` cannot distinguish from `c`. Contains `c`.
     #[must_use]
-    pub fn indistinguishable(&self, agent: AgentId, c: PointId) -> &[PointId] {
+    pub fn indistinguishable(&self, agent: AgentId, c: PointId) -> &PointSet {
         &self.by_local[agent.0][&self.local(agent, c)]
     }
 
     /// The points with a given local state for an agent (empty if none).
     #[must_use]
-    pub fn points_with_local(&self, agent: AgentId, sym: Sym) -> &[PointId] {
-        self.by_local[agent.0].get(&sym).map_or(&[], Vec::as_slice)
+    pub fn points_with_local(&self, agent: AgentId, sym: Sym) -> &PointSet {
+        self.by_local[agent.0].get(&sym).unwrap_or(&self.empty)
+    }
+
+    /// Iterates over agent `i`'s local-state classes in symbol order:
+    /// each distinct local state together with its set of points. This
+    /// is the partition knowledge queries sweep, precomputed once.
+    pub fn local_classes(&self, agent: AgentId) -> impl Iterator<Item = (Sym, &PointSet)> + '_ {
+        self.local_states(agent)
+            .into_iter()
+            .map(move |s| (s, &self.by_local[agent.0][&s]))
     }
 
     /// All points sharing `c`'s global state: the sample `Pref_ic` of the
     /// future assignment (one point per run through the node, at `c`'s
     /// time).
     #[must_use]
-    pub fn same_state(&self, c: PointId) -> Vec<PointId> {
+    pub fn same_state(&self, c: PointId) -> PointSet {
         let node = self.node_id_of(c);
-        self.tree(c.tree)
-            .runs_through_node(node)
-            .iter()
-            .map(|&run| PointId {
-                tree: c.tree,
-                run,
-                time: c.time,
-            })
-            .collect()
+        self.point_set(
+            self.tree(c.tree)
+                .runs_through_node(node)
+                .iter()
+                .map(|&run| PointId {
+                    tree: c.tree,
+                    run,
+                    time: c.time,
+                }),
+        )
+    }
+
+    /// The shared dense layout of this system's point universe.
+    #[must_use]
+    pub fn point_index(&self) -> &Arc<PointIndex> {
+        &self.point_index
+    }
+
+    /// An empty [`PointSet`] over this system's points.
+    #[must_use]
+    pub fn empty_points(&self) -> PointSet {
+        PointSet::empty(Arc::clone(&self.point_index))
+    }
+
+    /// The set of *all* points of this system.
+    #[must_use]
+    pub fn full_points(&self) -> PointSet {
+        PointSet::full(Arc::clone(&self.point_index))
+    }
+
+    /// Collects points into a [`PointSet`] over this system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a point does not belong to this system.
+    #[must_use]
+    pub fn point_set(&self, points: impl IntoIterator<Item = PointId>) -> PointSet {
+        PointSet::from_points(Arc::clone(&self.point_index), points)
+    }
+
+    /// The set of one tree's points (cached).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn tree_set(&self, tree: TreeId) -> &PointSet {
+        &self.tree_sets[tree.0]
+    }
+
+    /// The set of time-`k` points of one tree (the sample `All_ic` of
+    /// the prior assignment; a horizontal slice of the tree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range or `k` exceeds the horizon.
+    #[must_use]
+    pub fn time_slice(&self, tree: TreeId, k: usize) -> PointSet {
+        self.point_set(self.points_at_time(tree, k))
     }
 
     /// The probability of a run within its tree's distribution.
@@ -281,6 +351,10 @@ impl System {
     /// caller, so simulations are reproducible and this crate stays
     /// dependency-free.
     ///
+    /// This is the inner loop of Monte-Carlo run sampling, so it is
+    /// O(log n): a binary search over per-tree cumulative-probability
+    /// prefix sums computed once at build time.
+    ///
     /// # Panics
     ///
     /// Panics if `x` is not in `[0, 1)` or the tree id is out of range.
@@ -290,19 +364,11 @@ impl System {
             !x.is_negative() && x < Rat::ONE,
             "cumulative weight {x} is not in [0, 1)"
         );
-        let runs = self.tree(tree).runs();
-        let mut acc = Rat::ZERO;
-        for (index, run) in runs.iter().enumerate() {
-            acc += run.prob();
-            if x < acc {
-                return RunId { tree, index };
-            }
-        }
-        // Only reachable through rounding at the very top of the range.
-        RunId {
-            tree,
-            index: runs.len() - 1,
-        }
+        let cum = &self.cum_probs[tree.0];
+        // First index whose cumulative probability exceeds x; the clamp
+        // is only reachable through rounding at the very top.
+        let index = cum.partition_point(|&c| c <= x).min(cum.len() - 1);
+        RunId { tree, index }
     }
 
     /// Resolves a proposition name.
@@ -337,8 +403,8 @@ impl System {
 
     /// Every point whose global state satisfies the proposition.
     #[must_use]
-    pub fn points_satisfying(&self, prop: PropId) -> BTreeSet<PointId> {
-        self.points().filter(|&p| self.holds(prop, p)).collect()
+    pub fn points_satisfying(&self, prop: PropId) -> PointSet {
+        self.point_set(self.points().filter(|&p| self.holds(prop, p)))
     }
 
     /// Adds a new primitive proposition defined by a predicate on global
@@ -608,26 +674,60 @@ impl SystemBuilder {
             t.seal();
         }
 
+        let point_index = Arc::new(PointIndex::new(
+            self.trees.iter().map(|t| t.runs().len()).collect(),
+            horizon,
+        ));
+        let empty = PointSet::empty(Arc::clone(&point_index));
+        let tree_sets = (0..self.trees.len())
+            .map(|t| {
+                let mut set = PointSet::empty(Arc::clone(&point_index));
+                for i in point_index.tree_range(TreeId(t)) {
+                    set.insert(point_index.point_at(i));
+                }
+                set
+            })
+            .collect();
+        let cum_probs = self
+            .trees
+            .iter()
+            .map(|t| {
+                let mut acc = Rat::ZERO;
+                t.runs()
+                    .iter()
+                    .map(|r| {
+                        acc += r.prob();
+                        acc
+                    })
+                    .collect()
+            })
+            .collect();
         let mut sys = System {
             agents: self.agents,
             trees: self.trees,
             strings: self.strings,
             props: self.props,
             horizon,
+            point_index,
             by_local: Vec::new(),
+            empty,
+            tree_sets,
+            cum_probs,
             synchronous: false,
         };
         sys.by_local = (0..sys.agents.len())
             .map(|a| {
-                let mut map: HashMap<Sym, Vec<PointId>> = HashMap::new();
+                let mut map: HashMap<Sym, PointSet> = HashMap::new();
                 for p in sys.points().collect::<Vec<_>>() {
-                    map.entry(sys.local(AgentId(a), p)).or_default().push(p);
+                    map.entry(sys.local(AgentId(a), p))
+                        .or_insert_with(|| sys.empty_points())
+                        .insert(p);
                 }
                 map
             })
             .collect();
         sys.synchronous = (0..sys.agents.len()).all(|a| {
-            sys.by_local[a].iter().all(|(_, points)| {
+            sys.by_local[a].values().all(|points| {
                 let mut times = points.iter().map(|p| p.time);
                 let first = times.next().expect("nonempty class");
                 times.all(|t| t == first)
@@ -695,8 +795,11 @@ mod tests {
         assert_eq!(sys.indistinguishable(p2, c).len(), 8);
         // p1 at time 1 in tree 0 after heads: only that exact point.
         let k1 = sys.indistinguishable(p1, c);
-        assert_eq!(k1, &[c]);
+        assert_eq!(k1.iter().collect::<Vec<_>>(), vec![c]);
         assert!(sys.local_name(p1, c).contains(";h"));
+        // The class partition is exactly what local_classes exposes.
+        let total: usize = sys.local_classes(p1).map(|(_, class)| class.len()).sum();
+        assert_eq!(total, sys.point_count());
     }
 
     #[test]
@@ -717,7 +820,7 @@ mod tests {
             run: 0,
             time: 1,
         };
-        assert_eq!(sys.same_state(d), vec![d]);
+        assert_eq!(sys.same_state(d), sys.point_set([d]));
     }
 
     #[test]

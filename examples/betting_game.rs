@@ -11,9 +11,8 @@
 use kpa::betting::{
     inner_expected_winnings, simulate_average_winnings, BetRule, BettingGame, Strategy,
 };
-use kpa::measure::rat;
+use kpa::measure::{rat, Rng64};
 use kpa::system::{PointId, ProtocolBuilder, TreeId};
-use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // p_j tosses a coin that lands heads with probability 2/3 and
@@ -62,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  p_i's expected winnings there (analytic):  {analytic}");
 
     // Simulate the game to confirm: play 100k rounds at the witness.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let mut rng = Rng64::new(42);
     let sim = simulate_average_winnings(&mut rng, &sys, j, &cell, &rule, &strategy, 100_000);
     println!("  p_i's average winnings there (simulated):  {sim:.4}");
     assert!((sim - analytic.to_f64()).abs() < 0.02);

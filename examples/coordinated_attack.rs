@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if certain_failure.is_empty() {
             println!("  no point of certain failure");
         } else {
-            let p = *certain_failure.iter().next().unwrap();
+            let p = certain_failure.iter().next().unwrap();
             println!(
                 "  A is certain of failure at {} point(s), e.g. {p} where A's view is {:?}",
                 certain_failure.len(),

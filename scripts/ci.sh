@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI entry point: the checks every PR must pass, runnable fully offline.
+#
+#   ./scripts/ci.sh          # build + test + clippy
+#   FUZZ=1 ./scripts/ci.sh   # additionally run the widened property sweeps
+#
+# The workspace has no external dependencies, so --offline always works.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+if [[ "${FUZZ:-0}" == "1" ]]; then
+    echo "==> cargo test -q --offline --workspace --features fuzz"
+    cargo test -q --offline --workspace --features fuzz
+fi
+
+if command -v cargo-clippy >/dev/null 2>&1 || cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --workspace --all-targets --offline -- -D warnings"
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+else
+    echo "==> clippy not installed; skipping lint step"
+fi
+
+echo "CI checks passed."

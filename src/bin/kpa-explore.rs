@@ -271,7 +271,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         let point = parse_point(&at, &sys)?;
         println!(
             "at {point}: {}",
-            if sat.contains(&point) {
+            if sat.contains(point) {
                 "holds"
             } else {
                 "fails"

@@ -1,10 +1,32 @@
 //! Shared generators for the cross-crate integration tests: random
 //! protocol-shaped systems for property testing the paper's theorems.
+//!
+//! Generation is driven by the in-repo deterministic [`Rng64`] — every
+//! run explores the same inputs, and the `fuzz` feature widens the
+//! sweep. Each case derives its RNG stream from the property name and
+//! case index, so failures are replayable by construction and adding a
+//! property never shifts another property's inputs.
 #![allow(dead_code)] // each test binary uses a subset of the helpers
 
-use kpa::measure::Rat;
+use kpa::measure::{Rat, Rng64};
 use kpa::system::{ProtocolBuilder, System};
-use proptest::prelude::*;
+
+/// Cases per property: a quick deterministic sweep by default, a deep
+/// one under `--features fuzz`. Building whole systems per case keeps
+/// the default modest.
+pub const CASES: usize = if cfg!(feature = "fuzz") { 128 } else { 24 };
+
+/// Runs `body` for [`CASES`] seeded cases, one private RNG stream each.
+pub fn cases(name: &str, mut body: impl FnMut(&mut Rng64)) {
+    // FNV-1a over the property name keeps streams stable per property.
+    let tag: u64 = name.bytes().fold(0xcbf2_9ce4_8422_2325, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    });
+    for case in 0..CASES {
+        let mut rng = Rng64::new(tag ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        body(&mut rng);
+    }
+}
 
 /// One probabilistic round: a coin with one of a few biases, observed
 /// by a subset of the agents (bitmask).
@@ -26,34 +48,31 @@ pub struct SystemSpec {
 
 pub const BIASES: [(i128, i128); 4] = [(1, 2), (1, 3), (2, 3), (1, 4)];
 
-pub fn arb_round() -> impl Strategy<Value = RoundSpec> {
-    (0..BIASES.len(), any::<u8>()).prop_map(|(bias_index, observers)| RoundSpec {
-        bias_index,
-        observers,
-    })
+pub fn arb_round(rng: &mut Rng64) -> RoundSpec {
+    RoundSpec {
+        bias_index: rng.index(BIASES.len()),
+        observers: rng.next_u64() as u8,
+    }
 }
 
 /// A specification for a *synchronous* random system (everyone clocked).
-pub fn arb_sync_spec() -> impl Strategy<Value = SystemSpec> {
-    (
-        2usize..=3,
-        any::<bool>(),
-        prop::collection::vec(arb_round(), 1..=3),
-    )
-        .prop_map(|(agents, two_adversaries, rounds)| SystemSpec {
-            agents,
-            two_adversaries,
-            rounds,
-            clockless_mask: 0,
-        })
+pub fn arb_sync_spec(rng: &mut Rng64) -> SystemSpec {
+    let agents = 2 + rng.index(2);
+    let two_adversaries = rng.chance(1, 2);
+    let rounds = (0..1 + rng.index(3)).map(|_| arb_round(rng)).collect();
+    SystemSpec {
+        agents,
+        two_adversaries,
+        rounds,
+        clockless_mask: 0,
+    }
 }
 
 /// A specification where some agents may be clockless (asynchronous).
-pub fn arb_async_spec() -> impl Strategy<Value = SystemSpec> {
-    (arb_sync_spec(), 1u8..=3).prop_map(|(mut spec, mask)| {
-        spec.clockless_mask = mask;
-        spec
-    })
+pub fn arb_async_spec(rng: &mut Rng64) -> SystemSpec {
+    let mut spec = arb_sync_spec(rng);
+    spec.clockless_mask = 1 + rng.next_u64() as u8 % 3;
+    spec
 }
 
 /// Builds the system a spec describes. Round `k` tosses coin `c<k>`

@@ -1,0 +1,159 @@
+//! Differential test for the dense `PointSet` kernel: the word-wise
+//! `Model::sat` evaluator must agree, point for point, with an
+//! independent reference evaluator that computes the same Section 5
+//! semantics over `BTreeSet<PointId>` — the representation the engine
+//! used before the kernel refactor.
+//!
+//! The sweep runs on machine-generated systems and machine-generated
+//! formulas; `--features fuzz` widens both. The deliberate use of
+//! `BTreeSet<PointId>` here is the point of the test: it exercises the
+//! `MemberSet` abstraction that keeps the probability layer generic
+//! over set representations.
+
+mod common;
+
+use common::{arb_async_spec, arb_sync_spec, build, cases, prop_names, SystemSpec};
+use kpa::assign::{Assignment, ProbAssignment};
+use kpa::logic::{Formula, Model};
+use kpa::measure::{Rat, Rng64};
+use kpa::system::{AgentId, PointId, System};
+use std::collections::BTreeSet;
+
+/// Reference evaluator: the satisfaction relation computed
+/// point-by-point over `BTreeSet<PointId>`. Covers the fragment the
+/// differential sweep generates (everything except the
+/// common-knowledge fixed points, which have their own axioms tests).
+fn reference_sat(sys: &System, pa: &ProbAssignment<'_>, f: &Formula) -> BTreeSet<PointId> {
+    match f {
+        Formula::True => sys.points().collect(),
+        Formula::Prop(name) => {
+            let id = sys.prop_id(name).expect("known proposition");
+            sys.points().filter(|&p| sys.holds(id, p)).collect()
+        }
+        Formula::Not(x) => {
+            let s = reference_sat(sys, pa, x);
+            sys.points().filter(|p| !s.contains(p)).collect()
+        }
+        Formula::And(xs) => {
+            let mut acc: BTreeSet<PointId> = sys.points().collect();
+            for x in xs {
+                let s = reference_sat(sys, pa, x);
+                acc.retain(|p| s.contains(p));
+            }
+            acc
+        }
+        Formula::Or(xs) => {
+            let mut acc = BTreeSet::new();
+            for x in xs {
+                acc.extend(reference_sat(sys, pa, x));
+            }
+            acc
+        }
+        Formula::Knows(i, x) => {
+            let s = reference_sat(sys, pa, x);
+            sys.points()
+                .filter(|&c| sys.indistinguishable(*i, c).iter().all(|d| s.contains(&d)))
+                .collect()
+        }
+        Formula::PrGe(i, alpha, x) => {
+            let s = reference_sat(sys, pa, x);
+            sys.points()
+                .filter(|&c| pa.inner(*i, c, &s).expect("space builds") >= *alpha)
+                .collect()
+        }
+        Formula::Next(x) => {
+            let s = reference_sat(sys, pa, x);
+            let succ = |p: &PointId| PointId {
+                tree: p.tree,
+                run: p.run,
+                time: p.time + 1,
+            };
+            sys.points()
+                .filter(|p| p.time < sys.horizon() && s.contains(&succ(p)))
+                .collect()
+        }
+        Formula::Until(x, y) => {
+            let hold = reference_sat(sys, pa, x);
+            let goal = reference_sat(sys, pa, y);
+            let succ = |p: &PointId| PointId {
+                tree: p.tree,
+                run: p.run,
+                time: p.time + 1,
+            };
+            let mut acc = goal;
+            loop {
+                let next: BTreeSet<PointId> = sys
+                    .points()
+                    .filter(|p| {
+                        acc.contains(p)
+                            || (hold.contains(p)
+                                && p.time < sys.horizon()
+                                && acc.contains(&succ(p)))
+                    })
+                    .collect();
+                if next == acc {
+                    break acc;
+                }
+                acc = next;
+            }
+        }
+        _ => panic!("reference evaluator: unsupported fragment {f:?}"),
+    }
+}
+
+/// A random formula over the spec's propositions and agents, drawn
+/// from the fragment the reference evaluator covers.
+fn arb_formula(rng: &mut Rng64, spec: &SystemSpec, depth: usize) -> Formula {
+    let props = prop_names(spec);
+    if depth == 0 || rng.chance(1, 4) {
+        return Formula::prop(&props[rng.index(props.len())]);
+    }
+    let d = depth - 1;
+    match rng.index(8) {
+        0 => arb_formula(rng, spec, d).not(),
+        1 => Formula::And((0..2).map(|_| arb_formula(rng, spec, d)).collect()),
+        2 => Formula::Or((0..2).map(|_| arb_formula(rng, spec, d)).collect()),
+        3 => arb_formula(rng, spec, d).known_by(AgentId(rng.index(spec.agents))),
+        4 => {
+            let a = AgentId(rng.index(spec.agents));
+            let alpha = [Rat::new(1, 4), Rat::new(1, 2), Rat::new(3, 4), Rat::ONE][rng.index(4)];
+            arb_formula(rng, spec, d).pr_ge(a, alpha)
+        }
+        5 => arb_formula(rng, spec, d).next(),
+        6 => arb_formula(rng, spec, d).until(arb_formula(rng, spec, d)),
+        _ => arb_formula(rng, spec, d).eventually(),
+    }
+}
+
+fn check_agreement(spec: &SystemSpec, rng: &mut Rng64) {
+    let sys = build(spec);
+    let post = ProbAssignment::new(&sys, Assignment::post());
+    let model = Model::new(&post);
+    for _ in 0..4 {
+        let f = arb_formula(rng, spec, 3);
+        let fast = model.sat(&f).expect("model checks");
+        let fast_pts: BTreeSet<PointId> = fast.iter().collect();
+        let slow = reference_sat(&sys, &post, &f);
+        assert_eq!(fast_pts, slow, "evaluators disagree on {f}");
+    }
+}
+
+/// The kernel evaluator agrees with the reference on random
+/// synchronous systems.
+#[test]
+fn kernel_matches_reference_on_sync_systems() {
+    cases("kernel_matches_reference_on_sync_systems", |rng| {
+        let spec = arb_sync_spec(rng);
+        check_agreement(&spec, rng);
+    });
+}
+
+/// … and on random asynchronous systems, where indistinguishability
+/// classes straddle times and trees.
+#[test]
+fn kernel_matches_reference_on_async_systems() {
+    cases("kernel_matches_reference_on_async_systems", |rng| {
+        let spec = arb_async_spec(rng);
+        check_agreement(&spec, rng);
+    });
+}

@@ -58,7 +58,7 @@ fn zero_round_protocol_is_rejected_upstream() {
     let c = pt(0, 0);
     for a in [Assignment::post(), Assignment::fut(), Assignment::prior()] {
         let pa = ProbAssignment::new(&sys, a);
-        assert_eq!(pa.sample(AgentId(0), c), vec![c]);
+        assert_eq!(pa.sample(AgentId(0), c), sys.point_set([c]));
     }
 }
 
@@ -110,9 +110,9 @@ fn builder_error_paths_are_reported() {
 fn betting_rejects_degenerate_thresholds() {
     let sys = ProtocolBuilder::new(["i", "j"]).tick().build().unwrap();
     drop(sys);
-    assert!(BetRule::new([].into(), Rat::ZERO).is_err());
-    assert!(BetRule::new([].into(), rat!(-1 / 2)).is_err());
-    assert!(BetRule::new([].into(), rat!(101 / 100)).is_err());
+    assert!(BetRule::new(Default::default(), Rat::ZERO).is_err());
+    assert!(BetRule::new(Default::default(), rat!(-1 / 2)).is_err());
+    assert!(BetRule::new(Default::default(), rat!(101 / 100)).is_err());
 }
 
 #[test]
@@ -123,11 +123,10 @@ fn betting_on_the_impossible_and_the_certain() {
         .unwrap();
     let game = BettingGame::new(&sys, AgentId(0), AgentId(1));
     // φ = ∅: no bet on it is safe at any threshold.
-    let rule = BetRule::new([].into(), rat!(1 / 100)).unwrap();
+    let rule = BetRule::new(sys.empty_points(), rat!(1 / 100)).unwrap();
     assert!(!game.is_safe_at(pt(0, 1), &rule).unwrap());
     // φ = everything: safe even at α = 1 against anyone.
-    let all = sys.points().collect();
-    let rule = BetRule::new(all, Rat::ONE).unwrap();
+    let rule = BetRule::new(sys.full_points(), Rat::ONE).unwrap();
     assert!(game.is_safe_at(pt(0, 1), &rule).unwrap());
     assert!(game.losing_strategy_at(pt(0, 1), &rule).unwrap().is_none());
 }
@@ -141,7 +140,7 @@ fn cut_class_bounds_on_degenerate_regions() {
         .unwrap();
     let heads = sys.points_satisfying(sys.prop_id("c=h").unwrap());
     // A single-point region: all classes agree and give 0/1 bounds.
-    let region = vec![pt(0, 1)];
+    let region = sys.point_set([pt(0, 1)]);
     for class in [CutClass::AllPoints, CutClass::Horizontal, CutClass::state()] {
         let (lo, hi) = class.bounds(&sys, &region, &heads).unwrap();
         assert_eq!((lo, hi), (Rat::ONE, Rat::ONE), "{class:?}");
@@ -160,7 +159,7 @@ fn nonmeasurable_probability_queries_error_cleanly() {
         .unwrap();
     let post = ProbAssignment::new(&sys, Assignment::post());
     let mut recent = sys.points_satisfying(sys.prop_id("recent:c1=h").unwrap());
-    recent.extend(sys.points_satisfying(sys.prop_id("recent:c2=h").unwrap()));
+    recent.union_with(&sys.points_satisfying(sys.prop_id("recent:c2=h").unwrap()));
     let err = post.prob(AgentId(0), pt(0, 0), &recent).unwrap_err();
     assert_eq!(
         err,

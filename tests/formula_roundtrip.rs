@@ -2,95 +2,170 @@
 //! machine-generated formulas, and parsing is stable under
 //! re-rendering.
 
+mod common;
+
+use common::cases;
 use kpa::logic::{parse_formula, Formula};
-use kpa::measure::Rat;
+use kpa::measure::{Rat, Rng64};
 use kpa::system::AgentId;
-use proptest::prelude::*;
 
 fn resolve(name: &str) -> Option<AgentId> {
     let k: usize = name.strip_prefix('p')?.parse().ok()?;
     (1..=4).contains(&k).then(|| AgentId(k - 1))
 }
 
-fn arb_agent() -> impl Strategy<Value = AgentId> {
-    (0usize..4).prop_map(AgentId)
+fn arb_agent(rng: &mut Rng64) -> AgentId {
+    AgentId(rng.index(4))
 }
 
-fn arb_group() -> impl Strategy<Value = Vec<AgentId>> {
-    prop::collection::btree_set(0usize..4, 1..=3).prop_map(|s| s.into_iter().map(AgentId).collect())
-}
-
-fn arb_prob() -> impl Strategy<Value = Rat> {
-    (0i128..=12, 1i128..=12).prop_map(|(n, d)| {
-        let r = Rat::new(n, d);
-        if r > Rat::ONE {
-            r.recip()
-        } else {
-            r
+/// 1–3 distinct agents drawn from 0..4, in ascending order (the
+/// canonical group order the renderer uses).
+fn arb_group(rng: &mut Rng64) -> Vec<AgentId> {
+    let want = 1 + rng.index(3);
+    let mut picked = [false; 4];
+    let mut count = 0;
+    while count < want {
+        let a = rng.index(4);
+        if !picked[a] {
+            picked[a] = true;
+            count += 1;
         }
-    })
+    }
+    (0..4).filter(|&a| picked[a]).map(AgentId).collect()
 }
 
-/// Propositions drawn from the naming styles the protocols use.
-fn arb_prop_name() -> impl Strategy<Value = String> {
-    prop_oneof![
-        Just("c=h".to_owned()),
-        Just("recent:c1=h".to_owned()),
-        Just("A-attacks".to_owned()),
-        Just("coordinated".to_owned()),
-        Just("w0=yes".to_owned()),
-        Just("true".to_owned()),     // forces quoting
-        Just("odd name".to_owned()), // forces quoting
-        "[a-z][a-z0-9_]{0,6}",
-    ]
+/// A probability in [0, 1] with a small denominator.
+fn arb_prob(rng: &mut Rng64) -> Rat {
+    let n = rng.index(13) as i128;
+    let d = 1 + rng.index(12) as i128;
+    let r = Rat::new(n, d);
+    if r > Rat::ONE {
+        r.recip()
+    } else {
+        r
+    }
 }
 
-fn arb_formula() -> impl Strategy<Value = Formula> {
-    let leaf = prop_oneof![Just(Formula::True), arb_prop_name().prop_map(Formula::prop),];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|f| f.not()),
-            prop::collection::vec(inner.clone(), 2..=3).prop_map(Formula::And),
-            prop::collection::vec(inner.clone(), 2..=3).prop_map(Formula::Or),
-            (arb_agent(), inner.clone()).prop_map(|(a, f)| f.known_by(a)),
-            (arb_agent(), arb_prob(), inner.clone()).prop_map(|(a, r, f)| f.pr_ge(a, r)),
-            inner.clone().prop_map(|f| f.next()),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.until(b)),
-            (arb_group(), inner.clone()).prop_map(|(g, f)| f.common(g)),
-            (arb_group(), arb_prob(), inner.clone()).prop_map(|(g, r, f)| f.common_alpha(g, r)),
-        ]
-    })
+/// Propositions drawn from the naming styles the protocols use, plus
+/// random identifier-shaped names.
+fn arb_prop_name(rng: &mut Rng64) -> String {
+    const FIXED: [&str; 7] = [
+        "c=h",
+        "recent:c1=h",
+        "A-attacks",
+        "coordinated",
+        "w0=yes",
+        "true",     // forces quoting
+        "odd name", // forces quoting
+    ];
+    if rng.chance(7, 10) {
+        FIXED[rng.index(FIXED.len())].to_owned()
+    } else {
+        let mut s = String::new();
+        s.push((b'a' + rng.index(26) as u8) as char);
+        for _ in 0..rng.index(7) {
+            const TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+            s.push(TAIL[rng.index(TAIL.len())] as char);
+        }
+        s
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn display_parse_roundtrip(f in arb_formula()) {
-        let rendered = f.to_string();
-        let parsed = parse_formula(&rendered, resolve)
-            .unwrap_or_else(|e| panic!("{rendered:?}: {e}"));
-        prop_assert_eq!(&parsed, &f, "render: {}", rendered);
-        // Idempotence: rendering the parse gives the same string.
-        prop_assert_eq!(parsed.to_string(), rendered);
+/// A random formula of depth at most `depth`, mirroring the grammar's
+/// constructors.
+fn arb_formula(rng: &mut Rng64, depth: usize) -> Formula {
+    if depth == 0 || rng.chance(1, 4) {
+        return if rng.chance(1, 8) {
+            Formula::True
+        } else {
+            Formula::prop(arb_prop_name(rng))
+        };
     }
-
-    #[test]
-    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,64}") {
-        // Any input must yield Ok or Err — never a panic.
-        let _ = parse_formula(&s, resolve);
+    let d = depth - 1;
+    match rng.index(9) {
+        0 => arb_formula(rng, d).not(),
+        1 => Formula::And((0..2 + rng.index(2)).map(|_| arb_formula(rng, d)).collect()),
+        2 => Formula::Or((0..2 + rng.index(2)).map(|_| arb_formula(rng, d)).collect()),
+        3 => arb_formula(rng, d).known_by(arb_agent(rng)),
+        4 => {
+            let a = arb_agent(rng);
+            let r = arb_prob(rng);
+            arb_formula(rng, d).pr_ge(a, r)
+        }
+        5 => arb_formula(rng, d).next(),
+        6 => arb_formula(rng, d).until(arb_formula(rng, d)),
+        7 => arb_formula(rng, d).common(arb_group(rng)),
+        _ => {
+            let g = arb_group(rng);
+            let r = arb_prob(rng);
+            arb_formula(rng, d).common_alpha(g, r)
+        }
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_operator_soup(s in "[KCE{}()!&|<>\\-\\[\\]^/0-9a-zA-Z=:. ]{0,48}") {
-        let _ = parse_formula(&s, resolve);
-    }
+/// A random string over an arbitrary printable alphabet (including
+/// multi-byte characters), up to `max` chars.
+fn arb_printable(rng: &mut Rng64, max: usize) -> String {
+    const POOL: [char; 12] = ['a', 'Z', '0', ' ', '(', '"', '\\', '√', 'é', '∧', '¬', '→'];
+    (0..rng.index(max + 1)).map(|_| POOL[rng.index(POOL.len())]).collect()
+}
 
-    #[test]
-    fn structural_queries_survive_roundtrip(f in arb_formula()) {
-        let parsed = parse_formula(&f.to_string(), resolve).unwrap();
-        prop_assert_eq!(parsed.props(), f.props());
-        prop_assert_eq!(parsed.agents(), f.agents());
-        prop_assert_eq!(parsed.size(), f.size());
-    }
+/// A random string over the grammar's own operator alphabet.
+fn arb_soup(rng: &mut Rng64, max: usize) -> String {
+    const POOL: &[u8] = b"KCE{}()!&|<>-[]^/0123456789abcdefgzA=:. ";
+    (0..rng.index(max + 1)).map(|_| POOL[rng.index(POOL.len())] as char).collect()
+}
+
+/// Rendering then parsing reproduces the formula, and re-rendering the
+/// parse reproduces the string.
+#[test]
+fn display_parse_roundtrip() {
+    cases("display_parse_roundtrip", |rng| {
+        for _ in 0..8 {
+            let f = arb_formula(rng, 4);
+            let rendered = f.to_string();
+            let parsed = parse_formula(&rendered, resolve)
+                .unwrap_or_else(|e| panic!("{rendered:?}: {e}"));
+            assert_eq!(parsed, f, "render: {rendered}");
+            // Idempotence: rendering the parse gives the same string.
+            assert_eq!(parsed.to_string(), rendered);
+        }
+    });
+}
+
+/// Any input must yield Ok or Err — never a panic.
+#[test]
+fn parser_never_panics_on_arbitrary_input() {
+    cases("parser_never_panics_on_arbitrary_input", |rng| {
+        for _ in 0..8 {
+            let s = arb_printable(rng, 64);
+            let _ = parse_formula(&s, resolve);
+        }
+    });
+}
+
+/// Strings drawn from the grammar's own alphabet are the likeliest to
+/// confuse the parser; they too must never panic.
+#[test]
+fn parser_never_panics_on_operator_soup() {
+    cases("parser_never_panics_on_operator_soup", |rng| {
+        for _ in 0..8 {
+            let s = arb_soup(rng, 48);
+            let _ = parse_formula(&s, resolve);
+        }
+    });
+}
+
+/// The structural queries (props, agents, size) survive a roundtrip.
+#[test]
+fn structural_queries_survive_roundtrip() {
+    cases("structural_queries_survive_roundtrip", |rng| {
+        for _ in 0..8 {
+            let f = arb_formula(rng, 4);
+            let parsed = parse_formula(&f.to_string(), resolve).unwrap();
+            assert_eq!(parsed.props(), f.props());
+            assert_eq!(parsed.agents(), f.agents());
+            assert_eq!(parsed.size(), f.size());
+        }
+    });
 }

@@ -2,17 +2,18 @@
 //! distributions must reproduce the exact engine's probabilities.
 //!
 //! `System::run_at_cumulative` keeps the randomness with the caller;
-//! these tests drive it with a seeded RNG and compare frequencies to
-//! the exact rationals everything else in the workspace computes.
+//! these tests drive it with the in-repo seeded [`Rng64`] and compare
+//! frequencies to the exact rationals everything else in the workspace
+//! computes.
 
 use kpa::assign::{Assignment, ProbAssignment};
-use kpa::measure::{rat, Rat};
+use kpa::measure::{rat, Rat, Rng64};
 use kpa::protocols;
 use kpa::system::{PointId, System, TreeId};
-use rand::{Rng, SeedableRng};
 
-fn sample_rat(rng: &mut impl Rng) -> Rat {
-    Rat::new(i128::from(rng.gen::<u32>()), 1i128 << 32)
+/// A uniform rational in [0, 1) with a 2³² denominator.
+fn sample_rat(rng: &mut Rng64) -> Rat {
+    Rat::new(i128::from(rng.next_u64() as u32), 1i128 << 32)
 }
 
 fn frequency(
@@ -22,7 +23,7 @@ fn frequency(
     seed: u64,
     mut event: impl FnMut(usize) -> bool,
 ) -> f64 {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let mut hits = 0u32;
     for _ in 0..trials {
         let run = sys.run_at_cumulative(tree, sample_rat(&mut rng));
@@ -40,7 +41,7 @@ fn sampled_coordination_matches_exact_probability() {
     let coordinated = protocols::coordinated_points(&sys);
     let horizon = sys.horizon();
     let freq = frequency(&sys, TreeId(0), 60_000, 11, |run| {
-        coordinated.contains(&PointId {
+        coordinated.contains(PointId {
             tree: TreeId(0),
             run,
             time: horizon,
@@ -70,7 +71,7 @@ fn sampled_posterior_matches_conditioning() {
     let exact = post.prob(b, silent_point, &coordinated).unwrap();
     assert_eq!(exact, rat!(64 / 65));
 
-    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let mut rng = Rng64::new(17);
     let (mut silent, mut silent_and_coord) = (0u32, 0u32);
     for _ in 0..60_000 {
         let run = sys.run_at_cumulative(TreeId(0), sample_rat(&mut rng));
@@ -81,7 +82,7 @@ fn sampled_posterior_matches_conditioning() {
         };
         if !sys.local_name(b, end).contains("learned") {
             silent += 1;
-            if coordinated.contains(&end) {
+            if coordinated.contains(end) {
                 silent_and_coord += 1;
             }
         }

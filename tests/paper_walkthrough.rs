@@ -86,3 +86,60 @@ fn headline_numbers() {
     assert_eq!(post.prob(p2, at(2), &both).unwrap(), rat!(1 / 5));
     assert_eq!(post.prob(p2, at(3), &both).unwrap(), rat!(1 / 3));
 }
+
+/// Regression pin for the `Model::sat` kernel on the walkthrough
+/// systems: the exact satisfaction-set sizes of the formulas the paper
+/// discusses. Any change to the dense `PointSet` evaluator that
+/// perturbs these counts is a semantics change, not an optimization.
+#[test]
+fn sat_sets_on_walkthrough_systems_are_pinned() {
+    use kpa::assign::{Assignment, ProbAssignment};
+    use kpa::logic::{Formula, Model};
+    use kpa::protocols;
+    use kpa::system::AgentId;
+
+    // §3's secret coin: 2 runs × 2 times.
+    let coin = protocols::secret_coin().unwrap();
+    assert_eq!(coin.points().count(), 4);
+    let post = ProbAssignment::new(&coin, Assignment::post());
+    let model = Model::new(&post);
+    for (expected, f) in [
+        (1, Formula::prop("c=h")),
+        (1, Formula::prop("c=h").known_by(AgentId(2))),
+        (2, Formula::prop("c=h").k_alpha(AgentId(0), rat!(1 / 2))),
+        (1, Formula::prop("recent:c=h").next()),
+    ] {
+        assert_eq!(model.sat(&f).unwrap().len(), expected, "secret coin: {f}");
+    }
+
+    // §7's asynchronous coin tosses, n = 4: 16 runs × 5 times.
+    let tosses = protocols::async_coin_tosses(4).unwrap();
+    assert_eq!(tosses.points().count(), 80);
+    let post = ProbAssignment::new(&tosses, Assignment::post());
+    let model = Model::new(&post);
+    for (expected, f) in [
+        (64, Formula::prop("recent=h").eventually()),
+        (0, Formula::prop("recent=h").k_alpha(AgentId(0), rat!(1 / 2))),
+        (44, Formula::prop("c0=h").until(Formula::prop("recent=t"))),
+    ] {
+        assert_eq!(model.sat(&f).unwrap().len(), expected, "async tosses: {f}");
+    }
+
+    // §4's coordinated attack, 3 messengers.
+    let attack = protocols::ca1(3, rat!(1 / 2)).unwrap();
+    assert_eq!(attack.points().count(), 30);
+    let post = ProbAssignment::new(&attack, Assignment::post());
+    let model = Model::new(&post);
+    for (expected, f) in [
+        (20, Formula::prop("coordinated").eventually()),
+        (
+            2,
+            Formula::prop("coordinated")
+                .eventually()
+                .not()
+                .known_by(AgentId(0)),
+        ),
+    ] {
+        assert_eq!(model.sat(&f).unwrap().len(), expected, "attack: {f}");
+    }
+}

@@ -6,12 +6,11 @@
 
 mod common;
 
-use common::{arb_sync_spec, build, prop_names};
+use common::{arb_sync_spec, build, cases, prop_names};
 use kpa::assign::{Assignment, ProbAssignment};
 use kpa::logic::{Axiom, Formula, Model, Proof, Step};
 use kpa::measure::Rat;
 use kpa::system::AgentId;
-use proptest::prelude::*;
 
 /// The demo derivations of the proof module, parameterized by real
 /// propositions and agents of a system.
@@ -129,18 +128,17 @@ fn demo_proofs(phi: Formula, psi: Formula, i: AgentId, g: Vec<AgentId>) -> Vec<P
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Every line of every demo proof is valid under `post` (a
-    /// consistent standard assignment) in random synchronous systems.
-    #[test]
-    fn proof_lines_are_semantically_valid(spec in arb_sync_spec(), agent in 0usize..2) {
+/// Every line of every demo proof is valid under `post` (a consistent
+/// standard assignment) in random synchronous systems.
+#[test]
+fn proof_lines_are_semantically_valid() {
+    cases("proof_lines_are_semantically_valid", |rng| {
+        let spec = arb_sync_spec(rng);
         let sys = build(&spec);
         let names = prop_names(&spec);
         let phi = Formula::prop(&names[0]);
         let psi = Formula::prop(names.last().expect("at least one round"));
-        let i = AgentId(agent.min(sys.agent_count() - 1));
+        let i = AgentId(rng.index(2).min(sys.agent_count() - 1));
         let g: Vec<AgentId> = (0..sys.agent_count()).map(AgentId).collect();
 
         let post = ProbAssignment::new(&sys, Assignment::post());
@@ -148,20 +146,23 @@ proptest! {
         for (p, proof) in demo_proofs(phi, psi, i, g).into_iter().enumerate() {
             let lines = proof.check().expect("demo proofs are well-formed");
             for (l, line) in lines.iter().enumerate() {
-                prop_assert!(
+                assert!(
                     model.holds_everywhere(&line.formula).unwrap(),
                     "proof {p} line {l} is not valid: {}",
                     line.formula
                 );
             }
         }
-    }
+    });
+}
 
-    /// Every line of every theorem in the derived-theorem library is
-    /// valid on random systems.
-    #[test]
-    fn theorem_library_is_sound(spec in arb_sync_spec()) {
+/// Every line of every theorem in the derived-theorem library is valid
+/// on random systems.
+#[test]
+fn theorem_library_is_sound() {
+    cases("theorem_library_is_sound", |rng| {
         use kpa::logic::theorems;
+        let spec = arb_sync_spec(rng);
         let sys = build(&spec);
         let names = prop_names(&spec);
         let phi = Formula::prop(&names[0]);
@@ -181,65 +182,99 @@ proptest! {
         for (t, proof) in library.iter().enumerate() {
             let lines = proof.check().expect("library proofs are well-formed");
             for (l, line) in lines.iter().enumerate() {
-                prop_assert!(
+                assert!(
                     model.holds_everywhere(&line.formula).unwrap(),
                     "theorem {t} line {l} is not valid: {}",
                     line.formula
                 );
             }
         }
-    }
+    });
+}
 
-    /// Axiom instances over random system propositions are valid under
-    /// every consistent standard assignment (post and opp).
-    #[test]
-    fn axiom_instances_are_valid(spec in arb_sync_spec(), which in 0usize..7) {
+/// Axiom instances over random system propositions are valid under
+/// every consistent standard assignment (post and opp).
+#[test]
+fn axiom_instances_are_valid() {
+    cases("axiom_instances_are_valid", |rng| {
+        let spec = arb_sync_spec(rng);
         let sys = build(&spec);
         let names = prop_names(&spec);
         let phi = Formula::prop(&names[0]);
         let psi = Formula::prop(names.last().expect("nonempty"));
         let i = AgentId(0);
         let g: Vec<AgentId> = (0..sys.agent_count()).map(AgentId).collect();
-        let axiom = match which {
-            0 => Axiom::KDistribution { agent: i, phi: phi.clone(), psi: psi.clone() },
-            1 => Axiom::KTruth { agent: i, phi: phi.clone() },
-            2 => Axiom::KPositive { agent: i, phi: phi.clone() },
-            3 => Axiom::KNegative { agent: i, phi: phi.clone() },
-            4 => Axiom::KnowledgeToCertainty { agent: i, phi: phi.clone() },
-            5 => Axiom::ProbNonnegative { agent: i, phi: phi.clone() },
-            _ => Axiom::ProbFixedPoint { group: g.clone(), alpha: Rat::new(1, 2), phi: phi.clone() },
-        };
-        let f = axiom.formula().expect("well-formed instance");
-        for assignment in [Assignment::post(), Assignment::opp(AgentId(sys.agent_count() - 1))] {
-            let pa = ProbAssignment::new(&sys, assignment);
-            let model = Model::new(&pa);
-            prop_assert!(
-                model.holds_everywhere(&f).unwrap(),
-                "axiom {which} not valid: {f}"
-            );
+        let instances = [
+            Axiom::KDistribution {
+                agent: i,
+                phi: phi.clone(),
+                psi: psi.clone(),
+            },
+            Axiom::KTruth {
+                agent: i,
+                phi: phi.clone(),
+            },
+            Axiom::KPositive {
+                agent: i,
+                phi: phi.clone(),
+            },
+            Axiom::KNegative {
+                agent: i,
+                phi: phi.clone(),
+            },
+            Axiom::KnowledgeToCertainty {
+                agent: i,
+                phi: phi.clone(),
+            },
+            Axiom::ProbNonnegative {
+                agent: i,
+                phi: phi.clone(),
+            },
+            Axiom::ProbFixedPoint {
+                group: g.clone(),
+                alpha: Rat::new(1, 2),
+                phi: phi.clone(),
+            },
+        ];
+        for (which, axiom) in instances.into_iter().enumerate() {
+            let f = axiom.formula().expect("well-formed instance");
+            for assignment in [Assignment::post(), Assignment::opp(AgentId(sys.agent_count() - 1))]
+            {
+                let pa = ProbAssignment::new(&sys, assignment);
+                let model = Model::new(&pa);
+                assert!(
+                    model.holds_everywhere(&f).unwrap(),
+                    "axiom {which} not valid: {f}"
+                );
+            }
         }
-    }
+    });
+}
 
-    /// KnowledgeToCertainty is exactly the consistency axiom: it can
-    /// FAIL under the inconsistent prior assignment (Section 5's
-    /// characterization), and the model checker knows it.
-    #[test]
-    fn certainty_axiom_characterizes_consistency(spec in arb_sync_spec()) {
-        let mut spec = spec;
+/// KnowledgeToCertainty is exactly the consistency axiom: it can FAIL
+/// under the inconsistent prior assignment (Section 5's
+/// characterization), and the model checker knows it.
+#[test]
+fn certainty_axiom_characterizes_consistency() {
+    cases("certainty_axiom_characterizes_consistency", |rng| {
+        let mut spec = arb_sync_spec(rng);
         // Make round 0 observed by agent 0 only: it then sometimes
         // knows c0=h while the prior still gives it probability < 1.
         spec.rounds[0].observers = 0b01;
         spec.two_adversaries = false;
         let sys = build(&spec);
         let phi = Formula::prop("c0=h");
-        let axiom = Axiom::KnowledgeToCertainty { agent: AgentId(0), phi }
-            .formula()
-            .expect("well-formed");
+        let axiom = Axiom::KnowledgeToCertainty {
+            agent: AgentId(0),
+            phi,
+        }
+        .formula()
+        .expect("well-formed");
         let prior = ProbAssignment::new(&sys, Assignment::prior());
         let model = Model::new(&prior);
-        prop_assert!(
+        assert!(
             !model.holds_everywhere(&axiom).unwrap(),
             "the consistency axiom should fail under the prior"
         );
-    }
+    });
 }

@@ -6,83 +6,96 @@
 
 mod common;
 
-use common::{arb_async_spec, arb_sync_spec, build, prop_names};
+use common::{arb_async_spec, arb_sync_spec, build, cases, prop_names};
 use kpa::assign::{lattice, Assignment, ProbAssignment};
 use kpa::asynchrony::prop10_holds;
 use kpa::betting::{BetRule, BettingGame};
 use kpa::logic::Model;
 use kpa::measure::Rat;
 use kpa::system::AgentId;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Theorem 7 on random synchronous systems: for every bettor,
-    /// opponent, fact, and threshold, safety coincides with K^α.
-    #[test]
-    fn theorem7_on_random_systems(spec in arb_sync_spec(), alpha_idx in 0usize..3) {
+/// Theorem 7 on random synchronous systems: for every bettor,
+/// opponent, fact, and threshold, safety coincides with K^α.
+#[test]
+fn theorem7_on_random_systems() {
+    cases("theorem7_on_random_systems", |rng| {
+        let spec = arb_sync_spec(rng);
         let sys = build(&spec);
-        let alpha = [Rat::new(1, 3), Rat::new(1, 2), Rat::ONE][alpha_idx];
+        let alpha = [Rat::new(1, 3), Rat::new(1, 2), Rat::ONE][rng.index(3)];
         for phi_name in prop_names(&spec) {
             let phi = sys.points_satisfying(sys.prop_id(&phi_name).unwrap());
             for i in 0..sys.agent_count() {
                 for j in 0..sys.agent_count() {
                     let game = BettingGame::new(&sys, AgentId(i), AgentId(j));
                     let rule = BetRule::new(phi.clone(), alpha).unwrap();
-                    prop_assert!(
+                    assert!(
                         game.theorem7_holds(&rule).unwrap(),
                         "Theorem 7 fails: i={i} j={j} phi={phi_name} alpha={alpha}"
                     );
                 }
             }
         }
-    }
+    });
+}
 
-    /// Proposition 6 on random synchronous systems: Tree-safety and
-    /// Tree^j-safety coincide.
-    #[test]
-    fn proposition6_on_random_systems(spec in arb_sync_spec()) {
+/// Proposition 6 on random synchronous systems: Tree-safety and
+/// Tree^j-safety coincide.
+#[test]
+fn proposition6_on_random_systems() {
+    cases("proposition6_on_random_systems", |rng| {
+        let spec = arb_sync_spec(rng);
         let sys = build(&spec);
-        prop_assume!(sys.is_synchronous());
+        if !sys.is_synchronous() {
+            return;
+        }
         for phi_name in prop_names(&spec) {
             let phi = sys.points_satisfying(sys.prop_id(&phi_name).unwrap());
             let game = BettingGame::new(&sys, AgentId(0), AgentId(sys.agent_count() - 1));
             let rule = BetRule::new(phi, Rat::new(1, 2)).unwrap();
-            prop_assert!(game.proposition6_holds(&rule).unwrap());
+            assert!(game.proposition6_holds(&rule).unwrap());
         }
-    }
+    });
+}
 
-    /// The canonical chain and Propositions 4–5 on random synchronous
-    /// systems.
-    #[test]
-    fn lattice_structure_on_random_systems(spec in arb_sync_spec()) {
+/// The canonical chain and Propositions 4–5 on random synchronous
+/// systems.
+#[test]
+fn lattice_structure_on_random_systems() {
+    cases("lattice_structure_on_random_systems", |rng| {
+        let spec = arb_sync_spec(rng);
         let sys = build(&spec);
-        prop_assume!(sys.is_synchronous());
+        if !sys.is_synchronous() {
+            return;
+        }
         let fut = ProbAssignment::new(&sys, Assignment::fut());
         let post = ProbAssignment::new(&sys, Assignment::post());
         let prior = ProbAssignment::new(&sys, Assignment::prior());
         let opp = ProbAssignment::new(&sys, Assignment::opp(AgentId(sys.agent_count() - 1)));
 
-        prop_assert!(lattice::leq(&fut, &opp));
-        prop_assert!(lattice::leq(&opp, &post));
-        prop_assert!(lattice::leq(&post, &prior));
+        assert!(lattice::leq(&fut, &opp));
+        assert!(lattice::leq(&opp, &post));
+        assert!(lattice::leq(&post, &prior));
 
-        prop_assert!(lattice::refines_by_partition(&fut, &opp));
-        prop_assert!(lattice::refines_by_partition(&opp, &post));
-        prop_assert!(lattice::refines_by_partition(&post, &prior));
+        assert!(lattice::refines_by_partition(&fut, &opp));
+        assert!(lattice::refines_by_partition(&opp, &post));
+        assert!(lattice::refines_by_partition(&post, &prior));
 
-        prop_assert!(lattice::conditioning_agrees(&fut, &post).unwrap());
-        prop_assert!(lattice::conditioning_agrees(&opp, &post).unwrap());
-        prop_assert!(lattice::conditioning_agrees(&post, &prior).unwrap());
-    }
+        assert!(lattice::conditioning_agrees(&fut, &post).unwrap());
+        assert!(lattice::conditioning_agrees(&opp, &post).unwrap());
+        assert!(lattice::conditioning_agrees(&post, &prior).unwrap());
+    });
+}
 
-    /// Theorem 9(a) on random synchronous systems: going up the lattice
-    /// never widens the per-class probability interval.
-    #[test]
-    fn theorem9a_on_random_systems(spec in arb_sync_spec()) {
+/// Theorem 9(a) on random synchronous systems: going up the lattice
+/// never widens the per-class probability interval.
+#[test]
+fn theorem9a_on_random_systems() {
+    cases("theorem9a_on_random_systems", |rng| {
+        let spec = arb_sync_spec(rng);
         let sys = build(&spec);
-        prop_assume!(sys.is_synchronous());
+        if !sys.is_synchronous() {
+            return;
+        }
         let fine = ProbAssignment::new(&sys, Assignment::opp(AgentId(sys.agent_count() - 1)));
         let coarse = ProbAssignment::new(&sys, Assignment::post());
         for phi_name in prop_names(&spec) {
@@ -91,20 +104,23 @@ proptest! {
                 for c in sys.points() {
                     let (flo, fhi) = fine.known_interval(agent, c, &phi).unwrap();
                     let (clo, chi) = coarse.known_interval(agent, c, &phi).unwrap();
-                    prop_assert!(
+                    assert!(
                         clo >= flo && chi <= fhi,
                         "interval widened: fine [{flo},{fhi}] coarse [{clo},{chi}]"
                     );
                 }
             }
         }
-    }
+    });
+}
 
-    /// Theorem 7 also holds in asynchronous systems (the paper notes
-    /// the Tree^j-based safety definition carries over): check it on
-    /// random systems with clockless agents.
-    #[test]
-    fn theorem7_on_random_async_systems(spec in arb_async_spec()) {
+/// Theorem 7 also holds in asynchronous systems (the paper notes
+/// the Tree^j-based safety definition carries over): check it on
+/// random systems with clockless agents.
+#[test]
+fn theorem7_on_random_async_systems() {
+    cases("theorem7_on_random_async_systems", |rng| {
+        let spec = arb_async_spec(rng);
         let sys = build(&spec);
         for phi_name in prop_names(&spec) {
             let phi = sys.points_satisfying(sys.prop_id(&phi_name).unwrap());
@@ -112,19 +128,22 @@ proptest! {
                 for j in 0..sys.agent_count() {
                     let game = BettingGame::new(&sys, AgentId(i), AgentId(j));
                     let rule = BetRule::new(phi.clone(), Rat::new(1, 2)).unwrap();
-                    prop_assert!(
+                    assert!(
                         game.theorem7_holds(&rule).unwrap(),
                         "async Theorem 7 fails: i={i} j={j} phi={phi_name}"
                     );
                 }
             }
         }
-    }
+    });
+}
 
-    /// Rational-opponent safety always contains plain safety, on random
-    /// systems (the §9 extension's basic monotonicity).
-    #[test]
-    fn rational_safety_contains_safety(spec in arb_sync_spec()) {
+/// Rational-opponent safety always contains plain safety, on random
+/// systems (the §9 extension's basic monotonicity).
+#[test]
+fn rational_safety_contains_safety() {
+    cases("rational_safety_contains_safety", |rng| {
+        let spec = arb_sync_spec(rng);
         let sys = build(&spec);
         let game = BettingGame::new(&sys, AgentId(0), AgentId(sys.agent_count() - 1));
         for phi_name in prop_names(&spec) {
@@ -133,32 +152,38 @@ proptest! {
                 let rule = BetRule::new(phi.clone(), alpha).unwrap();
                 for c in sys.points() {
                     if game.is_safe_at(c, &rule).unwrap() {
-                        prop_assert!(game.is_safe_against_rational_at(c, &rule).unwrap());
+                        assert!(game.is_safe_against_rational_at(c, &rule).unwrap());
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    /// Proposition 10 on random (possibly asynchronous) systems: the
-    /// pts-adversary bounds equal the posterior inner/outer interval.
-    #[test]
-    fn prop10_on_random_systems(spec in arb_async_spec()) {
+/// Proposition 10 on random (possibly asynchronous) systems: the
+/// pts-adversary bounds equal the posterior inner/outer interval.
+#[test]
+fn prop10_on_random_systems() {
+    cases("prop10_on_random_systems", |rng| {
+        let spec = arb_async_spec(rng);
         let sys = build(&spec);
         for phi_name in prop_names(&spec) {
             let phi = sys.points_satisfying(sys.prop_id(&phi_name).unwrap());
             for agent in (0..sys.agent_count()).map(AgentId) {
-                prop_assert!(prop10_holds(&sys, agent, &phi).unwrap());
+                assert!(prop10_holds(&sys, agent, &phi).unwrap());
             }
         }
-    }
+    });
+}
 
-    /// Window-class bounds are monotone in the window width, nested
-    /// between horizontal cuts and arbitrary cuts (Section 7's partial
-    /// synchrony discussion).
-    #[test]
-    fn window_bounds_nest_on_random_systems(spec in arb_async_spec()) {
+/// Window-class bounds are monotone in the window width, nested
+/// between horizontal cuts and arbitrary cuts (Section 7's partial
+/// synchrony discussion).
+#[test]
+fn window_bounds_nest_on_random_systems() {
+    cases("window_bounds_nest_on_random_systems", |rng| {
         use kpa::asynchrony::{region_for, CutClass};
+        let spec = arb_async_spec(rng);
         let sys = build(&spec);
         let horizon = sys.horizon();
         for phi_name in prop_names(&spec) {
@@ -172,22 +197,25 @@ proptest! {
                     continue; // no valid cut at this width
                 };
                 if let Some((lo, hi)) = prev {
-                    prop_assert!(bounds.0 <= lo && hi <= bounds.1, "widening shrank bounds");
+                    assert!(bounds.0 <= lo && hi <= bounds.1, "widening shrank bounds");
                 }
                 prev = Some(bounds);
             }
             // The widest window admits every cut: equals AllPoints.
             if let Some(last) = prev {
                 let all = CutClass::AllPoints.bounds(&sys, &region, &phi).unwrap();
-                prop_assert_eq!(last, all);
+                assert_eq!(last, all);
             }
         }
-    }
+    });
+}
 
-    /// Consistent assignments satisfy K_i φ ⇒ Pr_i(φ) = 1 (the FH88
-    /// characterization quoted in §5), and the prior can violate it.
-    #[test]
-    fn consistency_axiom_on_random_systems(spec in arb_sync_spec()) {
+/// Consistent assignments satisfy K_i φ ⇒ Pr_i(φ) = 1 (the FH88
+/// characterization quoted in §5), and the prior can violate it.
+#[test]
+fn consistency_axiom_on_random_systems() {
+    cases("consistency_axiom_on_random_systems", |rng| {
+        let spec = arb_sync_spec(rng);
         let sys = build(&spec);
         let post = ProbAssignment::new(&sys, Assignment::post());
         let model = Model::new(&post);
@@ -196,8 +224,8 @@ proptest! {
             for agent in (0..sys.agent_count()).map(AgentId) {
                 let knows = model.sat(&phi.clone().known_by(agent)).unwrap();
                 let certain = model.sat(&phi.clone().pr_ge(agent, Rat::ONE)).unwrap();
-                prop_assert!(knows.iter().all(|p| certain.contains(p)));
+                assert!(knows.is_subset(&certain));
             }
         }
-    }
+    });
 }

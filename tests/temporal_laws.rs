@@ -5,18 +5,18 @@
 
 mod common;
 
-use common::{arb_sync_spec, build, prop_names};
+use common::{arb_sync_spec, build, cases, prop_names};
 use kpa::assign::{Assignment, ProbAssignment};
 use kpa::logic::{Formula, Model};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The until expansion law: φ U ψ ↔ ψ ∨ (φ ∧ ◯(φ U ψ)).
-    #[test]
-    fn until_expansion(spec in arb_sync_spec()) {
-        prop_assume!(spec.rounds.len() >= 2);
+/// The until expansion law: φ U ψ ↔ ψ ∨ (φ ∧ ◯(φ U ψ)).
+#[test]
+fn until_expansion() {
+    cases("until_expansion", |rng| {
+        let spec = arb_sync_spec(rng);
+        if spec.rounds.len() < 2 {
+            return;
+        }
         let sys = build(&spec);
         let post = ProbAssignment::new(&sys, Assignment::post());
         let model = Model::new(&post);
@@ -28,12 +28,15 @@ proptest! {
             psi.clone(),
             Formula::and([phi.clone(), until.clone().next()]),
         ]);
-        prop_assert!(model.holds_everywhere(&until.iff(expansion)).unwrap());
-    }
+        assert!(model.holds_everywhere(&until.iff(expansion)).unwrap());
+    });
+}
 
-    /// ◇ and □ duality, idempotence, and the ◇ expansion law.
-    #[test]
-    fn eventually_always_laws(spec in arb_sync_spec()) {
+/// ◇ and □ duality, idempotence, and the ◇ expansion law.
+#[test]
+fn eventually_always_laws() {
+    cases("eventually_always_laws", |rng| {
+        let spec = arb_sync_spec(rng);
         let sys = build(&spec);
         let post = ProbAssignment::new(&sys, Assignment::post());
         let model = Model::new(&post);
@@ -42,25 +45,33 @@ proptest! {
             // ◇φ ↔ ¬□¬φ.
             let lhs = phi.clone().eventually();
             let rhs = phi.clone().not().always().not();
-            prop_assert!(model.holds_everywhere(&lhs.clone().iff(rhs)).unwrap());
+            assert!(model.holds_everywhere(&lhs.clone().iff(rhs)).unwrap());
             // ◇◇φ ↔ ◇φ and □□φ ↔ □φ.
-            prop_assert!(model
-                .holds_everywhere(&phi.clone().eventually().eventually().iff(phi.clone().eventually()))
+            assert!(model
+                .holds_everywhere(
+                    &phi.clone()
+                        .eventually()
+                        .eventually()
+                        .iff(phi.clone().eventually())
+                )
                 .unwrap());
-            prop_assert!(model
+            assert!(model
                 .holds_everywhere(&phi.clone().always().always().iff(phi.clone().always()))
                 .unwrap());
             // ◇φ ↔ φ ∨ ◯◇φ.
             let expand = Formula::or([phi.clone(), phi.clone().eventually().next()]);
-            prop_assert!(model
+            assert!(model
                 .holds_everywhere(&phi.clone().eventually().iff(expand))
                 .unwrap());
         }
-    }
+    });
+}
 
-    /// Finite-trace endpoints: at the horizon, ◯φ is false and □φ ↔ φ.
-    #[test]
-    fn horizon_semantics(spec in arb_sync_spec()) {
+/// Finite-trace endpoints: at the horizon, ◯φ is false and □φ ↔ φ.
+#[test]
+fn horizon_semantics() {
+    cases("horizon_semantics", |rng| {
+        let spec = arb_sync_spec(rng);
         let sys = build(&spec);
         let post = ProbAssignment::new(&sys, Assignment::post());
         let model = Model::new(&post);
@@ -68,19 +79,24 @@ proptest! {
         for name in prop_names(&spec) {
             let phi = Formula::prop(&name);
             let next = model.sat(&phi.clone().next()).unwrap();
-            prop_assert!(next.iter().all(|p| p.time < horizon));
+            assert!(next.iter().all(|p| p.time < horizon));
             let always = model.sat(&phi.clone().always()).unwrap();
             let now = model.sat(&phi.clone()).unwrap();
             for p in sys.points().filter(|p| p.time == horizon) {
-                prop_assert_eq!(always.contains(&p), now.contains(&p));
+                assert_eq!(always.contains(p), now.contains(p));
             }
         }
-    }
+    });
+}
 
-    /// Boolean laws through the evaluator: De Morgan and distribution.
-    #[test]
-    fn boolean_laws(spec in arb_sync_spec()) {
-        prop_assume!(spec.rounds.len() >= 2);
+/// Boolean laws through the evaluator: De Morgan and distribution.
+#[test]
+fn boolean_laws() {
+    cases("boolean_laws", |rng| {
+        let spec = arb_sync_spec(rng);
+        if spec.rounds.len() < 2 {
+            return;
+        }
         let sys = build(&spec);
         let post = ProbAssignment::new(&sys, Assignment::post());
         let model = Model::new(&post);
@@ -90,26 +106,30 @@ proptest! {
         let demorgan = Formula::and([a.clone(), b.clone()])
             .not()
             .iff(Formula::or([a.clone().not(), b.clone().not()]));
-        prop_assert!(model.holds_everywhere(&demorgan).unwrap());
-        let dist = Formula::and([a.clone(), Formula::or([b.clone(), Formula::True])])
-            .iff(Formula::or([
+        assert!(model.holds_everywhere(&demorgan).unwrap());
+        let dist = Formula::and([a.clone(), Formula::or([b.clone(), Formula::True])]).iff(
+            Formula::or([
                 Formula::and([a.clone(), b.clone()]),
                 Formula::and([a.clone(), Formula::True]),
-            ]));
-        prop_assert!(model.holds_everywhere(&dist).unwrap());
-    }
+            ]),
+        );
+        assert!(model.holds_everywhere(&dist).unwrap());
+    });
+}
 
-    /// Sticky propositions really are sticky: c<k>=h implies □(c<k>=h).
-    #[test]
-    fn sticky_props_are_monotone(spec in arb_sync_spec()) {
+/// Sticky propositions really are sticky: c<k>=h implies □(c<k>=h).
+#[test]
+fn sticky_props_are_monotone() {
+    cases("sticky_props_are_monotone", |rng| {
+        let spec = arb_sync_spec(rng);
         let sys = build(&spec);
         let post = ProbAssignment::new(&sys, Assignment::post());
         let model = Model::new(&post);
         for name in prop_names(&spec) {
             let phi = Formula::prop(&name);
-            prop_assert!(model
+            assert!(model
                 .holds_everywhere(&phi.clone().implies(phi.clone().always()))
                 .unwrap());
         }
-    }
+    });
 }
