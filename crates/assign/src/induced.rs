@@ -13,17 +13,28 @@ use crate::error::AssignError;
 use crate::sample::Assignment;
 use kpa_measure::{BlockSpace, MemberSet, Rat};
 use kpa_system::{AgentId, PointId, PointSet, System};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// The probability space the construction of Proposition 2 assigns to an
 /// agent at a point: a [`BlockSpace`] over points whose blocks are runs.
 pub type PointSpace = BlockSpace<PointId>;
 
 /// Cache from (agent, sample bitset) to the induced space. [`PointSet`]
-/// hashes its words directly, so the key costs one word sweep.
-type SpaceCache = HashMap<(AgentId, PointSet), Rc<PointSpace>>;
+/// hashes its words directly, so the key costs one word sweep. Guarded
+/// by [`Mutex`]es (not `RefCell`) so a `ProbAssignment` can be shared by
+/// reference across the workers of a `kpa-pool` parallel sweep; locks
+/// are held only for the lookup/insert, never while a space is built,
+/// so concurrent builders of the same key simply race to insert
+/// structurally identical spaces — results are unaffected.
+type SpaceCache = HashMap<(AgentId, PointSet), Arc<PointSpace>>;
+
+/// The cache is split into shards selected by a cheap pre-hash of the
+/// sample. `HashMap` hashes the full word vector of the key *inside*
+/// the shard lock; with one global lock that word sweep serializes
+/// every worker of a parallel sweep, while 16 shards make simultaneous
+/// collisions rare at the pool's thread counts.
+const SPACE_SHARDS: usize = 16;
 
 /// A probability assignment `P`: for every agent `pᵢ` and point `c`, the
 /// probability space `(S_ic, X_ic, μ_ic)` induced by a sample-space
@@ -58,7 +69,7 @@ type SpaceCache = HashMap<(AgentId, PointSet), Rc<PointSpace>>;
 pub struct ProbAssignment<'s> {
     sys: &'s System,
     assignment: Assignment,
-    cache: RefCell<SpaceCache>,
+    cache: [Mutex<SpaceCache>; SPACE_SHARDS],
 }
 
 impl<'s> ProbAssignment<'s> {
@@ -68,7 +79,7 @@ impl<'s> ProbAssignment<'s> {
         ProbAssignment {
             sys,
             assignment,
-            cache: RefCell::new(SpaceCache::new()),
+            cache: std::array::from_fn(|_| Mutex::new(SpaceCache::new())),
         }
     }
 
@@ -96,7 +107,7 @@ impl<'s> ProbAssignment<'s> {
     ///
     /// [`AssignError::Req2Violated`] if the sample is empty;
     /// [`AssignError::Req1Violated`] if it spans several trees.
-    pub fn space(&self, agent: AgentId, c: PointId) -> Result<Rc<PointSpace>, AssignError> {
+    pub fn space(&self, agent: AgentId, c: PointId) -> Result<Arc<PointSpace>, AssignError> {
         let sample = self.sample(agent, c);
         let Some(first) = sample.first() else {
             return Err(AssignError::Req2Violated { agent, point: c });
@@ -104,15 +115,18 @@ impl<'s> ProbAssignment<'s> {
         if !sample.is_subset(self.sys.tree_set(first.tree)) {
             return Err(AssignError::Req1Violated { agent, point: c });
         }
-        if let Some(space) = self.cache.borrow().get(&(agent, sample.clone())) {
-            return Ok(Rc::clone(space));
+        let shard = &self.cache[shard_index(agent, first, sample.len())];
+        if let Some(space) = lock(shard).get(&(agent, sample.clone())) {
+            return Ok(Arc::clone(space));
         }
+        // Built outside the lock: concurrent sweeps may construct the
+        // same space twice, but the entries are structurally equal, so
+        // whichever insert wins the results are identical.
         let pairs = sample.iter().map(|p| (p, p.run_id()));
-        let space = Rc::new(BlockSpace::new(pairs, |run| self.sys.run_prob(*run))?);
-        self.cache
-            .borrow_mut()
-            .insert((agent, sample), Rc::clone(&space));
-        Ok(space)
+        let space = Arc::new(BlockSpace::new(pairs, |run| self.sys.run_prob(*run))?);
+        Ok(Arc::clone(
+            lock(shard).entry((agent, sample)).or_insert(space),
+        ))
     }
 
     /// `μ_ic(S_ic(φ))` for a measurable fact: the probability, according
@@ -274,6 +288,27 @@ impl<'s> ProbAssignment<'s> {
         }
         true
     }
+}
+
+/// Cheap shard selector: mixes the agent, the sample's first point, and
+/// its cardinality — enough to spread the distinct samples of one sweep
+/// (which differ in exactly those coordinates) across the shards
+/// without touching the sample's full word vector.
+fn shard_index(agent: AgentId, first: PointId, len: usize) -> usize {
+    let mix = (agent.0 as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (first.run as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ (first.time as u64).wrapping_mul(0x94D0_49BB_1331_11EB)
+        ^ (first.tree.0 as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93)
+        ^ (len as u64);
+    (mix.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 32) as usize % SPACE_SHARDS
+}
+
+/// Locks a mutex, recovering the guard from a poisoned lock. The cache
+/// holds only finished, immutable [`Arc<PointSpace>`] entries, so a
+/// panic elsewhere can never leave it in a torn state.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]
@@ -440,7 +475,7 @@ mod tests {
         let p1 = AgentId(0);
         let a = post.space(p1, pt(0, 0, 1)).unwrap();
         let b = post.space(p1, pt(0, 1, 1)).unwrap();
-        assert!(Rc::ptr_eq(&a, &b), "uniform classes share one space");
+        assert!(Arc::ptr_eq(&a, &b), "uniform classes share one space");
     }
 
     #[test]

@@ -26,8 +26,18 @@ use crate::cut::Cut;
 use crate::error::AsyncError;
 use kpa_logic::PointSet;
 use kpa_measure::Rat;
+use kpa_pool::Pool;
 use kpa_system::{NodeId, PointId, RunId, System};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Minimum runs per chunk before the per-run greedy bound sweep fans
+/// out onto the [`kpa_pool`] pool. `Rat` sums are exact, so per-chunk
+/// partial sums recombined in chunk order are bit-identical to the
+/// serial left-to-right sum.
+const RUN_MIN_CHUNK: usize = 32;
+
+/// Minimum window starts per chunk for the partial-synchrony sweep.
+const START_MIN_CHUNK: usize = 2;
 
 /// A class of type-3 adversaries (see the module docs).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -107,31 +117,46 @@ impl CutClass {
         let total = total_weight(sys, &runs);
         match self {
             CutClass::AllPoints => {
-                // Per-run greedy (the Proposition 10 construction).
+                // Per-run greedy (the Proposition 10 construction). The
+                // per-run contributions are independent exact `Rat`
+                // additions, so run-list chunks sweep in parallel and
+                // their partial sums recombine in chunk order.
+                let run_list: Vec<(&RunId, &Vec<PointId>)> = runs.iter().collect();
+                let partials =
+                    Pool::current().par_map_chunks(run_list.len(), RUN_MIN_CHUNK, |range| {
+                        let mut lo = Rat::ZERO;
+                        let mut hi = Rat::ZERO;
+                        for &(&r, pts) in &run_list[range] {
+                            let w = sys.run_prob(r);
+                            if pts.iter().all(|p| phi.contains(p)) {
+                                lo += w;
+                            }
+                            if pts.iter().any(|p| phi.contains(p)) {
+                                hi += w;
+                            }
+                        }
+                        (lo, hi)
+                    });
                 let mut lo = Rat::ZERO;
                 let mut hi = Rat::ZERO;
-                for (&r, pts) in &runs {
-                    let w = sys.run_prob(r);
-                    if pts.iter().all(|p| phi.contains(p)) {
-                        lo += w;
-                    }
-                    if pts.iter().any(|p| phi.contains(p)) {
-                        hi += w;
-                    }
+                for (l, h) in partials {
+                    lo += l;
+                    hi += h;
                 }
                 Ok((lo / total, hi / total))
             }
             CutClass::Horizontal => CutClass::Window(0).bounds(sys, region, phi),
             CutClass::Window(width) => {
                 let horizon = sys.horizon();
-                let mut best: Option<(Rat, Rat)> = None;
-                for start in 0..=horizon {
+                // Each window start is an independent candidate cut
+                // family; sweep starts in parallel and fold the
+                // (exact) min/max envelope in start order.
+                let window_at = |start: usize| -> Option<(Rat, Rat)> {
                     let end = start.saturating_add(*width).min(horizon);
                     // The window admits a full cut iff every run has an
                     // in-window region point.
                     let mut lo = Rat::ZERO;
                     let mut hi = Rat::ZERO;
-                    let mut valid = true;
                     for (&r, pts) in &runs {
                         let in_window: Vec<PointId> = pts
                             .iter()
@@ -139,8 +164,7 @@ impl CutClass {
                             .filter(|p| p.time >= start && p.time <= end)
                             .collect();
                         if in_window.is_empty() {
-                            valid = false;
-                            break;
+                            return None;
                         }
                         let w = sys.run_prob(r);
                         if in_window.iter().all(|p| phi.contains(p)) {
@@ -150,13 +174,28 @@ impl CutClass {
                             hi += w;
                         }
                     }
-                    if valid {
-                        let (lo, hi) = (lo / total, hi / total);
-                        best = Some(match best {
-                            None => (lo, hi),
-                            Some((l, h)) => (l.min(lo), h.max(hi)),
-                        });
-                    }
+                    Some((lo / total, hi / total))
+                };
+                let partials =
+                    Pool::current().par_map_chunks(horizon + 1, START_MIN_CHUNK, |range| {
+                        let mut best: Option<(Rat, Rat)> = None;
+                        for start in range {
+                            if let Some((lo, hi)) = window_at(start) {
+                                best = Some(match best {
+                                    None => (lo, hi),
+                                    Some((l, h)) => (l.min(lo), h.max(hi)),
+                                });
+                            }
+                        }
+                        best
+                    });
+                let mut best: Option<(Rat, Rat)> = None;
+                for partial in partials.into_iter().flatten() {
+                    let (lo, hi) = partial;
+                    best = Some(match best {
+                        None => (lo, hi),
+                        Some((l, h)) => (l.min(lo), h.max(hi)),
+                    });
                 }
                 best.ok_or(AsyncError::NoValidCut)
             }

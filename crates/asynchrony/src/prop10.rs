@@ -13,7 +13,13 @@ use crate::error::AsyncError;
 use kpa_assign::{Assignment, ProbAssignment};
 use kpa_logic::PointSet;
 use kpa_measure::Rat;
+use kpa_pool::Pool;
 use kpa_system::{AgentId, PointId, System};
+
+/// Minimum points per chunk before [`prop10_holds`] fans out onto the
+/// [`kpa_pool`] pool: every point costs a cut-bound optimization plus a
+/// posterior interval, so even short sweeps are worth splitting.
+const POINT_MIN_CHUNK: usize = 4;
 
 /// The agent's sample region when betting against opponent `j` at `c`:
 /// `Tree^j_ic` (with `j = i` this is `Tree_ic` itself).
@@ -63,14 +69,26 @@ pub fn pts_interval(
 /// posterior assignment.
 pub fn prop10_holds(sys: &System, agent: AgentId, phi: &PointSet) -> Result<bool, AsyncError> {
     let post = ProbAssignment::new(sys, Assignment::post());
-    for c in sys.points() {
-        let pts = pts_interval(sys, agent, c, phi)?;
-        let direct = post.interval(agent, c, phi)?;
-        if pts != direct {
-            return Ok(false);
+    let points: Vec<PointId> = sys.points().collect();
+    // Pointwise checks are independent: sweep chunks of the point list
+    // on the pool and conjoin partials in chunk order — the exact
+    // boolean a serial sweep computes (each chunk short-circuits
+    // internally; `&&` over ordered chunks is associative and exact).
+    let partials = Pool::current().par_map_chunks(points.len(), POINT_MIN_CHUNK, |range| {
+        for &c in &points[range] {
+            let pts = pts_interval(sys, agent, c, phi)?;
+            let direct = post.interval(agent, c, phi)?;
+            if pts != direct {
+                return Ok(false);
+            }
         }
+        Ok::<bool, AsyncError>(true)
+    });
+    let mut all = true;
+    for partial in partials {
+        all = all && partial?;
     }
-    Ok(true)
+    Ok(all)
 }
 
 #[cfg(test)]

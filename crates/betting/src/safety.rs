@@ -30,7 +30,17 @@ use crate::strategy::Strategy;
 use kpa_assign::{Assignment, ProbAssignment};
 use kpa_logic::PointSet;
 use kpa_measure::Rat;
+use kpa_pool::Pool;
 use kpa_system::{AgentId, PointId, System};
+
+/// Minimum bettor classes per chunk before the safety sweeps fan out
+/// onto the [`kpa_pool`] pool. Every class member costs a probability
+/// space plus an expected-winnings evaluation, so even short class
+/// lists are worth splitting.
+const CLASS_MIN_CHUNK: usize = 2;
+
+/// Minimum points per chunk for the Proposition 6 whole-system check.
+const POINT_MIN_CHUNK: usize = 4;
 
 /// The betting game between a bettor `p_i` and an opponent `p_j` over a
 /// system, with the opponent-indexed assignment `P^j` it induces.
@@ -136,22 +146,16 @@ impl<'s> BettingGame<'s> {
 
     /// The set of points where `rule` is `Tree^j`-safe.
     ///
+    /// The per-class decisions are independent, so the class list is
+    /// swept in parallel on the [`kpa_pool`] pool; chunk partials union
+    /// in chunk order, keeping the result bit-identical to a serial
+    /// sweep at any thread count.
+    ///
     /// # Errors
     ///
     /// Propagates space-construction failures.
     pub fn safe_points(&self, rule: &BetRule) -> Result<PointSet, BettingError> {
-        let mut acc = self.sys.empty_points();
-        for (_, class) in self.sys.local_classes(self.bettor) {
-            let all_even = class
-                .iter()
-                .try_fold(true, |ok, d| -> Result<bool, BettingError> {
-                    Ok(ok && self.breaks_even_at(d, rule)?)
-                })?;
-            if all_even {
-                acc.union_with(class);
-            }
-        }
-        Ok(acc)
+        self.class_sweep(|d| self.breaks_even_at(d, rule))
     }
 
     /// The set of points satisfying `K_i^α φ` under `P^j` — the
@@ -162,17 +166,44 @@ impl<'s> BettingGame<'s> {
     ///
     /// Propagates space-construction failures.
     pub fn k_alpha_points(&self, rule: &BetRule) -> Result<PointSet, BettingError> {
+        self.class_sweep(|d| {
+            let p = self.opp.inner(self.bettor, d, rule.phi())?;
+            Ok(p >= rule.alpha())
+        })
+    }
+
+    /// Shared sweep shape of [`BettingGame::safe_points`] and
+    /// [`BettingGame::k_alpha_points`]: absorb every bettor class whose
+    /// members all pass `pred`, chunking the class list across the
+    /// pool. Partials union in chunk order (= class-list order), so the
+    /// output set is independent of scheduling.
+    fn class_sweep(
+        &self,
+        pred: impl Fn(PointId) -> Result<bool, BettingError> + Sync,
+    ) -> Result<PointSet, BettingError> {
+        let classes: Vec<&PointSet> = self
+            .sys
+            .local_classes(self.bettor)
+            .map(|(_, class)| class)
+            .collect();
+        let partials =
+            Pool::current().par_map_chunks(classes.len(), CLASS_MIN_CHUNK, |range| {
+                let mut acc = self.sys.empty_points();
+                for class in &classes[range] {
+                    let all_pass = class
+                        .iter()
+                        .try_fold(true, |ok, d| -> Result<bool, BettingError> {
+                            Ok(ok && pred(d)?)
+                        })?;
+                    if all_pass {
+                        acc.union_with(class);
+                    }
+                }
+                Ok::<PointSet, BettingError>(acc)
+            });
         let mut acc = self.sys.empty_points();
-        for (_, class) in self.sys.local_classes(self.bettor) {
-            let all_ge = class
-                .iter()
-                .try_fold(true, |ok, d| -> Result<bool, BettingError> {
-                    let p = self.opp.inner(self.bettor, d, rule.phi())?;
-                    Ok(ok && p >= rule.alpha())
-                })?;
-            if all_ge {
-                acc.union_with(class);
-            }
+        for partial in partials {
+            acc.union_with(&partial?);
         }
         Ok(acc)
     }
@@ -278,12 +309,24 @@ impl<'s> BettingGame<'s> {
     ///
     /// As [`BettingGame::tree_safe_at`].
     pub fn proposition6_holds(&self, rule: &BetRule) -> Result<bool, BettingError> {
-        for c in self.sys.points() {
-            if self.tree_safe_at(c, rule)? != self.is_safe_at(c, rule)? {
-                return Ok(false);
-            }
+        let points: Vec<PointId> = self.sys.points().collect();
+        let partials =
+            Pool::current().par_map_chunks(points.len(), POINT_MIN_CHUNK, |range| {
+                for &c in &points[range] {
+                    if self.tree_safe_at(c, rule)? != self.is_safe_at(c, rule)? {
+                        return Ok(false);
+                    }
+                }
+                Ok::<bool, BettingError>(true)
+            });
+        // Conjunction in chunk order: the exact boolean a serial sweep
+        // computes (each chunk short-circuits internally; `&&` over the
+        // ordered chunks is associative and exact).
+        let mut all = true;
+        for partial in partials {
+            all = all && partial?;
         }
-        Ok(true)
+        Ok(all)
     }
 }
 

@@ -13,15 +13,22 @@
 //! agent's cached local classes, `◯` is a word shift
 //! ([`PointSet::precursors`]), and `U` is a least-fixpoint of shifts —
 //! no per-point tree walking anywhere in the evaluator.
+//!
+//! The two scans that dominate model checking — the per-class subset
+//! test behind `Kᵢ` and the per-point space sweep behind `Prᵢ ≥ α` —
+//! run on the in-repo [`kpa_pool`] work-stealing pool. Both reduce by
+//! unioning fixed-boundary chunk partials in chunk order, so the
+//! resulting bitsets are bit-identical to a serial evaluation at any
+//! thread count (see `DESIGN.md`, "Deterministic parallel sweeps").
 
 use crate::error::LogicError;
 use crate::formula::Formula;
 use kpa_assign::ProbAssignment;
 use kpa_measure::Rat;
+use kpa_pool::Pool;
 use kpa_system::{AgentId, PointId};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// The set of points satisfying a formula (re-exported from
 /// `kpa-system`'s dense bitset kernel).
@@ -53,20 +60,59 @@ pub use kpa_system::PointSet;
 #[derive(Debug)]
 pub struct Model<'a, 's> {
     pa: &'a ProbAssignment<'s>,
-    all: Rc<PointSet>,
-    cache: RefCell<HashMap<Formula, Rc<PointSet>>>,
+    all: Arc<PointSet>,
+    cache: Mutex<HashMap<Formula, Arc<PointSet>>>,
+    /// Cross-formula memo for `knows_set`: keyed by the *input* set, so
+    /// distinct formulas with equal satisfaction sets (`K_i φ` inside
+    /// `C_G φ`, fixpoint iterations that have converged, …) share one
+    /// subset scan. `None` disables memoization (for differential
+    /// testing against fresh fixpoints).
+    knows_memo: Option<Mutex<KnowsMemo>>,
 }
 
+/// `(agent, input set) → Kᵢ(set)`. [`PointSet`] hashes its words
+/// directly, so a lookup costs one word sweep — far cheaper than the
+/// per-class subset scan it saves.
+type KnowsMemo = HashMap<(AgentId, PointSet), Arc<PointSet>>;
+
+/// Minimum local classes per chunk before `knows_set` fans out.
+const KNOWS_MIN_CHUNK: usize = 8;
+
+/// Minimum points per chunk before `pr_ge_set` fans out.
+const PR_MIN_CHUNK: usize = 64;
+
 impl<'a, 's> Model<'a, 's> {
-    /// Builds a model checker over the given probability assignment.
+    /// Builds a model checker over the given probability assignment,
+    /// with the cross-formula `knows_set` memo enabled.
     #[must_use]
     pub fn new(pa: &'a ProbAssignment<'s>) -> Model<'a, 's> {
-        let all = Rc::new(pa.system().full_points());
+        Model::with_knows_memo(pa, true)
+    }
+
+    /// Builds a model checker with the `knows_set` memo explicitly on
+    /// or off. Satisfaction sets are identical either way — the knob
+    /// exists so tests can prove exactly that.
+    #[must_use]
+    pub fn with_knows_memo(pa: &'a ProbAssignment<'s>, memo: bool) -> Model<'a, 's> {
+        let all = Arc::new(pa.system().full_points());
         Model {
             pa,
             all,
-            cache: RefCell::new(HashMap::new()),
+            cache: Mutex::new(HashMap::new()),
+            knows_memo: memo.then(|| Mutex::new(KnowsMemo::new())),
         }
+    }
+
+    /// Whether the cross-formula `knows_set` memo is enabled.
+    #[must_use]
+    pub fn knows_memo_enabled(&self) -> bool {
+        self.knows_memo.is_some()
+    }
+
+    /// How many `(agent, set)` entries the `knows_set` memo holds.
+    #[must_use]
+    pub fn knows_memo_len(&self) -> usize {
+        self.knows_memo.as_ref().map_or(0, |m| lock(m).len())
     }
 
     /// The probability assignment being checked against.
@@ -83,9 +129,9 @@ impl<'a, 's> Model<'a, 's> {
     /// [`LogicError::EmptyGroup`] for `C_G` over an empty `G`, and
     /// [`LogicError::Assign`] if a probability space cannot be built
     /// (REQ violations of the assignment).
-    pub fn sat(&self, f: &Formula) -> Result<Rc<PointSet>, LogicError> {
-        if let Some(hit) = self.cache.borrow().get(f) {
-            return Ok(Rc::clone(hit));
+    pub fn sat(&self, f: &Formula) -> Result<Arc<PointSet>, LogicError> {
+        if let Some(hit) = lock(&self.cache).get(f) {
+            return Ok(Arc::clone(hit));
         }
         let sys = self.pa.system();
         let result: PointSet = match f {
@@ -178,9 +224,10 @@ impl<'a, 's> Model<'a, 's> {
                 })?
             }
         };
-        let rc = Rc::new(result);
-        self.cache.borrow_mut().insert(f.clone(), Rc::clone(&rc));
-        Ok(rc)
+        let set = Arc::new(result);
+        Ok(Arc::clone(
+            lock(&self.cache).entry(f.clone()).or_insert(set),
+        ))
     }
 
     /// Whether `f` holds at the point `c`.
@@ -223,15 +270,47 @@ impl<'a, 's> Model<'a, 's> {
     /// betting machinery of Sections 6–7 quantifies over raw point sets.
     ///
     /// One word-wise subset test per local class: a class is either
-    /// absorbed whole or not at all.
+    /// absorbed whole or not at all. Results are memoized per
+    /// `(agent, S)` when the model's memo is enabled, so the `C_G`
+    /// fixpoints — which re-ask `Kᵢ` about the same converging sets —
+    /// pay for each distinct scan once across *all* formulas.
     #[must_use]
     pub fn knows_set(&self, agent: AgentId, sat: &PointSet) -> PointSet {
-        let sys = self.pa.system();
-        let mut acc = sys.empty_points();
-        for (_, class) in sys.local_classes(agent) {
-            if class.is_subset(sat) {
-                acc.union_with(class);
+        if let Some(memo) = &self.knows_memo {
+            if let Some(hit) = lock(memo).get(&(agent, sat.clone())) {
+                return (**hit).clone();
             }
+            let fresh = self.knows_set_fresh(agent, sat);
+            // The scan ran outside the lock; concurrent sweeps may
+            // compute the same (identical) set — either insert wins.
+            return (**lock(memo)
+                .entry((agent, sat.clone()))
+                .or_insert_with(|| Arc::new(fresh)))
+            .clone();
+        }
+        self.knows_set_fresh(agent, sat)
+    }
+
+    /// `knows_set` without consulting or filling the memo: the direct
+    /// per-class fixpoint scan, parallelized over chunks of the agent's
+    /// local-class list. Partial unions combine in chunk order, so the
+    /// result is bit-identical at any thread count.
+    #[must_use]
+    pub fn knows_set_fresh(&self, agent: AgentId, sat: &PointSet) -> PointSet {
+        let sys = self.pa.system();
+        let classes: Vec<&PointSet> = sys.local_classes(agent).map(|(_, class)| class).collect();
+        let partials = Pool::current().par_map_chunks(classes.len(), KNOWS_MIN_CHUNK, |range| {
+            let mut acc = sys.empty_points();
+            for class in &classes[range] {
+                if class.is_subset(sat) {
+                    acc.union_with(class);
+                }
+            }
+            acc
+        });
+        let mut acc = sys.empty_points();
+        for partial in partials {
+            acc.union_with(&partial);
         }
         acc
     }
@@ -249,24 +328,37 @@ impl<'a, 's> Model<'a, 's> {
         sat: &PointSet,
     ) -> Result<PointSet, LogicError> {
         let sys = self.pa.system();
-        let mut acc = sys.empty_points();
-        // Memoize per distinct space (uniform assignments repeat spaces
-        // across whole indistinguishability classes).
-        let mut by_space: HashMap<*const kpa_assign::PointSpace, bool> = HashMap::new();
-        for c in sys.points() {
-            let space = self.pa.space(agent, c)?;
-            let key = Rc::as_ptr(&space);
-            let ok = match by_space.get(&key) {
-                Some(&ok) => ok,
-                None => {
-                    let ok = space.inner_measure(sat) >= alpha;
-                    by_space.insert(key, ok);
-                    ok
+        let points: Vec<PointId> = sys.points().collect();
+        // Each chunk keeps a *local* per-space verdict memo (uniform
+        // assignments repeat spaces across whole indistinguishability
+        // classes). Two chunks may evaluate the same space once each;
+        // the verdict is a pure function of the space, so partials stay
+        // bit-identical to the serial sweep, and unions combine in
+        // chunk (= ascending point) order.
+        let partials =
+            Pool::current().par_map_chunks(points.len(), PR_MIN_CHUNK, |range| {
+                let mut acc = sys.empty_points();
+                let mut by_space: HashMap<*const kpa_assign::PointSpace, bool> = HashMap::new();
+                for &c in &points[range] {
+                    let space = self.pa.space(agent, c)?;
+                    let key = Arc::as_ptr(&space);
+                    let ok = match by_space.get(&key) {
+                        Some(&ok) => ok,
+                        None => {
+                            let ok = space.inner_measure(sat) >= alpha;
+                            by_space.insert(key, ok);
+                            ok
+                        }
+                    };
+                    if ok {
+                        acc.insert(c);
+                    }
                 }
-            };
-            if ok {
-                acc.insert(c);
-            }
+                Ok::<PointSet, LogicError>(acc)
+            });
+        let mut acc = sys.empty_points();
+        for partial in partials {
+            acc.union_with(&partial?);
         }
         Ok(acc)
     }
@@ -286,6 +378,13 @@ impl<'a, 's> Model<'a, 's> {
             current = next;
         }
     }
+}
+
+/// Locks a mutex, recovering the guard from a poisoned lock. Both
+/// caches hold only finished, immutable [`Arc<PointSet>`] entries, so a
+/// panic elsewhere can never leave them in a torn state.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]
@@ -481,6 +580,27 @@ mod tests {
         let f = Formula::prop("c=h").known_by(AgentId(2));
         let a = m.sat(&f).unwrap();
         let b = m.sat(&f).unwrap();
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn knows_memo_matches_fresh_fixpoints() {
+        let sys = intro_system();
+        let pa = ProbAssignment::new(&sys, Assignment::post());
+        let with = Model::new(&pa);
+        let without = Model::with_knows_memo(&pa, false);
+        assert!(with.knows_memo_enabled());
+        assert!(!without.knows_memo_enabled());
+        let g = [AgentId(0), AgentId(1), AgentId(2)];
+        let f = Formula::prop("c=h").eventually().common(g);
+        let a = with.sat(&f).unwrap();
+        let b = without.sat(&f).unwrap();
+        assert_eq!(*a, *b);
+        assert!(with.knows_memo_len() > 0, "C_G fixpoint fills the memo");
+        assert_eq!(without.knows_memo_len(), 0);
+        // A second, memo-hitting evaluation still equals a fresh scan.
+        for agent in g {
+            assert_eq!(with.knows_set(agent, &a), with.knows_set_fresh(agent, &a));
+        }
     }
 }

@@ -14,6 +14,15 @@ cargo build --release --offline
 echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
+# The serial/parallel differential suite at a pinned serial width and a
+# pinned parallel width: KPA_THREADS=1 is the reference semantics, and
+# KPA_THREADS=4 must reproduce it bit-for-bit regardless of core count.
+for threads in 1 4; do
+    echo "==> KPA_THREADS=${threads} cargo test -q --offline --test parallel_differential --test memo_consistency"
+    KPA_THREADS="${threads}" cargo test -q --offline \
+        --test parallel_differential --test memo_consistency
+done
+
 if [[ "${FUZZ:-0}" == "1" ]]; then
     echo "==> cargo test -q --offline --workspace --features fuzz"
     cargo test -q --offline --workspace --features fuzz

@@ -12,7 +12,31 @@
 //! * [`logic`] — the language `L(Φ)`, model checker, parser, proofs;
 //! * [`betting`] — the betting game and safe bets (Theorems 7–9);
 //! * [`asynchrony`] — type-3 adversaries: cuts and cut classes;
-//! * [`protocols`] — every system the paper analyzes.
+//! * [`protocols`] — every system the paper analyzes;
+//! * [`pool`] — the deterministic work-stealing thread pool behind the
+//!   per-tree sweeps (`KPA_THREADS` selects the width).
+//!
+//! # Example
+//!
+//! The introduction's secret coin, model checked at an explicit thread
+//! count — parallel sweeps are bit-identical to serial by construction:
+//!
+//! ```
+//! use kpa::prelude::*;
+//!
+//! let sys = ProtocolBuilder::new(["p1", "p2", "p3"])
+//!     .coin("c", &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))], &["p3"])
+//!     .build()?;
+//! let post = ProbAssignment::new(&sys, Assignment::post());
+//!
+//! // p1 knows Pr(heads) = 1/2 at time 1 — at any pool width.
+//! let f = Formula::prop("c=h").k_interval(AgentId(0), rat!(1 / 2), rat!(1 / 2));
+//! let serial = kpa::pool::with_threads(1, || Model::new(&post).sat(&f))?;
+//! let parallel = kpa::pool::with_threads(2, || Model::new(&post).sat(&f))?;
+//! assert_eq!(*serial, *parallel);
+//! assert_eq!(serial.len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,6 +46,7 @@ pub use kpa_asynchrony as asynchrony;
 pub use kpa_betting as betting;
 pub use kpa_logic as logic;
 pub use kpa_measure as measure;
+pub use kpa_pool as pool;
 pub use kpa_protocols as protocols;
 pub use kpa_system as system;
 

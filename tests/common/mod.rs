@@ -16,16 +16,65 @@ use kpa::system::{ProtocolBuilder, System};
 /// the default modest.
 pub const CASES: usize = if cfg!(feature = "fuzz") { 128 } else { 24 };
 
+/// The per-property FNV-1a stream tag: the root of every case seed for
+/// `name`. Stable across sharding, case-count changes, and new
+/// properties — adding a property never shifts another's inputs.
+pub fn stream_tag(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+/// The seed of case `case` of property `name`. [`cases`] and
+/// [`cases_sharded`] both derive their RNGs from exactly this value, so
+/// the two sweeps explore identical inputs case-for-case (pinned by
+/// `seed_streams_are_pinned` in `tests/parallel_differential.rs`).
+pub fn case_seed(name: &str, case: usize) -> u64 {
+    stream_tag(name) ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 /// Runs `body` for [`CASES`] seeded cases, one private RNG stream each.
 pub fn cases(name: &str, mut body: impl FnMut(&mut Rng64)) {
-    // FNV-1a over the property name keeps streams stable per property.
-    let tag: u64 = name.bytes().fold(0xcbf2_9ce4_8422_2325, |h, b| {
-        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
-    });
     for case in 0..CASES {
-        let mut rng = Rng64::new(tag ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = Rng64::new(case_seed(name, case));
         body(&mut rng);
     }
+}
+
+/// Like [`cases`], but splits the case range across `RUST_TEST_THREADS`
+/// std workers (default: available parallelism) so the `--features
+/// fuzz` sweeps scale with the machine. Each case keeps the exact seed
+/// [`cases`] would give it — sharding redistributes *work*, never
+/// *inputs* — so a failure reproduces under plain [`cases`] too.
+pub fn cases_sharded(name: &str, body: impl Fn(&mut Rng64) + Sync) {
+    let workers = std::env::var("RUST_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .min(CASES.max(1));
+    if workers <= 1 {
+        for case in 0..CASES {
+            body(&mut Rng64::new(case_seed(name, case)));
+        }
+        return;
+    }
+    // Contiguous blocks per worker: worker w sweeps cases
+    // [w·CASES/workers, (w+1)·CASES/workers). Block boundaries are a
+    // pure function of (CASES, workers) and every case's seed is a pure
+    // function of (name, case), so no reseeding collisions are possible.
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let body = &body;
+            let lo = w * CASES / workers;
+            let hi = (w + 1) * CASES / workers;
+            scope.spawn(move || {
+                for case in lo..hi {
+                    body(&mut Rng64::new(case_seed(name, case)));
+                }
+            });
+        }
+    });
 }
 
 /// One probabilistic round: a coin with one of a few biases, observed

@@ -1,0 +1,145 @@
+//! Cache-consistency suite for the cross-formula `knows_set` memo.
+//!
+//! The memo (`Model::with_knows_memo`) reuses knowledge fixpoints
+//! across formulas that share `(agent, body)` subterms — e.g. the
+//! `K_i φ` stages inside a `C_G φ` fixpoint. These tests pin that the
+//! memo is *observationally invisible*: satisfaction sets (and their
+//! pinned sizes on the paper's walkthrough systems) are identical with
+//! the memo on and off, under any interleaving of queries.
+
+mod common;
+
+use common::{arb_sync_spec, build, cases, prop_names};
+use kpa::assign::{Assignment, ProbAssignment};
+use kpa::logic::{Formula, Model};
+use kpa::measure::{rat, Rat};
+use kpa::protocols::{async_coin_tosses, ca1, secret_coin};
+use kpa::system::{AgentId, System};
+
+/// Every formula in the family, sat-checked on `sys` twice — once on a
+/// memoized model, once on a memo-free model — returning the sizes from
+/// the memoized pass after asserting the full sets agree.
+fn sizes_memo_vs_fresh(sys: &System, formulas: &[Formula]) -> Vec<usize> {
+    let post = ProbAssignment::new(sys, Assignment::post());
+    let memoized = Model::new(&post); // memo on by default
+    let plain = Model::with_knows_memo(&post, false);
+    assert!(memoized.knows_memo_enabled());
+    assert!(!plain.knows_memo_enabled());
+    let mut sizes = Vec::with_capacity(formulas.len());
+    for f in formulas {
+        let with_memo = memoized.sat(f).expect("model checks");
+        let without = plain.sat(f).expect("model checks");
+        assert_eq!(
+            *with_memo, *without,
+            "memo changed the satisfaction set of {f}"
+        );
+        sizes.push(with_memo.len());
+    }
+    sizes
+}
+
+/// Pinned satisfaction-set sizes on the three paper walkthrough
+/// systems. The formula families deliberately repeat `(agent, body)`
+/// pairs — `K_i φ` alone and again inside `C_G φ` — so the memoized
+/// pass actually hits the cache (asserted via `knows_memo_len`).
+#[test]
+fn walkthrough_sizes_are_memo_invariant() {
+    let p1 = AgentId(0);
+    let p3 = AgentId(2);
+    let group = [AgentId(0), AgentId(1)];
+
+    let coin = secret_coin().expect("builds");
+    let coin_formulas = [
+        Formula::prop("c=h").known_by(p3),
+        Formula::prop("c=h").known_by(p3).common(group),
+        Formula::prop("c=h").k_alpha(p1, rat!(1 / 2)),
+        Formula::prop("c=h").common_alpha(group, rat!(1 / 2)),
+    ];
+    assert_eq!(
+        sizes_memo_vs_fresh(&coin, &coin_formulas),
+        [1, 0, 2, 2],
+        "secret coin sizes drifted"
+    );
+
+    let p2 = AgentId(1);
+    let tosses = async_coin_tosses(4).expect("builds");
+    let tosses_formulas = [
+        Formula::prop("recent=h").eventually(),
+        Formula::prop("recent=h").known_by(p2),
+        Formula::prop("recent=h").k_alpha(p2, rat!(1 / 2)),
+        Formula::prop("recent=h").k_alpha(p2, rat!(1 / 2)).common([p2]),
+    ];
+    assert_eq!(
+        sizes_memo_vs_fresh(&tosses, &tosses_formulas),
+        [64, 0, 64, 64],
+        "async tosses sizes drifted"
+    );
+
+    let attack = ca1(3, Rat::new(1, 2)).expect("builds");
+    let attack_formulas = [
+        Formula::prop("coordinated").eventually().known_by(p1),
+        Formula::prop("coordinated").eventually().common(group),
+        Formula::prop("coordinated")
+            .eventually()
+            .k_alpha(p1, rat!(1 / 2)),
+    ];
+    assert_eq!(
+        sizes_memo_vs_fresh(&attack, &attack_formulas),
+        [10, 0, 28],
+        "coordinated attack sizes drifted"
+    );
+
+    // The memoized models must actually have cached fixpoints — the
+    // families above repeat `(agent, body)` pairs by construction.
+    let post = ProbAssignment::new(&coin, Assignment::post());
+    let model = Model::new(&post);
+    for f in &coin_formulas {
+        model.sat(f).expect("model checks");
+    }
+    assert!(
+        model.knows_memo_len() > 0,
+        "walkthrough family never hit the knows-set memo"
+    );
+}
+
+/// Property: interleaving formulas that share knowledge subterms on one
+/// memoized model gives exactly the answers of fresh memo-free models.
+/// The interleave order is adversarial for a buggy memo: `C_G φ` first
+/// (seeding the memo from mid-fixpoint sweeps), then the bare `K_i φ`
+/// it contains, then the reverse pairing.
+#[test]
+fn interleaved_shared_subterms_match_fresh() {
+    cases("memo_interleaving", |rng| {
+        let spec = arb_sync_spec(rng);
+        let sys = build(&spec);
+        let props = prop_names(&spec);
+        let phi = Formula::prop(&props[rng.index(props.len())]);
+        let agents: Vec<AgentId> = (0..spec.agents).map(AgentId).collect();
+        let i = agents[rng.index(agents.len())];
+        let queries = [
+            phi.clone().common(agents.iter().copied()),
+            phi.clone().known_by(i),
+            phi.clone().known_by(i).common(agents.iter().copied()),
+            phi.clone().k_alpha(i, rat!(1 / 2)),
+            phi.clone().not().known_by(i).not(),
+        ];
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        let memoized = Model::new(&post);
+        for f in &queries {
+            let shared = memoized.sat(f).expect("model checks");
+            let fresh_model = Model::with_knows_memo(&post, false);
+            let fresh = fresh_model.sat(f).expect("model checks");
+            assert_eq!(
+                *shared, *fresh,
+                "memoized model disagrees with a fresh one on {f}"
+            );
+        }
+        // And the memo entry for (i, sat φ) matches a fresh fixpoint.
+        let sat_phi = memoized.sat(&phi).expect("model checks");
+        assert_eq!(
+            memoized.knows_set(i, &sat_phi),
+            memoized.knows_set_fresh(i, &sat_phi),
+            "memoized knows_set diverged from knows_set_fresh"
+        );
+    });
+}
