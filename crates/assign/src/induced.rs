@@ -9,6 +9,7 @@
 //! implementation checks REQ1/REQ2 dynamically and reports violations as
 //! [`AssignError`]s.
 
+use crate::dense::DensePointSpace;
 use crate::error::AssignError;
 use crate::sample::Assignment;
 use kpa_measure::{BlockSpace, MemberSet, Rat};
@@ -20,14 +21,15 @@ use std::sync::{Arc, Mutex};
 /// agent at a point: a [`BlockSpace`] over points whose blocks are runs.
 pub type PointSpace = BlockSpace<PointId>;
 
-/// Cache from (agent, sample bitset) to the induced space. [`PointSet`]
+/// Cache from (agent, sample bitset) to the induced space — wrapped in
+/// its precomputed dense measure kernel. [`PointSet`]
 /// hashes its words directly, so the key costs one word sweep. Guarded
 /// by [`Mutex`]es (not `RefCell`) so a `ProbAssignment` can be shared by
 /// reference across the workers of a `kpa-pool` parallel sweep; locks
 /// are held only for the lookup/insert, never while a space is built,
 /// so concurrent builders of the same key simply race to insert
 /// structurally identical spaces — results are unaffected.
-type SpaceCache = HashMap<(AgentId, PointSet), Arc<PointSpace>>;
+type SpaceCache = HashMap<(AgentId, PointSet), Arc<DensePointSpace>>;
 
 /// The cache is split into shards selected by a cheap pre-hash of the
 /// sample. `HashMap` hashes the full word vector of the key *inside*
@@ -101,13 +103,17 @@ impl<'s> ProbAssignment<'s> {
         self.assignment.sample(self.sys, agent, c)
     }
 
-    /// The induced probability space `(S_ic, X_ic, μ_ic)`.
+    /// The induced probability space `(S_ic, X_ic, μ_ic)`, wrapped in
+    /// its precomputed [`DensePointSpace`] word-mask kernel. The result
+    /// derefs to the generic [`PointSpace`], so callers that only need
+    /// the sample or expectations are unaffected; measure queries
+    /// against `PointSet`s dispatch to the dense path.
     ///
     /// # Errors
     ///
     /// [`AssignError::Req2Violated`] if the sample is empty;
     /// [`AssignError::Req1Violated`] if it spans several trees.
-    pub fn space(&self, agent: AgentId, c: PointId) -> Result<Arc<PointSpace>, AssignError> {
+    pub fn space(&self, agent: AgentId, c: PointId) -> Result<Arc<DensePointSpace>, AssignError> {
         let sample = self.sample(agent, c);
         let Some(first) = sample.first() else {
             return Err(AssignError::Req2Violated { agent, point: c });
@@ -122,8 +128,10 @@ impl<'s> ProbAssignment<'s> {
         // Built outside the lock: concurrent sweeps may construct the
         // same space twice, but the entries are structurally equal, so
         // whichever insert wins the results are identical.
+        let universe = Arc::clone(sample.universe());
         let pairs = sample.iter().map(|p| (p, p.run_id()));
-        let space = Arc::new(BlockSpace::new(pairs, |run| self.sys.run_prob(*run))?);
+        let space = BlockSpace::new(pairs, |run| self.sys.run_prob(*run))?;
+        let space = Arc::new(DensePointSpace::new(space, universe));
         Ok(Arc::clone(
             lock(shard).entry((agent, sample)).or_insert(space),
         ))
@@ -197,6 +205,12 @@ impl<'s> ProbAssignment<'s> {
     /// `α ≤ lo` and `β ≥ hi` of this interval (Section 6's discussion
     /// around Theorem 9).
     ///
+    /// Repeated spaces are deduplicated: for a uniform assignment every
+    /// point of a class shares one cached space (by [`Arc`] identity),
+    /// so each distinct space contributes its fused interval exactly
+    /// once — the min/max fold is order- and multiplicity-insensitive,
+    /// so the result is unchanged.
+    ///
     /// # Errors
     ///
     /// As [`ProbAssignment::space`].
@@ -208,8 +222,15 @@ impl<'s> ProbAssignment<'s> {
     ) -> Result<(Rat, Rat), AssignError> {
         let mut lo = Rat::ONE;
         let mut hi = Rat::ZERO;
+        let mut seen: Vec<*const DensePointSpace> = Vec::new();
         for d in self.sys.indistinguishable(agent, c) {
-            let (l, h) = self.interval(agent, d, set)?;
+            let space = self.space(agent, d)?;
+            let ptr = Arc::as_ptr(&space);
+            if seen.contains(&ptr) {
+                continue;
+            }
+            seen.push(ptr);
+            let (l, h) = space.measure_interval(set);
             lo = lo.min(l);
             hi = hi.max(h);
         }

@@ -46,11 +46,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dense;
 mod error;
 mod induced;
 pub mod lattice;
 mod sample;
 
+pub use dense::DensePointSpace;
 pub use error::AssignError;
 pub use induced::{PointSpace, ProbAssignment};
 pub use sample::{Assignment, SampleFn};

@@ -24,17 +24,13 @@
 
 use crate::cut::Cut;
 use crate::error::AsyncError;
+use kpa_assign::DensePointSpace;
 use kpa_logic::PointSet;
-use kpa_measure::Rat;
+use kpa_measure::{BlockSpace, Rat};
 use kpa_pool::Pool;
 use kpa_system::{NodeId, PointId, RunId, System};
 use std::collections::{BTreeMap, BTreeSet};
-
-/// Minimum runs per chunk before the per-run greedy bound sweep fans
-/// out onto the [`kpa_pool`] pool. `Rat` sums are exact, so per-chunk
-/// partial sums recombined in chunk order are bit-identical to the
-/// serial left-to-right sum.
-const RUN_MIN_CHUNK: usize = 32;
+use std::sync::Arc;
 
 /// Minimum window starts per chunk for the partial-synchrony sweep.
 const START_MIN_CHUNK: usize = 2;
@@ -73,6 +69,16 @@ fn by_run(region: &PointSet) -> BTreeMap<RunId, Vec<PointId>> {
 
 fn total_weight(sys: &System, runs: &BTreeMap<RunId, Vec<PointId>>) -> Rat {
     runs.keys().map(|&r| sys.run_prob(r)).sum()
+}
+
+/// The run-blocked probability space of a region (blocks = runs,
+/// weighted by run probability), with the dense word-mask kernel
+/// attached so interval queries take the fused single-pass path.
+fn region_space(sys: &System, region: &PointSet) -> Result<DensePointSpace, AsyncError> {
+    let space = BlockSpace::new(region.iter().map(|p| (p, p.run_id())), |run| {
+        sys.run_prob(*run)
+    })?;
+    Ok(DensePointSpace::new(space, Arc::clone(sys.point_index())))
 }
 
 impl CutClass {
@@ -117,33 +123,16 @@ impl CutClass {
         let total = total_weight(sys, &runs);
         match self {
             CutClass::AllPoints => {
-                // Per-run greedy (the Proposition 10 construction). The
-                // per-run contributions are independent exact `Rat`
-                // additions, so run-list chunks sweep in parallel and
-                // their partial sums recombine in chunk order.
-                let run_list: Vec<(&RunId, &Vec<PointId>)> = runs.iter().collect();
-                let partials =
-                    Pool::current().par_map_chunks(run_list.len(), RUN_MIN_CHUNK, |range| {
-                        let mut lo = Rat::ZERO;
-                        let mut hi = Rat::ZERO;
-                        for &(&r, pts) in &run_list[range] {
-                            let w = sys.run_prob(r);
-                            if pts.iter().all(|p| phi.contains(p)) {
-                                lo += w;
-                            }
-                            if pts.iter().any(|p| phi.contains(p)) {
-                                hi += w;
-                            }
-                        }
-                        (lo, hi)
-                    });
-                let mut lo = Rat::ZERO;
-                let mut hi = Rat::ZERO;
-                for (l, h) in partials {
-                    lo += l;
-                    hi += h;
-                }
-                Ok((lo / total, hi / total))
+                // The Proposition 10 construction — per run, pick the
+                // worst (resp. best) stopping point — is exactly the
+                // inner/outer interval of the region's run-blocked
+                // probability space: a run contributes to the infimum
+                // iff *all* its region points satisfy `phi` and to the
+                // supremum iff *any* does. Reuse the fused single-pass
+                // `measure_interval` on the dense word-mask kernel
+                // instead of re-deriving the greedy sweep here.
+                let space = region_space(sys, region)?;
+                Ok(space.measure_interval(phi))
             }
             CutClass::Horizontal => CutClass::Window(0).bounds(sys, region, phi),
             CutClass::Window(width) => {

@@ -10,11 +10,12 @@
 //! the `Partial` cut class.)
 
 use crate::error::AsyncError;
-use kpa_assign::PointSpace;
+use kpa_assign::DensePointSpace;
 use kpa_logic::PointSet;
 use kpa_measure::{BlockSpace, Rat};
 use kpa_system::{PointId, RunId, System};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A cut: at most one point per run. A *full* cut of a region touches
 /// every run through the region.
@@ -93,14 +94,19 @@ impl Cut {
     /// measurable — this is how a type-3 adversary dissolves the
     /// nonmeasurability of asynchronous facts.
     ///
+    /// The space is returned with its dense word-mask kernel attached
+    /// (see [`DensePointSpace`]), so measuring [`PointSet`] facts runs
+    /// on the fused word-wise path; it derefs to the generic
+    /// [`PointSpace`](kpa_assign::PointSpace) for everything else.
+    ///
     /// # Errors
     ///
     /// Propagates space-construction failures.
-    pub fn space(&self, sys: &System) -> Result<PointSpace, AsyncError> {
-        Ok(BlockSpace::new(
-            self.points().map(|p| (p, p.run_id())),
-            |run| sys.run_prob(*run),
-        )?)
+    pub fn space(&self, sys: &System) -> Result<DensePointSpace, AsyncError> {
+        let space = BlockSpace::new(self.points().map(|p| (p, p.run_id())), |run| {
+            sys.run_prob(*run)
+        })?;
+        Ok(DensePointSpace::new(space, Arc::clone(sys.point_index())))
     }
 
     /// The probability of the fact `phi` under this cut.

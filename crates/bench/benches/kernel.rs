@@ -14,7 +14,15 @@
 //! bit-identical, and the 4-thread pass is required to be ≥ 1.5×
 //! faster.
 //!
-//! Run with `cargo bench -p kpa-bench --bench kernel`.
+//! A third timed section pins the dense *measure* kernel: the fused
+//! word-masked `measure_interval` of `DensePointSpace` against the
+//! generic element-at-a-time scan of the same spaces (required ≥ 2×
+//! faster single-threaded), and the `Pr_i ≥ α` sweep with the
+//! per-class memo off vs on.
+//!
+//! Run with `cargo bench -p kpa-bench --bench kernel`. Set
+//! `KPA_BENCH_JSON=BENCH_3.json` (or use `scripts/bench.sh`) to emit
+//! the rows as machine-readable JSON.
 
 use kpa_assign::{Assignment, ProbAssignment};
 use kpa_logic::{Formula, Model};
@@ -118,6 +126,7 @@ fn check_identical(sys: &System, f: &Formula) {
 
 fn main() {
     let reps = kpa_bench::default_reps();
+    let mut rows: Vec<(String, std::time::Duration)> = Vec::new();
 
     // Identity on the paper walkthrough systems: the introduction's
     // secret coin, the Section 7 asynchronous tosses, and the Section 4
@@ -170,6 +179,8 @@ fn main() {
     let slow = kpa_bench::bench_time(&format!("kernel_sat/btreeset/{n_points}"), reps, || {
         reference_sat(&sys, &post, &f).len()
     });
+    rows.push((format!("kernel_sat/bitset/{n_points}"), fast));
+    rows.push((format!("kernel_sat/btreeset/{n_points}"), slow));
 
     // Outputs identical on the large system too.
     check_identical(&sys, &f);
@@ -205,6 +216,8 @@ fn main() {
             Model::new(&fresh).sat(&g).expect("model checks").len()
         })
     });
+    rows.push((format!("kernel_par_sat/threads=1/{n_points}"), t1));
+    rows.push((format!("kernel_par_sat/threads=4/{n_points}"), t4));
     let parallel_set = kpa_pool::with_threads(4, || {
         Model::new(&fut).sat(&g).expect("model checks")
     });
@@ -229,5 +242,151 @@ fn main() {
             par_speedup >= 0.5,
             "pool overhead at 4 workers on {cores} core(s) must stay bounded (got {par_speedup:.2}×)"
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Measure kernel: word-masked block traces + common-denominator
+    // accumulation (the dense `measure_interval` path) vs the generic
+    // element-at-a-time scan, on the clockless agent's post spaces
+    // (1024 runs × 11 times). Single-threaded by construction — each
+    // query is one serial pass over the space.
+    // ------------------------------------------------------------------
+    let phi_set = sys.points_satisfying(sys.prop_id("recent=h").expect("prop"));
+    let c0_set = sys.points_satisfying(sys.prop_id("c0=h").expect("prop"));
+    // The distinct sample spaces the clockless agent sees under P^post.
+    let mut spaces = Vec::new();
+    for c in sys.points() {
+        let s = post.space(p1, c).expect("space builds");
+        if !spaces.iter().any(|d| std::sync::Arc::ptr_eq(d, &s)) {
+            assert!(s.has_kernel(), "dense kernel must build for paper systems");
+            spaces.push(s);
+        }
+    }
+    let queries = [
+        phi_set.clone(),
+        phi_set.complement(),
+        c0_set.clone(),
+        c0_set.union(&phi_set),
+        sys.full_points(),
+    ];
+    // Both paths agree query-for-query (the differential suite sweeps
+    // this broadly; re-asserted here so the timed rows do equal work).
+    for s in &spaces {
+        for q in &queries {
+            assert_eq!(
+                s.measure_interval(q),
+                s.generic().measure_interval(q),
+                "dense and generic intervals must be bit-identical"
+            );
+        }
+    }
+    let n_spaces = spaces.len();
+    let dense_t = kpa_bench::bench_time(
+        &format!("measure_interval/dense/{n_spaces}x{n_points}"),
+        reps,
+        || {
+            let mut acc = Rat::ZERO;
+            for s in &spaces {
+                for q in &queries {
+                    let (lo, hi) = s.measure_interval(q);
+                    acc += lo;
+                    acc += hi;
+                }
+            }
+            acc
+        },
+    );
+    let generic_t = kpa_bench::bench_time(
+        &format!("measure_interval/generic/{n_spaces}x{n_points}"),
+        reps,
+        || {
+            let mut acc = Rat::ZERO;
+            for s in &spaces {
+                for q in &queries {
+                    let (lo, hi) = s.generic().measure_interval(q);
+                    acc += lo;
+                    acc += hi;
+                }
+            }
+            acc
+        },
+    );
+    rows.push((format!("measure_interval/dense/{n_spaces}x{n_points}"), dense_t));
+    rows.push((
+        format!("measure_interval/generic/{n_spaces}x{n_points}"),
+        generic_t,
+    ));
+    let measure_speedup = generic_t.as_secs_f64() / dense_t.as_secs_f64();
+    println!("\nmeasure kernel speedup: {measure_speedup:.1}× (dense vs generic, single thread)");
+    assert!(
+        measure_speedup >= 2.0,
+        "dense measure kernel must be ≥ 2× faster than the generic scan (got {measure_speedup:.2}×)"
+    );
+
+    // ------------------------------------------------------------------
+    // Per-class Pr memo: the Pr_i ≥ α sweep across a family of α
+    // thresholds sharing (space, sat-set) pairs, memo off vs on.
+    // ------------------------------------------------------------------
+    let alphas = [rat!(1 / 4), rat!(1 / 2), rat!(3 / 4), Rat::ONE];
+    let family: Vec<Formula> = alphas
+        .iter()
+        .map(|&a| Formula::prop("recent=h").pr_ge(p1, a))
+        .collect();
+    let run_family = |pr_memo: bool| -> Vec<usize> {
+        // Fresh model per pass (no formula cache); the shared `post`
+        // keeps the space cache warm for both rows.
+        let model = Model::with_memos(&post, true, pr_memo);
+        family
+            .iter()
+            .map(|f| model.sat(f).expect("model checks").len())
+            .collect()
+    };
+    assert_eq!(
+        run_family(false),
+        run_family(true),
+        "Pr memo must be observationally invisible"
+    );
+    let memo_off = kpa_bench::bench_time(
+        &format!("pr_ge_family/memo_off/{n_points}"),
+        reps,
+        || run_family(false),
+    );
+    let memo_on = kpa_bench::bench_time(&format!("pr_ge_family/memo_on/{n_points}"), reps, || {
+        run_family(true)
+    });
+    rows.push((format!("pr_ge_family/memo_off/{n_points}"), memo_off));
+    rows.push((format!("pr_ge_family/memo_on/{n_points}"), memo_on));
+    let memo_speedup = memo_off.as_secs_f64() / memo_on.as_secs_f64();
+    println!("\nPr memo speedup: {memo_speedup:.2}× across {} thresholds", alphas.len());
+    assert!(
+        memo_speedup >= 0.9,
+        "the Pr memo must not regress the threshold sweep (got {memo_speedup:.2}×)"
+    );
+
+    // ------------------------------------------------------------------
+    // Machine-readable rows (BENCH_3.json) when KPA_BENCH_JSON is set —
+    // see scripts/bench.sh.
+    // ------------------------------------------------------------------
+    if let Ok(path) = std::env::var("KPA_BENCH_JSON") {
+        let mut out = String::from("{\n  \"bench\": \"kernel\",\n");
+        out.push_str(&format!("  \"points\": {n_points},\n  \"reps\": {reps},\n"));
+        out.push_str("  \"rows\": [\n");
+        for (i, (label, d)) in rows.iter().enumerate() {
+            let comma = if i + 1 == rows.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"label\": \"{label}\", \"seconds\": {}}}{comma}\n",
+                d.as_secs_f64()
+            ));
+        }
+        out.push_str("  ],\n  \"speedups\": {\n");
+        out.push_str(&format!("    \"sat_bitset_vs_btreeset\": {speedup},\n"));
+        out.push_str(&format!("    \"par_sat_threads4_vs_1\": {par_speedup},\n"));
+        out.push_str(&format!(
+            "    \"measure_dense_vs_generic\": {measure_speedup},\n"
+        ));
+        out.push_str(&format!("    \"pr_ge_memo_on_vs_off\": {memo_speedup}\n"));
+        out.push_str("  }\n}\n");
+        std::fs::write(&path, &out).unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+        println!("\nwrote {path}");
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::error::BettingError;
 use crate::strategy::Strategy;
-use kpa_assign::PointSpace;
+use kpa_assign::{DensePointSpace, PointSpace};
 use kpa_logic::PointSet;
 use kpa_measure::Rat;
 use kpa_system::{AgentId, PointId, System};
@@ -132,7 +132,7 @@ pub fn expected_winnings(
 /// Returns [`BettingError::NonConstantOffer`] if the offer varies over
 /// the space.
 pub fn inner_expected_winnings(
-    space: &PointSpace,
+    space: &DensePointSpace,
     sys: &System,
     opponent: AgentId,
     rule: &BetRule,
@@ -150,7 +150,14 @@ pub fn inner_expected_winnings(
         return Ok(Rat::ZERO);
     }
     let beta = first.expect("accepted offer exists");
-    Ok(space.inner_expectation(rule.phi(), beta - Rat::ONE, -Rat::ONE))
+    // One fused interval query (word-wise on the dense path) supplies
+    // both μ⁎(φ) and μ*(φ); the Appendix B.2 inner expectation picks
+    // the bound matching the value ordering, exactly as
+    // `BlockSpace::inner_expectation` does internally.
+    let (lo, hi) = space.measure_interval(rule.phi());
+    let (on, off) = (beta - Rat::ONE, -Rat::ONE);
+    let p_on = if on >= off { lo } else { hi };
+    Ok(on * p_on + off * (Rat::ONE - p_on))
 }
 
 /// Tight `(lower, upper)` bounds on the expected winnings over *all*

@@ -68,12 +68,26 @@ pub struct Model<'a, 's> {
     /// subset scan. `None` disables memoization (for differential
     /// testing against fresh fixpoints).
     knows_memo: Option<Mutex<KnowsMemo>>,
+    /// Cross-chunk, cross-formula memo for `pr_ge_set`: keyed by
+    /// (space identity, sat-set fingerprint), valued by the *inner
+    /// measure* — so every `Prᵢ ≥ α` threshold over the same
+    /// (space, set) pair shares one measure query, across parallel
+    /// chunks and across formulas. `None` disables it (differential
+    /// testing).
+    pr_memo: Option<Mutex<PrMemo>>,
 }
 
 /// `(agent, input set) → Kᵢ(set)`. [`PointSet`] hashes its words
 /// directly, so a lookup costs one word sweep — far cheaper than the
 /// per-class subset scan it saves.
 type KnowsMemo = HashMap<(AgentId, PointSet), Arc<PointSet>>;
+
+/// `(space identity, sat set) → (μ_ic)⁎(sat)`. The space key is the
+/// cache `Arc`'s address: the assignment's space cache never evicts, so
+/// for the life of the `Model`'s borrow of the assignment each address
+/// names one space. The sat set is the full bitset fingerprint, so
+/// equal-address spaces queried with different formulas never collide.
+type PrMemo = HashMap<(usize, PointSet), Rat>;
 
 /// Minimum local classes per chunk before `knows_set` fans out.
 const KNOWS_MIN_CHUNK: usize = 8;
@@ -83,23 +97,37 @@ const PR_MIN_CHUNK: usize = 64;
 
 impl<'a, 's> Model<'a, 's> {
     /// Builds a model checker over the given probability assignment,
-    /// with the cross-formula `knows_set` memo enabled.
+    /// with the cross-formula `knows_set` and per-class `Pr` memos
+    /// enabled.
     #[must_use]
     pub fn new(pa: &'a ProbAssignment<'s>) -> Model<'a, 's> {
-        Model::with_knows_memo(pa, true)
+        Model::with_memos(pa, true, true)
     }
 
     /// Builds a model checker with the `knows_set` memo explicitly on
-    /// or off. Satisfaction sets are identical either way — the knob
-    /// exists so tests can prove exactly that.
+    /// or off (the per-class `Pr` memo stays on). Satisfaction sets are
+    /// identical either way — the knob exists so tests can prove
+    /// exactly that.
     #[must_use]
     pub fn with_knows_memo(pa: &'a ProbAssignment<'s>, memo: bool) -> Model<'a, 's> {
+        Model::with_memos(pa, memo, true)
+    }
+
+    /// Builds a model checker with each memo explicitly on or off:
+    /// `knows` gates the cross-formula `knows_set` memo, `pr` the
+    /// per-class inner-measure memo behind `pr_ge_set`. All four
+    /// combinations produce bit-identical satisfaction sets (pinned by
+    /// `tests/memo_consistency.rs` and the measure-kernel differential
+    /// suite); the knobs exist for differential testing and benches.
+    #[must_use]
+    pub fn with_memos(pa: &'a ProbAssignment<'s>, knows: bool, pr: bool) -> Model<'a, 's> {
         let all = Arc::new(pa.system().full_points());
         Model {
             pa,
             all,
             cache: Mutex::new(HashMap::new()),
-            knows_memo: memo.then(|| Mutex::new(KnowsMemo::new())),
+            knows_memo: knows.then(|| Mutex::new(KnowsMemo::new())),
+            pr_memo: pr.then(|| Mutex::new(PrMemo::new())),
         }
     }
 
@@ -113,6 +141,18 @@ impl<'a, 's> Model<'a, 's> {
     #[must_use]
     pub fn knows_memo_len(&self) -> usize {
         self.knows_memo.as_ref().map_or(0, |m| lock(m).len())
+    }
+
+    /// Whether the per-class `Pr` inner-measure memo is enabled.
+    #[must_use]
+    pub fn pr_memo_enabled(&self) -> bool {
+        self.pr_memo.is_some()
+    }
+
+    /// How many `(space, sat set)` entries the `Pr` memo holds.
+    #[must_use]
+    pub fn pr_memo_len(&self) -> usize {
+        self.pr_memo.as_ref().map_or(0, |m| lock(m).len())
     }
 
     /// The probability assignment being checked against.
@@ -318,6 +358,17 @@ impl<'a, 's> Model<'a, 's> {
     /// `Prᵢ(S) ≥ α` as a set: the points `c` where the inner measure of
     /// `S` in agent `i`'s space at `c` is at least `α`.
     ///
+    /// Uniform assignments repeat one space across each whole
+    /// indistinguishability class; the measure query runs *once per
+    /// distinct space*, not once per point: a chunk-local verdict memo
+    /// short-circuits repeats within a chunk, and the model-level
+    /// [`Model::pr_memo_enabled`] memo — keyed by (space identity,
+    /// sat-set fingerprint) and valued by the inner measure — shares
+    /// the query across chunks, thresholds α, and formulas. Both memos
+    /// cache pure functions of their keys, so partials stay
+    /// bit-identical to the serial, memo-free sweep, and unions combine
+    /// in chunk (= ascending point) order.
+    ///
     /// # Errors
     ///
     /// Propagates space-construction failures.
@@ -329,23 +380,18 @@ impl<'a, 's> Model<'a, 's> {
     ) -> Result<PointSet, LogicError> {
         let sys = self.pa.system();
         let points: Vec<PointId> = sys.points().collect();
-        // Each chunk keeps a *local* per-space verdict memo (uniform
-        // assignments repeat spaces across whole indistinguishability
-        // classes). Two chunks may evaluate the same space once each;
-        // the verdict is a pure function of the space, so partials stay
-        // bit-identical to the serial sweep, and unions combine in
-        // chunk (= ascending point) order.
         let partials =
             Pool::current().par_map_chunks(points.len(), PR_MIN_CHUNK, |range| {
                 let mut acc = sys.empty_points();
-                let mut by_space: HashMap<*const kpa_assign::PointSpace, bool> = HashMap::new();
+                let mut by_space: HashMap<*const kpa_assign::DensePointSpace, bool> =
+                    HashMap::new();
                 for &c in &points[range] {
                     let space = self.pa.space(agent, c)?;
                     let key = Arc::as_ptr(&space);
                     let ok = match by_space.get(&key) {
                         Some(&ok) => ok,
                         None => {
-                            let ok = space.inner_measure(sat) >= alpha;
+                            let ok = self.inner_of(&space, sat) >= alpha;
                             by_space.insert(key, ok);
                             ok
                         }
@@ -361,6 +407,26 @@ impl<'a, 's> Model<'a, 's> {
             acc.union_with(&partial?);
         }
         Ok(acc)
+    }
+
+    /// The inner measure of `sat` in `space`, through the per-class
+    /// memo when enabled. The memo key pairs the space cache `Arc`'s
+    /// address (stable for the life of this model's assignment borrow —
+    /// the space cache never evicts) with the sat-set fingerprint.
+    /// Concurrent chunks may compute the same measure once each before
+    /// one insert wins; the value is a pure function of the key, so
+    /// results are unaffected.
+    fn inner_of(&self, space: &Arc<kpa_assign::DensePointSpace>, sat: &PointSet) -> Rat {
+        let Some(memo) = &self.pr_memo else {
+            return space.inner_measure(sat);
+        };
+        let key = (Arc::as_ptr(space) as usize, sat.clone());
+        if let Some(&hit) = lock(memo).get(&key) {
+            return hit;
+        }
+        // Measured outside the lock.
+        let fresh = space.inner_measure(sat);
+        *lock(memo).entry(key).or_insert(fresh)
     }
 
     /// Greatest fixed point of a monotone set operator, starting from

@@ -1,0 +1,406 @@
+//! The dense measure kernel: word-masked block traces with
+//! common-denominator integer accumulation.
+//!
+//! A [`crate::BlockSpace`] answers every measure query by walking its
+//! sample element-by-element through the [`crate::MemberSet`] vtable.
+//! When both the *sample* and the *queried set* live in one dense bit
+//! layout (the `PointSet` of `kpa-system`, exposed through
+//! [`crate::MemberSet::member_words`]), each block trace can instead be
+//! precomputed once as a word mask, and the per-query block scan
+//! collapses to word-wise tests:
+//!
+//! * block `b` is **inside** `set` iff `trace_b & set == trace_b`
+//!   (subset test, one AND + compare per word);
+//! * block `b` is **touched** by `set` iff `trace_b & set != 0`.
+//!
+//! Weights are likewise precomputed: every block weight `w_b = n_b / D`
+//! is expressed over one common denominator `D` (the lcm of the block
+//! weight denominators), so a measure accumulates plain `u128`
+//! numerators and converts to an exact [`Rat`] **once** at the end.
+//!
+//! # Bit-equality with the generic path
+//!
+//! [`Rat`] arithmetic is exact and canonical forms are unique, so any
+//! two computations of the same rational yield the same bits. The
+//! generic path computes `(Σ_{b inside} n_b/D) / (Σ_b n_b/D)`; the
+//! kernel computes `Rat::new(Σ_{b inside} n_b, Σ_b n_b)`. These are the
+//! same rational number (the `D`s cancel), hence the same canonical
+//! `Rat` — the differential suite pins this across the random-system
+//! sweep.
+//!
+//! Construction returns `None` (callers fall back to the generic scan)
+//! if the element→bit mapping is not injective or the common-denominator
+//! table would overflow `i128` range.
+
+use crate::rat::gcd_u128;
+use crate::{BlockSpace, MeasureError, Rat};
+
+/// A precomputed word-mask kernel for one [`BlockSpace`].
+///
+/// Holds one trace mask per block over the word span covering the
+/// sample, plus the common-denominator weight table. All queries take
+/// the queried set's raw words (from
+/// [`crate::MemberSet::member_words`]) and never touch the element
+/// vtable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseKernel {
+    /// Index of the first word of the span in the global word layout.
+    first_word: usize,
+    /// Width of the span in words.
+    span_words: usize,
+    /// Flattened block traces: block `b` owns
+    /// `traces[b·span_words .. (b+1)·span_words]`.
+    traces: Vec<u64>,
+    /// Per-block nonzero word sub-range `[lo, hi)` within the span:
+    /// scans touch only the words a block actually occupies, so a query
+    /// costs `O(Σ_b footprint_b)` words, not `O(blocks × span)`.
+    block_span: Vec<(u32, u32)>,
+    /// Union of all traces (the sample), over the span.
+    sample: Vec<u64>,
+    /// Block weight numerators over the common denominator.
+    weight_num: Vec<u128>,
+    /// Σ `weight_num` — the normalizer; fits `i128` by construction.
+    total_num: u128,
+}
+
+#[inline]
+fn word_at(words: &[u64], i: usize) -> u64 {
+    words.get(i).copied().unwrap_or(0)
+}
+
+impl DenseKernel {
+    /// Builds the kernel for `space`, mapping each sample element to its
+    /// dense bit index via `bit_of`.
+    ///
+    /// The mapping must agree with the word layout of the sets that will
+    /// be queried (bit `i` of word `i / 64` ⇔ dense index `i`). Returns
+    /// `None` — callers keep the generic path — when:
+    ///
+    /// * `bit_of` returns `None` for some element, or maps two elements
+    ///   to the same bit (a lossy layout would corrupt trace masks), or
+    /// * the common-denominator weight table overflows (`lcm` of the
+    ///   weight denominators, any scaled numerator, or their sum exceeds
+    ///   `i128::MAX`).
+    #[must_use]
+    pub fn from_space<E: Ord + Clone>(
+        space: &BlockSpace<E>,
+        mut bit_of: impl FnMut(&E) -> Option<usize>,
+    ) -> Option<DenseKernel> {
+        let mut bits = Vec::with_capacity(space.elems.len());
+        let mut min_bit = usize::MAX;
+        let mut max_bit = 0usize;
+        for e in &space.elems {
+            let b = bit_of(e)?;
+            min_bit = min_bit.min(b);
+            max_bit = max_bit.max(b);
+            bits.push(b);
+        }
+        debug_assert!(!bits.is_empty(), "constructed spaces are non-empty");
+        let first_word = min_bit / 64;
+        let span_words = max_bit / 64 - first_word + 1;
+
+        let block_count = space.block_weight.len();
+        let mut traces = vec![0u64; block_count * span_words];
+        let mut sample = vec![0u64; span_words];
+        let mut block_span = vec![(u32::MAX, 0u32); block_count];
+        for (i, &bit) in bits.iter().enumerate() {
+            let w = bit / 64 - first_word;
+            let mask = 1u64 << (bit % 64);
+            if sample[w] & mask != 0 {
+                return None; // non-injective layout
+            }
+            sample[w] |= mask;
+            let b = space.block_of[i];
+            traces[b * span_words + w] |= mask;
+            let (lo, hi) = &mut block_span[b];
+            *lo = (*lo).min(w as u32);
+            *hi = (*hi).max(w as u32 + 1);
+        }
+
+        // Common denominator D = lcm of the block weight denominators.
+        let mut denom: u128 = 1;
+        for w in &space.block_weight {
+            let d = w.denom() as u128;
+            let g = gcd_u128(denom, d);
+            denom = denom.checked_mul(d / g)?;
+        }
+        let mut weight_num = Vec::with_capacity(block_count);
+        let mut total_num: u128 = 0;
+        for w in &space.block_weight {
+            // Block weights are strictly positive by construction.
+            let n = (w.numer() as u128).checked_mul(denom / w.denom() as u128)?;
+            total_num = total_num.checked_add(n)?;
+            weight_num.push(n);
+        }
+        if total_num > i128::MAX as u128 {
+            return None;
+        }
+        Some(DenseKernel {
+            first_word,
+            span_words,
+            traces,
+            block_span,
+            sample,
+            weight_num,
+            total_num,
+        })
+    }
+
+    /// The number of blocks the kernel covers.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.weight_num.len()
+    }
+
+    /// The word span `[first_word, first_word + span_words)` the sample
+    /// occupies in the global layout.
+    #[must_use]
+    pub fn word_span(&self) -> (usize, usize) {
+        (self.first_word, self.span_words)
+    }
+
+    /// The nonzero words of block `b`'s trace and the span offset of the
+    /// first: only the words a block actually occupies are scanned.
+    #[inline]
+    fn trace_of(&self, b: usize) -> (usize, &[u64]) {
+        let (lo, hi) = self.block_span[b];
+        let base = b * self.span_words;
+        (lo as usize, &self.traces[base + lo as usize..base + hi as usize])
+    }
+
+    /// Scans block `b` against the set's words: `(inside, touched)`.
+    /// Zero trace words are skipped; the scan exits as soon as both
+    /// answers are determined.
+    #[inline]
+    fn scan(&self, b: usize, words: &[u64]) -> (bool, bool) {
+        let (lo, trace) = self.trace_of(b);
+        let mut inside = true;
+        let mut touched = false;
+        for (k, &t) in trace.iter().enumerate() {
+            if t == 0 {
+                continue;
+            }
+            let hit = t & word_at(words, self.first_word + lo + k);
+            if hit != 0 {
+                touched = true;
+            }
+            if hit != t {
+                inside = false;
+            }
+            if !inside && touched {
+                break;
+            }
+        }
+        (inside, touched)
+    }
+
+    /// Converts an accumulated numerator to the exact probability.
+    #[inline]
+    fn ratio(&self, num: u128) -> Rat {
+        // num ≤ total_num ≤ i128::MAX by construction.
+        Rat::new(num as i128, self.total_num as i128)
+    }
+
+    /// Word-wise [`BlockSpace::measure`]: single fused pass with early
+    /// exit at the first straddling block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeasureError::NonMeasurable`] exactly when the generic
+    /// path would.
+    pub fn measure_words(&self, words: &[u64]) -> Result<Rat, MeasureError> {
+        let mut num: u128 = 0;
+        for b in 0..self.block_count() {
+            let (inside, touched) = self.scan(b, words);
+            if touched && !inside {
+                return Err(MeasureError::NonMeasurable);
+            }
+            if inside {
+                num += self.weight_num[b];
+            }
+        }
+        Ok(self.ratio(num))
+    }
+
+    /// Word-wise [`BlockSpace::inner_measure`].
+    #[must_use]
+    pub fn inner_measure_words(&self, words: &[u64]) -> Rat {
+        let mut num: u128 = 0;
+        for b in 0..self.block_count() {
+            let (lo, trace) = self.trace_of(b);
+            if trace
+                .iter()
+                .enumerate()
+                .all(|(k, &t)| t & word_at(words, self.first_word + lo + k) == t)
+            {
+                num += self.weight_num[b];
+            }
+        }
+        self.ratio(num)
+    }
+
+    /// Word-wise [`BlockSpace::outer_measure`].
+    #[must_use]
+    pub fn outer_measure_words(&self, words: &[u64]) -> Rat {
+        let mut num: u128 = 0;
+        for b in 0..self.block_count() {
+            let (lo, trace) = self.trace_of(b);
+            if trace
+                .iter()
+                .enumerate()
+                .any(|(k, &t)| t & word_at(words, self.first_word + lo + k) != 0)
+            {
+                num += self.weight_num[b];
+            }
+        }
+        self.ratio(num)
+    }
+
+    /// Word-wise fused [`BlockSpace::measure_interval`]: one pass over
+    /// the traces accumulates both bounds.
+    #[must_use]
+    pub fn measure_interval_words(&self, words: &[u64]) -> (Rat, Rat) {
+        let mut lo: u128 = 0;
+        let mut hi: u128 = 0;
+        for b in 0..self.block_count() {
+            let (inside, touched) = self.scan(b, words);
+            if inside {
+                lo += self.weight_num[b];
+            }
+            if touched {
+                hi += self.weight_num[b];
+            }
+        }
+        (self.ratio(lo), self.ratio(hi))
+    }
+
+    /// Word-wise [`BlockSpace::is_measurable`].
+    #[must_use]
+    pub fn is_measurable_words(&self, words: &[u64]) -> bool {
+        (0..self.block_count()).all(|b| {
+            let (inside, touched) = self.scan(b, words);
+            inside == touched
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rat;
+    use std::collections::BTreeSet;
+
+    /// The module-doc two-toss space over dense u32 elements: runs
+    /// hh/ht/th/tt (blocks 0..4), elements 2b (time 1) and 2b+1 (time 2).
+    fn two_toss() -> (BlockSpace<u32>, DenseKernel) {
+        let elems = (0u32..4).flat_map(|b| [2 * b, 2 * b + 1].map(move |e| (e, b)));
+        let space = BlockSpace::new(elems, |_| rat!(1 / 4)).unwrap();
+        let kernel = DenseKernel::from_space(&space, |&e| Some(e as usize)).unwrap();
+        (space, kernel)
+    }
+
+    fn words_of(set: &BTreeSet<u32>) -> Vec<u64> {
+        let mut words = Vec::new();
+        for &e in set {
+            let (w, b) = (e as usize / 64, e as usize % 64);
+            if words.len() <= w {
+                words.resize(w + 1, 0);
+            }
+            words[w] |= 1u64 << b;
+        }
+        words
+    }
+
+    #[test]
+    fn kernel_matches_generic_on_the_two_toss_space() {
+        let (space, kernel) = two_toss();
+        // Every subset of the 8-element sample (and a few out-of-sample
+        // bits via 200..): exhaustive differential check.
+        for mask in 0u32..256 {
+            let set: BTreeSet<u32> = (0..8).filter(|i| mask & (1 << i) != 0).collect();
+            let words = words_of(&set);
+            assert_eq!(kernel.measure_words(&words), space.measure(&set));
+            assert_eq!(kernel.inner_measure_words(&words), space.inner_measure(&set));
+            assert_eq!(kernel.outer_measure_words(&words), space.outer_measure(&set));
+            assert_eq!(
+                kernel.measure_interval_words(&words),
+                space.measure_interval(&set)
+            );
+            assert_eq!(kernel.is_measurable_words(&words), space.is_measurable(&set));
+        }
+    }
+
+    #[test]
+    fn out_of_sample_bits_are_ignored() {
+        let (space, kernel) = two_toss();
+        let set: BTreeSet<u32> = [0, 1, 200].into_iter().collect();
+        let words = words_of(&set);
+        // Bit 200 lies past the span; both paths intersect with the
+        // sample first.
+        assert_eq!(kernel.measure_words(&words), space.measure(&set));
+        assert_eq!(kernel.measure_words(&[]), Ok(Rat::ZERO));
+    }
+
+    #[test]
+    fn heterogeneous_weights_share_a_common_denominator() {
+        let elems = [(0u32, 0u8), (1, 0), (2, 1), (3, 2)];
+        let space = BlockSpace::new(elems, |&b| [rat!(1 / 2), rat!(1 / 3), rat!(1 / 12)][b as usize])
+            .unwrap();
+        let kernel = DenseKernel::from_space(&space, |&e| Some(e as usize)).unwrap();
+        for mask in 0u32..16 {
+            let set: BTreeSet<u32> = (0..4).filter(|i| mask & (1 << i) != 0).collect();
+            let words = words_of(&set);
+            assert_eq!(kernel.measure_words(&words), space.measure(&set));
+            assert_eq!(
+                kernel.measure_interval_words(&words),
+                space.measure_interval(&set)
+            );
+        }
+    }
+
+    #[test]
+    fn construction_rejects_lossy_layouts() {
+        let space = BlockSpace::new([(0u32, 0u8), (1, 0)], |_| Rat::ONE).unwrap();
+        // Both elements map to bit 0.
+        assert!(DenseKernel::from_space(&space, |_| Some(0)).is_none());
+        // Unmappable element.
+        assert!(DenseKernel::from_space(&space, |_| None).is_none());
+    }
+
+    #[test]
+    fn construction_rejects_overflowing_weight_tables() {
+        // Telescoping weights keep every generic partial sum small
+        // (1/a + (a−1)/a reduces to 1 before 1/b joins), so the space
+        // builds fine — but the kernel's common denominator is the full
+        // lcm(a, b) = a·b ≈ 2¹⁸⁰, which overflows u128 and must trip
+        // the fallback.
+        let a = 1i128 << 90;
+        let b = a - 1; // consecutive ⇒ coprime with a
+        let space = BlockSpace::new([(0u32, 0u8), (1, 1), (2, 2)], |&blk| match blk {
+            0 => Rat::new(1, a),
+            1 => Rat::new(a - 1, a),
+            _ => Rat::new(1, b),
+        })
+        .unwrap();
+        assert_eq!(space.total_weight(), Rat::new(b + 1, b));
+        assert!(DenseKernel::from_space(&space, |&e| Some(e as usize)).is_none());
+    }
+
+    #[test]
+    fn span_offset_is_respected() {
+        // Sample far from bit 0: words below the span read as zero.
+        let elems = (1000u32..1008).map(|e| (e, (e - 1000) / 2));
+        let space = BlockSpace::new(elems, |_| rat!(1 / 4)).unwrap();
+        let kernel = DenseKernel::from_space(&space, |&e| Some(e as usize)).unwrap();
+        let (first, span) = kernel.word_span();
+        assert_eq!(first, 1000 / 64);
+        assert!(span >= 1);
+        let set: BTreeSet<u32> = [1000, 1001, 1004].into_iter().collect();
+        let words = words_of(&set);
+        assert_eq!(kernel.measure_words(&words), space.measure(&set));
+        assert_eq!(
+            kernel.measure_interval_words(&words),
+            space.measure_interval(&set)
+        );
+    }
+}

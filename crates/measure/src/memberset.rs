@@ -19,6 +19,20 @@ use std::hash::{BuildHasher, Hash};
 pub trait MemberSet<E> {
     /// Whether `e` belongs to the set.
     fn contains_elem(&self, e: &E) -> bool;
+
+    /// The set's dense word representation, if it has one.
+    ///
+    /// Bit `i` of word `i / 64` must mean "the element with dense index
+    /// `i` is a member", for the *same* dense element indexing the
+    /// querying space was built over. Sets backed by word bitsets (the
+    /// `PointSet` of `kpa-system`) override this so the dense measure
+    /// kernel can answer whole-block questions with word-wise AND/subset
+    /// tests; tree/hash sets keep the `None` default and take the
+    /// generic element-at-a-time path. Trailing zero words may be
+    /// omitted — consumers must treat out-of-range words as zero.
+    fn member_words(&self) -> Option<&[u64]> {
+        None
+    }
 }
 
 impl<E: Ord> MemberSet<E> for BTreeSet<E> {
@@ -36,6 +50,10 @@ impl<E: Hash + Eq, S: BuildHasher> MemberSet<E> for HashSet<E, S> {
 impl<E, M: MemberSet<E> + ?Sized> MemberSet<E> for &M {
     fn contains_elem(&self, e: &E) -> bool {
         (**self).contains_elem(e)
+    }
+
+    fn member_words(&self) -> Option<&[u64]> {
+        (**self).member_words()
     }
 }
 

@@ -49,6 +49,18 @@ fn gcd(mut a: i128, mut b: i128) -> i128 {
     a
 }
 
+/// Greatest common divisor over `u128`, used by [`Rat::new`] so that
+/// `i128::MIN.unsigned_abs()` (which exceeds `i128::MAX`) reduces
+/// correctly instead of wrapping negative when cast back to `i128`.
+pub(crate) fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
 impl Rat {
     /// The rational number zero.
     pub const ZERO: Rat = Rat { num: 0, den: 1 };
@@ -71,17 +83,34 @@ impl Rat {
     #[must_use]
     pub fn new(num: i128, den: i128) -> Rat {
         assert!(den != 0, "rational with zero denominator");
-        let sign = if (num < 0) != (den < 0) && num != 0 {
-            -1
+        let neg = (num < 0) != (den < 0) && num != 0;
+        // Reduce over u128: `i128::MIN.unsigned_abs()` is 2¹²⁷, which a
+        // naive `as i128` round-trip would wrap negative *before* the
+        // gcd, yielding a non-canonical (or sign-flipped) fraction.
+        let (n, d) = (num.unsigned_abs(), den.unsigned_abs());
+        let g = gcd_u128(n, d).max(1);
+        let (n, d) = (n / g, d / g);
+        assert!(
+            d <= i128::MAX as u128,
+            "rational denominator overflow after reduction"
+        );
+        let num = if neg {
+            assert!(
+                n <= i128::MAX as u128 + 1,
+                "rational numerator overflow after reduction"
+            );
+            // 2¹²⁷ wraps to `i128::MIN` under `as`, which is exactly
+            // the negative value we want; smaller magnitudes negate
+            // normally.
+            (n as i128).wrapping_neg()
         } else {
-            1
+            assert!(
+                n <= i128::MAX as u128,
+                "rational numerator overflow after reduction"
+            );
+            n as i128
         };
-        let (num, den) = (num.unsigned_abs(), den.unsigned_abs());
-        let g = gcd(num as i128, den as i128).max(1);
-        Rat {
-            num: sign * (num as i128 / g),
-            den: den as i128 / g,
-        }
+        Rat { num, den: d as i128 }
     }
 
     /// Creates the rational `num / den`, returning `None` if `den == 0`.
@@ -236,8 +265,25 @@ impl Rat {
     }
 
     /// Checked addition, returning `None` on `i128` overflow.
+    ///
+    /// Fast paths skip the cross-denominator gcd when the denominators
+    /// are already equal or one of them is 1 — the two shapes that
+    /// dominate measure-kernel accumulation loops.
     #[must_use]
     pub fn checked_add(self, rhs: Rat) -> Option<Rat> {
+        if self.den == rhs.den {
+            // Common denominator: one canonicalizing gcd, no lcm work.
+            return Some(Rat::new(self.num.checked_add(rhs.num)?, self.den));
+        }
+        if self.den == 1 {
+            // Integer + fraction stays reduced: gcd(a·d + b, d) = gcd(b, d) = 1.
+            let num = self.num.checked_mul(rhs.den)?.checked_add(rhs.num)?;
+            return Some(Rat { num, den: rhs.den });
+        }
+        if rhs.den == 1 {
+            let num = rhs.num.checked_mul(self.den)?.checked_add(self.num)?;
+            return Some(Rat { num, den: self.den });
+        }
         let g = gcd(self.den, rhs.den);
         let lhs_scale = rhs.den / g;
         let rhs_scale = self.den / g;
@@ -247,6 +293,37 @@ impl Rat {
             .checked_add(rhs.num.checked_mul(rhs_scale)?)?;
         let den = self.den.checked_mul(lhs_scale)?;
         Some(Rat::new(num, den))
+    }
+
+    /// Sums integer numerators over the shared denominator `den`,
+    /// canonicalizing once at the end instead of once per addition.
+    ///
+    /// This is the accumulation primitive of the dense measure kernel:
+    /// block weights expressed over a common denominator are summed as
+    /// plain integers and converted to an exact canonical [`Rat`] in a
+    /// single final reduction — bit-identical to folding
+    /// `Rat::new(nᵢ, den)` with `+`, but with one gcd total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0` or the numerator sum overflows `i128`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use kpa_measure::Rat;
+    /// assert_eq!(Rat::sum_with_denom([1, 2, 3], 12), Rat::new(1, 2));
+    /// assert_eq!(Rat::sum_with_denom([], 7), Rat::ZERO);
+    /// ```
+    #[must_use]
+    pub fn sum_with_denom<I: IntoIterator<Item = i128>>(nums: I, den: i128) -> Rat {
+        let mut acc: i128 = 0;
+        for n in nums {
+            acc = acc
+                .checked_add(n)
+                .expect("rational numerator sum overflow");
+        }
+        Rat::new(acc, den)
     }
 
     /// Checked multiplication, returning `None` on `i128` overflow.
@@ -355,8 +432,19 @@ impl DivAssign for Rat {
 }
 
 impl Sum for Rat {
+    /// Folds with `+`, skipping zero terms so runs of zeros (common in
+    /// sparse weight tables) cost no gcd at all; the equal-denominator
+    /// and integer fast paths in [`Rat::checked_add`] handle the rest.
     fn sum<I: Iterator<Item = Rat>>(iter: I) -> Rat {
-        iter.fold(Rat::ZERO, Add::add)
+        iter.fold(Rat::ZERO, |acc, x| {
+            if x.is_zero() {
+                acc
+            } else if acc.is_zero() {
+                x
+            } else {
+                acc + x
+            }
+        })
     }
 }
 
@@ -625,6 +713,63 @@ mod tests {
     #[test]
     fn f64_approximation() {
         assert!((rat!(1 / 3).to_f64() - 0.333_333).abs() < 1e-5);
+    }
+
+    #[test]
+    fn i128_min_numerator_is_canonical() {
+        // Regression: `i128::MIN.unsigned_abs()` is 2¹²⁷; casting it
+        // back `as i128` before the gcd used to wrap negative, breaking
+        // canonical form. The magnitude is even, so any even denominator
+        // reduces it into range.
+        assert_eq!(Rat::new(i128::MIN, 2), Rat::new(i128::MIN / 2, 1));
+        assert_eq!(Rat::new(i128::MIN, 4), Rat::new(i128::MIN / 4, 1));
+        assert_eq!(Rat::new(i128::MIN, i128::MIN), Rat::ONE);
+        assert_eq!(Rat::new(i128::MIN, -2), Rat::new(i128::MIN / -2, 1));
+        // An odd denominator leaves |num| = 2¹²⁷, which still fits as
+        // the negative value i128::MIN exactly.
+        let r = Rat::new(i128::MIN, 3);
+        assert_eq!(r.numer(), i128::MIN);
+        assert_eq!(r.denom(), 3);
+        assert!(r.is_negative());
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator overflow")]
+    fn i128_min_denominator_overflow_panics() {
+        // 1 / 2¹²⁷ has no positive i128 denominator; this used to wrap
+        // silently and now panics with a descriptive message.
+        let _ = Rat::new(1, i128::MIN);
+    }
+
+    #[test]
+    fn add_fast_paths_match_general_path() {
+        let cases = [
+            (Rat::new(1, 6), Rat::new(1, 6)),   // equal denominators
+            (Rat::new(1, 3), Rat::new(2, 3)),   // equal, sum reduces
+            (Rat::new(5, 1), Rat::new(2, 7)),   // integer lhs
+            (Rat::new(3, 8), Rat::new(-2, 1)),  // integer rhs
+            (Rat::new(-1, 6), Rat::new(1, 6)),  // cancel to zero
+            (Rat::new(1, 4), Rat::new(1, 6)),   // general lcm path
+        ];
+        for (a, b) in cases {
+            // Reference: brute-force cross-multiplication.
+            let want = Rat::new(
+                a.numer() * b.denom() + b.numer() * a.denom(),
+                a.denom() * b.denom(),
+            );
+            assert_eq!(a + b, want, "{a} + {b}");
+            assert_eq!(b + a, want, "{b} + {a}");
+        }
+    }
+
+    #[test]
+    fn sum_with_denom_matches_folded_sum() {
+        let nums = [3i128, 0, -1, 5, 12, 0, 7];
+        let den = 24i128;
+        let folded: Rat = nums.iter().map(|&n| Rat::new(n, den)).sum();
+        assert_eq!(Rat::sum_with_denom(nums, den), folded);
+        assert_eq!(Rat::sum_with_denom([], 5), Rat::ZERO);
+        assert_eq!(Rat::sum_with_denom([2, 2], -8), Rat::new(-1, 2));
     }
 
     #[test]

@@ -551,6 +551,14 @@ impl kpa_measure::MemberSet<PointId> for PointSet {
     fn contains_elem(&self, e: &PointId) -> bool {
         self.contains(e)
     }
+
+    /// Exposes the dense bitset words so the measure layer's dense
+    /// kernel can answer block-trace questions word-wise. Bit `i` of
+    /// word `i / 64` is the point with dense [`PointIndex`] index `i` —
+    /// exactly the indexing `kpa-assign` builds its kernels over.
+    fn member_words(&self) -> Option<&[u64]> {
+        Some(self.as_words())
+    }
 }
 
 /// Ascending iterator over a [`PointSet`].

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_3.json: the kernel-bench rows (dense PointSet sat
+# evaluator, pool parallel sweep, dense measure kernel, Pr memo) as
+# machine-readable JSON, plus the human-readable rows on stdout.
+#
+#   ./scripts/bench.sh                 # best-of-3 reps, writes BENCH_3.json
+#   BENCH=1 ./scripts/bench.sh         # longer sweeps (--features bench)
+#   KPA_BENCH_JSON=out.json ./scripts/bench.sh   # custom output path
+#
+# The workspace is dependency-free, so --offline always works.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${KPA_BENCH_JSON:-BENCH_3.json}"
+# cargo runs the bench binary from the package directory, so anchor
+# relative paths to the repo root.
+case "${out}" in /*) ;; *) out="$(pwd)/${out}" ;; esac
+features=()
+if [[ "${BENCH:-0}" == "1" ]]; then
+    features=(--features bench)
+fi
+
+echo "==> cargo bench -p kpa-bench --bench kernel --offline (JSON -> ${out})"
+KPA_BENCH_JSON="${out}" cargo bench -q -p kpa-bench --bench kernel --offline "${features[@]}"
+
+echo "bench rows written to ${out}"

@@ -14,14 +14,23 @@ cargo build --release --offline
 echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
-# The serial/parallel differential suite at a pinned serial width and a
-# pinned parallel width: KPA_THREADS=1 is the reference semantics, and
+# The serial/parallel differential suites at a pinned serial width and
+# a pinned parallel width: KPA_THREADS=1 is the reference semantics, and
 # KPA_THREADS=4 must reproduce it bit-for-bit regardless of core count.
+# measure_kernel_differential additionally pins the dense word-masked
+# measure kernel against the generic scan at both widths.
 for threads in 1 4; do
-    echo "==> KPA_THREADS=${threads} cargo test -q --offline --test parallel_differential --test memo_consistency"
+    echo "==> KPA_THREADS=${threads} cargo test -q --offline --test parallel_differential --test memo_consistency --test measure_kernel_differential"
     KPA_THREADS="${threads}" cargo test -q --offline \
-        --test parallel_differential --test memo_consistency
+        --test parallel_differential --test memo_consistency \
+        --test measure_kernel_differential
 done
+
+# Bench smoke: the kernel bench asserts its output identities and the
+# dense measure kernel's ≥ 2× single-thread bound, and regenerates
+# BENCH_3.json (quick best-of-3 reps; BENCH=1 for the long sweeps).
+echo "==> scripts/bench.sh (kernel bench smoke + BENCH_3.json)"
+./scripts/bench.sh
 
 if [[ "${FUZZ:-0}" == "1" ]]; then
     echo "==> cargo test -q --offline --workspace --features fuzz"

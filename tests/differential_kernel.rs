@@ -5,14 +5,16 @@
 //! used before the kernel refactor.
 //!
 //! The sweep runs on machine-generated systems and machine-generated
-//! formulas; `--features fuzz` widens both. The deliberate use of
+//! formulas; `--features fuzz` widens both, and the cases shard across
+//! std worker threads (`cases_sharded`) with per-case seeds identical
+//! to the serial sweep. The deliberate use of
 //! `BTreeSet<PointId>` here is the point of the test: it exercises the
 //! `MemberSet` abstraction that keeps the probability layer generic
 //! over set representations.
 
 mod common;
 
-use common::{arb_async_spec, arb_sync_spec, build, cases, prop_names, SystemSpec};
+use common::{arb_async_spec, arb_sync_spec, build, cases_sharded, prop_names, SystemSpec};
 use kpa::assign::{Assignment, ProbAssignment};
 use kpa::logic::{Formula, Model};
 use kpa::measure::{Rat, Rng64};
@@ -142,7 +144,7 @@ fn check_agreement(spec: &SystemSpec, rng: &mut Rng64) {
 /// synchronous systems.
 #[test]
 fn kernel_matches_reference_on_sync_systems() {
-    cases("kernel_matches_reference_on_sync_systems", |rng| {
+    cases_sharded("kernel_matches_reference_on_sync_systems", |rng| {
         let spec = arb_sync_spec(rng);
         check_agreement(&spec, rng);
     });
@@ -152,7 +154,7 @@ fn kernel_matches_reference_on_sync_systems() {
 /// classes straddle times and trees.
 #[test]
 fn kernel_matches_reference_on_async_systems() {
-    cases("kernel_matches_reference_on_async_systems", |rng| {
+    cases_sharded("kernel_matches_reference_on_async_systems", |rng| {
         let spec = arb_async_spec(rng);
         check_agreement(&spec, rng);
     });

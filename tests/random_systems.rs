@@ -3,10 +3,17 @@
 //! The experiment harness checks the theorems on the paper's own
 //! examples; these properties keep the implementations honest on a
 //! broad family of machine-generated protocols.
+//!
+//! Every property here builds whole systems and sweeps betting games or
+//! lattice checks per case — the heaviest sweeps in the test suite — so
+//! they run via [`cases_sharded`], which splits the case range across
+//! std worker threads while giving each case the exact seed the serial
+//! `common::cases` sweep would (pinned by `sharded_matches_serial` in
+//! `tests/parallel_differential.rs`).
 
 mod common;
 
-use common::{arb_async_spec, arb_sync_spec, build, cases, prop_names};
+use common::{arb_async_spec, arb_sync_spec, build, cases_sharded, prop_names};
 use kpa::assign::{lattice, Assignment, ProbAssignment};
 use kpa::asynchrony::prop10_holds;
 use kpa::betting::{BetRule, BettingGame};
@@ -18,7 +25,7 @@ use kpa::system::AgentId;
 /// opponent, fact, and threshold, safety coincides with K^α.
 #[test]
 fn theorem7_on_random_systems() {
-    cases("theorem7_on_random_systems", |rng| {
+    cases_sharded("theorem7_on_random_systems", |rng| {
         let spec = arb_sync_spec(rng);
         let sys = build(&spec);
         let alpha = [Rat::new(1, 3), Rat::new(1, 2), Rat::ONE][rng.index(3)];
@@ -42,7 +49,7 @@ fn theorem7_on_random_systems() {
 /// Tree^j-safety coincide.
 #[test]
 fn proposition6_on_random_systems() {
-    cases("proposition6_on_random_systems", |rng| {
+    cases_sharded("proposition6_on_random_systems", |rng| {
         let spec = arb_sync_spec(rng);
         let sys = build(&spec);
         if !sys.is_synchronous() {
@@ -61,7 +68,7 @@ fn proposition6_on_random_systems() {
 /// systems.
 #[test]
 fn lattice_structure_on_random_systems() {
-    cases("lattice_structure_on_random_systems", |rng| {
+    cases_sharded("lattice_structure_on_random_systems", |rng| {
         let spec = arb_sync_spec(rng);
         let sys = build(&spec);
         if !sys.is_synchronous() {
@@ -90,7 +97,7 @@ fn lattice_structure_on_random_systems() {
 /// never widens the per-class probability interval.
 #[test]
 fn theorem9a_on_random_systems() {
-    cases("theorem9a_on_random_systems", |rng| {
+    cases_sharded("theorem9a_on_random_systems", |rng| {
         let spec = arb_sync_spec(rng);
         let sys = build(&spec);
         if !sys.is_synchronous() {
@@ -119,7 +126,7 @@ fn theorem9a_on_random_systems() {
 /// random systems with clockless agents.
 #[test]
 fn theorem7_on_random_async_systems() {
-    cases("theorem7_on_random_async_systems", |rng| {
+    cases_sharded("theorem7_on_random_async_systems", |rng| {
         let spec = arb_async_spec(rng);
         let sys = build(&spec);
         for phi_name in prop_names(&spec) {
@@ -142,7 +149,7 @@ fn theorem7_on_random_async_systems() {
 /// systems (the §9 extension's basic monotonicity).
 #[test]
 fn rational_safety_contains_safety() {
-    cases("rational_safety_contains_safety", |rng| {
+    cases_sharded("rational_safety_contains_safety", |rng| {
         let spec = arb_sync_spec(rng);
         let sys = build(&spec);
         let game = BettingGame::new(&sys, AgentId(0), AgentId(sys.agent_count() - 1));
@@ -164,7 +171,7 @@ fn rational_safety_contains_safety() {
 /// pts-adversary bounds equal the posterior inner/outer interval.
 #[test]
 fn prop10_on_random_systems() {
-    cases("prop10_on_random_systems", |rng| {
+    cases_sharded("prop10_on_random_systems", |rng| {
         let spec = arb_async_spec(rng);
         let sys = build(&spec);
         for phi_name in prop_names(&spec) {
@@ -181,7 +188,7 @@ fn prop10_on_random_systems() {
 /// synchrony discussion).
 #[test]
 fn window_bounds_nest_on_random_systems() {
-    cases("window_bounds_nest_on_random_systems", |rng| {
+    cases_sharded("window_bounds_nest_on_random_systems", |rng| {
         use kpa::asynchrony::{region_for, CutClass};
         let spec = arb_async_spec(rng);
         let sys = build(&spec);
@@ -214,7 +221,7 @@ fn window_bounds_nest_on_random_systems() {
 /// characterization quoted in §5), and the prior can violate it.
 #[test]
 fn consistency_axiom_on_random_systems() {
-    cases("consistency_axiom_on_random_systems", |rng| {
+    cases_sharded("consistency_axiom_on_random_systems", |rng| {
         let spec = arb_sync_spec(rng);
         let sys = build(&spec);
         let post = ProbAssignment::new(&sys, Assignment::post());
