@@ -11,10 +11,11 @@
 
 use crate::dense::DensePointSpace;
 use crate::error::AssignError;
+use crate::plan::SamplePlan;
 use crate::sample::Assignment;
 use kpa_measure::{BlockSpace, MemberSet, Rat};
 use kpa_system::{AgentId, PointId, PointSet, System};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
 /// The probability space the construction of Proposition 2 assigns to an
@@ -72,6 +73,12 @@ pub struct ProbAssignment<'s> {
     sys: &'s System,
     assignment: Assignment,
     cache: [Mutex<SpaceCache>; SPACE_SHARDS],
+    /// Per-agent batched sample plans, built lazily on first request
+    /// and shared by `Arc` thereafter. Guarded like the space cache so
+    /// pool workers can race on the first request; the build happens
+    /// outside the lock and whichever insert wins, the entries are
+    /// structurally identical (they canonicalize through `cache`).
+    plans: Mutex<HashMap<AgentId, Arc<SamplePlan>>>,
 }
 
 impl<'s> ProbAssignment<'s> {
@@ -82,6 +89,7 @@ impl<'s> ProbAssignment<'s> {
             sys,
             assignment,
             cache: std::array::from_fn(|_| Mutex::new(SpaceCache::new())),
+            plans: Mutex::new(HashMap::new()),
         }
     }
 
@@ -115,6 +123,19 @@ impl<'s> ProbAssignment<'s> {
     /// [`AssignError::Req1Violated`] if it spans several trees.
     pub fn space(&self, agent: AgentId, c: PointId) -> Result<Arc<DensePointSpace>, AssignError> {
         let sample = self.sample(agent, c);
+        self.space_of_sample(agent, c, sample)
+    }
+
+    /// The cached induced space of an already-extracted `sample` (the
+    /// shared tail of [`ProbAssignment::space`] and the plan builder).
+    /// `c` is used only for error reporting, so callers must pass the
+    /// point the sample was extracted at.
+    fn space_of_sample(
+        &self,
+        agent: AgentId,
+        c: PointId,
+        sample: PointSet,
+    ) -> Result<Arc<DensePointSpace>, AssignError> {
         let Some(first) = sample.first() else {
             return Err(AssignError::Req2Violated { agent, point: c });
         };
@@ -135,6 +156,95 @@ impl<'s> ProbAssignment<'s> {
         Ok(Arc::clone(
             lock(shard).entry((agent, sample)).or_insert(space),
         ))
+    }
+
+    /// The batched [`SamplePlan`] for `agent`: a `point → space` table
+    /// covering every point where the assignment is well defined,
+    /// built with **one** sample extraction per class for the canonical
+    /// assignments (see the [`crate::plan`] module docs for why that is
+    /// exact) and canonicalized through the same per-sample cache as
+    /// [`ProbAssignment::space`] — planned and naive spaces are the
+    /// same `Arc`s. Built lazily on first request, then shared.
+    #[must_use]
+    pub fn sample_plan(&self, agent: AgentId) -> Arc<SamplePlan> {
+        if let Some(plan) = lock(&self.plans).get(&agent) {
+            return Arc::clone(plan);
+        }
+        // Built outside the lock (it walks the whole system); racing
+        // builders insert structurally identical plans over identical
+        // cache-canonicalized spaces, so whichever wins is equivalent.
+        let plan = Arc::new(self.build_plan(agent));
+        Arc::clone(lock(&self.plans).entry(agent).or_insert(plan))
+    }
+
+    /// [`ProbAssignment::space`] through the plan when available: one
+    /// table lookup on the warm path, with per-point fallback (and
+    /// hence exact naive errors) where the plan has no entry.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProbAssignment::space`].
+    pub fn planned_space(
+        &self,
+        agent: AgentId,
+        c: PointId,
+    ) -> Result<Arc<DensePointSpace>, AssignError> {
+        let plan = self.sample_plan(agent);
+        match plan.space(c) {
+            Some(space) => Ok(Arc::clone(space)),
+            None => self.space(agent, c),
+        }
+    }
+
+    /// One ascending pass over the system's points, filling whole
+    /// classes per extraction for the canonical assignments and single
+    /// points for custom closures. REQ-violating points stay `None`.
+    fn build_plan(&self, agent: AgentId) -> SamplePlan {
+        let index = Arc::clone(self.sys.point_index());
+        let mut table: Vec<Option<Arc<DensePointSpace>>> = vec![None; index.total()];
+        let batched = !matches!(self.assignment, Assignment::Custom { .. });
+        let mut extractions = 0usize;
+        let mut covered = 0usize;
+        let mut distinct: HashSet<usize> = HashSet::new();
+        for c in self.sys.points() {
+            let ci = index.index_of(c);
+            if table[ci].is_some() {
+                continue;
+            }
+            let sample = self.sample(agent, c);
+            extractions += 1;
+            let Ok(space) = self.space_of_sample(agent, c, sample.clone()) else {
+                // REQ1/REQ2 violation: leave the point unplanned so the
+                // fallback path reports the identical per-point error.
+                continue;
+            };
+            distinct.insert(Arc::as_ptr(&space) as usize);
+            if batched {
+                // Canonical assignments are uniform (d ∈ S_ic implies
+                // S_id = S_ic), so the space at c is the space at every
+                // point of the sample; classes partition the points, so
+                // each entry is written exactly once.
+                for d in sample.iter() {
+                    let di = index.index_of(d);
+                    if table[di].is_none() {
+                        table[di] = Some(Arc::clone(&space));
+                        covered += 1;
+                    }
+                }
+            } else {
+                table[ci] = Some(space);
+                covered += 1;
+            }
+        }
+        SamplePlan::new(
+            agent,
+            index,
+            table,
+            extractions,
+            distinct.len(),
+            covered,
+            batched,
+        )
     }
 
     /// `μ_ic(S_ic(φ))` for a measurable fact: the probability, according
@@ -316,8 +426,7 @@ impl<'s> ProbAssignment<'s> {
 /// (which differ in exactly those coordinates) across the shards
 /// without touching the sample's full word vector.
 fn shard_index(agent: AgentId, first: PointId, len: usize) -> usize {
-    let mix = (agent.0 as u64)
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    let mix = (agent.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ (first.run as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)
         ^ (first.time as u64).wrapping_mul(0x94D0_49BB_1331_11EB)
         ^ (first.tree.0 as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93)
@@ -497,6 +606,60 @@ mod tests {
         let a = post.space(p1, pt(0, 0, 1)).unwrap();
         let b = post.space(p1, pt(0, 1, 1)).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "uniform classes share one space");
+    }
+
+    #[test]
+    fn sample_plan_matches_per_point_spaces() {
+        let sys = intro_system();
+        let post = ProbAssignment::new(&sys, Assignment::post());
+        let p1 = AgentId(0);
+        let plan = post.sample_plan(p1);
+        assert!(plan.is_batched());
+        assert_eq!(plan.covered(), plan.point_count());
+        assert_eq!(plan.extractions(), plan.classes());
+        assert!(plan.extractions() < sys.point_count(), "batching pays");
+        for c in sys.points() {
+            let naive = post.space(p1, c).unwrap();
+            assert!(Arc::ptr_eq(plan.space(c).unwrap(), &naive));
+            assert!(Arc::ptr_eq(&post.planned_space(p1, c).unwrap(), &naive));
+        }
+        assert!(Arc::ptr_eq(&plan, &post.sample_plan(p1)), "plan is cached");
+        let dbg = format!("{plan:?}");
+        assert!(dbg.contains("batched: true"), "{dbg}");
+    }
+
+    #[test]
+    fn custom_plans_fall_back_per_point() {
+        let sys = intro_system();
+        let empty = ProbAssignment::new(&sys, Assignment::custom("empty", |_, _, _| vec![]));
+        let plan = empty.sample_plan(AgentId(0));
+        assert!(!plan.is_batched());
+        assert_eq!(plan.covered(), 0);
+        assert_eq!(plan.classes(), 0);
+        assert_eq!(plan.extractions(), sys.point_count());
+        assert!(plan.space(pt(0, 0, 0)).is_none());
+        // The fallback reproduces the exact naive error.
+        assert!(matches!(
+            empty.planned_space(AgentId(0), pt(0, 0, 0)),
+            Err(AssignError::Req2Violated { .. })
+        ));
+
+        // A well-defined custom assignment still canonicalizes repeated
+        // samples through the shared cache.
+        let diag = ProbAssignment::new(
+            &sys,
+            Assignment::custom("slice", |s, _, c| {
+                s.points_at_time(kpa_system::TreeId(0), c.time).collect()
+            }),
+        );
+        let plan = diag.sample_plan(AgentId(0));
+        assert_eq!(plan.covered(), sys.point_count());
+        assert_eq!(plan.extractions(), sys.point_count());
+        assert!(plan.classes() < plan.extractions(), "shared-arc dedup");
+        for c in sys.points() {
+            let naive = diag.space(AgentId(0), c).unwrap();
+            assert!(Arc::ptr_eq(plan.space(c).unwrap(), &naive));
+        }
     }
 
     #[test]

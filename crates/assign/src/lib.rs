@@ -50,9 +50,11 @@ mod dense;
 mod error;
 mod induced;
 pub mod lattice;
+pub mod plan;
 mod sample;
 
 pub use dense::DensePointSpace;
 pub use error::AssignError;
 pub use induced::{PointSpace, ProbAssignment};
+pub use plan::SamplePlan;
 pub use sample::{Assignment, SampleFn};

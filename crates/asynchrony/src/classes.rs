@@ -213,6 +213,47 @@ impl CutClass {
         }
     }
 
+    /// [`CutClass::bounds`] with the region's run-blocked probability
+    /// space already in hand — the entry point for plan-driven sweeps,
+    /// where a precomputed `point → Arc<DensePointSpace>` table (a
+    /// [`kpa_assign::SamplePlan`]) supplies the space and the sample
+    /// extraction + space construction of the naive path disappears.
+    ///
+    /// **Precondition:** `space` must be the run-blocked space of its
+    /// own sample (blocks = runs weighted by run probability), exactly
+    /// as built by `ProbAssignment::space` — which is the same
+    /// construction [`CutClass::bounds`] performs internally, so for
+    /// [`CutClass::AllPoints`] the result is bit-identical by
+    /// construction. The other classes need the region itself (their
+    /// optimizations are not functions of the run-blocked space alone),
+    /// so they rebuild it from the space's elements and delegate.
+    ///
+    /// # Errors
+    ///
+    /// As [`CutClass::bounds`].
+    pub fn bounds_via(
+        &self,
+        sys: &System,
+        space: &DensePointSpace,
+        phi: &PointSet,
+    ) -> Result<(Rat, Rat), AsyncError> {
+        match self {
+            CutClass::AllPoints => {
+                if space.elements().is_empty() {
+                    return Err(AsyncError::EmptyCut);
+                }
+                // Proposition 10's per-run greedy optimum *is* the
+                // inner/outer interval of the run-blocked space — one
+                // fused dense pass, no region rebuild.
+                Ok(space.measure_interval(phi))
+            }
+            _ => {
+                let region = sys.point_set(space.elements().iter().copied());
+                self.bounds(sys, &region, phi)
+            }
+        }
+    }
+
     /// Exact enumeration of the cuts in this class over `region`, for
     /// cross-checking the closed-form bounds on small regions.
     ///

@@ -69,6 +69,11 @@ pub fn pts_interval(
 /// posterior assignment.
 pub fn prop10_holds(sys: &System, agent: AgentId, phi: &PointSet) -> Result<bool, AsyncError> {
     let post = ProbAssignment::new(sys, Assignment::post());
+    // `Tree^i_ic = Tree_ic` (betting against yourself is `post`), so
+    // the posterior plan's per-point spaces are exactly the run-blocked
+    // region spaces `pts_interval` would rebuild: one batched pass
+    // replaces a sample extraction + space construction per point.
+    let plan = post.sample_plan(agent);
     let points: Vec<PointId> = sys.points().collect();
     // Pointwise checks are independent: sweep chunks of the point list
     // on the pool and conjoin partials in chunk order — the exact
@@ -76,7 +81,10 @@ pub fn prop10_holds(sys: &System, agent: AgentId, phi: &PointSet) -> Result<bool
     // internally; `&&` over ordered chunks is associative and exact).
     let partials = Pool::current().par_map_chunks(points.len(), POINT_MIN_CHUNK, |range| {
         for &c in &points[range] {
-            let pts = pts_interval(sys, agent, c, phi)?;
+            let pts = match plan.space(c) {
+                Some(space) => CutClass::AllPoints.bounds_via(sys, space, phi)?,
+                None => pts_interval(sys, agent, c, phi)?,
+            };
             let direct = post.interval(agent, c, phi)?;
             if pts != direct {
                 return Ok(false);

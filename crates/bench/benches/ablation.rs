@@ -76,15 +76,19 @@ fn bench_knowledge_evaluation(reps: u32) {
     kpa_bench::bench_time("ablation_knowledge_evaluation/class_grouped", reps, || {
         model.knows_set(p2, &phi)
     });
-    kpa_bench::bench_time("ablation_knowledge_evaluation/naive_per_point", reps, || {
-        let mut acc = sys.empty_points();
-        for c in sys.points() {
-            if sys.indistinguishable(p2, c).iter().all(|d| phi.contains(d)) {
-                acc.insert(c);
+    kpa_bench::bench_time(
+        "ablation_knowledge_evaluation/naive_per_point",
+        reps,
+        || {
+            let mut acc = sys.empty_points();
+            for c in sys.points() {
+                if sys.indistinguishable(p2, c).iter().all(|d| phi.contains(d)) {
+                    acc.insert(c);
+                }
             }
-        }
-        acc
-    });
+            acc
+        },
+    );
 }
 
 fn main() {

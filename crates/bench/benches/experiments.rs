@@ -22,7 +22,11 @@ fn main() {
     bench_experiment!(reps, "e01_vardi", kpa_bench::e01_vardi);
     bench_experiment!(reps, "e02_footnote5", kpa_bench::e02_footnote5);
     bench_experiment!(reps, "e03_primality", kpa_bench::e03_primality);
-    bench_experiment!(reps, "e04_attack_pointwise", kpa_bench::e04_attack_pointwise);
+    bench_experiment!(
+        reps,
+        "e04_attack_pointwise",
+        kpa_bench::e04_attack_pointwise
+    );
     bench_experiment!(reps, "e05_coin_post_fut", kpa_bench::e05_coin_post_fut);
     bench_experiment!(reps, "e06_die_subdivision", kpa_bench::e06_die_subdivision);
     bench_experiment!(reps, "e07_lattice", kpa_bench::e07_lattice);

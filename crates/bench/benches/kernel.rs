@@ -20,8 +20,15 @@
 //! faster single-threaded), and the `Pr_i ≥ α` sweep with the
 //! per-class memo off vs on.
 //!
+//! A fourth timed section pins the batched sample plan: the same
+//! memoized `Pr_i ≥ α` threshold family with the per-agent
+//! `SamplePlan` off (the unplanned per-point extraction path) vs on
+//! (one table lookup per point), single-threaded; the planned sweep is
+//! required to be ≥ 2× faster — the speedup the `Pr` memo alone could
+//! not deliver while every point re-extracted its sample.
+//!
 //! Run with `cargo bench -p kpa-bench --bench kernel`. Set
-//! `KPA_BENCH_JSON=BENCH_3.json` (or use `scripts/bench.sh`) to emit
+//! `KPA_BENCH_JSON=BENCH_4.json` (or use `scripts/bench.sh`) to emit
 //! the rows as machine-readable JSON.
 
 use kpa_assign::{Assignment, ProbAssignment};
@@ -199,28 +206,33 @@ fn main() {
     // ------------------------------------------------------------------
     let fut = ProbAssignment::new(&sys, Assignment::fut());
     let g = Formula::prop("recent=h").k_alpha(p2, rat!(1 / 2));
-    let serial_set = kpa_pool::with_threads(1, || {
-        Model::new(&fut).sat(&g).expect("model checks")
-    });
+    let serial_set = kpa_pool::with_threads(1, || Model::new(&fut).sat(&g).expect("model checks"));
     let t1 = kpa_pool::with_threads(1, || {
-        kpa_bench::bench_time(&format!("kernel_par_sat/threads=1/{n_points}"), reps, || {
-            // Fresh assignment + model per pass so neither the formula
-            // cache nor the space cache can help.
-            let fresh = ProbAssignment::new(&sys, Assignment::fut());
-            Model::new(&fresh).sat(&g).expect("model checks").len()
-        })
+        kpa_bench::bench_time(
+            &format!("kernel_par_sat/threads=1/{n_points}"),
+            reps,
+            || {
+                // Fresh assignment + model per pass so neither the formula
+                // cache nor the space cache can help.
+                let fresh = ProbAssignment::new(&sys, Assignment::fut());
+                Model::new(&fresh).sat(&g).expect("model checks").len()
+            },
+        )
     });
     let t4 = kpa_pool::with_threads(4, || {
-        kpa_bench::bench_time(&format!("kernel_par_sat/threads=4/{n_points}"), reps, || {
-            let fresh = ProbAssignment::new(&sys, Assignment::fut());
-            Model::new(&fresh).sat(&g).expect("model checks").len()
-        })
+        kpa_bench::bench_time(
+            &format!("kernel_par_sat/threads=4/{n_points}"),
+            reps,
+            || {
+                let fresh = ProbAssignment::new(&sys, Assignment::fut());
+                Model::new(&fresh).sat(&g).expect("model checks").len()
+            },
+        )
     });
     rows.push((format!("kernel_par_sat/threads=1/{n_points}"), t1));
     rows.push((format!("kernel_par_sat/threads=4/{n_points}"), t4));
-    let parallel_set = kpa_pool::with_threads(4, || {
-        Model::new(&fut).sat(&g).expect("model checks")
-    });
+    let parallel_set =
+        kpa_pool::with_threads(4, || Model::new(&fut).sat(&g).expect("model checks"));
     assert_eq!(
         *serial_set, *parallel_set,
         "parallel satisfaction sets must be bit-identical to serial"
@@ -311,7 +323,10 @@ fn main() {
             acc
         },
     );
-    rows.push((format!("measure_interval/dense/{n_spaces}x{n_points}"), dense_t));
+    rows.push((
+        format!("measure_interval/dense/{n_spaces}x{n_points}"),
+        dense_t,
+    ));
     rows.push((
         format!("measure_interval/generic/{n_spaces}x{n_points}"),
         generic_t,
@@ -334,8 +349,9 @@ fn main() {
         .collect();
     let run_family = |pr_memo: bool| -> Vec<usize> {
         // Fresh model per pass (no formula cache); the shared `post`
-        // keeps the space cache warm for both rows.
-        let model = Model::with_memos(&post, true, pr_memo);
+        // keeps the space cache warm for both rows. Plan off: these two
+        // rows pin the memo's own effect on the unplanned path.
+        let model = Model::with_memos(&post, true, pr_memo, false);
         family
             .iter()
             .map(|f| model.sat(f).expect("model checks").len())
@@ -346,25 +362,80 @@ fn main() {
         run_family(true),
         "Pr memo must be observationally invisible"
     );
-    let memo_off = kpa_bench::bench_time(
-        &format!("pr_ge_family/memo_off/{n_points}"),
-        reps,
-        || run_family(false),
-    );
+    let memo_off =
+        kpa_bench::bench_time(&format!("pr_ge_family/memo_off/{n_points}"), reps, || {
+            run_family(false)
+        });
     let memo_on = kpa_bench::bench_time(&format!("pr_ge_family/memo_on/{n_points}"), reps, || {
         run_family(true)
     });
     rows.push((format!("pr_ge_family/memo_off/{n_points}"), memo_off));
     rows.push((format!("pr_ge_family/memo_on/{n_points}"), memo_on));
     let memo_speedup = memo_off.as_secs_f64() / memo_on.as_secs_f64();
-    println!("\nPr memo speedup: {memo_speedup:.2}× across {} thresholds", alphas.len());
+    println!(
+        "\nPr memo speedup: {memo_speedup:.2}× across {} thresholds",
+        alphas.len()
+    );
     assert!(
         memo_speedup >= 0.9,
         "the Pr memo must not regress the threshold sweep (got {memo_speedup:.2}×)"
     );
 
     // ------------------------------------------------------------------
-    // Machine-readable rows (BENCH_3.json) when KPA_BENCH_JSON is set —
+    // Batched sample plan: the same memoized threshold family with the
+    // per-agent SamplePlan off (per-point sample extraction, the PR 3
+    // path) vs on (one table lookup per point). Single-threaded by
+    // pinning the pool to 1 worker, so the row isolates the per-point
+    // extraction cost rather than scheduling effects.
+    // ------------------------------------------------------------------
+    let run_family_planned = |plan: bool| -> Vec<usize> {
+        // Pr memo ON both ways: the comparison is plan vs no-plan on
+        // the memoized sweep the engine actually runs.
+        let model = Model::with_memos(&post, true, true, plan);
+        family
+            .iter()
+            .map(|f| model.sat(f).expect("model checks").len())
+            .collect()
+    };
+    assert_eq!(
+        run_family_planned(false),
+        run_family_planned(true),
+        "the sample plan must be observationally invisible"
+    );
+    // Warm the per-assignment plan (it is a one-time artifact shared by
+    // every model over `post`; its build costs about one unplanned
+    // sweep and is amortized across all later sweeps).
+    let plan = post.sample_plan(p1);
+    assert!(plan.is_batched(), "post plans batch whole classes");
+    assert_eq!(
+        plan.extractions(),
+        plan.classes(),
+        "one extraction per class"
+    );
+    assert!(plan.extractions() < n_points, "batching must pay");
+    let (plan_off, plan_on) = kpa_pool::with_threads(1, || {
+        let off = kpa_bench::bench_time(&format!("pr_ge_family/plan_off/{n_points}"), reps, || {
+            run_family_planned(false)
+        });
+        let on = kpa_bench::bench_time(&format!("pr_ge_family/plan_on/{n_points}"), reps, || {
+            run_family_planned(true)
+        });
+        (off, on)
+    });
+    rows.push((format!("pr_ge_family/plan_off/{n_points}"), plan_off));
+    rows.push((format!("pr_ge_family/plan_on/{n_points}"), plan_on));
+    let plan_speedup = plan_off.as_secs_f64() / plan_on.as_secs_f64();
+    println!(
+        "\nsample-plan speedup: {plan_speedup:.2}× across {} thresholds (single thread)",
+        alphas.len()
+    );
+    assert!(
+        plan_speedup >= 2.0,
+        "the planned Pr sweep must be ≥ 2× faster than the unplanned path (got {plan_speedup:.2}×)"
+    );
+
+    // ------------------------------------------------------------------
+    // Machine-readable rows (BENCH_4.json) when KPA_BENCH_JSON is set —
     // see scripts/bench.sh.
     // ------------------------------------------------------------------
     if let Ok(path) = std::env::var("KPA_BENCH_JSON") {
@@ -384,7 +455,8 @@ fn main() {
         out.push_str(&format!(
             "    \"measure_dense_vs_generic\": {measure_speedup},\n"
         ));
-        out.push_str(&format!("    \"pr_ge_memo_on_vs_off\": {memo_speedup}\n"));
+        out.push_str(&format!("    \"pr_ge_memo_on_vs_off\": {memo_speedup},\n"));
+        out.push_str(&format!("    \"pr_ge_plan_on_vs_off\": {plan_speedup}\n"));
         out.push_str("  }\n}\n");
         std::fs::write(&path, &out).unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
         println!("\nwrote {path}");

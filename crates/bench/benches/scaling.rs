@@ -90,7 +90,11 @@ fn bench_parallel_safety(reps: u32) {
     let baseline = kpa_pool::with_threads(1, run);
     for threads in [1usize, 2, 4] {
         let d = kpa_pool::with_threads(threads, || {
-            bench_time(&format!("scale_parallel_safety/{n}/threads={threads}"), reps, &run)
+            bench_time(
+                &format!("scale_parallel_safety/{n}/threads={threads}"),
+                reps,
+                &run,
+            )
         });
         let verdicts = kpa_pool::with_threads(threads, run);
         assert_eq!(

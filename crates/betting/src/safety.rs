@@ -27,11 +27,12 @@
 use crate::error::BettingError;
 use crate::game::{expected_winnings, inner_expected_winnings, BetRule};
 use crate::strategy::Strategy;
-use kpa_assign::{Assignment, ProbAssignment};
+use kpa_assign::{Assignment, DensePointSpace, ProbAssignment};
 use kpa_logic::PointSet;
 use kpa_measure::Rat;
 use kpa_pool::Pool;
 use kpa_system::{AgentId, PointId, System};
+use std::sync::Arc;
 
 /// Minimum bettor classes per chunk before the safety sweeps fan out
 /// onto the [`kpa_pool`] pool. Every class member costs a probability
@@ -117,15 +118,28 @@ impl<'s> BettingGame<'s> {
     /// Whether `rule` breaks even for the bettor at `d` with respect to
     /// `Tree^j_id`: nonnegative (inner) expected winnings against every
     /// strategy, which reduces to the threshold offer `1/α` (see the
-    /// module docs).
+    /// module docs). The space at `d` comes from the bettor's batched
+    /// [`kpa_assign::SamplePlan`] when available — same cached `Arc`s,
+    /// with per-point fallback reproducing the unplanned errors.
     ///
     /// # Errors
     ///
     /// Propagates space-construction failures.
     pub fn breaks_even_at(&self, d: PointId, rule: &BetRule) -> Result<bool, BettingError> {
-        let space = self.opp.space(self.bettor, d)?;
+        let space = self.opp.planned_space(self.bettor, d)?;
+        self.breaks_even_in(&space, rule)
+    }
+
+    /// [`BettingGame::breaks_even_at`] with the `Tree^j_id` space
+    /// already in hand (the shared tail of the per-point and the
+    /// plan-driven sweeps).
+    fn breaks_even_in(
+        &self,
+        space: &DensePointSpace,
+        rule: &BetRule,
+    ) -> Result<bool, BettingError> {
         let threshold = Strategy::constant(rule.min_payoff());
-        let e = inner_expected_winnings(&space, self.sys, self.opponent, rule, &threshold)?;
+        let e = inner_expected_winnings(space, self.sys, self.opponent, rule, &threshold)?;
         Ok(e >= Rat::ZERO)
     }
 
@@ -155,7 +169,7 @@ impl<'s> BettingGame<'s> {
     ///
     /// Propagates space-construction failures.
     pub fn safe_points(&self, rule: &BetRule) -> Result<PointSet, BettingError> {
-        self.class_sweep(|d| self.breaks_even_at(d, rule))
+        self.class_sweep(|space| self.breaks_even_in(space, rule))
     }
 
     /// The set of points satisfying `K_i^α φ` under `P^j` — the
@@ -166,41 +180,53 @@ impl<'s> BettingGame<'s> {
     ///
     /// Propagates space-construction failures.
     pub fn k_alpha_points(&self, rule: &BetRule) -> Result<PointSet, BettingError> {
-        self.class_sweep(|d| {
-            let p = self.opp.inner(self.bettor, d, rule.phi())?;
-            Ok(p >= rule.alpha())
-        })
+        self.class_sweep(|space| Ok(space.inner_measure(rule.phi()) >= rule.alpha()))
     }
 
     /// Shared sweep shape of [`BettingGame::safe_points`] and
     /// [`BettingGame::k_alpha_points`]: absorb every bettor class whose
-    /// members all pass `pred`, chunking the class list across the
-    /// pool. Partials union in chunk order (= class-list order), so the
-    /// output set is independent of scheduling.
+    /// members' `Tree^j` spaces all pass `pred`, chunking the class
+    /// list across the pool. The bettor's batched
+    /// [`kpa_assign::SamplePlan`] is fetched once, outside the fan-out,
+    /// so the per-point space resolution inside every chunk is a table
+    /// lookup (with per-point fallback where the plan has no entry —
+    /// reproducing the unplanned per-point errors exactly). Partials
+    /// union in chunk order (= class-list order), so the output set is
+    /// independent of scheduling.
     fn class_sweep(
         &self,
-        pred: impl Fn(PointId) -> Result<bool, BettingError> + Sync,
+        pred: impl Fn(&DensePointSpace) -> Result<bool, BettingError> + Sync,
     ) -> Result<PointSet, BettingError> {
         let classes: Vec<&PointSet> = self
             .sys
             .local_classes(self.bettor)
             .map(|(_, class)| class)
             .collect();
-        let partials =
-            Pool::current().par_map_chunks(classes.len(), CLASS_MIN_CHUNK, |range| {
-                let mut acc = self.sys.empty_points();
-                for class in &classes[range] {
-                    let all_pass = class
+        let plan = self.opp.sample_plan(self.bettor);
+        let partials = Pool::current().par_map_chunks(classes.len(), CLASS_MIN_CHUNK, |range| {
+            let mut acc = self.sys.empty_points();
+            for class in &classes[range] {
+                let all_pass =
+                    class
                         .iter()
                         .try_fold(true, |ok, d| -> Result<bool, BettingError> {
-                            Ok(ok && pred(d)?)
+                            // Space resolution stays behind the
+                            // short-circuit, exactly like the unplanned
+                            // per-point sweep it replaces.
+                            Ok(ok && {
+                                let space = match plan.space(d) {
+                                    Some(space) => Arc::clone(space),
+                                    None => self.opp.space(self.bettor, d)?,
+                                };
+                                pred(&space)?
+                            })
                         })?;
-                    if all_pass {
-                        acc.union_with(class);
-                    }
+                if all_pass {
+                    acc.union_with(class);
                 }
-                Ok::<PointSet, BettingError>(acc)
-            });
+            }
+            Ok::<PointSet, BettingError>(acc)
+        });
         let mut acc = self.sys.empty_points();
         for partial in partials {
             acc.union_with(&partial?);
@@ -232,7 +258,10 @@ impl<'s> BettingGame<'s> {
         rule: &BetRule,
     ) -> Result<Option<(Strategy, PointId)>, BettingError> {
         for d in self.sys.indistinguishable(self.bettor, c) {
-            let p = self.opp.inner(self.bettor, d, rule.phi())?;
+            let p = self
+                .opp
+                .planned_space(self.bettor, d)?
+                .inner_measure(rule.phi());
             if p < rule.alpha() {
                 let strategy = Strategy::silent()
                     .with_offer(self.sys.local(self.opponent, d), rule.min_payoff());
@@ -254,7 +283,7 @@ impl<'s> BettingGame<'s> {
     pub fn fair_threshold(&self, c: PointId, phi: &PointSet) -> Result<Rat, BettingError> {
         let mut min = Rat::ONE;
         for d in self.sys.indistinguishable(self.bettor, c) {
-            min = min.min(self.opp.inner(self.bettor, d, phi)?);
+            min = min.min(self.opp.planned_space(self.bettor, d)?.inner_measure(phi));
         }
         Ok(min)
     }
@@ -291,7 +320,7 @@ impl<'s> BettingGame<'s> {
     pub fn tree_safe_at(&self, c: PointId, rule: &BetRule) -> Result<bool, BettingError> {
         let family = self.adversarial_family(rule);
         for d in self.sys.indistinguishable(self.bettor, c) {
-            let space = self.post.space(self.bettor, d)?;
+            let space = self.post.planned_space(self.bettor, d)?;
             for f in &family {
                 let e = expected_winnings(&space, self.sys, self.opponent, rule, f)?;
                 if e < Rat::ZERO {
@@ -310,15 +339,14 @@ impl<'s> BettingGame<'s> {
     /// As [`BettingGame::tree_safe_at`].
     pub fn proposition6_holds(&self, rule: &BetRule) -> Result<bool, BettingError> {
         let points: Vec<PointId> = self.sys.points().collect();
-        let partials =
-            Pool::current().par_map_chunks(points.len(), POINT_MIN_CHUNK, |range| {
-                for &c in &points[range] {
-                    if self.tree_safe_at(c, rule)? != self.is_safe_at(c, rule)? {
-                        return Ok(false);
-                    }
+        let partials = Pool::current().par_map_chunks(points.len(), POINT_MIN_CHUNK, |range| {
+            for &c in &points[range] {
+                if self.tree_safe_at(c, rule)? != self.is_safe_at(c, rule)? {
+                    return Ok(false);
                 }
-                Ok::<bool, BettingError>(true)
-            });
+            }
+            Ok::<bool, BettingError>(true)
+        });
         // Conjunction in chunk order: the exact boolean a serial sweep
         // computes (each chunk short-circuits internally; `&&` over the
         // ordered chunks is associative and exact).

@@ -23,11 +23,12 @@
 
 use crate::error::LogicError;
 use crate::formula::Formula;
-use kpa_assign::ProbAssignment;
+use kpa_assign::{ProbAssignment, SamplePlan};
 use kpa_measure::Rat;
 use kpa_pool::Pool;
 use kpa_system::{AgentId, PointId};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// The set of points satisfying a formula (re-exported from
@@ -75,6 +76,20 @@ pub struct Model<'a, 's> {
     /// chunks and across formulas. `None` disables it (differential
     /// testing).
     pr_memo: Option<Mutex<PrMemo>>,
+    /// Per-agent batched [`SamplePlan`]s for `pr_ge_set`'s space
+    /// lookups: with the plan, the per-point hot path is one table
+    /// index instead of a sample extraction + cache-key hash, so the
+    /// `pr_memo` above finally hits on a warm path. `None` disables
+    /// planning (differential testing / the unplanned bench row).
+    plan_memo: Option<Mutex<HashMap<AgentId, Arc<SamplePlan>>>>,
+    /// Observability counter: `pr_memo` lookups that hit. Always
+    /// compiled (integration tests and benches build this crate without
+    /// `cfg(test)`), relaxed — a monotone diagnostic, never consulted
+    /// by the semantics.
+    pr_memo_hits: AtomicU64,
+    /// Observability counter: `pr_ge_set` space lookups served by a
+    /// plan table entry (as opposed to the per-point fallback).
+    plan_hits: AtomicU64,
 }
 
 /// `(agent, input set) → Kᵢ(set)`. [`PointSet`] hashes its words
@@ -101,26 +116,34 @@ impl<'a, 's> Model<'a, 's> {
     /// enabled.
     #[must_use]
     pub fn new(pa: &'a ProbAssignment<'s>) -> Model<'a, 's> {
-        Model::with_memos(pa, true, true)
+        Model::with_memos(pa, true, true, true)
     }
 
     /// Builds a model checker with the `knows_set` memo explicitly on
-    /// or off (the per-class `Pr` memo stays on). Satisfaction sets are
-    /// identical either way — the knob exists so tests can prove
-    /// exactly that.
+    /// or off (the per-class `Pr` memo and the sample plan stay on).
+    /// Satisfaction sets are identical either way — the knob exists so
+    /// tests can prove exactly that.
     #[must_use]
     pub fn with_knows_memo(pa: &'a ProbAssignment<'s>, memo: bool) -> Model<'a, 's> {
-        Model::with_memos(pa, memo, true)
+        Model::with_memos(pa, memo, true, true)
     }
 
     /// Builds a model checker with each memo explicitly on or off:
     /// `knows` gates the cross-formula `knows_set` memo, `pr` the
-    /// per-class inner-measure memo behind `pr_ge_set`. All four
-    /// combinations produce bit-identical satisfaction sets (pinned by
-    /// `tests/memo_consistency.rs` and the measure-kernel differential
-    /// suite); the knobs exist for differential testing and benches.
+    /// per-class inner-measure memo behind `pr_ge_set`, and `plan` the
+    /// per-agent batched [`SamplePlan`] that replaces per-point sample
+    /// extraction with a table lookup. All eight combinations produce
+    /// bit-identical satisfaction sets (pinned by
+    /// `tests/memo_consistency.rs`, the measure-kernel differential
+    /// suite, and `tests/plan_differential.rs`); the knobs exist for
+    /// differential testing and benches.
     #[must_use]
-    pub fn with_memos(pa: &'a ProbAssignment<'s>, knows: bool, pr: bool) -> Model<'a, 's> {
+    pub fn with_memos(
+        pa: &'a ProbAssignment<'s>,
+        knows: bool,
+        pr: bool,
+        plan: bool,
+    ) -> Model<'a, 's> {
         let all = Arc::new(pa.system().full_points());
         Model {
             pa,
@@ -128,6 +151,9 @@ impl<'a, 's> Model<'a, 's> {
             cache: Mutex::new(HashMap::new()),
             knows_memo: knows.then(|| Mutex::new(KnowsMemo::new())),
             pr_memo: pr.then(|| Mutex::new(PrMemo::new())),
+            plan_memo: plan.then(|| Mutex::new(HashMap::new())),
+            pr_memo_hits: AtomicU64::new(0),
+            plan_hits: AtomicU64::new(0),
         }
     }
 
@@ -153,6 +179,46 @@ impl<'a, 's> Model<'a, 's> {
     #[must_use]
     pub fn pr_memo_len(&self) -> usize {
         self.pr_memo.as_ref().map_or(0, |m| lock(m).len())
+    }
+
+    /// Whether the per-agent sample plan is enabled.
+    #[must_use]
+    pub fn plan_enabled(&self) -> bool {
+        self.plan_memo.is_some()
+    }
+
+    /// How many agents have a built plan in this model.
+    #[must_use]
+    pub fn plan_len(&self) -> usize {
+        self.plan_memo.as_ref().map_or(0, |m| lock(m).len())
+    }
+
+    /// How many `pr_memo` lookups have hit so far (a monotone
+    /// observability counter; see `tests/memo_consistency.rs`).
+    #[must_use]
+    pub fn pr_memo_hits(&self) -> u64 {
+        self.pr_memo_hits.load(Ordering::Relaxed)
+    }
+
+    /// How many `pr_ge_set` space lookups were served by a plan table
+    /// entry so far.
+    #[must_use]
+    pub fn plan_hits(&self) -> u64 {
+        self.plan_hits.load(Ordering::Relaxed)
+    }
+
+    /// The plan for `agent`, building (through the assignment's shared
+    /// per-agent plan cache) on first use. `None` when planning is
+    /// disabled.
+    fn plan_for(&self, agent: AgentId) -> Option<Arc<SamplePlan>> {
+        let memo = self.plan_memo.as_ref()?;
+        if let Some(plan) = lock(memo).get(&agent) {
+            return Some(Arc::clone(plan));
+        }
+        // Built outside the lock; the assignment dedupes, so racing
+        // builders converge on one shared plan per agent.
+        let plan = self.pa.sample_plan(agent);
+        Some(Arc::clone(lock(memo).entry(agent).or_insert(plan)))
     }
 
     /// The probability assignment being checked against.
@@ -364,10 +430,15 @@ impl<'a, 's> Model<'a, 's> {
     /// short-circuits repeats within a chunk, and the model-level
     /// [`Model::pr_memo_enabled`] memo — keyed by (space identity,
     /// sat-set fingerprint) and valued by the inner measure — shares
-    /// the query across chunks, thresholds α, and formulas. Both memos
-    /// cache pure functions of their keys, so partials stay
-    /// bit-identical to the serial, memo-free sweep, and unions combine
-    /// in chunk (= ascending point) order.
+    /// the query across chunks, thresholds α, and formulas. When the
+    /// sample plan is enabled the per-point *space lookup* is a table
+    /// index into the agent's batched [`SamplePlan`] (same `Arc`s as
+    /// the naive path, so memo keys are unchanged); points the plan
+    /// does not cover fall back to the per-point path, reproducing its
+    /// exact errors. All of these cache pure functions of their keys,
+    /// so partials stay bit-identical to the serial, memo-free,
+    /// unplanned sweep, and unions combine in chunk (= ascending point)
+    /// order.
     ///
     /// # Errors
     ///
@@ -380,28 +451,38 @@ impl<'a, 's> Model<'a, 's> {
     ) -> Result<PointSet, LogicError> {
         let sys = self.pa.system();
         let points: Vec<PointId> = sys.points().collect();
-        let partials =
-            Pool::current().par_map_chunks(points.len(), PR_MIN_CHUNK, |range| {
-                let mut acc = sys.empty_points();
-                let mut by_space: HashMap<*const kpa_assign::DensePointSpace, bool> =
-                    HashMap::new();
-                for &c in &points[range] {
-                    let space = self.pa.space(agent, c)?;
-                    let key = Arc::as_ptr(&space);
-                    let ok = match by_space.get(&key) {
-                        Some(&ok) => ok,
-                        None => {
-                            let ok = self.inner_of(&space, sat) >= alpha;
-                            by_space.insert(key, ok);
-                            ok
-                        }
-                    };
-                    if ok {
-                        acc.insert(c);
+        // Built (or fetched) once per sweep, outside the fan-out, so
+        // chunks share one immutable table and never contend on the
+        // assignment's plan mutex.
+        let plan = self.plan_for(agent);
+        let partials = Pool::current().par_map_chunks(points.len(), PR_MIN_CHUNK, |range| {
+            let mut acc = sys.empty_points();
+            let mut by_space: HashMap<*const kpa_assign::DensePointSpace, bool> = HashMap::new();
+            let mut hits = 0u64;
+            for &c in &points[range] {
+                let space = match plan.as_ref().and_then(|p| p.space(c)) {
+                    Some(space) => {
+                        hits += 1;
+                        Arc::clone(space)
                     }
+                    None => self.pa.space(agent, c)?,
+                };
+                let key = Arc::as_ptr(&space);
+                let ok = match by_space.get(&key) {
+                    Some(&ok) => ok,
+                    None => {
+                        let ok = self.inner_of(&space, sat) >= alpha;
+                        by_space.insert(key, ok);
+                        ok
+                    }
+                };
+                if ok {
+                    acc.insert(c);
                 }
-                Ok::<PointSet, LogicError>(acc)
-            });
+            }
+            self.plan_hits.fetch_add(hits, Ordering::Relaxed);
+            Ok::<PointSet, LogicError>(acc)
+        });
         let mut acc = sys.empty_points();
         for partial in partials {
             acc.union_with(&partial?);
@@ -422,6 +503,7 @@ impl<'a, 's> Model<'a, 's> {
         };
         let key = (Arc::as_ptr(space) as usize, sat.clone());
         if let Some(&hit) = lock(memo).get(&key) {
+            self.pr_memo_hits.fetch_add(1, Ordering::Relaxed);
             return hit;
         }
         // Measured outside the lock.

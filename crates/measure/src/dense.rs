@@ -165,7 +165,10 @@ impl DenseKernel {
     fn trace_of(&self, b: usize) -> (usize, &[u64]) {
         let (lo, hi) = self.block_span[b];
         let base = b * self.span_words;
-        (lo as usize, &self.traces[base + lo as usize..base + hi as usize])
+        (
+            lo as usize,
+            &self.traces[base + lo as usize..base + hi as usize],
+        )
     }
 
     /// Scans block `b` against the set's words: `(inside, touched)`.
@@ -320,13 +323,22 @@ mod tests {
             let set: BTreeSet<u32> = (0..8).filter(|i| mask & (1 << i) != 0).collect();
             let words = words_of(&set);
             assert_eq!(kernel.measure_words(&words), space.measure(&set));
-            assert_eq!(kernel.inner_measure_words(&words), space.inner_measure(&set));
-            assert_eq!(kernel.outer_measure_words(&words), space.outer_measure(&set));
+            assert_eq!(
+                kernel.inner_measure_words(&words),
+                space.inner_measure(&set)
+            );
+            assert_eq!(
+                kernel.outer_measure_words(&words),
+                space.outer_measure(&set)
+            );
             assert_eq!(
                 kernel.measure_interval_words(&words),
                 space.measure_interval(&set)
             );
-            assert_eq!(kernel.is_measurable_words(&words), space.is_measurable(&set));
+            assert_eq!(
+                kernel.is_measurable_words(&words),
+                space.is_measurable(&set)
+            );
         }
     }
 
@@ -344,8 +356,10 @@ mod tests {
     #[test]
     fn heterogeneous_weights_share_a_common_denominator() {
         let elems = [(0u32, 0u8), (1, 0), (2, 1), (3, 2)];
-        let space = BlockSpace::new(elems, |&b| [rat!(1 / 2), rat!(1 / 3), rat!(1 / 12)][b as usize])
-            .unwrap();
+        let space = BlockSpace::new(elems, |&b| {
+            [rat!(1 / 2), rat!(1 / 3), rat!(1 / 12)][b as usize]
+        })
+        .unwrap();
         let kernel = DenseKernel::from_space(&space, |&e| Some(e as usize)).unwrap();
         for mask in 0u32..16 {
             let set: BTreeSet<u32> = (0..4).filter(|i| mask & (1 << i) != 0).collect();

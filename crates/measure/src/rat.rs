@@ -110,7 +110,10 @@ impl Rat {
             );
             n as i128
         };
-        Rat { num, den: d as i128 }
+        Rat {
+            num,
+            den: d as i128,
+        }
     }
 
     /// Creates the rational `num / den`, returning `None` if `den == 0`.
@@ -319,9 +322,7 @@ impl Rat {
     pub fn sum_with_denom<I: IntoIterator<Item = i128>>(nums: I, den: i128) -> Rat {
         let mut acc: i128 = 0;
         for n in nums {
-            acc = acc
-                .checked_add(n)
-                .expect("rational numerator sum overflow");
+            acc = acc.checked_add(n).expect("rational numerator sum overflow");
         }
         Rat::new(acc, den)
     }
@@ -744,12 +745,12 @@ mod tests {
     #[test]
     fn add_fast_paths_match_general_path() {
         let cases = [
-            (Rat::new(1, 6), Rat::new(1, 6)),   // equal denominators
-            (Rat::new(1, 3), Rat::new(2, 3)),   // equal, sum reduces
-            (Rat::new(5, 1), Rat::new(2, 7)),   // integer lhs
-            (Rat::new(3, 8), Rat::new(-2, 1)),  // integer rhs
-            (Rat::new(-1, 6), Rat::new(1, 6)),  // cancel to zero
-            (Rat::new(1, 4), Rat::new(1, 6)),   // general lcm path
+            (Rat::new(1, 6), Rat::new(1, 6)),  // equal denominators
+            (Rat::new(1, 3), Rat::new(2, 3)),  // equal, sum reduces
+            (Rat::new(5, 1), Rat::new(2, 7)),  // integer lhs
+            (Rat::new(3, 8), Rat::new(-2, 1)), // integer rhs
+            (Rat::new(-1, 6), Rat::new(1, 6)), // cancel to zero
+            (Rat::new(1, 4), Rat::new(1, 6)),  // general lcm path
         ];
         for (a, b) in cases {
             // Reference: brute-force cross-multiplication.

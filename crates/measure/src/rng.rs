@@ -59,10 +59,7 @@ impl Rng64 {
 
     /// The next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -136,21 +133,24 @@ mod tests {
 
     #[test]
     fn deterministic_and_seed_sensitive() {
-        let a: Vec<u64> = (0..8).map({
-            let mut r = Rng64::new(1);
-            move |_| r.next_u64()
-        })
-        .collect();
-        let b: Vec<u64> = (0..8).map({
-            let mut r = Rng64::new(1);
-            move |_| r.next_u64()
-        })
-        .collect();
-        let c: Vec<u64> = (0..8).map({
-            let mut r = Rng64::new(2);
-            move |_| r.next_u64()
-        })
-        .collect();
+        let a: Vec<u64> = (0..8)
+            .map({
+                let mut r = Rng64::new(1);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map({
+                let mut r = Rng64::new(1);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let c: Vec<u64> = (0..8)
+            .map({
+                let mut r = Rng64::new(2);
+                move |_| r.next_u64()
+            })
+            .collect();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

@@ -317,7 +317,8 @@ impl Pool {
             }
             worker(0, &queues, &slots, &remaining, f, fault);
         });
-        slots.into_iter()
+        slots
+            .into_iter()
             .map(|s| {
                 s.into_inner()
                     .unwrap_or_else(PoisonError::into_inner)
@@ -362,7 +363,9 @@ impl<'env> Scope<'env> {
 
 impl std::fmt::Debug for Scope<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Scope").field("tasks", &self.tasks.len()).finish()
+        f.debug_struct("Scope")
+            .field("tasks", &self.tasks.len())
+            .finish()
     }
 }
 
@@ -422,8 +425,8 @@ fn worker<T, F>(
             if remaining.load(Ordering::Acquire) == 0 {
                 return;
             }
-            let task = pop_own(&queues[w], rng.as_mut())
-                .or_else(|| steal(w, n, queues, rng.as_mut()));
+            let task =
+                pop_own(&queues[w], rng.as_mut()).or_else(|| steal(w, n, queues, rng.as_mut()));
             match task {
                 Some(i) => {
                     let value = f(i);
@@ -519,7 +522,11 @@ mod tests {
             for len in [0usize, 1, 7, 64, 1000] {
                 let chunks = pool.par_map_chunks(len, 8, |r| r.collect::<Vec<usize>>());
                 let flat: Vec<usize> = chunks.into_iter().flatten().collect();
-                assert_eq!(flat, (0..len).collect::<Vec<_>>(), "threads={threads} len={len}");
+                assert_eq!(
+                    flat,
+                    (0..len).collect::<Vec<_>>(),
+                    "threads={threads} len={len}"
+                );
             }
         }
     }
@@ -540,7 +547,11 @@ mod tests {
         let serial = Pool::new(1).par_map(200, |i| i as u64 * 3 + 1);
         for seed in 0..16u64 {
             let pool = Pool::new(4).with_fault_seed(seed);
-            assert_eq!(pool.par_map(200, |i| i as u64 * 3 + 1), serial, "seed {seed}");
+            assert_eq!(
+                pool.par_map(200, |i| i as u64 * 3 + 1),
+                serial,
+                "seed {seed}"
+            );
             let chunked: Vec<u64> = pool
                 .par_map_chunks(200, 8, |r| r.map(|i| i as u64 * 3 + 1).collect::<Vec<_>>())
                 .into_iter()

@@ -227,9 +227,7 @@ pub fn coordinated_points(sys: &System) -> PointSet {
                     },
                 )
             })
-            .flat_map(|run| {
-                (0..=horizon).map(move |time| kpa_system::PointId { tree, run, time })
-            }),
+            .flat_map(|run| (0..=horizon).map(move |time| kpa_system::PointId { tree, run, time })),
     )
 }
 

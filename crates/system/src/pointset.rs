@@ -447,7 +447,11 @@ impl PointSet {
         let n = self.words.len();
         let mut words = vec![0u64; n];
         for (k, w) in words.iter_mut().enumerate() {
-            let hi = if k + 1 < n { self.words[k + 1] << 63 } else { 0 };
+            let hi = if k + 1 < n {
+                self.words[k + 1] << 63
+            } else {
+                0
+            };
             *w = (self.words[k] >> 1 | hi) & self.index.interior[k];
         }
         PointSet {

@@ -1,17 +1,27 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_3.json: the kernel-bench rows (dense PointSet sat
-# evaluator, pool parallel sweep, dense measure kernel, Pr memo) as
-# machine-readable JSON, plus the human-readable rows on stdout.
+# Regenerates BENCH_4.json: the kernel-bench rows (dense PointSet sat
+# evaluator, pool parallel sweep, dense measure kernel, Pr memo, and
+# the batched sample plan) as machine-readable JSON, plus the
+# human-readable rows on stdout — then gates the fresh rows against the
+# committed baseline via scripts/check_bench.py.
 #
-#   ./scripts/bench.sh                 # best-of-3 reps, writes BENCH_3.json
+#   ./scripts/bench.sh                 # best-of-3 reps, writes BENCH_4.json
 #   BENCH=1 ./scripts/bench.sh         # longer sweeps (--features bench)
 #   KPA_BENCH_JSON=out.json ./scripts/bench.sh   # custom output path
+#   KPA_BENCH_CHECK=0 ./scripts/bench.sh         # skip the regression gate
+#
+# When KPA_BENCH_JSON points somewhere other than the committed
+# BENCH_4.json (as CI does), the baseline stays untouched and the gate
+# compares fresh-vs-committed speedup ratios.  When the output *is* the
+# baseline (the default, i.e. you are re-baselining), the comparison
+# would be a no-op, so the gate is skipped.
 #
 # The workspace is dependency-free, so --offline always works.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${KPA_BENCH_JSON:-BENCH_3.json}"
+baseline="$(pwd)/BENCH_4.json"
+out="${KPA_BENCH_JSON:-BENCH_4.json}"
 # cargo runs the bench binary from the package directory, so anchor
 # relative paths to the repo root.
 case "${out}" in /*) ;; *) out="$(pwd)/${out}" ;; esac
@@ -24,3 +34,14 @@ echo "==> cargo bench -p kpa-bench --bench kernel --offline (JSON -> ${out})"
 KPA_BENCH_JSON="${out}" cargo bench -q -p kpa-bench --bench kernel --offline "${features[@]}"
 
 echo "bench rows written to ${out}"
+
+if [[ "${KPA_BENCH_CHECK:-1}" != "1" ]]; then
+    echo "KPA_BENCH_CHECK=${KPA_BENCH_CHECK:-1}; skipping regression gate"
+elif [[ "${out}" == "${baseline}" ]]; then
+    echo "output is the committed baseline; skipping self-comparison"
+elif [[ -f "${baseline}" ]]; then
+    echo "==> python3 scripts/check_bench.py ${baseline} ${out}"
+    python3 scripts/check_bench.py "${baseline}" "${out}"
+else
+    echo "no committed baseline at ${baseline}; skipping regression gate"
+fi

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for the kernel bench JSON (stdlib only).
+
+Compares a freshly generated ``BENCH_N.json`` against the committed
+baseline and fails (exit 1) when any asserted row regressed by more
+than the tolerance.
+
+The two files are usually produced on *different machines* (the
+committed baseline on a developer box, the fresh run on a CI runner),
+so absolute row seconds are not comparable.  What *is* comparable is
+each run's own ``speedups`` block: every speedup is a ratio of two rows
+measured in the same process on the same host, so host speed divides
+out.  The default mode therefore checks, per asserted speedup key:
+
+  1. ``fresh >= baseline * (1 - TOLERANCE)``  -- the relative gate: a
+     fresh ratio more than 30% below the committed one means the
+     optimized path lost >30% throughput against its own reference
+     path, i.e. a real regression rather than a slow runner.
+  2. ``fresh >= floor(key)``                   -- the absolute floor the
+     bench itself asserts (e.g. the dense measure kernel and the sample
+     plan must each stay >= 2x their naive paths).
+
+``par_sat_threads4_vs_1`` is deliberately *not* asserted: it measures
+core-count scaling and legitimately sits near 1x on single-core
+runners (the bench skips its own assert below 4 cores for the same
+reason).
+
+With ``--same-host`` the gate additionally compares absolute row
+seconds (fresh <= baseline * (1 + TOLERANCE) per row), for use when
+both files verifiably come from the same machine.
+
+Usage:
+    python3 scripts/check_bench.py BASELINE.json FRESH.json [--same-host]
+"""
+
+import json
+import sys
+
+# A fresh ratio may drop at most this fraction below the baseline.
+TOLERANCE = 0.30
+
+# Speedup keys the gate asserts, with the hard floor each must clear
+# regardless of the baseline (None = relative gate only).  The floors
+# mirror the asserts inside crates/bench/benches/kernel.rs so a stale
+# baseline cannot weaken them.
+ASSERTED = {
+    "sat_bitset_vs_btreeset": 2.0,
+    "measure_dense_vs_generic": 2.0,
+    "pr_ge_memo_on_vs_off": None,  # ~1x by design; see EXPERIMENTS.md
+    "pr_ge_plan_on_vs_off": 2.0,
+}
+
+# Ratios excluded on purpose; listed so a typo'd key is caught below.
+EXCLUDED = {"par_sat_threads4_vs_1"}
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as exc:
+        sys.exit(f"check_bench: cannot read {path}: {exc}")
+
+
+def check_speedups(baseline, fresh):
+    """Relative + floor gates over the asserted speedup keys."""
+    failures = []
+    base_sp = baseline.get("speedups", {})
+    fresh_sp = fresh.get("speedups", {})
+    for key, floor in sorted(ASSERTED.items()):
+        if key not in base_sp:
+            failures.append(f"baseline is missing speedup {key!r}")
+            continue
+        if key not in fresh_sp:
+            failures.append(f"fresh run is missing speedup {key!r}")
+            continue
+        base, new = float(base_sp[key]), float(fresh_sp[key])
+        cutoff = base * (1.0 - TOLERANCE)
+        status = "ok"
+        if new < cutoff:
+            status = f"REGRESSED (> {TOLERANCE:.0%} below baseline)"
+            failures.append(
+                f"{key}: {new:.2f}x vs baseline {base:.2f}x "
+                f"(cutoff {cutoff:.2f}x)"
+            )
+        if floor is not None and new < floor:
+            status = f"BELOW FLOOR {floor:.1f}x"
+            failures.append(f"{key}: {new:.2f}x is below the {floor:.1f}x floor")
+        print(
+            f"  {key:28s} baseline {base:8.2f}x  fresh {new:8.2f}x  {status}"
+        )
+    # Keys neither asserted nor excluded are new rows someone forgot to
+    # gate -- surface them rather than silently ignoring.
+    for key in sorted(fresh_sp):
+        if key not in ASSERTED and key not in EXCLUDED:
+            failures.append(
+                f"unrecognized speedup {key!r}: add it to ASSERTED or "
+                "EXCLUDED in scripts/check_bench.py"
+            )
+    return failures
+
+
+def check_rows_same_host(baseline, fresh):
+    """Absolute per-row seconds gate (--same-host only)."""
+    failures = []
+    base_rows = {r["label"]: float(r["seconds"]) for r in baseline.get("rows", [])}
+    for row in fresh.get("rows", []):
+        label, secs = row["label"], float(row["seconds"])
+        if label not in base_rows:
+            print(f"  {label:44s} (new row, no baseline)")
+            continue
+        base = base_rows[label]
+        limit = base * (1.0 + TOLERANCE)
+        status = "ok"
+        if secs > limit:
+            status = f"REGRESSED (> {TOLERANCE:.0%} slower)"
+            failures.append(
+                f"{label}: {secs * 1e3:.3f}ms vs baseline {base * 1e3:.3f}ms"
+            )
+        print(
+            f"  {label:44s} baseline {base * 1e3:10.3f}ms  "
+            f"fresh {secs * 1e3:10.3f}ms  {status}"
+        )
+    return failures
+
+
+def main(argv):
+    args = [a for a in argv if not a.startswith("--")]
+    flags = set(argv) - set(args)
+    unknown = flags - {"--same-host"}
+    if unknown or len(args) != 2:
+        sys.exit(__doc__.strip().splitlines()[-1].strip())
+    baseline_path, fresh_path = args
+    baseline, fresh = load(baseline_path), load(fresh_path)
+
+    print(f"bench gate: {fresh_path} vs baseline {baseline_path}")
+    print(f"speedup ratios (tolerance {TOLERANCE:.0%}, host-independent):")
+    failures = check_speedups(baseline, fresh)
+    if "--same-host" in flags:
+        print("absolute row seconds (--same-host):")
+        failures += check_rows_same_host(baseline, fresh)
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} bench regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("bench gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,12 +1,21 @@
 #!/usr/bin/env bash
 # CI entry point: the checks every PR must pass, runnable fully offline.
 #
-#   ./scripts/ci.sh          # build + test + clippy
+#   ./scripts/ci.sh          # fmt + build + test + bench gate + clippy
 #   FUZZ=1 ./scripts/ci.sh   # additionally run the widened property sweeps
+#
+# FUZZ=1 multiplies the sharded property-test case counts ~5x
+# (CASES 24 -> 128); in the hosted workflow those sweeps run as a
+# nightly scheduled job plus an opt-in `ci-fuzz` PR label rather than
+# on every push — see .github/workflows/ci.yml.  Locally the knob runs
+# them inline.
 #
 # The workspace has no external dependencies, so --offline always works.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
 
 echo "==> cargo build --release --offline"
 cargo build --release --offline
@@ -17,20 +26,26 @@ cargo test -q --offline --workspace
 # The serial/parallel differential suites at a pinned serial width and
 # a pinned parallel width: KPA_THREADS=1 is the reference semantics, and
 # KPA_THREADS=4 must reproduce it bit-for-bit regardless of core count.
-# measure_kernel_differential additionally pins the dense word-masked
-# measure kernel against the generic scan at both widths.
+# RUST_TEST_THREADS rides along so the sharded case splits inside each
+# binary line up with the pool width (tests/common shards by it).
+# measure_kernel_differential pins the dense word-masked measure kernel
+# against the generic scan, and plan_differential pins the batched
+# sample-plan table against the naive per-point path, both at each width.
 for threads in 1 4; do
-    echo "==> KPA_THREADS=${threads} cargo test -q --offline --test parallel_differential --test memo_consistency --test measure_kernel_differential"
-    KPA_THREADS="${threads}" cargo test -q --offline \
+    echo "==> KPA_THREADS=${threads} RUST_TEST_THREADS=${threads} cargo test -q --offline --test parallel_differential --test memo_consistency --test measure_kernel_differential --test plan_differential"
+    KPA_THREADS="${threads}" RUST_TEST_THREADS="${threads}" cargo test -q --offline \
         --test parallel_differential --test memo_consistency \
-        --test measure_kernel_differential
+        --test measure_kernel_differential --test plan_differential
 done
 
-# Bench smoke: the kernel bench asserts its output identities and the
-# dense measure kernel's ≥ 2× single-thread bound, and regenerates
-# BENCH_3.json (quick best-of-3 reps; BENCH=1 for the long sweeps).
-echo "==> scripts/bench.sh (kernel bench smoke + BENCH_3.json)"
-./scripts/bench.sh
+# Bench smoke + regression gate: the kernel bench asserts its output
+# identities, the dense measure kernel's ≥ 2× bound, and the sample
+# plan's ≥ 2× bound, then scripts/check_bench.py compares the fresh
+# speedup ratios against the committed BENCH_4.json (30% tolerance).
+# The fresh rows go to target/ so the committed baseline is not
+# clobbered; regenerate the baseline with a plain ./scripts/bench.sh.
+echo "==> scripts/bench.sh (kernel bench smoke + regression gate)"
+KPA_BENCH_JSON="${KPA_BENCH_JSON:-target/BENCH_4.fresh.json}" ./scripts/bench.sh
 
 if [[ "${FUZZ:-0}" == "1" ]]; then
     echo "==> cargo test -q --offline --workspace --features fuzz"

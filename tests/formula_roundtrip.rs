@@ -107,13 +107,17 @@ fn arb_formula(rng: &mut Rng64, depth: usize) -> Formula {
 /// multi-byte characters), up to `max` chars.
 fn arb_printable(rng: &mut Rng64, max: usize) -> String {
     const POOL: [char; 12] = ['a', 'Z', '0', ' ', '(', '"', '\\', '√', 'é', '∧', '¬', '→'];
-    (0..rng.index(max + 1)).map(|_| POOL[rng.index(POOL.len())]).collect()
+    (0..rng.index(max + 1))
+        .map(|_| POOL[rng.index(POOL.len())])
+        .collect()
 }
 
 /// A random string over the grammar's own operator alphabet.
 fn arb_soup(rng: &mut Rng64, max: usize) -> String {
     const POOL: &[u8] = b"KCE{}()!&|<>-[]^/0123456789abcdefgzA=:. ";
-    (0..rng.index(max + 1)).map(|_| POOL[rng.index(POOL.len())] as char).collect()
+    (0..rng.index(max + 1))
+        .map(|_| POOL[rng.index(POOL.len())] as char)
+        .collect()
 }
 
 /// Rendering then parsing reproduces the formula, and re-rendering the
@@ -124,8 +128,8 @@ fn display_parse_roundtrip() {
         for _ in 0..8 {
             let f = arb_formula(rng, 4);
             let rendered = f.to_string();
-            let parsed = parse_formula(&rendered, resolve)
-                .unwrap_or_else(|e| panic!("{rendered:?}: {e}"));
+            let parsed =
+                parse_formula(&rendered, resolve).unwrap_or_else(|e| panic!("{rendered:?}: {e}"));
             assert_eq!(parsed, f, "render: {rendered}");
             // Idempotence: rendering the parse gives the same string.
             assert_eq!(parsed.to_string(), rendered);

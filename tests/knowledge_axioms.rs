@@ -39,11 +39,9 @@ fn s5_axioms() {
                     .unwrap());
                 // K distributes over implication (K axiom).
                 let psi = Formula::prop(&phi_name).not();
-                let dist = Formula::and([
-                    phi.clone().implies(psi.clone()).known_by(agent),
-                    k.clone(),
-                ])
-                .implies(psi.clone().known_by(agent));
+                let dist =
+                    Formula::and([phi.clone().implies(psi.clone()).known_by(agent), k.clone()])
+                        .implies(psi.clone().known_by(agent));
                 assert!(model.holds_everywhere(&dist).unwrap());
             }
         }
@@ -107,8 +105,7 @@ fn probabilistic_common_knowledge_fixed_point() {
         for phi_name in prop_names(&spec) {
             let phi = Formula::prop(&phi_name);
             let c = phi.clone().common_alpha(group.clone(), alpha);
-            let body =
-                Formula::and([phi.clone(), c.clone()]).everyone_alpha(group.clone(), alpha);
+            let body = Formula::and([phi.clone(), c.clone()]).everyone_alpha(group.clone(), alpha);
             assert!(model.holds_everywhere(&c.clone().iff(body)).unwrap());
         }
     });

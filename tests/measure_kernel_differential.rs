@@ -255,7 +255,9 @@ fn pr_memo_is_observationally_invisible() {
         ];
         let post = ProbAssignment::new(&sys, Assignment::post());
         let memoized = Model::new(&post);
-        let plain = Model::with_memos(&post, true, false);
+        // Plan off too, so the comparison covers the fully unassisted
+        // per-point path (the plan has its own differential suite).
+        let plain = Model::with_memos(&post, true, false, false);
         assert!(memoized.pr_memo_enabled());
         assert!(!plain.pr_memo_enabled());
         for threads in [1, 4] {

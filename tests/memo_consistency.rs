@@ -67,7 +67,9 @@ fn walkthrough_sizes_are_memo_invariant() {
         Formula::prop("recent=h").eventually(),
         Formula::prop("recent=h").known_by(p2),
         Formula::prop("recent=h").k_alpha(p2, rat!(1 / 2)),
-        Formula::prop("recent=h").k_alpha(p2, rat!(1 / 2)).common([p2]),
+        Formula::prop("recent=h")
+            .k_alpha(p2, rat!(1 / 2))
+            .common([p2]),
     ];
     assert_eq!(
         sizes_memo_vs_fresh(&tosses, &tosses_formulas),
@@ -142,4 +144,54 @@ fn interleaved_shared_subterms_match_fresh() {
             "memoized knows_set diverged from knows_set_fresh"
         );
     });
+}
+
+/// The PR 4 warm path, pinned through the always-on hit counters: two
+/// `Pr_i ≥ α` formulas over the *same* body visit the same spaces (via
+/// the sample-plan table) with the same sat set, so the second sweep
+/// re-reads the per-class `Pr` memo instead of growing it.
+#[test]
+fn interleaved_pr_ge_thresholds_hit_the_plan_and_pr_memo() {
+    let sys = async_coin_tosses(3).expect("builds");
+    let p1 = AgentId(0);
+    let post = ProbAssignment::new(&sys, Assignment::post());
+    let model = Model::new(&post);
+    assert!(model.plan_enabled() && model.pr_memo_enabled());
+
+    let phi = Formula::prop("recent=h");
+    let weak = phi.clone().pr_ge(p1, rat!(1 / 4));
+    let strong = phi.clone().pr_ge(p1, rat!(3 / 4));
+
+    let sat_weak = model.sat(&weak).expect("model checks").clone();
+    let len_after_first = model.pr_memo_len();
+    let hits_after_first = model.pr_memo_hits();
+    assert!(len_after_first > 0, "first sweep must seed the Pr memo");
+
+    // Same body, same classes, different threshold: the memo already
+    // holds every (space, sat-set) inner measure the second sweep
+    // needs, so it may not insert — only hit.
+    let sat_strong = model.sat(&strong).expect("model checks").clone();
+    assert_eq!(
+        model.pr_memo_len(),
+        len_after_first,
+        "a shared-class threshold family must not grow the Pr memo"
+    );
+    assert!(
+        model.pr_memo_hits() > hits_after_first,
+        "the second threshold sweep must be answered from the Pr memo"
+    );
+
+    // Both sweeps resolved their spaces through the batched plan table:
+    // one sample extraction per class, fewer classes than points.
+    assert!(
+        model.plan_hits() > 0,
+        "sweeps must take the plan table path"
+    );
+    let plan = post.sample_plan(p1);
+    assert!(plan.is_batched());
+    assert_eq!(plan.extractions(), plan.classes());
+    assert!(plan.extractions() < sys.point_count());
+
+    // And the verdicts are coherent: Pr ≥ 3/4 implies Pr ≥ 1/4.
+    assert!(sat_strong.is_subset(&sat_weak));
 }

@@ -119,7 +119,10 @@ fn sat_sets_on_walkthrough_systems_are_pinned() {
     let model = Model::new(&post);
     for (expected, f) in [
         (64, Formula::prop("recent=h").eventually()),
-        (0, Formula::prop("recent=h").k_alpha(AgentId(0), rat!(1 / 2))),
+        (
+            0,
+            Formula::prop("recent=h").k_alpha(AgentId(0), rat!(1 / 2)),
+        ),
         (44, Formula::prop("c0=h").until(Formula::prop("recent=t"))),
     ] {
         assert_eq!(model.sat(&f).unwrap().len(), expected, "async tosses: {f}");

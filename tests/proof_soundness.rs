@@ -238,8 +238,10 @@ fn axiom_instances_are_valid() {
         ];
         for (which, axiom) in instances.into_iter().enumerate() {
             let f = axiom.formula().expect("well-formed instance");
-            for assignment in [Assignment::post(), Assignment::opp(AgentId(sys.agent_count() - 1))]
-            {
+            for assignment in [
+                Assignment::post(),
+                Assignment::opp(AgentId(sys.agent_count() - 1)),
+            ] {
                 let pa = ProbAssignment::new(&sys, assignment);
                 let model = Model::new(&pa);
                 assert!(

@@ -107,12 +107,11 @@ fn boolean_laws() {
             .not()
             .iff(Formula::or([a.clone().not(), b.clone().not()]));
         assert!(model.holds_everywhere(&demorgan).unwrap());
-        let dist = Formula::and([a.clone(), Formula::or([b.clone(), Formula::True])]).iff(
-            Formula::or([
+        let dist =
+            Formula::and([a.clone(), Formula::or([b.clone(), Formula::True])]).iff(Formula::or([
                 Formula::and([a.clone(), b.clone()]),
                 Formula::and([a.clone(), Formula::True]),
-            ]),
-        );
+            ]));
         assert!(model.holds_everywhere(&dist).unwrap());
     });
 }
