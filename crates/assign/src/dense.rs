@@ -80,12 +80,24 @@ impl DensePointSpace {
     }
 
     /// Selects the kernel iff the queried set exposes compatible words.
+    ///
+    /// Each generic fallback bumps `assign.generic_measure` in the trace
+    /// registry (the dense side is counted inside the kernel as
+    /// `measure.dense_query`), so a traced bench run can prove which
+    /// path its measure queries actually took.
     #[inline]
     fn dense<'a, S: MemberSet<PointId> + ?Sized>(
         &'a self,
         set: &'a S,
     ) -> Option<(&'a DenseKernel, &'a [u64])> {
-        Some((self.kernel.as_ref()?, set.member_words()?))
+        let picked = self
+            .kernel
+            .as_ref()
+            .and_then(|k| Some((k, set.member_words()?)));
+        if picked.is_none() {
+            kpa_trace::count!("assign.generic_measure");
+        }
+        picked
     }
 
     /// Dispatching [`PointSpace::measure`] (same name, same bounds —

@@ -142,10 +142,13 @@ impl<'s> ProbAssignment<'s> {
         if !sample.is_subset(self.sys.tree_set(first.tree)) {
             return Err(AssignError::Req1Violated { agent, point: c });
         }
-        let shard = &self.cache[shard_index(agent, first, sample.len())];
+        let shard_idx = shard_index(agent, first, sample.len());
+        let shard = &self.cache[shard_idx];
         if let Some(space) = lock(shard).get(&(agent, sample.clone())) {
+            trace_space_cache(shard_idx, true);
             return Ok(Arc::clone(space));
         }
+        trace_space_cache(shard_idx, false);
         // Built outside the lock: concurrent sweeps may construct the
         // same space twice, but the entries are structurally equal, so
         // whichever insert wins the results are identical.
@@ -168,6 +171,7 @@ impl<'s> ProbAssignment<'s> {
     #[must_use]
     pub fn sample_plan(&self, agent: AgentId) -> Arc<SamplePlan> {
         if let Some(plan) = lock(&self.plans).get(&agent) {
+            kpa_trace::count!("assign.plan_cache_hit");
             return Arc::clone(plan);
         }
         // Built outside the lock (it walks the whole system); racing
@@ -191,8 +195,14 @@ impl<'s> ProbAssignment<'s> {
     ) -> Result<Arc<DensePointSpace>, AssignError> {
         let plan = self.sample_plan(agent);
         match plan.space(c) {
-            Some(space) => Ok(Arc::clone(space)),
-            None => self.space(agent, c),
+            Some(space) => {
+                kpa_trace::count!("assign.planned_space_hit");
+                Ok(Arc::clone(space))
+            }
+            None => {
+                kpa_trace::count!("assign.planned_space_fallback");
+                self.space(agent, c)
+            }
         }
     }
 
@@ -205,6 +215,7 @@ impl<'s> ProbAssignment<'s> {
         let batched = !matches!(self.assignment, Assignment::Custom { .. });
         let mut extractions = 0usize;
         let mut covered = 0usize;
+        let mut req_skips = 0u64;
         let mut distinct: HashSet<usize> = HashSet::new();
         for c in self.sys.points() {
             let ci = index.index_of(c);
@@ -216,6 +227,7 @@ impl<'s> ProbAssignment<'s> {
             let Ok(space) = self.space_of_sample(agent, c, sample.clone()) else {
                 // REQ1/REQ2 violation: leave the point unplanned so the
                 // fallback path reports the identical per-point error.
+                req_skips += 1;
                 continue;
             };
             distinct.insert(Arc::as_ptr(&space) as usize);
@@ -235,6 +247,22 @@ impl<'s> ProbAssignment<'s> {
                 table[ci] = Some(space);
                 covered += 1;
             }
+        }
+        // Plan-build fanout: how much one extraction bought (batched
+        // plans fill whole classes; per-point plans fill one entry) and
+        // how many points stayed unplanned because the assignment
+        // violates REQ1/REQ2 there.
+        kpa_trace::count!("assign.plan_builds");
+        kpa_trace::count!("assign.plan_extractions", extractions as u64);
+        kpa_trace::count!("assign.plan_covered", covered as u64);
+        kpa_trace::count!("assign.plan_req_skips", req_skips);
+        if batched {
+            kpa_trace::count!("assign.plan_batched");
+        } else {
+            kpa_trace::count!("assign.plan_per_point");
+        }
+        if let Some(fanout) = covered.checked_div(extractions) {
+            kpa_trace::record!("assign.plan_fanout", fanout as u64);
         }
         SamplePlan::new(
             agent,
@@ -432,6 +460,41 @@ fn shard_index(agent: AgentId, first: PointId, len: usize) -> usize {
         ^ (first.tree.0 as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93)
         ^ (len as u64);
     (mix.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 32) as usize % SPACE_SHARDS
+}
+
+/// Bumps the hit or miss counter of one space-cache shard (plus the
+/// cross-shard aggregate). The per-shard `&'static Counter` pairs are
+/// resolved once — the registry's name map is consulted only on the
+/// first traced lookup of the process — and the whole function is a
+/// single relaxed load while tracing is off. Shard names are the one
+/// place the workspace uses dynamically built metric names, which is
+/// why this calls `Registry::counter` directly instead of the
+/// constant-name `count!` macro.
+fn trace_space_cache(shard: usize, hit: bool) {
+    if !kpa_trace::enabled() {
+        return;
+    }
+    type ShardCounters = Vec<(&'static kpa_trace::Counter, &'static kpa_trace::Counter)>;
+    static SLOTS: std::sync::OnceLock<ShardCounters> = std::sync::OnceLock::new();
+    let slots = SLOTS.get_or_init(|| {
+        let reg = kpa_trace::registry();
+        (0..SPACE_SHARDS)
+            .map(|s| {
+                (
+                    reg.counter(&format!("assign.space_cache.shard{s:02}.hit")),
+                    reg.counter(&format!("assign.space_cache.shard{s:02}.miss")),
+                )
+            })
+            .collect()
+    });
+    let (hits, misses) = slots[shard];
+    if hit {
+        hits.incr();
+        kpa_trace::count!("assign.space_cache_hit");
+    } else {
+        misses.incr();
+        kpa_trace::count!("assign.space_cache_miss");
+    }
 }
 
 /// Locks a mutex, recovering the guard from a poisoned lock. The cache

@@ -112,6 +112,7 @@ impl CutClass {
         region: &PointSet,
         phi: &PointSet,
     ) -> Result<(Rat, Rat), AsyncError> {
+        kpa_trace::count!("async.cut_bounds");
         let Some(first) = region.first() else {
             return Err(AsyncError::EmptyCut);
         };
@@ -239,6 +240,7 @@ impl CutClass {
     ) -> Result<(Rat, Rat), AsyncError> {
         match self {
             CutClass::AllPoints => {
+                kpa_trace::count!("async.cut_bounds_via");
                 if space.elements().is_empty() {
                     return Err(AsyncError::EmptyCut);
                 }

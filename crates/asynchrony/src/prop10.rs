@@ -79,18 +79,31 @@ pub fn prop10_holds(sys: &System, agent: AgentId, phi: &PointSet) -> Result<bool
     // on the pool and conjoin partials in chunk order — the exact
     // boolean a serial sweep computes (each chunk short-circuits
     // internally; `&&` over ordered chunks is associative and exact).
+    let _sweep_timer = kpa_trace::span!("async.prop10_ns");
     let partials = Pool::current().par_map_chunks(points.len(), POINT_MIN_CHUNK, |range| {
+        kpa_trace::count!("async.prop10_points", range.len() as u64);
+        let (mut plan_hits, mut fallbacks) = (0u64, 0u64);
+        let mut chunk_ok = true;
         for &c in &points[range] {
             let pts = match plan.space(c) {
-                Some(space) => CutClass::AllPoints.bounds_via(sys, space, phi)?,
-                None => pts_interval(sys, agent, c, phi)?,
+                Some(space) => {
+                    plan_hits += 1;
+                    CutClass::AllPoints.bounds_via(sys, space, phi)?
+                }
+                None => {
+                    fallbacks += 1;
+                    pts_interval(sys, agent, c, phi)?
+                }
             };
             let direct = post.interval(agent, c, phi)?;
             if pts != direct {
-                return Ok(false);
+                chunk_ok = false;
+                break;
             }
         }
-        Ok::<bool, AsyncError>(true)
+        kpa_trace::count!("async.plan_hit", plan_hits);
+        kpa_trace::count!("async.plan_fallback", fallbacks);
+        Ok::<bool, AsyncError>(chunk_ok)
     });
     let mut all = true;
     for partial in partials {

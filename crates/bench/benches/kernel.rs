@@ -27,9 +27,14 @@
 //! required to be ≥ 2× faster — the speedup the `Pr` memo alone could
 //! not deliver while every point re-extracted its sample.
 //!
+//! After the timed sections, a traced pass re-runs each row's workload
+//! once under `kpa-trace` and asserts — via the kernel fallback
+//! counters — that the dense rows actually exercised the dense path.
+//!
 //! Run with `cargo bench -p kpa-bench --bench kernel`. Set
-//! `KPA_BENCH_JSON=BENCH_4.json` (or use `scripts/bench.sh`) to emit
-//! the rows as machine-readable JSON.
+//! `KPA_BENCH_JSON=BENCH_5.json` (or use `scripts/bench.sh`) to emit
+//! the rows as machine-readable JSON, and `KPA_TRACE_JSON=TRACE_5.json`
+//! to emit the traced pass's counter report.
 
 use kpa_assign::{Assignment, ProbAssignment};
 use kpa_logic::{Formula, Model};
@@ -435,7 +440,111 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
-    // Machine-readable rows (BENCH_4.json) when KPA_BENCH_JSON is set —
+    // Traced pass: re-run each row's workload ONCE with tracing enabled
+    // and attribute counter deltas to rows. This runs strictly after
+    // every timed section, so instrumentation cannot perturb the
+    // timings above — and it proves, via the kernel fallback counters,
+    // that the "dense" rows actually took the dense path rather than
+    // silently falling back to the generic scan.
+    // ------------------------------------------------------------------
+    kpa_trace::Trace::enabled(true);
+    kpa_trace::registry().reset();
+    let mut row_deltas: std::collections::BTreeMap<
+        String,
+        std::collections::BTreeMap<String, u64>,
+    > = std::collections::BTreeMap::new();
+    {
+        let mut traced = |label: String, work: &mut dyn FnMut()| {
+            let before = kpa_trace::registry().snapshot();
+            work();
+            let after = kpa_trace::registry().snapshot();
+            row_deltas.insert(label, after.delta_counters(&before));
+        };
+        traced(format!("kernel_sat/bitset/{n_points}"), &mut || {
+            let model = Model::new(&post);
+            let _ = model.sat(&f).expect("model checks").len();
+        });
+        traced(format!("kernel_par_sat/threads=4/{n_points}"), &mut || {
+            kpa_pool::with_threads(4, || {
+                let fresh = ProbAssignment::new(&sys, Assignment::fut());
+                let _ = Model::new(&fresh).sat(&g).expect("model checks").len();
+            });
+        });
+        traced(
+            format!("measure_interval/dense/{n_spaces}x{n_points}"),
+            &mut || {
+                for s in &spaces {
+                    for q in &queries {
+                        let _ = s.measure_interval(q);
+                    }
+                }
+            },
+        );
+        traced(
+            format!("measure_interval/generic/{n_spaces}x{n_points}"),
+            &mut || {
+                for s in &spaces {
+                    for q in &queries {
+                        let _ = s.generic().measure_interval(q);
+                    }
+                }
+            },
+        );
+        traced(format!("pr_ge_family/memo_on/{n_points}"), &mut || {
+            let _ = run_family(true);
+        });
+        traced(format!("pr_ge_family/plan_on/{n_points}"), &mut || {
+            let _ = run_family_planned(true);
+        });
+    }
+    // The dense row must be all-kernel: every query word-wise, zero
+    // generic fallbacks through the dispatching space.
+    let dense_row = &row_deltas[&format!("measure_interval/dense/{n_spaces}x{n_points}")];
+    let dense_queries = dense_row.get("measure.dense_query").copied().unwrap_or(0);
+    let dense_fallbacks = dense_row
+        .get("assign.generic_measure")
+        .copied()
+        .unwrap_or(0);
+    assert!(
+        dense_queries as usize >= n_spaces * queries.len(),
+        "dense row must take the word-wise path on every query \
+         (saw {dense_queries} dense queries for {n_spaces}x{} work)",
+        queries.len()
+    );
+    assert_eq!(
+        dense_fallbacks, 0,
+        "dense row must not fall back to the generic element scan"
+    );
+    // The generic row goes around the dispatcher entirely: no dense
+    // queries at all.
+    let generic_row = &row_deltas[&format!("measure_interval/generic/{n_spaces}x{n_points}")];
+    assert_eq!(
+        generic_row.get("measure.dense_query").copied().unwrap_or(0),
+        0,
+        "generic row must not touch the dense kernel"
+    );
+    // The planned sweep must actually hit the plan.
+    let plan_row = &row_deltas[&format!("pr_ge_family/plan_on/{n_points}")];
+    let plan_hits_traced = plan_row.get("logic.plan_hit").copied().unwrap_or(0);
+    assert!(
+        plan_hits_traced > 0,
+        "planned Pr row must resolve spaces through the sample plan"
+    );
+    println!(
+        "\ntraced pass: {dense_queries} dense queries on the dense row, \
+         0 generic fallbacks, {plan_hits_traced} plan hits on the planned row"
+    );
+    let mut trace_report = kpa_trace::registry().snapshot();
+    trace_report.rows = row_deltas;
+    if let Ok(tpath) = std::env::var("KPA_TRACE_JSON") {
+        std::fs::write(&tpath, trace_report.to_json("kernel"))
+            .unwrap_or_else(|e| panic!("failed to write {tpath}: {e}"));
+        println!("wrote {tpath}");
+    }
+    kpa_trace::Trace::enabled(false);
+
+    // ------------------------------------------------------------------
+    // Machine-readable rows (BENCH_5.json) when KPA_BENCH_JSON is set —
     // see scripts/bench.sh.
     // ------------------------------------------------------------------
     if let Ok(path) = std::env::var("KPA_BENCH_JSON") {

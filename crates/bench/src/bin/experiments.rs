@@ -1,6 +1,16 @@
 //! Prints the full E1–E16 paper-vs-measured table.
+//!
+//! With `KPA_TRACE=1` (or `--trace`) the run ends with the `kpa-trace`
+//! counter/histogram report — system builds, cache hit rates, dense
+//! kernel traffic, and pool scheduling across all experiments.
 
 fn main() {
+    if std::env::args().any(|a| a == "--trace") {
+        kpa_trace::Trace::enabled(true);
+    }
+    if kpa_trace::Trace::is_enabled() {
+        kpa_trace::registry().reset();
+    }
     let rows = kpa_bench::all_experiments();
     let mut current = "";
     let mut mismatches = 0usize;
@@ -21,6 +31,9 @@ fn main() {
         rows.len(),
         mismatches
     );
+    if kpa_trace::Trace::is_enabled() {
+        print!("\n{}", kpa_trace::registry().snapshot().render_table());
+    }
     if mismatches > 0 {
         std::process::exit(1);
     }

@@ -138,6 +138,7 @@ impl<'s> BettingGame<'s> {
         space: &DensePointSpace,
         rule: &BetRule,
     ) -> Result<bool, BettingError> {
+        kpa_trace::count!("betting.break_even_evals");
         let threshold = Strategy::constant(rule.min_payoff());
         let e = inner_expected_winnings(space, self.sys, self.opponent, rule, &threshold)?;
         Ok(e >= Rat::ZERO)
@@ -197,6 +198,8 @@ impl<'s> BettingGame<'s> {
         &self,
         pred: impl Fn(&DensePointSpace) -> Result<bool, BettingError> + Sync,
     ) -> Result<PointSet, BettingError> {
+        kpa_trace::count!("betting.class_sweeps");
+        let _sweep_timer = kpa_trace::span!("betting.class_sweep_ns");
         let classes: Vec<&PointSet> = self
             .sys
             .local_classes(self.bettor)
@@ -205,6 +208,8 @@ impl<'s> BettingGame<'s> {
         let plan = self.opp.sample_plan(self.bettor);
         let partials = Pool::current().par_map_chunks(classes.len(), CLASS_MIN_CHUNK, |range| {
             let mut acc = self.sys.empty_points();
+            let (mut plan_hits, mut fallbacks) = (0u64, 0u64);
+            kpa_trace::count!("betting.classes_scanned", range.len() as u64);
             for class in &classes[range] {
                 let all_pass =
                     class
@@ -215,8 +220,14 @@ impl<'s> BettingGame<'s> {
                             // per-point sweep it replaces.
                             Ok(ok && {
                                 let space = match plan.space(d) {
-                                    Some(space) => Arc::clone(space),
-                                    None => self.opp.space(self.bettor, d)?,
+                                    Some(space) => {
+                                        plan_hits += 1;
+                                        Arc::clone(space)
+                                    }
+                                    None => {
+                                        fallbacks += 1;
+                                        self.opp.space(self.bettor, d)?
+                                    }
                                 };
                                 pred(&space)?
                             })
@@ -225,6 +236,8 @@ impl<'s> BettingGame<'s> {
                     acc.union_with(class);
                 }
             }
+            kpa_trace::count!("betting.plan_hit", plan_hits);
+            kpa_trace::count!("betting.plan_fallback", fallbacks);
             Ok::<PointSet, BettingError>(acc)
         });
         let mut acc = self.sys.empty_points();
@@ -338,8 +351,10 @@ impl<'s> BettingGame<'s> {
     ///
     /// As [`BettingGame::tree_safe_at`].
     pub fn proposition6_holds(&self, rule: &BetRule) -> Result<bool, BettingError> {
+        let _sweep_timer = kpa_trace::span!("betting.prop6_ns");
         let points: Vec<PointId> = self.sys.points().collect();
         let partials = Pool::current().par_map_chunks(points.len(), POINT_MIN_CHUNK, |range| {
+            kpa_trace::count!("betting.prop6_points", range.len() as u64);
             for &c in &points[range] {
                 if self.tree_safe_at(c, rule)? != self.is_safe_at(c, rule)? {
                     return Ok(false);

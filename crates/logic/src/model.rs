@@ -82,13 +82,13 @@ pub struct Model<'a, 's> {
     /// `pr_memo` above finally hits on a warm path. `None` disables
     /// planning (differential testing / the unplanned bench row).
     plan_memo: Option<Mutex<HashMap<AgentId, Arc<SamplePlan>>>>,
-    /// Observability counter: `pr_memo` lookups that hit. Always
-    /// compiled (integration tests and benches build this crate without
-    /// `cfg(test)`), relaxed — a monotone diagnostic, never consulted
-    /// by the semantics.
+    /// Per-model mirror of the `logic.pr_memo_hit` registry counter,
+    /// kept (always compiled, relaxed) only to back the deprecated
+    /// [`Model::pr_memo_hits`] shim. The process-global `kpa-trace`
+    /// registry is the first-class surface for this signal.
     pr_memo_hits: AtomicU64,
-    /// Observability counter: `pr_ge_set` space lookups served by a
-    /// plan table entry (as opposed to the per-point fallback).
+    /// Per-model mirror of the `logic.plan_hit` registry counter,
+    /// backing the deprecated [`Model::plan_hits`] shim.
     plan_hits: AtomicU64,
 }
 
@@ -193,15 +193,32 @@ impl<'a, 's> Model<'a, 's> {
         self.plan_memo.as_ref().map_or(0, |m| lock(m).len())
     }
 
-    /// How many `pr_memo` lookups have hit so far (a monotone
-    /// observability counter; see `tests/memo_consistency.rs`).
+    /// How many `pr_memo` lookups have hit *on this model* so far.
+    ///
+    /// Deprecated shim: the counter moved into the process-global
+    /// `kpa-trace` registry as `logic.pr_memo_hit` (enable with
+    /// `KPA_TRACE=1` / `kpa_trace::set_enabled(true)`, read via
+    /// `kpa_trace::registry().snapshot()`). The per-model mirror stays
+    /// always-on so existing callers keep exact per-model counts.
+    #[deprecated(
+        since = "0.1.0",
+        note = "read `logic.pr_memo_hit` from the kpa-trace registry instead"
+    )]
     #[must_use]
     pub fn pr_memo_hits(&self) -> u64 {
         self.pr_memo_hits.load(Ordering::Relaxed)
     }
 
     /// How many `pr_ge_set` space lookups were served by a plan table
-    /// entry so far.
+    /// entry *on this model* so far.
+    ///
+    /// Deprecated shim: the counter moved into the process-global
+    /// `kpa-trace` registry as `logic.plan_hit` (see
+    /// [`Model::pr_memo_hits`] for how to read it).
+    #[deprecated(
+        since = "0.1.0",
+        note = "read `logic.plan_hit` from the kpa-trace registry instead"
+    )]
     #[must_use]
     pub fn plan_hits(&self) -> u64 {
         self.plan_hits.load(Ordering::Relaxed)
@@ -237,8 +254,12 @@ impl<'a, 's> Model<'a, 's> {
     /// (REQ violations of the assignment).
     pub fn sat(&self, f: &Formula) -> Result<Arc<PointSet>, LogicError> {
         if let Some(hit) = lock(&self.cache).get(f) {
+            kpa_trace::count!("logic.sat_cache_hit");
             return Ok(Arc::clone(hit));
         }
+        // One evaluated formula node (sub-nodes recurse through `sat`
+        // and are counted at their own entry).
+        kpa_trace::count!("logic.sat_eval");
         let sys = self.pa.system();
         let result: PointSet = match f {
             Formula::True => (*self.all).clone(),
@@ -276,6 +297,7 @@ impl<'a, 's> Model<'a, 's> {
                 let goal = self.sat(y)?;
                 let mut acc = (*goal).clone();
                 loop {
+                    kpa_trace::count!("logic.until_iters");
                     let mut next = acc.precursors();
                     next.intersect_with(&hold);
                     next.union_with(&goal);
@@ -384,6 +406,7 @@ impl<'a, 's> Model<'a, 's> {
     pub fn knows_set(&self, agent: AgentId, sat: &PointSet) -> PointSet {
         if let Some(memo) = &self.knows_memo {
             if let Some(hit) = lock(memo).get(&(agent, sat.clone())) {
+                kpa_trace::count!("logic.knows_memo_hit");
                 return (**hit).clone();
             }
             let fresh = self.knows_set_fresh(agent, sat);
@@ -403,6 +426,7 @@ impl<'a, 's> Model<'a, 's> {
     /// result is bit-identical at any thread count.
     #[must_use]
     pub fn knows_set_fresh(&self, agent: AgentId, sat: &PointSet) -> PointSet {
+        kpa_trace::count!("logic.knows_scan");
         let sys = self.pa.system();
         let classes: Vec<&PointSet> = sys.local_classes(agent).map(|(_, class)| class).collect();
         let partials = Pool::current().par_map_chunks(classes.len(), KNOWS_MIN_CHUNK, |range| {
@@ -459,13 +483,17 @@ impl<'a, 's> Model<'a, 's> {
             let mut acc = sys.empty_points();
             let mut by_space: HashMap<*const kpa_assign::DensePointSpace, bool> = HashMap::new();
             let mut hits = 0u64;
+            let mut fallbacks = 0u64;
             for &c in &points[range] {
                 let space = match plan.as_ref().and_then(|p| p.space(c)) {
                     Some(space) => {
                         hits += 1;
                         Arc::clone(space)
                     }
-                    None => self.pa.space(agent, c)?,
+                    None => {
+                        fallbacks += 1;
+                        self.pa.space(agent, c)?
+                    }
                 };
                 let key = Arc::as_ptr(&space);
                 let ok = match by_space.get(&key) {
@@ -481,6 +509,8 @@ impl<'a, 's> Model<'a, 's> {
                 }
             }
             self.plan_hits.fetch_add(hits, Ordering::Relaxed);
+            kpa_trace::count!("logic.plan_hit", hits);
+            kpa_trace::count!("logic.plan_fallback", fallbacks);
             Ok::<PointSet, LogicError>(acc)
         });
         let mut acc = sys.empty_points();
@@ -504,8 +534,10 @@ impl<'a, 's> Model<'a, 's> {
         let key = (Arc::as_ptr(space) as usize, sat.clone());
         if let Some(&hit) = lock(memo).get(&key) {
             self.pr_memo_hits.fetch_add(1, Ordering::Relaxed);
+            kpa_trace::count!("logic.pr_memo_hit");
             return hit;
         }
+        kpa_trace::count!("logic.pr_memo_miss");
         // Measured outside the lock.
         let fresh = space.inner_measure(sat);
         *lock(memo).entry(key).or_insert(fresh)
@@ -519,6 +551,7 @@ impl<'a, 's> Model<'a, 's> {
     ) -> Result<PointSet, LogicError> {
         let mut current: PointSet = (*self.all).clone();
         loop {
+            kpa_trace::count!("logic.gfp_iters");
             let next = op(&current)?;
             if next == current {
                 return Ok(current);

@@ -61,6 +61,11 @@ pub struct DenseKernel {
     weight_num: Vec<u128>,
     /// Σ `weight_num` — the normalizer; fits `i128` by construction.
     total_num: u128,
+    /// Σ over blocks of the nonzero trace footprint, in words — the
+    /// per-query word budget (scans may early-exit below it). Computed
+    /// once here so tracing a query costs one counter add, not a pass
+    /// over `block_span`.
+    footprint_words: u64,
 }
 
 #[inline]
@@ -107,6 +112,7 @@ impl DenseKernel {
             let w = bit / 64 - first_word;
             let mask = 1u64 << (bit % 64);
             if sample[w] & mask != 0 {
+                kpa_trace::count!("measure.kernel_reject_lossy");
                 return None; // non-injective layout
             }
             sample[w] |= mask;
@@ -118,23 +124,45 @@ impl DenseKernel {
         }
 
         // Common denominator D = lcm of the block weight denominators.
+        // Overflow anywhere in the table ⇒ fall back to the generic
+        // scan (counted, so the bench can prove the dense path ran).
+        let reject_overflow = || {
+            kpa_trace::count!("measure.kernel_reject_overflow");
+        };
         let mut denom: u128 = 1;
         for w in &space.block_weight {
             let d = w.denom() as u128;
             let g = gcd_u128(denom, d);
-            denom = denom.checked_mul(d / g)?;
+            let Some(next) = denom.checked_mul(d / g) else {
+                reject_overflow();
+                return None;
+            };
+            denom = next;
         }
         let mut weight_num = Vec::with_capacity(block_count);
         let mut total_num: u128 = 0;
         for w in &space.block_weight {
             // Block weights are strictly positive by construction.
-            let n = (w.numer() as u128).checked_mul(denom / w.denom() as u128)?;
-            total_num = total_num.checked_add(n)?;
+            let scaled = (w.numer() as u128)
+                .checked_mul(denom / w.denom() as u128)
+                .and_then(|n| total_num.checked_add(n).map(|t| (n, t)));
+            let Some((n, t)) = scaled else {
+                reject_overflow();
+                return None;
+            };
+            total_num = t;
             weight_num.push(n);
         }
         if total_num > i128::MAX as u128 {
+            reject_overflow();
             return None;
         }
+        let footprint_words = block_span
+            .iter()
+            .map(|&(lo, hi)| u64::from(hi.saturating_sub(lo)))
+            .sum();
+        kpa_trace::count!("measure.kernel_built");
+        kpa_trace::record!("measure.kernel_footprint_words", footprint_words);
         Some(DenseKernel {
             first_word,
             span_words,
@@ -143,6 +171,7 @@ impl DenseKernel {
             sample,
             weight_num,
             total_num,
+            footprint_words,
         })
     }
 
@@ -197,6 +226,16 @@ impl DenseKernel {
         (inside, touched)
     }
 
+    /// Trace hook shared by the five query entry points: one query
+    /// counter plus the precomputed word footprint (an upper bound on
+    /// words scanned; scans may early-exit). Two relaxed loads when
+    /// tracing is off — never a pass over the traces.
+    #[inline]
+    fn trace_query(&self) {
+        kpa_trace::count!("measure.dense_query");
+        kpa_trace::count!("measure.kernel_words", self.footprint_words);
+    }
+
     /// Converts an accumulated numerator to the exact probability.
     #[inline]
     fn ratio(&self, num: u128) -> Rat {
@@ -212,6 +251,7 @@ impl DenseKernel {
     /// Returns [`MeasureError::NonMeasurable`] exactly when the generic
     /// path would.
     pub fn measure_words(&self, words: &[u64]) -> Result<Rat, MeasureError> {
+        self.trace_query();
         let mut num: u128 = 0;
         for b in 0..self.block_count() {
             let (inside, touched) = self.scan(b, words);
@@ -228,6 +268,7 @@ impl DenseKernel {
     /// Word-wise [`BlockSpace::inner_measure`].
     #[must_use]
     pub fn inner_measure_words(&self, words: &[u64]) -> Rat {
+        self.trace_query();
         let mut num: u128 = 0;
         for b in 0..self.block_count() {
             let (lo, trace) = self.trace_of(b);
@@ -245,6 +286,7 @@ impl DenseKernel {
     /// Word-wise [`BlockSpace::outer_measure`].
     #[must_use]
     pub fn outer_measure_words(&self, words: &[u64]) -> Rat {
+        self.trace_query();
         let mut num: u128 = 0;
         for b in 0..self.block_count() {
             let (lo, trace) = self.trace_of(b);
@@ -263,6 +305,7 @@ impl DenseKernel {
     /// the traces accumulates both bounds.
     #[must_use]
     pub fn measure_interval_words(&self, words: &[u64]) -> (Rat, Rat) {
+        self.trace_query();
         let mut lo: u128 = 0;
         let mut hi: u128 = 0;
         for b in 0..self.block_count() {
@@ -280,6 +323,7 @@ impl DenseKernel {
     /// Word-wise [`BlockSpace::is_measurable`].
     #[must_use]
     pub fn is_measurable_words(&self, words: &[u64]) -> bool {
+        self.trace_query();
         (0..self.block_count()).all(|b| {
             let (inside, touched) = self.scan(b, words);
             inside == touched

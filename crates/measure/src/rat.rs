@@ -287,6 +287,10 @@ impl Rat {
             let num = rhs.num.checked_mul(self.den)?.checked_add(self.num)?;
             return Some(Rat { num, den: self.den });
         }
+        // The general cross-denominator path: rare in kernel-shaped
+        // accumulation (the fast paths above dominate), so its count is
+        // a direct health signal for the common-denominator tables.
+        kpa_trace::count!("measure.rat_slow_add");
         let g = gcd(self.den, rhs.den);
         let lhs_scale = rhs.den / g;
         let rhs_scale = self.den / g;

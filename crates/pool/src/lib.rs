@@ -56,6 +56,20 @@
 //! is already one strand of an enclosing parallel region), so
 //! composing parallel sweeps cannot oversubscribe the machine.
 //!
+//! ## Observability
+//!
+//! With `KPA_TRACE=1` (or `kpa_trace::set_enabled(true)`) the pool
+//! reports, per parallel region and per worker, into the global
+//! `kpa-trace` registry: `pool.tasks` (tasks executed), `pool.steals`
+//! (tasks taken from a victim's deque), `pool.serial_tasks` (tasks run
+//! on the inline serial path), the `pool.chunk_size` / `pool.chunks`
+//! histograms (what [`Pool::par_map_chunks`] actually chose — the
+//! input to any `min_chunk` tuning), and the `pool.busy_ns` /
+//! `pool.idle_ns` histograms (one sample per worker: time inside tasks
+//! vs. time spinning/stealing). Tracing never changes which slice a
+//! task covers, so the determinism contract is untouched; disabled, it
+//! costs one relaxed load per region or task batch.
+//!
 //! [`Rat`]: https://docs.rs/kpa-measure
 //!
 //! # Examples
@@ -231,6 +245,12 @@ impl Pool {
         F: Fn(Range<usize>) -> T + Sync,
     {
         let chunks = self.chunk_count(len, min_chunk);
+        if len > 0 {
+            // What the splitter actually chose — the observable input
+            // to any `min_chunk` tuning. Boundaries are unaffected.
+            kpa_trace::record!("pool.chunks", chunks);
+            kpa_trace::record!("pool.chunk_size", len / chunks.max(1));
+        }
         let bound = move |k: usize| k * len / chunks.max(1);
         self.run_indexed(chunks, &|k| f(bound(k)..bound(k + 1)))
     }
@@ -302,6 +322,7 @@ impl Pool {
         let workers = self.threads.min(len).max(1);
         if workers == 1 || len <= 1 {
             // The serial fallback: no threads, no locks, no stealing.
+            kpa_trace::count!("pool.serial_tasks", len as u64);
             return (0..len).map(f).collect();
         }
         let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
@@ -421,20 +442,46 @@ fn worker<T, F>(
             Splitmix(s ^ (w as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
         });
         let n = queues.len();
+        // Per-worker stats, accumulated locally (no atomics inside the
+        // loop) and flushed to the trace registry once at exit. The
+        // clock is only read while tracing is on.
+        let trace = kpa_trace::enabled();
+        let started = trace.then(std::time::Instant::now);
+        let (mut executed, mut stolen, mut busy_ns) = (0u64, 0u64, 0u64);
         loop {
             if remaining.load(Ordering::Acquire) == 0 {
-                return;
+                break;
             }
-            let task =
-                pop_own(&queues[w], rng.as_mut()).or_else(|| steal(w, n, queues, rng.as_mut()));
+            let task = match pop_own(&queues[w], rng.as_mut()) {
+                Some(i) => Some(i),
+                None => {
+                    let victim = steal(w, n, queues, rng.as_mut());
+                    if victim.is_some() {
+                        stolen += 1;
+                    }
+                    victim
+                }
+            };
             match task {
                 Some(i) => {
+                    let t0 = trace.then(std::time::Instant::now);
                     let value = f(i);
+                    if let Some(t0) = t0 {
+                        busy_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                    executed += 1;
                     *lock(&slots[i]) = Some(value);
                     remaining.fetch_sub(1, Ordering::AcqRel);
                 }
                 None => std::thread::yield_now(),
             }
+        }
+        if let Some(started) = started {
+            kpa_trace::count!("pool.tasks", executed);
+            kpa_trace::count!("pool.steals", stolen);
+            kpa_trace::record!("pool.busy_ns", busy_ns);
+            let total_ns = started.elapsed().as_nanos() as u64;
+            kpa_trace::record!("pool.idle_ns", total_ns.saturating_sub(busy_ns));
         }
     });
 }

@@ -109,6 +109,7 @@ pub fn announce_until_agreement(
     let mut pj = Partition::from_locals(sys, j, &slice);
     let mut rounds = Vec::new();
     loop {
+        kpa_trace::count!("protocols.announce_rounds");
         let post_i = pi.posteriors(&slice, &weight, phi);
         let post_j = pj.posteriors(&slice, &weight, phi);
         rounds.push((post_i[actual], post_j[actual]));

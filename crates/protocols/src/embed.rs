@@ -53,6 +53,7 @@ pub fn embed_betting_game(
     strategies: &[Strategy],
 ) -> Result<System, SystemError> {
     assert!(!strategies.is_empty(), "at least one strategy is required");
+    kpa_trace::count!("protocols.embeds");
     let mut sb = SystemBuilder::new(sys.agents().to_vec());
     for tree_id in sys.tree_ids() {
         let tree = sys.tree(tree_id);

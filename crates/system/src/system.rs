@@ -606,6 +606,8 @@ impl SystemBuilder {
     /// with no root, and [`SystemError::BadTransitions`] if some node's
     /// outgoing probabilities do not sum to one.
     pub fn build(mut self) -> Result<System, SystemError> {
+        kpa_trace::count!("system.builds");
+        let _build_timer = kpa_trace::span!("system.build_ns");
         if self.agents.is_empty() {
             return Err(SystemError::NoAgents);
         }

@@ -1,0 +1,288 @@
+//! # kpa-trace — zero-dependency tracing/metrics for the kpa workspace
+//!
+//! A process-global [`Registry`] of named [`Counter`]s and
+//! log₂-bucketed latency [`Histogram`]s, RAII [`Span`] timers, and a
+//! fixed-capacity ring-buffer event log — all hermetic (std only,
+//! matching the workspace's offline-build policy) and all compiled
+//! down to *true no-ops* unless tracing is switched on.
+//!
+//! ## Gating
+//!
+//! Tracing is off by default. It turns on when either
+//!
+//! - the `KPA_TRACE` environment variable is set to `1`, `true`, or
+//!   `on` (checked once, on first use), or
+//! - [`set_enabled`]`(true)` / [`Trace::enabled`]`(true)` is called at
+//!   runtime (which overrides the environment either way).
+//!
+//! While disabled, every instrumentation macro costs exactly one
+//! relaxed atomic load and a predictable branch — no clock reads, no
+//! locks, no allocation — so instrumented hot paths are
+//! observationally (and, within measurement noise, temporally)
+//! identical to uninstrumented ones. `tests/trace_invisibility.rs` at
+//! the workspace root pins the observational half of that guarantee
+//! bit-for-bit.
+//!
+//! ## Recording
+//!
+//! ```
+//! kpa_trace::set_enabled(true);
+//! kpa_trace::count!("demo.widgets");            // +1
+//! kpa_trace::count!("demo.widgets", 4);         // +n
+//! kpa_trace::record!("demo.batch_len", 17);     // histogram sample
+//! {
+//!     let _guard = kpa_trace::span!("demo.step_ns"); // RAII timer
+//!     // ... timed region ...
+//! }
+//! kpa_trace::event!("demo.milestone", 3);       // ring-buffer event
+//! let report = kpa_trace::registry().snapshot();
+//! assert!(report.counter("demo.widgets") >= 5);
+//! # kpa_trace::set_enabled(false);
+//! ```
+//!
+//! The macros cache the `&'static` metric behind a per-call-site
+//! `OnceLock`, so the registry's name map is consulted once per call
+//! site, not once per event. Because of that cache, macro names must
+//! be *constant per call site*; for dynamically named metrics (e.g.
+//! per-shard counters) call [`Registry::counter`] directly and cache
+//! the references yourself.
+//!
+//! ## Naming scheme
+//!
+//! `layer.noun[_qualifier]`, dot-separated layers, snake-case leaves:
+//! `pool.steals`, `measure.dense_query`, `assign.space_cache.hit`,
+//! `logic.pr_memo_hit`, `betting.class_sweep`. Histograms carry a
+//! unit suffix (`_ns` for nanoseconds, `_len`/`_size` for element
+//! counts). DESIGN.md §3.2e is the canonical registry of names.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod registry;
+mod report;
+
+pub use metrics::{bucket_floor, bucket_of, Counter, Histogram, BUCKETS};
+pub use registry::{registry, Event, Registry, RING_CAPACITY};
+pub use report::{HistogramSnapshot, TraceReport, TRACE_SCHEMA_VERSION};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::Instant;
+
+/// 0 = uninitialised (consult `KPA_TRACE` on first read), 1 = off,
+/// 2 = on.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+/// Is tracing currently enabled? One relaxed load on the steady state;
+/// the very first call (per process) consults the `KPA_TRACE`
+/// environment variable.
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        0 => init_from_env(),
+        1 => false,
+        _ => true,
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let on = std::env::var("KPA_TRACE")
+        .map(|v| {
+            let v = v.trim();
+            v == "1" || v.eq_ignore_ascii_case("true") || v.eq_ignore_ascii_case("on")
+        })
+        .unwrap_or(false);
+    let want = if on { 2 } else { 1 };
+    // Racing first readers agree on the env value; a concurrent
+    // `set_enabled` wins over the env default.
+    match STATE.compare_exchange(0, want, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => on,
+        Err(actual) => actual == 2,
+    }
+}
+
+/// Switch tracing on or off at runtime (overrides `KPA_TRACE`).
+pub fn set_enabled(on: bool) {
+    STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Facade named after the API in the issue tracker: `Trace::enabled(b)`
+/// flips the global switch, `Trace::is_enabled()` reads it.
+#[derive(Debug, Clone, Copy)]
+pub struct Trace;
+
+impl Trace {
+    /// Switch tracing on or off (same as [`set_enabled`]).
+    pub fn enabled(on: bool) {
+        set_enabled(on);
+    }
+
+    /// Is tracing currently on? (same as [`enabled`]).
+    pub fn is_enabled() -> bool {
+        enabled()
+    }
+}
+
+/// RAII timer: measures wall time from construction to drop and
+/// records the elapsed nanoseconds into a histogram. Construct via the
+/// [`span!`] macro (which skips the clock read entirely when tracing
+/// is disabled) or [`Span::start`] when you already hold the
+/// histogram.
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to `_` drops immediately"]
+pub struct Span {
+    inner: Option<(&'static Histogram, Instant)>,
+}
+
+impl Span {
+    /// Start timing into `hist` (reads the clock).
+    #[inline]
+    pub fn start(hist: &'static Histogram) -> Span {
+        Span {
+            inner: Some((hist, Instant::now())),
+        }
+    }
+
+    /// A span that records nothing and never reads the clock — what
+    /// [`span!`] returns while tracing is disabled.
+    #[inline]
+    pub fn disabled() -> Span {
+        Span { inner: None }
+    }
+}
+
+impl Drop for Span {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some((hist, start)) = self.inner.take() {
+            hist.record(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Bump a named counter by 1 (`count!("name")`) or by `n`
+/// (`count!("name", n)`). Compiles to a relaxed load + branch while
+/// tracing is disabled. The name must be constant per call site.
+#[macro_export]
+macro_rules! count {
+    ($name:expr) => {
+        $crate::count!($name, 1u64)
+    };
+    ($name:expr, $n:expr) => {
+        if $crate::enabled() {
+            static __KPA_TRACE_SLOT: ::std::sync::OnceLock<&'static $crate::Counter> =
+                ::std::sync::OnceLock::new();
+            __KPA_TRACE_SLOT
+                .get_or_init(|| $crate::registry().counter($name))
+                .add($n as u64);
+        }
+    };
+}
+
+/// Record one sample into a named histogram. Compiles to a relaxed
+/// load + branch while tracing is disabled. The name must be constant
+/// per call site.
+#[macro_export]
+macro_rules! record {
+    ($name:expr, $v:expr) => {
+        if $crate::enabled() {
+            static __KPA_TRACE_SLOT: ::std::sync::OnceLock<&'static $crate::Histogram> =
+                ::std::sync::OnceLock::new();
+            __KPA_TRACE_SLOT
+                .get_or_init(|| $crate::registry().histogram($name))
+                .record($v as u64);
+        }
+    };
+}
+
+/// Start an RAII timer recording elapsed nanoseconds into a named
+/// histogram; bind the result (`let _guard = span!("x_ns");`). While
+/// tracing is disabled this neither reads the clock nor records.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        if $crate::enabled() {
+            static __KPA_TRACE_SLOT: ::std::sync::OnceLock<&'static $crate::Histogram> =
+                ::std::sync::OnceLock::new();
+            $crate::Span::start(
+                __KPA_TRACE_SLOT.get_or_init(|| $crate::registry().histogram($name)),
+            )
+        } else {
+            $crate::Span::disabled()
+        }
+    };
+}
+
+/// Append a named event (with a `u64` payload) to the global ring
+/// buffer, and bump the same-named occurrence counter. No-op while
+/// tracing is disabled.
+#[macro_export]
+macro_rules! event {
+    ($name:expr, $v:expr) => {
+        if $crate::enabled() {
+            $crate::registry().event($name, $v as u64);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The single test in this crate that flips the process-global
+    /// switch: disabled macros record nothing, enabled macros record,
+    /// and a reset zeroes the registry. Kept as one sequential `#[test]`
+    /// because the flag is global to the test binary.
+    #[test]
+    fn lifecycle_disabled_then_enabled() {
+        set_enabled(false);
+        assert!(!enabled());
+        assert!(!Trace::is_enabled());
+        count!("test.lifecycle.c");
+        record!("test.lifecycle.h", 123);
+        event!("test.lifecycle.e", 1);
+        {
+            let _g = span!("test.lifecycle.span_ns");
+        }
+        let off = registry().snapshot();
+        assert!(!off.enabled);
+        assert_eq!(off.counter("test.lifecycle.c"), 0);
+        assert!(!off.histograms.contains_key("test.lifecycle.h"));
+        assert!(off.events.iter().all(|e| e.name != "test.lifecycle.e"));
+
+        Trace::enabled(true);
+        assert!(enabled());
+        count!("test.lifecycle.c");
+        count!("test.lifecycle.c", 2);
+        record!("test.lifecycle.h", 123);
+        event!("test.lifecycle.e", 7);
+        {
+            let _g = span!("test.lifecycle.span_ns");
+        }
+        let on = registry().snapshot();
+        assert!(on.enabled);
+        assert_eq!(on.counter("test.lifecycle.c"), 3);
+        let h = &on.histograms["test.lifecycle.h"];
+        assert_eq!(h.count, 1);
+        assert_eq!(h.min, Some(123));
+        let sp = &on.histograms["test.lifecycle.span_ns"];
+        assert_eq!(sp.count, 1);
+        assert_eq!(
+            on.counter("test.lifecycle.e"),
+            1,
+            "events count occurrences"
+        );
+        assert!(on
+            .events
+            .iter()
+            .any(|e| e.name == "test.lifecycle.e" && e.value == 7));
+
+        registry().reset();
+        let zeroed = registry().snapshot();
+        assert_eq!(zeroed.counter("test.lifecycle.c"), 0);
+        assert_eq!(zeroed.histograms["test.lifecycle.h"].count, 0);
+        assert!(zeroed.events.is_empty());
+        set_enabled(false);
+    }
+}

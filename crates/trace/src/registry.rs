@@ -1,0 +1,262 @@
+//! The process-global metric registry and the fixed-capacity event
+//! ring.
+//!
+//! Registration (first lookup of a name) takes a mutex and leaks the
+//! metric into `'static` storage; every later access goes through the
+//! returned `&'static` reference and is lock-free. Call sites that fire
+//! repeatedly cache that reference in a `OnceLock` (the `count!` /
+//! `record!` / `span!` macros do this automatically), so the steady
+//! state never touches the registry lock at all.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::metrics::{Counter, Histogram};
+use crate::report::{HistogramSnapshot, TraceReport};
+
+/// Capacity of the event ring; older events are overwritten (and
+/// counted as dropped) once it fills.
+pub const RING_CAPACITY: usize = 1024;
+
+/// One entry in the event ring: a named point-in-time observation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic sequence number (never reused, survives overwrites).
+    pub seq: u64,
+    /// Nanoseconds since the registry was created.
+    pub at_ns: u64,
+    /// Event name (interned; `'static`).
+    pub name: &'static str,
+    /// Free-form payload value.
+    pub value: u64,
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    events: Vec<Event>,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    seq: u64,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, at_ns: u64, name: &'static str, value: u64) {
+        let ev = Event {
+            seq: self.seq,
+            at_ns,
+            name,
+            value,
+        };
+        self.seq += 1;
+        if self.events.len() < RING_CAPACITY {
+            self.events.push(ev);
+        } else {
+            self.events[self.head] = ev;
+            self.head = (self.head + 1) % RING_CAPACITY;
+            self.dropped += 1;
+        }
+    }
+
+    fn snapshot(&self) -> (Vec<Event>, u64) {
+        let mut out = Vec::with_capacity(self.events.len());
+        out.extend_from_slice(&self.events[self.head..]);
+        out.extend_from_slice(&self.events[..self.head]);
+        (out, self.dropped)
+    }
+
+    fn clear(&mut self) {
+        self.events.clear();
+        self.head = 0;
+        self.dropped = 0;
+        // `seq` is deliberately NOT reset: sequence numbers stay
+        // globally monotonic across `Registry::reset` so event logs
+        // from successive bench rows never alias.
+    }
+}
+
+/// Process-global registry of named counters, histograms, and the
+/// event ring. Obtain it via [`registry`].
+#[derive(Debug)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
+    ring: Mutex<Ring>,
+    epoch: Instant,
+}
+
+/// The process-global [`Registry`].
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        histograms: Mutex::new(BTreeMap::new()),
+        ring: Mutex::new(Ring::default()),
+        epoch: Instant::now(),
+    })
+}
+
+/// Intern a metric name: names live for the life of the process (the
+/// registry is global and metrics are never unregistered), so leaking
+/// the handful of distinct names is the zero-dep way to get `'static`
+/// keys for dynamically built names like per-shard counters.
+fn intern(name: &str) -> &'static str {
+    Box::leak(name.to_owned().into_boxed_str())
+}
+
+impl Registry {
+    /// Look up (or create) the counter called `name`.
+    ///
+    /// The returned reference is `'static`: cache it and skip the
+    /// lookup on the hot path. Dynamic names (e.g. per-shard) are fine
+    /// — each *distinct* name leaks one small allocation, once.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        let mut map = self.counters.lock().expect("trace counter registry");
+        if let Some(c) = map.get(name) {
+            return c;
+        }
+        let c: &'static Counter = Box::leak(Box::new(Counter::new()));
+        map.insert(intern(name), c);
+        c
+    }
+
+    /// Look up (or create) the histogram called `name`.
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        let mut map = self.histograms.lock().expect("trace histogram registry");
+        if let Some(h) = map.get(name) {
+            return h;
+        }
+        let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+        map.insert(intern(name), h);
+        h
+    }
+
+    /// Append a point-in-time event to the ring (oldest entries are
+    /// overwritten past [`RING_CAPACITY`]). Callers should gate on
+    /// [`crate::enabled`]; the `event!` macro does.
+    pub fn event(&self, name: &str, value: u64) {
+        let at_ns = self.epoch.elapsed().as_nanos() as u64;
+        // Reuse the counter-name interner so repeated event names
+        // don't leak per occurrence: intern via a tiny name cache.
+        let name = self.intern_event_name(name);
+        self.ring
+            .lock()
+            .expect("trace event ring")
+            .push(at_ns, name, value);
+    }
+
+    fn intern_event_name(&self, name: &str) -> &'static str {
+        // Event names are drawn from the same small vocabulary as
+        // metric names; keep them in the counter map's key space by
+        // registering a counter of the same name. This both interns
+        // the string once and gives every event kind an occurrence
+        // counter for free.
+        let mut map = self.counters.lock().expect("trace counter registry");
+        if let Some((k, c)) = map.get_key_value(name) {
+            c.incr();
+            return k;
+        }
+        let k = intern(name);
+        let c: &'static Counter = Box::leak(Box::new(Counter::new()));
+        c.incr();
+        map.insert(k, c);
+        k
+    }
+
+    /// Nanoseconds elapsed since the registry was created (the time
+    /// base of [`Event::at_ns`]).
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// A point-in-time copy of every metric and the event ring.
+    ///
+    /// Snapshots are cheap (relaxed loads) and safe to take while
+    /// workers are still recording; concurrent updates may or may not
+    /// be visible, which is fine at the quiescent points where reports
+    /// are taken.
+    pub fn snapshot(&self) -> TraceReport {
+        let counters = {
+            let map = self.counters.lock().expect("trace counter registry");
+            map.iter()
+                .map(|(k, c)| ((*k).to_owned(), c.get()))
+                .collect::<BTreeMap<String, u64>>()
+        };
+        let histograms = {
+            let map = self.histograms.lock().expect("trace histogram registry");
+            map.iter()
+                .map(|(k, h)| ((*k).to_owned(), HistogramSnapshot::of(h)))
+                .collect::<BTreeMap<String, HistogramSnapshot>>()
+        };
+        let (events, dropped_events) = self.ring.lock().expect("trace event ring").snapshot();
+        TraceReport {
+            enabled: crate::enabled(),
+            counters,
+            histograms,
+            events,
+            dropped_events,
+            rows: BTreeMap::new(),
+        }
+    }
+
+    /// Zero every counter and histogram and clear the event ring
+    /// (sequence numbers keep advancing). Used between bench rows to
+    /// get per-row deltas from a shared process-global registry.
+    pub fn reset(&self) {
+        for c in self
+            .counters
+            .lock()
+            .expect("trace counter registry")
+            .values()
+        {
+            c.reset();
+        }
+        for h in self
+            .histograms
+            .lock()
+            .expect("trace histogram registry")
+            .values()
+        {
+            h.reset();
+        }
+        self.ring.lock().expect("trace event ring").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraps_and_counts_drops() {
+        let mut ring = Ring::default();
+        for i in 0..(RING_CAPACITY as u64 + 10) {
+            ring.push(i, "tick", i);
+        }
+        let (events, dropped) = ring.snapshot();
+        assert_eq!(events.len(), RING_CAPACITY);
+        assert_eq!(dropped, 10);
+        // Oldest surviving event is #10; order is seq-ascending.
+        assert_eq!(events.first().unwrap().seq, 10);
+        assert_eq!(events.last().unwrap().seq, RING_CAPACITY as u64 + 9);
+        for w in events.windows(2) {
+            assert_eq!(w[1].seq, w[0].seq + 1);
+        }
+        let seq_before = ring.seq;
+        ring.clear();
+        assert_eq!(ring.seq, seq_before, "clear must not rewind seq");
+        assert_eq!(ring.snapshot().0.len(), 0);
+    }
+
+    #[test]
+    fn registry_interns_names_once() {
+        let reg = registry();
+        let a = reg.counter("test.registry.intern");
+        let b = reg.counter("test.registry.intern");
+        assert!(std::ptr::eq(a, b), "same name must yield same counter");
+        let h1 = reg.histogram("test.registry.hist");
+        let h2 = reg.histogram("test.registry.hist");
+        assert!(std::ptr::eq(h1, h2));
+    }
+}

@@ -1,0 +1,347 @@
+//! Snapshot types and exporters: stable JSON (in-repo writer, same
+//! policy as the bench's `BENCH_*.json`) and a human-readable table.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::{bucket_floor, Histogram, BUCKETS};
+use crate::registry::Event;
+
+/// Schema version stamped into every trace JSON document.
+pub const TRACE_SCHEMA_VERSION: u64 = 1;
+
+/// An immutable copy of one histogram's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples (wrapping).
+    pub sum: u64,
+    /// Smallest sample, `None` when empty.
+    pub min: Option<u64>,
+    /// Largest sample, `None` when empty.
+    pub max: Option<u64>,
+    /// Sparse buckets: `(bucket floor value, count)` for every
+    /// non-empty log₂ bucket, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Snapshot a live histogram (relaxed loads).
+    pub fn of(h: &Histogram) -> Self {
+        let buckets = (0..BUCKETS)
+            .filter_map(|k| {
+                let n = h.bucket(k);
+                (n > 0).then(|| (bucket_floor(k), n))
+            })
+            .collect();
+        Self {
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min(),
+            max: h.max(),
+            buckets,
+        }
+    }
+
+    /// Mean sample value, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+}
+
+/// A point-in-time copy of the whole registry, ready for export.
+///
+/// `rows` is an optional per-label breakdown (the bench fills it with
+/// per-row counter deltas); it is empty in ordinary snapshots.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// Whether tracing was enabled when the snapshot was taken.
+    pub enabled: bool,
+    /// All counters by name, sorted (BTreeMap iteration order).
+    pub counters: BTreeMap<String, u64>,
+    /// All histograms by name, sorted.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Surviving ring-buffer events, sequence-ascending.
+    pub events: Vec<Event>,
+    /// Events overwritten after the ring filled.
+    pub dropped_events: u64,
+    /// Optional per-label counter breakdowns (bench rows).
+    pub rows: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+impl TraceReport {
+    /// The value of counter `name`, `0` when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Counter-wise difference `self - earlier` (saturating), covering
+    /// every counter present in either snapshot. Used by the bench to
+    /// attribute counter traffic to individual rows.
+    pub fn delta_counters(&self, earlier: &TraceReport) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for (name, &now) in &self.counters {
+            let before = earlier.counter(name);
+            out.insert(name.clone(), now.saturating_sub(before));
+        }
+        for name in earlier.counters.keys() {
+            out.entry(name.clone()).or_insert(0);
+        }
+        out
+    }
+
+    /// Serialize to the stable trace JSON schema (version
+    /// [`TRACE_SCHEMA_VERSION`]): sorted keys, sparse histogram
+    /// buckets as `[floor, count]` pairs, events as
+    /// `[seq, at_ns, name, value]` tuples.
+    pub fn to_json(&self, workload: &str) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"kpa_trace\": {TRACE_SCHEMA_VERSION},");
+        let _ = writeln!(s, "  \"enabled\": {},", self.enabled);
+        let _ = writeln!(s, "  \"workload\": {},", json_str(workload));
+        s.push_str("  \"counters\": {");
+        push_counter_map(&mut s, &self.counters, "    ");
+        s.push_str("  },\n");
+        s.push_str("  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('\n');
+            let _ = write!(
+                s,
+                "    {}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
+                json_str(name),
+                h.count,
+                h.sum,
+                json_opt(h.min),
+                json_opt(h.max)
+            );
+            for (j, (floor, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "[{floor}, {n}]");
+            }
+            s.push_str("]}");
+        }
+        if !self.histograms.is_empty() {
+            s.push('\n');
+        }
+        s.push_str("  },\n");
+        s.push_str("  \"rows\": {");
+        for (i, (label, counters)) in self.rows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('\n');
+            let _ = write!(s, "    {}: {{", json_str(label));
+            push_counter_map(&mut s, counters, "      ");
+            s.push_str("    }");
+        }
+        if !self.rows.is_empty() {
+            s.push('\n');
+        }
+        s.push_str("  },\n");
+        s.push_str("  \"events\": [");
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('\n');
+            let _ = write!(
+                s,
+                "    [{}, {}, {}, {}]",
+                ev.seq,
+                ev.at_ns,
+                json_str(ev.name),
+                ev.value
+            );
+        }
+        if !self.events.is_empty() {
+            s.push('\n');
+        }
+        s.push_str("  ],\n");
+        let _ = writeln!(s, "  \"dropped_events\": {}", self.dropped_events);
+        s.push_str("}\n");
+        s
+    }
+
+    /// Render a fixed-width human-readable table (counters, then
+    /// histograms with count/mean/min/max), for `kpa-explore --trace`
+    /// and the examples.
+    pub fn render_table(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "trace report ({})",
+            if self.enabled { "enabled" } else { "disabled" }
+        );
+        if self.counters.is_empty() && self.histograms.is_empty() {
+            s.push_str("  (no metrics recorded)\n");
+            return s;
+        }
+        let width = self
+            .counters
+            .keys()
+            .chain(self.histograms.keys())
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(0)
+            .max(8);
+        if !self.counters.is_empty() {
+            let _ = writeln!(s, "  {:<width$}  {:>12}", "counter", "value");
+            for (name, v) in &self.counters {
+                let _ = writeln!(s, "  {name:<width$}  {v:>12}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(
+                s,
+                "  {:<width$}  {:>12}  {:>12}  {:>12}  {:>12}",
+                "histogram", "count", "mean", "min", "max"
+            );
+            for (name, h) in &self.histograms {
+                let mean = h
+                    .mean()
+                    .map(|m| format!("{m:.1}"))
+                    .unwrap_or_else(|| "-".into());
+                let fmt_opt =
+                    |v: Option<u64>| v.map(|v| v.to_string()).unwrap_or_else(|| "-".into());
+                let _ = writeln!(
+                    s,
+                    "  {name:<width$}  {:>12}  {mean:>12}  {:>12}  {:>12}",
+                    h.count,
+                    fmt_opt(h.min),
+                    fmt_opt(h.max)
+                );
+            }
+        }
+        if self.dropped_events > 0 {
+            let _ = writeln!(
+                s,
+                "  ({} events dropped from the ring)",
+                self.dropped_events
+            );
+        }
+        s
+    }
+}
+
+fn push_counter_map(s: &mut String, map: &BTreeMap<String, u64>, indent: &str) {
+    for (i, (name, v)) in map.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push('\n');
+        let _ = write!(s, "{indent}{}: {v}", json_str(name));
+    }
+    if !map.is_empty() {
+        s.push('\n');
+    }
+}
+
+fn json_opt(v: Option<u64>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "null".into(),
+    }
+}
+
+/// Minimal JSON string escaper: metric names are plain identifiers,
+/// but escape quotes/backslashes/control characters anyway so the
+/// output is always well-formed.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> TraceReport {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(5);
+        let mut counters = BTreeMap::new();
+        counters.insert("a.b".to_owned(), 3u64);
+        let mut histograms = BTreeMap::new();
+        histograms.insert("lat_ns".to_owned(), HistogramSnapshot::of(&h));
+        TraceReport {
+            enabled: true,
+            counters,
+            histograms,
+            events: vec![Event {
+                seq: 0,
+                at_ns: 17,
+                name: "tick",
+                value: 9,
+            }],
+            dropped_events: 0,
+            rows: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn json_is_stable_and_wellformed() {
+        let r = tiny_report();
+        let a = r.to_json("unit");
+        let b = r.to_json("unit");
+        assert_eq!(a, b, "serialization must be deterministic");
+        assert!(a.starts_with("{\n  \"kpa_trace\": 1,"));
+        assert!(a.contains("\"workload\": \"unit\""));
+        assert!(a.contains("\"a.b\": 3"));
+        assert!(a.contains("\"buckets\": [[0, 1], [4, 1]]"));
+        assert!(a.contains("[0, 17, \"tick\", 9]"));
+        assert!(a.trim_end().ends_with('}'));
+        // Braces and brackets balance (stringless schema sanity).
+        let opens = a.matches('{').count() + a.matches('[').count();
+        let closes = a.matches('}').count() + a.matches(']').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn delta_counters_saturate_and_cover_both_sides() {
+        let mut earlier = tiny_report();
+        earlier.counters.insert("only.before".into(), 10);
+        let mut later = tiny_report();
+        later.counters.insert("a.b".into(), 8);
+        later.counters.insert("only.after".into(), 2);
+        let d = later.delta_counters(&earlier);
+        assert_eq!(d["a.b"], 5);
+        assert_eq!(d["only.after"], 2);
+        assert_eq!(d["only.before"], 0, "shrinking counters saturate at 0");
+    }
+
+    #[test]
+    fn table_renders_all_metrics() {
+        let t = tiny_report().render_table();
+        assert!(t.contains("a.b"));
+        assert!(t.contains("lat_ns"));
+        assert!(t.contains("enabled"));
+    }
+
+    #[test]
+    fn json_escapes_controls() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -6,6 +6,12 @@
 //! bet comes with an explicit money-extracting strategy; and a
 //! Monte-Carlo simulation of the game confirms the analytic verdicts.
 //!
+//! Sample spaces are resolved through the opponent assignment's batched
+//! [`SamplePlan`](kpa::assign::SamplePlan) — one table shared by every
+//! query below, instead of a rebuild per point — and the run ends with
+//! a `kpa-trace` report showing the cache/kernel traffic the queries
+//! generated.
+//!
 //! Run with: `cargo run --example betting_game`
 
 use kpa::betting::{
@@ -15,6 +21,10 @@ use kpa::measure::{rat, Rng64};
 use kpa::system::{PointId, ProtocolBuilder, TreeId};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Trace everything the example does (equivalently: KPA_TRACE=1).
+    kpa::trace::Trace::enabled(true);
+    kpa::trace::registry().reset();
+
     // p_j tosses a coin that lands heads with probability 2/3 and
     // watches it; p_i and a neutral peer see nothing.
     let sys = ProtocolBuilder::new(["i", "j", "peer"])
@@ -56,7 +66,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rule.min_payoff(),
         sys.local_name(j, witness)
     );
-    let cell = vs_j.opp_assignment().space(i, witness)?;
+    // Resolve p_i's sample space at the witness through the batched
+    // sample plan: one extraction per information-set class up front,
+    // then a table lookup per point (no per-point space rebuild).
+    let plan = vs_j.opp_assignment().sample_plan(i);
+    println!(
+        "  sample plan: {} class(es), {} extraction(s) covering {} point(s), batched: {}",
+        plan.classes(),
+        plan.extractions(),
+        plan.covered(),
+        plan.is_batched()
+    );
+    let cell = plan
+        .space(witness)
+        .cloned()
+        .expect("the plan covers every point of the system");
     let analytic = inner_expected_winnings(&cell, &sys, j, &rule, &strategy)?;
     println!("  p_i's expected winnings there (analytic):  {analytic}");
 
@@ -82,10 +106,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // A constant fair offer against the peer: exactly break-even, and
-    // the simulation agrees.
+    // the simulation agrees. The peer game gets its own plan (plans are
+    // per-assignment artifacts, cached on the `ProbAssignment`).
     let fair = Strategy::constant(rat!(3 / 2));
-    let space = vs_peer.opp_assignment().space(i, c)?;
+    let space = vs_peer
+        .opp_assignment()
+        .sample_plan(i)
+        .space(c)
+        .cloned()
+        .expect("the plan covers every point of the system");
     let sim = simulate_average_winnings(&mut rng, &sys, peer, &space, &rule, &fair, 100_000);
     println!("\nfair constant offer vs peer: simulated average winnings {sim:+.4} (expected 0)");
+
+    // What all of the above cost, in cache and kernel traffic.
+    print!("\n{}", kpa::trace::registry().snapshot().render_table());
     Ok(())
 }

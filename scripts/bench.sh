@@ -1,47 +1,65 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_4.json: the kernel-bench rows (dense PointSet sat
-# evaluator, pool parallel sweep, dense measure kernel, Pr memo, and
-# the batched sample plan) as machine-readable JSON, plus the
-# human-readable rows on stdout — then gates the fresh rows against the
-# committed baseline via scripts/check_bench.py.
+# Regenerates BENCH_5.json + TRACE_5.json: the kernel-bench rows (dense
+# PointSet sat evaluator, pool parallel sweep, dense measure kernel, Pr
+# memo, and the batched sample plan) as machine-readable JSON, plus the
+# traced pass's counter report — then gates the fresh rows against the
+# committed baselines via scripts/check_bench.py.
 #
-#   ./scripts/bench.sh                 # best-of-3 reps, writes BENCH_4.json
+#   ./scripts/bench.sh                 # best-of-3 reps, writes BENCH_5.json + TRACE_5.json
 #   BENCH=1 ./scripts/bench.sh         # longer sweeps (--features bench)
-#   KPA_BENCH_JSON=out.json ./scripts/bench.sh   # custom output path
-#   KPA_BENCH_CHECK=0 ./scripts/bench.sh         # skip the regression gate
+#   KPA_BENCH_JSON=out.json ./scripts/bench.sh   # custom bench output path
+#   KPA_TRACE_JSON=trace.json ./scripts/bench.sh # custom trace output path
+#   KPA_BENCH_CHECK=0 ./scripts/bench.sh         # skip the regression gates
 #
 # When KPA_BENCH_JSON points somewhere other than the committed
-# BENCH_4.json (as CI does), the baseline stays untouched and the gate
+# BENCH_5.json (as CI does), the baseline stays untouched and the gate
 # compares fresh-vs-committed speedup ratios.  When the output *is* the
 # baseline (the default, i.e. you are re-baselining), the comparison
-# would be a no-op, so the gate is skipped.
+# would be a no-op, so the gate is skipped.  The trace gate follows the
+# same rule with TRACE_5.json: it schema-checks the fresh report and
+# asserts the sample-plan hit rate didn't collapse vs the baseline.
 #
 # The workspace is dependency-free, so --offline always works.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-baseline="$(pwd)/BENCH_4.json"
-out="${KPA_BENCH_JSON:-BENCH_4.json}"
+baseline="$(pwd)/BENCH_5.json"
+trace_baseline="$(pwd)/TRACE_5.json"
+out="${KPA_BENCH_JSON:-BENCH_5.json}"
+trace_out="${KPA_TRACE_JSON:-TRACE_5.json}"
 # cargo runs the bench binary from the package directory, so anchor
 # relative paths to the repo root.
 case "${out}" in /*) ;; *) out="$(pwd)/${out}" ;; esac
+case "${trace_out}" in /*) ;; *) trace_out="$(pwd)/${trace_out}" ;; esac
 features=()
 if [[ "${BENCH:-0}" == "1" ]]; then
     features=(--features bench)
 fi
 
-echo "==> cargo bench -p kpa-bench --bench kernel --offline (JSON -> ${out})"
-KPA_BENCH_JSON="${out}" cargo bench -q -p kpa-bench --bench kernel --offline "${features[@]}"
+echo "==> cargo bench -p kpa-bench --bench kernel --offline (JSON -> ${out}, trace -> ${trace_out})"
+KPA_BENCH_JSON="${out}" KPA_TRACE_JSON="${trace_out}" \
+    cargo bench -q -p kpa-bench --bench kernel --offline "${features[@]}"
 
 echo "bench rows written to ${out}"
+echo "trace report written to ${trace_out}"
 
 if [[ "${KPA_BENCH_CHECK:-1}" != "1" ]]; then
-    echo "KPA_BENCH_CHECK=${KPA_BENCH_CHECK:-1}; skipping regression gate"
-elif [[ "${out}" == "${baseline}" ]]; then
-    echo "output is the committed baseline; skipping self-comparison"
-elif [[ -f "${baseline}" ]]; then
-    echo "==> python3 scripts/check_bench.py ${baseline} ${out}"
-    python3 scripts/check_bench.py "${baseline}" "${out}"
+    echo "KPA_BENCH_CHECK=${KPA_BENCH_CHECK:-1}; skipping regression gates"
 else
-    echo "no committed baseline at ${baseline}; skipping regression gate"
+    if [[ "${out}" == "${baseline}" ]]; then
+        echo "bench output is the committed baseline; skipping self-comparison"
+    elif [[ -f "${baseline}" ]]; then
+        echo "==> python3 scripts/check_bench.py ${baseline} ${out}"
+        python3 scripts/check_bench.py "${baseline}" "${out}"
+    else
+        echo "no committed baseline at ${baseline}; skipping bench gate"
+    fi
+    if [[ "${trace_out}" == "${trace_baseline}" ]]; then
+        echo "trace output is the committed baseline; skipping self-comparison"
+    elif [[ -f "${trace_baseline}" ]]; then
+        echo "==> python3 scripts/check_bench.py --trace ${trace_baseline} ${trace_out}"
+        python3 scripts/check_bench.py --trace "${trace_baseline}" "${trace_out}"
+    else
+        echo "no committed trace baseline at ${trace_baseline}; skipping trace gate"
+    fi
 fi

@@ -29,8 +29,27 @@ With ``--same-host`` the gate additionally compares absolute row
 seconds (fresh <= baseline * (1 + TOLERANCE) per row), for use when
 both files verifiably come from the same machine.
 
+With ``--trace`` the two files are kpa-trace reports (``TRACE_N.json``)
+instead of bench rows.  The gate then:
+
+  1. schema-checks the fresh report (``kpa_trace`` version, counters as
+     string -> non-negative int, each histogram's ``count`` equal to
+     its bucket mass, well-formed rows/events);
+  2. requires the counters that prove the dense path was exercised
+     (``measure.dense_query`` > 0, ``measure.kernel_built`` > 0,
+     ``logic.plan_hit`` > 0) and zero ``assign.generic_measure``
+     fallbacks on the dense row;
+  3. computes the sample-plan hit rate
+     ``plan_hit / (plan_hit + plan_fallback)`` on the planned bench row
+     and asserts fresh >= baseline - HIT_RATE_SLACK.
+
+Counter *counts* are host-independent (they are functions of the
+workload, not the clock), so the trace gate is exact where the timing
+gate must tolerate noise.
+
 Usage:
     python3 scripts/check_bench.py BASELINE.json FRESH.json [--same-host]
+    python3 scripts/check_bench.py --trace TRACE_BASELINE.json TRACE_FRESH.json
 """
 
 import json
@@ -52,6 +71,29 @@ ASSERTED = {
 
 # Ratios excluded on purpose; listed so a typo'd key is caught below.
 EXCLUDED = {"par_sat_threads4_vs_1"}
+
+# --trace mode: the schema version this gate understands.
+TRACE_SCHEMA_VERSION = 1
+
+# --trace mode: the plan hit rate may drop at most this much (absolute)
+# below the committed baseline before the gate fails.
+HIT_RATE_SLACK = 0.10
+
+# --trace mode: counters that must be present and positive in the fresh
+# report's global counter map — each proves a PR 1-4 fast path actually
+# ran (dense measure kernel, kernel construction, planned Pr sweep,
+# sharded space cache).
+TRACE_REQUIRED_POSITIVE = (
+    "measure.dense_query",
+    "measure.kernel_built",
+    "logic.plan_hit",
+    "assign.space_cache_hit",
+)
+
+# --trace mode: the bench row whose counters carry the planned sweep
+# (label prefix; the suffix encodes the point count).
+PLAN_ROW_PREFIX = "pr_ge_family/plan_on/"
+DENSE_ROW_PREFIX = "measure_interval/dense/"
 
 
 def load(path):
@@ -124,14 +166,141 @@ def check_rows_same_host(baseline, fresh):
     return failures
 
 
+def check_trace_schema(report, path):
+    """Structural checks on one kpa-trace report."""
+    failures = []
+
+    def err(msg):
+        failures.append(f"{path}: {msg}")
+
+    if report.get("kpa_trace") != TRACE_SCHEMA_VERSION:
+        err(
+            f"kpa_trace version {report.get('kpa_trace')!r} != "
+            f"{TRACE_SCHEMA_VERSION}"
+        )
+    if not isinstance(report.get("enabled"), bool):
+        err("'enabled' must be a boolean")
+    counters = report.get("counters")
+    if not isinstance(counters, dict):
+        err("'counters' must be an object")
+        counters = {}
+    for name, val in counters.items():
+        if not isinstance(name, str) or not isinstance(val, int) or val < 0:
+            err(f"counter {name!r} must map a string to a non-negative int")
+    hists = report.get("histograms")
+    if not isinstance(hists, dict):
+        err("'histograms' must be an object")
+        hists = {}
+    for name, h in hists.items():
+        for field in ("count", "sum", "min", "max", "buckets"):
+            if field not in h:
+                err(f"histogram {name!r} is missing {field!r}")
+        mass = sum(n for _, n in h.get("buckets", []))
+        if h.get("count") != mass:
+            err(
+                f"histogram {name!r}: count {h.get('count')} != "
+                f"bucket mass {mass}"
+            )
+        floors = [f for f, _ in h.get("buckets", [])]
+        if floors != sorted(floors):
+            err(f"histogram {name!r}: bucket floors must ascend")
+    rows = report.get("rows")
+    if not isinstance(rows, dict):
+        err("'rows' must be an object")
+        rows = {}
+    for label, row in rows.items():
+        if not isinstance(row, dict) or any(
+            not isinstance(v, int) or v < 0 for v in row.values()
+        ):
+            err(f"row {label!r} must map counter names to non-negative ints")
+    if not isinstance(report.get("events"), list):
+        err("'events' must be an array")
+    dropped = report.get("dropped_events")
+    if not isinstance(dropped, int) or dropped < 0:
+        err("'dropped_events' must be a non-negative int")
+    return failures
+
+
+def find_row(report, prefix):
+    """The single bench row whose label starts with ``prefix``."""
+    matches = [r for label, r in report.get("rows", {}).items()
+               if label.startswith(prefix)]
+    return matches[0] if len(matches) == 1 else None
+
+
+def plan_hit_rate(row):
+    hits = row.get("logic.plan_hit", 0)
+    fallbacks = row.get("logic.plan_fallback", 0)
+    total = hits + fallbacks
+    return hits / total if total else 0.0
+
+
+def check_trace(baseline, fresh, baseline_path, fresh_path):
+    """Schema + dense-path + plan-hit-rate gates over trace reports."""
+    failures = check_trace_schema(fresh, fresh_path)
+    failures += check_trace_schema(baseline, baseline_path)
+
+    counters = fresh.get("counters", {})
+    for name in TRACE_REQUIRED_POSITIVE:
+        val = counters.get(name, 0)
+        status = "ok" if val > 0 else "MISSING/ZERO"
+        print(f"  {name:28s} {val:12d}  {status}")
+        if val <= 0:
+            failures.append(f"required counter {name!r} is absent or zero")
+
+    dense_row = find_row(fresh, DENSE_ROW_PREFIX)
+    if dense_row is None:
+        failures.append(f"no unique row with prefix {DENSE_ROW_PREFIX!r}")
+    else:
+        fallbacks = dense_row.get("assign.generic_measure", 0)
+        status = "ok" if fallbacks == 0 else "FELL BACK"
+        print(f"  {'dense-row generic fallbacks':28s} {fallbacks:12d}  {status}")
+        if fallbacks:
+            failures.append(
+                f"dense bench row took {fallbacks} generic fallback(s); "
+                "the kernel rows must exercise the dense path"
+            )
+
+    fresh_row = find_row(fresh, PLAN_ROW_PREFIX)
+    base_row = find_row(baseline, PLAN_ROW_PREFIX)
+    if fresh_row is None or base_row is None:
+        failures.append(f"no unique row with prefix {PLAN_ROW_PREFIX!r}")
+    else:
+        base_rate, new_rate = plan_hit_rate(base_row), plan_hit_rate(fresh_row)
+        cutoff = base_rate - HIT_RATE_SLACK
+        status = "ok" if new_rate >= cutoff else "REGRESSED"
+        print(
+            f"  {'plan hit rate':28s} baseline {base_rate:6.1%}  "
+            f"fresh {new_rate:6.1%}  {status}"
+        )
+        if new_rate < cutoff:
+            failures.append(
+                f"plan hit rate {new_rate:.1%} fell more than "
+                f"{HIT_RATE_SLACK:.0%} below baseline {base_rate:.1%}"
+            )
+    return failures
+
+
 def main(argv):
     args = [a for a in argv if not a.startswith("--")]
     flags = set(argv) - set(args)
-    unknown = flags - {"--same-host"}
+    unknown = flags - {"--same-host", "--trace"}
     if unknown or len(args) != 2:
         sys.exit(__doc__.strip().splitlines()[-1].strip())
     baseline_path, fresh_path = args
     baseline, fresh = load(baseline_path), load(fresh_path)
+
+    if "--trace" in flags:
+        print(f"trace gate: {fresh_path} vs baseline {baseline_path}")
+        failures = check_trace(baseline, fresh, baseline_path, fresh_path)
+        if failures:
+            print(f"\nFAIL: {len(failures)} trace gate failure(s):",
+                  file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+            return 1
+        print("trace gate passed.")
+        return 0
 
     print(f"bench gate: {fresh_path} vs baseline {baseline_path}")
     print(f"speedup ratios (tolerance {TOLERANCE:.0%}, host-independent):")

@@ -29,23 +29,29 @@ cargo test -q --offline --workspace
 # RUST_TEST_THREADS rides along so the sharded case splits inside each
 # binary line up with the pool width (tests/common shards by it).
 # measure_kernel_differential pins the dense word-masked measure kernel
-# against the generic scan, and plan_differential pins the batched
-# sample-plan table against the naive per-point path, both at each width.
+# against the generic scan, plan_differential pins the batched
+# sample-plan table against the naive per-point path, and
+# trace_invisibility pins bit-identical results with kpa-trace off and
+# on, all at each width.
 for threads in 1 4; do
-    echo "==> KPA_THREADS=${threads} RUST_TEST_THREADS=${threads} cargo test -q --offline --test parallel_differential --test memo_consistency --test measure_kernel_differential --test plan_differential"
+    echo "==> KPA_THREADS=${threads} RUST_TEST_THREADS=${threads} cargo test -q --offline --test parallel_differential --test memo_consistency --test measure_kernel_differential --test plan_differential --test trace_invisibility"
     KPA_THREADS="${threads}" RUST_TEST_THREADS="${threads}" cargo test -q --offline \
         --test parallel_differential --test memo_consistency \
-        --test measure_kernel_differential --test plan_differential
+        --test measure_kernel_differential --test plan_differential \
+        --test trace_invisibility
 done
 
-# Bench smoke + regression gate: the kernel bench asserts its output
+# Bench smoke + regression gates: the kernel bench asserts its output
 # identities, the dense measure kernel's ≥ 2× bound, and the sample
 # plan's ≥ 2× bound, then scripts/check_bench.py compares the fresh
-# speedup ratios against the committed BENCH_4.json (30% tolerance).
-# The fresh rows go to target/ so the committed baseline is not
-# clobbered; regenerate the baseline with a plain ./scripts/bench.sh.
-echo "==> scripts/bench.sh (kernel bench smoke + regression gate)"
-KPA_BENCH_JSON="${KPA_BENCH_JSON:-target/BENCH_4.fresh.json}" ./scripts/bench.sh
+# speedup ratios against the committed BENCH_5.json (30% tolerance) and
+# the fresh trace report against TRACE_5.json (schema + dense-path +
+# plan-hit-rate, exact counters).  The fresh rows go to target/ so the
+# committed baselines are not clobbered; regenerate the baselines with
+# a plain ./scripts/bench.sh.
+echo "==> scripts/bench.sh (kernel bench smoke + regression gates)"
+KPA_BENCH_JSON="${KPA_BENCH_JSON:-target/BENCH_5.fresh.json}" \
+    KPA_TRACE_JSON="${KPA_TRACE_JSON:-target/TRACE_5.fresh.json}" ./scripts/bench.sh
 
 if [[ "${FUZZ:-0}" == "1" ]]; then
     echo "==> cargo test -q --offline --workspace --features fuzz"

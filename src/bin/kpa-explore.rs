@@ -11,6 +11,11 @@
 //!
 //! Systems take an optional integer parameter: `ca1:4` builds the
 //! 4-messenger attack, `async-coins:6` the 6-toss system, and so on.
+//!
+//! `--trace` enables the `kpa-trace` registry for the query and prints
+//! the counter/histogram table afterwards — cache hit rates, dense
+//! kernel traffic, pool scheduling, build times (equivalently, set
+//! `KPA_TRACE=1` in the environment).
 
 use kpa::assign::{Assignment, ProbAssignment};
 use kpa::logic::{parse_in, Model};
@@ -191,6 +196,7 @@ fn print_info(sys: &System) {
 struct Args {
     list: bool,
     info: bool,
+    trace: bool,
     system: Option<String>,
     assignment: String,
     formula: Option<String>,
@@ -201,6 +207,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         list: false,
         info: false,
+        trace: false,
         system: None,
         assignment: "post".to_owned(),
         formula: None,
@@ -216,6 +223,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         match arg.as_str() {
             "--list" => args.list = true,
             "--info" => args.info = true,
+            "--trace" => args.trace = true,
             "--system" => args.system = Some(take("--system")?),
             "--assignment" => args.assignment = take("--assignment")?,
             "--formula" => args.formula = Some(take("--formula")?),
@@ -224,7 +232,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 return Err(
                     "usage: kpa-explore [--list] [--system NAME[:PARAM]] [--info] \
                             [--assignment post|fut|prior|opp:AGENT] [--formula F] \
-                            [--at tree,run,time]"
+                            [--at tree,run,time] [--trace]"
                         .to_owned(),
                 )
             }
@@ -234,8 +242,21 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
+/// Prints the trace table when `--trace` was given (tracing was
+/// enabled before the system was built, so builder, cache, kernel,
+/// and sweep counters all show up).
+fn print_trace(on: bool) {
+    if on {
+        print!("\n{}", kpa_trace::registry().snapshot().render_table());
+    }
+}
+
 fn run(argv: &[String]) -> Result<(), String> {
     let args = parse_args(argv)?;
+    if args.trace {
+        kpa_trace::Trace::enabled(true);
+        kpa_trace::registry().reset();
+    }
     if args.list {
         println!("built-in systems (NAME[:PARAM]):");
         for (name, desc, default) in SYSTEMS {
@@ -252,6 +273,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         print_info(&sys);
     }
     let Some(formula_src) = args.formula else {
+        print_trace(args.trace);
         return Ok(());
     };
     let formula = parse_in(&formula_src, &sys).map_err(|e| e.to_string())?;
@@ -292,6 +314,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             );
         }
     }
+    print_trace(args.trace);
     Ok(())
 }
 
@@ -363,6 +386,17 @@ mod tests {
             "0,0,1",
         ]))
         .unwrap();
+        // --trace prints the registry table after the query (and is
+        // observationally invisible to the query itself).
+        run(&argv(&[
+            "--system",
+            "secret-coin",
+            "--formula",
+            "K{p3} c=h",
+            "--trace",
+        ]))
+        .unwrap();
+        kpa_trace::Trace::enabled(false);
         assert!(run(&argv(&[
             "--system",
             "secret-coin",

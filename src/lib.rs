@@ -14,7 +14,10 @@
 //! * [`asynchrony`] — type-3 adversaries: cuts and cut classes;
 //! * [`protocols`] — every system the paper analyzes;
 //! * [`pool`] — the deterministic work-stealing thread pool behind the
-//!   per-tree sweeps (`KPA_THREADS` selects the width).
+//!   per-tree sweeps (`KPA_THREADS` selects the width);
+//! * [`trace`] — zero-dep counters/histograms/spans across every layer
+//!   (`KPA_TRACE=1` or `trace::set_enabled(true)` switches them on;
+//!   off, they are observationally invisible no-ops).
 //!
 //! # Example
 //!
@@ -49,6 +52,7 @@ pub use kpa_measure as measure;
 pub use kpa_pool as pool;
 pub use kpa_protocols as protocols;
 pub use kpa_system as system;
+pub use kpa_trace as trace;
 
 /// The most commonly used items, for glob import:
 /// `use kpa::prelude::*;`.

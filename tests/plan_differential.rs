@@ -207,9 +207,15 @@ fn pr_ge_formula_families_are_plan_invariant_on_walkthroughs() {
             }
         });
     }
-    // The planned model actually took the table path.
-    assert!(planned.plan_hits() > 0, "warm sweeps must hit the plan");
-    assert_eq!(naive.plan_hits(), 0);
+    // The planned model actually took the table path. The deprecated
+    // per-model shims are the right probe here: registry counters are
+    // process-global (other tests in this binary bump them), while the
+    // naive model's zero is a *per-model* claim.
+    #[allow(deprecated)]
+    {
+        assert!(planned.plan_hits() > 0, "warm sweeps must hit the plan");
+        assert_eq!(naive.plan_hits(), 0);
+    }
 }
 
 /// Betting safety sweeps against a from-scratch reconstruction that

@@ -1,0 +1,226 @@
+//! Observational invisibility of the `kpa-trace` layer.
+//!
+//! The tracing contract (DESIGN.md §3.2e) is that counters, histogram
+//! records, spans, and events never change *what* the engine computes —
+//! only record how it got there. This suite pins that contract the same
+//! way the pool and kernel differential suites pin theirs: one
+//! representative workload per instrumented layer (sat sweeps,
+//! `Pr_i ≥ α` plan sweeps, Proposition 10, betting safety, and a
+//! pinned-seed Monte-Carlo stream) is run with tracing **off**, with
+//! tracing **on**, and with tracing on under a 4-worker pool, and every
+//! result is asserted bit-identical across the three runs.
+//!
+//! A second test pins the histogram's log₂ bucketing at the edges
+//! (0, 1, powers of two, `u64::MAX`) through the public
+//! `bucket_of` / `bucket_floor` pair.
+
+use kpa::assign::{Assignment, ProbAssignment};
+use kpa::asynchrony::prop10_holds;
+use kpa::betting::{simulate_average_winnings, BetRule, BettingGame, Strategy};
+use kpa::logic::{Formula, Model, PointSet};
+use kpa::measure::{rat, Rat, Rng64};
+use kpa::protocols::{async_coin_tosses, ca1, recent_heads, secret_coin};
+use kpa::system::AgentId;
+use kpa::trace::{bucket_floor, bucket_of, Trace, BUCKETS};
+
+/// Everything the workload computes, in exact (bit-comparable) form.
+#[derive(PartialEq)]
+struct Outcome {
+    /// Satisfaction sets of the formula family, in order.
+    sats: Vec<PointSet>,
+    /// `(inf, sup)` probability intervals at every point for the
+    /// `Pr`-heavy formula.
+    intervals: Vec<(Rat, Rat)>,
+    /// Proposition 10 verdicts for both agents of the coin system.
+    prop10: Vec<bool>,
+    /// Safe-point sets and Theorem 7 verdicts for the betting sweep.
+    betting: Vec<(PointSet, bool)>,
+    /// Bit pattern of the pinned-seed Monte-Carlo average (any skew in
+    /// RNG consumption or accumulation order changes these bits).
+    sim_bits: u64,
+    /// The raw RNG stream after the simulation (tracing must not
+    /// consume random numbers).
+    rng_tail: Vec<u64>,
+}
+
+/// One representative query per instrumented layer, all exact.
+fn workload() -> Outcome {
+    // Layer: logic (sat cache, knows fixpoints, until iterations) over
+    // system builds (kpa-system) and the dense kernel (kpa-measure).
+    let tosses = async_coin_tosses(3).expect("builds");
+    let attack = ca1(3, Rat::new(1, 2)).expect("builds");
+    let p1 = AgentId(0);
+    let p2 = AgentId(1);
+    let post = ProbAssignment::new(&tosses, Assignment::post());
+    let model = Model::new(&post);
+    let family = [
+        Formula::prop("recent=h").eventually(),
+        Formula::prop("recent=h").known_by(p2),
+        Formula::prop("recent=h").k_alpha(p1, rat!(1 / 4)),
+        Formula::prop("recent=h").pr_ge(p1, rat!(1 / 2)),
+        Formula::prop("c0=h").until(Formula::prop("recent=t")),
+    ];
+    let mut sats: Vec<PointSet> = family
+        .iter()
+        .map(|f| model.sat(f).expect("model checks").as_ref().clone())
+        .collect();
+    let attack_post = ProbAssignment::new(&attack, Assignment::post());
+    let attack_model = Model::new(&attack_post);
+    sats.push(
+        attack_model
+            .sat(&Formula::prop("coordinated").eventually().common([p1, p2]))
+            .expect("model checks")
+            .as_ref()
+            .clone(),
+    );
+
+    // Layer: assign (space cache, sample plan) via per-point intervals.
+    let pr_phi = Formula::prop("recent=h");
+    let intervals = tosses
+        .points()
+        .map(|c| model.prob_interval(p1, c, &pr_phi).expect("model checks"))
+        .collect();
+
+    // Layer: asynchrony (cut bounds, plan-driven prop10 sweep).
+    let phi_set = recent_heads(&tosses);
+    let prop10 = vec![
+        prop10_holds(&tosses, p1, &phi_set).expect("prop10 checks"),
+        prop10_holds(&tosses, p2, &phi_set).expect("prop10 checks"),
+    ];
+
+    // Layer: betting (class sweeps, break-even evaluations).
+    let coin = secret_coin().expect("builds");
+    let heads = coin.points_satisfying(coin.prop_id("c=h").expect("prop"));
+    let p3 = AgentId(2);
+    let game = BettingGame::new(&coin, p1, p3);
+    let mut betting = Vec::new();
+    for alpha in [rat!(1 / 4), rat!(1 / 2), Rat::ONE] {
+        let rule = BetRule::new(heads.clone(), alpha).expect("valid rule");
+        betting.push((
+            game.safe_points(&rule).expect("sweep runs"),
+            game.theorem7_holds(&rule).expect("sweep runs"),
+        ));
+    }
+
+    // Layer: measure RNG — a pinned-seed Monte-Carlo stream. Tracing
+    // must neither consume random numbers nor perturb the float
+    // accumulation order.
+    let rule = BetRule::new(heads, rat!(1 / 2)).expect("valid rule");
+    let space = game
+        .opp_assignment()
+        .sample_plan(p1)
+        .space(kpa::system::PointId {
+            tree: kpa::system::TreeId(0),
+            run: 0,
+            time: 1,
+        })
+        .cloned()
+        .expect("plan covers the system");
+    let mut rng = Rng64::new(0x5eed);
+    let sim = simulate_average_winnings(
+        &mut rng,
+        &coin,
+        p3,
+        &space,
+        &rule,
+        &Strategy::constant(rat!(2 / 1)),
+        2_000,
+    );
+    let rng_tail = (0..8).map(|_| rng.next_u64()).collect();
+
+    Outcome {
+        sats,
+        intervals,
+        prop10,
+        betting,
+        sim_bits: sim.to_bits(),
+        rng_tail,
+    }
+}
+
+/// Asserts two outcomes identical, component-by-component (so a
+/// failure names the layer that drifted).
+fn assert_same(label: &str, a: &Outcome, b: &Outcome) {
+    assert!(a.sats == b.sats, "{label}: satisfaction sets drifted");
+    assert!(
+        a.intervals == b.intervals,
+        "{label}: probability intervals drifted"
+    );
+    assert!(
+        a.prop10 == b.prop10,
+        "{label}: Proposition 10 verdicts drifted"
+    );
+    assert!(a.betting == b.betting, "{label}: betting sweep drifted");
+    assert!(
+        a.sim_bits == b.sim_bits,
+        "{label}: Monte-Carlo average changed bits"
+    );
+    assert!(
+        a.rng_tail == b.rng_tail,
+        "{label}: tracing consumed random numbers"
+    );
+}
+
+/// The tentpole invariant: tracing off, tracing on, and tracing on
+/// under a 4-worker pool all produce bit-identical results, and the
+/// traced runs actually recorded something (the instrumentation is
+/// live, not compiled away).
+#[test]
+fn tracing_is_observationally_invisible() {
+    // Sequential by construction: toggling the global trace state from
+    // concurrent tests would race, so this binary keeps every phase in
+    // one test function.
+    Trace::enabled(false);
+    let off = workload();
+
+    Trace::enabled(true);
+    kpa::trace::registry().reset();
+    let on = workload();
+    let report = kpa::trace::registry().snapshot();
+    assert!(report.enabled, "snapshot must reflect the enabled state");
+    assert!(
+        report.counter("measure.dense_query") > 0
+            && report.counter("logic.sat_eval") > 0
+            && report.counter("system.builds") > 0
+            && report.counter("betting.class_sweeps") > 0
+            && report.counter("async.cut_bounds_via") > 0,
+        "the traced run must actually record the layers it visited"
+    );
+
+    let on_parallel = kpa_pool::with_threads(4, workload);
+    let parallel_report = kpa::trace::registry().snapshot();
+    assert!(
+        parallel_report.counter("pool.tasks") > report.counter("pool.tasks"),
+        "the 4-worker run must record pool worker activity"
+    );
+
+    Trace::enabled(false);
+    let off_again = workload();
+
+    assert_same("tracing on vs off", &on, &off);
+    assert_same("4-worker traced vs serial untraced", &on_parallel, &off);
+    assert_same("tracing re-disabled vs off", &off_again, &off);
+}
+
+/// Log₂ bucketing edge cases: value 0 gets its own bucket, bucket
+/// `k ≥ 1` covers `[2^(k-1), 2^k - 1]`, and `u64::MAX` lands in the
+/// last bucket.
+#[test]
+fn histogram_bucket_edges() {
+    assert_eq!(bucket_of(0), 0);
+    assert_eq!(bucket_of(1), 1);
+    assert_eq!(bucket_of(2), 2);
+    assert_eq!(bucket_of(3), 2);
+    assert_eq!(bucket_of(4), 3);
+    assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    assert_eq!(bucket_of(1u64 << 63), BUCKETS - 1);
+    assert_eq!(bucket_of((1u64 << 63) - 1), BUCKETS - 2);
+    // Every bucket's floor maps back into that bucket, and the value
+    // one below the floor maps into the previous bucket.
+    for k in 1..BUCKETS {
+        let floor = bucket_floor(k);
+        assert_eq!(bucket_of(floor), k, "floor of bucket {k}");
+        assert_eq!(bucket_of(floor - 1), k - 1, "value below bucket {k}");
+    }
+    assert_eq!(bucket_floor(0), 0);
+}
