@@ -16,7 +16,7 @@ use crate::sample::Assignment;
 use kpa_measure::{BlockSpace, MemberSet, Rat};
 use kpa_system::{AgentId, PointId, PointSet, System};
 use std::collections::{HashMap, HashSet};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The probability space the construction of Proposition 2 assigns to an
 /// agent at a point: a [`BlockSpace`] over points whose blocks are runs.
@@ -71,32 +71,45 @@ const SPACE_SHARDS: usize = 16;
 #[derive(Debug)]
 pub struct ProbAssignment<'s> {
     sys: &'s System,
-    assignment: Assignment,
-    cache: [Mutex<SpaceCache>; SPACE_SHARDS],
-    /// Per-agent batched sample plans, built lazily on first request
-    /// and shared by `Arc` thereafter. Guarded like the space cache so
-    /// pool workers can race on the first request; the build happens
-    /// outside the lock and whichever insert wins, the entries are
-    /// structurally identical (they canonicalize through `cache`).
-    plans: Mutex<HashMap<AgentId, Arc<SamplePlan>>>,
+    core: AssignCore,
 }
 
-impl<'s> ProbAssignment<'s> {
-    /// Pairs a system with a sample-space assignment.
+/// The shareable core of a probability assignment: the sample-space
+/// [`Assignment`] together with the sharded space cache and the
+/// per-agent sample-plan table, holding **no** borrow of the
+/// [`System`] — every method takes the system as an argument.
+///
+/// This is the `Send + Sync` half of the artifact/context split:
+/// [`ProbAssignment`] pairs a core with a borrowed system for the
+/// classic by-reference API, while `kpa-logic`'s `ModelArtifact`
+/// embeds a core next to an `Arc<System>` so one immutable artifact
+/// can serve queries from any number of threads. All interior state is
+/// sharded (the space cache) or write-once (the plan table) — there is
+/// no global mutex anywhere on the query path.
+#[derive(Debug)]
+pub struct AssignCore {
+    assignment: Assignment,
+    cache: [Mutex<SpaceCache>; SPACE_SHARDS],
+    /// Per-agent batched sample plans, built lazily on first request.
+    /// `OnceLock` gives each agent exactly one builder — racers block
+    /// on the winner instead of redundantly walking the whole system —
+    /// and lock-free reads thereafter: the warm path is one atomic
+    /// load, replacing the global plan mutex this table supersedes
+    /// (both the old `ProbAssignment` mutex map and the old
+    /// `Model::plan_memo` consolidated here).
+    plans: Box<[OnceLock<Arc<SamplePlan>>]>,
+}
+
+impl AssignCore {
+    /// A fresh core for `assignment` over a system with `agent_count`
+    /// agents (the plan table is sized once, up front).
     #[must_use]
-    pub fn new(sys: &'s System, assignment: Assignment) -> ProbAssignment<'s> {
-        ProbAssignment {
-            sys,
+    pub fn new(assignment: Assignment, agent_count: usize) -> AssignCore {
+        AssignCore {
             assignment,
             cache: std::array::from_fn(|_| Mutex::new(SpaceCache::new())),
-            plans: Mutex::new(HashMap::new()),
+            plans: (0..agent_count).map(|_| OnceLock::new()).collect(),
         }
-    }
-
-    /// The underlying system.
-    #[must_use]
-    pub fn system(&self) -> &'s System {
-        self.sys
     }
 
     /// The sample-space assignment.
@@ -107,31 +120,34 @@ impl<'s> ProbAssignment<'s> {
 
     /// The sample `S_ic`, as a dense [`PointSet`].
     #[must_use]
-    pub fn sample(&self, agent: AgentId, c: PointId) -> PointSet {
-        self.assignment.sample(self.sys, agent, c)
+    pub fn sample(&self, sys: &System, agent: AgentId, c: PointId) -> PointSet {
+        self.assignment.sample(sys, agent, c)
     }
 
-    /// The induced probability space `(S_ic, X_ic, μ_ic)`, wrapped in
-    /// its precomputed [`DensePointSpace`] word-mask kernel. The result
-    /// derefs to the generic [`PointSpace`], so callers that only need
-    /// the sample or expectations are unaffected; measure queries
-    /// against `PointSet`s dispatch to the dense path.
+    /// The induced probability space `(S_ic, X_ic, μ_ic)` — see
+    /// [`ProbAssignment::space`] for the full contract.
     ///
     /// # Errors
     ///
     /// [`AssignError::Req2Violated`] if the sample is empty;
     /// [`AssignError::Req1Violated`] if it spans several trees.
-    pub fn space(&self, agent: AgentId, c: PointId) -> Result<Arc<DensePointSpace>, AssignError> {
-        let sample = self.sample(agent, c);
-        self.space_of_sample(agent, c, sample)
+    pub fn space(
+        &self,
+        sys: &System,
+        agent: AgentId,
+        c: PointId,
+    ) -> Result<Arc<DensePointSpace>, AssignError> {
+        let sample = self.sample(sys, agent, c);
+        self.space_of_sample(sys, agent, c, sample)
     }
 
     /// The cached induced space of an already-extracted `sample` (the
-    /// shared tail of [`ProbAssignment::space`] and the plan builder).
+    /// shared tail of [`AssignCore::space`] and the plan builder).
     /// `c` is used only for error reporting, so callers must pass the
     /// point the sample was extracted at.
     fn space_of_sample(
         &self,
+        sys: &System,
         agent: AgentId,
         c: PointId,
         sample: PointSet,
@@ -139,7 +155,7 @@ impl<'s> ProbAssignment<'s> {
         let Some(first) = sample.first() else {
             return Err(AssignError::Req2Violated { agent, point: c });
         };
-        if !sample.is_subset(self.sys.tree_set(first.tree)) {
+        if !sample.is_subset(sys.tree_set(first.tree)) {
             return Err(AssignError::Req1Violated { agent, point: c });
         }
         let shard_idx = shard_index(agent, first, sample.len());
@@ -154,46 +170,46 @@ impl<'s> ProbAssignment<'s> {
         // whichever insert wins the results are identical.
         let universe = Arc::clone(sample.universe());
         let pairs = sample.iter().map(|p| (p, p.run_id()));
-        let space = BlockSpace::new(pairs, |run| self.sys.run_prob(*run))?;
+        let space = BlockSpace::new(pairs, |run| sys.run_prob(*run))?;
         let space = Arc::new(DensePointSpace::new(space, universe));
         Ok(Arc::clone(
             lock(shard).entry((agent, sample)).or_insert(space),
         ))
     }
 
-    /// The batched [`SamplePlan`] for `agent`: a `point → space` table
-    /// covering every point where the assignment is well defined,
-    /// built with **one** sample extraction per class for the canonical
-    /// assignments (see the [`crate::plan`] module docs for why that is
-    /// exact) and canonicalized through the same per-sample cache as
-    /// [`ProbAssignment::space`] — planned and naive spaces are the
-    /// same `Arc`s. Built lazily on first request, then shared.
+    /// The batched [`SamplePlan`] for `agent` — see
+    /// [`ProbAssignment::sample_plan`] for the full contract. The plan
+    /// is built at most once per agent; the warm path is a lock-free
+    /// read of the write-once slot.
     #[must_use]
-    pub fn sample_plan(&self, agent: AgentId) -> Arc<SamplePlan> {
-        if let Some(plan) = lock(&self.plans).get(&agent) {
+    pub fn sample_plan(&self, sys: &System, agent: AgentId) -> Arc<SamplePlan> {
+        let Some(slot) = self.plans.get(agent.0) else {
+            // An agent id beyond the table (only reachable through a
+            // hand-built `AgentId`) still gets a correct plan — just an
+            // uncached one, matching the system's own bounds.
+            return Arc::new(self.build_plan(sys, agent));
+        };
+        if let Some(plan) = slot.get() {
             kpa_trace::count!("assign.plan_cache_hit");
             return Arc::clone(plan);
         }
-        // Built outside the lock (it walks the whole system); racing
-        // builders insert structurally identical plans over identical
-        // cache-canonicalized spaces, so whichever wins is equivalent.
-        let plan = Arc::new(self.build_plan(agent));
-        Arc::clone(lock(&self.plans).entry(agent).or_insert(plan))
+        Arc::clone(slot.get_or_init(|| Arc::new(self.build_plan(sys, agent))))
     }
 
-    /// [`ProbAssignment::space`] through the plan when available: one
-    /// table lookup on the warm path, with per-point fallback (and
-    /// hence exact naive errors) where the plan has no entry.
+    /// [`AssignCore::space`] through the plan when available: one table
+    /// lookup on the warm path, with per-point fallback (and hence
+    /// exact naive errors) where the plan has no entry.
     ///
     /// # Errors
     ///
-    /// As [`ProbAssignment::space`].
+    /// As [`AssignCore::space`].
     pub fn planned_space(
         &self,
+        sys: &System,
         agent: AgentId,
         c: PointId,
     ) -> Result<Arc<DensePointSpace>, AssignError> {
-        let plan = self.sample_plan(agent);
+        let plan = self.sample_plan(sys, agent);
         match plan.space(c) {
             Some(space) => {
                 kpa_trace::count!("assign.planned_space_hit");
@@ -201,30 +217,41 @@ impl<'s> ProbAssignment<'s> {
             }
             None => {
                 kpa_trace::count!("assign.planned_space_fallback");
-                self.space(agent, c)
+                self.space(sys, agent, c)
             }
         }
+    }
+
+    /// How many per-agent plans have been built so far (the artifact's
+    /// plan table is write-once, so this only ever grows — up to the
+    /// system's agent count).
+    #[must_use]
+    pub fn plans_built(&self) -> usize {
+        self.plans
+            .iter()
+            .filter(|slot| slot.get().is_some())
+            .count()
     }
 
     /// One ascending pass over the system's points, filling whole
     /// classes per extraction for the canonical assignments and single
     /// points for custom closures. REQ-violating points stay `None`.
-    fn build_plan(&self, agent: AgentId) -> SamplePlan {
-        let index = Arc::clone(self.sys.point_index());
+    fn build_plan(&self, sys: &System, agent: AgentId) -> SamplePlan {
+        let index = Arc::clone(sys.point_index());
         let mut table: Vec<Option<Arc<DensePointSpace>>> = vec![None; index.total()];
         let batched = !matches!(self.assignment, Assignment::Custom { .. });
         let mut extractions = 0usize;
         let mut covered = 0usize;
         let mut req_skips = 0u64;
         let mut distinct: HashSet<usize> = HashSet::new();
-        for c in self.sys.points() {
+        for c in sys.points() {
             let ci = index.index_of(c);
             if table[ci].is_some() {
                 continue;
             }
-            let sample = self.sample(agent, c);
+            let sample = self.sample(sys, agent, c);
             extractions += 1;
-            let Ok(space) = self.space_of_sample(agent, c, sample.clone()) else {
+            let Ok(space) = self.space_of_sample(sys, agent, c, sample.clone()) else {
                 // REQ1/REQ2 violation: leave the point unplanned so the
                 // fallback path reports the identical per-point error.
                 req_skips += 1;
@@ -273,6 +300,83 @@ impl<'s> ProbAssignment<'s> {
             covered,
             batched,
         )
+    }
+}
+
+impl<'s> ProbAssignment<'s> {
+    /// Pairs a system with a sample-space assignment.
+    #[must_use]
+    pub fn new(sys: &'s System, assignment: Assignment) -> ProbAssignment<'s> {
+        ProbAssignment {
+            sys,
+            core: AssignCore::new(assignment, sys.agent_count()),
+        }
+    }
+
+    /// The underlying system.
+    #[must_use]
+    pub fn system(&self) -> &'s System {
+        self.sys
+    }
+
+    /// The system-free [`AssignCore`] this assignment wraps — the half
+    /// an artifact can own and share across threads.
+    #[must_use]
+    pub fn core(&self) -> &AssignCore {
+        &self.core
+    }
+
+    /// The sample-space assignment.
+    #[must_use]
+    pub fn assignment(&self) -> &Assignment {
+        self.core.assignment()
+    }
+
+    /// The sample `S_ic`, as a dense [`PointSet`].
+    #[must_use]
+    pub fn sample(&self, agent: AgentId, c: PointId) -> PointSet {
+        self.core.sample(self.sys, agent, c)
+    }
+
+    /// The induced probability space `(S_ic, X_ic, μ_ic)`, wrapped in
+    /// its precomputed [`DensePointSpace`] word-mask kernel. The result
+    /// derefs to the generic [`PointSpace`], so callers that only need
+    /// the sample or expectations are unaffected; measure queries
+    /// against `PointSet`s dispatch to the dense path.
+    ///
+    /// # Errors
+    ///
+    /// [`AssignError::Req2Violated`] if the sample is empty;
+    /// [`AssignError::Req1Violated`] if it spans several trees.
+    pub fn space(&self, agent: AgentId, c: PointId) -> Result<Arc<DensePointSpace>, AssignError> {
+        self.core.space(self.sys, agent, c)
+    }
+
+    /// The batched [`SamplePlan`] for `agent`: a `point → space` table
+    /// covering every point where the assignment is well defined,
+    /// built with **one** sample extraction per class for the canonical
+    /// assignments (see the [`crate::plan`] module docs for why that is
+    /// exact) and canonicalized through the same per-sample cache as
+    /// [`ProbAssignment::space`] — planned and naive spaces are the
+    /// same `Arc`s. Built lazily on first request, then shared.
+    #[must_use]
+    pub fn sample_plan(&self, agent: AgentId) -> Arc<SamplePlan> {
+        self.core.sample_plan(self.sys, agent)
+    }
+
+    /// [`ProbAssignment::space`] through the plan when available: one
+    /// table lookup on the warm path, with per-point fallback (and
+    /// hence exact naive errors) where the plan has no entry.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProbAssignment::space`].
+    pub fn planned_space(
+        &self,
+        agent: AgentId,
+        c: PointId,
+    ) -> Result<Arc<DensePointSpace>, AssignError> {
+        self.core.planned_space(self.sys, agent, c)
     }
 
     /// `μ_ic(S_ic(φ))` for a measurable fact: the probability, according
@@ -425,7 +529,7 @@ impl<'s> ProbAssignment<'s> {
         self.for_all(|agent, _, sample| {
             sample
                 .iter()
-                .all(|d| self.assignment.sample(self.sys, agent, d) == *sample)
+                .all(|d| self.core.sample(self.sys, agent, d) == *sample)
         })
     }
 

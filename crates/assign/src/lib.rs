@@ -52,9 +52,11 @@ mod induced;
 pub mod lattice;
 pub mod plan;
 mod sample;
+pub mod shard;
 
 pub use dense::DensePointSpace;
 pub use error::AssignError;
-pub use induced::{PointSpace, ProbAssignment};
+pub use induced::{AssignCore, PointSpace, ProbAssignment};
 pub use plan::SamplePlan;
 pub use sample::{Assignment, SampleFn};
+pub use shard::ShardMap;

@@ -1,0 +1,677 @@
+//! The immutable model artifact and its per-query evaluation contexts.
+//!
+//! The paper's decision procedures — `K_i φ`, `Pr_i ≥ α φ`, the
+//! temporal operators — are pure functions of an immutable system and
+//! probability assignment. This module splits the evaluation stack
+//! along exactly that line:
+//!
+//! * [`ModelArtifact`] — the shareable half: an `Arc<System>`, the
+//!   sample-space assignment's [`AssignCore`] (sharded space cache +
+//!   write-once per-agent plan table), and the three evaluation memos
+//!   as 16-way [`ShardMap`]s. The artifact is `Send + Sync` and is
+//!   meant to be built **once** and shared as `Arc<ModelArtifact>`
+//!   across any number of query threads; there is no global mutex on
+//!   any query path — only shard-level locks, held for single
+//!   lookups/inserts.
+//! * [`EvalCtx`] — the per-query half: a cheap, single-thread handle
+//!   carrying per-context scratch state (currently a query counter).
+//!   Each thread mints its own context with [`ModelArtifact::ctx`];
+//!   contexts are deliberately `!Sync` so scratch state never needs
+//!   atomics.
+//!
+//! The classic borrowing [`Model`](crate::Model) is now a thin facade
+//! over the same evaluator (see [`EvalView`]) with *per-model* memos,
+//! kept for single-system scripts and for differential tests that need
+//! memo-scoped observability; results are bit-identical by
+//! construction, because both run the identical [`EvalView`] code over
+//! the identical [`AssignCore`].
+//!
+//! Sharding never affects results: every memo key lives in exactly one
+//! shard, values are pure functions of their keys, and racing builders
+//! insert structurally identical values (first insert wins). The
+//! differential suite (`tests/shared_artifact_differential.rs`)
+//! hammers one artifact from several threads and asserts word-level
+//! bit-equality with a serial facade evaluation.
+
+use crate::error::LogicError;
+use crate::formula::Formula;
+use kpa_assign::{AssignCore, Assignment, DensePointSpace, SamplePlan, ShardMap};
+use kpa_measure::Rat;
+use kpa_pool::Pool;
+use kpa_system::{AgentId, PointId, PointSet, System};
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Minimum local classes per chunk before `knows_set` fans out.
+const KNOWS_MIN_CHUNK: usize = 8;
+
+/// Minimum points per chunk before `pr_ge_set` fans out.
+const PR_MIN_CHUNK: usize = 64;
+
+/// The three evaluation memos, each a sharded concurrent map:
+///
+/// * `cache` — formula → satisfaction set (the structural memo);
+/// * `knows` — `(agent, input set) → Kᵢ(set)`, shared across formulas
+///   whose subterms converge to equal sets (`C_G` fixpoints);
+/// * `pr` — `(space identity, sat set) → (μ_ic)⁎(sat)`, shared across
+///   chunks, thresholds `α`, and formulas.
+///
+/// `knows`/`pr` are optional because the differential suites prove
+/// memo invisibility by turning them off; the artifact always enables
+/// both.
+pub(crate) struct EvalMemos {
+    pub(crate) cache: ShardMap<Formula, Arc<PointSet>>,
+    pub(crate) knows: Option<ShardMap<(AgentId, PointSet), Arc<PointSet>>>,
+    pub(crate) pr: Option<ShardMap<(usize, PointSet), Rat>>,
+}
+
+impl EvalMemos {
+    /// Fresh, empty memos with the `knows_set` and `Pr` memos each
+    /// enabled or disabled. The formula cache is always on (sharing
+    /// satisfaction-set `Arc`s is part of the `sat` contract).
+    pub(crate) fn new(knows: bool, pr: bool) -> EvalMemos {
+        EvalMemos {
+            cache: ShardMap::new("logic.sat_cache"),
+            knows: knows.then(|| ShardMap::new("logic.knows_memo")),
+            pr: pr.then(|| ShardMap::new("logic.pr_memo")),
+        }
+    }
+}
+
+impl std::fmt::Debug for EvalMemos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalMemos")
+            .field("cache", &self.cache.len())
+            .field("knows", &self.knows.as_ref().map(ShardMap::len))
+            .field("pr", &self.pr.as_ref().map(ShardMap::len))
+            .finish()
+    }
+}
+
+/// One borrowed view over everything a single evaluation needs: the
+/// system, the assignment core, the full point set, the memos, and the
+/// plan knob. Both [`ModelArtifact`] (via [`EvalCtx`]) and the classic
+/// [`Model`](crate::Model) facade evaluate through this one type, so
+/// their semantics cannot drift apart.
+pub(crate) struct EvalView<'e> {
+    pub(crate) sys: &'e System,
+    pub(crate) core: &'e AssignCore,
+    pub(crate) all: &'e Arc<PointSet>,
+    pub(crate) memos: &'e EvalMemos,
+    /// Whether `pr_ge_set` resolves spaces through the batched
+    /// [`SamplePlan`] table (off only for differential testing).
+    pub(crate) plan: bool,
+}
+
+impl EvalView<'_> {
+    /// The exact set of points satisfying `f`. See
+    /// [`Model::sat`](crate::Model::sat) for the error contract.
+    pub(crate) fn sat(&self, f: &Formula) -> Result<Arc<PointSet>, LogicError> {
+        if let Some(hit) = self.memos.cache.get(f) {
+            kpa_trace::count!("logic.sat_cache_hit");
+            return Ok(hit);
+        }
+        // One evaluated formula node (sub-nodes recurse through `sat`
+        // and are counted at their own entry).
+        kpa_trace::count!("logic.sat_eval");
+        let sys = self.sys;
+        let result: PointSet = match f {
+            Formula::True => (**self.all).clone(),
+            Formula::Prop(name) => {
+                let id = sys
+                    .prop_id(name)
+                    .ok_or_else(|| LogicError::UnknownProp { name: name.clone() })?;
+                sys.points_satisfying(id)
+            }
+            Formula::Not(x) => self.sat(x)?.complement(),
+            Formula::And(xs) => {
+                let mut acc = (**self.all).clone();
+                for x in xs {
+                    acc.intersect_with(&*self.sat(x)?);
+                }
+                acc
+            }
+            Formula::Or(xs) => {
+                let mut acc = sys.empty_points();
+                for x in xs {
+                    acc.union_with(&*self.sat(x)?);
+                }
+                acc
+            }
+            Formula::Knows(i, x) => self.knows_set(*i, &*self.sat(x)?),
+            Formula::PrGe(i, alpha, x) => self.pr_ge_set(*i, *alpha, &*self.sat(x)?)?,
+            // ◯φ: the points whose time-successor satisfies φ — one
+            // word shift in the dense layout.
+            Formula::Next(x) => self.sat(x)?.precursors(),
+            // φ U ψ: least fixpoint of X = ψ ∪ (φ ∩ ◯X). Converges in
+            // at most `horizon` rounds of O(words) shifts, replacing
+            // the old per-run backward scans.
+            Formula::Until(x, y) => {
+                let hold = self.sat(x)?;
+                let goal = self.sat(y)?;
+                let mut acc = (*goal).clone();
+                loop {
+                    kpa_trace::count!("logic.until_iters");
+                    let mut next = acc.precursors();
+                    next.intersect_with(&hold);
+                    next.union_with(&goal);
+                    if next == acc {
+                        break acc;
+                    }
+                    acc = next;
+                }
+            }
+            Formula::Common(group, x) => {
+                if group.is_empty() {
+                    return Err(LogicError::EmptyGroup);
+                }
+                let phi = self.sat(x)?;
+                self.gfp(|current| {
+                    let body = phi.intersection(current);
+                    let mut acc: Option<PointSet> = None;
+                    for &i in group {
+                        let k = self.knows_set(i, &body);
+                        acc = Some(match acc {
+                            None => k,
+                            Some(mut a) => {
+                                a.intersect_with(&k);
+                                a
+                            }
+                        });
+                    }
+                    Ok(acc.expect("nonempty group"))
+                })?
+            }
+            Formula::CommonGe(group, alpha, x) => {
+                if group.is_empty() {
+                    return Err(LogicError::EmptyGroup);
+                }
+                let phi = self.sat(x)?;
+                self.gfp(|current| {
+                    let body = phi.intersection(current);
+                    let mut acc: Option<PointSet> = None;
+                    for &i in group {
+                        // Kᵢ^α(body) = Kᵢ(Prᵢ(body) ≥ α).
+                        let pr = self.pr_ge_set(i, *alpha, &body)?;
+                        let k = self.knows_set(i, &pr);
+                        acc = Some(match acc {
+                            None => k,
+                            Some(mut a) => {
+                                a.intersect_with(&k);
+                                a
+                            }
+                        });
+                    }
+                    Ok(acc.expect("nonempty group"))
+                })?
+            }
+        };
+        // Racing evaluators of the same formula insert identical sets;
+        // whichever wins, every caller gets the same shared `Arc`.
+        Ok(self.memos.cache.insert_or_get(f.clone(), Arc::new(result)))
+    }
+
+    /// `Kᵢ S` through the cross-formula memo when enabled. See
+    /// [`Model::knows_set`](crate::Model::knows_set).
+    pub(crate) fn knows_set(&self, agent: AgentId, sat: &PointSet) -> PointSet {
+        if let Some(memo) = &self.memos.knows {
+            if let Some(hit) = memo.get(&(agent, sat.clone())) {
+                kpa_trace::count!("logic.knows_memo_hit");
+                return (*hit).clone();
+            }
+            let fresh = self.knows_set_fresh(agent, sat);
+            // The scan ran outside the lock; concurrent sweeps may
+            // compute the same (identical) set — either insert wins.
+            return (*memo.insert_or_get((agent, sat.clone()), Arc::new(fresh))).clone();
+        }
+        self.knows_set_fresh(agent, sat)
+    }
+
+    /// `knows_set` without consulting or filling the memo: the direct
+    /// per-class subset scan, parallelized over chunks of the agent's
+    /// local-class list. Partial unions combine in chunk order, so the
+    /// result is bit-identical at any thread count.
+    pub(crate) fn knows_set_fresh(&self, agent: AgentId, sat: &PointSet) -> PointSet {
+        kpa_trace::count!("logic.knows_scan");
+        let sys = self.sys;
+        let classes: Vec<&PointSet> = sys.local_classes(agent).map(|(_, class)| class).collect();
+        let partials = Pool::current().par_map_chunks(classes.len(), KNOWS_MIN_CHUNK, |range| {
+            let mut acc = sys.empty_points();
+            for class in &classes[range] {
+                if class.is_subset(sat) {
+                    acc.union_with(class);
+                }
+            }
+            acc
+        });
+        let mut acc = sys.empty_points();
+        for partial in partials {
+            acc.union_with(&partial);
+        }
+        acc
+    }
+
+    /// `Prᵢ(S) ≥ α` as a set. See
+    /// [`Model::pr_ge_set`](crate::Model::pr_ge_set) for the full
+    /// contract; the sweep is chunk-deterministic and every cache it
+    /// consults stores pure functions of its keys, so partials stay
+    /// bit-identical to a serial, memo-free, unplanned sweep.
+    pub(crate) fn pr_ge_set(
+        &self,
+        agent: AgentId,
+        alpha: Rat,
+        sat: &PointSet,
+    ) -> Result<PointSet, LogicError> {
+        let sys = self.sys;
+        let points: Vec<PointId> = sys.points().collect();
+        // Fetched once per sweep, outside the fan-out, so chunks share
+        // one immutable table; the artifact's plan slots are write-once,
+        // so the warm fetch is a single atomic load.
+        let plan: Option<Arc<SamplePlan>> = self.plan.then(|| self.core.sample_plan(sys, agent));
+        let partials = Pool::current().par_map_chunks(points.len(), PR_MIN_CHUNK, |range| {
+            let mut acc = sys.empty_points();
+            let mut by_space: HashMap<*const DensePointSpace, bool> = HashMap::new();
+            let mut hits = 0u64;
+            let mut fallbacks = 0u64;
+            for &c in &points[range] {
+                let space = match plan.as_ref().and_then(|p| p.space(c)) {
+                    Some(space) => {
+                        hits += 1;
+                        Arc::clone(space)
+                    }
+                    None => {
+                        fallbacks += 1;
+                        self.core.space(sys, agent, c)?
+                    }
+                };
+                let key = Arc::as_ptr(&space);
+                let ok = match by_space.get(&key) {
+                    Some(&ok) => ok,
+                    None => {
+                        let ok = self.inner_of(&space, sat) >= alpha;
+                        by_space.insert(key, ok);
+                        ok
+                    }
+                };
+                if ok {
+                    acc.insert(c);
+                }
+            }
+            kpa_trace::count!("logic.plan_hit", hits);
+            kpa_trace::count!("logic.plan_fallback", fallbacks);
+            Ok::<PointSet, LogicError>(acc)
+        });
+        let mut acc = sys.empty_points();
+        for partial in partials {
+            acc.union_with(&partial?);
+        }
+        Ok(acc)
+    }
+
+    /// The inner measure of `sat` in `space`, through the per-class
+    /// memo when enabled. The memo key pairs the space cache `Arc`'s
+    /// address (stable for the life of the core — the space cache never
+    /// evicts) with the sat-set fingerprint. Concurrent chunks may
+    /// compute the same measure once each before one insert wins; the
+    /// value is a pure function of the key, so results are unaffected.
+    fn inner_of(&self, space: &Arc<DensePointSpace>, sat: &PointSet) -> Rat {
+        let Some(memo) = &self.memos.pr else {
+            return space.inner_measure(sat);
+        };
+        let key = (Arc::as_ptr(space) as usize, sat.clone());
+        if let Some(hit) = memo.get(&key) {
+            kpa_trace::count!("logic.pr_memo_hit");
+            return hit;
+        }
+        kpa_trace::count!("logic.pr_memo_miss");
+        // Measured outside the lock.
+        memo.insert_or_get(key, space.inner_measure(sat))
+    }
+
+    /// Greatest fixed point of a monotone set operator, starting from
+    /// the set of all points.
+    fn gfp(
+        &self,
+        mut op: impl FnMut(&PointSet) -> Result<PointSet, LogicError>,
+    ) -> Result<PointSet, LogicError> {
+        let mut current: PointSet = (**self.all).clone();
+        loop {
+            kpa_trace::count!("logic.gfp_iters");
+            let next = op(&current)?;
+            if next == current {
+                return Ok(current);
+            }
+            current = next;
+        }
+    }
+}
+
+/// An immutable, shareable model-checking artifact: one system + one
+/// sample-space assignment, with every derived structure — canonical
+/// spaces, batched [`SamplePlan`]s, and the three evaluation memos —
+/// owned by the artifact and guarded only by shard-level locks.
+///
+/// Build it once, wrap it in an [`Arc`], and hand clones to as many
+/// threads as you like; each thread mints a cheap [`EvalCtx`] and
+/// queries away. Memos warm *across* threads: a satisfaction set
+/// computed by one client is a shard-map hit for every other.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use kpa_measure::rat;
+/// use kpa_system::{AgentId, PointId, ProtocolBuilder, TreeId};
+/// use kpa_assign::Assignment;
+/// use kpa_logic::{Formula, ModelArtifact};
+///
+/// let sys = ProtocolBuilder::new(["p1", "p2", "p3"])
+///     .coin("c", &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))], &["p3"])
+///     .build()?;
+/// let artifact = Arc::new(ModelArtifact::new(Arc::new(sys), Assignment::post()));
+///
+/// let p1 = AgentId(0);
+/// let f = Formula::prop("c=h").k_interval(p1, rat!(1 / 2), rat!(1 / 2));
+/// let c = PointId { tree: TreeId(0), run: 0, time: 1 };
+///
+/// // Queries fan out across threads against the one shared artifact.
+/// std::thread::scope(|scope| {
+///     for _ in 0..4 {
+///         let artifact = Arc::clone(&artifact);
+///         let f = f.clone();
+///         scope.spawn(move || {
+///             let ctx = artifact.ctx();
+///             assert!(ctx.holds_at(&f, c).unwrap());
+///         });
+///     }
+/// });
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ModelArtifact {
+    sys: Arc<System>,
+    core: AssignCore,
+    all: Arc<PointSet>,
+    memos: EvalMemos,
+}
+
+impl ModelArtifact {
+    /// Builds the artifact for `assignment` over `sys`, eagerly
+    /// building the per-agent [`SamplePlan`] table so the first query
+    /// from every thread starts warm (plan builds walk the whole
+    /// system — exactly the cost an interactive client should not pay
+    /// mid-query).
+    #[must_use]
+    pub fn new(sys: Arc<System>, assignment: Assignment) -> ModelArtifact {
+        let core = AssignCore::new(assignment, sys.agent_count());
+        for agent in (0..sys.agent_count()).map(AgentId) {
+            let _ = core.sample_plan(&sys, agent);
+        }
+        let all = Arc::new(sys.full_points());
+        ModelArtifact {
+            sys,
+            core,
+            all,
+            memos: EvalMemos::new(true, true),
+        }
+    }
+
+    /// The underlying system.
+    #[must_use]
+    pub fn system(&self) -> &Arc<System> {
+        &self.sys
+    }
+
+    /// The sample-space assignment the artifact evaluates under.
+    #[must_use]
+    pub fn assignment(&self) -> &Assignment {
+        self.core.assignment()
+    }
+
+    /// The shared assignment core (sharded space cache + plan table).
+    #[must_use]
+    pub fn core(&self) -> &AssignCore {
+        &self.core
+    }
+
+    /// A fresh per-query evaluation context for the calling thread.
+    #[must_use]
+    pub fn ctx(&self) -> EvalCtx<'_> {
+        EvalCtx {
+            artifact: self,
+            queries: Cell::new(0),
+        }
+    }
+
+    /// How many formulas the shared satisfaction cache holds.
+    #[must_use]
+    pub fn sat_cache_len(&self) -> usize {
+        self.memos.cache.len()
+    }
+
+    /// How many `(agent, set)` entries the shared `knows_set` memo
+    /// holds.
+    #[must_use]
+    pub fn knows_memo_len(&self) -> usize {
+        self.memos.knows.as_ref().map_or(0, ShardMap::len)
+    }
+
+    /// How many `(space, sat set)` entries the shared `Pr` memo holds.
+    #[must_use]
+    pub fn pr_memo_len(&self) -> usize {
+        self.memos.pr.as_ref().map_or(0, ShardMap::len)
+    }
+
+    /// How many per-agent sample plans have been built (all of them,
+    /// after [`ModelArtifact::new`]'s eager prewarm).
+    #[must_use]
+    pub fn plans_built(&self) -> usize {
+        self.core.plans_built()
+    }
+
+    /// The view the artifact's contexts evaluate through.
+    fn view(&self) -> EvalView<'_> {
+        EvalView {
+            sys: &self.sys,
+            core: &self.core,
+            all: &self.all,
+            memos: &self.memos,
+            plan: true,
+        }
+    }
+}
+
+// The whole point of the artifact: it must be shareable across threads
+// behind an `Arc` with no wrapper locks. Compile-time enforced.
+const _: () = {
+    const fn require_send_sync<T: Send + Sync>() {}
+    require_send_sync::<ModelArtifact>();
+};
+
+/// A cheap per-query handle over a shared [`ModelArtifact`].
+///
+/// Mint one per thread (or per query batch) with
+/// [`ModelArtifact::ctx`]; all heavy state — memos, spaces, plans —
+/// lives in the artifact and warms across every context. The context
+/// itself is deliberately `!Sync` (it carries `Cell` scratch state), so
+/// per-context bookkeeping never pays for atomics.
+#[derive(Debug)]
+pub struct EvalCtx<'m> {
+    artifact: &'m ModelArtifact,
+    /// Queries answered through this context (scratch statistic — the
+    /// `Cell` is also what keeps `EvalCtx: !Sync`).
+    queries: Cell<u64>,
+}
+
+impl<'m> EvalCtx<'m> {
+    /// The artifact this context queries.
+    #[must_use]
+    pub fn artifact(&self) -> &'m ModelArtifact {
+        self.artifact
+    }
+
+    /// How many queries this context has answered.
+    #[must_use]
+    pub fn queries(&self) -> u64 {
+        self.queries.get()
+    }
+
+    fn tick(&self) {
+        self.queries.set(self.queries.get() + 1);
+    }
+
+    /// The exact set of points satisfying `f`, answered from (and
+    /// warming) the artifact's shared memos.
+    ///
+    /// # Errors
+    ///
+    /// As [`Model::sat`](crate::Model::sat).
+    pub fn sat(&self, f: &Formula) -> Result<Arc<PointSet>, LogicError> {
+        self.tick();
+        self.artifact.view().sat(f)
+    }
+
+    /// Whether `f` holds at the point `c`.
+    ///
+    /// # Errors
+    ///
+    /// As [`EvalCtx::sat`].
+    pub fn holds_at(&self, f: &Formula, c: PointId) -> Result<bool, LogicError> {
+        Ok(self.sat(f)?.contains(c))
+    }
+
+    /// Whether `f` holds at *every* point of the system.
+    ///
+    /// # Errors
+    ///
+    /// As [`EvalCtx::sat`].
+    pub fn holds_everywhere(&self, f: &Formula) -> Result<bool, LogicError> {
+        Ok(*self.sat(f)? == *self.artifact.all)
+    }
+
+    /// The `(inner, outer)` probability bounds agent `i` assigns to `f`
+    /// at `c` under the artifact's assignment.
+    ///
+    /// # Errors
+    ///
+    /// As [`EvalCtx::sat`].
+    pub fn prob_interval(
+        &self,
+        agent: AgentId,
+        c: PointId,
+        f: &Formula,
+    ) -> Result<(Rat, Rat), LogicError> {
+        let sat = self.sat(f)?;
+        let space = self.artifact.core.space(&self.artifact.sys, agent, c)?;
+        Ok(space.measure_interval(&*sat))
+    }
+
+    /// `Kᵢ S` through the artifact's shared memo.
+    #[must_use]
+    pub fn knows_set(&self, agent: AgentId, sat: &PointSet) -> PointSet {
+        self.tick();
+        self.artifact.view().knows_set(agent, sat)
+    }
+
+    /// `knows_set` without consulting or filling the memo.
+    #[must_use]
+    pub fn knows_set_fresh(&self, agent: AgentId, sat: &PointSet) -> PointSet {
+        self.tick();
+        self.artifact.view().knows_set_fresh(agent, sat)
+    }
+
+    /// `Prᵢ(S) ≥ α` as a set, through the artifact's shared memos.
+    ///
+    /// # Errors
+    ///
+    /// Propagates space-construction failures.
+    pub fn pr_ge_set(
+        &self,
+        agent: AgentId,
+        alpha: Rat,
+        sat: &PointSet,
+    ) -> Result<PointSet, LogicError> {
+        self.tick();
+        self.artifact.view().pr_ge_set(agent, alpha, sat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpa_measure::rat;
+    use kpa_system::{ProtocolBuilder, TreeId};
+
+    fn intro_system() -> System {
+        ProtocolBuilder::new(["p1", "p2", "p3"])
+            .coin("c", &[("h", rat!(1 / 2)), ("t", rat!(1 / 2))], &["p3"])
+            .build()
+            .unwrap()
+    }
+
+    fn pt(tree: usize, run: usize, time: usize) -> PointId {
+        PointId {
+            tree: TreeId(tree),
+            run,
+            time,
+        }
+    }
+
+    #[test]
+    fn artifact_matches_the_model_facade() {
+        let sys = intro_system();
+        let pa = kpa_assign::ProbAssignment::new(&sys, Assignment::post());
+        let model = crate::Model::new(&pa);
+        let artifact = ModelArtifact::new(Arc::new(intro_system()), Assignment::post());
+        let ctx = artifact.ctx();
+        let p1 = AgentId(0);
+        let g = [AgentId(0), AgentId(1), AgentId(2)];
+        let formulas = [
+            Formula::prop("c=h"),
+            Formula::prop("c=h").known_by(AgentId(2)),
+            Formula::prop("c=h").k_alpha(p1, rat!(1 / 2)),
+            Formula::prop("c=h").eventually().common(g),
+        ];
+        for f in &formulas {
+            assert_eq!(
+                model.sat(f).unwrap().as_words(),
+                ctx.sat(f).unwrap().as_words(),
+                "artifact diverged from the facade on {f}"
+            );
+        }
+        assert_eq!(ctx.queries(), formulas.len() as u64);
+    }
+
+    #[test]
+    fn artifact_prewarms_every_plan() {
+        let artifact = ModelArtifact::new(Arc::new(intro_system()), Assignment::post());
+        assert_eq!(artifact.plans_built(), 3, "one plan per agent, eagerly");
+    }
+
+    #[test]
+    fn contexts_share_the_artifact_memos() {
+        let artifact = ModelArtifact::new(Arc::new(intro_system()), Assignment::post());
+        let f = Formula::prop("c=h").known_by(AgentId(2));
+        let a = artifact.ctx().sat(&f).unwrap();
+        assert!(artifact.sat_cache_len() > 0);
+        // A *different* context gets the very same shared set.
+        let b = artifact.ctx().sat(&f).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "memos must warm across contexts");
+    }
+
+    #[test]
+    fn prob_interval_matches_the_assignment() {
+        let sys = intro_system();
+        let pa = kpa_assign::ProbAssignment::new(&sys, Assignment::post());
+        let artifact = ModelArtifact::new(Arc::new(intro_system()), Assignment::post());
+        let ctx = artifact.ctx();
+        let f = Formula::prop("c=h");
+        let sat = ctx.sat(&f).unwrap();
+        let c = pt(0, 0, 1);
+        assert_eq!(
+            ctx.prob_interval(AgentId(0), c, &f).unwrap(),
+            pa.interval(AgentId(0), c, &*sat).unwrap()
+        );
+    }
+}

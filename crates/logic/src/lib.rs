@@ -8,9 +8,13 @@
 //!   (inner-measure semantics for nonmeasurable facts), temporal `◯` and
 //!   `U`, plus derived `Kᵢ^α`, `Kᵢ^{[α,β]}`, `◇`, `□`, `E_G`, and the
 //!   Section 8 fixed points `C_G`, `C_G^α`;
-//! * [`Model`] — memoized evaluation against a
-//!   [`ProbAssignment`](kpa_assign::ProbAssignment), returning the exact
-//!   set of satisfying points.
+//! * [`ModelArtifact`] + [`EvalCtx`] — the immutable, `Send + Sync`
+//!   evaluation artifact (system + assignment + sharded memos), built
+//!   once and shared as `Arc<ModelArtifact>` across query threads, with
+//!   cheap per-thread contexts;
+//! * [`Model`] — the classic borrowing facade over the same evaluator,
+//!   checking against a [`ProbAssignment`](kpa_assign::ProbAssignment)
+//!   and returning the exact set of satisfying points.
 //!
 //! ## Finite-trace semantics
 //!
@@ -47,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod artifact;
 mod error;
 mod formula;
 mod model;
@@ -54,6 +59,7 @@ mod parse;
 mod proof;
 pub mod theorems;
 
+pub use artifact::{EvalCtx, ModelArtifact};
 pub use error::LogicError;
 pub use formula::Formula;
 pub use model::{Model, PointSet};

@@ -1,4 +1,5 @@
-//! Model checking `L(Φ)` over finite systems.
+//! Model checking `L(Φ)` over finite systems — the classic borrowing
+//! facade.
 //!
 //! A [`Model`] pairs a [`ProbAssignment`] (which already pairs a system
 //! with a sample-space assignment) with a memoizing evaluator that maps
@@ -20,16 +21,28 @@
 //! unioning fixed-boundary chunk partials in chunk order, so the
 //! resulting bitsets are bit-identical to a serial evaluation at any
 //! thread count (see `DESIGN.md`, "Deterministic parallel sweeps").
+//!
+//! # Facade status
+//!
+//! Since the artifact/context split (DESIGN §3.2f), `Model` is a thin
+//! facade over the same shared evaluator that powers
+//! [`ModelArtifact`](crate::ModelArtifact) + [`EvalCtx`](crate::EvalCtx)
+//! — one `EvalView` implementation serves both, so results are
+//! bit-identical by construction. New code that shares one system
+//! across threads should build an `Arc<ModelArtifact>` and mint
+//! per-thread contexts; `Model` remains first-class for single-system
+//! scripts and for differential tests that need *per-model* memo
+//! scoping (every `Model` owns fresh memos, where the artifact shares
+//! them process-wide). The facade is slated to become a deprecated
+//! re-export of the artifact API once downstream callers migrate.
 
+use crate::artifact::{EvalMemos, EvalView};
 use crate::error::LogicError;
 use crate::formula::Formula;
-use kpa_assign::{ProbAssignment, SamplePlan};
+use kpa_assign::ProbAssignment;
 use kpa_measure::Rat;
-use kpa_pool::Pool;
 use kpa_system::{AgentId, PointId};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// The set of points satisfying a formula (re-exported from
 /// `kpa-system`'s dense bitset kernel).
@@ -62,53 +75,18 @@ pub use kpa_system::PointSet;
 pub struct Model<'a, 's> {
     pa: &'a ProbAssignment<'s>,
     all: Arc<PointSet>,
-    cache: Mutex<HashMap<Formula, Arc<PointSet>>>,
-    /// Cross-formula memo for `knows_set`: keyed by the *input* set, so
-    /// distinct formulas with equal satisfaction sets (`K_i φ` inside
-    /// `C_G φ`, fixpoint iterations that have converged, …) share one
-    /// subset scan. `None` disables memoization (for differential
-    /// testing against fresh fixpoints).
-    knows_memo: Option<Mutex<KnowsMemo>>,
-    /// Cross-chunk, cross-formula memo for `pr_ge_set`: keyed by
-    /// (space identity, sat-set fingerprint), valued by the *inner
-    /// measure* — so every `Prᵢ ≥ α` threshold over the same
-    /// (space, set) pair shares one measure query, across parallel
-    /// chunks and across formulas. `None` disables it (differential
-    /// testing).
-    pr_memo: Option<Mutex<PrMemo>>,
-    /// Per-agent batched [`SamplePlan`]s for `pr_ge_set`'s space
-    /// lookups: with the plan, the per-point hot path is one table
-    /// index instead of a sample extraction + cache-key hash, so the
-    /// `pr_memo` above finally hits on a warm path. `None` disables
-    /// planning (differential testing / the unplanned bench row).
-    plan_memo: Option<Mutex<HashMap<AgentId, Arc<SamplePlan>>>>,
-    /// Per-model mirror of the `logic.pr_memo_hit` registry counter,
-    /// kept (always compiled, relaxed) only to back the deprecated
-    /// [`Model::pr_memo_hits`] shim. The process-global `kpa-trace`
-    /// registry is the first-class surface for this signal.
-    pr_memo_hits: AtomicU64,
-    /// Per-model mirror of the `logic.plan_hit` registry counter,
-    /// backing the deprecated [`Model::plan_hits`] shim.
-    plan_hits: AtomicU64,
+    /// Per-model sharded memos (formula sat cache, `knows_set` memo,
+    /// per-class `Pr` memo). Owning them per model — where the
+    /// artifact shares them across threads — is what gives the
+    /// differential suites memo-scoped observability
+    /// (`knows_memo_len`, `pr_memo_len`).
+    memos: EvalMemos,
+    /// Whether `pr_ge_set` resolves spaces through the assignment's
+    /// batched [`kpa_assign::SamplePlan`] table. The table itself lives
+    /// in the assignment's [`kpa_assign::AssignCore`] — the old
+    /// model-level plan mutex was consolidated away.
+    plan: bool,
 }
-
-/// `(agent, input set) → Kᵢ(set)`. [`PointSet`] hashes its words
-/// directly, so a lookup costs one word sweep — far cheaper than the
-/// per-class subset scan it saves.
-type KnowsMemo = HashMap<(AgentId, PointSet), Arc<PointSet>>;
-
-/// `(space identity, sat set) → (μ_ic)⁎(sat)`. The space key is the
-/// cache `Arc`'s address: the assignment's space cache never evicts, so
-/// for the life of the `Model`'s borrow of the assignment each address
-/// names one space. The sat set is the full bitset fingerprint, so
-/// equal-address spaces queried with different formulas never collide.
-type PrMemo = HashMap<(usize, PointSet), Rat>;
-
-/// Minimum local classes per chunk before `knows_set` fans out.
-const KNOWS_MIN_CHUNK: usize = 8;
-
-/// Minimum points per chunk before `pr_ge_set` fans out.
-const PR_MIN_CHUNK: usize = 64;
 
 impl<'a, 's> Model<'a, 's> {
     /// Builds a model checker over the given probability assignment,
@@ -131,9 +109,9 @@ impl<'a, 's> Model<'a, 's> {
     /// Builds a model checker with each memo explicitly on or off:
     /// `knows` gates the cross-formula `knows_set` memo, `pr` the
     /// per-class inner-measure memo behind `pr_ge_set`, and `plan` the
-    /// per-agent batched [`SamplePlan`] that replaces per-point sample
-    /// extraction with a table lookup. All eight combinations produce
-    /// bit-identical satisfaction sets (pinned by
+    /// per-agent batched [`kpa_assign::SamplePlan`] that replaces
+    /// per-point sample extraction with a table lookup. All eight
+    /// combinations produce bit-identical satisfaction sets (pinned by
     /// `tests/memo_consistency.rs`, the measure-kernel differential
     /// suite, and `tests/plan_differential.rs`); the knobs exist for
     /// differential testing and benches.
@@ -148,94 +126,63 @@ impl<'a, 's> Model<'a, 's> {
         Model {
             pa,
             all,
-            cache: Mutex::new(HashMap::new()),
-            knows_memo: knows.then(|| Mutex::new(KnowsMemo::new())),
-            pr_memo: pr.then(|| Mutex::new(PrMemo::new())),
-            plan_memo: plan.then(|| Mutex::new(HashMap::new())),
-            pr_memo_hits: AtomicU64::new(0),
-            plan_hits: AtomicU64::new(0),
+            memos: EvalMemos::new(knows, pr),
+            plan,
+        }
+    }
+
+    /// The view this facade evaluates through — the same `EvalView`
+    /// the artifact's contexts use, over this model's own memos.
+    fn view(&self) -> EvalView<'_> {
+        EvalView {
+            sys: self.pa.system(),
+            core: self.pa.core(),
+            all: &self.all,
+            memos: &self.memos,
+            plan: self.plan,
         }
     }
 
     /// Whether the cross-formula `knows_set` memo is enabled.
     #[must_use]
     pub fn knows_memo_enabled(&self) -> bool {
-        self.knows_memo.is_some()
+        self.memos.knows.is_some()
     }
 
     /// How many `(agent, set)` entries the `knows_set` memo holds.
     #[must_use]
     pub fn knows_memo_len(&self) -> usize {
-        self.knows_memo.as_ref().map_or(0, |m| lock(m).len())
+        self.memos.knows.as_ref().map_or(0, |m| m.len())
     }
 
     /// Whether the per-class `Pr` inner-measure memo is enabled.
     #[must_use]
     pub fn pr_memo_enabled(&self) -> bool {
-        self.pr_memo.is_some()
+        self.memos.pr.is_some()
     }
 
     /// How many `(space, sat set)` entries the `Pr` memo holds.
     #[must_use]
     pub fn pr_memo_len(&self) -> usize {
-        self.pr_memo.as_ref().map_or(0, |m| lock(m).len())
+        self.memos.pr.as_ref().map_or(0, |m| m.len())
     }
 
     /// Whether the per-agent sample plan is enabled.
     #[must_use]
     pub fn plan_enabled(&self) -> bool {
-        self.plan_memo.is_some()
+        self.plan
     }
 
-    /// How many agents have a built plan in this model.
+    /// How many agents have a built plan available to this model (the
+    /// plans live in the assignment's shared core; a plan-disabled
+    /// model never consults or builds them, so it reports zero).
     #[must_use]
     pub fn plan_len(&self) -> usize {
-        self.plan_memo.as_ref().map_or(0, |m| lock(m).len())
-    }
-
-    /// How many `pr_memo` lookups have hit *on this model* so far.
-    ///
-    /// Deprecated shim: the counter moved into the process-global
-    /// `kpa-trace` registry as `logic.pr_memo_hit` (enable with
-    /// `KPA_TRACE=1` / `kpa_trace::set_enabled(true)`, read via
-    /// `kpa_trace::registry().snapshot()`). The per-model mirror stays
-    /// always-on so existing callers keep exact per-model counts.
-    #[deprecated(
-        since = "0.1.0",
-        note = "read `logic.pr_memo_hit` from the kpa-trace registry instead"
-    )]
-    #[must_use]
-    pub fn pr_memo_hits(&self) -> u64 {
-        self.pr_memo_hits.load(Ordering::Relaxed)
-    }
-
-    /// How many `pr_ge_set` space lookups were served by a plan table
-    /// entry *on this model* so far.
-    ///
-    /// Deprecated shim: the counter moved into the process-global
-    /// `kpa-trace` registry as `logic.plan_hit` (see
-    /// [`Model::pr_memo_hits`] for how to read it).
-    #[deprecated(
-        since = "0.1.0",
-        note = "read `logic.plan_hit` from the kpa-trace registry instead"
-    )]
-    #[must_use]
-    pub fn plan_hits(&self) -> u64 {
-        self.plan_hits.load(Ordering::Relaxed)
-    }
-
-    /// The plan for `agent`, building (through the assignment's shared
-    /// per-agent plan cache) on first use. `None` when planning is
-    /// disabled.
-    fn plan_for(&self, agent: AgentId) -> Option<Arc<SamplePlan>> {
-        let memo = self.plan_memo.as_ref()?;
-        if let Some(plan) = lock(memo).get(&agent) {
-            return Some(Arc::clone(plan));
+        if self.plan {
+            self.pa.core().plans_built()
+        } else {
+            0
         }
-        // Built outside the lock; the assignment dedupes, so racing
-        // builders converge on one shared plan per agent.
-        let plan = self.pa.sample_plan(agent);
-        Some(Arc::clone(lock(memo).entry(agent).or_insert(plan)))
     }
 
     /// The probability assignment being checked against.
@@ -253,109 +200,7 @@ impl<'a, 's> Model<'a, 's> {
     /// [`LogicError::Assign`] if a probability space cannot be built
     /// (REQ violations of the assignment).
     pub fn sat(&self, f: &Formula) -> Result<Arc<PointSet>, LogicError> {
-        if let Some(hit) = lock(&self.cache).get(f) {
-            kpa_trace::count!("logic.sat_cache_hit");
-            return Ok(Arc::clone(hit));
-        }
-        // One evaluated formula node (sub-nodes recurse through `sat`
-        // and are counted at their own entry).
-        kpa_trace::count!("logic.sat_eval");
-        let sys = self.pa.system();
-        let result: PointSet = match f {
-            Formula::True => (*self.all).clone(),
-            Formula::Prop(name) => {
-                let id = sys
-                    .prop_id(name)
-                    .ok_or_else(|| LogicError::UnknownProp { name: name.clone() })?;
-                sys.points_satisfying(id)
-            }
-            Formula::Not(x) => self.sat(x)?.complement(),
-            Formula::And(xs) => {
-                let mut acc = (*self.all).clone();
-                for x in xs {
-                    acc.intersect_with(&*self.sat(x)?);
-                }
-                acc
-            }
-            Formula::Or(xs) => {
-                let mut acc = sys.empty_points();
-                for x in xs {
-                    acc.union_with(&*self.sat(x)?);
-                }
-                acc
-            }
-            Formula::Knows(i, x) => self.knows_set(*i, &*self.sat(x)?),
-            Formula::PrGe(i, alpha, x) => self.pr_ge_set(*i, *alpha, &*self.sat(x)?)?,
-            // ◯φ: the points whose time-successor satisfies φ — one
-            // word shift in the dense layout.
-            Formula::Next(x) => self.sat(x)?.precursors(),
-            // φ U ψ: least fixpoint of X = ψ ∪ (φ ∩ ◯X). Converges in
-            // at most `horizon` rounds of O(words) shifts, replacing
-            // the old per-run backward scans.
-            Formula::Until(x, y) => {
-                let hold = self.sat(x)?;
-                let goal = self.sat(y)?;
-                let mut acc = (*goal).clone();
-                loop {
-                    kpa_trace::count!("logic.until_iters");
-                    let mut next = acc.precursors();
-                    next.intersect_with(&hold);
-                    next.union_with(&goal);
-                    if next == acc {
-                        break acc;
-                    }
-                    acc = next;
-                }
-            }
-            Formula::Common(group, x) => {
-                if group.is_empty() {
-                    return Err(LogicError::EmptyGroup);
-                }
-                let phi = self.sat(x)?;
-                self.gfp(|current| {
-                    let body = phi.intersection(current);
-                    let mut acc: Option<PointSet> = None;
-                    for &i in group {
-                        let k = self.knows_set(i, &body);
-                        acc = Some(match acc {
-                            None => k,
-                            Some(mut a) => {
-                                a.intersect_with(&k);
-                                a
-                            }
-                        });
-                    }
-                    Ok(acc.expect("nonempty group"))
-                })?
-            }
-            Formula::CommonGe(group, alpha, x) => {
-                if group.is_empty() {
-                    return Err(LogicError::EmptyGroup);
-                }
-                let phi = self.sat(x)?;
-                self.gfp(|current| {
-                    let body = phi.intersection(current);
-                    let mut acc: Option<PointSet> = None;
-                    for &i in group {
-                        // Kᵢ^α(body) = Kᵢ(Prᵢ(body) ≥ α).
-                        let pr = self.pr_ge_set(i, *alpha, &body)?;
-                        let k = self.knows_set(i, &pr);
-                        acc = Some(match acc {
-                            None => k,
-                            Some(mut a) => {
-                                a.intersect_with(&k);
-                                a
-                            }
-                        });
-                    }
-                    Ok(acc.expect("nonempty group"))
-                })?
-            }
-        };
-        let set = Arc::new(result);
-        Ok(Arc::clone(
-            lock(&self.cache).entry(f.clone()).or_insert(set),
-        ))
+        self.view().sat(f)
     }
 
     /// Whether `f` holds at the point `c`.
@@ -404,20 +249,7 @@ impl<'a, 's> Model<'a, 's> {
     /// pay for each distinct scan once across *all* formulas.
     #[must_use]
     pub fn knows_set(&self, agent: AgentId, sat: &PointSet) -> PointSet {
-        if let Some(memo) = &self.knows_memo {
-            if let Some(hit) = lock(memo).get(&(agent, sat.clone())) {
-                kpa_trace::count!("logic.knows_memo_hit");
-                return (**hit).clone();
-            }
-            let fresh = self.knows_set_fresh(agent, sat);
-            // The scan ran outside the lock; concurrent sweeps may
-            // compute the same (identical) set — either insert wins.
-            return (**lock(memo)
-                .entry((agent, sat.clone()))
-                .or_insert_with(|| Arc::new(fresh)))
-            .clone();
-        }
-        self.knows_set_fresh(agent, sat)
+        self.view().knows_set(agent, sat)
     }
 
     /// `knows_set` without consulting or filling the memo: the direct
@@ -426,23 +258,7 @@ impl<'a, 's> Model<'a, 's> {
     /// result is bit-identical at any thread count.
     #[must_use]
     pub fn knows_set_fresh(&self, agent: AgentId, sat: &PointSet) -> PointSet {
-        kpa_trace::count!("logic.knows_scan");
-        let sys = self.pa.system();
-        let classes: Vec<&PointSet> = sys.local_classes(agent).map(|(_, class)| class).collect();
-        let partials = Pool::current().par_map_chunks(classes.len(), KNOWS_MIN_CHUNK, |range| {
-            let mut acc = sys.empty_points();
-            for class in &classes[range] {
-                if class.is_subset(sat) {
-                    acc.union_with(class);
-                }
-            }
-            acc
-        });
-        let mut acc = sys.empty_points();
-        for partial in partials {
-            acc.union_with(&partial);
-        }
-        acc
+        self.view().knows_set_fresh(agent, sat)
     }
 
     /// `Prᵢ(S) ≥ α` as a set: the points `c` where the inner measure of
@@ -456,13 +272,13 @@ impl<'a, 's> Model<'a, 's> {
     /// sat-set fingerprint) and valued by the inner measure — shares
     /// the query across chunks, thresholds α, and formulas. When the
     /// sample plan is enabled the per-point *space lookup* is a table
-    /// index into the agent's batched [`SamplePlan`] (same `Arc`s as
-    /// the naive path, so memo keys are unchanged); points the plan
-    /// does not cover fall back to the per-point path, reproducing its
-    /// exact errors. All of these cache pure functions of their keys,
-    /// so partials stay bit-identical to the serial, memo-free,
-    /// unplanned sweep, and unions combine in chunk (= ascending point)
-    /// order.
+    /// index into the agent's batched [`kpa_assign::SamplePlan`] (same
+    /// `Arc`s as the naive path, so memo keys are unchanged); points
+    /// the plan does not cover fall back to the per-point path,
+    /// reproducing its exact errors. All of these cache pure functions
+    /// of their keys, so partials stay bit-identical to the serial,
+    /// memo-free, unplanned sweep, and unions combine in chunk
+    /// (= ascending point) order.
     ///
     /// # Errors
     ///
@@ -473,99 +289,8 @@ impl<'a, 's> Model<'a, 's> {
         alpha: Rat,
         sat: &PointSet,
     ) -> Result<PointSet, LogicError> {
-        let sys = self.pa.system();
-        let points: Vec<PointId> = sys.points().collect();
-        // Built (or fetched) once per sweep, outside the fan-out, so
-        // chunks share one immutable table and never contend on the
-        // assignment's plan mutex.
-        let plan = self.plan_for(agent);
-        let partials = Pool::current().par_map_chunks(points.len(), PR_MIN_CHUNK, |range| {
-            let mut acc = sys.empty_points();
-            let mut by_space: HashMap<*const kpa_assign::DensePointSpace, bool> = HashMap::new();
-            let mut hits = 0u64;
-            let mut fallbacks = 0u64;
-            for &c in &points[range] {
-                let space = match plan.as_ref().and_then(|p| p.space(c)) {
-                    Some(space) => {
-                        hits += 1;
-                        Arc::clone(space)
-                    }
-                    None => {
-                        fallbacks += 1;
-                        self.pa.space(agent, c)?
-                    }
-                };
-                let key = Arc::as_ptr(&space);
-                let ok = match by_space.get(&key) {
-                    Some(&ok) => ok,
-                    None => {
-                        let ok = self.inner_of(&space, sat) >= alpha;
-                        by_space.insert(key, ok);
-                        ok
-                    }
-                };
-                if ok {
-                    acc.insert(c);
-                }
-            }
-            self.plan_hits.fetch_add(hits, Ordering::Relaxed);
-            kpa_trace::count!("logic.plan_hit", hits);
-            kpa_trace::count!("logic.plan_fallback", fallbacks);
-            Ok::<PointSet, LogicError>(acc)
-        });
-        let mut acc = sys.empty_points();
-        for partial in partials {
-            acc.union_with(&partial?);
-        }
-        Ok(acc)
+        self.view().pr_ge_set(agent, alpha, sat)
     }
-
-    /// The inner measure of `sat` in `space`, through the per-class
-    /// memo when enabled. The memo key pairs the space cache `Arc`'s
-    /// address (stable for the life of this model's assignment borrow —
-    /// the space cache never evicts) with the sat-set fingerprint.
-    /// Concurrent chunks may compute the same measure once each before
-    /// one insert wins; the value is a pure function of the key, so
-    /// results are unaffected.
-    fn inner_of(&self, space: &Arc<kpa_assign::DensePointSpace>, sat: &PointSet) -> Rat {
-        let Some(memo) = &self.pr_memo else {
-            return space.inner_measure(sat);
-        };
-        let key = (Arc::as_ptr(space) as usize, sat.clone());
-        if let Some(&hit) = lock(memo).get(&key) {
-            self.pr_memo_hits.fetch_add(1, Ordering::Relaxed);
-            kpa_trace::count!("logic.pr_memo_hit");
-            return hit;
-        }
-        kpa_trace::count!("logic.pr_memo_miss");
-        // Measured outside the lock.
-        let fresh = space.inner_measure(sat);
-        *lock(memo).entry(key).or_insert(fresh)
-    }
-
-    /// Greatest fixed point of a monotone set operator, starting from
-    /// the set of all points.
-    fn gfp(
-        &self,
-        mut op: impl FnMut(&PointSet) -> Result<PointSet, LogicError>,
-    ) -> Result<PointSet, LogicError> {
-        let mut current: PointSet = (*self.all).clone();
-        loop {
-            kpa_trace::count!("logic.gfp_iters");
-            let next = op(&current)?;
-            if next == current {
-                return Ok(current);
-            }
-            current = next;
-        }
-    }
-}
-
-/// Locks a mutex, recovering the guard from a poisoned lock. Both
-/// caches hold only finished, immutable [`Arc<PointSet>`] entries, so a
-/// panic elsewhere can never leave them in a torn state.
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]

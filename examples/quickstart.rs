@@ -10,9 +10,10 @@
 //! Run with: `cargo run --example quickstart`
 
 use kpa::assign::{Assignment, ProbAssignment};
-use kpa::logic::{Formula, Model};
+use kpa::logic::{Formula, Model, ModelArtifact};
 use kpa::measure::{rat, Rat};
 use kpa::system::{AgentId, PointId, ProtocolBuilder, TreeId};
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Describe the protocol round by round.
@@ -64,6 +65,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(model.holds_at(&zero_or_one, after_toss)?);
     assert!(!model.holds_at(&knows_half, after_toss)?);
     println!("vs p3: K_1(Pr_1(heads) = 0 ∨ Pr_1(heads) = 1) holds; = 1/2 does not");
+
+    // 5. For concurrent callers, the same questions go through the
+    //    owning, Send + Sync artifact: build it once, share the Arc,
+    //    and give each thread its own cheap query context. Answers are
+    //    bit-identical to the borrowing facade above.
+    let artifact = Arc::new(ModelArtifact::new(
+        Arc::new(sys.clone()),
+        Assignment::opp(AgentId(1)),
+    ));
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let artifact = Arc::clone(&artifact);
+            let knows_half = knows_half.clone();
+            scope.spawn(move || {
+                let ctx = artifact.ctx();
+                assert!(ctx.holds_at(&knows_half, after_toss).expect("model checks"));
+            });
+        }
+    });
+    println!(
+        "shared artifact: 4 threads re-derived K_1(Pr_1(heads) = 1/2) \
+         from one Arc<ModelArtifact> ({} cached formulas)",
+        artifact.sat_cache_len()
+    );
 
     println!("\nThe probability an agent should use depends on its opponent —");
     println!("this is the paper's central point, and the library's core API.");

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_5.json + TRACE_5.json: the kernel-bench rows (dense
-# PointSet sat evaluator, pool parallel sweep, dense measure kernel, Pr
-# memo, and the batched sample plan) as machine-readable JSON, plus the
-# traced pass's counter report — then gates the fresh rows against the
-# committed baselines via scripts/check_bench.py.
+# Regenerates BENCH_5.json + TRACE_5.json + BENCH_6.json: the
+# kernel-bench rows (dense PointSet sat evaluator, pool parallel sweep,
+# dense measure kernel, Pr memo, and the batched sample plan) plus the
+# traced pass's counter report, and the shared-artifact bench rows
+# (concurrent EvalCtx queries against one Arc<ModelArtifact>, sharded
+# memo vs mutex) — then gates the fresh rows against the committed
+# baselines via scripts/check_bench.py.
 #
-#   ./scripts/bench.sh                 # best-of-3 reps, writes BENCH_5.json + TRACE_5.json
+#   ./scripts/bench.sh                 # best-of-3 reps, writes BENCH_5.json + TRACE_5.json + BENCH_6.json
 #   BENCH=1 ./scripts/bench.sh         # longer sweeps (--features bench)
-#   KPA_BENCH_JSON=out.json ./scripts/bench.sh   # custom bench output path
+#   KPA_BENCH_JSON=out.json ./scripts/bench.sh   # custom kernel bench output path
+#   KPA_BENCH6_JSON=out6.json ./scripts/bench.sh # custom shared bench output path
 #   KPA_TRACE_JSON=trace.json ./scripts/bench.sh # custom trace output path
 #   KPA_BENCH_CHECK=0 ./scripts/bench.sh         # skip the regression gates
 #
@@ -18,6 +21,7 @@
 # would be a no-op, so the gate is skipped.  The trace gate follows the
 # same rule with TRACE_5.json: it schema-checks the fresh report and
 # asserts the sample-plan hit rate didn't collapse vs the baseline.
+# BENCH_6.json follows the same rule again with KPA_BENCH6_JSON.
 #
 # The workspace is dependency-free, so --offline always works.
 set -euo pipefail
@@ -25,12 +29,15 @@ cd "$(dirname "$0")/.."
 
 baseline="$(pwd)/BENCH_5.json"
 trace_baseline="$(pwd)/TRACE_5.json"
+baseline6="$(pwd)/BENCH_6.json"
 out="${KPA_BENCH_JSON:-BENCH_5.json}"
 trace_out="${KPA_TRACE_JSON:-TRACE_5.json}"
+out6="${KPA_BENCH6_JSON:-BENCH_6.json}"
 # cargo runs the bench binary from the package directory, so anchor
 # relative paths to the repo root.
 case "${out}" in /*) ;; *) out="$(pwd)/${out}" ;; esac
 case "${trace_out}" in /*) ;; *) trace_out="$(pwd)/${trace_out}" ;; esac
+case "${out6}" in /*) ;; *) out6="$(pwd)/${out6}" ;; esac
 features=()
 if [[ "${BENCH:-0}" == "1" ]]; then
     features=(--features bench)
@@ -42,6 +49,12 @@ KPA_BENCH_JSON="${out}" KPA_TRACE_JSON="${trace_out}" \
 
 echo "bench rows written to ${out}"
 echo "trace report written to ${trace_out}"
+
+echo "==> cargo bench -p kpa-bench --bench shared --offline (JSON -> ${out6})"
+KPA_BENCH_JSON="${out6}" \
+    cargo bench -q -p kpa-bench --bench shared --offline "${features[@]}"
+
+echo "shared bench rows written to ${out6}"
 
 if [[ "${KPA_BENCH_CHECK:-1}" != "1" ]]; then
     echo "KPA_BENCH_CHECK=${KPA_BENCH_CHECK:-1}; skipping regression gates"
@@ -61,5 +74,13 @@ else
         python3 scripts/check_bench.py --trace "${trace_baseline}" "${trace_out}"
     else
         echo "no committed trace baseline at ${trace_baseline}; skipping trace gate"
+    fi
+    if [[ "${out6}" == "${baseline6}" ]]; then
+        echo "shared bench output is the committed baseline; skipping self-comparison"
+    elif [[ -f "${baseline6}" ]]; then
+        echo "==> python3 scripts/check_bench.py ${baseline6} ${out6}"
+        python3 scripts/check_bench.py "${baseline6}" "${out6}"
+    else
+        echo "no committed baseline at ${baseline6}; skipping shared bench gate"
     fi
 fi

@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
-"""Bench-regression gate for the kernel bench JSON (stdlib only).
+"""Bench-regression gate for the bench JSON files (stdlib only).
 
 Compares a freshly generated ``BENCH_N.json`` against the committed
 baseline and fails (exit 1) when any asserted row regressed by more
-than the tolerance.
+than the tolerance.  Which keys are gated is chosen by the files' own
+``bench`` field (``"kernel"`` for BENCH_5, ``"shared"`` for BENCH_6);
+the two files must agree on it.
 
 The two files are usually produced on *different machines* (the
 committed baseline on a developer box, the fresh run on a CI runner),
@@ -20,10 +22,12 @@ out.  The default mode therefore checks, per asserted speedup key:
      bench itself asserts (e.g. the dense measure kernel and the sample
      plan must each stay >= 2x their naive paths).
 
-``par_sat_threads4_vs_1`` is deliberately *not* asserted: it measures
-core-count scaling and legitimately sits near 1x on single-core
-runners (the bench skips its own assert below 4 cores for the same
-reason).
+``par_sat_threads4_vs_1`` and ``shared_threads4_vs_1`` are deliberately
+*not* asserted: they measure core-count scaling and legitimately sit
+near 1x on single-core runners (the kernel bench skips its own assert
+below 4 cores for the same reason).  ``shared_artifact_qps`` is an
+absolute rate rather than a same-host ratio, so it is only required to
+be present and positive.
 
 With ``--same-host`` the gate additionally compares absolute row
 seconds (fresh <= baseline * (1 + TOLERANCE) per row), for use when
@@ -58,19 +62,41 @@ import sys
 # A fresh ratio may drop at most this fraction below the baseline.
 TOLERANCE = 0.30
 
-# Speedup keys the gate asserts, with the hard floor each must clear
-# regardless of the baseline (None = relative gate only).  The floors
-# mirror the asserts inside crates/bench/benches/kernel.rs so a stale
-# baseline cannot weaken them.
-ASSERTED = {
-    "sat_bitset_vs_btreeset": 2.0,
-    "measure_dense_vs_generic": 2.0,
-    "pr_ge_memo_on_vs_off": None,  # ~1x by design; see EXPERIMENTS.md
-    "pr_ge_plan_on_vs_off": 2.0,
+# Per-bench gating profiles, keyed by the JSON files' own "bench"
+# field.  Each profile lists:
+#
+#   asserted -- speedup keys gated relatively against the baseline,
+#               with the hard floor each must also clear regardless of
+#               the baseline (None = relative gate only).  The floors
+#               mirror the asserts inside the bench binaries so a stale
+#               baseline cannot weaken them.
+#   positive -- keys that are host-dependent absolute rates (e.g. a
+#               queries/s figure): required to be present and > 0, but
+#               never compared across hosts.
+#   excluded -- ratios excluded on purpose (core-count scaling figures
+#               that legitimately sit near 1x on single-core runners);
+#               listed so a typo'd key is caught below.
+PROFILES = {
+    "kernel": {
+        "asserted": {
+            "sat_bitset_vs_btreeset": 2.0,
+            "measure_dense_vs_generic": 2.0,
+            "pr_ge_memo_on_vs_off": None,  # ~1x by design; see EXPERIMENTS.md
+            "pr_ge_plan_on_vs_off": 2.0,
+        },
+        "positive": set(),
+        "excluded": {"par_sat_threads4_vs_1"},
+    },
+    "shared": {
+        "asserted": {
+            # ~1x on one core, > 1x with real parallelism; the relative
+            # gate catches a sharding regression on either kind of host.
+            "sharded_memo_vs_mutex": None,
+        },
+        "positive": {"shared_artifact_qps"},
+        "excluded": {"shared_threads4_vs_1"},
+    },
 }
-
-# Ratios excluded on purpose; listed so a typo'd key is caught below.
-EXCLUDED = {"par_sat_threads4_vs_1"}
 
 # --trace mode: the schema version this gate understands.
 TRACE_SCHEMA_VERSION = 1
@@ -104,12 +130,33 @@ def load(path):
         sys.exit(f"check_bench: cannot read {path}: {exc}")
 
 
-def check_speedups(baseline, fresh):
-    """Relative + floor gates over the asserted speedup keys."""
+def bench_profile(baseline, fresh, baseline_path, fresh_path):
+    """The gating profile both files agree on, or (None, failures)."""
+    failures = []
+    base_kind = baseline.get("bench")
+    fresh_kind = fresh.get("bench")
+    if base_kind != fresh_kind:
+        failures.append(
+            f"bench kinds differ: {baseline_path} is {base_kind!r}, "
+            f"{fresh_path} is {fresh_kind!r} -- not comparable"
+        )
+        return None, failures
+    if fresh_kind not in PROFILES:
+        failures.append(
+            f"unknown bench kind {fresh_kind!r}: add a profile to "
+            "PROFILES in scripts/check_bench.py"
+        )
+        return None, failures
+    return PROFILES[fresh_kind], failures
+
+
+def check_speedups(profile, baseline, fresh):
+    """Relative + floor + positivity gates over the profile's keys."""
     failures = []
     base_sp = baseline.get("speedups", {})
     fresh_sp = fresh.get("speedups", {})
-    for key, floor in sorted(ASSERTED.items()):
+    asserted = profile["asserted"]
+    for key, floor in sorted(asserted.items()):
         if key not in base_sp:
             failures.append(f"baseline is missing speedup {key!r}")
             continue
@@ -131,13 +178,27 @@ def check_speedups(baseline, fresh):
         print(
             f"  {key:28s} baseline {base:8.2f}x  fresh {new:8.2f}x  {status}"
         )
-    # Keys neither asserted nor excluded are new rows someone forgot to
-    # gate -- surface them rather than silently ignoring.
+    # Host-dependent absolute rates: must exist and be positive in the
+    # fresh run, but two hosts' values are never compared.
+    for key in sorted(profile["positive"]):
+        if key not in fresh_sp:
+            failures.append(f"fresh run is missing rate {key!r}")
+            continue
+        new = float(fresh_sp[key])
+        status = "ok (host-dependent; presence only)"
+        if not new > 0.0:
+            status = "NOT POSITIVE"
+            failures.append(f"{key}: {new} must be a positive rate")
+        print(f"  {key:28s} fresh {new:16.0f}   {status}")
+    # Keys neither asserted, positive-only, nor excluded are new rows
+    # someone forgot to gate -- surface them rather than silently
+    # ignoring.
+    known = set(asserted) | profile["positive"] | profile["excluded"]
     for key in sorted(fresh_sp):
-        if key not in ASSERTED and key not in EXCLUDED:
+        if key not in known:
             failures.append(
-                f"unrecognized speedup {key!r}: add it to ASSERTED or "
-                "EXCLUDED in scripts/check_bench.py"
+                f"unrecognized speedup {key!r}: add it to the "
+                f"{fresh.get('bench')!r} profile in scripts/check_bench.py"
             )
     return failures
 
@@ -303,8 +364,13 @@ def main(argv):
         return 0
 
     print(f"bench gate: {fresh_path} vs baseline {baseline_path}")
-    print(f"speedup ratios (tolerance {TOLERANCE:.0%}, host-independent):")
-    failures = check_speedups(baseline, fresh)
+    profile, failures = bench_profile(baseline, fresh, baseline_path, fresh_path)
+    if profile is not None:
+        print(
+            f"speedup ratios [{fresh.get('bench')}] "
+            f"(tolerance {TOLERANCE:.0%}, host-independent):"
+        )
+        failures += check_speedups(profile, baseline, fresh)
     if "--same-host" in flags:
         print("absolute row seconds (--same-host):")
         failures += check_rows_same_host(baseline, fresh)

@@ -30,28 +30,33 @@ cargo test -q --offline --workspace
 # binary line up with the pool width (tests/common shards by it).
 # measure_kernel_differential pins the dense word-masked measure kernel
 # against the generic scan, plan_differential pins the batched
-# sample-plan table against the naive per-point path, and
+# sample-plan table against the naive per-point path,
 # trace_invisibility pins bit-identical results with kpa-trace off and
-# on, all at each width.
+# on, and shared_artifact_differential pins M client threads over one
+# Arc<ModelArtifact> against the serial Model facade, all at each
+# width.
 for threads in 1 4; do
-    echo "==> KPA_THREADS=${threads} RUST_TEST_THREADS=${threads} cargo test -q --offline --test parallel_differential --test memo_consistency --test measure_kernel_differential --test plan_differential --test trace_invisibility"
+    echo "==> KPA_THREADS=${threads} RUST_TEST_THREADS=${threads} cargo test -q --offline --test parallel_differential --test memo_consistency --test measure_kernel_differential --test plan_differential --test trace_invisibility --test shared_artifact_differential"
     KPA_THREADS="${threads}" RUST_TEST_THREADS="${threads}" cargo test -q --offline \
         --test parallel_differential --test memo_consistency \
         --test measure_kernel_differential --test plan_differential \
-        --test trace_invisibility
+        --test trace_invisibility --test shared_artifact_differential
 done
 
 # Bench smoke + regression gates: the kernel bench asserts its output
 # identities, the dense measure kernel's ≥ 2× bound, and the sample
-# plan's ≥ 2× bound, then scripts/check_bench.py compares the fresh
-# speedup ratios against the committed BENCH_5.json (30% tolerance) and
-# the fresh trace report against TRACE_5.json (schema + dense-path +
+# plan's ≥ 2× bound; the shared bench asserts shared-artifact results
+# bit-identical to the serial facade and times the sharded memos.
+# scripts/check_bench.py then compares the fresh speedup ratios against
+# the committed BENCH_5.json and BENCH_6.json (30% tolerance) and the
+# fresh trace report against TRACE_5.json (schema + dense-path +
 # plan-hit-rate, exact counters).  The fresh rows go to target/ so the
 # committed baselines are not clobbered; regenerate the baselines with
 # a plain ./scripts/bench.sh.
-echo "==> scripts/bench.sh (kernel bench smoke + regression gates)"
+echo "==> scripts/bench.sh (kernel + shared bench smoke + regression gates)"
 KPA_BENCH_JSON="${KPA_BENCH_JSON:-target/BENCH_5.fresh.json}" \
-    KPA_TRACE_JSON="${KPA_TRACE_JSON:-target/TRACE_5.fresh.json}" ./scripts/bench.sh
+    KPA_TRACE_JSON="${KPA_TRACE_JSON:-target/TRACE_5.fresh.json}" \
+    KPA_BENCH6_JSON="${KPA_BENCH6_JSON:-target/BENCH_6.fresh.json}" ./scripts/bench.sh
 
 if [[ "${FUZZ:-0}" == "1" ]]; then
     echo "==> cargo test -q --offline --workspace --features fuzz"

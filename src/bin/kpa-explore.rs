@@ -16,13 +16,19 @@
 //! the counter/histogram table afterwards — cache hit rates, dense
 //! kernel traffic, pool scheduling, build times (equivalently, set
 //! `KPA_TRACE=1` in the environment).
+//!
+//! `--shared N` re-answers the formula from `N` threads sharing one
+//! `Arc<ModelArtifact>` (the concurrent query path), checks every
+//! thread against the serial model bit-for-bit, and — combined with
+//! `--trace` — reports per-memo shard hits and lock contention.
 
 use kpa::assign::{Assignment, ProbAssignment};
-use kpa::logic::{parse_in, Model};
+use kpa::logic::{parse_in, Formula, Model, ModelArtifact};
 use kpa::measure::Rat;
 use kpa::protocols;
 use kpa::system::{PointId, System, TreeId};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// The built-in system registry: name, description, default parameter.
 const SYSTEMS: &[(&str, &str, usize)] = &[
@@ -201,6 +207,7 @@ struct Args {
     assignment: String,
     formula: Option<String>,
     at: Option<String>,
+    shared: Option<usize>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -212,6 +219,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         assignment: "post".to_owned(),
         formula: None,
         at: None,
+        shared: None,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -228,11 +236,24 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--assignment" => args.assignment = take("--assignment")?,
             "--formula" => args.formula = Some(take("--formula")?),
             "--at" => args.at = Some(take("--at")?),
+            "--shared" => {
+                let n = take("--shared")?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("--shared expects a thread count; got {n:?}"))?;
+                if n == 0 {
+                    return Err("--shared needs at least one thread".to_owned());
+                }
+                args.shared = Some(n);
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: kpa-explore [--list] [--system NAME[:PARAM]] [--info] \
                             [--assignment post|fut|prior|opp:AGENT] [--formula F] \
-                            [--at tree,run,time] [--trace]"
+                            [--at tree,run,time] [--shared N] [--trace]\n\
+                     --shared N answers the formula from N threads sharing one \
+                     Arc<ModelArtifact>, checks them against the serial model, \
+                     and (with --trace) reports memo shard hits"
                         .to_owned(),
                 )
             }
@@ -249,6 +270,84 @@ fn print_trace(on: bool) {
     if on {
         print!("\n{}", kpa_trace::registry().snapshot().render_table());
     }
+}
+
+/// `--shared N`: answers the formula from `N` threads that share one
+/// `Arc<ModelArtifact>`, asserts every thread agrees bit-for-bit with
+/// the serial model's answer, and (under `--trace`) reports how the
+/// artifact's sharded memos absorbed the concurrent traffic.
+fn run_shared(
+    clients: usize,
+    sys: &System,
+    assignment: &Assignment,
+    formula: &Formula,
+    serial_words: &[u64],
+    trace: bool,
+) -> Result<(), String> {
+    let before = trace.then(|| kpa_trace::registry().snapshot());
+    let artifact = Arc::new(ModelArtifact::new(
+        Arc::new(sys.clone()),
+        assignment.clone(),
+    ));
+    let results: Vec<Result<Vec<u64>, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let artifact = Arc::clone(&artifact);
+                let formula = formula.clone();
+                scope.spawn(move || {
+                    let ctx = artifact.ctx();
+                    ctx.sat(&formula)
+                        .map(|sat| sat.as_words().to_vec())
+                        .map_err(|e| e.to_string())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shared client panicked"))
+            .collect()
+    });
+    for (client, result) in results.into_iter().enumerate() {
+        let words = result?;
+        if words != serial_words {
+            return Err(format!(
+                "shared client {client} disagreed with the serial model — \
+                 this is a bug; please report it"
+            ));
+        }
+    }
+    println!(
+        "shared:     {clients} threads × 1 artifact agreed with the serial model \
+         (sat cache: {} formulas, knows memo: {}, Pr memo: {}, plans: {})",
+        artifact.sat_cache_len(),
+        artifact.knows_memo_len(),
+        artifact.pr_memo_len(),
+        artifact.plans_built(),
+    );
+    if let Some(before) = before {
+        let delta = kpa_trace::registry().snapshot().delta_counters(&before);
+        for prefix in ["logic.sat_cache", "logic.knows_memo", "logic.pr_memo"] {
+            let sum = |suffix: &str| -> u64 {
+                delta
+                    .iter()
+                    .filter(|(k, _)| {
+                        k.starts_with(prefix) && k.contains(".shard") && k.ends_with(suffix)
+                    })
+                    .map(|(_, v)| v)
+                    .sum()
+            };
+            let contention = delta
+                .get(&format!("{prefix}.contention"))
+                .copied()
+                .unwrap_or(0);
+            println!(
+                "  {prefix}: {} shard hits, {} misses, {contention} contended locks",
+                sum(".hit"),
+                sum(".miss"),
+            );
+        }
+    }
+    Ok(())
 }
 
 fn run(argv: &[String]) -> Result<(), String> {
@@ -280,7 +379,7 @@ fn run(argv: &[String]) -> Result<(), String> {
     let assignment = build_assignment(&args.assignment, &sys)?;
     println!("formula:    {formula}");
     println!("assignment: {}", assignment.name());
-    let pa = ProbAssignment::new(&sys, assignment);
+    let pa = ProbAssignment::new(&sys, assignment.clone());
     let model = Model::new(&pa);
     let sat = model.sat(&formula).map_err(|e| e.to_string())?;
     println!(
@@ -289,6 +388,16 @@ fn run(argv: &[String]) -> Result<(), String> {
         sys.point_count(),
         sat.len() == sys.point_count()
     );
+    if let Some(clients) = args.shared {
+        run_shared(
+            clients,
+            &sys,
+            &assignment,
+            &formula,
+            sat.as_words(),
+            args.trace,
+        )?;
+    }
     if let Some(at) = args.at {
         let point = parse_point(&at, &sys)?;
         println!(
@@ -397,6 +506,30 @@ mod tests {
         ]))
         .unwrap();
         kpa_trace::Trace::enabled(false);
+        // --shared N: concurrent clients over one artifact, checked
+        // against the serial model (with and without --trace).
+        run(&argv(&[
+            "--system",
+            "async-coins:3",
+            "--formula",
+            "Pr{p2}(recent=h) >= 1/2",
+            "--shared",
+            "4",
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "--system",
+            "secret-coin",
+            "--formula",
+            "K{p3} c=h",
+            "--shared",
+            "2",
+            "--trace",
+        ]))
+        .unwrap();
+        kpa_trace::Trace::enabled(false);
+        assert!(run(&argv(&["--system", "secret-coin", "--shared", "0"])).is_err());
+        assert!(run(&argv(&["--system", "secret-coin", "--shared", "x"])).is_err());
         assert!(run(&argv(&[
             "--system",
             "secret-coin",

@@ -146,19 +146,16 @@ fn interleaved_shared_subterms_match_fresh() {
     });
 }
 
-/// The PR 4 warm path, pinned through the kpa-trace registry (the
-/// deprecated per-model shims are cross-checked once more until they
-/// are removed): two `Pr_i ≥ α` formulas over the *same* body visit the
-/// same spaces (via the sample-plan table) with the same sat set, so
-/// the second sweep re-reads the per-class `Pr` memo instead of
-/// growing it.
+/// The PR 4 warm path, pinned through the kpa-trace registry: two
+/// `Pr_i ≥ α` formulas over the *same* body visit the same spaces (via
+/// the sample-plan table) with the same sat set, so the second sweep
+/// re-reads the per-class `Pr` memo instead of growing it.
 ///
 /// Registry counters are process-global and only ever increase, so the
 /// assertions below are written as *delta > 0* across this test's own
 /// operations — monotone-safe even when other tests in this binary run
 /// concurrently and bump the same counters. Exact equalities stay on
-/// the per-model state (`pr_memo_len`) and the deprecated shims, which
-/// are private to this model.
+/// the per-model state (`pr_memo_len`), which is private to this model.
 #[test]
 fn interleaved_pr_ge_thresholds_hit_the_plan_and_pr_memo() {
     // Tracing must be on for the registry to record anything; it is
@@ -180,8 +177,6 @@ fn interleaved_pr_ge_thresholds_hit_the_plan_and_pr_memo() {
     let sat_weak = model.sat(&weak).expect("model checks").clone();
     let after_first = registry.snapshot();
     let len_after_first = model.pr_memo_len();
-    #[allow(deprecated)] // cross-check the shim against the registry
-    let shim_hits_after_first = model.pr_memo_hits();
     assert!(len_after_first > 0, "first sweep must seed the Pr memo");
 
     // Same body, same classes, different threshold: the memo already
@@ -199,13 +194,6 @@ fn interleaved_pr_ge_thresholds_hit_the_plan_and_pr_memo() {
         second_sweep.get("logic.pr_memo_hit").copied().unwrap_or(0) > 0,
         "the second threshold sweep must be answered from the Pr memo"
     );
-    #[allow(deprecated)] // the shim must agree with the registry
-    {
-        assert!(
-            model.pr_memo_hits() > shim_hits_after_first,
-            "the deprecated pr_memo_hits shim must track the registry"
-        );
-    }
 
     // Both sweeps resolved their spaces through the batched plan table:
     // one sample extraction per class, fewer classes than points.
@@ -214,13 +202,10 @@ fn interleaved_pr_ge_thresholds_hit_the_plan_and_pr_memo() {
         both_sweeps.get("logic.plan_hit").copied().unwrap_or(0) > 0,
         "sweeps must take the plan table path"
     );
-    #[allow(deprecated)] // the shim must agree with the registry
-    {
-        assert!(
-            model.plan_hits() > 0,
-            "the deprecated plan_hits shim must track the registry"
-        );
-    }
+    assert!(
+        model.plan_len() > 0,
+        "the model must report the shared core's built plans"
+    );
     let plan = post.sample_plan(p1);
     assert!(plan.is_batched());
     assert_eq!(plan.extractions(), plan.classes());
