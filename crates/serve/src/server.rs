@@ -1,0 +1,334 @@
+//! The TCP server: listener, per-connection framing, limits, and
+//! clean shutdown.
+//!
+//! # Threading model
+//!
+//! One nonblocking accept loop (polled, so shutdown never blocks on
+//! `accept`) plus one thread per live connection. Connections are
+//! bounded by [`ServeConfig::max_conns`]; a connection over the limit
+//! receives a fatal `server_busy` frame and is closed immediately,
+//! rather than queueing invisibly.
+//!
+//! # Framing
+//!
+//! Requests are read with a bounded incremental scanner — bytes are
+//! pulled in small chunks and scanned for `\n`, so a client that
+//! streams an endless line is cut off at [`ServeConfig::max_frame`]
+//! with a fatal `frame_too_long` frame instead of growing the buffer
+//! without bound. Several complete lines arriving in one read are all
+//! processed, in order (pipelining is allowed).
+//!
+//! # Timeouts and shutdown
+//!
+//! Sockets are read with a short poll timeout; each wakeup checks the
+//! idle clock (fatal `idle_timeout` after [`ServeConfig::idle_timeout`]
+//! of silence) and the server's stop flag (fatal `shutting_down`).
+//! [`Server::shutdown`] flips the flag, joins the accept loop, then
+//! joins every connection thread — so when it returns, no server
+//! thread is running and every client has seen either its reply or a
+//! structured goodbye.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::json;
+use crate::proto::{codes, decode, ProtoError};
+use crate::session::{After, Session, SharedState};
+
+/// Tunables for one server instance. `Default` is suitable for tests
+/// and local exploration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Maximum simultaneous connections; the next one is refused with
+    /// `server_busy`.
+    pub max_conns: usize,
+    /// Maximum request-line length in bytes (fatal `frame_too_long`
+    /// beyond it).
+    pub max_frame: usize,
+    /// Maximum items in one `query` batch.
+    pub max_batch: usize,
+    /// Idle time after which a silent connection is reaped with
+    /// `idle_timeout`.
+    pub idle_timeout: Duration,
+    /// Poll granularity for reads, idle checks, and shutdown checks.
+    pub poll: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_conns: 64,
+            max_frame: 1 << 20,
+            max_batch: 1024,
+            idle_timeout: Duration::from_secs(300),
+            poll: Duration::from_millis(25),
+        }
+    }
+}
+
+/// A running server: owns the accept loop and every connection
+/// thread. Dropping without [`Server::shutdown`] detaches the threads
+/// (they exit on the stop flag once something wakes them); tests and
+/// the binary always call `shutdown`.
+#[derive(Debug)]
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<SharedState>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds and starts accepting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration I/O errors.
+    pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(SharedState::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let active = Arc::new(AtomicUsize::new(0));
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("kpa-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &config, &shared, &stop, &conns, &active))
+                .expect("spawn accept loop")
+        };
+
+        Ok(Server {
+            local_addr,
+            shared,
+            stop,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The bound address (with the real port when `:0` was asked).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The process-wide state (artifact cache + metrics) — the soak
+    /// bench and the binary report from here.
+    #[must_use]
+    pub fn shared(&self) -> &Arc<SharedState> {
+        &self.shared
+    }
+
+    /// Stops accepting, notifies every live connection, and joins all
+    /// server threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut guard = self.conns.lock().expect("conns");
+            guard.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    config: &ServeConfig,
+    shared: &Arc<SharedState>,
+    stop: &Arc<AtomicBool>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    active: &Arc<AtomicUsize>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if active.load(Ordering::SeqCst) >= config.max_conns {
+                    shared.proc().counter("proc.conns_refused").add(1);
+                    refuse(stream);
+                    continue;
+                }
+                active.fetch_add(1, Ordering::SeqCst);
+                shared.proc().counter("proc.conns_opened").add(1);
+                let shared = Arc::clone(shared);
+                let stop = Arc::clone(stop);
+                let active = Arc::clone(active);
+                let config = config.clone();
+                let handle = std::thread::Builder::new()
+                    .name("kpa-serve-conn".to_string())
+                    .spawn(move || {
+                        serve_connection(stream, &config, &shared, &stop);
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    })
+                    .expect("spawn connection thread");
+                let mut guard = conns.lock().expect("conns");
+                // Reap finished threads so the handle list stays
+                // proportional to live connections, not history.
+                guard.retain(|h| !h.is_finished());
+                guard.push(handle);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(config.poll);
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// Refuse an over-limit connection with a structured goodbye.
+fn refuse(mut stream: TcpStream) {
+    let e = ProtoError::fatal(codes::SERVER_BUSY, "connection limit reached");
+    let mut line = e.frame(None).to_json();
+    line.push('\n');
+    let _ = stream.write_all(line.as_bytes());
+}
+
+/// Sends one frame; `false` means the peer is gone.
+fn send(stream: &mut TcpStream, frame: &json::Value) -> bool {
+    let mut line = frame.to_json();
+    line.push('\n');
+    stream.write_all(line.as_bytes()).is_ok()
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    config: &ServeConfig,
+    shared: &Arc<SharedState>,
+    stop: &Arc<AtomicBool>,
+) {
+    if stream.set_read_timeout(Some(config.poll)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut session = Session::open(Arc::clone(shared));
+    let frame_ns = session.scope().histogram("session.frame_ns");
+    let proc_frame_ns = shared.proc().histogram("proc.frame_ns");
+
+    let mut acc: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut last_activity = Instant::now();
+
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            let e = ProtoError::fatal(codes::SHUTTING_DOWN, "server is shutting down");
+            let _ = send(&mut stream, &e.frame(None));
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed (possibly mid-batch; nothing to do)
+            Ok(n) => {
+                last_activity = Instant::now();
+                acc.extend_from_slice(&chunk[..n]);
+                // Handle every complete line in the buffer (pipelining).
+                while let Some(pos) = acc.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = acc.drain(..=pos).collect();
+                    let started = Instant::now();
+                    let done = handle_line(&line[..pos], &mut stream, &mut session, config);
+                    let ns = started.elapsed().as_nanos() as u64;
+                    frame_ns.record(ns);
+                    proc_frame_ns.record(ns);
+                    if done {
+                        return;
+                    }
+                }
+                if acc.len() > config.max_frame {
+                    let e = ProtoError::fatal(
+                        codes::FRAME_TOO_LONG,
+                        format!(
+                            "request line exceeds {} bytes without a newline",
+                            config.max_frame
+                        ),
+                    );
+                    let _ = send(&mut stream, &e.frame(None));
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if last_activity.elapsed() >= config.idle_timeout {
+                    shared.proc().counter("proc.idle_reaped").add(1);
+                    let e = ProtoError::fatal(codes::IDLE_TIMEOUT, "connection idle too long");
+                    let _ = send(&mut stream, &e.frame(None));
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Processes one request line; `true` means the connection is done.
+fn handle_line(
+    raw: &[u8],
+    stream: &mut TcpStream,
+    session: &mut Session,
+    config: &ServeConfig,
+) -> bool {
+    // Tolerate CRLF clients and skip blank keepalive lines.
+    let raw = if raw.last() == Some(&b'\r') {
+        &raw[..raw.len() - 1]
+    } else {
+        raw
+    };
+    if raw.is_empty() {
+        return false;
+    }
+    let text = match std::str::from_utf8(raw) {
+        Ok(t) => t,
+        Err(_) => {
+            let e = ProtoError::fatal(codes::BAD_JSON, "request line is not UTF-8");
+            let _ = send(stream, &e.frame(None));
+            return true;
+        }
+    };
+    let value = match json::parse(text) {
+        Ok(v) => v,
+        Err(err) => {
+            let e = ProtoError::fatal(codes::BAD_JSON, err.to_string());
+            let _ = send(stream, &e.frame(None));
+            return true;
+        }
+    };
+    let env = match decode(&value, config.max_batch) {
+        Ok(env) => env,
+        Err(e) => {
+            let id = value.get("id").and_then(json::Value::as_int);
+            let _ = send(stream, &e.frame(id));
+            return e.fatal;
+        }
+    };
+    let (frame, after) = session.handle(&env);
+    if !send(stream, &frame) {
+        return true;
+    }
+    after == After::Close
+}

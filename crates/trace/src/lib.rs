@@ -54,6 +54,20 @@
 //! `logic.pr_memo_hit`, `betting.class_sweep`. Histograms carry a
 //! unit suffix (`_ns` for nanoseconds, `_len`/`_size` for element
 //! counts). DESIGN.md §3.2e is the canonical registry of names.
+//!
+//! ## Event-ring capacity
+//!
+//! The global event ring holds [`RING_CAPACITY`] events by default;
+//! set `KPA_TRACE_EVENTS=<n>` (read once, at first registry use) to
+//! bound — or widen — event memory for long-running processes such as
+//! the `kpa-serve` soak bench.
+//!
+//! ## Scoped metrics
+//!
+//! Global metrics live forever; *per-entity* metrics (one service
+//! session's counters, say) must not. [`Scope`] is a named, droppable
+//! metric group built from the same counter/histogram primitives and
+//! snapshotting into the same [`TraceReport`] — see its docs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -61,10 +75,12 @@
 mod metrics;
 mod registry;
 mod report;
+mod scope;
 
 pub use metrics::{bucket_floor, bucket_of, Counter, Histogram, BUCKETS};
 pub use registry::{registry, Event, Registry, RING_CAPACITY};
-pub use report::{HistogramSnapshot, TraceReport, TRACE_SCHEMA_VERSION};
+pub use report::{json_escape, HistogramSnapshot, TraceReport, TRACE_SCHEMA_VERSION};
+pub use scope::Scope;
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::time::Instant;

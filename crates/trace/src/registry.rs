@@ -15,9 +15,24 @@ use std::time::Instant;
 use crate::metrics::{Counter, Histogram};
 use crate::report::{HistogramSnapshot, TraceReport};
 
-/// Capacity of the event ring; older events are overwritten (and
-/// counted as dropped) once it fills.
+/// Default capacity of the event ring; older events are overwritten
+/// (and counted as dropped) once it fills. The process-global ring's
+/// actual capacity can be overridden with the `KPA_TRACE_EVENTS`
+/// environment variable (read once, when the registry is first used),
+/// so long-running soak tests can bound event memory — or widen it —
+/// without recompiling.
 pub const RING_CAPACITY: usize = 1024;
+
+/// The event-ring capacity the process-global registry will use:
+/// `KPA_TRACE_EVENTS` when set to a positive integer, otherwise
+/// [`RING_CAPACITY`].
+fn ring_capacity_from_env() -> usize {
+    std::env::var("KPA_TRACE_EVENTS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(RING_CAPACITY)
+}
 
 /// One entry in the event ring: a named point-in-time observation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,8 +47,10 @@ pub struct Event {
     pub value: u64,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Ring {
+    /// Maximum events retained; the oldest are overwritten past this.
+    capacity: usize,
     events: Vec<Event>,
     /// Index of the oldest event once the ring has wrapped.
     head: usize,
@@ -41,7 +58,23 @@ struct Ring {
     dropped: u64,
 }
 
+impl Default for Ring {
+    fn default() -> Ring {
+        Ring::with_capacity(RING_CAPACITY)
+    }
+}
+
 impl Ring {
+    fn with_capacity(capacity: usize) -> Ring {
+        Ring {
+            capacity: capacity.max(1),
+            events: Vec::new(),
+            head: 0,
+            seq: 0,
+            dropped: 0,
+        }
+    }
+
     fn push(&mut self, at_ns: u64, name: &'static str, value: u64) {
         let ev = Event {
             seq: self.seq,
@@ -50,11 +83,11 @@ impl Ring {
             value,
         };
         self.seq += 1;
-        if self.events.len() < RING_CAPACITY {
+        if self.events.len() < self.capacity {
             self.events.push(ev);
         } else {
             self.events[self.head] = ev;
-            self.head = (self.head + 1) % RING_CAPACITY;
+            self.head = (self.head + 1) % self.capacity;
             self.dropped += 1;
         }
     }
@@ -92,7 +125,7 @@ pub fn registry() -> &'static Registry {
     REGISTRY.get_or_init(|| Registry {
         counters: Mutex::new(BTreeMap::new()),
         histograms: Mutex::new(BTreeMap::new()),
-        ring: Mutex::new(Ring::default()),
+        ring: Mutex::new(Ring::with_capacity(ring_capacity_from_env())),
         epoch: Instant::now(),
     })
 }
@@ -168,6 +201,13 @@ impl Registry {
     /// base of [`Event::at_ns`]).
     pub fn now_ns(&self) -> u64 {
         self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// The event ring's capacity: [`RING_CAPACITY`] unless the
+    /// `KPA_TRACE_EVENTS` environment variable overrode it at first
+    /// registry use.
+    pub fn ring_capacity(&self) -> usize {
+        self.ring.lock().expect("trace event ring").capacity
     }
 
     /// A point-in-time copy of every metric and the event ring.
@@ -247,6 +287,23 @@ mod tests {
         ring.clear();
         assert_eq!(ring.seq, seq_before, "clear must not rewind seq");
         assert_eq!(ring.snapshot().0.len(), 0);
+    }
+
+    #[test]
+    fn ring_capacity_is_configurable() {
+        let mut ring = Ring::with_capacity(4);
+        for i in 0..10u64 {
+            ring.push(i, "tick", i);
+        }
+        let (events, dropped) = ring.snapshot();
+        assert_eq!(events.len(), 4);
+        assert_eq!(dropped, 6);
+        assert_eq!(events.first().unwrap().seq, 6);
+        // A zero request clamps to one slot rather than panicking.
+        assert_eq!(Ring::with_capacity(0).capacity, 1);
+        // The process-global ring reports a positive capacity (the
+        // default, or whatever KPA_TRACE_EVENTS selected at first use).
+        assert!(registry().ring_capacity() >= 1);
     }
 
     #[test]

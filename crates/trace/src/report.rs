@@ -48,6 +48,47 @@ impl HistogramSnapshot {
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
+
+    /// The `q`-quantile of the recorded samples, resolved to the floor
+    /// of the log₂ bucket containing that rank (`q` is clamped to
+    /// `[0, 1]`; `None` when the histogram is empty).
+    ///
+    /// Buckets give a lower bound, not the exact sample: the true
+    /// value lies within the bucket, i.e. less than twice the returned
+    /// floor (plus one for the `[0]` and `[1]` buckets). That is the
+    /// usual contract for log-bucketed latency percentiles — p50/p99
+    /// rows derived from it are stable across runs because bucket
+    /// edges are fixed.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based: ceil(q * count), with
+        // q = 0 mapped to the first sample.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(floor, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(floor);
+            }
+        }
+        self.buckets.last().map(|&(floor, _)| floor)
+    }
+
+    /// Convenience: the median bucket floor ([`quantile`](Self::quantile) at 0.5).
+    #[must_use]
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// Convenience: the 99th-percentile bucket floor.
+    #[must_use]
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
 }
 
 /// A point-in-time copy of the whole registry, ready for export.
@@ -250,9 +291,17 @@ fn json_opt(v: Option<u64>) -> String {
     }
 }
 
-/// Minimal JSON string escaper: metric names are plain identifiers,
-/// but escape quotes/backslashes/control characters anyway so the
-/// output is always well-formed.
+/// Minimal JSON string escaper: quotes the string and escapes
+/// quotes/backslashes/control characters so the output is always a
+/// well-formed JSON string literal. Public because downstream
+/// protocol writers (`kpa-serve`) build their line-delimited JSON on
+/// the same stable serialization rules as the trace reports.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    json_str(s)
+}
+
+/// Internal alias kept short for the writer above.
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -337,6 +386,21 @@ mod tests {
         assert!(t.contains("a.b"));
         assert!(t.contains("lat_ns"));
         assert!(t.contains("enabled"));
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_floors() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let snap = HistogramSnapshot::of(&h);
+        assert_eq!(snap.quantile(0.0), Some(1));
+        assert_eq!(snap.p50(), Some(2), "rank 3 of 5 lands in the [2,4) bucket");
+        assert_eq!(snap.p99(), Some(512), "rank 5 lands in 1000's bucket");
+        assert_eq!(snap.quantile(1.0), Some(512));
+        let empty = HistogramSnapshot::of(&Histogram::new());
+        assert_eq!(empty.quantile(0.5), None);
     }
 
     #[test]

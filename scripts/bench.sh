@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_5.json + TRACE_5.json + BENCH_6.json: the
-# kernel-bench rows (dense PointSet sat evaluator, pool parallel sweep,
-# dense measure kernel, Pr memo, and the batched sample plan) plus the
-# traced pass's counter report, and the shared-artifact bench rows
-# (concurrent EvalCtx queries against one Arc<ModelArtifact>, sharded
-# memo vs mutex) — then gates the fresh rows against the committed
+# Regenerates BENCH_5.json + TRACE_5.json + BENCH_6.json +
+# BENCH_7.json: the kernel-bench rows (dense PointSet sat evaluator,
+# pool parallel sweep, dense measure kernel, Pr memo, and the batched
+# sample plan) plus the traced pass's counter report, the
+# shared-artifact bench rows (concurrent EvalCtx queries against one
+# Arc<ModelArtifact>, sharded memo vs mutex), and the kpa-serve soak
+# rows (loopback TCP clients, batched wire queries, per-frame latency
+# histogram) — then gates the fresh rows against the committed
 # baselines via scripts/check_bench.py.
 #
-#   ./scripts/bench.sh                 # best-of-3 reps, writes BENCH_5.json + TRACE_5.json + BENCH_6.json
+#   ./scripts/bench.sh                 # best-of-3 reps, writes all four JSON files
 #   BENCH=1 ./scripts/bench.sh         # longer sweeps (--features bench)
 #   KPA_BENCH_JSON=out.json ./scripts/bench.sh   # custom kernel bench output path
 #   KPA_BENCH6_JSON=out6.json ./scripts/bench.sh # custom shared bench output path
+#   KPA_BENCH7_JSON=out7.json ./scripts/bench.sh # custom serve soak output path
 #   KPA_TRACE_JSON=trace.json ./scripts/bench.sh # custom trace output path
 #   KPA_BENCH_CHECK=0 ./scripts/bench.sh         # skip the regression gates
 #
@@ -21,7 +24,8 @@
 # would be a no-op, so the gate is skipped.  The trace gate follows the
 # same rule with TRACE_5.json: it schema-checks the fresh report and
 # asserts the sample-plan hit rate didn't collapse vs the baseline.
-# BENCH_6.json follows the same rule again with KPA_BENCH6_JSON.
+# BENCH_6.json and BENCH_7.json follow the same rule again with
+# KPA_BENCH6_JSON / KPA_BENCH7_JSON.
 #
 # The workspace is dependency-free, so --offline always works.
 set -euo pipefail
@@ -30,14 +34,17 @@ cd "$(dirname "$0")/.."
 baseline="$(pwd)/BENCH_5.json"
 trace_baseline="$(pwd)/TRACE_5.json"
 baseline6="$(pwd)/BENCH_6.json"
+baseline7="$(pwd)/BENCH_7.json"
 out="${KPA_BENCH_JSON:-BENCH_5.json}"
 trace_out="${KPA_TRACE_JSON:-TRACE_5.json}"
 out6="${KPA_BENCH6_JSON:-BENCH_6.json}"
+out7="${KPA_BENCH7_JSON:-BENCH_7.json}"
 # cargo runs the bench binary from the package directory, so anchor
 # relative paths to the repo root.
 case "${out}" in /*) ;; *) out="$(pwd)/${out}" ;; esac
 case "${trace_out}" in /*) ;; *) trace_out="$(pwd)/${trace_out}" ;; esac
 case "${out6}" in /*) ;; *) out6="$(pwd)/${out6}" ;; esac
+case "${out7}" in /*) ;; *) out7="$(pwd)/${out7}" ;; esac
 features=()
 if [[ "${BENCH:-0}" == "1" ]]; then
     features=(--features bench)
@@ -55,6 +62,12 @@ KPA_BENCH_JSON="${out6}" \
     cargo bench -q -p kpa-bench --bench shared --offline "${features[@]}"
 
 echo "shared bench rows written to ${out6}"
+
+echo "==> cargo bench -p kpa-bench --bench soak --offline (JSON -> ${out7})"
+KPA_BENCH_JSON="${out7}" \
+    cargo bench -q -p kpa-bench --bench soak --offline "${features[@]}"
+
+echo "serve soak rows written to ${out7}"
 
 if [[ "${KPA_BENCH_CHECK:-1}" != "1" ]]; then
     echo "KPA_BENCH_CHECK=${KPA_BENCH_CHECK:-1}; skipping regression gates"
@@ -82,5 +95,13 @@ else
         python3 scripts/check_bench.py "${baseline6}" "${out6}"
     else
         echo "no committed baseline at ${baseline6}; skipping shared bench gate"
+    fi
+    if [[ "${out7}" == "${baseline7}" ]]; then
+        echo "serve soak output is the committed baseline; skipping self-comparison"
+    elif [[ -f "${baseline7}" ]]; then
+        echo "==> python3 scripts/check_bench.py ${baseline7} ${out7}"
+        python3 scripts/check_bench.py "${baseline7}" "${out7}"
+    else
+        echo "no committed baseline at ${baseline7}; skipping serve soak gate"
     fi
 fi

@@ -96,6 +96,23 @@ PROFILES = {
         "positive": {"shared_artifact_qps"},
         "excluded": {"shared_threads4_vs_1"},
     },
+    "serve": {
+        # The soak bench (BENCH_7) asserts bit-identity against the
+        # serial model in-process before timing anything, so the gate
+        # only has host-dependent rates left to check: the aggregate
+        # query rate over the wire and the p50/p99 of the per-frame
+        # service latency histogram. All are absolute figures, so like
+        # shared_artifact_qps they are presence + positivity only; the
+        # latency *ordering* (p99 >= p50 > 0) is asserted by the bench
+        # binary itself and re-checked below in check_serve_latency.
+        "asserted": {},
+        "positive": {
+            "serve_qps",
+            "serve_frame_p50_ns",
+            "serve_frame_p99_ns",
+        },
+        "excluded": {"serve_clients4_vs_1"},
+    },
 }
 
 # --trace mode: the schema version this gate understands.
@@ -199,6 +216,40 @@ def check_speedups(profile, baseline, fresh):
             failures.append(
                 f"unrecognized speedup {key!r}: add it to the "
                 f"{fresh.get('bench')!r} profile in scripts/check_bench.py"
+            )
+    return failures
+
+
+def check_serve_latency(fresh):
+    """Latency-histogram block validation for the "serve" bench.
+
+    The quantile figures are host-dependent, so no cross-host
+    comparison is made; what IS checked is internal consistency:
+    0 < p50 <= p99, and the ``frame_latency/p50``/``p99`` rows must
+    restate the same nanosecond figures in seconds (the rows exist so
+    --same-host runs gate them like any other row).
+    """
+    failures = []
+    sp = fresh.get("speedups", {})
+    rows = {r["label"]: float(r["seconds"]) for r in fresh.get("rows", [])}
+    p50 = float(sp.get("serve_frame_p50_ns", 0))
+    p99 = float(sp.get("serve_frame_p99_ns", 0))
+    status = "ok"
+    if not 0 < p50 <= p99:
+        status = "MISORDERED"
+        failures.append(
+            f"frame latency quantiles must satisfy 0 < p50 <= p99 "
+            f"(got p50={p50}ns, p99={p99}ns)"
+        )
+    print(f"  {'frame latency ordering':28s} p50 {p50:10.0f}ns  p99 {p99:10.0f}ns  {status}")
+    for label, ns in (("frame_latency/p50", p50), ("frame_latency/p99", p99)):
+        secs = rows.get(label)
+        if secs is None:
+            failures.append(f"fresh run is missing the {label!r} row")
+        elif abs(secs - ns / 1e9) > 1e-12:
+            failures.append(
+                f"{label} row ({secs}s) disagrees with the speedups "
+                f"block ({ns}ns)"
             )
     return failures
 
@@ -371,6 +422,8 @@ def main(argv):
             f"(tolerance {TOLERANCE:.0%}, host-independent):"
         )
         failures += check_speedups(profile, baseline, fresh)
+        if fresh.get("bench") == "serve":
+            failures += check_serve_latency(fresh)
     if "--same-host" in flags:
         print("absolute row seconds (--same-host):")
         failures += check_rows_same_host(baseline, fresh)

@@ -32,31 +32,39 @@ cargo test -q --offline --workspace
 # against the generic scan, plan_differential pins the batched
 # sample-plan table against the naive per-point path,
 # trace_invisibility pins bit-identical results with kpa-trace off and
-# on, and shared_artifact_differential pins M client threads over one
-# Arc<ModelArtifact> against the serial Model facade, all at each
-# width.
+# on, shared_artifact_differential pins M client threads over one
+# Arc<ModelArtifact> against the serial Model facade, and
+# serve_differential/serve_protocol pin the kpa-serve loopback service
+# (wire answers bit-identical to the serial model; malformed, fuzzed,
+# oversized, and mid-batch-disconnect frames never wedge a server),
+# all at each width — the pool width inside the server comes from
+# KPA_THREADS, so the matrix re-certifies the service end to end.
 for threads in 1 4; do
-    echo "==> KPA_THREADS=${threads} RUST_TEST_THREADS=${threads} cargo test -q --offline --test parallel_differential --test memo_consistency --test measure_kernel_differential --test plan_differential --test trace_invisibility --test shared_artifact_differential"
+    echo "==> KPA_THREADS=${threads} RUST_TEST_THREADS=${threads} cargo test -q --offline --test parallel_differential --test memo_consistency --test measure_kernel_differential --test plan_differential --test trace_invisibility --test shared_artifact_differential --test serve_differential --test serve_protocol"
     KPA_THREADS="${threads}" RUST_TEST_THREADS="${threads}" cargo test -q --offline \
         --test parallel_differential --test memo_consistency \
         --test measure_kernel_differential --test plan_differential \
-        --test trace_invisibility --test shared_artifact_differential
+        --test trace_invisibility --test shared_artifact_differential \
+        --test serve_differential --test serve_protocol
 done
 
 # Bench smoke + regression gates: the kernel bench asserts its output
 # identities, the dense measure kernel's ≥ 2× bound, and the sample
 # plan's ≥ 2× bound; the shared bench asserts shared-artifact results
 # bit-identical to the serial facade and times the sharded memos.
-# scripts/check_bench.py then compares the fresh speedup ratios against
-# the committed BENCH_5.json and BENCH_6.json (30% tolerance) and the
-# fresh trace report against TRACE_5.json (schema + dense-path +
-# plan-hit-rate, exact counters).  The fresh rows go to target/ so the
-# committed baselines are not clobbered; regenerate the baselines with
-# a plain ./scripts/bench.sh.
-echo "==> scripts/bench.sh (kernel + shared bench smoke + regression gates)"
+# The serve soak bench asserts wire answers bit-identical to the
+# serial facade, then times loopback clients and exports the frame
+# latency histogram.  scripts/check_bench.py then compares the fresh
+# speedup ratios against the committed BENCH_5.json, BENCH_6.json and
+# BENCH_7.json (30% tolerance) and the fresh trace report against
+# TRACE_5.json (schema + dense-path + plan-hit-rate, exact counters).
+# The fresh rows go to target/ so the committed baselines are not
+# clobbered; regenerate the baselines with a plain ./scripts/bench.sh.
+echo "==> scripts/bench.sh (kernel + shared + serve soak bench smoke + regression gates)"
 KPA_BENCH_JSON="${KPA_BENCH_JSON:-target/BENCH_5.fresh.json}" \
     KPA_TRACE_JSON="${KPA_TRACE_JSON:-target/TRACE_5.fresh.json}" \
-    KPA_BENCH6_JSON="${KPA_BENCH6_JSON:-target/BENCH_6.fresh.json}" ./scripts/bench.sh
+    KPA_BENCH6_JSON="${KPA_BENCH6_JSON:-target/BENCH_6.fresh.json}" \
+    KPA_BENCH7_JSON="${KPA_BENCH7_JSON:-target/BENCH_7.fresh.json}" ./scripts/bench.sh
 
 if [[ "${FUZZ:-0}" == "1" ]]; then
     echo "==> cargo test -q --offline --workspace --features fuzz"

@@ -21,158 +21,19 @@
 //! `Arc<ModelArtifact>` (the concurrent query path), checks every
 //! thread against the serial model bit-for-bit, and — combined with
 //! `--trace` — reports per-memo shard hits and lock contention.
+//!
+//! `--connect HOST:PORT` replays the query against a running
+//! `kpa-serve` instance (which loads the same system by name) and
+//! bit-compares the server's point-set words with the local answer.
 
 use kpa::assign::{Assignment, ProbAssignment};
 use kpa::logic::{parse_in, Formula, Model, ModelArtifact};
-use kpa::measure::Rat;
-use kpa::protocols;
-use kpa::system::{PointId, System, TreeId};
+use kpa::serve::catalog::{build_assignment, build_system, parse_point, SYSTEMS};
+use kpa::serve::proto::words_from_value;
+use kpa::serve::{Client, QueryItem, QueryKind};
+use kpa::system::System;
 use std::process::ExitCode;
 use std::sync::Arc;
-
-/// The built-in system registry: name, description, default parameter.
-const SYSTEMS: &[(&str, &str, usize)] = &[
-    (
-        "secret-coin",
-        "p3 tosses a fair coin only it observes (introduction)",
-        0,
-    ),
-    (
-        "vardi",
-        "input bit selects a fair or 2/3-biased coin (section 3)",
-        0,
-    ),
-    (
-        "footnote5",
-        "the factored action-a system (section 3, footnote 5)",
-        0,
-    ),
-    (
-        "die",
-        "a fair die observed by p1; p3 learns low/high (section 5)",
-        0,
-    ),
-    (
-        "ca1",
-        "coordinated attack CA1 with <param> messengers (section 4)",
-        10,
-    ),
-    (
-        "ca2",
-        "coordinated attack CA2 with <param> messengers (section 4)",
-        10,
-    ),
-    (
-        "ca1-adaptive",
-        "the adaptive CA1 of section 8 with <param> messengers",
-        10,
-    ),
-    (
-        "async-coins",
-        "<param> fair tosses; p1 clockless (section 7)",
-        4,
-    ),
-    (
-        "biased",
-        "the 99/100-biased two-run system (end of section 7)",
-        0,
-    ),
-    (
-        "aces1",
-        "Freund's two aces, reveal-spade protocol (appendix B.1)",
-        0,
-    ),
-    (
-        "aces2",
-        "Freund's two aces, random-suit protocol (appendix B.1)",
-        0,
-    ),
-    (
-        "primality",
-        "witness sampling for n=561 and n=13, <param> rounds",
-        3,
-    ),
-];
-
-fn build_system(spec: &str) -> Result<System, String> {
-    let (name, param) = match spec.split_once(':') {
-        Some((n, p)) => {
-            let param = p
-                .parse::<usize>()
-                .map_err(|_| format!("bad parameter {p:?}"))?;
-            (n, Some(param))
-        }
-        None => (spec, None),
-    };
-    let default = SYSTEMS
-        .iter()
-        .find(|(n, _, _)| *n == name)
-        .map(|(_, _, d)| *d)
-        .ok_or_else(|| format!("unknown system {name:?}; try --list"))?;
-    let p = param.unwrap_or(default);
-    let half = Rat::new(1, 2);
-    let sys = match name {
-        "secret-coin" => protocols::secret_coin(),
-        "vardi" => protocols::vardi_system(),
-        "footnote5" => protocols::footnote5_factored(),
-        "die" => protocols::die_system(),
-        "ca1" => protocols::ca1(p.max(1) as u32, half),
-        "ca2" => protocols::ca2(p.max(1) as u32, half),
-        "ca1-adaptive" => protocols::ca1_adaptive(p.max(1) as u32, half),
-        "async-coins" => protocols::async_coin_tosses(p.max(1)),
-        "biased" => protocols::biased_two_run(),
-        "aces1" => protocols::aces_protocol1(),
-        "aces2" => protocols::aces_protocol2(),
-        "primality" => protocols::primality_system(&[561, 13], p.max(1) as u32),
-        _ => unreachable!("validated above"),
-    };
-    sys.map_err(|e| e.to_string())
-}
-
-fn build_assignment(spec: &str, sys: &System) -> Result<Assignment, String> {
-    match spec {
-        "post" => Ok(Assignment::post()),
-        "fut" => Ok(Assignment::fut()),
-        "prior" => Ok(Assignment::prior()),
-        other => match other.strip_prefix("opp:") {
-            Some(name) => sys
-                .agent_id(name)
-                .map(Assignment::opp)
-                .ok_or_else(|| format!("unknown agent {name:?}")),
-            None => Err(format!(
-                "unknown assignment {other:?}; use post, fut, prior, or opp:<agent>"
-            )),
-        },
-    }
-}
-
-fn parse_point(spec: &str, sys: &System) -> Result<PointId, String> {
-    let parts: Vec<&str> = spec.split(',').collect();
-    if parts.len() != 3 {
-        return Err(format!("--at expects tree,run,time; got {spec:?}"));
-    }
-    let parse = |s: &str| {
-        s.trim()
-            .parse::<usize>()
-            .map_err(|_| format!("bad number {s:?}"))
-    };
-    let (tree, run, time) = (parse(parts[0])?, parse(parts[1])?, parse(parts[2])?);
-    if tree >= sys.tree_count() {
-        return Err(format!("tree {tree} out of range (< {})", sys.tree_count()));
-    }
-    let t = sys.tree(TreeId(tree));
-    if run >= t.runs().len() {
-        return Err(format!("run {run} out of range (< {})", t.runs().len()));
-    }
-    if time > sys.horizon() {
-        return Err(format!("time {time} out of range (<= {})", sys.horizon()));
-    }
-    Ok(PointId {
-        tree: TreeId(tree),
-        run,
-        time,
-    })
-}
 
 fn print_info(sys: &System) {
     println!("agents:  {}", sys.agents().join(", "));
@@ -208,6 +69,7 @@ struct Args {
     formula: Option<String>,
     at: Option<String>,
     shared: Option<usize>,
+    connect: Option<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -220,6 +82,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         formula: None,
         at: None,
         shared: None,
+        connect: None,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -246,14 +109,18 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
                 args.shared = Some(n);
             }
+            "--connect" => args.connect = Some(take("--connect")?),
             "--help" | "-h" => {
                 return Err(
                     "usage: kpa-explore [--list] [--system NAME[:PARAM]] [--info] \
                             [--assignment post|fut|prior|opp:AGENT] [--formula F] \
-                            [--at tree,run,time] [--shared N] [--trace]\n\
+                            [--at tree,run,time] [--shared N] [--connect HOST:PORT] \
+                            [--trace]\n\
                      --shared N answers the formula from N threads sharing one \
                      Arc<ModelArtifact>, checks them against the serial model, \
-                     and (with --trace) reports memo shard hits"
+                     and (with --trace) reports memo shard hits\n\
+                     --connect HOST:PORT replays the query against a running \
+                     kpa-serve and bit-compares the answers"
                         .to_owned(),
                 )
             }
@@ -350,6 +217,54 @@ fn run_shared(
     Ok(())
 }
 
+/// `--connect HOST:PORT`: replays the query against a live `kpa-serve`
+/// — the server loads the same `NAME[:PARAM]` system and assignment by
+/// spec, answers `sat` over the wire, and the point-set words must
+/// match the local model **bit for bit** (the protocol ships words as
+/// hex strings precisely so this comparison is exact).
+fn run_connect(
+    addr: &str,
+    system_spec: &str,
+    assignment_spec: &str,
+    formula_src: &str,
+    serial_words: &[u64],
+) -> Result<(), String> {
+    fn fail(stage: &'static str) -> impl Fn(kpa::serve::ClientError) -> String {
+        move |e| format!("{stage}: {e}")
+    }
+    let mut client = Client::connect(addr).map_err(fail("connect"))?;
+    client.hello().map_err(fail("hello"))?;
+    client
+        .load_named(system_spec, assignment_spec)
+        .map_err(fail("load"))?;
+    let results = client
+        .query(&[QueryItem {
+            id: 1,
+            kind: QueryKind::Sat {
+                formula: formula_src.to_owned(),
+            },
+        }])
+        .map_err(fail("query"))?;
+    let words_v = results
+        .first()
+        .and_then(|r| r.get("words"))
+        .ok_or("query reply carried no \"words\"")?;
+    let words = words_from_value(words_v)?;
+    if words != serial_words {
+        return Err(format!(
+            "server at {addr} disagreed with the local model — \
+             this is a bug; please report it"
+        ));
+    }
+    println!(
+        "connect:    {addr} agreed with the local model bit-for-bit \
+         ({} words)",
+        words.len()
+    );
+    let _ = client.bye();
+    Ok(())
+}
+
 fn run(argv: &[String]) -> Result<(), String> {
     let args = parse_args(argv)?;
     if args.trace {
@@ -397,6 +312,9 @@ fn run(argv: &[String]) -> Result<(), String> {
             sat.as_words(),
             args.trace,
         )?;
+    }
+    if let Some(addr) = &args.connect {
+        run_connect(addr, spec, &args.assignment, &formula_src, sat.as_words())?;
     }
     if let Some(at) = args.at {
         let point = parse_point(&at, &sys)?;
@@ -528,6 +446,31 @@ mod tests {
         ]))
         .unwrap();
         kpa_trace::Trace::enabled(false);
+        // --connect: replay against a loopback kpa-serve and bit-check.
+        let mut server = kpa::serve::Server::bind(kpa::serve::ServeConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        run(&argv(&[
+            "--system",
+            "async-coins:3",
+            "--assignment",
+            "fut",
+            "--formula",
+            "Pr{p2}(recent=h) >= 1/2",
+            "--connect",
+            &addr,
+        ]))
+        .unwrap();
+        server.shutdown();
+        // A dead server is a clean error, not a hang or panic.
+        assert!(run(&argv(&[
+            "--system",
+            "secret-coin",
+            "--formula",
+            "K{p3} c=h",
+            "--connect",
+            &addr,
+        ]))
+        .is_err());
         assert!(run(&argv(&["--system", "secret-coin", "--shared", "0"])).is_err());
         assert!(run(&argv(&["--system", "secret-coin", "--shared", "x"])).is_err());
         assert!(run(&argv(&[

@@ -17,7 +17,10 @@
 //!   per-tree sweeps (`KPA_THREADS` selects the width);
 //! * [`trace`] — zero-dep counters/histograms/spans across every layer
 //!   (`KPA_TRACE=1` or `trace::set_enabled(true)` switches them on;
-//!   off, they are observationally invisible no-ops).
+//!   off, they are observationally invisible no-ops);
+//! * [`serve`] — the model-checking service: a line-delimited JSON
+//!   protocol over TCP, the system catalog, and the blocking client
+//!   (`kpa-serve` / `kpa-explore --connect` are thin wrappers).
 //!
 //! # Example
 //!
@@ -51,6 +54,7 @@ pub use kpa_logic as logic;
 pub use kpa_measure as measure;
 pub use kpa_pool as pool;
 pub use kpa_protocols as protocols;
+pub use kpa_serve as serve;
 pub use kpa_system as system;
 pub use kpa_trace as trace;
 
