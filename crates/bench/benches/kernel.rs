@@ -17,8 +17,9 @@
 //! A third timed section pins the dense *measure* kernel: the fused
 //! word-masked `measure_interval` of `DensePointSpace` against the
 //! generic element-at-a-time scan of the same spaces (required ≥ 2×
-//! faster single-threaded), and the `Pr_i ≥ α` sweep with the
-//! per-class memo off vs on.
+//! faster single-threaded), and the `Pr_i ≥ α` threshold family as k
+//! serial tree-walk sweeps vs one batched `pr_ge_family` call through
+//! the hash-consed formula DAG (required ≥ 2× faster).
 //!
 //! A fourth timed section pins the batched sample plan: the same
 //! memoized `Pr_i ≥ α` threshold family with the per-agent
@@ -344,46 +345,68 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
-    // Per-class Pr memo: the Pr_i ≥ α sweep across a family of α
-    // thresholds sharing (space, sat-set) pairs, memo off vs on.
+    // Compiled threshold family: k serial tree-walk sweeps (one model
+    // check per α, the pre-compiler engine path with every memo on) vs
+    // ONE `pr_ge_family` call through the hash-consed DAG, which
+    // resolves each distinct sample space once and reads off all k
+    // verdicts per class. Single-threaded, so the row isolates the
+    // sweep-count reduction rather than scheduling effects.
     // ------------------------------------------------------------------
     let alphas = [rat!(1 / 4), rat!(1 / 2), rat!(3 / 4), Rat::ONE];
     let family: Vec<Formula> = alphas
         .iter()
         .map(|&a| Formula::prop("recent=h").pr_ge(p1, a))
         .collect();
-    let run_family = |pr_memo: bool| -> Vec<usize> {
-        // Fresh model per pass (no formula cache); the shared `post`
-        // keeps the space cache warm for both rows. Plan off: these two
-        // rows pin the memo's own effect on the unplanned path.
-        let model = Model::with_memos(&post, true, pr_memo, false);
-        family
+    let dag_alphas: Vec<Rat> = (1..=8).map(|k| Rat::new(k, 8)).collect();
+    let dag_body = Formula::prop("recent=h");
+    let run_dag_off = || -> Vec<usize> {
+        // Fresh model per pass (no formula cache); k independent
+        // tree-walk sweeps, one per threshold.
+        let model = Model::new(&post);
+        dag_alphas
             .iter()
-            .map(|f| model.sat(f).expect("model checks").len())
+            .map(|&a| {
+                model
+                    .sat(&dag_body.clone().pr_ge(p1, a))
+                    .expect("model checks")
+                    .len()
+            })
+            .collect()
+    };
+    let run_dag_on = || -> Vec<usize> {
+        // Fresh model per pass: one batched call over the same family.
+        let model = Model::new(&post);
+        model
+            .pr_ge_family(p1, &dag_alphas, &dag_body)
+            .expect("model checks")
+            .iter()
+            .map(|s| s.len())
             .collect()
     };
     assert_eq!(
-        run_family(false),
-        run_family(true),
-        "Pr memo must be observationally invisible"
+        run_dag_off(),
+        run_dag_on(),
+        "the one-sweep family evaluator must be observationally invisible"
     );
-    let memo_off =
-        kpa_bench::bench_time(&format!("pr_ge_family/memo_off/{n_points}"), reps, || {
-            run_family(false)
+    let (dag_off, dag_on) = kpa_pool::with_threads(1, || {
+        let off = kpa_bench::bench_time(&format!("pr_ge_family/dag_off/{n_points}"), reps, || {
+            run_dag_off()
         });
-    let memo_on = kpa_bench::bench_time(&format!("pr_ge_family/memo_on/{n_points}"), reps, || {
-        run_family(true)
+        let on = kpa_bench::bench_time(&format!("pr_ge_family/dag_on/{n_points}"), reps, || {
+            run_dag_on()
+        });
+        (off, on)
     });
-    rows.push((format!("pr_ge_family/memo_off/{n_points}"), memo_off));
-    rows.push((format!("pr_ge_family/memo_on/{n_points}"), memo_on));
-    let memo_speedup = memo_off.as_secs_f64() / memo_on.as_secs_f64();
+    rows.push((format!("pr_ge_family/dag_off/{n_points}"), dag_off));
+    rows.push((format!("pr_ge_family/dag_on/{n_points}"), dag_on));
+    let dag_speedup = dag_off.as_secs_f64() / dag_on.as_secs_f64();
     println!(
-        "\nPr memo speedup: {memo_speedup:.2}× across {} thresholds",
-        alphas.len()
+        "\ncompiled-family speedup: {dag_speedup:.2}× across {} thresholds (single thread)",
+        dag_alphas.len()
     );
     assert!(
-        memo_speedup >= 0.9,
-        "the Pr memo must not regress the threshold sweep (got {memo_speedup:.2}×)"
+        dag_speedup >= 2.0,
+        "the one-sweep family evaluator must be ≥ 2× faster than serial sweeps (got {dag_speedup:.2}×)"
     );
 
     // ------------------------------------------------------------------
@@ -490,8 +513,14 @@ fn main() {
                 }
             },
         );
-        traced(format!("pr_ge_family/memo_on/{n_points}"), &mut || {
-            let _ = run_family(true);
+        traced(format!("pr_ge_family/dag_on/{n_points}"), &mut || {
+            let _ = run_dag_on();
+        });
+        // The unplanned sweep resolves every point through the sharded
+        // space cache — the row that keeps `assign.space_cache_hit`
+        // observable now that the planned paths bypass it.
+        traced(format!("pr_ge_family/plan_off/{n_points}"), &mut || {
+            let _ = run_family_planned(false);
         });
         traced(format!("pr_ge_family/plan_on/{n_points}"), &mut || {
             let _ = run_family_planned(true);
@@ -530,6 +559,20 @@ fn main() {
         plan_hits_traced > 0,
         "planned Pr row must resolve spaces through the sample plan"
     );
+    // The compiled family must actually share structure: compiling the
+    // k members hash-conses their common body, so the dedup counter is
+    // positive — and every member landed in the interned arena.
+    let dag_row = &row_deltas[&format!("pr_ge_family/dag_on/{n_points}")];
+    let terms_interned = dag_row.get("logic.terms_interned").copied().unwrap_or(0);
+    let terms_deduped = dag_row.get("logic.terms_deduped").copied().unwrap_or(0);
+    assert!(
+        terms_interned > 0,
+        "compiled family row must intern terms into the arena"
+    );
+    assert!(
+        terms_deduped > 0,
+        "compiled family row must hash-cons the shared body (dedup = 0)"
+    );
     println!(
         "\ntraced pass: {dense_queries} dense queries on the dense row, \
          0 generic fallbacks, {plan_hits_traced} plan hits on the planned row"
@@ -564,7 +607,7 @@ fn main() {
         out.push_str(&format!(
             "    \"measure_dense_vs_generic\": {measure_speedup},\n"
         ));
-        out.push_str(&format!("    \"pr_ge_memo_on_vs_off\": {memo_speedup},\n"));
+        out.push_str(&format!("    \"pr_ge_dag_on_vs_off\": {dag_speedup},\n"));
         out.push_str(&format!("    \"pr_ge_plan_on_vs_off\": {plan_speedup}\n"));
         out.push_str("  }\n}\n");
         std::fs::write(&path, &out).unwrap_or_else(|e| panic!("failed to write {path}: {e}"));

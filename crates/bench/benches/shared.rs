@@ -255,15 +255,15 @@ fn main() {
     let deltas = after.delta_counters(&before);
     println!();
     let mut sat_cache_hits = 0u64;
-    for prefix in ["logic.sat_cache", "logic.knows_memo", "logic.pr_memo"] {
+    for prefix in ["logic.sat_cache", "logic.subterm_memo", "logic.pr_memo"] {
         let hits: u64 = deltas
             .iter()
-            .filter(|(k, _)| k.starts_with(prefix) && k.ends_with(".hit"))
+            .filter(|(k, _)| k.starts_with(prefix) && k.contains(".shard") && k.ends_with(".hit"))
             .map(|(_, v)| v)
             .sum();
         let misses: u64 = deltas
             .iter()
-            .filter(|(k, _)| k.starts_with(prefix) && k.ends_with(".miss"))
+            .filter(|(k, _)| k.starts_with(prefix) && k.contains(".shard") && k.ends_with(".miss"))
             .map(|(_, v)| v)
             .sum();
         let contention = deltas

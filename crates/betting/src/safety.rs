@@ -184,6 +184,99 @@ impl<'s> BettingGame<'s> {
         self.class_sweep(|space| Ok(space.inner_measure(rule.phi()) >= rule.alpha()))
     }
 
+    /// [`BettingGame::k_alpha_points`] for a whole threshold family in
+    /// one class sweep: for each bettor class, the *minimum* of its
+    /// members' inner measures of `phi` is computed once, then
+    /// thresholded against every `α` — a class satisfies `K_i^α φ`
+    /// exactly when every member space has `(μ_ic)⁎(φ) ≥ α`, i.e. when
+    /// the minimum does. Returns one point set per `α`, in `alphas`
+    /// order, each bit-identical to a serial [`BettingGame::k_alpha_points`]
+    /// call (measures are exact rationals, so per-class thresholding
+    /// commutes with the sweep). This is the betting-side consumer of
+    /// the one-sweep family evaluation the logic layer's
+    /// `pr_ge_family` performs per point.
+    ///
+    /// Unlike the serial sweep — whose per-member short-circuit can
+    /// skip building later spaces in a failing class — the family sweep
+    /// resolves *every* member's space, so on assignments that violate
+    /// REQ it may surface construction errors the serial path happens
+    /// to skip. The canonical assignments never error, and the sweeps
+    /// agree wherever both succeed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates space-construction failures.
+    pub fn k_alpha_points_family(
+        &self,
+        phi: &PointSet,
+        alphas: &[Rat],
+    ) -> Result<Vec<PointSet>, BettingError> {
+        kpa_trace::count!("betting.class_sweeps");
+        let _sweep_timer = kpa_trace::span!("betting.class_sweep_ns");
+        let k = alphas.len();
+        let classes: Vec<&PointSet> = self
+            .sys
+            .local_classes(self.bettor)
+            .map(|(_, class)| class)
+            .collect();
+        let plan = self.opp.sample_plan(self.bettor);
+        let partials = Pool::current().par_map_chunks(classes.len(), CLASS_MIN_CHUNK, |range| {
+            let mut accs: Vec<PointSet> = (0..k).map(|_| self.sys.empty_points()).collect();
+            let mut by_space: std::collections::HashMap<*const DensePointSpace, Rat> =
+                std::collections::HashMap::new();
+            let (mut plan_hits, mut fallbacks) = (0u64, 0u64);
+            kpa_trace::count!("betting.classes_scanned", range.len() as u64);
+            for class in &classes[range] {
+                // One inner measure per distinct member space; the
+                // class verdict for every α follows from the minimum.
+                let mut min_inner: Option<Rat> = None;
+                for d in class.iter() {
+                    let space = match plan.space(d) {
+                        Some(space) => {
+                            plan_hits += 1;
+                            Arc::clone(space)
+                        }
+                        None => {
+                            fallbacks += 1;
+                            self.opp.space(self.bettor, d)?
+                        }
+                    };
+                    let key = Arc::as_ptr(&space);
+                    let inner = match by_space.get(&key) {
+                        Some(&inner) => inner,
+                        None => {
+                            let inner = space.inner_measure(phi);
+                            by_space.insert(key, inner);
+                            inner
+                        }
+                    };
+                    min_inner = Some(match min_inner {
+                        Some(seen) if seen <= inner => seen,
+                        _ => inner,
+                    });
+                }
+                let Some(min_inner) = min_inner else {
+                    continue;
+                };
+                for (acc, alpha) in accs.iter_mut().zip(alphas) {
+                    if min_inner >= *alpha {
+                        acc.union_with(class);
+                    }
+                }
+            }
+            kpa_trace::count!("betting.plan_hit", plan_hits);
+            kpa_trace::count!("betting.plan_fallback", fallbacks);
+            Ok::<Vec<PointSet>, BettingError>(accs)
+        });
+        let mut out: Vec<PointSet> = (0..k).map(|_| self.sys.empty_points()).collect();
+        for partial in partials {
+            for (acc, set) in out.iter_mut().zip(partial?) {
+                acc.union_with(&set);
+            }
+        }
+        Ok(out)
+    }
+
     /// Shared sweep shape of [`BettingGame::safe_points`] and
     /// [`BettingGame::k_alpha_points`]: absorb every bettor class whose
     /// members' `Tree^j` spaces all pass `pred`, chunking the class
@@ -533,5 +626,27 @@ mod tests {
         assert!(!safe.contains(pt(0, 1)));
         assert_eq!(safe, game.k_alpha_points(&rule).unwrap());
         drop(heads);
+    }
+
+    #[test]
+    fn k_alpha_family_matches_serial_thresholds() {
+        let sys = secret_coin();
+        let game = BettingGame::new(&sys, AgentId(0), AgentId(1));
+        let heads_run: PointSet = sys.point_set(sys.points().filter(|p| p.run == 0));
+        let alphas = [rat!(1 / 4), rat!(1 / 2), rat!(3 / 4), Rat::ONE];
+        let family = game.k_alpha_points_family(&heads_run, &alphas).unwrap();
+        assert_eq!(family.len(), alphas.len());
+        for (alpha, set) in alphas.iter().zip(&family) {
+            let rule = BetRule::new(heads_run.clone(), *alpha).unwrap();
+            assert_eq!(
+                *set,
+                game.k_alpha_points(&rule).unwrap(),
+                "family sweep diverged from the serial sweep at α = {alpha}"
+            );
+        }
+        // Monotone in α: a higher bar can only shrink the set.
+        for pair in family.windows(2) {
+            assert!(pair[1].is_subset(&pair[0]));
+        }
     }
 }

@@ -33,6 +33,7 @@
 //! hammers one artifact from several threads and asserts word-level
 //! bit-equality with a serial facade evaluation.
 
+use crate::compile::{CompiledFormula, FormulaArena, Term, TermId};
 use crate::error::LogicError;
 use crate::formula::Formula;
 use kpa_assign::{AssignCore, Assignment, DensePointSpace, SamplePlan, ShardMap};
@@ -51,29 +52,35 @@ const PR_MIN_CHUNK: usize = 64;
 
 /// The three evaluation memos, each a sharded concurrent map:
 ///
-/// * `cache` — formula → satisfaction set (the structural memo);
-/// * `knows` — `(agent, input set) → Kᵢ(set)`, shared across formulas
-///   whose subterms converge to equal sets (`C_G` fixpoints);
+/// * `cache` — whole formula → satisfaction set (the entry-point memo
+///   keyed by the uncompiled AST, so facade callers skip compilation
+///   entirely on repeat queries);
+/// * `terms` — interned [`TermId`] → satisfaction set: **one** unified
+///   per-subterm memo covering every node of the compiled DAG *and*
+///   the set-level `K_i ⌜S⌝` / `Pr_i ≥ α ⌜S⌝` queries (quoted as
+///   [`Term::Lit`] leaves). This replaced the separate
+///   `(agent, set)`-keyed knows memo — one map means the structural
+///   and set-level caches cannot drift;
 /// * `pr` — `(space identity, sat set) → (μ_ic)⁎(sat)`, shared across
 ///   chunks, thresholds `α`, and formulas.
 ///
-/// `knows`/`pr` are optional because the differential suites prove
+/// `terms`/`pr` are optional because the differential suites prove
 /// memo invisibility by turning them off; the artifact always enables
 /// both.
 pub(crate) struct EvalMemos {
     pub(crate) cache: ShardMap<Formula, Arc<PointSet>>,
-    pub(crate) knows: Option<ShardMap<(AgentId, PointSet), Arc<PointSet>>>,
+    pub(crate) terms: Option<ShardMap<TermId, Arc<PointSet>>>,
     pub(crate) pr: Option<ShardMap<(usize, PointSet), Rat>>,
 }
 
 impl EvalMemos {
-    /// Fresh, empty memos with the `knows_set` and `Pr` memos each
+    /// Fresh, empty memos with the per-subterm and `Pr` memos each
     /// enabled or disabled. The formula cache is always on (sharing
     /// satisfaction-set `Arc`s is part of the `sat` contract).
-    pub(crate) fn new(knows: bool, pr: bool) -> EvalMemos {
+    pub(crate) fn new(terms: bool, pr: bool) -> EvalMemos {
         EvalMemos {
             cache: ShardMap::new("logic.sat_cache"),
-            knows: knows.then(|| ShardMap::new("logic.knows_memo")),
+            terms: terms.then(|| ShardMap::new("logic.subterm_memo")),
             pr: pr.then(|| ShardMap::new("logic.pr_memo")),
         }
     }
@@ -83,7 +90,7 @@ impl std::fmt::Debug for EvalMemos {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EvalMemos")
             .field("cache", &self.cache.len())
-            .field("knows", &self.knows.as_ref().map(ShardMap::len))
+            .field("terms", &self.terms.as_ref().map(ShardMap::len))
             .field("pr", &self.pr.as_ref().map(ShardMap::len))
             .finish()
     }
@@ -99,6 +106,9 @@ pub(crate) struct EvalView<'e> {
     pub(crate) core: &'e AssignCore,
     pub(crate) all: &'e Arc<PointSet>,
     pub(crate) memos: &'e EvalMemos,
+    /// The hash-consing arena the compiled path interns into (owned by
+    /// the model/artifact, like the memos).
+    pub(crate) arena: &'e FormulaArena,
     /// Whether `pr_ge_set` resolves spaces through the batched
     /// [`SamplePlan`] table (off only for differential testing).
     pub(crate) plan: bool,
@@ -212,18 +222,293 @@ impl EvalView<'_> {
         Ok(self.memos.cache.insert_or_get(f.clone(), Arc::new(result)))
     }
 
-    /// `Kᵢ S` through the cross-formula memo when enabled. See
+    /// `sat` through the formula compiler: hash-cons `f` into the
+    /// arena's interned DAG and evaluate per distinct subterm, so a
+    /// subterm shared with *any* previously compiled query is a single
+    /// memo hit instead of a re-walk. Bit-identical to [`EvalView::sat`]
+    /// — same arm logic, same visit order, same error discovery —
+    /// pinned by `tests/compile_differential.rs`.
+    pub(crate) fn sat_compiled(&self, f: &Formula) -> Result<Arc<PointSet>, LogicError> {
+        if let Some(hit) = self.memos.cache.get(f) {
+            kpa_trace::count!("logic.sat_cache_hit");
+            return Ok(hit);
+        }
+        let compiled = self.arena.compile(f);
+        let result = self.eval_compiled(&compiled)?;
+        Ok(self.memos.cache.insert_or_get(f.clone(), result))
+    }
+
+    /// Evaluates an already-compiled formula against this view.
+    pub(crate) fn eval_compiled(
+        &self,
+        compiled: &CompiledFormula,
+    ) -> Result<Arc<PointSet>, LogicError> {
+        let defs = compiled.defs();
+        let mut env: HashMap<TermId, Arc<PointSet>> = HashMap::new();
+        self.eval_term(compiled.root(), &defs, &mut env)
+    }
+
+    /// Evaluates one interned subterm, recursing over the DAG in
+    /// exactly the order the tree walker visits the AST (children left
+    /// to right, `C_G` group checks before bodies). `env` collapses
+    /// repeats *within* this evaluation even when the shared memo is
+    /// disabled; the shared `terms` memo collapses repeats across
+    /// queries, contexts, and threads.
+    fn eval_term(
+        &self,
+        id: TermId,
+        defs: &HashMap<TermId, &Term>,
+        env: &mut HashMap<TermId, Arc<PointSet>>,
+    ) -> Result<Arc<PointSet>, LogicError> {
+        if let Some(hit) = env.get(&id) {
+            return Ok(Arc::clone(hit));
+        }
+        if let Some(memo) = &self.memos.terms {
+            if let Some(hit) = memo.get(&id) {
+                kpa_trace::count!("logic.subterm_memo.hit");
+                env.insert(id, Arc::clone(&hit));
+                return Ok(hit);
+            }
+            kpa_trace::count!("logic.subterm_memo.miss");
+        }
+        // One evaluated DAG node (mirrors `logic.sat_eval` on the tree
+        // path; shared subterms are counted once, not once per parent).
+        kpa_trace::count!("logic.sat_eval");
+        let sys = self.sys;
+        let term = *defs.get(&id).expect("compiled program covers its subterms");
+        let result: PointSet = match term {
+            Term::True => (**self.all).clone(),
+            Term::Prop(name) => {
+                let pid = sys
+                    .prop_id(name)
+                    .ok_or_else(|| LogicError::UnknownProp { name: name.clone() })?;
+                sys.points_satisfying(pid)
+            }
+            Term::Lit(set) => set.clone(),
+            Term::Not(x) => self.eval_term(*x, defs, env)?.complement(),
+            Term::And(xs) => {
+                let mut acc = (**self.all).clone();
+                for x in xs {
+                    acc.intersect_with(&*self.eval_term(*x, defs, env)?);
+                }
+                acc
+            }
+            Term::Or(xs) => {
+                let mut acc = sys.empty_points();
+                for x in xs {
+                    acc.union_with(&*self.eval_term(*x, defs, env)?);
+                }
+                acc
+            }
+            Term::Knows(i, x) => {
+                let body = self.eval_term(*x, defs, env)?;
+                self.knows_set(*i, &body)
+            }
+            Term::PrGe(i, alpha, x) => {
+                let body = self.eval_term(*x, defs, env)?;
+                self.pr_ge_set(*i, *alpha, &body)?
+            }
+            Term::Next(x) => self.eval_term(*x, defs, env)?.precursors(),
+            Term::Until(x, y) => {
+                let hold = self.eval_term(*x, defs, env)?;
+                let goal = self.eval_term(*y, defs, env)?;
+                let mut acc = (*goal).clone();
+                loop {
+                    kpa_trace::count!("logic.until_iters");
+                    let mut next = acc.precursors();
+                    next.intersect_with(&hold);
+                    next.union_with(&goal);
+                    if next == acc {
+                        break acc;
+                    }
+                    acc = next;
+                }
+            }
+            Term::Common(group, x) => {
+                if group.is_empty() {
+                    return Err(LogicError::EmptyGroup);
+                }
+                let phi = self.eval_term(*x, defs, env)?;
+                self.gfp(|current| {
+                    let body = phi.intersection(current);
+                    let mut acc: Option<PointSet> = None;
+                    for &i in group {
+                        let k = self.knows_set(i, &body);
+                        acc = Some(match acc {
+                            None => k,
+                            Some(mut a) => {
+                                a.intersect_with(&k);
+                                a
+                            }
+                        });
+                    }
+                    Ok(acc.expect("nonempty group"))
+                })?
+            }
+            Term::CommonGe(group, alpha, x) => {
+                if group.is_empty() {
+                    return Err(LogicError::EmptyGroup);
+                }
+                let phi = self.eval_term(*x, defs, env)?;
+                self.gfp(|current| {
+                    let body = phi.intersection(current);
+                    let mut acc: Option<PointSet> = None;
+                    for &i in group {
+                        // Kᵢ^α(body) = Kᵢ(Prᵢ(body) ≥ α).
+                        let pr = self.pr_ge_set(i, *alpha, &body)?;
+                        let k = self.knows_set(i, &pr);
+                        acc = Some(match acc {
+                            None => k,
+                            Some(mut a) => {
+                                a.intersect_with(&k);
+                                a
+                            }
+                        });
+                    }
+                    Ok(acc.expect("nonempty group"))
+                })?
+            }
+        };
+        let shared = match &self.memos.terms {
+            Some(memo) => memo.insert_or_get(id, Arc::new(result)),
+            None => Arc::new(result),
+        };
+        env.insert(id, Arc::clone(&shared));
+        Ok(shared)
+    }
+
+    /// Answers the whole threshold family `Pr_agent ≥ α₁…α_k f` in one
+    /// equivalence-class sweep: the body is evaluated once, each
+    /// distinct sample space's inner measure is computed once and
+    /// thresholded k times, and the k satisfaction sets come back in
+    /// `alphas` order. Every member is memoized exactly as if asked
+    /// serially (formula cache + interned `Pr_i ≥ α ⌜S⌝` subterm), and
+    /// the answers are bit-identical to k serial [`EvalView::sat`]
+    /// calls — thresholding a class once per α against the same exact
+    /// rational measure is the same comparison the serial sweep makes,
+    /// and partial unions combine in the same chunk order.
+    pub(crate) fn pr_ge_family(
+        &self,
+        agent: AgentId,
+        alphas: &[Rat],
+        f: &Formula,
+    ) -> Result<Vec<Arc<PointSet>>, LogicError> {
+        let members: Vec<Formula> = alphas
+            .iter()
+            .map(|&alpha| f.clone().pr_ge(agent, alpha))
+            .collect();
+        // Fast path: the whole family has been answered before.
+        let cached: Vec<Option<Arc<PointSet>>> =
+            members.iter().map(|m| self.memos.cache.get(m)).collect();
+        if cached.iter().all(Option::is_some) {
+            kpa_trace::count!("logic.sat_cache_hit", members.len() as u64);
+            return Ok(cached.into_iter().flatten().collect());
+        }
+        // Compiling each member hash-conses the shared body once; the
+        // k−1 re-interns are where `logic.terms_deduped` earns its
+        // keep on family workloads.
+        let compiled: Vec<CompiledFormula> =
+            members.iter().map(|m| self.arena.compile(m)).collect();
+        let body = self.eval_compiled(&self.arena.compile(f))?;
+        let sets = self.family_sweep(agent, alphas, &body)?;
+        let mut out = Vec::with_capacity(sets.len());
+        for (((member, set), compiled), &alpha) in
+            members.into_iter().zip(sets).zip(&compiled).zip(alphas)
+        {
+            let shared = match &self.memos.terms {
+                Some(memo) => {
+                    // Key under both spellings of the member — the
+                    // structural `Pr_i ≥ α φ` term and the set-level
+                    // `Pr_i ≥ α ⌜S⌝` term — so later structural
+                    // queries *and* raw-set sweeps hit.
+                    let set_id = self.arena.pr_ge_of_set(agent, alpha, &body);
+                    let shared = memo.insert_or_get(compiled.root(), Arc::new(set));
+                    memo.insert_or_get(set_id, Arc::clone(&shared));
+                    shared
+                }
+                None => Arc::new(set),
+            };
+            out.push(self.memos.cache.insert_or_get(member, shared));
+        }
+        Ok(out)
+    }
+
+    /// The one-sweep kernel behind [`EvalView::pr_ge_family`]: walk the
+    /// points once, resolve each point's space once (plan table first,
+    /// per-point fallback on the exact points the serial sweep falls
+    /// back on), compute each distinct space's inner measure once, and
+    /// emit one verdict bit per α. Thresholding is exact — measures
+    /// are exact rationals, so `inner ≥ α` per class is precisely what
+    /// k independent sweeps would compute.
+    fn family_sweep(
+        &self,
+        agent: AgentId,
+        alphas: &[Rat],
+        sat: &PointSet,
+    ) -> Result<Vec<PointSet>, LogicError> {
+        let sys = self.sys;
+        let k = alphas.len();
+        let points: Vec<PointId> = sys.points().collect();
+        // Fetched once per sweep, outside the fan-out (see pr_ge_set).
+        let plan: Option<Arc<SamplePlan>> = self.plan.then(|| self.core.sample_plan(sys, agent));
+        let partials = Pool::current().par_map_chunks(points.len(), PR_MIN_CHUNK, |range| {
+            let mut accs: Vec<PointSet> = (0..k).map(|_| sys.empty_points()).collect();
+            let mut by_space: HashMap<*const DensePointSpace, Vec<bool>> = HashMap::new();
+            let mut hits = 0u64;
+            let mut fallbacks = 0u64;
+            for &c in &points[range] {
+                let space = match plan.as_ref().and_then(|p| p.space(c)) {
+                    Some(space) => {
+                        hits += 1;
+                        Arc::clone(space)
+                    }
+                    None => {
+                        fallbacks += 1;
+                        self.core.space(sys, agent, c)?
+                    }
+                };
+                let key = Arc::as_ptr(&space);
+                let verdicts = &*by_space.entry(key).or_insert_with(|| {
+                    let inner = self.inner_of(&space, sat);
+                    alphas.iter().map(|alpha| inner >= *alpha).collect()
+                });
+                for (acc, &ok) in accs.iter_mut().zip(verdicts) {
+                    if ok {
+                        acc.insert(c);
+                    }
+                }
+            }
+            kpa_trace::count!("logic.plan_hit", hits);
+            kpa_trace::count!("logic.plan_fallback", fallbacks);
+            Ok::<Vec<PointSet>, LogicError>(accs)
+        });
+        let mut out: Vec<PointSet> = (0..k).map(|_| sys.empty_points()).collect();
+        for partial in partials {
+            for (acc, set) in out.iter_mut().zip(partial?) {
+                acc.union_with(&set);
+            }
+        }
+        Ok(out)
+    }
+
+    /// `Kᵢ S` through the unified per-subterm memo when enabled: the
+    /// query is interned as `K_agent ⌜S⌝` and cached under its
+    /// [`TermId`], so the tree walker, the compiled DAG evaluator, and
+    /// raw-set callers all share one cache. See
     /// [`Model::knows_set`](crate::Model::knows_set).
     pub(crate) fn knows_set(&self, agent: AgentId, sat: &PointSet) -> PointSet {
-        if let Some(memo) = &self.memos.knows {
-            if let Some(hit) = memo.get(&(agent, sat.clone())) {
+        if let Some(memo) = &self.memos.terms {
+            let id = self.arena.knows_of_set(agent, sat);
+            if let Some(hit) = memo.get(&id) {
                 kpa_trace::count!("logic.knows_memo_hit");
+                kpa_trace::count!("logic.subterm_memo.hit");
                 return (*hit).clone();
             }
+            kpa_trace::count!("logic.subterm_memo.miss");
             let fresh = self.knows_set_fresh(agent, sat);
             // The scan ran outside the lock; concurrent sweeps may
             // compute the same (identical) set — either insert wins.
-            return (*memo.insert_or_get((agent, sat.clone()), Arc::new(fresh))).clone();
+            return (*memo.insert_or_get(id, Arc::new(fresh))).clone();
         }
         self.knows_set_fresh(agent, sat)
     }
@@ -258,6 +543,30 @@ impl EvalView<'_> {
     /// consults stores pure functions of its keys, so partials stay
     /// bit-identical to a serial, memo-free, unplanned sweep.
     pub(crate) fn pr_ge_set(
+        &self,
+        agent: AgentId,
+        alpha: Rat,
+        sat: &PointSet,
+    ) -> Result<PointSet, LogicError> {
+        if let Some(memo) = &self.memos.terms {
+            // Interned as `Pr_agent ≥ α ⌜sat⌝`; only successful sweeps
+            // are cached, so error behavior is identical on repeats.
+            let id = self.arena.pr_ge_of_set(agent, alpha, sat);
+            if let Some(hit) = memo.get(&id) {
+                kpa_trace::count!("logic.subterm_memo.hit");
+                return Ok((*hit).clone());
+            }
+            kpa_trace::count!("logic.subterm_memo.miss");
+            let fresh = self.pr_ge_sweep(agent, alpha, sat)?;
+            return Ok((*memo.insert_or_get(id, Arc::new(fresh))).clone());
+        }
+        self.pr_ge_sweep(agent, alpha, sat)
+    }
+
+    /// The raw `Prᵢ(S) ≥ α` class sweep behind [`EvalView::pr_ge_set`],
+    /// bypassing the subterm memo (the per-class `Pr` memo and the
+    /// sample plan still apply).
+    fn pr_ge_sweep(
         &self,
         agent: AgentId,
         alpha: Rat,
@@ -394,6 +703,10 @@ pub struct ModelArtifact {
     core: AssignCore,
     all: Arc<PointSet>,
     memos: EvalMemos,
+    /// The shared hash-consing arena: every query compiled through any
+    /// context of this artifact interns into one DAG, so structurally
+    /// shared subterms dedup *across* queries, batches, and threads.
+    arena: FormulaArena,
 }
 
 impl ModelArtifact {
@@ -414,6 +727,7 @@ impl ModelArtifact {
             core,
             all,
             memos: EvalMemos::new(true, true),
+            arena: FormulaArena::new(),
         }
     }
 
@@ -450,11 +764,20 @@ impl ModelArtifact {
         self.memos.cache.len()
     }
 
-    /// How many `(agent, set)` entries the shared `knows_set` memo
-    /// holds.
+    /// How many interned-subterm entries the shared per-subterm memo
+    /// holds (compiled DAG nodes plus set-level `K_i ⌜S⌝` /
+    /// `Pr_i ≥ α ⌜S⌝` queries — the unified map that replaced the
+    /// separate knows-set memo).
     #[must_use]
-    pub fn knows_memo_len(&self) -> usize {
-        self.memos.knows.as_ref().map_or(0, ShardMap::len)
+    pub fn subterm_memo_len(&self) -> usize {
+        self.memos.terms.as_ref().map_or(0, ShardMap::len)
+    }
+
+    /// How many distinct subterms the artifact's arena has interned
+    /// across all compiled queries.
+    #[must_use]
+    pub fn terms_interned(&self) -> usize {
+        self.arena.len()
     }
 
     /// How many `(space, sat set)` entries the shared `Pr` memo holds.
@@ -477,6 +800,7 @@ impl ModelArtifact {
             core: &self.core,
             all: &self.all,
             memos: &self.memos,
+            arena: &self.arena,
             plan: true,
         }
     }
@@ -524,12 +848,49 @@ impl<'m> EvalCtx<'m> {
     /// The exact set of points satisfying `f`, answered from (and
     /// warming) the artifact's shared memos.
     ///
+    /// Contexts evaluate through the formula compiler: `f` is
+    /// hash-consed into the artifact's shared DAG and every distinct
+    /// subterm's satisfaction set is memoized under its interned id, so
+    /// a query stream sharing subterms (the workload `kpa-serve`
+    /// batches) pays for each subterm once across all contexts.
+    /// Results are bit-identical to the tree walker
+    /// ([`Model::sat`](crate::Model::sat)) by construction — pinned by
+    /// `tests/compile_differential.rs`.
+    ///
     /// # Errors
     ///
     /// As [`Model::sat`](crate::Model::sat).
     pub fn sat(&self, f: &Formula) -> Result<Arc<PointSet>, LogicError> {
         self.tick();
-        self.artifact.view().sat(f)
+        self.artifact.view().sat_compiled(f)
+    }
+
+    /// Compiles `f` against the artifact's shared arena without
+    /// evaluating it (interning is idempotent; the compiled program can
+    /// be inspected for dedup diagnostics).
+    #[must_use]
+    pub fn compile(&self, f: &Formula) -> CompiledFormula {
+        self.artifact.arena.compile(f)
+    }
+
+    /// Answers the whole threshold family `Pr_agent ≥ α₁…α_k f` in one
+    /// equivalence-class sweep: the body is evaluated once, each
+    /// distinct space's inner measure is computed once and thresholded
+    /// k times, and the k sets come back in `alphas` order —
+    /// bit-identical to k serial [`EvalCtx::sat`] calls on
+    /// `f.pr_ge(agent, αⱼ)`.
+    ///
+    /// # Errors
+    ///
+    /// As [`EvalCtx::sat`].
+    pub fn pr_ge_family(
+        &self,
+        agent: AgentId,
+        alphas: &[Rat],
+        f: &Formula,
+    ) -> Result<Vec<Arc<PointSet>>, LogicError> {
+        self.tick();
+        self.artifact.view().pr_ge_family(agent, alphas, f)
     }
 
     /// Whether `f` holds at the point `c`.

@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 mod artifact;
+mod compile;
 mod error;
 mod formula;
 mod model;
@@ -60,6 +61,7 @@ mod proof;
 pub mod theorems;
 
 pub use artifact::{EvalCtx, ModelArtifact};
+pub use compile::{CompiledFormula, FormulaArena, TermId};
 pub use error::LogicError;
 pub use formula::Formula;
 pub use model::{Model, PointSet};

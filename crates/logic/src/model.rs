@@ -37,6 +37,7 @@
 //! re-export of the artifact API once downstream callers migrate.
 
 use crate::artifact::{EvalMemos, EvalView};
+use crate::compile::{CompiledFormula, FormulaArena};
 use crate::error::LogicError;
 use crate::formula::Formula;
 use kpa_assign::ProbAssignment;
@@ -75,12 +76,16 @@ pub use kpa_system::PointSet;
 pub struct Model<'a, 's> {
     pa: &'a ProbAssignment<'s>,
     all: Arc<PointSet>,
-    /// Per-model sharded memos (formula sat cache, `knows_set` memo,
-    /// per-class `Pr` memo). Owning them per model — where the
+    /// Per-model sharded memos (formula sat cache, unified per-subterm
+    /// memo, per-class `Pr` memo). Owning them per model — where the
     /// artifact shares them across threads — is what gives the
     /// differential suites memo-scoped observability
-    /// (`knows_memo_len`, `pr_memo_len`).
+    /// (`subterm_memo_len`, `pr_memo_len`).
     memos: EvalMemos,
+    /// Per-model hash-consing arena for the compiled query DAG
+    /// ([`Model::compile`], [`Model::sat_compiled`], and the interned
+    /// set-level keys behind `knows_set`/`pr_ge_set` memoization).
+    arena: FormulaArena,
     /// Whether `pr_ge_set` resolves spaces through the assignment's
     /// batched [`kpa_assign::SamplePlan`] table. The table itself lives
     /// in the assignment's [`kpa_assign::AssignCore`] — the old
@@ -97,17 +102,20 @@ impl<'a, 's> Model<'a, 's> {
         Model::with_memos(pa, true, true, true)
     }
 
-    /// Builds a model checker with the `knows_set` memo explicitly on
-    /// or off (the per-class `Pr` memo and the sample plan stay on).
-    /// Satisfaction sets are identical either way — the knob exists so
-    /// tests can prove exactly that.
+    /// Builds a model checker with the unified per-subterm memo
+    /// (historically the `knows_set` memo, which it subsumed)
+    /// explicitly on or off (the per-class `Pr` memo and the sample
+    /// plan stay on). Satisfaction sets are identical either way — the
+    /// knob exists so tests can prove exactly that.
     #[must_use]
     pub fn with_knows_memo(pa: &'a ProbAssignment<'s>, memo: bool) -> Model<'a, 's> {
         Model::with_memos(pa, memo, true, true)
     }
 
     /// Builds a model checker with each memo explicitly on or off:
-    /// `knows` gates the cross-formula `knows_set` memo, `pr` the
+    /// `knows` gates the unified per-subterm satisfaction-set memo
+    /// (covering both the compiled DAG and raw-set
+    /// `knows_set`/`pr_ge_set` queries), `pr` the
     /// per-class inner-measure memo behind `pr_ge_set`, and `plan` the
     /// per-agent batched [`kpa_assign::SamplePlan`] that replaces
     /// per-point sample extraction with a table lookup. All eight
@@ -127,6 +135,7 @@ impl<'a, 's> Model<'a, 's> {
             pa,
             all,
             memos: EvalMemos::new(knows, pr),
+            arena: FormulaArena::new(),
             plan,
         }
     }
@@ -139,20 +148,33 @@ impl<'a, 's> Model<'a, 's> {
             core: self.pa.core(),
             all: &self.all,
             memos: &self.memos,
+            arena: &self.arena,
             plan: self.plan,
         }
     }
 
-    /// Whether the cross-formula `knows_set` memo is enabled.
+    /// Whether the unified per-subterm memo — which subsumed the old
+    /// cross-formula `knows_set` memo — is enabled. The constructor
+    /// knob keeps its historical name (`with_knows_memo`) because the
+    /// differential suites use it to prove memo invisibility.
     #[must_use]
     pub fn knows_memo_enabled(&self) -> bool {
-        self.memos.knows.is_some()
+        self.memos.terms.is_some()
     }
 
-    /// How many `(agent, set)` entries the `knows_set` memo holds.
+    /// How many interned-subterm entries the unified memo holds
+    /// (compiled DAG nodes plus the set-level `K_i ⌜S⌝` /
+    /// `Pr_i ≥ α ⌜S⌝` queries that replaced the `(agent, set)` knows
+    /// keys).
     #[must_use]
-    pub fn knows_memo_len(&self) -> usize {
-        self.memos.knows.as_ref().map_or(0, |m| m.len())
+    pub fn subterm_memo_len(&self) -> usize {
+        self.memos.terms.as_ref().map_or(0, |m| m.len())
+    }
+
+    /// How many distinct subterms this model's arena has interned.
+    #[must_use]
+    pub fn terms_interned(&self) -> usize {
+        self.arena.len()
     }
 
     /// Whether the per-class `Pr` inner-measure memo is enabled.
@@ -290,6 +312,51 @@ impl<'a, 's> Model<'a, 's> {
         sat: &PointSet,
     ) -> Result<PointSet, LogicError> {
         self.view().pr_ge_set(agent, alpha, sat)
+    }
+
+    /// Compiles `f` into this model's hash-consing arena without
+    /// evaluating it. Compiling is idempotent and structural: equal
+    /// ASTs get equal root [`kpa_logic::TermId`](crate::TermId)s, and
+    /// shared subtrees intern once.
+    #[must_use]
+    pub fn compile(&self, f: &Formula) -> CompiledFormula {
+        self.arena.compile(f)
+    }
+
+    /// [`Model::sat`] through the formula compiler: hash-cons `f` into
+    /// the interned DAG and evaluate per distinct subterm, memoizing
+    /// each subterm's satisfaction set under its [`crate::TermId`].
+    /// Bit-identical to the tree walker by construction (same arm
+    /// logic, same visit order, same error discovery); the knob exists
+    /// so `tests/compile_differential.rs` can prove exactly that.
+    /// [`EvalCtx::sat`](crate::EvalCtx::sat) always takes this path.
+    ///
+    /// # Errors
+    ///
+    /// As [`Model::sat`].
+    pub fn sat_compiled(&self, f: &Formula) -> Result<Arc<PointSet>, LogicError> {
+        self.view().sat_compiled(f)
+    }
+
+    /// Answers the whole threshold family `Pr_agent ≥ α₁…α_k f` in one
+    /// equivalence-class sweep: evaluate the body once, compute each
+    /// distinct sample space's inner measure once, threshold it k
+    /// times, and return the k satisfaction sets in `alphas` order.
+    /// Bit-identical to k serial [`Model::sat`] calls on
+    /// `f.pr_ge(agent, αⱼ)` — the measures are exact rationals, so
+    /// per-class thresholding commutes with the sweep — and every
+    /// member lands in the same memos the serial path would fill.
+    ///
+    /// # Errors
+    ///
+    /// As [`Model::sat`].
+    pub fn pr_ge_family(
+        &self,
+        agent: AgentId,
+        alphas: &[Rat],
+        f: &Formula,
+    ) -> Result<Vec<Arc<PointSet>>, LogicError> {
+        self.view().pr_ge_family(agent, alphas, f)
     }
 }
 
@@ -502,8 +569,8 @@ mod tests {
         let a = with.sat(&f).unwrap();
         let b = without.sat(&f).unwrap();
         assert_eq!(*a, *b);
-        assert!(with.knows_memo_len() > 0, "C_G fixpoint fills the memo");
-        assert_eq!(without.knows_memo_len(), 0);
+        assert!(with.subterm_memo_len() > 0, "C_G fixpoint fills the memo");
+        assert_eq!(without.subterm_memo_len(), 0);
         // A second, memo-hitting evaluation still equals a fresh scan.
         for agent in g {
             assert_eq!(with.knows_set(agent, &a), with.knows_set_fresh(agent, &a));

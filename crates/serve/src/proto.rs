@@ -174,6 +174,20 @@ pub enum QueryKind {
         /// Formula source text.
         formula: String,
     },
+    /// A whole threshold family `Prᵢ(φ) ≥ α₁…α_k` answered by the
+    /// one-sweep family evaluator: one formula, k thresholds, k point
+    /// sets back (one word array per α, in `alphas` order). Additive
+    /// in schema v1 — servers that predate it answer `bad_request` for
+    /// the unknown kind, which clients can fall back from by issuing k
+    /// serial `pr_ge` items.
+    PrGeFamily {
+        /// Agent whose probability is thresholded.
+        agent: String,
+        /// Thresholds, exact rationals in `[0, 1]`, answered in order.
+        alphas: Vec<Rat>,
+        /// Formula source text.
+        formula: String,
+    },
     /// The `(inner, outer)` probability bounds at one point.
     Interval {
         /// Agent whose probability is asked.
@@ -275,6 +289,29 @@ fn need_alpha(v: &Value) -> Result<Rat, ProtoError> {
     Ok(r)
 }
 
+fn need_alphas(v: &Value) -> Result<Vec<Rat>, ProtoError> {
+    let arr = v.get("alphas").and_then(Value::as_arr).ok_or_else(|| {
+        ProtoError::recoverable(codes::BAD_ALPHA, "missing array field \"alphas\"")
+    })?;
+    arr.iter()
+        .map(|e| {
+            let s = e.as_str().ok_or_else(|| {
+                ProtoError::recoverable(codes::BAD_ALPHA, "alphas must be rational strings")
+            })?;
+            let r: Rat = s.parse().map_err(|_| {
+                ProtoError::recoverable(codes::BAD_ALPHA, format!("bad rational {s:?}"))
+            })?;
+            if !r.is_probability() {
+                return Err(ProtoError::recoverable(
+                    codes::BAD_ALPHA,
+                    format!("alpha {r} is not in [0, 1]"),
+                ));
+            }
+            Ok(r)
+        })
+        .collect()
+}
+
 fn decode_query_item(v: &Value, index: usize) -> Result<QueryItem, ProtoError> {
     let at = |e: ProtoError| ProtoError {
         message: format!("query[{index}]: {}", e.message),
@@ -300,6 +337,11 @@ fn decode_query_item(v: &Value, index: usize) -> Result<QueryItem, ProtoError> {
         "pr_ge" => QueryKind::PrGe {
             agent: need_str(v, "agent").map_err(at)?,
             alpha: need_alpha(v).map_err(at)?,
+            formula: need_str(v, "formula").map_err(at)?,
+        },
+        "pr_ge_family" => QueryKind::PrGeFamily {
+            agent: need_str(v, "agent").map_err(at)?,
+            alphas: need_alphas(v).map_err(at)?,
             formula: need_str(v, "formula").map_err(at)?,
         },
         "interval" => QueryKind::Interval {
@@ -562,6 +604,19 @@ pub fn query_item_to_value(item: &QueryItem) -> Value {
             fields.push(("alpha", Value::Str(alpha.to_string())));
             fields.push(("formula", Value::Str(formula.clone())));
         }
+        QueryKind::PrGeFamily {
+            agent,
+            alphas,
+            formula,
+        } => {
+            fields.push(("kind", Value::Str("pr_ge_family".into())));
+            fields.push(("agent", Value::Str(agent.clone())));
+            fields.push((
+                "alphas",
+                Value::Arr(alphas.iter().map(|a| Value::Str(a.to_string())).collect()),
+            ));
+            fields.push(("formula", Value::Str(formula.clone())));
+        }
         QueryKind::Interval {
             agent,
             point,
@@ -661,6 +716,42 @@ mod tests {
         let env = decode_line(&line).unwrap();
         assert_eq!(env.id, Some(3));
         assert_eq!(env.req, Request::Query { items });
+    }
+
+    #[test]
+    fn pr_ge_family_round_trips_and_validates() {
+        let items = vec![QueryItem {
+            id: 4,
+            kind: QueryKind::PrGeFamily {
+                agent: "p1".into(),
+                alphas: vec![Rat::new(1, 4), Rat::new(1, 2), Rat::ONE],
+                formula: "<>c=h".into(),
+            },
+        }];
+        let frame = ok_frame(
+            "query",
+            None,
+            vec![(
+                "queries",
+                Value::Arr(items.iter().map(query_item_to_value).collect()),
+            )],
+        );
+        let mut line = frame.to_json();
+        line.insert_str(1, "\"v\":1,\"op\":\"query\",");
+        let env = decode_line(&line).unwrap();
+        assert_eq!(env.req, Request::Query { items });
+        // Every alpha in the family is validated like a lone pr_ge.
+        let e = decode_line(
+            r#"{"v":1,"op":"query","queries":[{"kind":"pr_ge_family","agent":"p1","alphas":["1/2","5/4"],"formula":"x"}]}"#,
+        )
+        .unwrap_err();
+        assert_eq!(e.code, codes::BAD_ALPHA);
+        assert!(!e.fatal);
+        let e = decode_line(
+            r#"{"v":1,"op":"query","queries":[{"kind":"pr_ge_family","agent":"p1","formula":"x"}]}"#,
+        )
+        .unwrap_err();
+        assert_eq!(e.code, codes::BAD_ALPHA);
     }
 
     #[test]

@@ -446,6 +446,21 @@ fn eval_item(
                 ("words", words_to_value(set.as_words())),
             ])
         }
+        QueryKind::PrGeFamily {
+            agent,
+            alphas,
+            formula,
+        } => {
+            let sets = ctx
+                .pr_ge_family(agent_id(agent)?, alphas, &parse(formula)?)
+                .map_err(eval)?;
+            let counts = sets.iter().map(|s| Value::Int(s.len() as i64)).collect();
+            let words = sets.iter().map(|s| words_to_value(s.as_words())).collect();
+            Ok(vec![
+                ("counts", Value::Arr(counts)),
+                ("sets", Value::Arr(words)),
+            ])
+        }
         QueryKind::Interval {
             agent,
             point: p,
@@ -536,6 +551,35 @@ mod tests {
         assert!(text.contains("\"holds\":true"), "{text}");
         assert!(text.contains("\"lo\":\"1/2\""), "{text}");
         assert!(text.contains("\"hi\":\"1/2\""), "{text}");
+    }
+
+    #[test]
+    fn pr_ge_family_matches_serial_pr_ge() {
+        let mut s = session();
+        s.handle(&env(
+            r#"{"v":1,"op":"load","system":"secret-coin","assignment":"post"}"#,
+        ));
+        let (frame, _) = s.handle(&env(
+            r#"{"v":1,"op":"query","queries":[{"kind":"pr_ge_family","agent":"p1","alphas":["1/4","1/2","3/4","1"],"formula":"c=h"}]}"#,
+        ));
+        let family = frame.to_json();
+        assert!(family.contains("\"ok\":true"), "{family}");
+        assert!(family.contains("\"counts\":["), "{family}");
+        for alpha in ["1/4", "1/2", "3/4", "1"] {
+            let (frame, _) = s.handle(&env(&format!(
+                r#"{{"v":1,"op":"query","queries":[{{"kind":"pr_ge","agent":"p1","alpha":"{alpha}","formula":"c=h"}}]}}"#,
+            )));
+            let serial = frame.to_json();
+            // The serial frame's word array must appear verbatim in the
+            // family frame's `sets` — bit-identical payloads.
+            let words = serial
+                .split("\"words\":")
+                .nth(1)
+                .and_then(|rest| rest.split(']').next())
+                .map(|w| format!("{w}]"))
+                .expect("serial pr_ge frame carries words");
+            assert!(family.contains(&words), "{family} missing {words}");
+        }
     }
 
     #[test]

@@ -1,47 +1,50 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_5.json + TRACE_5.json + BENCH_6.json +
+# Regenerates BENCH_8.json + TRACE_5.json + BENCH_6.json +
 # BENCH_7.json: the kernel-bench rows (dense PointSet sat evaluator,
-# pool parallel sweep, dense measure kernel, Pr memo, and the batched
-# sample plan) plus the traced pass's counter report, the
-# shared-artifact bench rows (concurrent EvalCtx queries against one
-# Arc<ModelArtifact>, sharded memo vs mutex), and the kpa-serve soak
-# rows (loopback TCP clients, batched wire queries, per-frame latency
-# histogram) — then gates the fresh rows against the committed
-# baselines via scripts/check_bench.py.
+# pool parallel sweep, dense measure kernel, the compiled threshold
+# family, and the batched sample plan) plus the traced pass's counter
+# report, the shared-artifact bench rows (concurrent EvalCtx queries
+# against one Arc<ModelArtifact>, sharded memo vs mutex), and the
+# kpa-serve soak rows (loopback TCP clients, batched wire queries,
+# per-frame latency histogram) — then gates the fresh rows against the
+# committed baselines via scripts/check_bench.py.
 #
 #   ./scripts/bench.sh                 # best-of-3 reps, writes all four JSON files
 #   BENCH=1 ./scripts/bench.sh         # longer sweeps (--features bench)
-#   KPA_BENCH_JSON=out.json ./scripts/bench.sh   # custom kernel bench output path
+#   KPA_BENCH8_JSON=out.json ./scripts/bench.sh  # custom kernel bench output path
 #   KPA_BENCH6_JSON=out6.json ./scripts/bench.sh # custom shared bench output path
 #   KPA_BENCH7_JSON=out7.json ./scripts/bench.sh # custom serve soak output path
 #   KPA_TRACE_JSON=trace.json ./scripts/bench.sh # custom trace output path
 #   KPA_BENCH_CHECK=0 ./scripts/bench.sh         # skip the regression gates
 #
-# When KPA_BENCH_JSON points somewhere other than the committed
-# BENCH_5.json (as CI does), the baseline stays untouched and the gate
+# When KPA_BENCH8_JSON points somewhere other than the committed
+# BENCH_8.json (as CI does), the baseline stays untouched and the gate
 # compares fresh-vs-committed speedup ratios.  When the output *is* the
 # baseline (the default, i.e. you are re-baselining), the comparison
-# would be a no-op, so the gate is skipped.  The trace gate follows the
-# same rule with TRACE_5.json: it schema-checks the fresh report and
-# asserts the sample-plan hit rate didn't collapse vs the baseline.
-# BENCH_6.json and BENCH_7.json follow the same rule again with
-# KPA_BENCH6_JSON / KPA_BENCH7_JSON.
+# would be a no-op, so the gate is skipped.  (BENCH_5.json is the
+# pre-compiler kernel baseline, kept for history like BENCH_3/4 but no
+# longer regenerated — the PR 8 formula compiler replaced its
+# pr_ge_family rows.)  The trace gate follows the same rule with
+# TRACE_5.json: it schema-checks the fresh report and asserts the
+# sample-plan hit rate didn't collapse vs the baseline.  BENCH_6.json
+# and BENCH_7.json follow the same rule again with KPA_BENCH6_JSON /
+# KPA_BENCH7_JSON.
 #
 # The workspace is dependency-free, so --offline always works.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-baseline="$(pwd)/BENCH_5.json"
+baseline8="$(pwd)/BENCH_8.json"
 trace_baseline="$(pwd)/TRACE_5.json"
 baseline6="$(pwd)/BENCH_6.json"
 baseline7="$(pwd)/BENCH_7.json"
-out="${KPA_BENCH_JSON:-BENCH_5.json}"
+out8="${KPA_BENCH8_JSON:-BENCH_8.json}"
 trace_out="${KPA_TRACE_JSON:-TRACE_5.json}"
 out6="${KPA_BENCH6_JSON:-BENCH_6.json}"
 out7="${KPA_BENCH7_JSON:-BENCH_7.json}"
 # cargo runs the bench binary from the package directory, so anchor
 # relative paths to the repo root.
-case "${out}" in /*) ;; *) out="$(pwd)/${out}" ;; esac
+case "${out8}" in /*) ;; *) out8="$(pwd)/${out8}" ;; esac
 case "${trace_out}" in /*) ;; *) trace_out="$(pwd)/${trace_out}" ;; esac
 case "${out6}" in /*) ;; *) out6="$(pwd)/${out6}" ;; esac
 case "${out7}" in /*) ;; *) out7="$(pwd)/${out7}" ;; esac
@@ -50,11 +53,11 @@ if [[ "${BENCH:-0}" == "1" ]]; then
     features=(--features bench)
 fi
 
-echo "==> cargo bench -p kpa-bench --bench kernel --offline (JSON -> ${out}, trace -> ${trace_out})"
-KPA_BENCH_JSON="${out}" KPA_TRACE_JSON="${trace_out}" \
+echo "==> cargo bench -p kpa-bench --bench kernel --offline (JSON -> ${out8}, trace -> ${trace_out})"
+KPA_BENCH_JSON="${out8}" KPA_TRACE_JSON="${trace_out}" \
     cargo bench -q -p kpa-bench --bench kernel --offline "${features[@]}"
 
-echo "bench rows written to ${out}"
+echo "bench rows written to ${out8}"
 echo "trace report written to ${trace_out}"
 
 echo "==> cargo bench -p kpa-bench --bench shared --offline (JSON -> ${out6})"
@@ -72,13 +75,13 @@ echo "serve soak rows written to ${out7}"
 if [[ "${KPA_BENCH_CHECK:-1}" != "1" ]]; then
     echo "KPA_BENCH_CHECK=${KPA_BENCH_CHECK:-1}; skipping regression gates"
 else
-    if [[ "${out}" == "${baseline}" ]]; then
+    if [[ "${out8}" == "${baseline8}" ]]; then
         echo "bench output is the committed baseline; skipping self-comparison"
-    elif [[ -f "${baseline}" ]]; then
-        echo "==> python3 scripts/check_bench.py ${baseline} ${out}"
-        python3 scripts/check_bench.py "${baseline}" "${out}"
+    elif [[ -f "${baseline8}" ]]; then
+        echo "==> python3 scripts/check_bench.py ${baseline8} ${out8}"
+        python3 scripts/check_bench.py "${baseline8}" "${out8}"
     else
-        echo "no committed baseline at ${baseline}; skipping bench gate"
+        echo "no committed baseline at ${baseline8}; skipping bench gate"
     fi
     if [[ "${trace_out}" == "${trace_baseline}" ]]; then
         echo "trace output is the committed baseline; skipping self-comparison"

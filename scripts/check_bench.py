@@ -4,7 +4,7 @@
 Compares a freshly generated ``BENCH_N.json`` against the committed
 baseline and fails (exit 1) when any asserted row regressed by more
 than the tolerance.  Which keys are gated is chosen by the files' own
-``bench`` field (``"kernel"`` for BENCH_5, ``"shared"`` for BENCH_6);
+``bench`` field (``"kernel"`` for BENCH_8, ``"shared"`` for BENCH_6);
 the two files must agree on it.
 
 The two files are usually produced on *different machines* (the
@@ -81,7 +81,7 @@ PROFILES = {
         "asserted": {
             "sat_bitset_vs_btreeset": 2.0,
             "measure_dense_vs_generic": 2.0,
-            "pr_ge_memo_on_vs_off": None,  # ~1x by design; see EXPERIMENTS.md
+            "pr_ge_dag_on_vs_off": 2.0,
             "pr_ge_plan_on_vs_off": 2.0,
         },
         "positive": set(),
@@ -123,14 +123,15 @@ TRACE_SCHEMA_VERSION = 1
 HIT_RATE_SLACK = 0.10
 
 # --trace mode: counters that must be present and positive in the fresh
-# report's global counter map — each proves a PR 1-4 fast path actually
-# ran (dense measure kernel, kernel construction, planned Pr sweep,
-# sharded space cache).
+# report's global counter map — each proves a PR 1-4/8 fast path
+# actually ran (dense measure kernel, kernel construction, planned Pr
+# sweep, sharded space cache, hash-consed formula arena).
 TRACE_REQUIRED_POSITIVE = (
     "measure.dense_query",
     "measure.kernel_built",
     "logic.plan_hit",
     "assign.space_cache_hit",
+    "logic.terms_interned",
 )
 
 # --trace mode: the bench row whose counters carry the planned sweep

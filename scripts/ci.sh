@@ -40,28 +40,30 @@ cargo test -q --offline --workspace
 # all at each width — the pool width inside the server comes from
 # KPA_THREADS, so the matrix re-certifies the service end to end.
 for threads in 1 4; do
-    echo "==> KPA_THREADS=${threads} RUST_TEST_THREADS=${threads} cargo test -q --offline --test parallel_differential --test memo_consistency --test measure_kernel_differential --test plan_differential --test trace_invisibility --test shared_artifact_differential --test serve_differential --test serve_protocol"
+    echo "==> KPA_THREADS=${threads} RUST_TEST_THREADS=${threads} cargo test -q --offline --test parallel_differential --test memo_consistency --test measure_kernel_differential --test plan_differential --test trace_invisibility --test shared_artifact_differential --test serve_differential --test serve_protocol --test compile_differential"
     KPA_THREADS="${threads}" RUST_TEST_THREADS="${threads}" cargo test -q --offline \
         --test parallel_differential --test memo_consistency \
         --test measure_kernel_differential --test plan_differential \
         --test trace_invisibility --test shared_artifact_differential \
-        --test serve_differential --test serve_protocol
+        --test serve_differential --test serve_protocol \
+        --test compile_differential
 done
 
 # Bench smoke + regression gates: the kernel bench asserts its output
-# identities, the dense measure kernel's ≥ 2× bound, and the sample
-# plan's ≥ 2× bound; the shared bench asserts shared-artifact results
-# bit-identical to the serial facade and times the sharded memos.
-# The serve soak bench asserts wire answers bit-identical to the
-# serial facade, then times loopback clients and exports the frame
-# latency histogram.  scripts/check_bench.py then compares the fresh
-# speedup ratios against the committed BENCH_5.json, BENCH_6.json and
-# BENCH_7.json (30% tolerance) and the fresh trace report against
-# TRACE_5.json (schema + dense-path + plan-hit-rate, exact counters).
-# The fresh rows go to target/ so the committed baselines are not
-# clobbered; regenerate the baselines with a plain ./scripts/bench.sh.
+# identities, the dense measure kernel's ≥ 2× bound, the compiled
+# threshold family's ≥ 2× bound, and the sample plan's ≥ 2× bound; the
+# shared bench asserts shared-artifact results bit-identical to the
+# serial facade and times the sharded memos.  The serve soak bench
+# asserts wire answers bit-identical to the serial facade, then times
+# loopback clients and exports the frame latency histogram.
+# scripts/check_bench.py then compares the fresh speedup ratios
+# against the committed BENCH_8.json, BENCH_6.json and BENCH_7.json
+# (30% tolerance) and the fresh trace report against TRACE_5.json
+# (schema + dense-path + plan-hit-rate, exact counters).  The fresh
+# rows go to target/ so the committed baselines are not clobbered;
+# regenerate the baselines with a plain ./scripts/bench.sh.
 echo "==> scripts/bench.sh (kernel + shared + serve soak bench smoke + regression gates)"
-KPA_BENCH_JSON="${KPA_BENCH_JSON:-target/BENCH_5.fresh.json}" \
+KPA_BENCH8_JSON="${KPA_BENCH8_JSON:-target/BENCH_8.fresh.json}" \
     KPA_TRACE_JSON="${KPA_TRACE_JSON:-target/TRACE_5.fresh.json}" \
     KPA_BENCH6_JSON="${KPA_BENCH6_JSON:-target/BENCH_6.fresh.json}" \
     KPA_BENCH7_JSON="${KPA_BENCH7_JSON:-target/BENCH_7.fresh.json}" ./scripts/bench.sh

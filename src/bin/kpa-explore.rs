@@ -187,13 +187,13 @@ fn run_shared(
         "shared:     {clients} threads × 1 artifact agreed with the serial model \
          (sat cache: {} formulas, knows memo: {}, Pr memo: {}, plans: {})",
         artifact.sat_cache_len(),
-        artifact.knows_memo_len(),
+        artifact.subterm_memo_len(),
         artifact.pr_memo_len(),
         artifact.plans_built(),
     );
     if let Some(before) = before {
         let delta = kpa_trace::registry().snapshot().delta_counters(&before);
-        for prefix in ["logic.sat_cache", "logic.knows_memo", "logic.pr_memo"] {
+        for prefix in ["logic.sat_cache", "logic.subterm_memo", "logic.pr_memo"] {
             let sum = |suffix: &str| -> u64 {
                 delta
                     .iter()

@@ -41,7 +41,7 @@ fn sizes_memo_vs_fresh(sys: &System, formulas: &[Formula]) -> Vec<usize> {
 /// Pinned satisfaction-set sizes on the three paper walkthrough
 /// systems. The formula families deliberately repeat `(agent, body)`
 /// pairs — `K_i φ` alone and again inside `C_G φ` — so the memoized
-/// pass actually hits the cache (asserted via `knows_memo_len`).
+/// pass actually hits the cache (asserted via `subterm_memo_len`).
 #[test]
 fn walkthrough_sizes_are_memo_invariant() {
     let p1 = AgentId(0);
@@ -99,8 +99,8 @@ fn walkthrough_sizes_are_memo_invariant() {
         model.sat(f).expect("model checks");
     }
     assert!(
-        model.knows_memo_len() > 0,
-        "walkthrough family never hit the knows-set memo"
+        model.subterm_memo_len() > 0,
+        "walkthrough family never filled the unified subterm memo"
     );
 }
 

@@ -184,8 +184,11 @@ fn walkthrough_queries_match_the_serial_model_over_the_wire() {
     server.shutdown();
 }
 
-/// `holds`, `everywhere`, `knows`, `pr_ge`, and `interval` against
-/// their in-process counterparts on one walkthrough system.
+/// `holds`, `everywhere`, `knows`, `pr_ge`, `pr_ge_family`, and
+/// `interval` against their in-process counterparts on one walkthrough
+/// system. The batched family op must be bit-identical to k serial
+/// `pr_ge` answers — the one-sweep evaluator is an optimization, not a
+/// semantics.
 #[test]
 fn every_query_kind_matches_its_in_process_counterpart() {
     let sys = build_system("secret-coin").expect("builds");
@@ -207,6 +210,17 @@ fn every_query_kind_matches_its_in_process_counterpart() {
     let (lo, hi) = model
         .prob_interval(kpa::system::AgentId(0), point, &f)
         .expect("interval");
+    let family_alphas = [Rat::new(1, 4), Rat::new(1, 2), Rat::new(3, 4), Rat::ONE];
+    let family_expected: Vec<Vec<u64>> = family_alphas
+        .iter()
+        .map(|&alpha| {
+            model
+                .sat(&f.clone().pr_ge(kpa::system::AgentId(0), alpha))
+                .expect("checks")
+                .as_words()
+                .to_vec()
+        })
+        .collect();
 
     let mut server = Server::bind(ServeConfig::default()).expect("bind");
     let mut c = Client::connect(server.local_addr()).expect("connect");
@@ -249,6 +263,14 @@ fn every_query_kind_matches_its_in_process_counterpart() {
                     formula: "c=h".into(),
                 },
             },
+            QueryItem {
+                id: 5,
+                kind: QueryKind::PrGeFamily {
+                    agent: "p1".into(),
+                    alphas: family_alphas.to_vec(),
+                    formula: "c=h".into(),
+                },
+            },
         ])
         .expect("query");
     use kpa::serve::json::Value;
@@ -267,6 +289,19 @@ fn every_query_kind_matches_its_in_process_counterpart() {
         rows[4].get("hi").and_then(Value::as_str),
         Some(hi.to_string().as_str())
     );
+    let sets = rows[5]
+        .get("sets")
+        .and_then(Value::as_arr)
+        .expect("family row carries sets");
+    assert_eq!(sets.len(), family_alphas.len());
+    for (i, (set, want)) in sets.iter().zip(&family_expected).enumerate() {
+        let got = words_from_value(set).expect("well-formed words");
+        assert_eq!(
+            &got, want,
+            "pr_ge_family[{i}] diverged from serial pr_ge at alpha {}",
+            family_alphas[i]
+        );
+    }
     c.bye().expect("bye");
     server.shutdown();
 }
