@@ -19,6 +19,10 @@ use kpa_system::{PointId, PointIndex};
 use std::ops::Deref;
 use std::sync::Arc;
 
+/// What [`DensePointSpace::dense`] resolves per query: the kernel, the
+/// queried set's words, and its optional footprint hint.
+type DenseQuery<'a> = (&'a DenseKernel, &'a [u64], Option<(usize, usize)>);
+
 /// A [`PointSpace`] with a precomputed dense measure kernel.
 ///
 /// Built by `ProbAssignment::space`; the kernel maps each sample point
@@ -79,21 +83,21 @@ impl DensePointSpace {
         &self.index
     }
 
-    /// Selects the kernel iff the queried set exposes compatible words.
+    /// Selects the kernel iff the queried set exposes compatible words,
+    /// along with the set's footprint hint
+    /// ([`kpa_measure::MemberSet::member_footprint`]) so the kernel can
+    /// skip blocks the set provably misses.
     ///
     /// Each generic fallback bumps `assign.generic_measure` in the trace
     /// registry (the dense side is counted inside the kernel as
     /// `measure.dense_query`), so a traced bench run can prove which
     /// path its measure queries actually took.
     #[inline]
-    fn dense<'a, S: MemberSet<PointId> + ?Sized>(
-        &'a self,
-        set: &'a S,
-    ) -> Option<(&'a DenseKernel, &'a [u64])> {
+    fn dense<'a, S: MemberSet<PointId> + ?Sized>(&'a self, set: &'a S) -> Option<DenseQuery<'a>> {
         let picked = self
             .kernel
             .as_ref()
-            .and_then(|k| Some((k, set.member_words()?)));
+            .and_then(|k| Some((k, set.member_words()?, set.member_footprint())));
         if picked.is_none() {
             kpa_trace::count!("assign.generic_measure");
         }
@@ -108,7 +112,7 @@ impl DensePointSpace {
     /// Exactly as the generic [`PointSpace::measure`].
     pub fn measure<S: MemberSet<PointId> + ?Sized>(&self, set: &S) -> Result<Rat, MeasureError> {
         match self.dense(set) {
-            Some((k, w)) => k.measure_words(w),
+            Some((k, w, h)) => k.measure_words_in(w, h),
             None => self.space.measure(set),
         }
     }
@@ -117,7 +121,7 @@ impl DensePointSpace {
     #[must_use]
     pub fn inner_measure<S: MemberSet<PointId> + ?Sized>(&self, set: &S) -> Rat {
         match self.dense(set) {
-            Some((k, w)) => k.inner_measure_words(w),
+            Some((k, w, h)) => k.inner_measure_words_in(w, h),
             None => self.space.inner_measure(set),
         }
     }
@@ -126,7 +130,7 @@ impl DensePointSpace {
     #[must_use]
     pub fn outer_measure<S: MemberSet<PointId> + ?Sized>(&self, set: &S) -> Rat {
         match self.dense(set) {
-            Some((k, w)) => k.outer_measure_words(w),
+            Some((k, w, h)) => k.outer_measure_words_in(w, h),
             None => self.space.outer_measure(set),
         }
     }
@@ -135,7 +139,7 @@ impl DensePointSpace {
     #[must_use]
     pub fn measure_interval<S: MemberSet<PointId> + ?Sized>(&self, set: &S) -> (Rat, Rat) {
         match self.dense(set) {
-            Some((k, w)) => k.measure_interval_words(w),
+            Some((k, w, h)) => k.measure_interval_words_in(w, h),
             None => self.space.measure_interval(set),
         }
     }
@@ -144,7 +148,7 @@ impl DensePointSpace {
     #[must_use]
     pub fn is_measurable<S: MemberSet<PointId> + ?Sized>(&self, set: &S) -> bool {
         match self.dense(set) {
-            Some((k, w)) => k.is_measurable_words(w),
+            Some((k, w, h)) => k.is_measurable_words_in(w, h),
             None => self.space.is_measurable(set),
         }
     }

@@ -150,8 +150,13 @@ impl AssignCore {
         sys: &System,
         agent: AgentId,
         c: PointId,
-        sample: PointSet,
+        mut sample: PointSet,
     ) -> Result<Arc<DensePointSpace>, AssignError> {
+        // Samples are intersection-built, so their footprint can be
+        // looser than the bits warrant; this set is about to become a
+        // long-lived cache key that is compared, subset-tested, and
+        // iterated on every probe, so one exact-range pass pays off.
+        sample.tighten_footprint();
         let Some(first) = sample.first() else {
             return Err(AssignError::Req2Violated { agent, point: c });
         };

@@ -544,6 +544,13 @@ fn main() {
         dense_fallbacks, 0,
         "dense row must not fall back to the generic element scan"
     );
+    // ... and its scans must go through the 4-wide block loop (the
+    // counter the TRACE gate requires positive since the wide kernels).
+    let wide_blocks = dense_row.get("measure.wide_blocks").copied().unwrap_or(0);
+    assert!(
+        wide_blocks > 0,
+        "dense row must scan blocks through the wide kernel path"
+    );
     // The generic row goes around the dispatcher entirely: no dense
     // queries at all.
     let generic_row = &row_deltas[&format!("measure_interval/generic/{n_spaces}x{n_points}")];
@@ -558,6 +565,16 @@ fn main() {
     assert!(
         plan_hits_traced > 0,
         "planned Pr row must resolve spaces through the sample plan"
+    );
+    // The per-class accumulation in the planned sweep works on
+    // tight-footprint class sets, so the footprint skip must fire.
+    let skipped_words = plan_row
+        .get("system.footprint_skipped_words")
+        .copied()
+        .unwrap_or(0);
+    assert!(
+        skipped_words > 0,
+        "planned Pr row must skip words via set footprints"
     );
     // The compiled family must actually share structure: compiling the
     // k members hash-conses their common body, so the dedup counter is

@@ -449,6 +449,14 @@ impl EvalView<'_> {
         let sys = self.sys;
         let k = alphas.len();
         let points: Vec<PointId> = sys.points().collect();
+        // One exact-footprint pass before the fan-out: every class
+        // space below measures this set through its footprint hint, so
+        // the tightest range multiplies across thousands of queries.
+        let sat = &{
+            let mut s = sat.clone();
+            s.tighten_footprint();
+            s
+        };
         // Fetched once per sweep, outside the fan-out (see pr_ge_set).
         let plan: Option<Arc<SamplePlan>> = self.plan.then(|| self.core.sample_plan(sys, agent));
         let partials = Pool::current().par_map_chunks(points.len(), PR_MIN_CHUNK, |range| {
@@ -574,6 +582,13 @@ impl EvalView<'_> {
     ) -> Result<PointSet, LogicError> {
         let sys = self.sys;
         let points: Vec<PointId> = sys.points().collect();
+        // As in family_sweep: tighten once so the per-class kernels get
+        // the exact footprint hint.
+        let sat = &{
+            let mut s = sat.clone();
+            s.tighten_footprint();
+            s
+        };
         // Fetched once per sweep, outside the fan-out, so chunks share
         // one immutable table; the artifact's plan slots are write-once,
         // so the warm fetch is a single atomic load.

@@ -31,6 +31,20 @@
 //! Construction returns `None` (callers fall back to the generic scan)
 //! if the element→bit mapping is not injective or the common-denominator
 //! table would overflow `i128` range.
+//!
+//! # Wide scans and footprint skips
+//!
+//! The per-block scans run 4×u64 wide ([`scan_trace`] and friends) —
+//! plain chunked Rust the autovectorizer widens, bit-identical to the
+//! word-at-a-time loop by construction. Each query also accepts an
+//! optional *set footprint* hint (the `*_words_in` variants, fed from
+//! [`crate::MemberSet::member_footprint`]): a conservative global word
+//! range outside which the queried set is all-zero. Blocks whose word
+//! span misses the hint are skipped without scanning — their answer is
+//! `(inside = false, touched = false)` by construction. The
+//! `measure.wide_blocks` counter books the blocks actually scanned, so
+//! a traced run shows both that the wide path ran and how many blocks
+//! the footprint skipped (the gap to `blocks × queries`).
 
 use crate::rat::gcd_u128;
 use crate::{BlockSpace, MeasureError, Rat};
@@ -71,6 +85,98 @@ pub struct DenseKernel {
 #[inline]
 fn word_at(words: &[u64], i: usize) -> u64 {
     words.get(i).copied().unwrap_or(0)
+}
+
+/// Scans one block trace against the queried set's words, 4×u64 wide
+/// with a scalar tail: `(inside, touched)`. `base` is the global word
+/// index of `trace[0]`. Exits as soon as both answers are determined.
+/// Zero trace words contribute nothing, so the wide loop needs no
+/// per-word skip to stay bit-identical to the narrow scan.
+#[inline]
+fn scan_trace(trace: &[u64], words: &[u64], base: usize) -> (bool, bool) {
+    let mut inside = true;
+    let mut touched = false;
+    let mut chunks = trace.chunks_exact(4);
+    let mut k = base;
+    for t in &mut chunks {
+        let h0 = t[0] & word_at(words, k);
+        let h1 = t[1] & word_at(words, k + 1);
+        let h2 = t[2] & word_at(words, k + 2);
+        let h3 = t[3] & word_at(words, k + 3);
+        if h0 | h1 | h2 | h3 != 0 {
+            touched = true;
+        }
+        if (h0 ^ t[0]) | (h1 ^ t[1]) | (h2 ^ t[2]) | (h3 ^ t[3]) != 0 {
+            inside = false;
+        }
+        if !inside && touched {
+            return (false, true);
+        }
+        k += 4;
+    }
+    for &t in chunks.remainder() {
+        let h = t & word_at(words, k);
+        if h != 0 {
+            touched = true;
+        }
+        if h != t {
+            inside = false;
+        }
+        if !inside && touched {
+            return (false, true);
+        }
+        k += 1;
+    }
+    (inside, touched)
+}
+
+/// Whether the trace is a subset of the queried words (`t & w == t`
+/// everywhere), 4×u64 wide.
+#[inline]
+fn trace_subset(trace: &[u64], words: &[u64], base: usize) -> bool {
+    let mut chunks = trace.chunks_exact(4);
+    let mut k = base;
+    for t in &mut chunks {
+        let m0 = t[0] & !word_at(words, k);
+        let m1 = t[1] & !word_at(words, k + 1);
+        let m2 = t[2] & !word_at(words, k + 2);
+        let m3 = t[3] & !word_at(words, k + 3);
+        if m0 | m1 | m2 | m3 != 0 {
+            return false;
+        }
+        k += 4;
+    }
+    for &t in chunks.remainder() {
+        if t & !word_at(words, k) != 0 {
+            return false;
+        }
+        k += 1;
+    }
+    true
+}
+
+/// Whether the trace meets the queried words anywhere, 4×u64 wide.
+#[inline]
+fn trace_touches(trace: &[u64], words: &[u64], base: usize) -> bool {
+    let mut chunks = trace.chunks_exact(4);
+    let mut k = base;
+    for t in &mut chunks {
+        let h0 = t[0] & word_at(words, k);
+        let h1 = t[1] & word_at(words, k + 1);
+        let h2 = t[2] & word_at(words, k + 2);
+        let h3 = t[3] & word_at(words, k + 3);
+        if h0 | h1 | h2 | h3 != 0 {
+            return true;
+        }
+        k += 4;
+    }
+    for &t in chunks.remainder() {
+        if t & word_at(words, k) != 0 {
+            return true;
+        }
+        k += 1;
+    }
+    false
 }
 
 impl DenseKernel {
@@ -200,30 +306,30 @@ impl DenseKernel {
         )
     }
 
-    /// Scans block `b` against the set's words: `(inside, touched)`.
-    /// Zero trace words are skipped; the scan exits as soon as both
-    /// answers are determined.
+    /// Scans block `b` against the set's words: `(inside, touched)`,
+    /// via the 4×u64-wide [`scan_trace`] over the block's non-zero
+    /// word sub-range.
     #[inline]
     fn scan(&self, b: usize, words: &[u64]) -> (bool, bool) {
         let (lo, trace) = self.trace_of(b);
-        let mut inside = true;
-        let mut touched = false;
-        for (k, &t) in trace.iter().enumerate() {
-            if t == 0 {
-                continue;
+        scan_trace(trace, words, self.first_word + lo)
+    }
+
+    /// Whether block `b` cannot intersect a set whose non-zero words
+    /// all lie in the global word range `hint` (a
+    /// [`crate::MemberSet::member_footprint`]). For such a block the
+    /// scan answer is `(false, false)` by construction — every trace is
+    /// non-empty, and the set is zero across all of it — so queries
+    /// skip the scan entirely.
+    #[inline]
+    fn block_misses(&self, b: usize, hint: Option<(usize, usize)>) -> bool {
+        match hint {
+            Some((qlo, qhi)) => {
+                let (lo, hi) = self.block_span[b];
+                self.first_word + (hi as usize) <= qlo || self.first_word + (lo as usize) >= qhi
             }
-            let hit = t & word_at(words, self.first_word + lo + k);
-            if hit != 0 {
-                touched = true;
-            }
-            if hit != t {
-                inside = false;
-            }
-            if !inside && touched {
-                break;
-            }
+            None => false,
         }
-        (inside, touched)
     }
 
     /// Trace hook shared by the five query entry points: one query
@@ -243,6 +349,14 @@ impl DenseKernel {
         Rat::new(num as i128, self.total_num as i128)
     }
 
+    /// Books the wide-scan block tally for one finished query: how many
+    /// block traces the 4×u64 scan actually walked (skipped blocks are
+    /// not counted — the gap below `block_count` is the footprint win).
+    #[inline]
+    fn trace_scanned(scanned: u64) {
+        kpa_trace::count!("measure.wide_blocks", scanned);
+    }
+
     /// Word-wise [`BlockSpace::measure`]: single fused pass with early
     /// exit at the first straddling block.
     ///
@@ -251,53 +365,92 @@ impl DenseKernel {
     /// Returns [`MeasureError::NonMeasurable`] exactly when the generic
     /// path would.
     pub fn measure_words(&self, words: &[u64]) -> Result<Rat, MeasureError> {
+        self.measure_words_in(words, None)
+    }
+
+    /// [`DenseKernel::measure_words`] with a set-footprint hint: blocks
+    /// whose word span misses `hint` are skipped unscanned (they cannot
+    /// meet the set, so they neither count nor straddle).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeasureError::NonMeasurable`] exactly when the generic
+    /// path would.
+    pub fn measure_words_in(
+        &self,
+        words: &[u64],
+        hint: Option<(usize, usize)>,
+    ) -> Result<Rat, MeasureError> {
         self.trace_query();
         let mut num: u128 = 0;
+        let mut scanned = 0u64;
         for b in 0..self.block_count() {
+            if self.block_misses(b, hint) {
+                continue;
+            }
+            scanned += 1;
             let (inside, touched) = self.scan(b, words);
             if touched && !inside {
+                Self::trace_scanned(scanned);
                 return Err(MeasureError::NonMeasurable);
             }
             if inside {
                 num += self.weight_num[b];
             }
         }
+        Self::trace_scanned(scanned);
         Ok(self.ratio(num))
     }
 
     /// Word-wise [`BlockSpace::inner_measure`].
     #[must_use]
     pub fn inner_measure_words(&self, words: &[u64]) -> Rat {
+        self.inner_measure_words_in(words, None)
+    }
+
+    /// [`DenseKernel::inner_measure_words`] with a set-footprint hint.
+    #[must_use]
+    pub fn inner_measure_words_in(&self, words: &[u64], hint: Option<(usize, usize)>) -> Rat {
         self.trace_query();
         let mut num: u128 = 0;
+        let mut scanned = 0u64;
         for b in 0..self.block_count() {
+            if self.block_misses(b, hint) {
+                continue;
+            }
+            scanned += 1;
             let (lo, trace) = self.trace_of(b);
-            if trace
-                .iter()
-                .enumerate()
-                .all(|(k, &t)| t & word_at(words, self.first_word + lo + k) == t)
-            {
+            if trace_subset(trace, words, self.first_word + lo) {
                 num += self.weight_num[b];
             }
         }
+        Self::trace_scanned(scanned);
         self.ratio(num)
     }
 
     /// Word-wise [`BlockSpace::outer_measure`].
     #[must_use]
     pub fn outer_measure_words(&self, words: &[u64]) -> Rat {
+        self.outer_measure_words_in(words, None)
+    }
+
+    /// [`DenseKernel::outer_measure_words`] with a set-footprint hint.
+    #[must_use]
+    pub fn outer_measure_words_in(&self, words: &[u64], hint: Option<(usize, usize)>) -> Rat {
         self.trace_query();
         let mut num: u128 = 0;
+        let mut scanned = 0u64;
         for b in 0..self.block_count() {
+            if self.block_misses(b, hint) {
+                continue;
+            }
+            scanned += 1;
             let (lo, trace) = self.trace_of(b);
-            if trace
-                .iter()
-                .enumerate()
-                .any(|(k, &t)| t & word_at(words, self.first_word + lo + k) != 0)
-            {
+            if trace_touches(trace, words, self.first_word + lo) {
                 num += self.weight_num[b];
             }
         }
+        Self::trace_scanned(scanned);
         self.ratio(num)
     }
 
@@ -305,10 +458,26 @@ impl DenseKernel {
     /// the traces accumulates both bounds.
     #[must_use]
     pub fn measure_interval_words(&self, words: &[u64]) -> (Rat, Rat) {
+        self.measure_interval_words_in(words, None)
+    }
+
+    /// [`DenseKernel::measure_interval_words`] with a set-footprint
+    /// hint.
+    #[must_use]
+    pub fn measure_interval_words_in(
+        &self,
+        words: &[u64],
+        hint: Option<(usize, usize)>,
+    ) -> (Rat, Rat) {
         self.trace_query();
         let mut lo: u128 = 0;
         let mut hi: u128 = 0;
+        let mut scanned = 0u64;
         for b in 0..self.block_count() {
+            if self.block_misses(b, hint) {
+                continue;
+            }
+            scanned += 1;
             let (inside, touched) = self.scan(b, words);
             if inside {
                 lo += self.weight_num[b];
@@ -317,17 +486,37 @@ impl DenseKernel {
                 hi += self.weight_num[b];
             }
         }
+        Self::trace_scanned(scanned);
         (self.ratio(lo), self.ratio(hi))
     }
 
     /// Word-wise [`BlockSpace::is_measurable`].
     #[must_use]
     pub fn is_measurable_words(&self, words: &[u64]) -> bool {
+        self.is_measurable_words_in(words, None)
+    }
+
+    /// [`DenseKernel::is_measurable_words`] with a set-footprint hint.
+    /// Skipped blocks are vacuously clean: `(false, false)` scans are
+    /// measurable.
+    #[must_use]
+    pub fn is_measurable_words_in(&self, words: &[u64], hint: Option<(usize, usize)>) -> bool {
         self.trace_query();
-        (0..self.block_count()).all(|b| {
+        let mut scanned = 0u64;
+        let mut ok = true;
+        for b in 0..self.block_count() {
+            if self.block_misses(b, hint) {
+                continue;
+            }
+            scanned += 1;
             let (inside, touched) = self.scan(b, words);
-            inside == touched
-        })
+            if inside != touched {
+                ok = false;
+                break;
+            }
+        }
+        Self::trace_scanned(scanned);
+        ok
     }
 }
 
@@ -442,6 +631,50 @@ mod tests {
         .unwrap();
         assert_eq!(space.total_weight(), Rat::new(b + 1, b));
         assert!(DenseKernel::from_space(&space, |&e| Some(e as usize)).is_none());
+    }
+
+    #[test]
+    fn footprint_hints_preserve_every_answer() {
+        let (_, kernel) = two_toss();
+        for mask in 0u32..256 {
+            let set: BTreeSet<u32> = (0..8).filter(|i| mask & (1 << i) != 0).collect();
+            let words = words_of(&set);
+            // The exact footprint of the words, plus a deliberately
+            // loose one: both must leave every answer unchanged.
+            let exact = match words.iter().position(|&w| w != 0) {
+                None => (0, 0),
+                Some(l) => (l, words.iter().rposition(|&w| w != 0).unwrap() + 1),
+            };
+            for hint in [Some(exact), Some((0, 1000)), None] {
+                assert_eq!(
+                    kernel.measure_words_in(&words, hint),
+                    kernel.measure_words(&words)
+                );
+                assert_eq!(
+                    kernel.inner_measure_words_in(&words, hint),
+                    kernel.inner_measure_words(&words)
+                );
+                assert_eq!(
+                    kernel.outer_measure_words_in(&words, hint),
+                    kernel.outer_measure_words(&words)
+                );
+                assert_eq!(
+                    kernel.measure_interval_words_in(&words, hint),
+                    kernel.measure_interval_words(&words)
+                );
+                assert_eq!(
+                    kernel.is_measurable_words_in(&words, hint),
+                    kernel.is_measurable_words(&words)
+                );
+            }
+        }
+        // A hint disjoint from the whole span skips every block: the
+        // set (whatever lies inside the hint) cannot meet the sample.
+        assert_eq!(
+            kernel.measure_words_in(&[0, 0, 0, 1], Some((3, 4))),
+            Ok(Rat::ZERO)
+        );
+        assert!(kernel.is_measurable_words_in(&[0, 0, 0, 1], Some((3, 4))));
     }
 
     #[test]

@@ -33,6 +33,17 @@ pub trait MemberSet<E> {
     fn member_words(&self) -> Option<&[u64]> {
         None
     }
+
+    /// A conservative half-open *word* range `[lo, hi)` covering every
+    /// non-zero word of [`MemberSet::member_words`], if the set tracks
+    /// one. Words outside the range are guaranteed zero; words inside
+    /// it may still be zero (the range is an over-approximation). The
+    /// dense measure kernel uses this as a block-skip hint: blocks
+    /// whose word span misses the range cannot intersect the set.
+    /// Meaningless without `member_words`; the `None` default opts out.
+    fn member_footprint(&self) -> Option<(usize, usize)> {
+        None
+    }
 }
 
 impl<E: Ord> MemberSet<E> for BTreeSet<E> {
@@ -54,6 +65,10 @@ impl<E, M: MemberSet<E> + ?Sized> MemberSet<E> for &M {
 
     fn member_words(&self) -> Option<&[u64]> {
         (**self).member_words()
+    }
+
+    fn member_footprint(&self) -> Option<(usize, usize)> {
+        (**self).member_footprint()
     }
 }
 

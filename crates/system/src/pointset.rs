@@ -17,6 +17,25 @@
 //! *is* ascending [`PointId`] order (tree, run, time) — so switching
 //! from ordered reference sets changes no observable ordering.
 //!
+//! Two refinements make the kernel scale to million-point universes:
+//!
+//! * **Footprints.** Each set carries a conservative half-open word
+//!   range `[fp_lo, fp_hi)`; every word outside it is guaranteed zero
+//!   (words inside may be zero too — the range only ever
+//!   over-approximates). A local-state equivalence class of a
+//!   10⁶-point system touches a handful of words; with footprints a
+//!   `knows_set` sweep over thousands of such classes costs the sum of
+//!   the class footprints rather than classes × universe words. Words
+//!   proven-skippable this way are counted in the
+//!   `system.footprint_skipped_words` trace counter.
+//! * **Wide strides.** The bulk loops (union/intersect/difference/
+//!   popcount/subset/disjoint) process words in 4×u64 chunks with a
+//!   scalar tail — plain Rust the autovectorizer turns into SIMD where
+//!   available, bit-identical to word-at-a-time by construction. The
+//!   scalar full-span originals survive as the `narrow_*` reference
+//!   methods, which the differential tests and the scale-ladder bench
+//!   pin the wide path against.
+//!
 //! [`PointIndex`] is the immutable description of one system's layout,
 //! shared by `Arc` among all the [`PointSet`]s over that system.
 //! Temporal structure is linear in the layout too: the time-successor
@@ -187,16 +206,152 @@ impl PointIndex {
     }
 }
 
+/// The 4×u64 wide word loops: plain chunked Rust the autovectorizer
+/// widens to SIMD where the target allows, bit-identical to the
+/// word-at-a-time equivalents by construction (same words, same ops,
+/// same order of side effects — only the loop shape differs).
+mod wide {
+    /// `dst |= src`, wordwise.
+    pub fn or_assign(dst: &mut [u64], src: &[u64]) {
+        let mut d = dst.chunks_exact_mut(4);
+        let mut s = src.chunks_exact(4);
+        for (a, b) in (&mut d).zip(&mut s) {
+            a[0] |= b[0];
+            a[1] |= b[1];
+            a[2] |= b[2];
+            a[3] |= b[3];
+        }
+        for (a, b) in d.into_remainder().iter_mut().zip(s.remainder()) {
+            *a |= b;
+        }
+    }
+
+    /// `dst &= src`, wordwise.
+    pub fn and_assign(dst: &mut [u64], src: &[u64]) {
+        let mut d = dst.chunks_exact_mut(4);
+        let mut s = src.chunks_exact(4);
+        for (a, b) in (&mut d).zip(&mut s) {
+            a[0] &= b[0];
+            a[1] &= b[1];
+            a[2] &= b[2];
+            a[3] &= b[3];
+        }
+        for (a, b) in d.into_remainder().iter_mut().zip(s.remainder()) {
+            *a &= b;
+        }
+    }
+
+    /// `dst &= !src`, wordwise.
+    pub fn andnot_assign(dst: &mut [u64], src: &[u64]) {
+        let mut d = dst.chunks_exact_mut(4);
+        let mut s = src.chunks_exact(4);
+        for (a, b) in (&mut d).zip(&mut s) {
+            a[0] &= !b[0];
+            a[1] &= !b[1];
+            a[2] &= !b[2];
+            a[3] &= !b[3];
+        }
+        for (a, b) in d.into_remainder().iter_mut().zip(s.remainder()) {
+            *a &= !b;
+        }
+    }
+
+    /// Popcount of a word slice.
+    pub fn popcount(words: &[u64]) -> usize {
+        let mut c = words.chunks_exact(4);
+        let mut n = 0usize;
+        for w in &mut c {
+            n += (w[0].count_ones() + w[1].count_ones() + w[2].count_ones() + w[3].count_ones())
+                as usize;
+        }
+        for w in c.remainder() {
+            n += w.count_ones() as usize;
+        }
+        n
+    }
+
+    /// Popcount of `a & b`, wordwise.
+    pub fn and_popcount(a: &[u64], b: &[u64]) -> usize {
+        let mut ca = a.chunks_exact(4);
+        let mut cb = b.chunks_exact(4);
+        let mut n = 0usize;
+        for (x, y) in (&mut ca).zip(&mut cb) {
+            n += ((x[0] & y[0]).count_ones()
+                + (x[1] & y[1]).count_ones()
+                + (x[2] & y[2]).count_ones()
+                + (x[3] & y[3]).count_ones()) as usize;
+        }
+        for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+            n += (x & y).count_ones() as usize;
+        }
+        n
+    }
+
+    /// Whether `a & !b == 0` over the slices (subset test).
+    pub fn subset(a: &[u64], b: &[u64]) -> bool {
+        let mut ca = a.chunks_exact(4);
+        let mut cb = b.chunks_exact(4);
+        for (x, y) in (&mut ca).zip(&mut cb) {
+            if (x[0] & !y[0]) | (x[1] & !y[1]) | (x[2] & !y[2]) | (x[3] & !y[3]) != 0 {
+                return false;
+            }
+        }
+        ca.remainder()
+            .iter()
+            .zip(cb.remainder())
+            .all(|(x, y)| x & !y == 0)
+    }
+
+    /// Whether `a & b == 0` over the slices (disjointness test).
+    pub fn disjoint(a: &[u64], b: &[u64]) -> bool {
+        let mut ca = a.chunks_exact(4);
+        let mut cb = b.chunks_exact(4);
+        for (x, y) in (&mut ca).zip(&mut cb) {
+            if (x[0] & y[0]) | (x[1] & y[1]) | (x[2] & y[2]) | (x[3] & y[3]) != 0 {
+                return false;
+            }
+        }
+        ca.remainder()
+            .iter()
+            .zip(cb.remainder())
+            .all(|(x, y)| x & y == 0)
+    }
+
+    /// Whether any word is non-zero.
+    pub fn any(words: &[u64]) -> bool {
+        let mut c = words.chunks_exact(4);
+        for w in &mut c {
+            if w[0] | w[1] | w[2] | w[3] != 0 {
+                return true;
+            }
+        }
+        c.remainder().iter().any(|&w| w != 0)
+    }
+}
+
+/// Bumps the footprint-skip counter: a bulk op over a universe of
+/// `total` words only had to touch `touched` of them.
+#[inline]
+fn note_skipped(total: usize, touched: usize) {
+    kpa_trace::count!("system.footprint_skipped_words", (total - touched) as u64);
+}
+
 /// A dense bitset over one system's points — the workspace's lattice
 /// element for every knowledge/probability query.
 ///
 /// Cheap to clone relative to ordered sets (one `Vec<u64>` memcpy plus
-/// an `Arc` bump); all binary operations are word-wise loops.
+/// an `Arc` bump); all binary operations are 4×u64-wide word loops
+/// restricted to the operands' footprints (see the module docs).
 /// Iteration yields points in ascending `(tree, run, time)` order.
 #[derive(Debug, Clone)]
 pub struct PointSet {
     index: Arc<PointIndex>,
     words: Vec<u64>,
+    /// Conservative footprint: every word outside `[fp_lo, fp_hi)` is
+    /// zero. `(0, 0)` when the set is known empty. Never observable in
+    /// equality/hash — two equal sets may carry different footprints.
+    fp_lo: usize,
+    fp_hi: usize,
 }
 
 impl PointSet {
@@ -207,6 +362,8 @@ impl PointSet {
         PointSet {
             index,
             words: vec![0; words],
+            fp_lo: 0,
+            fp_hi: 0,
         }
     }
 
@@ -218,7 +375,12 @@ impl PointSet {
         if let Some(last) = words.last_mut() {
             *last = index.tail_mask();
         }
-        PointSet { index, words }
+        PointSet {
+            index,
+            words,
+            fp_lo: 0,
+            fp_hi: n,
+        }
     }
 
     /// The set of the given points over a universe.
@@ -239,16 +401,64 @@ impl PointSet {
         &self.index
     }
 
-    /// The number of points in the set (a popcount sweep).
+    /// Normalizes and installs a footprint (empty ranges collapse to
+    /// `(0, 0)`).
+    #[inline]
+    fn set_fp(&mut self, lo: usize, hi: usize) {
+        if lo < hi {
+            self.fp_lo = lo;
+            self.fp_hi = hi;
+        } else {
+            self.fp_lo = 0;
+            self.fp_hi = 0;
+        }
+    }
+
+    /// The conservative footprint `[lo, hi)` in *words*: every word
+    /// outside the range is zero. `(0, 0)` for known-empty sets. The
+    /// range may be loose — in-place removals never shrink it.
+    #[must_use]
+    pub fn footprint(&self) -> (usize, usize) {
+        (self.fp_lo, self.fp_hi)
+    }
+
+    /// Whether the footprint invariant holds: every word outside
+    /// `footprint()` is zero. Test/debug aid; `true` for every set the
+    /// public API can produce.
+    #[must_use]
+    pub fn footprint_is_valid(&self) -> bool {
+        !wide::any(&self.words[..self.fp_lo]) && !wide::any(&self.words[self.fp_hi..])
+    }
+
+    /// Shrinks the footprint to the exact first/last non-zero word (a
+    /// full-range scan; useful before a long-lived set fans out into
+    /// many sweeps).
+    pub fn tighten_footprint(&mut self) {
+        let lo = (self.fp_lo..self.fp_hi).find(|&k| self.words[k] != 0);
+        match lo {
+            None => self.set_fp(0, 0),
+            Some(lo) => {
+                let hi = (lo..self.fp_hi)
+                    .rev()
+                    .find(|&k| self.words[k] != 0)
+                    .unwrap()
+                    + 1;
+                self.set_fp(lo, hi);
+            }
+        }
+    }
+
+    /// The number of points in the set (a popcount sweep over the
+    /// footprint).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        wide::popcount(&self.words[self.fp_lo..self.fp_hi])
     }
 
     /// Whether the set is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        !wide::any(&self.words[self.fp_lo..self.fp_hi])
     }
 
     /// Whether the point belongs to the set. Accepts `PointId` or
@@ -268,14 +478,23 @@ impl PointSet {
     /// Panics if the point lies outside the universe.
     pub fn insert(&mut self, p: PointId) -> bool {
         let i = self.index.index_of(p);
-        let w = &mut self.words[i / 64];
+        let k = i / 64;
+        let w = &mut self.words[k];
         let bit = 1u64 << (i % 64);
         let fresh = *w & bit == 0;
         *w |= bit;
+        if self.fp_lo >= self.fp_hi {
+            self.fp_lo = k;
+            self.fp_hi = k + 1;
+        } else {
+            self.fp_lo = self.fp_lo.min(k);
+            self.fp_hi = self.fp_hi.max(k + 1);
+        }
         fresh
     }
 
-    /// Removes a point; returns whether it was present.
+    /// Removes a point; returns whether it was present. (The footprint
+    /// stays put — it is conservative, never exact.)
     pub fn remove<P: Borrow<PointId>>(&mut self, p: P) -> bool {
         match self.index.try_index_of(*p.borrow()) {
             Some(i) => {
@@ -291,7 +510,9 @@ impl PointSet {
 
     /// Removes every point.
     pub fn clear(&mut self) {
-        self.words.fill(0);
+        note_skipped(self.words.len(), self.fp_hi - self.fp_lo);
+        self.words[self.fp_lo..self.fp_hi].fill(0);
+        self.set_fp(0, 0);
     }
 
     fn check_same_universe(&self, other: &PointSet) {
@@ -301,39 +522,63 @@ impl PointSet {
         );
     }
 
-    /// In-place union.
+    /// In-place union. Touches only `other`'s footprint.
     ///
     /// # Panics
     ///
     /// Panics if the sets live over different universes.
     pub fn union_with(&mut self, other: &PointSet) {
         self.check_same_universe(other);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
+        let (blo, bhi) = (other.fp_lo, other.fp_hi);
+        note_skipped(self.words.len(), bhi - blo);
+        wide::or_assign(&mut self.words[blo..bhi], &other.words[blo..bhi]);
+        if blo < bhi {
+            if self.fp_lo >= self.fp_hi {
+                self.set_fp(blo, bhi);
+            } else {
+                self.set_fp(self.fp_lo.min(blo), self.fp_hi.max(bhi));
+            }
         }
     }
 
-    /// In-place intersection.
+    /// In-place intersection. Touches only `self`'s footprint: the
+    /// result can be non-zero only where both footprints overlap, so
+    /// words of `self` outside the overlap are zeroed and the rest are
+    /// ANDed.
     ///
     /// # Panics
     ///
     /// Panics if the sets live over different universes.
     pub fn intersect_with(&mut self, other: &PointSet) {
         self.check_same_universe(other);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= b;
+        let (alo, ahi) = (self.fp_lo, self.fp_hi);
+        note_skipped(self.words.len(), ahi - alo);
+        let lo = alo.max(other.fp_lo);
+        let hi = ahi.min(other.fp_hi);
+        if lo >= hi {
+            self.words[alo..ahi].fill(0);
+            self.set_fp(0, 0);
+            return;
         }
+        self.words[alo..lo].fill(0);
+        self.words[hi..ahi].fill(0);
+        wide::and_assign(&mut self.words[lo..hi], &other.words[lo..hi]);
+        self.set_fp(lo, hi);
     }
 
-    /// In-place difference (`self \ other`).
+    /// In-place difference (`self \ other`). Touches only the overlap
+    /// of the two footprints; `self`'s footprint is unchanged.
     ///
     /// # Panics
     ///
     /// Panics if the sets live over different universes.
     pub fn difference_with(&mut self, other: &PointSet) {
         self.check_same_universe(other);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= !b;
+        let lo = self.fp_lo.max(other.fp_lo);
+        let hi = self.fp_hi.min(other.fp_hi);
+        note_skipped(self.words.len(), hi.saturating_sub(lo));
+        if lo < hi {
+            wide::andnot_assign(&mut self.words[lo..hi], &other.words[lo..hi]);
         }
     }
 
@@ -373,20 +618,28 @@ impl PointSet {
         out
     }
 
-    /// The complement within the universe.
+    /// The complement within the universe. (A full-span op by nature:
+    /// the result is dense wherever `self` was sparse.)
     #[must_use]
     pub fn complement(&self) -> PointSet {
         let mut words: Vec<u64> = self.words.iter().map(|w| !w).collect();
         if let Some(last) = words.last_mut() {
             *last &= self.index.tail_mask();
         }
-        PointSet {
+        let n = words.len();
+        let mut out = PointSet {
             index: Arc::clone(&self.index),
             words,
-        }
+            fp_lo: 0,
+            fp_hi: 0,
+        };
+        out.set_fp(0, n);
+        out
     }
 
-    /// Whether every point of `self` belongs to `other`.
+    /// Whether every point of `self` belongs to `other`. Only `self`'s
+    /// footprint needs checking: outside it `self` is zero, and zero is
+    /// a subset of anything.
     ///
     /// # Panics
     ///
@@ -394,10 +647,9 @@ impl PointSet {
     #[must_use]
     pub fn is_subset(&self, other: &PointSet) -> bool {
         self.check_same_universe(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & !b == 0)
+        let (lo, hi) = (self.fp_lo, self.fp_hi);
+        note_skipped(self.words.len(), hi - lo);
+        wide::subset(&self.words[lo..hi], &other.words[lo..hi])
     }
 
     /// Whether every point of `other` belongs to `self`.
@@ -410,7 +662,8 @@ impl PointSet {
         other.is_subset(self)
     }
 
-    /// Whether the sets share no point.
+    /// Whether the sets share no point. Only the footprint overlap can
+    /// host a common point.
     ///
     /// # Panics
     ///
@@ -418,7 +671,10 @@ impl PointSet {
     #[must_use]
     pub fn is_disjoint(&self, other: &PointSet) -> bool {
         self.check_same_universe(other);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+        let lo = self.fp_lo.max(other.fp_lo);
+        let hi = self.fp_hi.min(other.fp_hi);
+        note_skipped(self.words.len(), hi.saturating_sub(lo));
+        lo >= hi || wide::disjoint(&self.words[lo..hi], &other.words[lo..hi])
     }
 
     /// The number of points in `self ∩ other` without materializing it.
@@ -429,11 +685,14 @@ impl PointSet {
     #[must_use]
     pub fn intersection_len(&self, other: &PointSet) -> usize {
         self.check_same_universe(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        let lo = self.fp_lo.max(other.fp_lo);
+        let hi = self.fp_hi.min(other.fp_hi);
+        note_skipped(self.words.len(), hi.saturating_sub(lo));
+        if lo >= hi {
+            0
+        } else {
+            wide::and_popcount(&self.words[lo..hi], &other.words[lo..hi])
+        }
     }
 
     /// The set of points whose immediate time-successor (same run, time
@@ -442,28 +701,39 @@ impl PointSet {
     /// this shifts every word down by one (borrowing the low bit of the
     /// next word) and masks off the horizon slots, where the shift
     /// would otherwise smuggle in the first bit of the *next run*.
+    /// Output word `k` draws on input words `k` and `k + 1`, so only
+    /// `[fp_lo - 1, fp_hi)` can be non-zero and the rest stays skipped.
     #[must_use]
     pub fn precursors(&self) -> PointSet {
         let n = self.words.len();
         let mut words = vec![0u64; n];
-        for (k, w) in words.iter_mut().enumerate() {
-            let hi = if k + 1 < n {
+        let lo = self.fp_lo.saturating_sub(1);
+        let hi = self.fp_hi;
+        note_skipped(n, hi - lo);
+        for (k, w) in words[lo..hi].iter_mut().enumerate() {
+            let k = k + lo;
+            let hi_bit = if k + 1 < n {
                 self.words[k + 1] << 63
             } else {
                 0
             };
-            *w = (self.words[k] >> 1 | hi) & self.index.interior[k];
+            *w = (self.words[k] >> 1 | hi_bit) & self.index.interior[k];
         }
-        PointSet {
+        let mut out = PointSet {
             index: Arc::clone(&self.index),
             words,
-        }
+            fp_lo: 0,
+            fp_hi: 0,
+        };
+        out.set_fp(lo, hi);
+        out
     }
 
     /// The smallest point of the set, if any.
     #[must_use]
     pub fn first(&self) -> Option<PointId> {
-        for (k, &w) in self.words.iter().enumerate() {
+        for k in self.fp_lo..self.fp_hi {
+            let w = self.words[k];
             if w != 0 {
                 return Some(self.index.point_at(k * 64 + w.trailing_zeros() as usize));
             }
@@ -471,9 +741,11 @@ impl PointSet {
         None
     }
 
-    /// Keeps only the points satisfying the predicate.
+    /// Keeps only the points satisfying the predicate. (Only footprint
+    /// words can hold points; the footprint itself stays put.)
     pub fn retain(&mut self, mut pred: impl FnMut(PointId) -> bool) {
-        for k in 0..self.words.len() {
+        note_skipped(self.words.len(), self.fp_hi - self.fp_lo);
+        for k in self.fp_lo..self.fp_hi {
             let mut w = self.words[k];
             while w != 0 {
                 let bit = w & w.wrapping_neg();
@@ -491,8 +763,8 @@ impl PointSet {
     pub fn iter(&self) -> Iter<'_> {
         Iter {
             set: self,
-            word: 0,
-            bits: self.words.first().copied().unwrap_or(0),
+            word: self.fp_lo,
+            bits: self.words.get(self.fp_lo).copied().unwrap_or(0),
         }
     }
 
@@ -500,6 +772,96 @@ impl PointSet {
     #[must_use]
     pub fn as_words(&self) -> &[u64] {
         &self.words
+    }
+}
+
+/// The narrow reference path: the scalar, full-span loops the wide
+/// footprint-skipping kernel replaced, kept as the pinning oracle.
+/// The differential tests assert bit-identical results against these,
+/// and the scale-ladder bench times wide-vs-narrow per rung (the
+/// `ladder_wide_vs_narrow_1e6` gate). Mutating narrow ops install the
+/// conservative full-span footprint, so mixing narrow and wide calls
+/// on one set stays sound.
+impl PointSet {
+    /// Full-span scalar union (reference for [`PointSet::union_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets live over different universes.
+    pub fn narrow_union_with(&mut self, other: &PointSet) {
+        self.check_same_universe(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+        let n = self.words.len();
+        self.set_fp(0, n);
+    }
+
+    /// Full-span scalar intersection (reference for
+    /// [`PointSet::intersect_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets live over different universes.
+    pub fn narrow_intersect_with(&mut self, other: &PointSet) {
+        self.check_same_universe(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+        let n = self.words.len();
+        self.set_fp(0, n);
+    }
+
+    /// Full-span scalar difference (reference for
+    /// [`PointSet::difference_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets live over different universes.
+    pub fn narrow_difference_with(&mut self, other: &PointSet) {
+        self.check_same_universe(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+        let n = self.words.len();
+        self.set_fp(0, n);
+    }
+
+    /// Full-span scalar popcount (reference for [`PointSet::len`]).
+    #[must_use]
+    pub fn narrow_len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Full-span scalar subset test (reference for
+    /// [`PointSet::is_subset`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets live over different universes.
+    #[must_use]
+    pub fn narrow_is_subset(&self, other: &PointSet) -> bool {
+        self.check_same_universe(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Full-span scalar intersection count (reference for
+    /// [`PointSet::intersection_len`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets live over different universes.
+    #[must_use]
+    pub fn narrow_intersection_len(&self, other: &PointSet) -> usize {
+        self.check_same_universe(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
     }
 }
 
@@ -515,6 +877,8 @@ impl Default for PointSet {
 
 impl PartialEq for PointSet {
     fn eq(&self, other: &PointSet) -> bool {
+        // Footprints are conservative, not canonical — equal sets may
+        // carry different ranges, so equality reads the words alone.
         (Arc::ptr_eq(&self.index, &other.index) || *self.index == *other.index)
             && self.words == other.words
     }
@@ -563,9 +927,16 @@ impl kpa_measure::MemberSet<PointId> for PointSet {
     fn member_words(&self) -> Option<&[u64]> {
         Some(self.as_words())
     }
+
+    /// The conservative non-zero word range, letting the dense kernel
+    /// skip blocks that cannot intersect the set.
+    fn member_footprint(&self) -> Option<(usize, usize)> {
+        Some((self.fp_lo, self.fp_hi))
+    }
 }
 
-/// Ascending iterator over a [`PointSet`].
+/// Ascending iterator over a [`PointSet`] (word-skipping, bounded by
+/// the set's footprint).
 #[derive(Debug, Clone)]
 pub struct Iter<'a> {
     set: &'a PointSet,
@@ -579,7 +950,7 @@ impl Iterator for Iter<'_> {
     fn next(&mut self) -> Option<PointId> {
         while self.bits == 0 {
             self.word += 1;
-            if self.word >= self.set.words.len() {
+            if self.word >= self.set.fp_hi {
                 return None;
             }
             self.bits = self.set.words[self.word];
@@ -613,7 +984,7 @@ impl Iterator for IntoIter {
     fn next(&mut self) -> Option<PointId> {
         while self.bits == 0 {
             self.word += 1;
-            if self.word >= self.set.words.len() {
+            if self.word >= self.set.fp_hi {
                 return None;
             }
             self.bits = self.set.words[self.word];
@@ -629,10 +1000,11 @@ impl IntoIterator for PointSet {
     type IntoIter = IntoIter;
 
     fn into_iter(self) -> IntoIter {
-        let bits = self.words.first().copied().unwrap_or(0);
+        let word = self.fp_lo;
+        let bits = self.words.get(word).copied().unwrap_or(0);
         IntoIter {
             set: self,
-            word: 0,
+            word,
             bits,
         }
     }
@@ -645,6 +1017,13 @@ mod tests {
     fn idx() -> Arc<PointIndex> {
         // Two trees: 3 runs and 2 runs, horizon 2 (stride 3) → 15 points.
         Arc::new(PointIndex::new(vec![3, 2], 2))
+    }
+
+    /// A universe wide enough for multi-word footprints: 1 tree,
+    /// 40 runs, horizon 9 (stride 10) → 400 points = 7 words (a span
+    /// that is not a multiple of 4, exercising the wide-loop tail).
+    fn wide_idx() -> Arc<PointIndex> {
+        Arc::new(PointIndex::new(vec![40], 9))
     }
 
     fn pt(tree: usize, run: usize, time: usize) -> PointId {
@@ -769,5 +1148,142 @@ mod tests {
         let mut map: HashMap<PointSet, &str> = HashMap::new();
         map.insert(a, "x");
         assert_eq!(map.get(&b), Some(&"x"));
+    }
+
+    // ---- footprint invariants -------------------------------------
+
+    #[test]
+    fn footprints_track_every_operation() {
+        let ix = wide_idx();
+        let empty = PointSet::empty(Arc::clone(&ix));
+        assert_eq!(empty.footprint(), (0, 0));
+        assert!(empty.footprint_is_valid());
+        let full = PointSet::full(Arc::clone(&ix));
+        assert_eq!(full.footprint(), (0, 7));
+        assert!(full.footprint_is_valid());
+
+        // A narrow set near the top of the universe: run 39, index
+        // 390..400 → words 6 only.
+        let mut hi = PointSet::empty(Arc::clone(&ix));
+        hi.insert(pt(0, 39, 5));
+        assert_eq!(hi.footprint(), (6, 7));
+        // One near the bottom: word 0.
+        let mut lo = PointSet::empty(Arc::clone(&ix));
+        lo.insert(pt(0, 0, 3));
+        assert_eq!(lo.footprint(), (0, 1));
+
+        // Union merges footprints; intersection of disjoint ranges
+        // collapses to the canonical empty footprint.
+        let mut u = lo.clone();
+        u.union_with(&hi);
+        assert_eq!(u.footprint(), (0, 7));
+        assert!(u.footprint_is_valid());
+        assert_eq!(u.len(), 2);
+        let mut i = lo.clone();
+        i.intersect_with(&hi);
+        assert!(i.is_empty());
+        assert_eq!(i.footprint(), (0, 0));
+        assert!(i.footprint_is_valid());
+
+        // tighten_footprint recovers the exact range after widening.
+        u.tighten_footprint();
+        assert_eq!(u.footprint(), (0, 7));
+        let mut loose = full.clone();
+        loose.intersect_with(&hi);
+        loose.tighten_footprint();
+        assert_eq!(loose.footprint(), (6, 7));
+
+        // clear resets to the canonical empty footprint.
+        let mut c = u.clone();
+        c.clear();
+        assert_eq!(c.footprint(), (0, 0));
+        assert!(c.is_empty() && c.footprint_is_valid());
+    }
+
+    #[test]
+    fn stale_footprints_stay_conservative() {
+        let ix = wide_idx();
+        // Build a set spanning words 0..7, then remove the extremes:
+        // the footprint must not shrink (staleness) but every query
+        // must still agree with the narrow reference.
+        let mut s = PointSet::empty(Arc::clone(&ix));
+        s.insert(pt(0, 0, 0));
+        s.insert(pt(0, 20, 5));
+        s.insert(pt(0, 39, 9));
+        assert_eq!(s.footprint(), (0, 7));
+        s.remove(pt(0, 0, 0));
+        s.remove(pt(0, 39, 9));
+        assert_eq!(s.footprint(), (0, 7), "remove never shrinks");
+        assert!(s.footprint_is_valid());
+        assert_eq!(s.len(), s.narrow_len());
+        assert_eq!(s.len(), 1);
+        s.tighten_footprint();
+        assert_eq!(s.footprint(), (3, 4));
+        assert_eq!(s.iter().count(), 1);
+    }
+
+    #[test]
+    fn wide_ops_match_narrow_reference() {
+        let ix = wide_idx();
+        // A deterministic pseudo-random pair of sets (xorshift, fixed
+        // seeds) plus hand-picked extremes.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut a = PointSet::empty(Arc::clone(&ix));
+        let mut b = PointSet::empty(Arc::clone(&ix));
+        for _ in 0..120 {
+            a.insert(ix.point_at((next() % 400) as usize));
+            b.insert(ix.point_at((next() % 400) as usize));
+        }
+        for (wideish, narrowish) in [
+            (a.union(&b), {
+                let mut t = a.clone();
+                t.narrow_union_with(&b);
+                t
+            }),
+            (a.intersection(&b), {
+                let mut t = a.clone();
+                t.narrow_intersect_with(&b);
+                t
+            }),
+            (a.difference(&b), {
+                let mut t = a.clone();
+                t.narrow_difference_with(&b);
+                t
+            }),
+        ] {
+            assert_eq!(wideish, narrowish);
+            assert!(wideish.footprint_is_valid());
+            assert!(narrowish.footprint_is_valid());
+        }
+        assert_eq!(a.len(), a.narrow_len());
+        assert_eq!(a.is_subset(&b), a.narrow_is_subset(&b));
+        assert_eq!(a.intersection_len(&b), a.narrow_intersection_len(&b));
+        let u = a.union(&b);
+        assert!(a.is_subset(&u) && a.narrow_is_subset(&u));
+    }
+
+    #[test]
+    fn narrow_then_wide_composition_is_sound() {
+        let ix = wide_idx();
+        // Narrow ops install the loose full-span footprint; subsequent
+        // wide ops must still be correct.
+        let mut s = PointSet::empty(Arc::clone(&ix));
+        s.insert(pt(0, 10, 0));
+        let mut t = PointSet::empty(Arc::clone(&ix));
+        t.insert(pt(0, 10, 0));
+        t.insert(pt(0, 30, 0));
+        s.narrow_union_with(&t);
+        assert_eq!(s.footprint(), (0, 7));
+        assert!(s.footprint_is_valid());
+        let mut w = s.clone();
+        w.intersect_with(&t);
+        assert_eq!(w, t);
+        assert_eq!(w.len(), 2);
     }
 }

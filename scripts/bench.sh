@@ -1,21 +1,25 @@
 #!/usr/bin/env bash
 # Regenerates BENCH_8.json + TRACE_5.json + BENCH_6.json +
-# BENCH_7.json: the kernel-bench rows (dense PointSet sat evaluator,
-# pool parallel sweep, dense measure kernel, the compiled threshold
-# family, and the batched sample plan) plus the traced pass's counter
-# report, the shared-artifact bench rows (concurrent EvalCtx queries
-# against one Arc<ModelArtifact>, sharded memo vs mutex), and the
-# kpa-serve soak rows (loopback TCP clients, batched wire queries,
-# per-frame latency histogram) — then gates the fresh rows against the
-# committed baselines via scripts/check_bench.py.
+# BENCH_7.json + BENCH_9.json: the kernel-bench rows (dense PointSet
+# sat evaluator, pool parallel sweep, dense measure kernel, the
+# compiled threshold family, and the batched sample plan) plus the
+# traced pass's counter report, the shared-artifact bench rows
+# (concurrent EvalCtx queries against one Arc<ModelArtifact>, sharded
+# memo vs mutex), the kpa-serve soak rows (loopback TCP clients,
+# batched wire queries, per-frame latency histogram), and the size
+# ladder (10^4 -> 10^6 points: wide-vs-narrow set kernels and
+# per-point throughput per rung) — then gates the fresh rows against
+# the committed baselines via scripts/check_bench.py.
 #
-#   ./scripts/bench.sh                 # best-of-3 reps, writes all four JSON files
+#   ./scripts/bench.sh                 # best-of-3 reps, writes all five JSON files
 #   BENCH=1 ./scripts/bench.sh         # longer sweeps (--features bench)
 #   KPA_BENCH8_JSON=out.json ./scripts/bench.sh  # custom kernel bench output path
 #   KPA_BENCH6_JSON=out6.json ./scripts/bench.sh # custom shared bench output path
 #   KPA_BENCH7_JSON=out7.json ./scripts/bench.sh # custom serve soak output path
+#   KPA_BENCH9_JSON=out9.json ./scripts/bench.sh # custom scale ladder output path
 #   KPA_TRACE_JSON=trace.json ./scripts/bench.sh # custom trace output path
 #   KPA_BENCH_CHECK=0 ./scripts/bench.sh         # skip the regression gates
+#   KPA_LADDER_1E7=1 ./scripts/bench.sh          # include the 10^7 ladder rung
 #
 # When KPA_BENCH8_JSON points somewhere other than the committed
 # BENCH_8.json (as CI does), the baseline stays untouched and the gate
@@ -38,16 +42,19 @@ baseline8="$(pwd)/BENCH_8.json"
 trace_baseline="$(pwd)/TRACE_5.json"
 baseline6="$(pwd)/BENCH_6.json"
 baseline7="$(pwd)/BENCH_7.json"
+baseline9="$(pwd)/BENCH_9.json"
 out8="${KPA_BENCH8_JSON:-BENCH_8.json}"
 trace_out="${KPA_TRACE_JSON:-TRACE_5.json}"
 out6="${KPA_BENCH6_JSON:-BENCH_6.json}"
 out7="${KPA_BENCH7_JSON:-BENCH_7.json}"
+out9="${KPA_BENCH9_JSON:-BENCH_9.json}"
 # cargo runs the bench binary from the package directory, so anchor
 # relative paths to the repo root.
 case "${out8}" in /*) ;; *) out8="$(pwd)/${out8}" ;; esac
 case "${trace_out}" in /*) ;; *) trace_out="$(pwd)/${trace_out}" ;; esac
 case "${out6}" in /*) ;; *) out6="$(pwd)/${out6}" ;; esac
 case "${out7}" in /*) ;; *) out7="$(pwd)/${out7}" ;; esac
+case "${out9}" in /*) ;; *) out9="$(pwd)/${out9}" ;; esac
 features=()
 if [[ "${BENCH:-0}" == "1" ]]; then
     features=(--features bench)
@@ -71,6 +78,12 @@ KPA_BENCH_JSON="${out7}" \
     cargo bench -q -p kpa-bench --bench soak --offline "${features[@]}"
 
 echo "serve soak rows written to ${out7}"
+
+echo "==> cargo bench -p kpa-bench --bench ladder --offline (JSON -> ${out9})"
+KPA_BENCH_JSON="${out9}" \
+    cargo bench -q -p kpa-bench --bench ladder --offline "${features[@]}"
+
+echo "scale ladder rows written to ${out9}"
 
 if [[ "${KPA_BENCH_CHECK:-1}" != "1" ]]; then
     echo "KPA_BENCH_CHECK=${KPA_BENCH_CHECK:-1}; skipping regression gates"
@@ -106,5 +119,13 @@ else
         python3 scripts/check_bench.py "${baseline7}" "${out7}"
     else
         echo "no committed baseline at ${baseline7}; skipping serve soak gate"
+    fi
+    if [[ "${out9}" == "${baseline9}" ]]; then
+        echo "scale ladder output is the committed baseline; skipping self-comparison"
+    elif [[ -f "${baseline9}" ]]; then
+        echo "==> python3 scripts/check_bench.py ${baseline9} ${out9}"
+        python3 scripts/check_bench.py "${baseline9}" "${out9}"
+    else
+        echo "no committed baseline at ${baseline9}; skipping scale ladder gate"
     fi
 fi

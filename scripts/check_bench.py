@@ -4,8 +4,9 @@
 Compares a freshly generated ``BENCH_N.json`` against the committed
 baseline and fails (exit 1) when any asserted row regressed by more
 than the tolerance.  Which keys are gated is chosen by the files' own
-``bench`` field (``"kernel"`` for BENCH_8, ``"shared"`` for BENCH_6);
-the two files must agree on it.
+``bench`` field (``"kernel"`` for BENCH_8, ``"shared"`` for BENCH_6,
+``"scale"`` for the BENCH_9 size ladder); the two files must agree on
+it.
 
 The two files are usually produced on *different machines* (the
 committed baseline on a developer box, the fresh run on a CI runner),
@@ -51,9 +52,15 @@ Counter *counts* are host-independent (they are functions of the
 workload, not the clock), so the trace gate is exact where the timing
 gate must tolerate noise.
 
+With ``--selftest`` the gate checks *itself* against synthetic inputs
+-- profile lookup failures must name the offending files, the floor,
+relative, and positivity gates must each fire, and a clean run must
+pass -- so CI proves the gate still fails when it should.
+
 Usage:
     python3 scripts/check_bench.py BASELINE.json FRESH.json [--same-host]
     python3 scripts/check_bench.py --trace TRACE_BASELINE.json TRACE_FRESH.json
+    python3 scripts/check_bench.py --selftest
 """
 
 import json
@@ -113,6 +120,48 @@ PROFILES = {
         },
         "excluded": {"serve_clients4_vs_1"},
     },
+    "scale": {
+        # The BENCH_9 size ladder (10^4 -> 10^6 points, 10^7 opt-in).
+        # Only the 10^6 rung's wide-vs-narrow ratio carries the hard
+        # floor: at a million points the 4xu64 + footprint-skip kernel
+        # must beat the scalar full-span reference by >= 2x, and the
+        # relative gate keeps the committed margin (~400x) from eroding
+        # silently.  The small-rung ratios are the same-host quantity
+        # but their wide passes sit in the low microseconds, where
+        # timer jitter swamps a 30% tolerance -- so they are gated as
+        # presence + positivity only.  The per-point throughputs are
+        # host-dependent absolute rates, positivity-only like
+        # shared_artifact_qps.
+        "asserted": {
+            "ladder_wide_vs_narrow_1e6": 2.0,
+        },
+        "positive": {
+            "ladder_wide_vs_narrow_1e4",
+            "ladder_wide_vs_narrow_1e5",
+            "sat_pts_per_s_1e4",
+            "sat_pts_per_s_1e5",
+            "sat_pts_per_s_1e6",
+            "knows_pts_per_s_1e4",
+            "knows_pts_per_s_1e5",
+            "knows_pts_per_s_1e6",
+            "pr_family_pts_per_s_1e4",
+            "pr_family_pts_per_s_1e5",
+            "pr_family_pts_per_s_1e6",
+            "measure_pts_per_s_1e4",
+            "measure_pts_per_s_1e5",
+            "measure_pts_per_s_1e6",
+        },
+        # The 10^7 rung only runs under KPA_LADDER_1E7=1 (tens of
+        # seconds of build time on the 1-CPU CI runner), so its keys
+        # are recognized but never required nor compared.
+        "excluded": {
+            "ladder_wide_vs_narrow_1e7",
+            "sat_pts_per_s_1e7",
+            "knows_pts_per_s_1e7",
+            "pr_family_pts_per_s_1e7",
+            "measure_pts_per_s_1e7",
+        },
+    },
 }
 
 # --trace mode: the schema version this gate understands.
@@ -123,15 +172,18 @@ TRACE_SCHEMA_VERSION = 1
 HIT_RATE_SLACK = 0.10
 
 # --trace mode: counters that must be present and positive in the fresh
-# report's global counter map — each proves a PR 1-4/8 fast path
+# report's global counter map — each proves a PR 1-4/8/9 fast path
 # actually ran (dense measure kernel, kernel construction, planned Pr
-# sweep, sharded space cache, hash-consed formula arena).
+# sweep, sharded space cache, hash-consed formula arena, footprint-
+# skipping set ops, wide block scans).
 TRACE_REQUIRED_POSITIVE = (
     "measure.dense_query",
     "measure.kernel_built",
     "logic.plan_hit",
     "assign.space_cache_hit",
     "logic.terms_interned",
+    "system.footprint_skipped_words",
+    "measure.wide_blocks",
 )
 
 # --trace mode: the bench row whose counters carry the planned sweep
@@ -160,9 +212,13 @@ def bench_profile(baseline, fresh, baseline_path, fresh_path):
         )
         return None, failures
     if fresh_kind not in PROFILES:
+        # Name the files carrying the kind: with stacked BENCH_N.json
+        # baselines on disk, "unknown bench kind" alone does not say
+        # which pair the gate choked on.
         failures.append(
-            f"unknown bench kind {fresh_kind!r}: add a profile to "
-            "PROFILES in scripts/check_bench.py"
+            f"unknown bench kind {fresh_kind!r} in {baseline_path} and "
+            f"{fresh_path}: add a profile to PROFILES in "
+            "scripts/check_bench.py"
         )
         return None, failures
     return PROFILES[fresh_kind], failures
@@ -394,12 +450,108 @@ def check_trace(baseline, fresh, baseline_path, fresh_path):
     return failures
 
 
+def selftest():
+    """Checks the gate's own failure paths against synthetic inputs.
+
+    A gate that silently stopped failing is worse than no gate, so CI
+    runs this before trusting any PASS: profile lookup errors must name
+    the offending files, and the floor, relative, positivity, and
+    unrecognized-key checks must each fire on inputs built to trip
+    them -- then a clean pair must pass with zero failures.
+    """
+    import contextlib
+    import io
+
+    def bench(kind, speedups):
+        return {"bench": kind, "speedups": speedups}
+
+    def run_speedups(profile, base, fresh):
+        # The row-by-row prints are for the real gate's log, not ours.
+        with contextlib.redirect_stdout(io.StringIO()):
+            return check_speedups(profile, base, fresh)
+
+    # Profile lookup: an unknown kind must name BOTH files, so the
+    # operator knows which BENCH_N pair to fix.
+    profile, fails = bench_profile(
+        bench("warp", {}), bench("warp", {}), "base.json", "fresh.json"
+    )
+    assert profile is None and len(fails) == 1, fails
+    assert "base.json" in fails[0] and "fresh.json" in fails[0], fails
+    assert "'warp'" in fails[0], fails
+    print("  profile lookup: unknown kind names both files      ok")
+
+    # Mismatched kinds are named file-by-file too.
+    profile, fails = bench_profile(
+        bench("kernel", {}), bench("scale", {}), "base.json", "fresh.json"
+    )
+    assert profile is None and len(fails) == 1, fails
+    assert "base.json" in fails[0] and "fresh.json" in fails[0], fails
+    print("  profile lookup: kind mismatch names both files     ok")
+
+    # A known kind resolves with no failures.
+    profile, fails = bench_profile(
+        bench("scale", {}), bench("scale", {}), "b", "f"
+    )
+    assert profile is PROFILES["scale"] and not fails, fails
+    print("  profile lookup: known kind resolves                ok")
+
+    prof = {"asserted": {"ratio": 2.0}, "positive": {"rate"}, "excluded": set()}
+    ok_base = bench("x", {"ratio": 3.0, "rate": 10.0})
+
+    # Floor: below the hard 2.0x even though the baseline is worse
+    # (the relative gate alone would wave it through).
+    fails = run_speedups(prof, bench("x", {"ratio": 1.0, "rate": 1.0}),
+                         bench("x", {"ratio": 1.5, "rate": 1.0}))
+    assert any("below the 2.0x floor" in f for f in fails), fails
+    print("  speedup gate: absolute floor fires                 ok")
+
+    # Relative: above the floor but > TOLERANCE below the baseline.
+    fails = run_speedups(prof, bench("x", {"ratio": 10.0, "rate": 1.0}),
+                         bench("x", {"ratio": 6.0, "rate": 1.0}))
+    assert any("vs baseline" in f for f in fails), fails
+    print("  speedup gate: relative tolerance fires             ok")
+
+    # Positivity: a zero rate fails even though no ratio regressed.
+    fails = run_speedups(prof, ok_base, bench("x", {"ratio": 3.0, "rate": 0.0}))
+    assert any("must be a positive rate" in f for f in fails), fails
+    print("  speedup gate: positivity fires                     ok")
+
+    # Unrecognized keys surface instead of passing silently.
+    fails = run_speedups(prof, ok_base,
+                         bench("x", {"ratio": 3.0, "rate": 1.0, "novel": 9.0}))
+    assert any("unrecognized speedup 'novel'" in f for f in fails), fails
+    print("  speedup gate: unrecognized key fires               ok")
+
+    # And a clean pair passes with zero failures.
+    fails = run_speedups(prof, ok_base, bench("x", {"ratio": 2.9, "rate": 5.0}))
+    assert fails == [], fails
+    print("  speedup gate: clean pair passes                    ok")
+
+    # Every committed profile is structurally sound and internally
+    # disjoint (a key in two buckets would be gated ambiguously).
+    for kind, p in PROFILES.items():
+        assert set(p) == {"asserted", "positive", "excluded"}, kind
+        buckets = [set(p["asserted"]), p["positive"], p["excluded"]]
+        total = sum(len(b) for b in buckets)
+        assert len(set().union(*buckets)) == total, f"{kind}: overlapping keys"
+    print(f"  profiles: {len(PROFILES)} structurally sound and disjoint    ok")
+
+    print("selftest passed.")
+    return 0
+
+
 def main(argv):
     args = [a for a in argv if not a.startswith("--")]
     flags = set(argv) - set(args)
-    unknown = flags - {"--same-host", "--trace"}
+    unknown = flags - {"--same-host", "--trace", "--selftest"}
+    usage = "\n".join(__doc__.strip().splitlines()[-3:])
+    if "--selftest" in flags:
+        if unknown or args or flags != {"--selftest"}:
+            sys.exit(usage)
+        print("check_bench selftest:")
+        return selftest()
     if unknown or len(args) != 2:
-        sys.exit(__doc__.strip().splitlines()[-1].strip())
+        sys.exit(usage)
     baseline_path, fresh_path = args
     baseline, fresh = load(baseline_path), load(fresh_path)
 

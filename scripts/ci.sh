@@ -49,24 +49,36 @@ for threads in 1 4; do
         --test compile_differential
 done
 
+# The bench gate checks itself before anything trusts its PASS: the
+# selftest trips each failure path (profile lookup naming the files,
+# the floor, relative, positivity, and unrecognized-key checks) on
+# synthetic inputs.
+echo "==> python3 scripts/check_bench.py --selftest"
+python3 scripts/check_bench.py --selftest
+
 # Bench smoke + regression gates: the kernel bench asserts its output
 # identities, the dense measure kernel's ≥ 2× bound, the compiled
 # threshold family's ≥ 2× bound, and the sample plan's ≥ 2× bound; the
 # shared bench asserts shared-artifact results bit-identical to the
 # serial facade and times the sharded memos.  The serve soak bench
 # asserts wire answers bit-identical to the serial facade, then times
-# loopback clients and exports the frame latency histogram.
-# scripts/check_bench.py then compares the fresh speedup ratios
-# against the committed BENCH_8.json, BENCH_6.json and BENCH_7.json
-# (30% tolerance) and the fresh trace report against TRACE_5.json
-# (schema + dense-path + plan-hit-rate, exact counters).  The fresh
-# rows go to target/ so the committed baselines are not clobbered;
-# regenerate the baselines with a plain ./scripts/bench.sh.
-echo "==> scripts/bench.sh (kernel + shared + serve soak bench smoke + regression gates)"
+# loopback clients and exports the frame latency histogram.  The scale
+# ladder builds 10^4/10^5/10^6-point systems, asserts the wide
+# footprint-skipping set kernel bit-identical to (and ≥ 2× faster at
+# 10^6 than) the scalar full-span reference, and reports per-point
+# throughput per rung.  scripts/check_bench.py then compares the
+# fresh speedup ratios against the committed BENCH_8.json,
+# BENCH_6.json, BENCH_7.json and BENCH_9.json (30% tolerance) and the
+# fresh trace report against TRACE_5.json (schema + dense-path +
+# plan-hit-rate + wide-kernel counters, exact).  The fresh rows go to
+# target/ so the committed baselines are not clobbered; regenerate the
+# baselines with a plain ./scripts/bench.sh.
+echo "==> scripts/bench.sh (kernel + shared + serve soak + scale ladder bench smoke + regression gates)"
 KPA_BENCH8_JSON="${KPA_BENCH8_JSON:-target/BENCH_8.fresh.json}" \
     KPA_TRACE_JSON="${KPA_TRACE_JSON:-target/TRACE_5.fresh.json}" \
     KPA_BENCH6_JSON="${KPA_BENCH6_JSON:-target/BENCH_6.fresh.json}" \
-    KPA_BENCH7_JSON="${KPA_BENCH7_JSON:-target/BENCH_7.fresh.json}" ./scripts/bench.sh
+    KPA_BENCH7_JSON="${KPA_BENCH7_JSON:-target/BENCH_7.fresh.json}" \
+    KPA_BENCH9_JSON="${KPA_BENCH9_JSON:-target/BENCH_9.fresh.json}" ./scripts/bench.sh
 
 if [[ "${FUZZ:-0}" == "1" ]]; then
     echo "==> cargo test -q --offline --workspace --features fuzz"

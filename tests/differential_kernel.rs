@@ -159,3 +159,164 @@ fn kernel_matches_reference_on_async_systems() {
         check_agreement(&spec, rng);
     });
 }
+
+// ---------------------------------------------------------------------
+// Wide-kernel boundary table: the 4×u64 + footprint-skip `PointSet`
+// bulk ops against the scalar full-span `narrow_*` reference, on
+// universes whose word counts exercise the stride tail (1/2/3 words
+// left over after the 4-word chunks) and on set shapes whose bits sit
+// at the extremes of the span or leave all-zero words on either side
+// of the footprint.
+// ---------------------------------------------------------------------
+
+use kpa::system::{PointIndex, PointSet};
+use std::sync::Arc;
+
+/// A flat universe of exactly `n` points (horizon 0, so point i is run
+/// i at time 0 — word i/64, bit i%64).
+fn flat_universe(n: usize) -> Arc<PointIndex> {
+    Arc::new(PointIndex::new(vec![n], 0))
+}
+
+fn set_of(index: &Arc<PointIndex>, bits: impl IntoIterator<Item = usize>) -> PointSet {
+    let mut s = PointSet::empty(Arc::clone(index));
+    for i in bits {
+        s.insert(index.point_at(i));
+    }
+    s
+}
+
+/// The set shapes the table crosses: extremes, zero-flanked middles,
+/// halves, stripes, and seeded random fills at two densities.
+fn boundary_shapes(index: &Arc<PointIndex>) -> Vec<PointSet> {
+    let n = index.total();
+    let words = n.div_ceil(64);
+    let mut rng = Rng64::new(0x5eed_0000_0000_0000 | n as u64);
+    let mut shapes = vec![
+        PointSet::empty(Arc::clone(index)),
+        PointSet::full(Arc::clone(index)),
+        set_of(index, [0]),
+        set_of(index, [n - 1]),
+        set_of(index, [0, n - 1]),
+        set_of(index, 0..n / 2),
+        set_of(index, n / 2..n),
+        set_of(index, (0..n).step_by(3)),
+        set_of(index, (0..n).filter(|_| rng.chance(1, 4))),
+        set_of(index, (0..n).filter(|_| rng.chance(3, 4))),
+    ];
+    if words >= 3 {
+        // All bits in one interior word: every word before and after it
+        // is zero, so a sound footprint skip must still see the bits
+        // and an unsound one would miss them entirely.
+        let mid = words / 2;
+        shapes.push(set_of(index, (mid * 64)..((mid * 64 + 64).min(n))));
+    }
+    shapes
+}
+
+/// Every bulk op must agree bit-for-bit (words AND count results) with
+/// the narrow reference on every shape pair; footprints must stay
+/// valid after every mutation.
+fn assert_wide_matches_narrow(a: &PointSet, b: &PointSet) {
+    let mut wide = a.clone();
+    wide.union_with(b);
+    let mut narrow = a.clone();
+    narrow.narrow_union_with(b);
+    assert_eq!(wide, narrow, "union");
+    assert!(wide.footprint_is_valid(), "union footprint");
+
+    let mut wide = a.clone();
+    wide.intersect_with(b);
+    let mut narrow = a.clone();
+    narrow.narrow_intersect_with(b);
+    assert_eq!(wide, narrow, "intersection");
+    assert!(wide.footprint_is_valid(), "intersection footprint");
+
+    let mut wide = a.clone();
+    wide.difference_with(b);
+    let mut narrow = a.clone();
+    narrow.narrow_difference_with(b);
+    assert_eq!(wide, narrow, "difference");
+    assert!(wide.footprint_is_valid(), "difference footprint");
+
+    assert_eq!(a.len(), a.narrow_len(), "len");
+    assert_eq!(a.is_subset(b), a.narrow_is_subset(b), "is_subset");
+    assert_eq!(
+        a.intersection_len(b),
+        a.narrow_intersection_len(b),
+        "intersection_len"
+    );
+    assert_eq!(
+        a.is_disjoint(b),
+        a.intersection_len(b) == 0,
+        "is_disjoint consistency"
+    );
+}
+
+/// The boundary table proper: universe sizes are chosen so the word
+/// span hits every residue mod 4 (the wide stride) including exact
+/// multiples, single words, and a partial final word.
+#[test]
+fn wide_ops_match_narrow_reference_on_boundary_table() {
+    for n in [1, 64, 65, 192, 256, 257, 448, 512, 831] {
+        let index = flat_universe(n);
+        let shapes = boundary_shapes(&index);
+        for a in &shapes {
+            for b in &shapes {
+                assert_wide_matches_narrow(a, b);
+            }
+        }
+    }
+}
+
+/// In-place mutation leaves footprints stale-but-conservative:
+/// `remove` never shrinks the range, so a set whose bits have been
+/// hollowed out to one interior word still answers every op exactly —
+/// and `tighten_footprint` then recovers the minimal range without
+/// changing any answer.
+#[test]
+fn stale_footprints_after_mutation_stay_exact() {
+    let n = 448; // 7 words: one wide stride + a 3-word tail.
+    let index = flat_universe(n);
+    let mid = 3;
+
+    // Fill the whole span, then remove everything outside word `mid`.
+    let mut hollow = PointSet::full(Arc::clone(&index));
+    for i in (0..n).filter(|i| i / 64 != mid) {
+        hollow.remove(index.point_at(i));
+    }
+    let (lo, hi) = hollow.footprint();
+    assert!(
+        lo == 0 && hi == 7,
+        "remove must not shrink the footprint (got [{lo}, {hi}))"
+    );
+    assert!(hollow.footprint_is_valid());
+
+    // The stale set still agrees with the narrow reference everywhere.
+    for other in boundary_shapes(&index) {
+        assert_wide_matches_narrow(&hollow, &other);
+        assert_wide_matches_narrow(&other, &hollow);
+    }
+
+    // Tightening recovers the one-word range and changes no answer.
+    let mut tight = hollow.clone();
+    tight.tighten_footprint();
+    assert_eq!(tight.footprint(), (mid, mid + 1));
+    assert_eq!(tight, hollow, "tightening must not change the bits");
+    for other in boundary_shapes(&index) {
+        assert_wide_matches_narrow(&tight, &other);
+    }
+
+    // `clear` + re-insert at the extremes: the footprint restarts from
+    // empty and tracks the single extreme words.
+    let mut s = hollow;
+    s.clear();
+    assert!(s.is_empty());
+    assert_eq!(s.footprint(), (0, 0));
+    s.insert(index.point_at(n - 1));
+    assert_eq!(s.footprint(), (6, 7));
+    s.insert(index.point_at(0));
+    assert_eq!(s.footprint(), (0, 7));
+    assert_eq!(s.len(), 2);
+    assert!(s.footprint_is_valid());
+}

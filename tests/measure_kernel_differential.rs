@@ -203,6 +203,71 @@ fn nonmeasurable_walkthrough_is_pinned() {
     assert_kernel_agrees(&space, &phi);
 }
 
+/// Footprint hints are query-invisible on ladder-shaped sets: the same
+/// bits carried with a tight footprint (insert-built), a deliberately
+/// loose full-span footprint (`narrow_union_with` installs one), and a
+/// re-tightened one must produce bit-identical answers on every dense
+/// query — and all three must agree with the generic scan. The shapes
+/// mirror the size-ladder workloads: single-run slivers at the first,
+/// middle, and last runs (tight footprints with all-zero words on both
+/// sides), their unions, and the full set.
+#[test]
+fn footprint_hints_are_query_invisible_on_ladder_shapes() {
+    let sys = async_coin_tosses(6).expect("builds");
+    let runs = sys.points().map(|p| p.run).max().expect("nonempty system");
+
+    // Tight: built by insert, so the footprint hugs the run's words.
+    let sliver = |r: usize| {
+        let mut s = sys.empty_points();
+        for p in sys.points().filter(|p| p.run == r) {
+            s.insert(p);
+        }
+        s
+    };
+    let mut shapes = vec![sliver(0), sliver(runs / 2), sliver(runs)];
+    let mut union = sys.empty_points();
+    for s in &shapes {
+        union = union.union(s);
+    }
+    shapes.push(union);
+    shapes.push(sys.full_points());
+
+    let post = ProbAssignment::new(&sys, Assignment::post());
+    for agent in [AgentId(0), AgentId(1)] {
+        for c in sys.points().step_by(57) {
+            let space = post.space(agent, c).expect("space builds");
+            for tight in &shapes {
+                // Same bits, maximally loose footprint: the kernel gets
+                // no skip hint it can trust beyond the full span.
+                let mut loose = sys.empty_points();
+                loose.narrow_union_with(tight);
+                // … and a re-tightened copy (minimal hint).
+                let mut retight = loose.clone();
+                retight.tighten_footprint();
+
+                assert_kernel_agrees(&space, tight);
+                assert_kernel_agrees(&space, &loose);
+                assert_kernel_agrees(&space, &retight);
+                assert_eq!(
+                    space.measure_interval(tight),
+                    space.measure_interval(&loose),
+                    "footprint hint changed an interval"
+                );
+                assert_eq!(
+                    space.measure_interval(tight),
+                    space.measure_interval(&retight),
+                    "tightening changed an interval"
+                );
+                assert_eq!(
+                    space.is_measurable(tight),
+                    space.is_measurable(&loose),
+                    "footprint hint changed a measurability verdict"
+                );
+            }
+        }
+    }
+}
+
 /// The whole dense-vs-generic sweep is thread-count invariant: running
 /// it under 1 and 4 pool threads asserts the same equalities, and the
 /// assignment-level intervals it observes are bit-identical.
