@@ -188,6 +188,22 @@ impl<K: Hash + Eq, V: Clone> ShardMap<K, V> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Folds `f` over a point-in-time view of every entry, shard by
+    /// shard (each shard's lock is held only while that shard is
+    /// visited). Entries inserted or observed mid-fold by other
+    /// threads may or may not be seen — fine for the occupancy gauges
+    /// this feeds, which are diagnostics, not ledgers.
+    pub fn fold<A>(&self, init: A, mut f: impl FnMut(A, &K, &V) -> A) -> A {
+        let mut acc = init;
+        for idx in 0..self.shards.len() {
+            let shard = self.lock_shard(idx);
+            for (k, v) in shard.iter() {
+                acc = f(acc, k, v);
+            }
+        }
+        acc
+    }
 }
 
 impl<K, V> fmt::Debug for ShardMap<K, V> {
@@ -216,6 +232,19 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b), "existing entry must win");
         assert_eq!(map.get(&7).as_deref(), Some(&70));
         assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn fold_visits_every_entry_once() {
+        let map: ShardMap<u64, u64> = ShardMap::new("test.shard_fold");
+        for k in 0..100 {
+            map.insert_or_get(k, k * 3);
+        }
+        let (count, sum) = map.fold((0u64, 0u64), |(c, s), _k, v| (c + 1, s + v));
+        assert_eq!(count, 100);
+        assert_eq!(sum, (0..100).map(|k| k * 3).sum::<u64>());
+        let empty: ShardMap<u64, u64> = ShardMap::new("test.shard_fold_empty");
+        assert_eq!(empty.fold(7u64, |a, _, _| a + 1), 7);
     }
 
     #[test]

@@ -31,10 +31,13 @@
 //! After the timed sections, a traced pass re-runs each row's workload
 //! once under `kpa-trace` and asserts — via the kernel fallback
 //! counters — that the dense rows actually exercised the dense path.
+//! Each traced row's wall time also feeds the `bench.row_ns` rolling
+//! window, so the exported trace report exercises the schema-v2
+//! `windowed` and `spans` sections end to end.
 //!
 //! Run with `cargo bench -p kpa-bench --bench kernel`. Set
 //! `KPA_BENCH_JSON=BENCH_5.json` (or use `scripts/bench.sh`) to emit
-//! the rows as machine-readable JSON, and `KPA_TRACE_JSON=TRACE_5.json`
+//! the rows as machine-readable JSON, and `KPA_TRACE_JSON=TRACE_10.json`
 //! to emit the traced pass's counter report.
 
 use kpa_assign::{Assignment, ProbAssignment};
@@ -479,8 +482,14 @@ fn main() {
     {
         let mut traced = |label: String, work: &mut dyn FnMut()| {
             let before = kpa_trace::registry().snapshot();
+            let started = std::time::Instant::now();
             work();
+            let row_ns = started.elapsed().as_nanos() as u64;
             let after = kpa_trace::registry().snapshot();
+            // Feed the rolling-window path too, so the exported trace
+            // baseline carries a non-empty `windowed` section for the
+            // schema gate to validate.
+            kpa_trace::registry().rolling("bench.row_ns").record(row_ns);
             row_deltas.insert(label, after.delta_counters(&before));
         };
         traced(format!("kernel_sat/bitset/{n_points}"), &mut || {
@@ -596,6 +605,10 @@ fn main() {
     );
     let mut trace_report = kpa_trace::registry().snapshot();
     trace_report.rows = row_deltas;
+    assert!(
+        trace_report.windowed.contains_key("bench.row_ns"),
+        "traced pass must populate the rolling window for the trace export"
+    );
     if let Ok(tpath) = std::env::var("KPA_TRACE_JSON") {
         std::fs::write(&tpath, trace_report.to_json("kernel"))
             .unwrap_or_else(|e| panic!("failed to write {tpath}: {e}"));

@@ -770,7 +770,25 @@ impl ModelArtifact {
         EvalCtx {
             artifact: self,
             queries: Cell::new(0),
+            trace_id: Cell::new(0),
         }
+    }
+
+    /// Approximate bytes resident in this artifact's memos and shared
+    /// sets: every cached satisfaction set is one dense word array, and
+    /// every `Pr`-memo entry additionally keys a cloned set. This is a
+    /// telemetry gauge for cache-occupancy accounting (`kpa-serve`
+    /// exports it per resident artifact), not an allocator census —
+    /// the system's own trees and the arena's interned terms are
+    /// summarized by the same per-set estimate.
+    #[must_use]
+    pub fn approx_resident_bytes(&self) -> u64 {
+        let set_bytes = (self.all.as_words().len() as u64) * 8 + 64;
+        let sets = 1 // the full-point set itself
+            + self.sat_cache_len() as u64
+            + self.subterm_memo_len() as u64
+            + self.terms_interned() as u64;
+        sets * set_bytes + self.pr_memo_len() as u64 * (set_bytes + 32)
     }
 
     /// How many formulas the shared satisfaction cache holds.
@@ -841,6 +859,10 @@ pub struct EvalCtx<'m> {
     /// Queries answered through this context (scratch statistic — the
     /// `Cell` is also what keeps `EvalCtx: !Sync`).
     queries: Cell<u64>,
+    /// The request's [`kpa_trace::TraceId`] (raw `u64`; `0` = none):
+    /// installed as the thread's ambient id around every query entry
+    /// point so `span!` records stitch into the request's tree.
+    trace_id: Cell<u64>,
 }
 
 impl<'m> EvalCtx<'m> {
@@ -854,6 +876,25 @@ impl<'m> EvalCtx<'m> {
     #[must_use]
     pub fn queries(&self) -> u64 {
         self.queries.get()
+    }
+
+    /// Tag this context with a request's trace id; subsequent queries
+    /// record their spans under it (while tracing is on). Costs one
+    /// relaxed load per query when tracing is off.
+    pub fn set_trace_id(&self, id: kpa_trace::TraceId) {
+        self.trace_id.set(id.0);
+    }
+
+    /// The trace id this context's queries record under
+    /// ([`kpa_trace::TraceId::NONE`] unless
+    /// [`EvalCtx::set_trace_id`] was called).
+    #[must_use]
+    pub fn trace_id(&self) -> kpa_trace::TraceId {
+        kpa_trace::TraceId(self.trace_id.get())
+    }
+
+    fn ambient(&self) -> kpa_trace::AmbientGuard {
+        kpa_trace::ambient_guard(self.trace_id())
     }
 
     fn tick(&self) {
@@ -877,6 +918,7 @@ impl<'m> EvalCtx<'m> {
     /// As [`Model::sat`](crate::Model::sat).
     pub fn sat(&self, f: &Formula) -> Result<Arc<PointSet>, LogicError> {
         self.tick();
+        let _req = self.ambient();
         self.artifact.view().sat_compiled(f)
     }
 
@@ -905,6 +947,7 @@ impl<'m> EvalCtx<'m> {
         f: &Formula,
     ) -> Result<Vec<Arc<PointSet>>, LogicError> {
         self.tick();
+        let _req = self.ambient();
         self.artifact.view().pr_ge_family(agent, alphas, f)
     }
 
@@ -938,6 +981,7 @@ impl<'m> EvalCtx<'m> {
         c: PointId,
         f: &Formula,
     ) -> Result<(Rat, Rat), LogicError> {
+        let _req = self.ambient();
         let sat = self.sat(f)?;
         let space = self.artifact.core.space(&self.artifact.sys, agent, c)?;
         Ok(space.measure_interval(&*sat))
@@ -947,6 +991,7 @@ impl<'m> EvalCtx<'m> {
     #[must_use]
     pub fn knows_set(&self, agent: AgentId, sat: &PointSet) -> PointSet {
         self.tick();
+        let _req = self.ambient();
         self.artifact.view().knows_set(agent, sat)
     }
 
@@ -954,6 +999,7 @@ impl<'m> EvalCtx<'m> {
     #[must_use]
     pub fn knows_set_fresh(&self, agent: AgentId, sat: &PointSet) -> PointSet {
         self.tick();
+        let _req = self.ambient();
         self.artifact.view().knows_set_fresh(agent, sat)
     }
 
@@ -969,6 +1015,7 @@ impl<'m> EvalCtx<'m> {
         sat: &PointSet,
     ) -> Result<PointSet, LogicError> {
         self.tick();
+        let _req = self.ambient();
         self.artifact.view().pr_ge_set(agent, alpha, sat)
     }
 }

@@ -66,9 +66,14 @@
 //! histograms (what [`Pool::par_map_chunks`] actually chose — the
 //! input to any `min_chunk` tuning), and the `pool.busy_ns` /
 //! `pool.idle_ns` histograms (one sample per worker: time inside tasks
-//! vs. time spinning/stealing). Tracing never changes which slice a
-//! task covers, so the determinism contract is untouched; disabled, it
-//! costs one relaxed load per region or task batch.
+//! vs. time spinning/stealing). Each executed task is additionally
+//! timed by a `pool.chunk_ns` span, and parallel regions forward the
+//! submitting thread's ambient `kpa_trace::TraceId` into their
+//! workers, so chunk spans executed on other threads still stitch
+//! into the submitting request's span tree. Tracing never changes
+//! which slice a task covers, so the determinism contract is
+//! untouched; disabled, it costs one relaxed load per region or task
+//! batch.
 //!
 //! [`Rat`]: https://docs.rs/kpa-measure
 //!
@@ -282,8 +287,14 @@ impl Pool {
         if self.threads <= 1 {
             return (a(), b());
         }
+        // Forward the submitter's request id so spans inside `b`
+        // stitch into the same trace tree (no-op while tracing is off).
+        let ambient = kpa_trace::enabled().then(kpa_trace::current_trace_id);
         std::thread::scope(|scope| {
-            let hb = scope.spawn(|| in_worker(b));
+            let hb = scope.spawn(move || {
+                let _req = ambient.map(kpa_trace::ambient_guard);
+                in_worker(b)
+            });
             let ra = a();
             let rb = match hb.join() {
                 Ok(rb) => rb,
@@ -331,10 +342,17 @@ impl Pool {
         let slots: Vec<Mutex<Option<T>>> = (0..len).map(|_| Mutex::new(None)).collect();
         let remaining = AtomicUsize::new(len);
         let fault = self.fault_seed;
+        // Forward the submitting thread's request id into the spawned
+        // workers so their chunk spans carry it; worker 0 runs on the
+        // submitting thread and keeps its ambient id naturally.
+        let ambient = kpa_trace::enabled().then(kpa_trace::current_trace_id);
         std::thread::scope(|scope| {
             for w in 1..workers {
                 let (queues, slots, remaining) = (&queues, &slots, &remaining);
-                scope.spawn(move || worker(w, queues, slots, remaining, f, fault));
+                scope.spawn(move || {
+                    let _req = ambient.map(kpa_trace::ambient_guard);
+                    worker(w, queues, slots, remaining, f, fault);
+                });
             }
             worker(0, &queues, &slots, &remaining, f, fault);
         });
@@ -465,7 +483,13 @@ fn worker<T, F>(
             match task {
                 Some(i) => {
                     let t0 = trace.then(std::time::Instant::now);
-                    let value = f(i);
+                    let value = {
+                        // One span per executed task: the task-grain
+                        // record the chunking autotune reads, carrying
+                        // the forwarded request id.
+                        let _chunk = kpa_trace::span!("pool.chunk_ns");
+                        f(i)
+                    };
                     if let Some(t0) = t0 {
                         busy_ns += t0.elapsed().as_nanos() as u64;
                     }

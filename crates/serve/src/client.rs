@@ -284,6 +284,31 @@ impl Client {
         self.request("stats", vec![])
     }
 
+    /// Fetches the schema-v2 telemetry snapshot (cumulative +
+    /// windowed histograms, top span sites, artifact-cache occupancy).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn metrics(&mut self) -> Result<Value, ClientError> {
+        self.request("metrics", vec![])
+    }
+
+    /// Fetches the metrics text exposition (`name value` lines).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`], plus `Malformed` when `text` is
+    /// missing.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        let frame = self.request("metrics", vec![("format", Value::Str("text".into()))])?;
+        frame
+            .get("text")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Malformed("metrics reply lacks \"text\"".into()))
+    }
+
     /// Unpins the session's model.
     ///
     /// # Errors

@@ -18,10 +18,14 @@
 //! | `load`   | `system` (catalog name) *or* `spec` (structural), plus `assignment` |
 //! | `query`  | `queries`: array of query items (see [`QueryKind`])  |
 //! | `stats`  | —                                                    |
+//! | `metrics`| optional `format: "text"` for exposition lines       |
 //! | `unload` | —                                                    |
 //! | `bye`    | —                                                    |
 //!
 //! Any request may carry an integer `id`; the response echoes it.
+//! Every reply additionally carries a server-minted `trace_id` (16 hex
+//! digits) correlating the frame with the server's span trees; clients
+//! that predate it ignore the unknown field.
 //!
 //! # Bit-faithful payloads
 //!
@@ -229,6 +233,14 @@ pub enum Request {
     },
     /// Report per-session and process-wide metrics.
     Stats,
+    /// Schema-v2 telemetry snapshot: cumulative and windowed
+    /// histograms, top span sites, and artifact-cache occupancy.
+    /// Additive in schema v1 — older servers answer `unknown_op`.
+    Metrics {
+        /// Whether the client asked for the text exposition
+        /// (`"format": "text"`) instead of the structured frame.
+        text: bool,
+    },
     /// Unpin the session's model (the session survives).
     Unload,
     /// Close the connection cleanly.
@@ -480,6 +492,19 @@ pub fn decode(frame: &Value, max_batch: usize) -> Result<Envelope, ProtoError> {
             Request::Query { items }
         }
         "stats" => Request::Stats,
+        "metrics" => {
+            let text = match frame.get("format").and_then(Value::as_str) {
+                None => false,
+                Some("text") => true,
+                Some(other) => {
+                    return Err(ProtoError::recoverable(
+                        codes::BAD_REQUEST,
+                        format!("unknown metrics format {other:?} (only \"text\")"),
+                    ))
+                }
+            };
+            Request::Metrics { text }
+        }
         "unload" => Request::Unload,
         "bye" => Request::Bye,
         other => {
@@ -658,6 +683,23 @@ mod tests {
         assert!(e.fatal);
         let e = decode_line(r#"{"v":1,"op":"frobnicate"}"#).unwrap_err();
         assert_eq!(e.code, codes::UNKNOWN_OP);
+        assert!(!e.fatal);
+    }
+
+    #[test]
+    fn metrics_decodes_with_optional_text_format() {
+        assert_eq!(
+            decode_line(r#"{"v":1,"op":"metrics"}"#).unwrap().req,
+            Request::Metrics { text: false }
+        );
+        assert_eq!(
+            decode_line(r#"{"v":1,"op":"metrics","format":"text"}"#)
+                .unwrap()
+                .req,
+            Request::Metrics { text: true }
+        );
+        let e = decode_line(r#"{"v":1,"op":"metrics","format":"xml"}"#).unwrap_err();
+        assert_eq!(e.code, codes::BAD_REQUEST);
         assert!(!e.fatal);
     }
 

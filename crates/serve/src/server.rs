@@ -16,7 +16,11 @@
 //! streams an endless line is cut off at [`ServeConfig::max_frame`]
 //! with a fatal `frame_too_long` frame instead of growing the buffer
 //! without bound. Several complete lines arriving in one read are all
-//! processed, in order (pipelining is allowed).
+//! processed, in order (pipelining is allowed). Each received frame is
+//! assigned a server-minted trace id, echoed as `trace_id` on its
+//! reply and installed as the handling thread's ambient span id while
+//! `KPA_TRACE=1` — the hook that stitches kernel spans into
+//! per-request trees.
 //!
 //! # Timeouts and shutdown
 //!
@@ -231,7 +235,9 @@ fn serve_connection(
     let _ = stream.set_nodelay(true);
     let mut session = Session::open(Arc::clone(shared));
     let frame_ns = session.scope().histogram("session.frame_ns");
+    let frame_win = session.scope().rolling("session.frame_ns");
     let proc_frame_ns = shared.proc().histogram("proc.frame_ns");
+    let proc_frame_win = shared.proc().rolling("proc.frame_ns");
 
     let mut acc: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
@@ -251,11 +257,21 @@ fn serve_connection(
                 // Handle every complete line in the buffer (pipelining).
                 while let Some(pos) = acc.iter().position(|&b| b == b'\n') {
                     let line: Vec<u8> = acc.drain(..=pos).collect();
+                    // Every frame gets a server-minted trace id: it is
+                    // echoed on the reply for correlation, and (while
+                    // KPA_TRACE=1) installed as the thread's ambient
+                    // id so every span under this frame stitches into
+                    // one request tree.
+                    let trace_id = kpa_trace::next_trace_id();
+                    let _req = kpa_trace::ambient_guard(trace_id);
                     let started = Instant::now();
-                    let done = handle_line(&line[..pos], &mut stream, &mut session, config);
+                    let done =
+                        handle_line(&line[..pos], &mut stream, &mut session, config, trace_id);
                     let ns = started.elapsed().as_nanos() as u64;
                     frame_ns.record(ns);
+                    frame_win.record(ns);
                     proc_frame_ns.record(ns);
+                    proc_frame_win.record(ns);
                     if done {
                         return;
                     }
@@ -286,12 +302,24 @@ fn serve_connection(
     }
 }
 
+/// Stamps the frame's correlating `trace_id` (16 hex digits) before it
+/// goes on the wire. Every reply to a received frame carries one —
+/// success and error alike; only connection-level notices sent with no
+/// request in flight (busy/idle/shutdown) go untagged.
+fn tag(mut frame: json::Value, trace_id: kpa_trace::TraceId) -> json::Value {
+    if let json::Value::Obj(m) = &mut frame {
+        m.insert("trace_id".to_string(), json::Value::Str(trace_id.to_hex()));
+    }
+    frame
+}
+
 /// Processes one request line; `true` means the connection is done.
 fn handle_line(
     raw: &[u8],
     stream: &mut TcpStream,
     session: &mut Session,
     config: &ServeConfig,
+    trace_id: kpa_trace::TraceId,
 ) -> bool {
     // Tolerate CRLF clients and skip blank keepalive lines.
     let raw = if raw.last() == Some(&b'\r') {
@@ -306,7 +334,7 @@ fn handle_line(
         Ok(t) => t,
         Err(_) => {
             let e = ProtoError::fatal(codes::BAD_JSON, "request line is not UTF-8");
-            let _ = send(stream, &e.frame(None));
+            let _ = send(stream, &tag(e.frame(None), trace_id));
             return true;
         }
     };
@@ -314,7 +342,7 @@ fn handle_line(
         Ok(v) => v,
         Err(err) => {
             let e = ProtoError::fatal(codes::BAD_JSON, err.to_string());
-            let _ = send(stream, &e.frame(None));
+            let _ = send(stream, &tag(e.frame(None), trace_id));
             return true;
         }
     };
@@ -322,12 +350,12 @@ fn handle_line(
         Ok(env) => env,
         Err(e) => {
             let id = value.get("id").and_then(json::Value::as_int);
-            let _ = send(stream, &e.frame(id));
+            let _ = send(stream, &tag(e.frame(id), trace_id));
             return e.fatal;
         }
     };
     let (frame, after) = session.handle(&env);
-    if !send(stream, &frame) {
+    if !send(stream, &tag(frame, trace_id)) {
         return true;
     }
     after == After::Close

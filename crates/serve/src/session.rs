@@ -70,10 +70,44 @@ impl SharedState {
         &self.proc
     }
 
-    /// Number of distinct artifacts built so far.
+    /// Number of distinct artifacts resident in the cache — the
+    /// `serve.artifacts_resident` gauge. The cache never evicts, so
+    /// resident == built-so-far.
     #[must_use]
     pub fn artifact_count(&self) -> usize {
         self.artifacts.len()
+    }
+
+    /// Approximate bytes held by resident artifacts (point sets plus
+    /// memo tables, via [`ModelArtifact::approx_resident_bytes`]) —
+    /// the `serve.artifacts_resident_bytes` gauge. A point-in-time
+    /// fold over the cache; diagnostics, not a ledger.
+    #[must_use]
+    pub fn artifacts_resident_bytes(&self) -> u64 {
+        self.artifacts.fold(0u64, |acc, _key, artifact| {
+            acc + artifact.approx_resident_bytes()
+        })
+    }
+
+    /// Builds a catalog system into the artifact cache ahead of any
+    /// client (`kpa-serve --preload`), returning the canonical key it
+    /// is resident under. Uses the same key scheme as `load`, so the
+    /// first client to pin the pair scores a cache hit.
+    ///
+    /// # Errors
+    ///
+    /// Unknown catalog names, bad assignment specs, and evaluation
+    /// failures while warming the all-points set, as strings.
+    pub fn preload(&self, system: &str, assignment: &str) -> Result<String, String> {
+        let sys = catalog::build_system(system)?;
+        let assign = catalog::build_assignment(assignment, &sys)?;
+        let key = format!("name:{system};assign:{assignment}");
+        let artifact = self.artifact(&key, sys, assign);
+        artifact
+            .ctx()
+            .sat(&kpa_logic::Formula::True)
+            .map_err(|e| e.to_string())?;
+        Ok(key)
     }
 
     /// Resolve-or-build an artifact for a canonical key.
@@ -202,6 +236,7 @@ impl Session {
             } => self.load(env.id, system.as_deref(), spec.as_ref(), assignment),
             Request::Query { items } => self.query(env.id, items),
             Request::Stats => Ok(self.stats(env.id)),
+            Request::Metrics { text } => Ok(self.metrics(env.id, *text)),
             Request::Unload => {
                 self.pinned = None;
                 Ok(ok_frame("unload", env.id, vec![]))
@@ -288,6 +323,10 @@ impl Session {
         let artifact = Arc::clone(&pinned.artifact);
         let sys = artifact.system();
         let ctx = artifact.ctx();
+        // Hand the server-minted frame trace id (ambient on this
+        // thread) to the evaluation context, so spans recorded deep in
+        // the kernel stitch into this request's tree.
+        ctx.set_trace_id(kpa_trace::current_trace_id());
         self.scope.record("session.batch_len", items.len() as u64);
         let start = std::time::Instant::now();
         let mut rows = Vec::with_capacity(items.len());
@@ -301,8 +340,8 @@ impl Session {
             rows.push(obj_from(fields));
         }
         let elapsed = start.elapsed().as_nanos() as u64;
-        self.scope.record("session.query_ns", elapsed);
-        self.shared.proc.record("proc.query_ns", elapsed);
+        self.scope.record_windowed("session.query_ns", elapsed);
+        self.shared.proc.record_windowed("proc.query_ns", elapsed);
         self.scope
             .counter("session.queries")
             .add(items.len() as u64);
@@ -335,6 +374,111 @@ impl Session {
             ],
         )
     }
+
+    /// The schema-v2 telemetry snapshot: cumulative + windowed metric
+    /// reports, the top span sites (global, populated only under
+    /// `KPA_TRACE=1`), and artifact-cache occupancy gauges. With
+    /// `text` the same data is flattened into `name value` exposition
+    /// lines for scraping.
+    fn metrics(&self, id: Option<i64>, text: bool) -> Value {
+        let session = self.scope.snapshot();
+        let process = self.shared.proc.snapshot();
+        let (records, dropped) = kpa_trace::snapshot_span_records();
+        let sites = kpa_trace::span_site_stats(&records);
+        let resident = self.shared.artifact_count() as u64;
+        let resident_bytes = self.shared.artifacts_resident_bytes();
+        if text {
+            let body = exposition(&process, &sites, dropped, resident, resident_bytes);
+            return ok_frame(
+                "metrics",
+                id,
+                vec![
+                    ("schema", Value::Int(2)),
+                    ("format", Value::Str("text".into())),
+                    ("text", Value::Str(body)),
+                ],
+            );
+        }
+        let top_sites: Value = Value::Obj(
+            sites
+                .iter()
+                .take(TOP_SPAN_SITES)
+                .map(|s| {
+                    (
+                        s.site.to_string(),
+                        obj([
+                            ("count", Value::Int(s.count as i64)),
+                            ("total_ns", Value::Int(s.total_ns as i64)),
+                            ("max_ns", Value::Int(s.max_ns as i64)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        ok_frame(
+            "metrics",
+            id,
+            vec![
+                ("schema", Value::Int(2)),
+                ("session", report_value(&session)),
+                ("process", report_value(&process)),
+                (
+                    "spans",
+                    obj([
+                        ("dropped", Value::Int(dropped as i64)),
+                        ("sites", top_sites),
+                    ]),
+                ),
+                ("artifacts_resident", Value::Int(resident as i64)),
+                (
+                    "artifacts_resident_bytes",
+                    Value::Int(resident_bytes as i64),
+                ),
+            ],
+        )
+    }
+}
+
+/// How many span sites the structured `metrics` frame carries (the
+/// hottest by total time; the text exposition carries them all).
+const TOP_SPAN_SITES: usize = 8;
+
+/// Flattens the process report into scrape-friendly `name value`
+/// lines: counters verbatim, cumulative histograms as
+/// `hist.<name>.{count,p50,p99}`, windowed ones as
+/// `win.<name>.{count,p50,p99}`, span sites as
+/// `span.<site>.{count,total_ns,max_ns}`, plus the occupancy gauges.
+fn exposition(
+    report: &kpa_trace::TraceReport,
+    sites: &[kpa_trace::SpanSiteStat],
+    spans_dropped: u64,
+    resident: u64,
+    resident_bytes: u64,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "serve.artifacts_resident {resident}");
+    let _ = writeln!(out, "serve.artifacts_resident_bytes {resident_bytes}");
+    for (name, v) in &report.counters {
+        let _ = writeln!(out, "counter.{name} {v}");
+    }
+    for (name, h) in &report.histograms {
+        let _ = writeln!(out, "hist.{name}.count {}", h.count);
+        let _ = writeln!(out, "hist.{name}.p50 {}", h.p50().unwrap_or(0));
+        let _ = writeln!(out, "hist.{name}.p99 {}", h.p99().unwrap_or(0));
+    }
+    for (name, w) in &report.windowed {
+        let _ = writeln!(out, "win.{name}.count {}", w.count);
+        let _ = writeln!(out, "win.{name}.p50 {}", w.p50.unwrap_or(0));
+        let _ = writeln!(out, "win.{name}.p99 {}", w.p99.unwrap_or(0));
+    }
+    let _ = writeln!(out, "spans.dropped {spans_dropped}");
+    for s in sites {
+        let _ = writeln!(out, "span.{}.count {}", s.site, s.count);
+        let _ = writeln!(out, "span.{}.total_ns {}", s.site, s.total_ns);
+        let _ = writeln!(out, "span.{}.max_ns {}", s.site, s.max_ns);
+    }
+    out
 }
 
 impl Drop for Session {
@@ -353,7 +497,9 @@ fn obj_from(fields: Vec<(&str, Value)>) -> Value {
 
 /// Renders a [`kpa_trace::TraceReport`] as a wire value: counters
 /// verbatim, histograms as `{count, min, max, p50, p99}` rows (the
-/// p50/p99 are log₂-bucket floors — deterministic lower bounds).
+/// p50/p99 are log₂-bucket floors — deterministic lower bounds), and
+/// windowed histograms as `{count, sum, p50, p99}` over the last
+/// rolling window.
 #[must_use]
 pub fn report_value(report: &kpa_trace::TraceReport) -> Value {
     let counters = Value::Obj(
@@ -385,7 +531,32 @@ pub fn report_value(report: &kpa_trace::TraceReport) -> Value {
             })
             .collect(),
     );
-    obj([("counters", counters), ("histograms", histograms)])
+    let opt = |o: Option<u64>| match o {
+        Some(v) => Value::Int(v as i64),
+        None => Value::Null,
+    };
+    let windowed = Value::Obj(
+        report
+            .windowed
+            .iter()
+            .map(|(k, w)| {
+                (
+                    k.clone(),
+                    obj([
+                        ("count", Value::Int(w.count as i64)),
+                        ("sum", Value::Int(w.sum as i64)),
+                        ("p50", opt(w.p50)),
+                        ("p99", opt(w.p99)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    obj([
+        ("counters", counters),
+        ("histograms", histograms),
+        ("windowed", windowed),
+    ])
 }
 
 /// Evaluates one query item, returning its result fields (without the
@@ -652,6 +823,58 @@ mod tests {
         assert!(text.contains("\"p50\""), "{text}");
         assert!(text.contains("\"p99\""), "{text}");
         assert!(text.contains("\"artifacts\":1"), "{text}");
+    }
+
+    #[test]
+    fn metrics_reports_schema_v2() {
+        let mut s = session();
+        s.handle(&env(
+            r#"{"v":1,"op":"load","system":"secret-coin","assignment":"post"}"#,
+        ));
+        s.handle(&env(
+            r#"{"v":1,"op":"query","queries":[{"kind":"sat","formula":"c=h"}]}"#,
+        ));
+        let (frame, after) = s.handle(&env(r#"{"v":1,"op":"metrics","id":9}"#));
+        assert_eq!(after, After::Continue);
+        let text = frame.to_json();
+        assert!(text.contains("\"ok\":true"), "{text}");
+        assert!(text.contains("\"id\":9"), "{text}");
+        assert!(text.contains("\"schema\":2"), "{text}");
+        assert!(text.contains("\"windowed\""), "{text}");
+        // Rolling recording fed the window: the query just ran, so
+        // proc.query_ns has in-window samples with quantiles.
+        assert!(text.contains("\"proc.query_ns\":{\"count\":1"), "{text}");
+        assert!(text.contains("\"spans\":{\"dropped\":"), "{text}");
+        assert!(text.contains("\"artifacts_resident\":1"), "{text}");
+        assert!(text.contains("\"artifacts_resident_bytes\":"), "{text}");
+
+        let (frame, _) = s.handle(&env(r#"{"v":1,"op":"metrics","format":"text"}"#));
+        let text = frame.to_json();
+        assert!(text.contains("\"format\":\"text\""), "{text}");
+        assert!(text.contains("serve.artifacts_resident 1"), "{text}");
+        assert!(text.contains("win.proc.query_ns.count 1"), "{text}");
+        assert!(text.contains("counter.proc.queries 1"), "{text}");
+    }
+
+    #[test]
+    fn preload_warms_the_artifact_cache() {
+        let shared = Arc::new(SharedState::new());
+        let key = shared.preload("die", "post").expect("preload die");
+        assert_eq!(key, "name:die;assign:post");
+        assert_eq!(shared.artifact_count(), 1);
+        assert!(shared.artifacts_resident_bytes() > 0);
+        // The first client load of the same pair is a cache hit.
+        let mut s = Session::open(Arc::clone(&shared));
+        let (frame, _) = s.handle(&env(
+            r#"{"v":1,"op":"load","system":"die","assignment":"post"}"#,
+        ));
+        assert!(frame.to_json().contains("\"ok\":true"));
+        assert_eq!(shared.proc().counter("proc.artifact_hits").get(), 1);
+        assert_eq!(shared.proc().counter("proc.artifact_builds").get(), 1);
+        // Unknown systems and assignments are reported, not built.
+        assert!(shared.preload("nope", "post").is_err());
+        assert!(shared.preload("die", "opp:zz").is_err());
+        assert_eq!(shared.artifact_count(), 1);
     }
 
     #[test]

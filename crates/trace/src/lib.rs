@@ -75,12 +75,23 @@
 mod metrics;
 mod registry;
 mod report;
+mod rolling;
 mod scope;
+mod spans;
 
 pub use metrics::{bucket_floor, bucket_of, Counter, Histogram, BUCKETS};
 pub use registry::{registry, Event, Registry, RING_CAPACITY};
-pub use report::{json_escape, HistogramSnapshot, TraceReport, TRACE_SCHEMA_VERSION};
+pub use report::{
+    json_escape, HistogramSnapshot, TraceReport, WindowedSnapshot, TRACE_SCHEMA_VERSION,
+};
+pub use rolling::{RollingHistogram, ROLLING_SLOTS, ROLLING_SLOT_NS_SHIFT};
 pub use scope::Scope;
+pub use spans::{
+    ambient_guard, current_trace_id, next_trace_id, snapshot_span_records, span_ring_capacity,
+    span_site_stats, spans_to_chrome_json, spans_to_folded, stitch_span_trees, take_span_records,
+    AmbientGuard, SpanNode, SpanRecord, SpanSite, SpanSiteStat, SpanTree, TraceId,
+    SPAN_RING_CAPACITY,
+};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::time::Instant;
@@ -143,20 +154,50 @@ impl Trace {
 /// RAII timer: measures wall time from construction to drop and
 /// records the elapsed nanoseconds into a histogram. Construct via the
 /// [`span!`] macro (which skips the clock read entirely when tracing
-/// is disabled) or [`Span::start`] when you already hold the
-/// histogram.
+/// is disabled), [`Span::start`] when you already hold the histogram,
+/// or [`Span::start_site`] to additionally append a span-tree record
+/// for the request-scoped pipeline.
 #[derive(Debug)]
 #[must_use = "a span records on drop; binding it to `_` drops immediately"]
 pub struct Span {
-    inner: Option<(&'static Histogram, Instant)>,
+    inner: Option<SpanInner>,
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    hist: &'static Histogram,
+    start: Instant,
+    /// The span-tree record being built, when opened via a
+    /// [`SpanSite`] (and span recording isn't disabled).
+    active: Option<spans::ActiveSpan>,
 }
 
 impl Span {
-    /// Start timing into `hist` (reads the clock).
+    /// Start timing into `hist` (reads the clock). Histogram-only: no
+    /// span-tree record is produced.
     #[inline]
     pub fn start(hist: &'static Histogram) -> Span {
         Span {
-            inner: Some((hist, Instant::now())),
+            inner: Some(SpanInner {
+                hist,
+                start: Instant::now(),
+                active: None,
+            }),
+        }
+    }
+
+    /// Start timing at a registered [`SpanSite`]: records the duration
+    /// into the site's cumulative histogram *and* appends a
+    /// `(site, parent, start_ns, dur_ns, trace_id)` record to the
+    /// thread's span ring — what [`span!`] does while tracing is on.
+    #[inline]
+    pub fn start_site(site: &'static SpanSite) -> Span {
+        Span {
+            inner: Some(SpanInner {
+                hist: site.histogram(),
+                active: spans::ActiveSpan::begin(site.name()),
+                start: Instant::now(),
+            }),
         }
     }
 
@@ -171,8 +212,12 @@ impl Span {
 impl Drop for Span {
     #[inline]
     fn drop(&mut self) {
-        if let Some((hist, start)) = self.inner.take() {
-            hist.record(start.elapsed().as_nanos() as u64);
+        if let Some(inner) = self.inner.take() {
+            let dur_ns = inner.start.elapsed().as_nanos() as u64;
+            inner.hist.record(dur_ns);
+            if let Some(active) = inner.active {
+                active.finish(dur_ns);
+            }
         }
     }
 }
@@ -215,14 +260,18 @@ macro_rules! record {
 /// Start an RAII timer recording elapsed nanoseconds into a named
 /// histogram; bind the result (`let _guard = span!("x_ns");`). While
 /// tracing is disabled this neither reads the clock nor records.
+/// While enabled, the site also appends a span-tree record carrying
+/// the thread's ambient [`TraceId`] (see [`ambient_guard`]) to the
+/// per-thread span ring, unless `KPA_TRACE_SPANS=0` turned span
+/// recording off.
 #[macro_export]
 macro_rules! span {
     ($name:expr) => {
         if $crate::enabled() {
-            static __KPA_TRACE_SLOT: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            static __KPA_TRACE_SLOT: ::std::sync::OnceLock<&'static $crate::SpanSite> =
                 ::std::sync::OnceLock::new();
-            $crate::Span::start(
-                __KPA_TRACE_SLOT.get_or_init(|| $crate::registry().histogram($name)),
+            $crate::Span::start_site(
+                __KPA_TRACE_SLOT.get_or_init(|| $crate::registry().span_site($name)),
             )
         } else {
             $crate::Span::disabled()
@@ -261,11 +310,23 @@ mod tests {
         {
             let _g = span!("test.lifecycle.span_ns");
         }
+        {
+            // While off, the ambient guard must not touch TLS either.
+            let _g = ambient_guard(TraceId(42));
+            assert_eq!(current_trace_id(), TraceId::NONE);
+        }
         let off = registry().snapshot();
         assert!(!off.enabled);
         assert_eq!(off.counter("test.lifecycle.c"), 0);
         assert!(!off.histograms.contains_key("test.lifecycle.h"));
         assert!(off.events.iter().all(|e| e.name != "test.lifecycle.e"));
+        let (off_spans, _) = snapshot_span_records();
+        assert!(
+            off_spans
+                .iter()
+                .all(|r| !r.site.starts_with("test.lifecycle.")),
+            "disabled span! sites must not reach the span rings"
+        );
 
         Trace::enabled(true);
         assert!(enabled());
@@ -273,9 +334,15 @@ mod tests {
         count!("test.lifecycle.c", 2);
         record!("test.lifecycle.h", 123);
         event!("test.lifecycle.e", 7);
+        registry().rolling("test.lifecycle.roll_ns").record(900);
+        let tid = next_trace_id();
         {
+            let _req = ambient_guard(tid);
+            assert_eq!(current_trace_id(), tid);
             let _g = span!("test.lifecycle.span_ns");
+            let _inner = span!("test.lifecycle.inner_ns");
         }
+        assert_eq!(current_trace_id(), TraceId::NONE, "guard restores on drop");
         let on = registry().snapshot();
         assert!(on.enabled);
         assert_eq!(on.counter("test.lifecycle.c"), 3);
@@ -293,12 +360,42 @@ mod tests {
             .events
             .iter()
             .any(|e| e.name == "test.lifecycle.e" && e.value == 7));
+        assert_eq!(on.windowed["test.lifecycle.roll_ns"].count, 1);
+        assert_eq!(on.windowed["test.lifecycle.roll_ns"].p50, Some(512));
+        assert!(on
+            .span_sites
+            .iter()
+            .any(|s| s.site == "test.lifecycle.span_ns" && s.count == 1));
+
+        // The span records stitched into a tree: the inner span is a
+        // child of the outer one and both carry the request's id.
+        let (records, _) = snapshot_span_records();
+        let outer = records
+            .iter()
+            .find(|r| r.site == "test.lifecycle.span_ns")
+            .expect("outer span recorded");
+        let inner = records
+            .iter()
+            .find(|r| r.site == "test.lifecycle.inner_ns")
+            .expect("inner span recorded");
+        assert_eq!(outer.trace_id, tid.0);
+        assert_eq!(inner.trace_id, tid.0);
+        assert_eq!(inner.parent, outer.seq, "nesting comes from the open stack");
+        assert_eq!(outer.parent, 0, "outermost span is a root");
 
         registry().reset();
         let zeroed = registry().snapshot();
         assert_eq!(zeroed.counter("test.lifecycle.c"), 0);
         assert_eq!(zeroed.histograms["test.lifecycle.h"].count, 0);
         assert!(zeroed.events.is_empty());
+        assert_eq!(zeroed.windowed["test.lifecycle.roll_ns"].count, 0);
+        assert!(
+            !zeroed
+                .span_sites
+                .iter()
+                .any(|s| s.site.starts_with("test.lifecycle.")),
+            "reset drains the span rings"
+        );
         set_enabled(false);
     }
 }

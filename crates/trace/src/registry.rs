@@ -13,7 +13,9 @@ use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::metrics::{Counter, Histogram};
-use crate::report::{HistogramSnapshot, TraceReport};
+use crate::report::{HistogramSnapshot, TraceReport, WindowedSnapshot};
+use crate::rolling::RollingHistogram;
+use crate::spans::{self, SpanSite};
 
 /// Default capacity of the event ring; older events are overwritten
 /// (and counted as dropped) once it fills. The process-global ring's
@@ -115,6 +117,8 @@ impl Ring {
 pub struct Registry {
     counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
     histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
+    rollings: Mutex<BTreeMap<&'static str, &'static RollingHistogram>>,
+    span_sites: Mutex<BTreeMap<&'static str, &'static SpanSite>>,
     ring: Mutex<Ring>,
     epoch: Instant,
 }
@@ -125,6 +129,8 @@ pub fn registry() -> &'static Registry {
     REGISTRY.get_or_init(|| Registry {
         counters: Mutex::new(BTreeMap::new()),
         histograms: Mutex::new(BTreeMap::new()),
+        rollings: Mutex::new(BTreeMap::new()),
+        span_sites: Mutex::new(BTreeMap::new()),
         ring: Mutex::new(Ring::with_capacity(ring_capacity_from_env())),
         epoch: Instant::now(),
     })
@@ -163,6 +169,36 @@ impl Registry {
         let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
         map.insert(intern(name), h);
         h
+    }
+
+    /// Look up (or create) the rolling-window histogram called `name`.
+    ///
+    /// Rolling histograms *wrap* cumulative ones at the call site —
+    /// record into both — so existing cumulative readers see the same
+    /// stream they always did.
+    pub fn rolling(&self, name: &str) -> &'static RollingHistogram {
+        let mut map = self.rollings.lock().expect("trace rolling registry");
+        if let Some(r) = map.get(name) {
+            return r;
+        }
+        let r: &'static RollingHistogram = Box::leak(Box::new(RollingHistogram::new()));
+        map.insert(intern(name), r);
+        r
+    }
+
+    /// Look up (or create) the `span!` call site called `name`: the
+    /// site's cumulative histogram plus its interned name, bundled so
+    /// the macro can open span-tree records without a second lookup.
+    pub fn span_site(&self, name: &str) -> &'static SpanSite {
+        let mut map = self.span_sites.lock().expect("trace span-site registry");
+        if let Some(site) = map.get(name) {
+            return site;
+        }
+        let hist = self.histogram(name);
+        let key = intern(name);
+        let site: &'static SpanSite = Box::leak(Box::new(SpanSite::new(key, hist)));
+        map.insert(key, site);
+        site
     }
 
     /// Append a point-in-time event to the ring (oldest entries are
@@ -229,11 +265,22 @@ impl Registry {
                 .map(|(k, h)| ((*k).to_owned(), HistogramSnapshot::of(h)))
                 .collect::<BTreeMap<String, HistogramSnapshot>>()
         };
+        let windowed = {
+            let map = self.rollings.lock().expect("trace rolling registry");
+            map.iter()
+                .map(|(k, r)| ((*k).to_owned(), WindowedSnapshot::of(&r.window())))
+                .collect::<BTreeMap<String, WindowedSnapshot>>()
+        };
+        let (span_records, spans_dropped) = spans::snapshot_span_records();
+        let span_sites = spans::span_site_stats(&span_records);
         let (events, dropped_events) = self.ring.lock().expect("trace event ring").snapshot();
         TraceReport {
             enabled: crate::enabled(),
             counters,
             histograms,
+            windowed,
+            span_sites,
+            spans_dropped,
             events,
             dropped_events,
             rows: BTreeMap::new(),
@@ -260,6 +307,15 @@ impl Registry {
         {
             h.reset();
         }
+        for r in self
+            .rollings
+            .lock()
+            .expect("trace rolling registry")
+            .values()
+        {
+            r.reset();
+        }
+        spans::reset_spans();
         self.ring.lock().expect("trace event ring").clear();
     }
 }
@@ -315,5 +371,15 @@ mod tests {
         let h1 = reg.histogram("test.registry.hist");
         let h2 = reg.histogram("test.registry.hist");
         assert!(std::ptr::eq(h1, h2));
+        let r1 = reg.rolling("test.registry.roll");
+        let r2 = reg.rolling("test.registry.roll");
+        assert!(std::ptr::eq(r1, r2));
+        let s1 = reg.span_site("test.registry.site_ns");
+        let s2 = reg.span_site("test.registry.site_ns");
+        assert!(std::ptr::eq(s1, s2));
+        assert!(
+            std::ptr::eq(s1.histogram(), reg.histogram("test.registry.site_ns")),
+            "a span site shares the same-named cumulative histogram"
+        );
     }
 }

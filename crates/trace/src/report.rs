@@ -6,9 +6,16 @@ use std::fmt::Write as _;
 
 use crate::metrics::{bucket_floor, Histogram, BUCKETS};
 use crate::registry::Event;
+use crate::spans::SpanSiteStat;
 
 /// Schema version stamped into every trace JSON document.
-pub const TRACE_SCHEMA_VERSION: u64 = 1;
+///
+/// v2 (PR 10) added the `windowed` section (rolling-window
+/// p50/p99 summaries) and the `spans` section (dropped count +
+/// per-site aggregates from the span-tree rings) between
+/// `histograms` and `rows`; v1 documents are otherwise a strict
+/// subset.
+pub const TRACE_SCHEMA_VERSION: u64 = 2;
 
 /// An immutable copy of one histogram's state.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,6 +98,35 @@ impl HistogramSnapshot {
     }
 }
 
+/// A rolling-window summary: the last-window shape of one
+/// [`RollingHistogram`](crate::RollingHistogram), reduced to the four
+/// numbers the schema exports (full bucket detail stays in-process;
+/// the wire cares about "what was p99 just now").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowedSnapshot {
+    /// Samples inside the window.
+    pub count: u64,
+    /// Sum of those samples (wrapping).
+    pub sum: u64,
+    /// Median bucket floor over the window, `None` when empty.
+    pub p50: Option<u64>,
+    /// 99th-percentile bucket floor over the window, `None` when empty.
+    pub p99: Option<u64>,
+}
+
+impl WindowedSnapshot {
+    /// Reduce a merged window snapshot to the exported summary.
+    #[must_use]
+    pub fn of(window: &HistogramSnapshot) -> WindowedSnapshot {
+        WindowedSnapshot {
+            count: window.count,
+            sum: window.sum,
+            p50: window.p50(),
+            p99: window.p99(),
+        }
+    }
+}
+
 /// A point-in-time copy of the whole registry, ready for export.
 ///
 /// `rows` is an optional per-label breakdown (the bench fills it with
@@ -103,6 +139,12 @@ pub struct TraceReport {
     pub counters: BTreeMap<String, u64>,
     /// All histograms by name, sorted.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Rolling-window summaries by name, sorted (schema v2).
+    pub windowed: BTreeMap<String, WindowedSnapshot>,
+    /// Per-site span aggregates, hottest first (schema v2).
+    pub span_sites: Vec<SpanSiteStat>,
+    /// Span records evicted from full per-thread rings (schema v2).
+    pub spans_dropped: u64,
     /// Surviving ring-buffer events, sequence-ascending.
     pub events: Vec<Event>,
     /// Events overwritten after the ring filled.
@@ -172,6 +214,49 @@ impl TraceReport {
             s.push('\n');
         }
         s.push_str("  },\n");
+        s.push_str("  \"windowed\": {");
+        for (i, (name, w)) in self.windowed.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('\n');
+            let _ = write!(
+                s,
+                "    {}: {{\"count\": {}, \"sum\": {}, \"p50\": {}, \"p99\": {}}}",
+                json_str(name),
+                w.count,
+                w.sum,
+                json_opt(w.p50),
+                json_opt(w.p99)
+            );
+        }
+        if !self.windowed.is_empty() {
+            s.push('\n');
+        }
+        s.push_str("  },\n");
+        let _ = write!(
+            s,
+            "  \"spans\": {{\"dropped\": {}, \"sites\": {{",
+            self.spans_dropped
+        );
+        for (i, site) in self.span_sites.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('\n');
+            let _ = write!(
+                s,
+                "    {}: {{\"count\": {}, \"total_ns\": {}, \"max_ns\": {}}}",
+                json_str(site.site),
+                site.count,
+                site.total_ns,
+                site.max_ns
+            );
+        }
+        if !self.span_sites.is_empty() {
+            s.push('\n');
+        }
+        s.push_str("  }},\n");
         s.push_str("  \"rows\": {");
         for (i, (label, counters)) in self.rows.iter().enumerate() {
             if i > 0 {
@@ -260,6 +345,44 @@ impl TraceReport {
                 );
             }
         }
+        if !self.windowed.is_empty() {
+            let fmt_opt = |v: Option<u64>| v.map(|v| v.to_string()).unwrap_or_else(|| "-".into());
+            let _ = writeln!(
+                s,
+                "  {:<width$}  {:>12}  {:>12}  {:>12}",
+                "windowed", "count", "p50", "p99"
+            );
+            for (name, w) in &self.windowed {
+                let _ = writeln!(
+                    s,
+                    "  {name:<width$}  {:>12}  {:>12}  {:>12}",
+                    w.count,
+                    fmt_opt(w.p50),
+                    fmt_opt(w.p99)
+                );
+            }
+        }
+        if !self.span_sites.is_empty() {
+            let _ = writeln!(
+                s,
+                "  {:<width$}  {:>12}  {:>12}  {:>12}",
+                "span site", "count", "total_ns", "max_ns"
+            );
+            for site in &self.span_sites {
+                let _ = writeln!(
+                    s,
+                    "  {:<width$}  {:>12}  {:>12}  {:>12}",
+                    site.site, site.count, site.total_ns, site.max_ns
+                );
+            }
+        }
+        if self.spans_dropped > 0 {
+            let _ = writeln!(
+                s,
+                "  ({} span records dropped from per-thread rings)",
+                self.spans_dropped
+            );
+        }
         if self.dropped_events > 0 {
             let _ = writeln!(
                 s,
@@ -334,10 +457,23 @@ mod tests {
         counters.insert("a.b".to_owned(), 3u64);
         let mut histograms = BTreeMap::new();
         histograms.insert("lat_ns".to_owned(), HistogramSnapshot::of(&h));
+        let mut windowed = BTreeMap::new();
+        windowed.insert(
+            "lat_ns".to_owned(),
+            WindowedSnapshot::of(&HistogramSnapshot::of(&h)),
+        );
         TraceReport {
             enabled: true,
             counters,
             histograms,
+            windowed,
+            span_sites: vec![SpanSiteStat {
+                site: "demo.step_ns",
+                count: 2,
+                total_ns: 110,
+                max_ns: 100,
+            }],
+            spans_dropped: 0,
             events: vec![Event {
                 seq: 0,
                 at_ns: 17,
@@ -355,10 +491,13 @@ mod tests {
         let a = r.to_json("unit");
         let b = r.to_json("unit");
         assert_eq!(a, b, "serialization must be deterministic");
-        assert!(a.starts_with("{\n  \"kpa_trace\": 1,"));
+        assert!(a.starts_with("{\n  \"kpa_trace\": 2,"));
         assert!(a.contains("\"workload\": \"unit\""));
         assert!(a.contains("\"a.b\": 3"));
         assert!(a.contains("\"buckets\": [[0, 1], [4, 1]]"));
+        assert!(a.contains("\"lat_ns\": {\"count\": 2, \"sum\": 5, \"p50\": 0, \"p99\": 4}"));
+        assert!(a.contains("\"spans\": {\"dropped\": 0, \"sites\": {"));
+        assert!(a.contains("\"demo.step_ns\": {\"count\": 2, \"total_ns\": 110, \"max_ns\": 100}"));
         assert!(a.contains("[0, 17, \"tick\", 9]"));
         assert!(a.trim_end().ends_with('}'));
         // Braces and brackets balance (stringless schema sanity).
@@ -386,6 +525,8 @@ mod tests {
         assert!(t.contains("a.b"));
         assert!(t.contains("lat_ns"));
         assert!(t.contains("enabled"));
+        assert!(t.contains("windowed"));
+        assert!(t.contains("demo.step_ns"));
     }
 
     #[test]

@@ -1,0 +1,337 @@
+//! Rolling-window histograms: recent-latency quantiles without a
+//! background thread.
+//!
+//! The cumulative [`Histogram`](crate::Histogram) answers "what has
+//! this process seen since it started" — the wrong question for
+//! backpressure, where a p99 regression in the last few seconds drowns
+//! in hours of warm history. A [`RollingHistogram`] keeps `N` slot
+//! histograms on a ring indexed by a *coarse monotonic tick* (the
+//! registry's nanosecond clock shifted right by a power of two, ~1 s
+//! per slot by default). Recording lands in the slot of the current
+//! tick; a recorder that finds the slot stamped with an older tick
+//! rotates it (reset + restamp) lazily, so there is no timer thread
+//! and an idle window simply decays to empty slots. The window
+//! snapshot merges every slot whose stamp falls inside the last `N`
+//! ticks, giving p50/p99 over roughly the last `N` slot-durations.
+//!
+//! Rolling histograms *wrap* cumulative ones at the call site — the
+//! caller records into both — so every existing reader of the
+//! cumulative histograms is untouched.
+//!
+//! Concurrency is telemetry-grade by design: rotation is claimed with
+//! a compare-exchange on the slot's stamp, and a sample racing the
+//! reset of its own slot can be lost. Counts are diagnostics, not
+//! ledgers; the exact-rational answer path never reads them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::metrics::{bucket_floor, Histogram, BUCKETS};
+use crate::report::HistogramSnapshot;
+
+/// Default number of window slots.
+pub const ROLLING_SLOTS: usize = 8;
+
+/// Default tick granularity: nanoseconds shifted right by this many
+/// bits, i.e. one tick ≈ 1.07 s — so the default window covers the
+/// last ~8.6 s.
+pub const ROLLING_SLOT_NS_SHIFT: u32 = 30;
+
+/// One window slot: a histogram stamped with the tick it belongs to.
+/// The stamp stores `tick + 1` so that `0` means "never used".
+#[derive(Debug)]
+struct Slot {
+    stamp: AtomicU64,
+    hist: Histogram,
+}
+
+/// An `N`-slot rolling-window log₂ histogram.
+///
+/// `record` places samples into the slot of the current coarse tick,
+/// lazily resetting slots whose stamp has fallen out of the window;
+/// [`RollingHistogram::window`] merges the live slots into one
+/// [`HistogramSnapshot`] whose `p50`/`p99` describe only the last
+/// window. All state is relaxed atomics — no locks, no background
+/// thread, safe to record from any number of threads.
+#[derive(Debug)]
+pub struct RollingHistogram {
+    slots: Box<[Slot]>,
+    shift: u32,
+    /// Samples dropped because their tick was older than the slot's
+    /// current stamp (clock skew between caller and rotator).
+    skewed: AtomicU64,
+}
+
+impl Default for RollingHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RollingHistogram {
+    /// A rolling histogram with the default slot count and tick size.
+    #[must_use]
+    pub fn new() -> RollingHistogram {
+        RollingHistogram::with_slots(ROLLING_SLOTS, ROLLING_SLOT_NS_SHIFT)
+    }
+
+    /// A rolling histogram with `slots` slots of `2^shift` nanoseconds
+    /// each (tests use small shifts to drive rotation deterministically).
+    ///
+    /// # Panics
+    ///
+    /// If `slots` is zero or `shift` is 64 or more.
+    #[must_use]
+    pub fn with_slots(slots: usize, shift: u32) -> RollingHistogram {
+        assert!(slots > 0, "RollingHistogram needs at least one slot");
+        assert!(shift < 64, "tick shift must leave a nonzero tick range");
+        RollingHistogram {
+            slots: (0..slots)
+                .map(|_| Slot {
+                    stamp: AtomicU64::new(0),
+                    hist: Histogram::new(),
+                })
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            shift,
+            skewed: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of window slots.
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Nanoseconds per slot (`2^shift`).
+    #[must_use]
+    pub fn slot_ns(&self) -> u64 {
+        1u64 << self.shift
+    }
+
+    /// The current coarse tick (registry clock over the slot size).
+    #[must_use]
+    pub fn now_tick(&self) -> u64 {
+        crate::registry().now_ns() >> self.shift
+    }
+
+    /// Samples dropped because their tick had already been rotated out.
+    #[must_use]
+    pub fn skewed(&self) -> u64 {
+        self.skewed.load(Ordering::Relaxed)
+    }
+
+    /// Record one sample at the current tick.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.record_at_tick(v, self.now_tick());
+    }
+
+    /// Record one sample as of an explicit tick (the rotation-edge
+    /// test hook; production callers use [`RollingHistogram::record`]).
+    ///
+    /// A sample whose tick is *older* than the slot's current stamp is
+    /// dropped and counted in [`RollingHistogram::skewed`] — recording
+    /// it would pollute a newer window slot with stale data.
+    pub fn record_at_tick(&self, v: u64, tick: u64) {
+        let slot = &self.slots[(tick % self.slots.len() as u64) as usize];
+        let stamp = tick + 1;
+        loop {
+            let seen = slot.stamp.load(Ordering::Relaxed);
+            if seen == stamp {
+                slot.hist.record(v);
+                return;
+            }
+            if seen > stamp {
+                self.skewed.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            // The slot holds an older window's data: claim the
+            // rotation, reset, then record. A racing recorder that
+            // observes the new stamp before the reset finishes may
+            // lose its sample — acceptable for diagnostics.
+            if slot
+                .stamp
+                .compare_exchange(seen, stamp, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                slot.hist.reset();
+                slot.hist.record(v);
+                return;
+            }
+        }
+    }
+
+    /// Merge of every slot in the window ending at the current tick.
+    #[must_use]
+    pub fn window(&self) -> HistogramSnapshot {
+        self.window_at_tick(self.now_tick())
+    }
+
+    /// Merge of every slot whose stamp lies in the `N`-tick window
+    /// ending at `tick` (inclusive). Slots that were never stamped, or
+    /// whose stamp has aged out, contribute nothing — an idle stream
+    /// decays to an empty snapshot.
+    #[must_use]
+    pub fn window_at_tick(&self, tick: u64) -> HistogramSnapshot {
+        let newest = tick + 1;
+        let oldest = newest.saturating_sub(self.slots.len() as u64 - 1);
+        let mut buckets = [0u64; BUCKETS];
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        let mut min: Option<u64> = None;
+        let mut max: Option<u64> = None;
+        for slot in self.slots.iter() {
+            let stamp = slot.stamp.load(Ordering::Relaxed);
+            if stamp == 0 || stamp < oldest || stamp > newest {
+                continue;
+            }
+            let n = slot.hist.count();
+            if n == 0 {
+                continue;
+            }
+            count += n;
+            sum = sum.wrapping_add(slot.hist.sum());
+            min = match (min, slot.hist.min()) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            max = match (max, slot.hist.max()) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+            for (k, bucket) in buckets.iter_mut().enumerate() {
+                *bucket += slot.hist.bucket(k);
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum,
+            min,
+            max,
+            buckets: buckets
+                .iter()
+                .enumerate()
+                .filter(|&(_, &n)| n > 0)
+                .map(|(k, &n)| (bucket_floor(k), n))
+                .collect(),
+        }
+    }
+
+    /// Empty every slot (used by `Registry::reset` between bench rows).
+    pub(crate) fn reset(&self) {
+        for slot in self.slots.iter() {
+            slot.stamp.store(0, Ordering::Relaxed);
+            slot.hist.reset();
+        }
+        self.skewed.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Samples recorded at one tick are visible in windows ending at
+    /// that tick and gone once the window slides past them.
+    #[test]
+    fn window_slides_and_decays() {
+        let r = RollingHistogram::with_slots(4, 10);
+        r.record_at_tick(100, 5);
+        r.record_at_tick(200, 6);
+        let w = r.window_at_tick(6);
+        assert_eq!(w.count, 2);
+        assert_eq!(w.min, Some(100));
+        assert_eq!(w.max, Some(200));
+        // Window [5..=8] still sees tick 5; window [6..=9] does not.
+        assert_eq!(r.window_at_tick(8).count, 2);
+        assert_eq!(r.window_at_tick(9).count, 1);
+        assert_eq!(r.window_at_tick(42).count, 0, "idle stream decays to empty");
+    }
+
+    /// Empty slots (never stamped, or stamped then aged out) simply
+    /// contribute nothing; an empty window has no quantiles.
+    #[test]
+    fn empty_slots_are_skipped() {
+        let r = RollingHistogram::with_slots(4, 10);
+        let w = r.window_at_tick(0);
+        assert_eq!(w.count, 0);
+        assert_eq!(w.p50(), None);
+        assert_eq!(w.p99(), None);
+        // One live slot among three empty ones.
+        r.record_at_tick(7, 2);
+        let w = r.window_at_tick(3);
+        assert_eq!(w.count, 1);
+        assert_eq!(w.p50(), Some(4), "7 lands in the [4,8) bucket");
+    }
+
+    /// A slot is reused after `N` ticks: the rotation resets it, so
+    /// old samples never leak into a new window.
+    #[test]
+    fn rotation_resets_reused_slots() {
+        let r = RollingHistogram::with_slots(4, 10);
+        r.record_at_tick(1, 0);
+        r.record_at_tick(1, 0);
+        // Tick 4 maps to the same slot as tick 0 and must evict it.
+        r.record_at_tick(1000, 4);
+        let w = r.window_at_tick(4);
+        assert_eq!(w.count, 1);
+        assert_eq!(w.min, Some(1000), "rotated slot must forget old samples");
+    }
+
+    /// Tick skew: a sample carrying a tick older than the slot's
+    /// current stamp is dropped (and counted), not recorded into the
+    /// newer window.
+    #[test]
+    fn skewed_samples_are_dropped_not_misfiled() {
+        let r = RollingHistogram::with_slots(4, 10);
+        r.record_at_tick(10, 4);
+        assert_eq!(r.skewed(), 0);
+        // Tick 0 maps to the slot now stamped for tick 4.
+        r.record_at_tick(99, 0);
+        assert_eq!(r.skewed(), 1);
+        let w = r.window_at_tick(4);
+        assert_eq!(w.count, 1);
+        assert_eq!(w.max, Some(10), "stale sample must not pollute the slot");
+    }
+
+    /// Saturation: extreme values land in the top bucket and the
+    /// window quantiles resolve to its floor, exactly like the
+    /// cumulative histogram.
+    #[test]
+    fn saturating_values_keep_quantiles_sane() {
+        let r = RollingHistogram::with_slots(2, 10);
+        for _ in 0..10 {
+            r.record_at_tick(u64::MAX, 1);
+        }
+        r.record_at_tick(0, 1);
+        let w = r.window_at_tick(1);
+        assert_eq!(w.count, 11);
+        assert_eq!(w.max, Some(u64::MAX));
+        assert_eq!(w.p99(), Some(1u64 << 63), "top bucket floor");
+        assert_eq!(w.quantile(0.0), Some(0));
+    }
+
+    /// The wall-clock path: now_tick advances with the registry clock
+    /// and record()/window() agree on the current slot.
+    #[test]
+    fn wall_clock_path_records_into_the_live_window() {
+        let r = RollingHistogram::new();
+        assert_eq!(r.slot_count(), ROLLING_SLOTS);
+        assert_eq!(r.slot_ns(), 1u64 << ROLLING_SLOT_NS_SHIFT);
+        r.record(123);
+        r.record(456);
+        let w = r.window();
+        assert_eq!(w.count, 2);
+        assert_eq!(w.min, Some(123));
+        r.reset();
+        assert_eq!(r.window().count, 0);
+        assert_eq!(r.skewed(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_is_rejected() {
+        let _ = RollingHistogram::with_slots(0, 10);
+    }
+}

@@ -28,7 +28,8 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use crate::metrics::{Counter, Histogram};
-use crate::report::{HistogramSnapshot, TraceReport};
+use crate::report::{HistogramSnapshot, TraceReport, WindowedSnapshot};
+use crate::rolling::RollingHistogram;
 
 /// A named, independently owned group of counters and histograms.
 ///
@@ -41,6 +42,7 @@ pub struct Scope {
     label: String,
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    rollings: Mutex<BTreeMap<String, Arc<RollingHistogram>>>,
 }
 
 impl Scope {
@@ -52,6 +54,7 @@ impl Scope {
             label: label.into(),
             counters: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
+            rollings: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -92,6 +95,29 @@ impl Scope {
         self.histogram(name).record(v);
     }
 
+    /// Look up (or create) the scope-local rolling-window histogram
+    /// called `name`. Rolling histograms wrap cumulative ones at the
+    /// call site; [`Scope::record_windowed`] records into both.
+    pub fn rolling(&self, name: &str) -> Arc<RollingHistogram> {
+        let mut map = self.rollings.lock().expect("scope rollings");
+        if let Some(r) = map.get(name) {
+            return Arc::clone(r);
+        }
+        let r = Arc::new(RollingHistogram::new());
+        map.insert(name.to_owned(), Arc::clone(&r));
+        r
+    }
+
+    /// Record one sample into both the cumulative histogram and the
+    /// rolling window called `name`, so old readers of the cumulative
+    /// stream are untouched while new readers get recent quantiles.
+    /// Takes the registration locks each call; hot paths should cache
+    /// the two handles instead.
+    pub fn record_windowed(&self, name: &str, v: u64) {
+        self.histogram(name).record(v);
+        self.rolling(name).record(v);
+    }
+
     /// A point-in-time copy of every metric in the scope, in the same
     /// [`TraceReport`] shape the global registry snapshots into — so
     /// [`TraceReport::to_json`] and [`TraceReport::render_table`] work
@@ -111,10 +137,19 @@ impl Scope {
                 .map(|(k, h)| (k.clone(), HistogramSnapshot::of(h)))
                 .collect::<BTreeMap<String, HistogramSnapshot>>()
         };
+        let windowed = {
+            let map = self.rollings.lock().expect("scope rollings");
+            map.iter()
+                .map(|(k, r)| (k.clone(), WindowedSnapshot::of(&r.window())))
+                .collect::<BTreeMap<String, WindowedSnapshot>>()
+        };
         TraceReport {
             enabled: true,
             counters,
             histograms,
+            windowed,
+            span_sites: Vec::new(),
+            spans_dropped: 0,
             events: Vec::new(),
             dropped_events: 0,
             rows: BTreeMap::new(),
@@ -134,9 +169,16 @@ mod tests {
         scope.counter("q").incr();
         scope.histogram("lat_ns").record(100);
         scope.record("lat_ns", 200);
+        scope.record_windowed("frame_ns", 1800);
         let report = scope.snapshot();
         assert_eq!(report.counter("q"), 3);
         assert_eq!(report.histograms["lat_ns"].count, 2);
+        assert_eq!(
+            report.histograms["frame_ns"].count, 1,
+            "windowed recording feeds the cumulative stream too"
+        );
+        assert_eq!(report.windowed["frame_ns"].count, 1);
+        assert_eq!(report.windowed["frame_ns"].p50, Some(1024));
         // Nothing reached the process-global registry.
         assert_eq!(crate::registry().snapshot().counter("q"), 0);
         // A second scope with the same metric names starts from zero.

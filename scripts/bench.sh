@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_8.json + TRACE_5.json + BENCH_6.json +
+# Regenerates BENCH_8.json + TRACE_10.json + BENCH_6.json +
 # BENCH_7.json + BENCH_9.json: the kernel-bench rows (dense PointSet
 # sat evaluator, pool parallel sweep, dense measure kernel, the
 # compiled threshold family, and the batched sample plan) plus the
@@ -29,8 +29,10 @@
 # pre-compiler kernel baseline, kept for history like BENCH_3/4 but no
 # longer regenerated — the PR 8 formula compiler replaced its
 # pr_ge_family rows.)  The trace gate follows the same rule with
-# TRACE_5.json: it schema-checks the fresh report and asserts the
-# sample-plan hit rate didn't collapse vs the baseline.  BENCH_6.json
+# TRACE_10.json: it schema-checks the fresh report (v2: counters +
+# rolling windows + span sites) and asserts the sample-plan hit rate
+# didn't collapse vs the baseline.  (TRACE_5.json is the schema-v1
+# counter-only baseline, kept for history but no longer regenerated.)  BENCH_6.json
 # and BENCH_7.json follow the same rule again with KPA_BENCH6_JSON /
 # KPA_BENCH7_JSON.
 #
@@ -39,12 +41,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 baseline8="$(pwd)/BENCH_8.json"
-trace_baseline="$(pwd)/TRACE_5.json"
+trace_baseline="$(pwd)/TRACE_10.json"
 baseline6="$(pwd)/BENCH_6.json"
 baseline7="$(pwd)/BENCH_7.json"
 baseline9="$(pwd)/BENCH_9.json"
 out8="${KPA_BENCH8_JSON:-BENCH_8.json}"
-trace_out="${KPA_TRACE_JSON:-TRACE_5.json}"
+trace_out="${KPA_TRACE_JSON:-TRACE_10.json}"
 out6="${KPA_BENCH6_JSON:-BENCH_6.json}"
 out7="${KPA_BENCH7_JSON:-BENCH_7.json}"
 out9="${KPA_BENCH9_JSON:-BENCH_9.json}"

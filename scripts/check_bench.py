@@ -37,9 +37,12 @@ both files verifiably come from the same machine.
 With ``--trace`` the two files are kpa-trace reports (``TRACE_N.json``)
 instead of bench rows.  The gate then:
 
-  1. schema-checks the fresh report (``kpa_trace`` version, counters as
-     string -> non-negative int, each histogram's ``count`` equal to
-     its bucket mass, well-formed rows/events);
+  1. schema-checks the fresh report (``kpa_trace`` version 2, counters
+     as string -> non-negative int, each histogram's ``count`` equal to
+     its bucket mass, well-formed rows/events, and the v2 sections:
+     ``windowed`` rolling summaries with ordered ``p50 <= p99`` and
+     ``spans`` per-site aggregates -- both required present, and the
+     fresh report's window must actually hold samples);
   2. requires the counters that prove the dense path was exercised
      (``measure.dense_query`` > 0, ``measure.kernel_built`` > 0,
      ``logic.plan_hit`` > 0) and zero ``assign.generic_measure``
@@ -164,8 +167,10 @@ PROFILES = {
     },
 }
 
-# --trace mode: the schema version this gate understands.
-TRACE_SCHEMA_VERSION = 1
+# --trace mode: the schema version this gate understands.  v2 added the
+# "windowed" (rolling-window p50/p99 summaries) and "spans" (dropped
+# count + per-site aggregates) sections; both are required-present.
+TRACE_SCHEMA_VERSION = 2
 
 # --trace mode: the plan hit rate may drop at most this much (absolute)
 # below the committed baseline before the gate fails.
@@ -373,6 +378,46 @@ def check_trace_schema(report, path):
         floors = [f for f, _ in h.get("buckets", [])]
         if floors != sorted(floors):
             err(f"histogram {name!r}: bucket floors must ascend")
+    windowed = report.get("windowed")
+    if not isinstance(windowed, dict):
+        err("'windowed' must be an object (schema v2)")
+        windowed = {}
+    for name, w in windowed.items():
+        for field in ("count", "sum", "p50", "p99"):
+            if field not in w:
+                err(f"windowed {name!r} is missing {field!r}")
+        for field in ("count", "sum"):
+            val = w.get(field, 0)
+            if not isinstance(val, int) or val < 0:
+                err(f"windowed {name!r}: {field!r} must be a non-negative int")
+        p50, p99 = w.get("p50"), w.get("p99")
+        for field, val in (("p50", p50), ("p99", p99)):
+            if val is not None and (not isinstance(val, int) or val < 0):
+                err(f"windowed {name!r}: {field!r} must be null or a "
+                    "non-negative int")
+        if isinstance(p50, int) and isinstance(p99, int) and p50 > p99:
+            err(f"windowed {name!r}: p50 {p50} > p99 {p99}")
+        if w.get("count", 0) > 0 and p50 is None:
+            err(f"windowed {name!r}: a non-empty window must carry p50")
+    spans = report.get("spans")
+    if not isinstance(spans, dict):
+        err("'spans' must be an object (schema v2)")
+        spans = {}
+    s_dropped = spans.get("dropped")
+    if not isinstance(s_dropped, int) or s_dropped < 0:
+        err("spans 'dropped' must be a non-negative int")
+    sites = spans.get("sites")
+    if not isinstance(sites, dict):
+        err("spans 'sites' must be an object")
+        sites = {}
+    for name, site in sites.items():
+        for field in ("count", "total_ns", "max_ns"):
+            val = site.get(field)
+            if not isinstance(val, int) or val < 0:
+                err(f"span site {name!r}: {field!r} must be a "
+                    "non-negative int")
+        if site.get("max_ns", 0) > site.get("total_ns", 0):
+            err(f"span site {name!r}: max_ns exceeds total_ns")
     rows = report.get("rows")
     if not isinstance(rows, dict):
         err("'rows' must be an object")
@@ -416,6 +461,30 @@ def check_trace(baseline, fresh, baseline_path, fresh_path):
         print(f"  {name:28s} {val:12d}  {status}")
         if val <= 0:
             failures.append(f"required counter {name!r} is absent or zero")
+
+    # Schema v2: the traced bench feeds every row's wall time into the
+    # "bench.row_ns" rolling window, so a fresh report with an empty
+    # windowed section means the rolling path silently stopped
+    # recording.
+    windows = fresh.get("windowed", {})
+    win_samples = sum(
+        w.get("count", 0) for w in windows.values() if isinstance(w, dict)
+    )
+    status = "ok" if win_samples > 0 else "EMPTY"
+    print(f"  {'windowed samples':28s} {win_samples:12d}  {status}")
+    if win_samples <= 0:
+        failures.append(
+            "fresh report's 'windowed' section holds no samples; the "
+            "traced bench must record into a rolling window"
+        )
+    n_sites = len(fresh.get("spans", {}).get("sites", {}))
+    status = "ok" if n_sites > 0 else "EMPTY"
+    print(f"  {'span sites':28s} {n_sites:12d}  {status}")
+    if n_sites <= 0:
+        failures.append(
+            "fresh report recorded no span sites; the traced bench runs "
+            "instrumented span! scopes and must surface them"
+        )
 
     dense_row = find_row(fresh, DENSE_ROW_PREFIX)
     if dense_row is None:
@@ -526,6 +595,109 @@ def selftest():
     fails = run_speedups(prof, ok_base, bench("x", {"ratio": 2.9, "rate": 5.0}))
     assert fails == [], fails
     print("  speedup gate: clean pair passes                    ok")
+
+    # Trace schema v2: a well-formed report passes clean, and the
+    # windowed / spans validators each fire on inputs built to trip
+    # them.
+    def trace_report(**overrides):
+        report = {
+            "kpa_trace": TRACE_SCHEMA_VERSION,
+            "enabled": True,
+            "counters": {"measure.dense_query": 3},
+            "histograms": {},
+            "windowed": {
+                "bench.row_ns": {"count": 2, "sum": 12, "p50": 4, "p99": 8}
+            },
+            "spans": {
+                "dropped": 0,
+                "sites": {
+                    "system.build_ns": {
+                        "count": 2, "total_ns": 9, "max_ns": 7
+                    }
+                },
+            },
+            "rows": {},
+            "events": [],
+            "dropped_events": 0,
+        }
+        report.update(overrides)
+        return report
+
+    assert check_trace_schema(trace_report(), "t.json") == []
+    print("  trace schema: well-formed v2 report passes         ok")
+
+    fails = check_trace_schema(trace_report(kpa_trace=1), "t.json")
+    assert any("kpa_trace version" in f for f in fails), fails
+    print("  trace schema: stale version fires                  ok")
+
+    fails = check_trace_schema(
+        {k: v for k, v in trace_report().items() if k != "windowed"}, "t.json"
+    )
+    assert any("'windowed' must be an object" in f for f in fails), fails
+    fails = check_trace_schema(
+        {k: v for k, v in trace_report().items() if k != "spans"}, "t.json"
+    )
+    assert any("'spans' must be an object" in f for f in fails), fails
+    print("  trace schema: missing v2 sections fire             ok")
+
+    fails = check_trace_schema(
+        trace_report(windowed={"w": {"count": 1, "sum": 9,
+                                     "p50": 9, "p99": 3}}),
+        "t.json",
+    )
+    assert any("p50 9 > p99 3" in f for f in fails), fails
+    fails = check_trace_schema(
+        trace_report(windowed={"w": {"count": 1, "sum": 9,
+                                     "p50": None, "p99": None}}),
+        "t.json",
+    )
+    assert any("must carry p50" in f for f in fails), fails
+    print("  trace schema: windowed quantile checks fire        ok")
+
+    fails = check_trace_schema(
+        trace_report(spans={"dropped": 0, "sites": {
+            "s": {"count": 1, "total_ns": 2, "max_ns": 5}}}),
+        "t.json",
+    )
+    assert any("max_ns exceeds total_ns" in f for f in fails), fails
+    fails = check_trace_schema(
+        trace_report(spans={"dropped": -1, "sites": {}}), "t.json"
+    )
+    assert any("'dropped' must be a non-negative int" in f for f in fails), fails
+    print("  trace schema: span site checks fire                ok")
+
+    # The trace gate end to end: a clean pair passes, and a fresh
+    # report whose rolling window went silent is rejected.
+    def full_trace(**overrides):
+        counters = {name: 5 for name in TRACE_REQUIRED_POSITIVE}
+        return trace_report(
+            counters=counters,
+            rows={
+                "measure_interval/dense/8x100": {"measure.dense_query": 5},
+                "pr_ge_family/plan_on/100": {
+                    "logic.plan_hit": 9, "logic.plan_fallback": 1
+                },
+            },
+            **overrides,
+        )
+
+    with contextlib.redirect_stdout(io.StringIO()):
+        fails = check_trace(full_trace(), full_trace(), "b.json", "f.json")
+    assert fails == [], fails
+    with contextlib.redirect_stdout(io.StringIO()):
+        fails = check_trace(
+            full_trace(), full_trace(windowed={}), "b.json", "f.json"
+        )
+    assert any("holds no samples" in f for f in fails), fails
+    with contextlib.redirect_stdout(io.StringIO()):
+        fails = check_trace(
+            full_trace(),
+            full_trace(spans={"dropped": 0, "sites": {}}),
+            "b.json",
+            "f.json",
+        )
+    assert any("no span sites" in f for f in fails), fails
+    print("  trace gate: clean pass + empty-window/site firing  ok")
 
     # Every committed profile is structurally sound and internally
     # disjoint (a key in two buckets would be gated ambiguously).

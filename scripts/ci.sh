@@ -69,13 +69,14 @@ python3 scripts/check_bench.py --selftest
 # throughput per rung.  scripts/check_bench.py then compares the
 # fresh speedup ratios against the committed BENCH_8.json,
 # BENCH_6.json, BENCH_7.json and BENCH_9.json (30% tolerance) and the
-# fresh trace report against TRACE_5.json (schema + dense-path +
-# plan-hit-rate + wide-kernel counters, exact).  The fresh rows go to
+# fresh trace report against TRACE_10.json (schema v2 incl. rolling
+# windows + span sites, dense-path, plan-hit-rate, and wide-kernel
+# counters, exact).  The fresh rows go to
 # target/ so the committed baselines are not clobbered; regenerate the
 # baselines with a plain ./scripts/bench.sh.
 echo "==> scripts/bench.sh (kernel + shared + serve soak + scale ladder bench smoke + regression gates)"
 KPA_BENCH8_JSON="${KPA_BENCH8_JSON:-target/BENCH_8.fresh.json}" \
-    KPA_TRACE_JSON="${KPA_TRACE_JSON:-target/TRACE_5.fresh.json}" \
+    KPA_TRACE_JSON="${KPA_TRACE_JSON:-target/TRACE_10.fresh.json}" \
     KPA_BENCH6_JSON="${KPA_BENCH6_JSON:-target/BENCH_6.fresh.json}" \
     KPA_BENCH7_JSON="${KPA_BENCH7_JSON:-target/BENCH_7.fresh.json}" \
     KPA_BENCH9_JSON="${KPA_BENCH9_JSON:-target/BENCH_9.fresh.json}" ./scripts/bench.sh

@@ -17,6 +17,12 @@
 //! kernel traffic, pool scheduling, build times (equivalently, set
 //! `KPA_TRACE=1` in the environment).
 //!
+//! `--trace-events` (implies `--trace`) additionally dumps the event
+//! ring, the per-site span summary, the flamegraph-foldable span
+//! stacks, and the Chrome `trace_event` JSON for the run — paste the
+//! latter into `chrome://tracing` / Perfetto to see the request tree
+//! on a timeline.
+//!
 //! `--shared N` re-answers the formula from `N` threads sharing one
 //! `Arc<ModelArtifact>` (the concurrent query path), checks every
 //! thread against the serial model bit-for-bit, and — combined with
@@ -64,6 +70,7 @@ struct Args {
     list: bool,
     info: bool,
     trace: bool,
+    trace_events: bool,
     system: Option<String>,
     assignment: String,
     formula: Option<String>,
@@ -77,6 +84,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         list: false,
         info: false,
         trace: false,
+        trace_events: false,
         system: None,
         assignment: "post".to_owned(),
         formula: None,
@@ -95,6 +103,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--list" => args.list = true,
             "--info" => args.info = true,
             "--trace" => args.trace = true,
+            "--trace-events" => {
+                args.trace = true;
+                args.trace_events = true;
+            }
             "--system" => args.system = Some(take("--system")?),
             "--assignment" => args.assignment = take("--assignment")?,
             "--formula" => args.formula = Some(take("--formula")?),
@@ -115,7 +127,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     "usage: kpa-explore [--list] [--system NAME[:PARAM]] [--info] \
                             [--assignment post|fut|prior|opp:AGENT] [--formula F] \
                             [--at tree,run,time] [--shared N] [--connect HOST:PORT] \
-                            [--trace]\n\
+                            [--trace] [--trace-events]\n\
                      --shared N answers the formula from N threads sharing one \
                      Arc<ModelArtifact>, checks them against the serial model, \
                      and (with --trace) reports memo shard hits\n\
@@ -137,6 +149,45 @@ fn print_trace(on: bool) {
     if on {
         print!("\n{}", kpa_trace::registry().snapshot().render_table());
     }
+}
+
+/// `--trace-events`: dumps the raw event ring, the per-site span
+/// summary, the flamegraph-foldable stacks, and the Chrome
+/// `trace_event` JSON for everything this run recorded.
+fn dump_trace_events(on: bool) {
+    if !on {
+        return;
+    }
+    let report = kpa_trace::registry().snapshot();
+    println!(
+        "\n== trace events ({} captured, {} dropped) ==",
+        report.events.len(),
+        report.dropped_events
+    );
+    for e in &report.events {
+        println!(
+            "  [{:>6}] {:>12} ns  {} = {}",
+            e.seq, e.at_ns, e.name, e.value
+        );
+    }
+    let (records, dropped) = kpa_trace::snapshot_span_records();
+    println!(
+        "== span sites ({} spans, {dropped} dropped) ==",
+        records.len()
+    );
+    for s in kpa_trace::span_site_stats(&records) {
+        println!(
+            "  {:<28} count {:>6}  total {:>12} ns  max {:>10} ns",
+            s.site, s.count, s.total_ns, s.max_ns
+        );
+    }
+    println!("== span stacks (folded) ==");
+    print!(
+        "{}",
+        kpa_trace::spans_to_folded(&kpa_trace::stitch_span_trees(&records))
+    );
+    println!("== chrome trace json ==");
+    println!("{}", kpa_trace::spans_to_chrome_json(&records));
 }
 
 /// `--shared N`: answers the formula from `N` threads that share one
@@ -271,6 +322,11 @@ fn run(argv: &[String]) -> Result<(), String> {
         kpa_trace::Trace::enabled(true);
         kpa_trace::registry().reset();
     }
+    // Give the whole run one trace id, so its spans stitch into a
+    // single tree in the --trace-events dump.
+    let _run_id = args
+        .trace_events
+        .then(|| kpa_trace::ambient_guard(kpa_trace::next_trace_id()));
     if args.list {
         println!("built-in systems (NAME[:PARAM]):");
         for (name, desc, default) in SYSTEMS {
@@ -288,6 +344,7 @@ fn run(argv: &[String]) -> Result<(), String> {
     }
     let Some(formula_src) = args.formula else {
         print_trace(args.trace);
+        dump_trace_events(args.trace_events);
         return Ok(());
     };
     let formula = parse_in(&formula_src, &sys).map_err(|e| e.to_string())?;
@@ -342,6 +399,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         }
     }
     print_trace(args.trace);
+    dump_trace_events(args.trace_events);
     Ok(())
 }
 
@@ -421,6 +479,16 @@ mod tests {
             "--formula",
             "K{p3} c=h",
             "--trace",
+        ]))
+        .unwrap();
+        kpa_trace::Trace::enabled(false);
+        // --trace-events implies --trace and dumps rings/spans/exports.
+        run(&argv(&[
+            "--system",
+            "secret-coin",
+            "--formula",
+            "K{p3} c=h",
+            "--trace-events",
         ]))
         .unwrap();
         kpa_trace::Trace::enabled(false);

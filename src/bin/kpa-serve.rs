@@ -27,6 +27,7 @@ struct Args {
     config: ServeConfig,
     for_secs: Option<u64>,
     stats: bool,
+    preload: Vec<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -34,6 +35,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         config: ServeConfig::default(),
         for_secs: None,
         stats: false,
+        preload: Vec::new(),
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -63,12 +65,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--for-secs" => args.for_secs = Some(num("--for-secs", take("--for-secs")?)?),
             "--stats" => args.stats = true,
+            "--preload" => args.preload.push(take("--preload")?),
             "--help" | "-h" => {
                 return Err("usage: kpa-serve [--addr HOST:PORT] [--max-conns N] \
                             [--max-frame BYTES] [--max-batch N] [--idle-secs N] \
-                            [--for-secs N] [--stats]\n\
+                            [--for-secs N] [--stats] [--preload SYSTEM[/ASSIGNMENT]]...\n\
                             Runs until stdin EOF, a `quit` line, or --for-secs. \
-                            --stats prints process metrics at exit."
+                            --stats prints process metrics at exit. --preload warms \
+                            the artifact cache at boot (e.g. --preload secret-coin/post; \
+                            repeatable; assignment defaults to post)."
                     .to_owned())
             }
             other => return Err(format!("unknown argument {other:?} (try --help)")),
@@ -81,6 +86,17 @@ fn run(argv: &[String]) -> Result<(), String> {
     let args = parse_args(argv)?;
     let mut server =
         Server::bind(args.config.clone()).map_err(|e| format!("bind {}: {e}", args.config.addr))?;
+    for spec in &args.preload {
+        let (system, assignment) = match spec.split_once('/') {
+            Some((s, a)) => (s, a),
+            None => (spec.as_str(), "post"),
+        };
+        let key = server
+            .shared()
+            .preload(system, assignment)
+            .map_err(|e| format!("--preload {spec}: {e}"))?;
+        println!("kpa-serve preloaded {key}");
+    }
     println!(
         "kpa-serve listening on {} (proto v{})",
         server.local_addr(),
@@ -144,6 +160,10 @@ mod tests {
             "--for-secs",
             "0",
             "--stats",
+            "--preload",
+            "die/post",
+            "--preload",
+            "secret-coin",
         ]))
         .unwrap();
         assert_eq!(a.config.max_conns, 8);
@@ -152,6 +172,7 @@ mod tests {
         assert_eq!(a.config.idle_timeout, Duration::from_secs(2));
         assert_eq!(a.for_secs, Some(0));
         assert!(a.stats);
+        assert_eq!(a.preload, vec!["die/post", "secret-coin"]);
         assert!(parse_args(&argv(&["--frob"])).is_err());
         assert!(parse_args(&argv(&["--help"])).is_err());
         assert!(parse_args(&argv(&["--max-conns"])).is_err());
@@ -160,16 +181,28 @@ mod tests {
 
     #[test]
     fn bind_serve_and_exit() {
-        // --for-secs 0: bind, serve nothing, shut down cleanly.
+        // --for-secs 0: bind, preload, serve nothing, shut down cleanly.
         run(&argv(&[
             "--addr",
             "127.0.0.1:0",
             "--for-secs",
             "0",
             "--stats",
+            "--preload",
+            "die",
         ]))
         .unwrap();
         // A bad address is a clean error, not a panic.
         assert!(run(&argv(&["--addr", "256.0.0.1:99999"])).is_err());
+        // A bad preload spec is a clean error too.
+        assert!(run(&argv(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--for-secs",
+            "0",
+            "--preload",
+            "nope"
+        ]))
+        .is_err());
     }
 }

@@ -1,0 +1,371 @@
+//! `kpa-top` — a zero-dependency terminal dashboard for `kpa-serve`.
+//!
+//! ```console
+//! $ kpa-top --addr 127.0.0.1:4061
+//! ```
+//!
+//! Polls the server's `metrics` op (schema v2) on an interval and
+//! renders, from successive snapshots:
+//!
+//! - **qps / error rate** — deltas of the process request/error
+//!   counters between polls;
+//! - **windowed latency** — p50/p99 over the server's rolling window
+//!   for `proc.frame_ns` and `proc.query_ns` (recent behaviour, not
+//!   lifetime averages);
+//! - **artifact cache occupancy** — resident artifacts and their
+//!   approximate bytes;
+//! - **hottest span sites** — the top `span!` sites by total time
+//!   (populated when the server runs with `KPA_TRACE=1`).
+//!
+//! `--frames N` exits after `N` refreshes (scripting/smoke tests);
+//! `--plain` skips the ANSI clear-screen so output is appendable.
+
+use kpa::serve::json::Value;
+use kpa::serve::Client;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: String,
+    interval: Duration,
+    frames: Option<u64>,
+    plain: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        addr: String::new(),
+        interval: Duration::from_millis(1000),
+        frames: None,
+        plain: false,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => args.addr = take("--addr")?,
+            "--interval-ms" => {
+                let v = take("--interval-ms")?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--interval-ms expects a number; got {v:?}"))?;
+                args.interval = Duration::from_millis(ms.max(1));
+            }
+            "--frames" => {
+                let v = take("--frames")?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--frames expects a number; got {v:?}"))?;
+                args.frames = Some(n);
+            }
+            "--plain" => args.plain = true,
+            "--help" | "-h" => {
+                return Err("usage: kpa-top --addr HOST:PORT [--interval-ms N] \
+                            [--frames N] [--plain]\n\
+                            Polls a running kpa-serve's metrics op and renders qps, \
+                            error rate, windowed p50/p99 latencies, artifact-cache \
+                            occupancy, and the hottest span sites. --frames N exits \
+                            after N refreshes; --plain skips the screen clear."
+                    .to_owned())
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    if args.addr.is_empty() {
+        return Err("no --addr given (try --help)".to_owned());
+    }
+    Ok(args)
+}
+
+/// One decoded `metrics` snapshot, timestamped at receipt.
+struct Sample {
+    at: Instant,
+    requests: u64,
+    errors: u64,
+    sessions: u64,
+    artifacts: u64,
+    artifact_bytes: u64,
+    /// `(name, count, p50, p99)` per windowed process histogram.
+    windowed: Vec<(String, u64, Option<u64>, Option<u64>)>,
+    /// `(site, count, total_ns)` per reported span site, hottest first.
+    spans: Vec<(String, u64, u64)>,
+}
+
+fn counter(frame: &Value, name: &str) -> u64 {
+    frame
+        .get("process")
+        .and_then(|p| p.get("counters"))
+        .and_then(|c| c.get(name))
+        .and_then(Value::as_int)
+        .unwrap_or(0) as u64
+}
+
+fn sample(client: &mut Client) -> Result<Sample, String> {
+    let frame = client.metrics().map_err(|e| e.to_string())?;
+    let windowed = frame
+        .get("process")
+        .and_then(|p| p.get("windowed"))
+        .and_then(Value::as_obj)
+        .map(|m| {
+            m.iter()
+                .map(|(name, w)| {
+                    let int = |key: &str| w.get(key).and_then(Value::as_int).map(|v| v as u64);
+                    (
+                        name.clone(),
+                        int("count").unwrap_or(0),
+                        int("p50"),
+                        int("p99"),
+                    )
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let spans = frame
+        .get("spans")
+        .and_then(|s| s.get("sites"))
+        .and_then(Value::as_obj)
+        .map(|m| {
+            let mut sites: Vec<(String, u64, u64)> = m
+                .iter()
+                .map(|(site, s)| {
+                    let int = |key: &str| s.get(key).and_then(Value::as_int).unwrap_or(0) as u64;
+                    (site.clone(), int("count"), int("total_ns"))
+                })
+                .collect();
+            sites.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+            sites
+        })
+        .unwrap_or_default();
+    Ok(Sample {
+        at: Instant::now(),
+        requests: counter(&frame, "proc.requests"),
+        errors: counter(&frame, "proc.errors"),
+        sessions: counter(&frame, "proc.sessions"),
+        artifacts: frame
+            .get("artifacts_resident")
+            .and_then(Value::as_int)
+            .unwrap_or(0) as u64,
+        artifact_bytes: frame
+            .get("artifacts_resident_bytes")
+            .and_then(Value::as_int)
+            .unwrap_or(0) as u64,
+        windowed,
+        spans,
+    })
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders one dashboard frame from two successive samples.
+fn render(addr: &str, prev: &Sample, cur: &Sample) -> String {
+    use std::fmt::Write as _;
+    let dt = cur.at.duration_since(prev.at).as_secs_f64().max(1e-9);
+    let d_req = cur.requests.saturating_sub(prev.requests);
+    let d_err = cur.errors.saturating_sub(prev.errors);
+    let qps = d_req as f64 / dt;
+    let err_pct = if d_req > 0 {
+        100.0 * d_err as f64 / d_req as f64
+    } else {
+        0.0
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "kpa-top — {addr} — interval {:.1}s", dt);
+    let _ = writeln!(
+        out,
+        "qps {qps:.1}   errors {err_pct:.1}%   sessions {}   artifacts {} ({} bytes)",
+        cur.sessions, cur.artifacts, cur.artifact_bytes
+    );
+    let _ = writeln!(out, "windowed latency (rolling window):");
+    if cur.windowed.is_empty() {
+        let _ = writeln!(out, "  (no windowed histograms yet)");
+    }
+    for (name, count, p50, p99) in &cur.windowed {
+        let _ = writeln!(
+            out,
+            "  {name:<20} n={count:<7} p50 {:<10} p99 {}",
+            p50.map_or_else(|| "-".to_string(), fmt_ns),
+            p99.map_or_else(|| "-".to_string(), fmt_ns),
+        );
+    }
+    let _ = writeln!(out, "hottest span sites:");
+    if cur.spans.is_empty() {
+        let _ = writeln!(out, "  (none — run the server with KPA_TRACE=1)");
+    }
+    for (site, count, total_ns) in cur.spans.iter().take(8) {
+        let _ = writeln!(
+            out,
+            "  {site:<28} count {count:<7} total {}",
+            fmt_ns(*total_ns)
+        );
+    }
+    out
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let args = parse_args(argv)?;
+    let mut client = Client::connect(&args.addr).map_err(|e| format!("connect: {e}"))?;
+    client.hello().map_err(|e| format!("hello: {e}"))?;
+    let mut prev = sample(&mut client)?;
+    let mut remaining = args.frames;
+    loop {
+        if let Some(n) = &mut remaining {
+            if *n == 0 {
+                return Ok(());
+            }
+            *n -= 1;
+        }
+        std::thread::sleep(args.interval);
+        let cur = sample(&mut client)?;
+        let body = render(&args.addr, &prev, &cur);
+        if args.plain {
+            print!("{body}");
+        } else {
+            // ANSI clear + home, then the frame.
+            print!("\x1b[2J\x1b[H{body}");
+        }
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        prev = cur;
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpa::serve::{QueryItem, QueryKind, ServeConfig, Server};
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn argument_parsing() {
+        let a = parse_args(&argv(&[
+            "--addr",
+            "127.0.0.1:1",
+            "--interval-ms",
+            "250",
+            "--frames",
+            "3",
+            "--plain",
+        ]))
+        .unwrap();
+        assert_eq!(a.addr, "127.0.0.1:1");
+        assert_eq!(a.interval, Duration::from_millis(250));
+        assert_eq!(a.frames, Some(3));
+        assert!(a.plain);
+        assert!(parse_args(&argv(&[])).is_err(), "addr is required");
+        assert!(parse_args(&argv(&["--frob"])).is_err());
+        assert!(parse_args(&argv(&["--help"])).is_err());
+        assert!(parse_args(&argv(&["--addr", "x", "--frames", "y"])).is_err());
+    }
+
+    /// The acceptance loopback: a live kpa-serve takes traffic, the
+    /// dashboard samples it twice, and the rendered frame shows live
+    /// qps and windowed p50/p99 from the rolling histograms.
+    #[test]
+    fn renders_live_qps_and_windowed_quantiles_against_a_loopback_server() {
+        let mut server = Server::bind(ServeConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+
+        let mut driver = Client::connect(&addr).unwrap();
+        driver.hello().unwrap();
+        driver.load_named("secret-coin", "post").unwrap();
+
+        let mut top = Client::connect(&addr).unwrap();
+        top.hello().unwrap();
+        let prev = sample(&mut top).unwrap();
+        // Traffic between the two samples: queries that land in the
+        // current rolling window.
+        for _ in 0..5 {
+            driver
+                .query(&[QueryItem {
+                    id: 1,
+                    kind: QueryKind::Sat {
+                        formula: "c=h".into(),
+                    },
+                }])
+                .unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        let cur = sample(&mut top).unwrap();
+        assert!(
+            cur.requests >= prev.requests + 5,
+            "driver traffic must show up in the process counters"
+        );
+        let frame_win = cur
+            .windowed
+            .iter()
+            .find(|(name, ..)| name == "proc.frame_ns")
+            .expect("proc.frame_ns is windowed");
+        assert!(frame_win.1 >= 5, "frames landed inside the window");
+        assert!(frame_win.2.is_some() && frame_win.3.is_some());
+        let query_win = cur
+            .windowed
+            .iter()
+            .find(|(name, ..)| name == "proc.query_ns")
+            .expect("proc.query_ns is windowed");
+        assert!(query_win.2.is_some() && query_win.3.is_some());
+
+        let body = render(&addr, &prev, &cur);
+        assert!(body.contains("qps "), "{body}");
+        assert!(body.contains("proc.frame_ns"), "{body}");
+        assert!(body.contains("proc.query_ns"), "{body}");
+        assert!(body.contains("p50 "), "{body}");
+        assert!(body.contains("p99 "), "{body}");
+        assert!(body.contains("artifacts 1"), "{body}");
+        // qps over the interval must be visibly nonzero.
+        let qps_line = body.lines().nth(1).unwrap();
+        assert!(!qps_line.starts_with("qps 0.0"), "{qps_line}");
+
+        // The run loop itself works end-to-end in --frames mode.
+        run(&argv(&[
+            "--addr",
+            &addr,
+            "--interval-ms",
+            "1",
+            "--frames",
+            "1",
+            "--plain",
+        ]))
+        .unwrap();
+
+        driver.bye().unwrap();
+        server.shutdown();
+        // A dead server is a clean error, not a hang.
+        assert!(run(&argv(&["--addr", &addr, "--frames", "1", "--plain"])).is_err());
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_ns(17), "17ns");
+        assert_eq!(fmt_ns(2_048), "2.0us");
+        assert_eq!(fmt_ns(3_500_000), "3.50ms");
+        assert_eq!(fmt_ns(2_000_000_000), "2.00s");
+    }
+}

@@ -426,6 +426,90 @@ fn sessions_share_artifacts_across_connections() {
     server.shutdown();
 }
 
+/// The `metrics` op round-trips the schema-v2 snapshot through a real
+/// socket: cumulative counters agree with `stats`, the windowed
+/// quantiles cover the traffic just sent, the span section is present,
+/// and the occupancy gauges match the artifact cache. The text
+/// exposition carries the same numbers.
+#[test]
+fn metrics_schema_v2_round_trips_over_the_wire() {
+    use kpa::serve::json::Value;
+    let mut server = Server::bind(ServeConfig::default()).expect("bind");
+    let mut c = Client::connect(server.local_addr()).expect("connect");
+    c.hello().expect("hello");
+    c.load_named("secret-coin", "post").expect("load");
+    for _ in 0..3 {
+        c.query(&[QueryItem {
+            id: 1,
+            kind: QueryKind::Sat {
+                formula: "c=h".into(),
+            },
+        }])
+        .expect("query");
+    }
+    let stats = c.stats().expect("stats");
+    let metrics = c.metrics().expect("metrics");
+    assert_eq!(metrics.get("schema").and_then(Value::as_int), Some(2));
+    // Cumulative counters agree with the stats op taken just before
+    // (metrics itself adds one request between the two frames).
+    let proc_counter = |frame: &Value, name: &str| {
+        frame
+            .get("process")
+            .and_then(|p| p.get("counters"))
+            .and_then(|m| m.get(name))
+            .and_then(Value::as_int)
+            .expect("process counter")
+    };
+    assert_eq!(
+        proc_counter(&metrics, "proc.queries"),
+        proc_counter(&stats, "proc.queries")
+    );
+    assert_eq!(
+        proc_counter(&metrics, "proc.requests"),
+        proc_counter(&stats, "proc.requests") + 1
+    );
+    // Windowed quantiles cover the queries just sent.
+    let windowed = metrics
+        .get("process")
+        .and_then(|p| p.get("windowed"))
+        .and_then(Value::as_obj)
+        .expect("windowed block");
+    for name in ["proc.frame_ns", "proc.query_ns"] {
+        let w = windowed
+            .get(name)
+            .unwrap_or_else(|| panic!("{name} windowed"));
+        let count = w.get("count").and_then(Value::as_int).expect("count");
+        assert!(count >= 3, "{name} window covers recent traffic: {count}");
+        let p50 = w.get("p50").and_then(Value::as_int).expect("p50");
+        let p99 = w.get("p99").and_then(Value::as_int).expect("p99");
+        assert!(p50 <= p99, "{name}: p50 {p50} <= p99 {p99}");
+    }
+    // Span section and occupancy gauges are present and consistent.
+    let spans = metrics.get("spans").expect("spans block");
+    assert!(spans.get("dropped").and_then(Value::as_int).is_some());
+    assert!(spans.get("sites").and_then(Value::as_obj).is_some());
+    assert_eq!(
+        metrics.get("artifacts_resident").and_then(Value::as_int),
+        stats.get("artifacts").and_then(Value::as_int)
+    );
+    let bytes = metrics
+        .get("artifacts_resident_bytes")
+        .and_then(Value::as_int)
+        .expect("resident bytes gauge");
+    assert!(bytes > 0, "a resident artifact occupies bytes");
+    // The text exposition carries the same gauges and window counts.
+    let text = c.metrics_text().expect("metrics text");
+    assert!(text.contains("serve.artifacts_resident 1"), "{text}");
+    assert!(
+        text.contains(&format!("serve.artifacts_resident_bytes {bytes}")),
+        "{text}"
+    );
+    assert!(text.contains("win.proc.query_ns.p50 "), "{text}");
+    assert!(text.contains("counter.proc.queries 3"), "{text}");
+    c.bye().expect("bye");
+    server.shutdown();
+}
+
 /// The sweep is the documented size (guards against accidentally
 /// shrinking the differential surface).
 #[test]

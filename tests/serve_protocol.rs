@@ -260,6 +260,50 @@ fn fuzzed_frames_never_wedge_the_server() {
     server.shutdown();
 }
 
+/// Every reply — success and error alike — carries a server-minted
+/// `trace_id` (16 lowercase hex digits), distinct per frame, so a
+/// client can correlate any reply with the server's span trees.
+#[test]
+fn every_reply_echoes_a_distinct_trace_id() {
+    let mut server = Server::bind(tight_config()).expect("bind");
+    let mut c = connect(&server);
+    let trace_id_of = |frame: &Value| -> String {
+        let id = frame
+            .get("trace_id")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| panic!("reply lacks trace_id: {}", frame.to_json()))
+            .to_string();
+        assert_eq!(id.len(), 16, "trace id is 16 hex digits: {id:?}");
+        assert!(
+            id.chars().all(|ch| ch.is_ascii_hexdigit()),
+            "trace id is hex: {id:?}"
+        );
+        id
+    };
+    let mut seen = std::collections::HashSet::new();
+    // Success frames.
+    for frame in [
+        c.hello().expect("hello"),
+        c.load_named("die", "post").expect("load"),
+        c.stats().expect("stats"),
+        c.metrics().expect("metrics"),
+    ] {
+        assert!(seen.insert(trace_id_of(&frame)), "trace ids must be fresh");
+    }
+    // Recoverable error frames carry one too.
+    c.send_raw(br#"{"v":1,"op":"frobnicate"}"#).expect("send");
+    let frame = c.recv_frame().expect("error frame");
+    assert_eq!(frame.get("ok").and_then(Value::as_bool), Some(false));
+    assert!(seen.insert(trace_id_of(&frame)));
+    // And so do fatal ones — the last frame before the close.
+    c.send_raw(b"not json").expect("send");
+    let frame = c.recv_frame().expect("fatal frame");
+    assert_eq!(frame.get("ok").and_then(Value::as_bool), Some(false));
+    assert!(seen.insert(trace_id_of(&frame)));
+    assert_closed(&mut c);
+    server.shutdown();
+}
+
 #[test]
 fn session_lifecycle_pin_unpin_and_bye() {
     let mut server = Server::bind(tight_config()).expect("bind");

@@ -8,7 +8,10 @@
 //! `Pr_i ≥ α` plan sweeps, Proposition 10, betting safety, and a
 //! pinned-seed Monte-Carlo stream) is run with tracing **off**, with
 //! tracing **on**, and with tracing on under a 4-worker pool, and every
-//! result is asserted bit-identical across the three runs.
+//! result is asserted bit-identical across the three runs. The traced
+//! runs also exercise the span-tree recorder (records at instrumented
+//! sites, trace-id stitching, pool chunk spans) and the rolling-window
+//! histograms, and the off phases assert neither records anything.
 //!
 //! A second test pins the histogram's log₂ bucketing at the edges
 //! (0, 1, powers of two, `u64::MAX`) through the public
@@ -21,7 +24,10 @@ use kpa::logic::{Formula, Model, PointSet};
 use kpa::measure::{rat, Rat, Rng64};
 use kpa::protocols::{async_coin_tosses, ca1, recent_heads, secret_coin};
 use kpa::system::AgentId;
-use kpa::trace::{bucket_floor, bucket_of, Trace, BUCKETS};
+use kpa::trace::{
+    ambient_guard, bucket_floor, bucket_of, next_trace_id, snapshot_span_records,
+    stitch_span_trees, take_span_records, Trace, BUCKETS,
+};
 
 /// Everything the workload computes, in exact (bit-comparable) form.
 #[derive(PartialEq)]
@@ -171,11 +177,28 @@ fn tracing_is_observationally_invisible() {
     // concurrent tests would race, so this binary keeps every phase in
     // one test function.
     Trace::enabled(false);
+    let _ = take_span_records();
     let off = workload();
+    assert!(
+        snapshot_span_records().0.is_empty(),
+        "tracing off must record no span records"
+    );
 
     Trace::enabled(true);
     kpa::trace::registry().reset();
-    let on = workload();
+    // Run the traced workload under one request trace id — the same
+    // shape kpa-serve gives each frame — so its spans stitch into
+    // per-request trees.
+    let request = next_trace_id();
+    let on = {
+        let _req = ambient_guard(request);
+        workload()
+    };
+    // Rolling-window histograms ride the same gated registry; a
+    // recorded sample must be visible in the windowed snapshot.
+    kpa::trace::registry()
+        .rolling("invisibility.workload_ns")
+        .record(1_500);
     let report = kpa::trace::registry().snapshot();
     assert!(report.enabled, "snapshot must reflect the enabled state");
     assert!(
@@ -186,6 +209,28 @@ fn tracing_is_observationally_invisible() {
             && report.counter("async.cut_bounds_via") > 0,
         "the traced run must actually record the layers it visited"
     );
+    assert_eq!(
+        report.windowed["invisibility.workload_ns"].count, 1,
+        "the rolling window must hold the fresh sample"
+    );
+    assert!(report.windowed["invisibility.workload_ns"].p50.is_some());
+    let (on_spans, _) = snapshot_span_records();
+    assert!(
+        on_spans.iter().any(|r| r.site == "system.build_ns"),
+        "the traced run must record span records at instrumented sites"
+    );
+    assert!(
+        on_spans
+            .iter()
+            .any(|r| r.site == "system.build_ns" && r.trace_id == request.0),
+        "spans under the ambient guard must carry the request's trace id"
+    );
+    assert!(
+        stitch_span_trees(&on_spans)
+            .iter()
+            .any(|t| t.trace_id == request.0),
+        "stitching must yield a tree for the request's trace id"
+    );
 
     let on_parallel = kpa_pool::with_threads(4, workload);
     let parallel_report = kpa::trace::registry().snapshot();
@@ -193,9 +238,22 @@ fn tracing_is_observationally_invisible() {
         parallel_report.counter("pool.tasks") > report.counter("pool.tasks"),
         "the 4-worker run must record pool worker activity"
     );
+    assert!(
+        snapshot_span_records()
+            .0
+            .iter()
+            .any(|r| r.site == "pool.chunk_ns"),
+        "the 4-worker run must record chunk spans from pool workers"
+    );
 
     Trace::enabled(false);
+    let resident = snapshot_span_records().0.len();
     let off_again = workload();
+    assert_eq!(
+        snapshot_span_records().0.len(),
+        resident,
+        "re-disabled tracing must stop recording span records"
+    );
 
     assert_same("tracing on vs off", &on, &off);
     assert_same("4-worker traced vs serial untraced", &on_parallel, &off);
